@@ -1,0 +1,60 @@
+// Reproduces section 5, point 2: cache behaviour.
+//
+//   "The NavP and the sequential programs have a similar cache performance
+//    because ... there is an algorithmic block that would stay in the
+//    cache for the duration of computation ... this cache performance of
+//    NavP can account for as much as a 4% improvement over MPI."
+//
+// We ablate the calibrated cache model: run Gentleman's algorithm with the
+// MPI profile (all three blocks frequently fresh: -4% GEMM throughput) and
+// with the NavP/sequential profile (one operand resident), and show the
+// end-to-end difference is bounded by the modeled 4%.
+#include <cstdio>
+
+#include "harness/text_table.h"
+#include "machine/sim_machine.h"
+#include "mm/gentleman_mm.h"
+#include "mm/navp_mm_2d.h"
+
+using navcpp::harness::TextTable;
+using navcpp::linalg::BlockGrid;
+using navcpp::linalg::PhantomStorage;
+
+namespace {
+
+double run_gentleman(const navcpp::mm::MmConfig& cfg) {
+  navcpp::machine::SimMachine m(9, cfg.testbed.lan);
+  BlockGrid<PhantomStorage> a(cfg.order, cfg.block_order);
+  BlockGrid<PhantomStorage> b(cfg.order, cfg.block_order);
+  BlockGrid<PhantomStorage> c(cfg.order, cfg.block_order);
+  return navcpp::mm::gentleman_mm(m, cfg, navcpp::mm::StaggerMode::kDirect,
+                                  a, b, c)
+      .seconds;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Section 5.2: cache-profile ablation (3x3 PEs) ===\n\n");
+  TextTable table({"N", "blk", "MPI w/ cache penalty(s)",
+                   "MPI w/o penalty(s)", "end-to-end delta"});
+  for (int order : {1536, 3072, 4608}) {
+    navcpp::mm::MmConfig with_penalty;
+    with_penalty.order = order;
+    with_penalty.block_order = 128;
+    navcpp::mm::MmConfig no_penalty = with_penalty;
+    no_penalty.testbed.cache_penalty = 0.0;
+
+    const double slow = run_gentleman(with_penalty);
+    const double fast = run_gentleman(no_penalty);
+    table.add_row({std::to_string(order), "128", TextTable::num(slow),
+                   TextTable::num(fast),
+                   TextTable::num(100.0 * (slow - fast) / slow, 2) + "%"});
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf("expected shape: the all-fresh cache profile costs the MPI\n"
+              "code up to ~4%% end-to-end, matching the paper's estimate\n"
+              "(the delta is below 4%% where communication, not GEMM\n"
+              "throughput, is on the critical path).\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Extension benchmark: the NavP transformations applied to a different
+// dependence structure — Jacobi iteration (5-point stencil), 1-D slab
+// decomposition on the simulated testbed.
+//
+// The paper presents DSC/Pipelining/Phase-shifting as a general
+// methodology; this benchmark shows how far each takes a stencil:
+//   * DSC runs at ~1x sequential (the out-of-core enabler);
+//   * pipelining traveling agents is bounded near P/2 — sweep t at slab p
+//     waits for sweep t-1 at slab p+1, which itself trails slab p, giving
+//     a two-slot wavefront period (phase shifting is inapplicable for the
+//     same reason);
+//   * the dataflow rewrite (stationary agents + one-hop ghost carriers)
+//     reaches ~P — the point where the NavP view meets the SPMD view (the
+//     paper's closing remarks, made measurable).
+#include <cstdio>
+
+#include "apps/jacobi.h"
+#include "harness/text_table.h"
+#include "machine/sim_machine.h"
+
+using navcpp::apps::JacobiConfig;
+using navcpp::apps::JacobiGrid;
+using navcpp::apps::JacobiStats;
+using navcpp::apps::JacobiVariant;
+using navcpp::harness::TextTable;
+
+int main() {
+  std::printf("=== Extension: Jacobi iteration under the NavP "
+              "transformations ===\n");
+  std::printf("grid 1538x1536, 48 sweeps, simulated testbed\n\n");
+  TextTable table({"PEs", "seq(s)", "variant", "sim(s)", "speedup"});
+  for (int pes : {2, 4, 8}) {
+    JacobiConfig cfg;
+    cfg.rows = 1538;  // 1536 interior rows
+    cfg.cols = 1536;
+    cfg.sweeps = 48;
+    const double seq = navcpp::apps::jacobi_sequential_seconds(
+        cfg.testbed, cfg.rows, cfg.cols, cfg.sweeps);
+    const JacobiGrid g = JacobiGrid::heated_plate(cfg.rows, cfg.cols);
+    for (auto v : {JacobiVariant::kDsc, JacobiVariant::kPipelined,
+                   JacobiVariant::kDataflow}) {
+      navcpp::machine::SimMachine m(pes, cfg.testbed.lan);
+      JacobiStats stats;
+      navcpp::apps::jacobi_navp(m, cfg, v, g, &stats);
+      table.add_row({std::to_string(pes), TextTable::num(seq),
+                     navcpp::apps::to_string(v), TextTable::num(stats.seconds),
+                     TextTable::num(seq / stats.seconds)});
+    }
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf("expected shape: DSC ~1x at every PE count; pipeline "
+              "saturates near P/2;\ndataflow tracks ~0.8-0.95 of P.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Real-machine microbenchmarks (google-benchmark) of the linear-algebra
+// kernels: GEMM variants at the paper's algorithmic block sizes, block
+// grid scatter/gather, and the staggering analysis.
+#include <benchmark/benchmark.h>
+
+#include "linalg/block.h"
+#include "linalg/gemm.h"
+#include "linalg/matrix.h"
+#include "linalg/stagger.h"
+
+namespace {
+
+using navcpp::linalg::Matrix;
+
+void BM_GemmAcc(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const Matrix a = Matrix::random(n, n, 1);
+  const Matrix b = Matrix::random(n, n, 2);
+  Matrix c(n, n);
+  for (auto _ : state) {
+    navcpp::linalg::gemm_acc(c.view(), a.view(), b.view());
+    benchmark::DoNotOptimize(c.view().data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(2LL * n * n * n));
+}
+BENCHMARK(BM_GemmAcc)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_GemmNaive(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const Matrix a = Matrix::random(n, n, 1);
+  const Matrix b = Matrix::random(n, n, 2);
+  Matrix c(n, n);
+  for (auto _ : state) {
+    navcpp::linalg::gemm_acc_naive(c.view(), a.view(), b.view());
+    benchmark::DoNotOptimize(c.view().data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(2LL * n * n * n));
+}
+BENCHMARK(BM_GemmNaive)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_ToBlocksFromBlocks(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const Matrix m = Matrix::random(n, n, 3);
+  for (auto _ : state) {
+    auto grid = navcpp::linalg::to_blocks(m, 64);
+    Matrix back = navcpp::linalg::from_blocks(grid);
+    benchmark::DoNotOptimize(back(0, 0));
+  }
+}
+BENCHMARK(BM_ToBlocksFromBlocks)->Arg(256)->Arg(512);
+
+void BM_StaggerPhaseAnalysis(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(navcpp::linalg::forward_stagger_phases(n));
+    benchmark::DoNotOptimize(navcpp::linalg::reverse_stagger_phases(n));
+  }
+}
+BENCHMARK(BM_StaggerPhaseAnalysis)->Arg(16)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

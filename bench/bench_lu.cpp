@@ -1,0 +1,42 @@
+// Extension benchmark: block LU factorization under the NavP
+// transformations — a triangular pipeline whose per-step work shrinks,
+// unlike matmul's rectangular one.
+#include <cstdio>
+
+#include "apps/lu.h"
+#include "harness/text_table.h"
+#include "machine/sim_machine.h"
+
+using navcpp::apps::LuConfig;
+using navcpp::apps::LuStats;
+using navcpp::apps::LuVariant;
+using navcpp::harness::TextTable;
+
+int main() {
+  std::printf("=== Extension: block LU factorization (no pivoting) ===\n");
+  std::printf("N=1536, block 128, simulated testbed; phase shifting is\n"
+              "inapplicable (the k-chain orders every column's updates)\n\n");
+  TextTable table({"PEs", "seq(s)", "variant", "sim(s)", "speedup"});
+  for (int pes : {2, 4, 6}) {
+    LuConfig cfg;
+    cfg.order = 1536;
+    cfg.block_order = 128;
+    if (cfg.nb() % pes != 0) continue;
+    const double seq = navcpp::apps::lu_sequential_seconds(cfg);
+    const auto a = navcpp::apps::diagonally_dominant(cfg.order, 17);
+    for (auto v : {LuVariant::kDsc, LuVariant::kPipelined}) {
+      navcpp::machine::SimMachine m(pes, cfg.testbed.lan);
+      LuStats stats;
+      navcpp::apps::lu_navp(m, cfg, v, a, &stats);
+      table.add_row({std::to_string(pes), TextTable::num(seq),
+                     navcpp::apps::to_string(v),
+                     TextTable::num(stats.seconds),
+                     TextTable::num(seq / stats.seconds)});
+    }
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf("expected shape: DSC ~1x; the pipeline gains real but\n"
+              "sub-linear speedup — the triangular tail starves the later\n"
+              "carriers (fill/drain dominate as k grows).\n");
+  return 0;
+}

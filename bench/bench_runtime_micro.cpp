@@ -1,0 +1,110 @@
+// Real-machine microbenchmarks (google-benchmark) of the NavP runtime and
+// the simulation engine: hop throughput on both backends, event
+// signal/wait, injection, and discrete-event queue operations.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "machine/sim_machine.h"
+#include "machine/threaded_machine.h"
+#include "navp/runtime.h"
+#include "sim/event_queue.h"
+
+namespace {
+
+using navcpp::navp::Ctx;
+using navcpp::navp::EventKey;
+using navcpp::navp::Mission;
+using navcpp::navp::Runtime;
+
+Mission hopper(Ctx ctx, int laps) {
+  for (int i = 0; i < laps; ++i) {
+    for (int pe = 0; pe < ctx.pe_count(); ++pe) {
+      co_await ctx.hop(pe, 64);
+    }
+  }
+}
+
+void BM_SimHops(benchmark::State& state) {
+  const int laps = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    navcpp::machine::SimMachine m(4);
+    Runtime rt(m);
+    rt.inject(0, "hopper", hopper, laps);
+    rt.run();
+    benchmark::DoNotOptimize(rt.hop_count());
+  }
+  state.SetItemsProcessed(state.iterations() * laps * 4);
+}
+BENCHMARK(BM_SimHops)->Arg(100)->Arg(1000);
+
+void BM_ThreadedHops(benchmark::State& state) {
+  const int laps = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    navcpp::machine::ThreadedMachine m(2);
+    Runtime rt(m);
+    rt.inject(0, "hopper", hopper, laps);
+    rt.run();
+    benchmark::DoNotOptimize(rt.hop_count());
+  }
+  state.SetItemsProcessed(state.iterations() * laps * 2);
+}
+BENCHMARK(BM_ThreadedHops)->Arg(100)->Arg(1000);
+
+Mission signaler(Ctx ctx, int count) {
+  for (int i = 0; i < count; ++i) ctx.signal_event(EventKey{1, 0, 0});
+  co_return;
+}
+
+Mission waiter(Ctx ctx, int count) {
+  for (int i = 0; i < count; ++i) co_await ctx.wait_event(EventKey{1, 0, 0});
+}
+
+void BM_SimEventPingPong(benchmark::State& state) {
+  const int count = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    navcpp::machine::SimMachine m(1);
+    Runtime rt(m);
+    rt.inject(0, "waiter", waiter, count);
+    rt.inject(0, "signaler", signaler, count);
+    rt.run();
+    benchmark::DoNotOptimize(rt.waits_satisfied());
+  }
+  state.SetItemsProcessed(state.iterations() * count);
+}
+BENCHMARK(BM_SimEventPingPong)->Arg(1000);
+
+Mission trivial(Ctx ctx) {
+  (void)ctx;
+  co_return;
+}
+
+void BM_SimInject(benchmark::State& state) {
+  const int count = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    navcpp::machine::SimMachine m(1);
+    Runtime rt(m);
+    for (int i = 0; i < count; ++i) rt.inject(0, "t", trivial);
+    rt.run();
+    benchmark::DoNotOptimize(rt.agents_completed());
+  }
+  state.SetItemsProcessed(state.iterations() * count);
+}
+BENCHMARK(BM_SimInject)->Arg(1000);
+
+void BM_EventQueueScheduleDrain(benchmark::State& state) {
+  const int count = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    navcpp::sim::EventQueue q;
+    for (int i = 0; i < count; ++i) {
+      q.schedule(static_cast<double>(i % 97), [] {});
+    }
+    while (!q.empty()) q.pop()();
+  }
+  state.SetItemsProcessed(state.iterations() * count);
+}
+BENCHMARK(BM_EventQueueScheduleDrain)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+// Reproduces section 5, point 1: run-time task scheduling.
+//
+//   "In the case of NavP, the order [of block updates] is not predefined
+//    and the CPU cycles are thus efficiently utilized ... In MPI ... the
+//    loop introduces an artificial sequential order to the communications
+//    and computations."
+//
+// We compare per-PE idle time (finish - busy) between Gentleman's
+// algorithm (fixed block order with in-line waits) and the NavP 2D
+// phase-shifted program (event-driven order) at equal problem sizes.
+#include <algorithm>
+#include <cstdio>
+
+#include "harness/text_table.h"
+#include "machine/sim_machine.h"
+#include "mm/gentleman_mm.h"
+#include "mm/navp_mm_2d.h"
+
+using navcpp::harness::TextTable;
+using navcpp::linalg::BlockGrid;
+using navcpp::linalg::PhantomStorage;
+
+namespace {
+
+struct UtilStats {
+  double finish = 0.0;
+  double max_idle = 0.0;
+  double avg_idle = 0.0;
+};
+
+template <class Fn>
+UtilStats measure(const navcpp::mm::MmConfig& cfg, Fn&& run) {
+  navcpp::machine::SimMachine m(9, cfg.testbed.lan);
+  BlockGrid<PhantomStorage> a(cfg.order, cfg.block_order);
+  BlockGrid<PhantomStorage> b(cfg.order, cfg.block_order);
+  BlockGrid<PhantomStorage> c(cfg.order, cfg.block_order);
+  run(m, cfg, a, b, c);
+  UtilStats s;
+  s.finish = m.finish_time();
+  double total_idle = 0.0;
+  for (int pe = 0; pe < m.pe_count(); ++pe) {
+    const double idle = s.finish - m.busy_time(pe);
+    s.max_idle = std::max(s.max_idle, idle);
+    total_idle += idle;
+  }
+  s.avg_idle = total_idle / m.pe_count();
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== Section 5.1: scheduling — idle time, MPI vs NavP (3x3) ===\n\n");
+  TextTable table({"N", "program", "finish(s)", "avg idle(s)", "max idle(s)",
+                   "utilization"});
+  for (int order : {1536, 3072, 4608}) {
+    navcpp::mm::MmConfig cfg;
+    cfg.order = order;
+    cfg.block_order = 128;
+
+    const UtilStats mpi = measure(cfg, [](auto& m, const auto& c, auto& a,
+                                          auto& b, auto& cc) {
+      navcpp::mm::gentleman_mm(m, c, navcpp::mm::StaggerMode::kDirect, a, b,
+                               cc);
+    });
+    const UtilStats navp = measure(cfg, [](auto& m, const auto& c, auto& a,
+                                           auto& b, auto& cc) {
+      navcpp::mm::navp_mm_2d(m, c, navcpp::mm::Navp2dVariant::kPhaseShifted,
+                             a, b, cc);
+    });
+    auto add = [&](const char* name, const UtilStats& s) {
+      table.add_row({std::to_string(order), name, TextTable::num(s.finish),
+                     TextTable::num(s.avg_idle), TextTable::num(s.max_idle),
+                     TextTable::num(100.0 * (1.0 - s.avg_idle / s.finish),
+                                    1) +
+                         "%"});
+    };
+    add("MPI (Gentleman)", mpi);
+    add("NavP 2D phase", navp);
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf("expected shape: the NavP program keeps the PEs busier (less\n"
+              "idle) because block updates run in data-arrival order, while\n"
+              "Gentleman's fixed per-iteration order stalls on the boundary\n"
+              "receives.\n");
+  return 0;
+}

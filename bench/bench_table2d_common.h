@@ -1,0 +1,40 @@
+// Shared row printer for the Table 3 / Table 4 reproductions.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/experiments.h"
+#include "harness/paper_data.h"
+#include "harness/text_table.h"
+#include "mm/common.h"
+
+namespace navcpp::harness {
+
+inline void run_2d_table(const char* title, int grid,
+                         const std::vector<PaperRow2D>& paper_rows) {
+  std::printf("=== %s ===\n\n", title);
+  TextTable table({"N", "blk", "seq(s)", "variant", "paper(s)", "paper su",
+                   "sim(s)", "sim su"});
+  const mm::MmConfig base;
+  for (const auto& p : paper_rows) {
+    const Measured2D m = measure_2d_row(p.order, p.block, grid, base);
+    const double seq = m.seq_in_core;
+    auto add = [&](const char* name, double paper_s, double paper_su,
+                   double sim_s) {
+      table.add_row({std::to_string(p.order), std::to_string(p.block),
+                     TextTable::num(seq), name, TextTable::num(paper_s),
+                     TextTable::num(paper_su), TextTable::num(sim_s),
+                     TextTable::num(seq / sim_s)});
+    };
+    add("MPI (Gentleman)", p.mpi_s, p.mpi_su, m.mpi);
+    add("NavP 2D DSC", p.dsc_s, p.dsc_su, m.dsc);
+    add("NavP 2D pipeline", p.pipe_s, p.pipe_su, m.pipe);
+    add("NavP 2D phase", p.phase_s, p.phase_su, m.phase);
+    add("ScaLAPACK~SUMMA", p.scalapack_s, p.scalapack_su, m.summa);
+  }
+  std::printf("%s\n", table.str().c_str());
+}
+
+}  // namespace navcpp::harness

@@ -1,0 +1,13 @@
+// Reproduces Table 4: performance on 3x3 PEs.
+#include "bench_table2d_common.h"
+
+int main() {
+  navcpp::harness::run_2d_table("Table 4: 3x3 PEs", 3,
+                                navcpp::harness::paper_table4());
+  std::printf(
+      "expected shape: NavP 2D DSC < MPI (Gentleman) < NavP 2D pipeline <\n"
+      "NavP 2D phase (~8.1-8.9x of 9 PEs), matching the paper's ordering\n"
+      "at every matrix order.  See EXPERIMENTS.md for the per-row\n"
+      "comparison and known deviations.\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Extension benchmark: distributed block transpose — the all-exchange
+// communication pattern (an involution, hence <= 2 half-duplex phases by
+// the section 5.3 analysis), NavP swap carriers vs mini-MPI pairwise
+// exchange, across layouts.
+#include <cstdio>
+
+#include "harness/text_table.h"
+#include "machine/sim_machine.h"
+#include "mm/transpose.h"
+
+using navcpp::harness::TextTable;
+using navcpp::linalg::BlockGrid;
+using navcpp::linalg::PhantomStorage;
+using navcpp::mm::Layout;
+using navcpp::mm::MmConfig;
+
+int main() {
+  std::printf("=== Extension: distributed transpose (3x3 PEs) ===\n\n");
+  TextTable table({"N", "blk", "method", "layout", "sim(s)", "messages",
+                   "MB"});
+  for (int order : {1536, 3072}) {
+    for (Layout layout : {Layout::kSlab, Layout::kCyclic}) {
+      MmConfig cfg;
+      cfg.order = order;
+      cfg.block_order = 128;
+      cfg.layout = layout;
+      {
+        navcpp::machine::SimMachine m(9, cfg.testbed.lan);
+        BlockGrid<PhantomStorage> g(order, 128);
+        const auto stats = navcpp::mm::navp_transpose(m, cfg, g);
+        table.add_row({std::to_string(order), "128", "NavP carriers",
+                       navcpp::mm::to_string(layout),
+                       TextTable::num(stats.seconds),
+                       std::to_string(stats.messages),
+                       TextTable::num(stats.bytes / 1e6, 1)});
+      }
+      if (layout == Layout::kSlab) {
+        navcpp::machine::SimMachine m(9, cfg.testbed.lan);
+        BlockGrid<PhantomStorage> a(order, 128), c(order, 128);
+        const auto stats = navcpp::mm::mpi_transpose(m, cfg, a, c);
+        table.add_row({std::to_string(order), "128", "mini-MPI exchange",
+                       "slab", TextTable::num(stats.seconds),
+                       std::to_string(stats.messages),
+                       TextTable::num(stats.bytes / 1e6, 1)});
+      }
+    }
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf("expected shape: both methods move exactly one message per\n"
+              "remote off-diagonal block and finish in the same simulated\n"
+              "time; the exchange pattern is an involution, so NIC\n"
+              "occupancy never serializes more than two deep (the\n"
+              "reverse-staggering property of section 5.3).  On a square\n"
+              "grid the slab and cyclic mappings co-locate exactly the\n"
+              "same transpose pairs (owner symmetry), hence the equal\n"
+              "message counts.\n");
+  return 0;
+}

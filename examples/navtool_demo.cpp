@@ -1,0 +1,81 @@
+// The paper's future work, demonstrated: navtool mechanically derives the
+// NavP transformations from a loop nest's dependence facts, prints its
+// reasoning, and the derived plans are directly runnable.
+//
+// Three nests are planned:
+//   1. matmul-like  (independent, rotatable rows)  -> phase shifting
+//   2. sweep-like   (cross-thread chain, Jacobi)   -> pipelining + events
+//   3. no facts established                        -> DSC only
+// and the matmul-like plans are executed at all three levels on the
+// simulated testbed to show the derived programs inherit the incremental
+// speedups.
+#include <cstdio>
+
+#include "machine/sim_machine.h"
+#include "navtool/planner.h"
+
+using navcpp::navtool::NestSpec;
+using navcpp::navtool::Plan;
+using navcpp::navtool::Transformation;
+
+int main() {
+  const int nb = 12, pes = 3;
+  const navcpp::mm::Dist1D dist(nb, pes);
+
+  NestSpec matmul;
+  matmul.threads = nb;
+  matmul.steps = nb;
+  matmul.rows_independent = true;
+  matmul.start_rotatable = true;
+  matmul.payload_bytes = 12 * 128 * 128 * 8;  // a carried block-row
+  matmul.step_cost_seconds = 0.457;           // gemm(128,128,1536)
+
+  NestSpec sweep;
+  sweep.threads = 8;
+  sweep.steps = nb;
+  sweep.needs_previous_thread_same_step = true;
+
+  NestSpec unknown;
+  unknown.threads = 8;
+  unknown.steps = nb;
+
+  std::printf("=== navtool: mechanical application of the NavP "
+              "transformations ===\n\n");
+  for (auto [name, spec] :
+       {std::pair{"matmul-like nest", &matmul},
+        std::pair{"sweep-chain nest", &sweep},
+        std::pair{"nest with no dependence facts", &unknown}}) {
+    const Plan plan = navcpp::navtool::plan_nest(*spec, dist);
+    std::printf("--- %s -> %s ---\n%s\n", name,
+                navcpp::navtool::to_string(plan.transformation),
+                plan.rationale.c_str());
+  }
+
+  std::printf("executing the derived matmul-like plans "
+              "(12x12 blocks, 3 PEs, simulated testbed):\n\n");
+  const navcpp::navtool::StatementBody body =
+      [&](navcpp::navp::Ctx& ctx, int, int) {
+        ctx.compute(matmul.step_cost_seconds, "S(t,s)");
+      };
+  NestSpec as_pipe = matmul;
+  as_pipe.start_rotatable = false;
+  NestSpec as_dsc = matmul;
+  as_dsc.rows_independent = false;
+  as_dsc.start_rotatable = false;
+
+  for (auto [label, spec] : {std::pair{"DSC          ", &as_dsc},
+                             std::pair{"pipelined    ", &as_pipe},
+                             std::pair{"phase-shifted", &matmul}}) {
+    const Plan plan = navcpp::navtool::plan_nest(*spec, dist);
+    navcpp::machine::SimMachine machine(pes);
+    const auto stats =
+        navcpp::navtool::execute_plan(machine, plan, *spec, body);
+    std::printf("  %s  %8.2f sim-s   (%llu agents, %llu hops)\n", label,
+                stats.seconds,
+                static_cast<unsigned long long>(stats.agents),
+                static_cast<unsigned long long>(stats.hops));
+  }
+  std::printf("\nthe derived programs show the paper's incremental "
+              "improvements without\nany hand-written navigation code.\n");
+  return 0;
+}

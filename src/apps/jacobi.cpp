@@ -1,0 +1,256 @@
+#include "apps/jacobi.h"
+
+#include <memory>
+#include <utility>
+
+#include "navp/task.h"
+
+namespace navcpp::apps {
+
+void jacobi_sweep(const JacobiGrid& g, JacobiGrid& next) {
+  NAVCPP_CHECK(g.rows == next.rows && g.cols == next.cols,
+               "jacobi_sweep: shape mismatch");
+  next = g;  // boundary rows/cols copy through
+  for (int r = 1; r + 1 < g.rows; ++r) {
+    for (int c = 1; c + 1 < g.cols; ++c) {
+      next.at(r, c) = 0.25 * (g.at(r - 1, c) + g.at(r + 1, c) +
+                              g.at(r, c - 1) + g.at(r, c + 1));
+    }
+  }
+}
+
+JacobiGrid jacobi_sequential(JacobiGrid g, int sweeps) {
+  JacobiGrid next(g.rows, g.cols);
+  for (int t = 0; t < sweeps; ++t) {
+    jacobi_sweep(g, next);
+    std::swap(g, next);
+  }
+  return g;
+}
+
+double jacobi_sequential_seconds(const perfmodel::Testbed& tb, int rows,
+                                 int cols, int sweeps) {
+  const double points = static_cast<double>(rows - 2) * (cols - 2);
+  const double core = 6.0 * points * sweeps / tb.flops_per_sec;
+  // Two grid buffers resident.
+  const std::size_t working_set = 2ull * static_cast<std::size_t>(rows) *
+                                  static_cast<std::size_t>(cols) *
+                                  sizeof(double);
+  return core * tb.paging_factor(working_set);
+}
+
+namespace detail {
+
+void update_slab(Slab& slab) {
+  const int nrows = static_cast<int>(slab.rows.size());
+  const int cols = static_cast<int>(slab.ghost_above.size());
+  if (static_cast<int>(slab.next.size()) != nrows) {
+    slab.next = slab.rows;  // allocate scratch lazily
+  }
+  for (int r = 0; r < nrows; ++r) {
+    const std::vector<double>& up =
+        (r == 0) ? slab.ghost_above : slab.rows[static_cast<std::size_t>(
+                                          r - 1)];
+    const std::vector<double>& down =
+        (r + 1 == nrows)
+            ? slab.ghost_below
+            : slab.rows[static_cast<std::size_t>(r + 1)];
+    const std::vector<double>& mid = slab.rows[static_cast<std::size_t>(r)];
+    std::vector<double>& out = slab.next[static_cast<std::size_t>(r)];
+    out[0] = mid[0];
+    out[static_cast<std::size_t>(cols - 1)] =
+        mid[static_cast<std::size_t>(cols - 1)];
+    for (int c = 1; c + 1 < cols; ++c) {
+      // Same operand order as jacobi_sweep so results match bit for bit.
+      out[static_cast<std::size_t>(c)] =
+          0.25 * (up[static_cast<std::size_t>(c)] +
+                  down[static_cast<std::size_t>(c)] +
+                  mid[static_cast<std::size_t>(c - 1)] +
+                  mid[static_cast<std::size_t>(c + 1)]);
+    }
+  }
+  std::swap(slab.rows, slab.next);
+}
+
+navp::Mission ghost_carrier(navp::Ctx ctx, const JacobiPlan* plan,
+                            std::vector<double> top_row) {
+  const int dest = ctx.here() - 1;
+  (void)plan;
+  co_await ctx.hop(dest, top_row.size() * sizeof(double));
+  ctx.node<Slab>().ghost_below = std::move(top_row);
+  ctx.signal_event(wg_ghost_ready(dest));
+}
+
+navp::Task<void> east_pass(navp::Ctx ctx, const JacobiPlan* plan,
+                           bool pipelined) {
+  std::vector<double> carried_bottom;  // previous slab's NEW bottom row
+  for (int p = 0; p < plan->pes; ++p) {
+    co_await ctx.hop(p, carried_bottom.size() * sizeof(double));
+    if (pipelined && p + 1 < plan->pes) {
+      // ghost_below(p) must hold the previous sweep's values, refreshed by
+      // the previous sweep's one-hop ghost carrier from p+1.
+      co_await ctx.wait_event(wg_ghost_ready(p));
+    }
+    Slab& slab = ctx.node<Slab>();
+    ctx.work("jacobi-slab", slab_update_seconds(*plan),
+             [&] { update_slab(slab); });
+    // Prepare the NEXT sweep: the carried row is p-1's bottom at the sweep
+    // just computed; it becomes ghost_above(p) for sweep t+1.
+    if (p > 0) slab.ghost_above = std::move(carried_bottom);
+    carried_bottom = slab.rows.back();
+    if (pipelined && p > 0) {
+      // Send this slab's new top row one PE west for sweep t+1.
+      ctx.inject("Ghost", ghost_carrier, plan, slab.rows.front());
+    }
+  }
+}
+
+navp::Task<void> west_pass(navp::Ctx ctx, const JacobiPlan* plan) {
+  std::vector<double> carried_top;  // eastern slab's NEW top row
+  for (int p = plan->pes - 1; p >= 0; --p) {
+    co_await ctx.hop(p, carried_top.size() * sizeof(double));
+    Slab& slab = ctx.node<Slab>();
+    if (p + 1 < plan->pes) slab.ghost_below = std::move(carried_top);
+    carried_top = slab.rows.front();
+  }
+}
+
+navp::Mission dsc_agent(navp::Ctx ctx, const JacobiPlan* plan) {
+  for (int t = 0; t < plan->cfg.sweeps; ++t) {
+    co_await east_pass(ctx, plan, /*pipelined=*/false);
+    co_await west_pass(ctx, plan);
+    // The west pass ends at PE 0, where the next sweep starts.
+  }
+}
+
+navp::Mission east_agent(navp::Ctx ctx, const JacobiPlan* plan) {
+  co_await east_pass(ctx, plan, /*pipelined=*/true);
+}
+
+navp::Mission dataflow_ghost_carrier(navp::Ctx ctx, int dest, bool to_west,
+                                     std::vector<double> row) {
+  co_await ctx.hop(dest, row.size() * sizeof(double));
+  // Do not overwrite a boundary row the destination has not read yet.
+  co_await ctx.wait_event(to_west ? wg_ghost_consumed(dest)
+                                  : wa_ghost_consumed(dest));
+  Slab& slab = ctx.node<Slab>();
+  if (to_west) {
+    slab.ghost_below = std::move(row);
+    ctx.signal_event(wg_ghost_ready(dest));
+  } else {
+    slab.ghost_above = std::move(row);
+    ctx.signal_event(wa_ghost_ready(dest));
+  }
+}
+
+navp::Mission dataflow_agent(navp::Ctx ctx, const JacobiPlan* plan) {
+  const int p = ctx.here();
+  for (int t = 0; t < plan->cfg.sweeps; ++t) {
+    // Both ghosts must hold sweep t-1 (counting events; the initial state
+    // is pre-signaled by the runner).
+    if (p > 0) co_await ctx.wait_event(wa_ghost_ready(p));
+    if (p + 1 < plan->pes) co_await ctx.wait_event(wg_ghost_ready(p));
+    Slab& slab = ctx.node<Slab>();
+    ctx.work("jacobi-slab", slab_update_seconds(*plan),
+             [&] { update_slab(slab); });
+    // The ghosts were read: allow the next deposits (EP/EC-style ack).
+    if (p > 0) ctx.signal_event(wa_ghost_consumed(p));
+    if (p + 1 < plan->pes) ctx.signal_event(wg_ghost_consumed(p));
+    // Publish the new boundary rows to both neighbors.
+    if (p > 0) {
+      ctx.inject("GhostW", dataflow_ghost_carrier, p - 1, true,
+                 slab.rows.front());
+    }
+    if (p + 1 < plan->pes) {
+      ctx.inject("GhostE", dataflow_ghost_carrier, p + 1, false,
+                 slab.rows.back());
+    }
+  }
+}
+
+}  // namespace detail
+
+JacobiGrid jacobi_navp(machine::Engine& engine, const JacobiConfig& cfg,
+                       JacobiVariant variant, const JacobiGrid& initial,
+                       JacobiStats* stats) {
+  using detail::Slab;
+  NAVCPP_CHECK(initial.rows == cfg.rows && initial.cols == cfg.cols,
+               "initial grid does not match the configuration");
+  const auto plan =
+      std::make_unique<detail::JacobiPlan>(cfg, engine.pe_count());
+
+  navp::Runtime rt(engine);
+  rt.set_hop_state_bytes(cfg.testbed.hop_state_bytes);
+  rt.set_hop_cpu_overhead(cfg.testbed.hop_software_overhead);
+  rt.set_activation_overhead(cfg.testbed.daemon_dispatch_overhead);
+
+  // Distribute: slab p holds interior rows [1 + p*slab_rows, ...), with
+  // ghosts seeded from the initial state.
+  for (int p = 0; p < plan->pes; ++p) {
+    Slab& slab = rt.node_store(p).emplace<Slab>();
+    slab.first_row = 1 + p * plan->slab_rows;
+    slab.rows.reserve(static_cast<std::size_t>(plan->slab_rows));
+    for (int r = 0; r < plan->slab_rows; ++r) {
+      const int gr = slab.first_row + r;
+      std::vector<double> row(static_cast<std::size_t>(cfg.cols));
+      for (int c = 0; c < cfg.cols; ++c) {
+        row[static_cast<std::size_t>(c)] = initial.at(gr, c);
+      }
+      slab.rows.push_back(std::move(row));
+    }
+    auto grid_row = [&](int gr) {
+      std::vector<double> row(static_cast<std::size_t>(cfg.cols));
+      for (int c = 0; c < cfg.cols; ++c) {
+        row[static_cast<std::size_t>(c)] = initial.at(gr, c);
+      }
+      return row;
+    };
+    slab.ghost_above = grid_row(slab.first_row - 1);
+    slab.ghost_below = grid_row(slab.first_row + plan->slab_rows);
+  }
+
+  switch (variant) {
+    case JacobiVariant::kDsc:
+      rt.inject(0, "JacobiCarrier", detail::dsc_agent, plan.get());
+      break;
+    case JacobiVariant::kPipelined:
+      // Sweep 0 may compute immediately: ghosts hold the initial state.
+      for (int p = 0; p + 1 < plan->pes; ++p) {
+        rt.pre_signal(p, detail::wg_ghost_ready(p));
+      }
+      for (int t = 0; t < cfg.sweeps; ++t) {
+        rt.inject(0, "East(" + std::to_string(t) + ")", detail::east_agent,
+                  plan.get());
+      }
+      break;
+    case JacobiVariant::kDataflow:
+      for (int p = 0; p < plan->pes; ++p) {
+        if (p > 0) rt.pre_signal(p, detail::wa_ghost_ready(p));
+        if (p + 1 < plan->pes) rt.pre_signal(p, detail::wg_ghost_ready(p));
+        rt.inject(p, "Sweeper(" + std::to_string(p) + ")",
+                  detail::dataflow_agent, plan.get());
+      }
+      break;
+  }
+  rt.run();
+
+  // Gather the final grid (boundary rows come from the initial state).
+  JacobiGrid result = initial;
+  for (int p = 0; p < plan->pes; ++p) {
+    const Slab& slab = rt.node_store(p).get<Slab>();
+    for (int r = 0; r < plan->slab_rows; ++r) {
+      for (int c = 0; c < cfg.cols; ++c) {
+        result.at(slab.first_row + r, c) =
+            slab.rows[static_cast<std::size_t>(r)]
+                     [static_cast<std::size_t>(c)];
+      }
+    }
+  }
+  if (stats != nullptr) {
+    stats->seconds = engine.finish_time();
+    stats->hops = rt.hop_count();
+  }
+  return result;
+}
+
+}  // namespace navcpp::apps

@@ -1,0 +1,213 @@
+// A second case study: incremental parallelization of Jacobi iteration
+// (5-point stencil / heat diffusion) with the NavP transformations.
+//
+// The paper presents its transformations as a general methodology; this
+// module applies them to a different dependence structure.  The grid is
+// decomposed into horizontal slabs of rows, one slab per PE, with ghost
+// rows for the neighbor boundaries:
+//
+//   * Sequential — plain double-buffered sweeps (reference).
+//   * DSC — ONE self-migrating computation performs each sweep: an
+//     eastbound pass computes every slab and refreshes the ghost rows
+//     above (carrying each slab's new bottom row along), then a westbound
+//     pass refreshes the ghost rows below (carrying each slab's new top
+//     row back).  Invariant: before sweep t computes slab p,
+//     ghost_above(p) and ghost_below(p) hold the t-1 boundary rows.
+//   * Pipelined — one EastAgent per sweep, injected in sweep order.  After
+//     updating slab p it locally injects a one-hop GhostCarrier that takes
+//     p's new top row west to refresh ghost_below(p-1) and signal
+//     WG(p-1); the next sweep's EastAgent waits one WG(p) signal before
+//     computing at p.  The cross-sweep dependency is therefore one hop
+//     (slab p at sweep t+1 waits only for slab p+1 at sweep t), so up to
+//     min(P, sweeps) PEs compute concurrently.  (A single westbound
+//     refresher per sweep would re-serialize the sweeps: its full
+//     traversal would make the dependency depth P instead of 1.)
+//
+//   * Dataflow — one *stationary* agent per PE looping over sweeps,
+//     exchanging both ghost rows through one-hop carriers and counting
+//     events.  This is the end point of the methodology for this
+//     dependence structure: the traveling-agent pipeline is limited to
+//     ~P/2 (each sweep at slab p waits for sweep t-1 at p+1, which itself
+//     trails p — a 2-slot wavefront period), while stationary agents
+//     reach ~P.  It is also the paper's closing observation made
+//     executable: for neighbor-synchronous algorithms the NavP view
+//     converges to the SPMD view, with hop+inject playing the role of a
+//     message.
+//
+// Phase shifting does NOT apply here, and that is itself faithful to the
+// paper ("sometimes the dependency among different computations allows
+// different DSC threads to enter the pipeline from different PEs" — here
+// it does not: sweep t at slab p reads sweep t-1's values of both
+// neighbors, so every sweep must enter from the same side and stay behind
+// its predecessor).
+#pragma once
+
+#include <cmath>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "machine/engine.h"
+#include "machine/sim_machine.h"
+#include "navp/runtime.h"
+#include "navp/task.h"
+#include "perfmodel/testbed.h"
+#include "support/error.h"
+
+namespace navcpp::apps {
+
+/// Dense 2-D grid with Dirichlet boundary (row 0, last row, col 0, last
+/// col held fixed).
+struct JacobiGrid {
+  int rows = 0;
+  int cols = 0;
+  std::vector<double> u;
+
+  JacobiGrid() = default;
+  JacobiGrid(int r, int c)
+      : rows(r), cols(c),
+        u(static_cast<std::size_t>(r) * static_cast<std::size_t>(c), 0.0) {
+    NAVCPP_CHECK(r >= 3 && c >= 3, "Jacobi grid needs at least 3x3 points");
+  }
+
+  double& at(int r, int c) {
+    return u[static_cast<std::size_t>(r) * cols + c];
+  }
+  double at(int r, int c) const {
+    return u[static_cast<std::size_t>(r) * cols + c];
+  }
+
+  /// The classical heated-plate setup: top edge at 1, other edges at 0.
+  static JacobiGrid heated_plate(int rows, int cols) {
+    JacobiGrid g(rows, cols);
+    for (int c = 0; c < cols; ++c) g.at(0, c) = 1.0;
+    return g;
+  }
+};
+
+/// One full Jacobi sweep over `g` into `next` (interior points only).
+void jacobi_sweep(const JacobiGrid& g, JacobiGrid& next);
+
+/// Reference solver: `sweeps` double-buffered sweeps.  Returns the final
+/// grid.
+JacobiGrid jacobi_sequential(JacobiGrid g, int sweeps);
+
+/// Modeled time of the sequential solver on the calibrated testbed.
+double jacobi_sequential_seconds(const perfmodel::Testbed& tb, int rows,
+                                 int cols, int sweeps);
+
+struct JacobiConfig {
+  int rows = 256;
+  int cols = 256;
+  int sweeps = 32;
+  perfmodel::Testbed testbed{};
+};
+
+enum class JacobiVariant { kDsc, kPipelined, kDataflow };
+
+inline const char* to_string(JacobiVariant v) {
+  switch (v) {
+    case JacobiVariant::kDsc:
+      return "NavP Jacobi DSC";
+    case JacobiVariant::kPipelined:
+      return "NavP Jacobi pipeline";
+    case JacobiVariant::kDataflow:
+      return "NavP Jacobi dataflow";
+  }
+  return "?";
+}
+
+struct JacobiStats {
+  double seconds = 0.0;
+  std::uint64_t hops = 0;
+};
+
+namespace detail {
+
+/// Node variables: one slab of interior rows plus the two ghost rows.
+struct Slab {
+  int first_row = 0;  ///< global index of the slab's first (interior) row
+  std::vector<std::vector<double>> rows;
+  std::vector<double> ghost_above;
+  std::vector<double> ghost_below;
+  std::vector<std::vector<double>> next;  ///< scratch for double buffering
+};
+
+struct JacobiPlan {
+  JacobiConfig cfg;
+  int pes = 0;
+  int interior_rows = 0;  ///< rows - 2 (updatable rows)
+  int slab_rows = 0;      ///< interior rows per PE
+  std::size_t row_bytes = 0;
+
+  JacobiPlan(const JacobiConfig& c, int pe_count)
+      : cfg(c), pes(pe_count) {
+    NAVCPP_CHECK(c.rows >= 3 && c.cols >= 3, "grid too small");
+    NAVCPP_CHECK(c.sweeps >= 1, "need at least one sweep");
+    interior_rows = c.rows - 2;
+    NAVCPP_CHECK(interior_rows % pe_count == 0,
+                 "interior rows must divide evenly over the PEs");
+    slab_rows = interior_rows / pe_count;
+    row_bytes = static_cast<std::size_t>(c.cols) * sizeof(double);
+  }
+};
+
+/// Per-point stencil cost: 4 adds + 1 multiply + loads, modeled at the
+/// testbed's effective flop rate.
+inline double slab_update_seconds(const JacobiPlan& plan) {
+  const double points = static_cast<double>(plan.slab_rows) *
+                        (plan.cfg.cols - 2);
+  return 6.0 * points / plan.cfg.testbed.flops_per_sec;
+}
+
+/// Compute slab p's new rows from its rows + ghosts (real data).
+void update_slab(Slab& slab);
+
+// Event families (counting).  The produced/consumed pairing mirrors the
+// paper's EP/EC: a ghost deposit signals *_ready; the slab's sweep signals
+// *_consumed after reading, and the next deposit waits for it — without
+// the ack, a fast neighbor can overwrite a ghost row that a slow PE has
+// not read yet (a race the threaded backend actually exposes).
+inline navp::EventKey wg_ghost_ready(int pe) {  // ghost_below(pe) refreshed
+  return navp::EventKey{11, pe, 0};
+}
+inline navp::EventKey wa_ghost_ready(int pe) {  // ghost_above(pe) refreshed
+  return navp::EventKey{12, pe, 0};
+}
+inline navp::EventKey wg_ghost_consumed(int pe) {  // ghost_below(pe) read
+  return navp::EventKey{13, pe, 0};
+}
+inline navp::EventKey wa_ghost_consumed(int pe) {  // ghost_above(pe) read
+  return navp::EventKey{14, pe, 0};
+}
+
+/// Eastbound compute pass of one sweep.  When `pipelined`, waits WG(p)
+/// before each slab and injects the one-hop ghost carriers.
+navp::Task<void> east_pass(navp::Ctx ctx, const JacobiPlan* plan,
+                           bool pipelined);
+
+/// Westbound ghost-refresh pass of one sweep (DSC only: the single agent
+/// refreshes all ghost_below rows itself on the way back).
+navp::Task<void> west_pass(navp::Ctx ctx, const JacobiPlan* plan);
+
+navp::Mission dsc_agent(navp::Ctx ctx, const JacobiPlan* plan);
+navp::Mission east_agent(navp::Ctx ctx, const JacobiPlan* plan);
+/// Carries slab p's new top row one PE west (pipelined variant).
+navp::Mission ghost_carrier(navp::Ctx ctx, const JacobiPlan* plan,
+                            std::vector<double> top_row);
+/// Stationary per-PE agent exchanging both ghosts per sweep (dataflow).
+navp::Mission dataflow_agent(navp::Ctx ctx, const JacobiPlan* plan);
+/// Carries a boundary row one PE in either direction (dataflow variant);
+/// `to_west` selects the ghost slot and event family at the destination.
+navp::Mission dataflow_ghost_carrier(navp::Ctx ctx, int dest, bool to_west,
+                                     std::vector<double> row);
+
+}  // namespace detail
+
+/// Run the distributed Jacobi solver on all PEs of `engine`; returns the
+/// final grid (gathered) and fills `stats`.
+JacobiGrid jacobi_navp(machine::Engine& engine, const JacobiConfig& cfg,
+                       JacobiVariant variant, const JacobiGrid& initial,
+                       JacobiStats* stats = nullptr);
+
+}  // namespace navcpp::apps

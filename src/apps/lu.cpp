@@ -1,0 +1,299 @@
+#include "apps/lu.h"
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "linalg/gemm.h"
+#include "machine/sim_machine.h"
+#include "mm/common.h"
+#include "navp/runtime.h"
+#include "navp/task.h"
+#include "support/rng.h"
+
+namespace navcpp::apps {
+
+namespace {
+
+/// In-place b x b LU without pivoting; L unit-lower and U packed together.
+void lu_inplace(linalg::MatrixView a) {
+  const int n = a.rows();
+  for (int k = 0; k < n; ++k) {
+    NAVCPP_CHECK(std::abs(a(k, k)) > 1e-10,
+                 "lu: vanishing pivot (matrix not LU-factorable without "
+                 "pivoting)");
+    for (int i = k + 1; i < n; ++i) {
+      a(i, k) /= a(k, k);
+      const double lik = a(i, k);
+      for (int j = k + 1; j < n; ++j) a(i, j) -= lik * a(k, j);
+    }
+  }
+}
+
+/// X := X * U^{-1} with U upper-triangular (non-unit diagonal).
+void trsm_right_upper(linalg::MatrixView x, linalg::ConstMatrixView u) {
+  const int m = x.rows();
+  const int n = x.cols();
+  for (int r = 0; r < m; ++r) {
+    for (int j = 0; j < n; ++j) {
+      double sum = x(r, j);
+      for (int k = 0; k < j; ++k) sum -= x(r, k) * u(k, j);
+      x(r, j) = sum / u(j, j);
+    }
+  }
+}
+
+/// X := L^{-1} * X with L unit-lower-triangular.
+void trsm_left_unit_lower(linalg::MatrixView x, linalg::ConstMatrixView l) {
+  const int m = x.rows();
+  const int n = x.cols();
+  for (int j = 0; j < n; ++j) {
+    for (int r = 0; r < m; ++r) {
+      double sum = x(r, j);
+      for (int k = 0; k < r; ++k) sum -= l(r, k) * x(k, j);
+      x(r, j) = sum;
+    }
+  }
+}
+
+/// C -= A * B.
+void gemm_sub(linalg::MatrixView c, linalg::ConstMatrixView a,
+              linalg::ConstMatrixView b) {
+  const int m = c.rows();
+  const int n = c.cols();
+  const int kk = a.cols();
+  for (int i = 0; i < m; ++i) {
+    for (int k = 0; k < kk; ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      for (int j = 0; j < n; ++j) c(i, j) -= aik * b(k, j);
+    }
+  }
+}
+
+}  // namespace
+
+std::pair<linalg::Matrix, linalg::Matrix> lu_sequential(linalg::Matrix a) {
+  NAVCPP_CHECK(a.rows() == a.cols(), "lu_sequential needs a square matrix");
+  const int n = a.rows();
+  lu_inplace(a.view());
+  linalg::Matrix l = linalg::Matrix::identity(n);
+  linalg::Matrix u(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i > j) {
+        l(i, j) = a(i, j);
+      } else {
+        u(i, j) = a(i, j);
+      }
+    }
+  }
+  return {std::move(l), std::move(u)};
+}
+
+linalg::Matrix diagonally_dominant(int order, std::uint64_t seed) {
+  linalg::Matrix m = linalg::Matrix::random(order, order, seed);
+  for (int i = 0; i < order; ++i) {
+    double row_sum = 0.0;
+    for (int j = 0; j < order; ++j) row_sum += std::abs(m(i, j));
+    m(i, i) = row_sum + 1.0;
+  }
+  return m;
+}
+
+double lu_reconstruction_error(const linalg::Matrix& a,
+                               const linalg::Matrix& l,
+                               const linalg::Matrix& u) {
+  return linalg::max_abs_diff(a, linalg::multiply(l, u));
+}
+
+double lu_sequential_seconds(const LuConfig& cfg) {
+  const double n = cfg.order;
+  return (2.0 / 3.0) * n * n * n / cfg.testbed.flops_per_sec;
+}
+
+namespace detail_lu {
+
+/// Node variables: the block-column panels this PE owns, each an
+/// order x block matrix that is factored in place (packed L\U layout).
+struct LuCols {
+  std::unordered_map<int, linalg::Matrix> col;  // keyed by block column j
+};
+
+struct LuPlan {
+  LuConfig cfg;
+  mm::Dist1D dist;
+  LuPlan(const LuConfig& c, int pes) : cfg(c), dist(c.nb(), pes) {}
+};
+
+navp::EventKey es_step_done(int k, int j) {
+  return navp::EventKey{30, k, j};
+}
+
+/// Costs on the calibrated testbed.
+double factor_cost(const LuPlan& plan, int k) {
+  const double b = plan.cfg.block_order;
+  const int below = plan.cfg.nb() - k - 1;
+  // (2/3) b^3 for the diagonal block + b^3 per panel TRSM.
+  return ((2.0 / 3.0) * b * b * b + below * b * b * b) /
+         plan.cfg.testbed.flops_per_sec;
+}
+
+double column_update_cost(const LuPlan& plan, int k) {
+  const double b = plan.cfg.block_order;
+  const int below = plan.cfg.nb() - k - 1;
+  // One TRSM (b^3) + `below` GEMMs (2 b^3 each).
+  return (b * b * b + below * 2.0 * b * b * b) /
+         plan.cfg.testbed.flops_per_sec;
+}
+
+std::size_t panel_bytes(const LuPlan& plan, int k) {
+  const std::size_t b = static_cast<std::size_t>(plan.cfg.block_order);
+  const std::size_t blocks =
+      1 + static_cast<std::size_t>(plan.cfg.nb() - k - 1);
+  return blocks * b * b * sizeof(double);
+}
+
+/// One factorization step: factor column k, then update the trailing
+/// columns.  `pipelined` adds the ES(k-1, j) ordering guards.
+navp::Task<void> lu_step(navp::Ctx ctx, const LuPlan* plan, int k,
+                         bool pipelined) {
+  const int nb = plan->cfg.nb();
+  const int b = plan->cfg.block_order;
+
+  co_await ctx.hop(plan->dist.owner(k), 0);
+  if (pipelined && k > 0) {
+    // Column k must have absorbed update k-1 before factoring.
+    co_await ctx.wait_event(es_step_done(k - 1, k));
+  }
+
+  // --- factor at owner(k); stash L(k,k) and the panel in agent variables.
+  linalg::Matrix diag(b, b);    // packed L\U of A(k,k)
+  linalg::Matrix panel;         // L(k+1.., k), stacked
+  {
+    auto& cols = ctx.node<LuCols>().col;
+    auto it = cols.find(k);
+    NAVCPP_CHECK(it != cols.end(), "block column not resident at owner");
+    linalg::Matrix& colk = it->second;
+    ctx.work("lu-factor", factor_cost(*plan, k), [&] {
+      lu_inplace(colk.window(k * b, 0, b, b));
+      if (k + 1 < nb) {
+        trsm_right_upper(colk.window((k + 1) * b, 0, (nb - k - 1) * b, b),
+                         colk.window(k * b, 0, b, b));
+      }
+    });
+    for (int r = 0; r < b; ++r) {
+      for (int c = 0; c < b; ++c) diag(r, c) = colk(k * b + r, c);
+    }
+    if (k + 1 < nb) {
+      panel = linalg::Matrix((nb - k - 1) * b, b);
+      for (int r = 0; r < (nb - k - 1) * b; ++r) {
+        for (int c = 0; c < b; ++c) panel(r, c) = colk((k + 1) * b + r, c);
+      }
+    }
+  }
+
+  // --- trailing updates, east-bound.
+  for (int j = k + 1; j < nb; ++j) {
+    co_await ctx.hop(plan->dist.owner(j), panel_bytes(*plan, k));
+    if (pipelined && k > 0) {
+      co_await ctx.wait_event(es_step_done(k - 1, j));
+    }
+    auto& cols = ctx.node<LuCols>().col;
+    auto it = cols.find(j);
+    NAVCPP_CHECK(it != cols.end(), "block column not resident at owner");
+    linalg::Matrix& colj = it->second;
+    ctx.work("lu-update", column_update_cost(*plan, k), [&] {
+      // U(k, j) = L(k,k)^{-1} A(k, j)  (diag's strict lower part is L).
+      trsm_left_unit_lower(colj.window(k * b, 0, b, b), diag.view());
+      if (k + 1 < nb) {
+        gemm_sub(colj.window((k + 1) * b, 0, (nb - k - 1) * b, b),
+                 panel.view(), colj.window(k * b, 0, b, b));
+      }
+    });
+    if (pipelined) ctx.signal_event(es_step_done(k, j));
+  }
+}
+
+navp::Mission lu_dsc_agent(navp::Ctx ctx, const LuPlan* plan) {
+  for (int k = 0; k < plan->cfg.nb(); ++k) {
+    co_await lu_step(ctx, plan, k, /*pipelined=*/false);
+  }
+}
+
+navp::Mission lu_panel_carrier(navp::Ctx ctx, const LuPlan* plan, int k) {
+  co_await lu_step(ctx, plan, k, /*pipelined=*/true);
+}
+
+}  // namespace detail_lu
+
+std::pair<linalg::Matrix, linalg::Matrix> lu_navp(machine::Engine& engine,
+                                                  const LuConfig& cfg,
+                                                  LuVariant variant,
+                                                  const linalg::Matrix& a,
+                                                  LuStats* stats) {
+  using detail_lu::LuCols;
+  NAVCPP_CHECK(a.rows() == cfg.order && a.cols() == cfg.order,
+               "lu_navp: matrix does not match the configuration");
+  const auto plan =
+      std::make_unique<detail_lu::LuPlan>(cfg, engine.pe_count());
+  const int nb = cfg.nb();
+  const int b = cfg.block_order;
+
+  navp::Runtime rt(engine);
+  rt.set_hop_state_bytes(cfg.testbed.hop_state_bytes);
+  rt.set_hop_cpu_overhead(cfg.testbed.hop_software_overhead);
+  rt.set_activation_overhead(cfg.testbed.daemon_dispatch_overhead);
+
+  // Distribute the block columns.
+  for (int pe = 0; pe < engine.pe_count(); ++pe) {
+    rt.node_store(pe).emplace<LuCols>();
+  }
+  for (int j = 0; j < nb; ++j) {
+    linalg::Matrix panel(cfg.order, b);
+    for (int r = 0; r < cfg.order; ++r) {
+      for (int c = 0; c < b; ++c) panel(r, c) = a(r, j * b + c);
+    }
+    rt.node_store(plan->dist.owner(j))
+        .get<LuCols>()
+        .col.emplace(j, std::move(panel));
+  }
+
+  if (variant == LuVariant::kDsc) {
+    rt.inject(plan->dist.owner(0), "LuCarrier", detail_lu::lu_dsc_agent,
+              plan.get());
+  } else {
+    for (int k = 0; k < nb; ++k) {
+      rt.inject(plan->dist.owner(k), "Panel(" + std::to_string(k) + ")",
+                detail_lu::lu_panel_carrier, plan.get(), k);
+    }
+  }
+  rt.run();
+
+  // Gather the packed columns into L and U.
+  linalg::Matrix l = linalg::Matrix::identity(cfg.order);
+  linalg::Matrix u(cfg.order, cfg.order);
+  for (int j = 0; j < nb; ++j) {
+    const auto& cols =
+        rt.node_store(plan->dist.owner(j)).get<LuCols>().col;
+    const linalg::Matrix& panel = cols.at(j);
+    for (int r = 0; r < cfg.order; ++r) {
+      for (int c = 0; c < b; ++c) {
+        const int gc = j * b + c;
+        if (r > gc) {
+          l(r, gc) = panel(r, c);
+        } else {
+          u(r, gc) = panel(r, c);
+        }
+      }
+    }
+  }
+  if (stats != nullptr) {
+    stats->seconds = engine.finish_time();
+    stats->hops = rt.hop_count();
+  }
+  return {std::move(l), std::move(u)};
+}
+
+}  // namespace navcpp::apps

@@ -1,0 +1,87 @@
+// A third case study: block LU factorization (right-looking, no pivoting)
+// under the NavP transformations.
+//
+// The matrix is distributed by block-columns over a 1-D PE array (the
+// paper's section 3.1 layout).  Step k factors the diagonal block and the
+// panel below it at owner(k), then updates every trailing column j > k:
+//
+//     A(k,k) = L(k,k) U(k,k)                      (factor, at owner(k))
+//     L(i,k) = A(i,k) U(k,k)^-1        i > k      (panel,  at owner(k))
+//     U(k,j) = L(k,k)^-1 A(k,j)        j > k      (row,    at owner(j))
+//     A(i,j) -= L(i,k) U(k,j)          i,j > k    (update, at owner(j))
+//
+// A PanelCarrier(k) performs step k: it factors at owner(k), then carries
+// {L(k,k), L(i,k)} east, updating each trailing column at its owner.
+//
+//   * DSC       — one carrier performs all steps in sequence.
+//   * Pipelined — one carrier per step; carrier k+1 may not factor column
+//     k+1 before carrier k has updated it (event EU(k+1)), after which it
+//     follows carrier k through the trailing columns.  Work shrinks
+//     triangularly with k, so utilization decays in the drain — a
+//     different pipeline shape from matmul's rectangular one.
+//
+// Phase shifting is inapplicable: the k-chain orders every column's
+// updates (carrier k's visit to column j must precede carrier k+1's), so
+// no carrier may enter the pipeline elsewhere — the planner's condition
+// fails exactly as in the Jacobi sweep chain.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "machine/engine.h"
+#include "perfmodel/testbed.h"
+#include "support/error.h"
+
+namespace navcpp::apps {
+
+/// In-place dense LU without pivoting: returns {L (unit diagonal), U}.
+/// Requires a matrix whose leading minors are well conditioned (e.g.
+/// diagonally dominant); checked via a pivot-magnitude guard.
+std::pair<linalg::Matrix, linalg::Matrix> lu_sequential(linalg::Matrix a);
+
+/// Make a deterministic, diagonally dominant test matrix.
+linalg::Matrix diagonally_dominant(int order, std::uint64_t seed);
+
+/// Reconstruction error ||A - L U||_max (validation helper).
+double lu_reconstruction_error(const linalg::Matrix& a,
+                               const linalg::Matrix& l,
+                               const linalg::Matrix& u);
+
+struct LuConfig {
+  int order = 256;
+  int block_order = 64;
+  perfmodel::Testbed testbed{};
+
+  int nb() const {
+    NAVCPP_CHECK(order % block_order == 0,
+                 "order must be a multiple of block_order");
+    return order / block_order;
+  }
+};
+
+enum class LuVariant { kDsc, kPipelined };
+
+inline const char* to_string(LuVariant v) {
+  return v == LuVariant::kDsc ? "NavP LU DSC" : "NavP LU pipeline";
+}
+
+struct LuStats {
+  double seconds = 0.0;
+  std::uint64_t hops = 0;
+};
+
+/// Distributed block LU on the PEs of `engine` (block-columns over a 1-D
+/// array).  Returns {L, U} gathered; fills `stats` when given.
+std::pair<linalg::Matrix, linalg::Matrix> lu_navp(machine::Engine& engine,
+                                                  const LuConfig& cfg,
+                                                  LuVariant variant,
+                                                  const linalg::Matrix& a,
+                                                  LuStats* stats = nullptr);
+
+/// Modeled sequential time: sum of the factor/panel/update flop costs on
+/// the calibrated testbed (~(2/3) N^3 flops total).
+double lu_sequential_seconds(const LuConfig& cfg);
+
+}  // namespace navcpp::apps

@@ -1,0 +1,108 @@
+#include "harness/experiments.h"
+
+#include <vector>
+
+#include "machine/sim_machine.h"
+#include "mm/gentleman_mm.h"
+#include "mm/navp_mm_1d.h"
+#include "mm/navp_mm_2d.h"
+#include "mm/sequential_mm.h"
+#include "mm/summa_mm.h"
+#include "mm/summa_mm_1d.h"
+#include "perfmodel/curvefit.h"
+
+namespace navcpp::harness {
+
+using linalg::BlockGrid;
+using linalg::PhantomStorage;
+
+namespace {
+
+mm::MmConfig configure(const mm::MmConfig& base, int order, int block) {
+  mm::MmConfig cfg = base;
+  cfg.order = order;
+  cfg.block_order = block;
+  return cfg;
+}
+
+}  // namespace
+
+Measured1D measure_1d_row(int order, int block, int pes,
+                          const mm::MmConfig& base) {
+  const mm::MmConfig cfg = configure(base, order, block);
+  BlockGrid<PhantomStorage> a(order, block), b(order, block);
+
+  Measured1D row;
+  row.order = order;
+  row.block = block;
+  row.seq_in_core = mm::sequential_mm_seconds_in_core(cfg);
+  row.seq_actual = mm::sequential_mm_seconds(cfg);
+
+  auto run1d = [&](mm::Navp1dVariant v) {
+    machine::SimMachine m(pes, cfg.testbed.lan);
+    BlockGrid<PhantomStorage> c(order, block);
+    return mm::navp_mm_1d(m, cfg, v, a, b, c).seconds;
+  };
+  row.dsc = run1d(mm::Navp1dVariant::kDsc);
+  row.pipe = run1d(mm::Navp1dVariant::kPipelined);
+  row.phase = run1d(mm::Navp1dVariant::kPhaseShifted);
+  {
+    machine::SimMachine m(pes, cfg.testbed.lan);
+    BlockGrid<PhantomStorage> c(order, block);
+    row.summa = mm::summa_mm_1d(m, cfg, a, b, c).seconds;
+  }
+  return row;
+}
+
+Measured2D measure_2d_row(int order, int block, int grid,
+                          const mm::MmConfig& base) {
+  const mm::MmConfig cfg = configure(base, order, block);
+  BlockGrid<PhantomStorage> a(order, block), b(order, block);
+
+  Measured2D row;
+  row.order = order;
+  row.block = block;
+  row.seq_in_core = mm::sequential_mm_seconds_in_core(cfg);
+  row.seq_actual = mm::sequential_mm_seconds(cfg);
+
+  auto run2d = [&](mm::Navp2dVariant v) {
+    machine::SimMachine m(grid * grid, cfg.testbed.lan);
+    BlockGrid<PhantomStorage> c(order, block);
+    return mm::navp_mm_2d(m, cfg, v, a, b, c).seconds;
+  };
+  row.dsc = run2d(mm::Navp2dVariant::kDsc);
+  row.pipe = run2d(mm::Navp2dVariant::kPipelined);
+  row.phase = run2d(mm::Navp2dVariant::kPhaseShifted);
+  {
+    machine::SimMachine m(grid * grid, cfg.testbed.lan);
+    BlockGrid<PhantomStorage> c(order, block);
+    row.mpi = mm::gentleman_mm(m, cfg, mm::StaggerMode::kDirect, a, b, c)
+                  .seconds;
+  }
+  {
+    machine::SimMachine m(grid * grid, cfg.testbed.lan);
+    BlockGrid<PhantomStorage> c(order, block);
+    row.summa = mm::summa_mm(m, cfg, a, b, c).seconds;
+  }
+  return row;
+}
+
+double curve_fit_sequential(const mm::MmConfig& base,
+                            const std::vector<int>& sample_orders,
+                            int target_order) {
+  std::vector<double> xs, ys;
+  xs.reserve(sample_orders.size());
+  ys.reserve(sample_orders.size());
+  for (int n : sample_orders) {
+    mm::MmConfig cfg = base;
+    cfg.order = n;
+    xs.push_back(static_cast<double>(n));
+    // Small problems fit in core: the modeled "run" has no paging, exactly
+    // like the paper's small-problem calibration runs.
+    ys.push_back(mm::sequential_mm_seconds(cfg));
+  }
+  const auto fit = perfmodel::polyfit(xs, ys, 3);
+  return perfmodel::polyval(fit, static_cast<double>(target_order));
+}
+
+}  // namespace navcpp::harness

@@ -1,0 +1,51 @@
+// Experiment drivers shared by the table-reproduction benchmarks and tests:
+// each runs one row of a paper table on the simulated testbed (phantom
+// storage at paper scale) and returns the measured virtual times.
+#pragma once
+
+#include "mm/common.h"
+
+namespace navcpp::harness {
+
+/// One measured row of a 1-D experiment (Table 1 / Table 2 layout).
+struct Measured1D {
+  int order = 0;
+  int block = 0;
+  double seq_in_core = 0.0;  ///< modeled in-core sequential seconds
+  double seq_actual = 0.0;   ///< modeled sequential incl. paging (a "run")
+  double dsc = 0.0;
+  double pipe = 0.0;
+  double phase = 0.0;
+  double summa = 0.0;  ///< ScaLAPACK stand-in (column SUMMA)
+};
+
+/// One measured row of a 2-D experiment (Table 3 / Table 4 layout).
+struct Measured2D {
+  int order = 0;
+  int block = 0;
+  double seq_in_core = 0.0;
+  double seq_actual = 0.0;
+  double mpi = 0.0;  ///< Gentleman's algorithm
+  double dsc = 0.0;
+  double pipe = 0.0;
+  double phase = 0.0;
+  double summa = 0.0;  ///< ScaLAPACK stand-in (SUMMA)
+};
+
+/// Run all 1-D variants (+ the ScaLAPACK stand-in) for one (order, block)
+/// on a simulated `pes`-workstation cluster.
+Measured1D measure_1d_row(int order, int block, int pes,
+                          const mm::MmConfig& base);
+
+/// Run all 2-D variants for one (order, block) on a simulated grid x grid
+/// cluster.
+Measured2D measure_2d_row(int order, int block, int grid,
+                          const mm::MmConfig& base);
+
+/// The paper's curve-fit methodology: fit a cubic to modeled sequential
+/// times at `sample_orders` and evaluate it at `target_order`.
+double curve_fit_sequential(const mm::MmConfig& base,
+                            const std::vector<int>& sample_orders,
+                            int target_order);
+
+}  // namespace navcpp::harness

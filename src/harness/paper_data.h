@@ -1,0 +1,108 @@
+// The paper's published measurements (Tables 1-4), used by the benchmark
+// harness to print paper-vs-reproduced comparisons.
+//
+// All times are seconds; speedups are the paper's own (relative to the
+// sequential column, curve-fitted where marked in the paper).
+// A NaN-like sentinel (negative value) marks cells the paper doesn't have.
+#pragma once
+
+#include <vector>
+
+namespace navcpp::harness {
+
+inline constexpr double kNoData = -1.0;
+
+struct PaperRow1D {
+  int order;
+  int block;
+  double seq_s;        ///< sequential time (curve-fitted value if starred)
+  bool seq_fitted;     ///< the paper starred this cell (curve fit)
+  double dsc_s, dsc_su;
+  double pipe_s, pipe_su;
+  double phase_s, phase_su;
+  double scalapack_s, scalapack_su;
+};
+
+/// Table 1: performance on 3 PEs (1-D network).
+inline const std::vector<PaperRow1D>& paper_table1() {
+  static const std::vector<PaperRow1D> rows = {
+      {1536, 128, 65.44, false, 67.22, 0.97, 27.72, 2.36, 24.55, 2.67, 26.80,
+       2.44},
+      {2304, 128, 219.71, false, 229.45, 0.96, 91.03, 2.41, 81.23, 2.70,
+       82.83, 2.65},
+      {3072, 128, 520.30, false, 543.91, 0.96, 205.87, 2.53, 189.50, 2.75,
+       211.45, 2.46},
+      {4608, 128, 1745.94, true, 1809.73, 0.96, 688.18, 2.54, 653.64, 2.67,
+       767.91, 2.27},
+      {5376, 128, 2735.69, true, 2926.24, 0.93, 1151.07, 2.38, 990.05, 2.76,
+       1173.46, 2.33},
+      {6144, 256, 4268.16, true, 4697.32, 0.91, 1811.77, 2.36, 1554.99, 2.74,
+       1984.18, 2.15},
+  };
+  return rows;
+}
+
+struct PaperRow2 {
+  int order;
+  int block;
+  double seq_measured_s;  ///< actual thrashing run (36534.49)
+  double seq_fitted_s;    ///< curve-fitted in-core estimate (13921.50)
+  double dsc_s, dsc_su;
+};
+
+/// Table 2: performance on 8 PEs (out-of-core sequential vs 1D DSC).
+inline const PaperRow2& paper_table2() {
+  static const PaperRow2 row = {9216, 128, 36534.49, 13921.50, 14959.42,
+                                0.93};
+  return row;
+}
+
+struct PaperRow2D {
+  int order;
+  int block;
+  double seq_s;
+  bool seq_fitted;
+  double mpi_s, mpi_su;
+  double dsc_s, dsc_su;
+  double pipe_s, pipe_su;
+  double phase_s, phase_su;
+  double scalapack_s, scalapack_su;
+};
+
+/// Table 3: performance on 2x2 PEs.
+inline const std::vector<PaperRow2D>& paper_table3() {
+  static const std::vector<PaperRow2D> rows = {
+      {1024, 128, 19.49, false, 6.02, 3.24, 7.63, 2.55, 5.88, 3.31, 5.54,
+       3.52, 5.23, 3.73},
+      {2048, 128, 158.51, false, 50.99, 3.11, 50.59, 3.13, 42.61, 3.72, 41.54,
+       3.82, 45.53, 3.48},
+      {3072, 128, 520.30, false, 157.53, 3.30, 158.06, 3.29, 144.09, 3.61,
+       137.39, 3.79, 156.27, 3.33},
+      {4096, 128, 1238.21, true, 367.04, 3.37, 362.73, 3.41, 328.98, 3.76,
+       321.70, 3.85, 417.83, 2.96},
+      {5120, 128, 2373.32, true, 733.91, 3.23, 792.23, 3.00, 757.67, 3.13,
+       624.87, 3.80, 907.16, 2.62},
+  };
+  return rows;
+}
+
+/// Table 4: performance on 3x3 PEs.
+inline const std::vector<PaperRow2D>& paper_table4() {
+  static const std::vector<PaperRow2D> rows = {
+      {1536, 128, 65.44, false, 10.97, 5.97, 13.66, 4.79, 9.18, 7.13, 8.21,
+       7.97, 8.08, 8.10},
+      {2304, 128, 219.71, false, 29.95, 7.34, 39.53, 5.56, 29.93, 7.34, 26.74,
+       8.22, 29.39, 7.48},
+      {3072, 128, 520.30, false, 82.25, 6.33, 86.52, 6.01, 66.94, 7.77, 62.36,
+       8.34, 70.92, 7.34},
+      {4608, 128, 1745.94, true, 241.92, 7.22, 268.41, 6.50, 220.28, 7.93,
+       205.68, 8.49, 255.87, 6.82},
+      {5376, 128, 2735.69, true, 437.27, 6.26, 421.78, 6.49, 360.77, 7.58,
+       323.67, 8.45, 398.50, 6.86},
+      {6144, 256, 4268.16, true, 637.79, 6.69, 745.18, 5.73, 584.85, 7.30,
+       510.29, 8.36, 635.36, 6.72},
+  };
+  return rows;
+}
+
+}  // namespace navcpp::harness

@@ -1,0 +1,74 @@
+#include "harness/text_table.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "support/error.h"
+
+namespace navcpp::harness {
+
+namespace {
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' &&
+        c != '-' && c != '+' && c != 'e' && c != 'x' && c != '*' &&
+        c != '%') {
+      return false;
+    }
+  }
+  return true;
+}
+}  // namespace
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  NAVCPP_CHECK(cells.size() == headers_.size(),
+               "TextTable row has wrong cell count");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::str() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) widths[c] = std::max(widths[c],
+                                                       row[c].size());
+  }
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells, bool numeric_align) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const std::size_t pad = widths[c] - cells[c].size();
+      const bool right = numeric_align && looks_numeric(cells[c]);
+      if (c != 0) os << "  ";
+      if (right) os << std::string(pad, ' ') << cells[c];
+      else os << cells[c] << std::string(pad, ' ');
+    }
+    os << '\n';
+  };
+  emit(headers_, false);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c != 0 ? 2 : 0);
+  }
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row, true);
+  return os.str();
+}
+
+std::string TextTable::num(double v, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << v;
+  return os.str();
+}
+
+std::string TextTable::eng(double v) {
+  std::ostringstream os;
+  os.precision(3);
+  os << v;
+  return os.str();
+}
+
+}  // namespace navcpp::harness

@@ -1,0 +1,31 @@
+// Column-aligned plain-text table rendering for the benchmark harness.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace navcpp::harness {
+
+class TextTable {
+ public:
+  /// Create a table with the given column headers.
+  explicit TextTable(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  /// Append a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with a header underline and two-space column gaps.  Numeric
+  /// cells are right-aligned, text cells left-aligned.
+  std::string str() const;
+
+  /// Format helpers.
+  static std::string num(double v, int precision = 2);
+  static std::string eng(double v);  ///< 1234567 -> "1.23e6" style
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace navcpp::harness

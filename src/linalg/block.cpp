@@ -1,0 +1,40 @@
+#include "linalg/block.h"
+
+namespace navcpp::linalg {
+
+BlockGrid<RealStorage> to_blocks(const Matrix& m, int block_order) {
+  NAVCPP_CHECK(m.rows() == m.cols(), "to_blocks expects a square matrix");
+  BlockGrid<RealStorage> grid(m.rows(), block_order);
+  for (int bi = 0; bi < grid.nb(); ++bi) {
+    for (int bj = 0; bj < grid.nb(); ++bj) {
+      RealBlock& blk = grid.at(bi, bj);
+      const int r0 = bi * block_order;
+      const int c0 = bj * block_order;
+      for (int r = 0; r < blk.rows; ++r) {
+        for (int c = 0; c < blk.cols; ++c) {
+          blk.at(r, c) = m(r0 + r, c0 + c);
+        }
+      }
+    }
+  }
+  return grid;
+}
+
+Matrix from_blocks(const BlockGrid<RealStorage>& grid) {
+  Matrix m(grid.order(), grid.order());
+  for (int bi = 0; bi < grid.nb(); ++bi) {
+    for (int bj = 0; bj < grid.nb(); ++bj) {
+      const RealBlock& blk = grid.at(bi, bj);
+      const int r0 = bi * grid.block_order();
+      const int c0 = bj * grid.block_order();
+      for (int r = 0; r < blk.rows; ++r) {
+        for (int c = 0; c < blk.cols; ++c) {
+          m(r0 + r, c0 + c) = blk.at(r, c);
+        }
+      }
+    }
+  }
+  return m;
+}
+
+}  // namespace navcpp::linalg

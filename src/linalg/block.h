@@ -1,0 +1,168 @@
+// Blocked matrices and the Real/Phantom storage policies.
+//
+// The paper distinguishes "distribution blocks" (the unit of data placement
+// on a PE) from "algorithmic blocks" (the unit of computation and
+// communication; section 3.6).  Our mm/ algorithms manipulate algorithmic
+// blocks held in BlockGrid node variables and carried in agent variables.
+//
+// Storage policies let the same algorithm run with real data (correctness:
+// results are checked against the sequential product) or phantom data
+// (paper-scale timing simulation: a block is just its shape, GEMMs charge
+// the cost model without executing).  A cross-validation test asserts the
+// two produce identical virtual times.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "linalg/gemm.h"
+#include "linalg/matrix.h"
+#include "support/error.h"
+
+namespace navcpp::linalg {
+
+/// A block that owns its elements.
+struct RealBlock {
+  int rows = 0;
+  int cols = 0;
+  std::vector<double> data;  // row-major rows x cols
+
+  RealBlock() = default;
+  RealBlock(int r, int c)
+      : rows(r),
+        cols(c),
+        data(static_cast<std::size_t>(r) * static_cast<std::size_t>(c), 0.0) {}
+
+  double& at(int r, int c) {
+    return data[static_cast<std::size_t>(r) * cols + c];
+  }
+  double at(int r, int c) const {
+    return data[static_cast<std::size_t>(r) * cols + c];
+  }
+
+  MatrixView view() { return MatrixView(data.data(), rows, cols, cols); }
+  ConstMatrixView view() const {
+    return ConstMatrixView(data.data(), rows, cols, cols);
+  }
+};
+
+/// A block that carries only its shape.
+struct PhantomBlock {
+  int rows = 0;
+  int cols = 0;
+
+  PhantomBlock() = default;
+  PhantomBlock(int r, int c) : rows(r), cols(c) {}
+};
+
+struct RealStorage {
+  using Block = RealBlock;
+  static constexpr bool kReal = true;
+
+  static Block make(int rows, int cols) { return Block(rows, cols); }
+
+  /// C += A * B on real data.
+  static void gemm_acc(Block& c, const Block& a, const Block& b) {
+    linalg::gemm_acc(c.view(), a.view(), b.view());
+  }
+
+  /// B := B^T (out-of-place for rectangular blocks).
+  static void transpose(Block& b) {
+    Block t(b.cols, b.rows);
+    for (int r = 0; r < b.rows; ++r) {
+      for (int c = 0; c < b.cols; ++c) t.at(c, r) = b.at(r, c);
+    }
+    b = std::move(t);
+  }
+};
+
+struct PhantomStorage {
+  using Block = PhantomBlock;
+  static constexpr bool kReal = false;
+
+  static Block make(int rows, int cols) { return Block(rows, cols); }
+
+  static void gemm_acc(Block& c, const Block& a, const Block& b) {
+    NAVCPP_CHECK(a.cols == b.rows && c.rows == a.rows && c.cols == b.cols,
+                 "phantom gemm: shape mismatch");
+  }
+
+  static void transpose(Block& b) { std::swap(b.rows, b.cols); }
+};
+
+/// Wire size of a block (identical for both storages: phantom runs charge
+/// the same network costs real runs would).
+template <class Block>
+std::size_t block_wire_bytes(const Block& b) {
+  return static_cast<std::size_t>(b.rows) * static_cast<std::size_t>(b.cols) *
+         sizeof(double);
+}
+
+/// A dense grid of algorithmic blocks, each `block_order` square (edge
+/// blocks may be smaller when the matrix order is not a multiple).
+template <class Storage>
+class BlockGrid {
+ public:
+  using Block = typename Storage::Block;
+
+  BlockGrid() = default;
+
+  /// Grid covering an `order` x `order` matrix with `block_order` blocks.
+  BlockGrid(int order, int block_order)
+      : order_(order), block_order_(block_order) {
+    NAVCPP_CHECK(order >= 1, "matrix order must be positive");
+    NAVCPP_CHECK(block_order >= 1, "block order must be positive");
+    nb_ = (order + block_order - 1) / block_order;
+    blocks_.reserve(static_cast<std::size_t>(nb_) * nb_);
+    for (int bi = 0; bi < nb_; ++bi) {
+      for (int bj = 0; bj < nb_; ++bj) {
+        blocks_.push_back(
+            Storage::make(block_rows(bi), block_cols(bj)));
+      }
+    }
+  }
+
+  int order() const { return order_; }
+  int block_order() const { return block_order_; }
+  /// Number of blocks along one dimension.
+  int nb() const { return nb_; }
+
+  int block_rows(int bi) const {
+    check_index(bi);
+    return std::min(block_order_, order_ - bi * block_order_);
+  }
+  int block_cols(int bj) const {
+    check_index(bj);
+    return std::min(block_order_, order_ - bj * block_order_);
+  }
+
+  Block& at(int bi, int bj) {
+    check_index(bi);
+    check_index(bj);
+    return blocks_[static_cast<std::size_t>(bi) * nb_ + bj];
+  }
+  const Block& at(int bi, int bj) const {
+    check_index(bi);
+    check_index(bj);
+    return blocks_[static_cast<std::size_t>(bi) * nb_ + bj];
+  }
+
+ private:
+  void check_index(int b) const {
+    NAVCPP_CHECK(b >= 0 && b < nb_, "block index out of range");
+  }
+
+  int order_ = 0;
+  int block_order_ = 0;
+  int nb_ = 0;
+  std::vector<Block> blocks_;
+};
+
+/// Split a matrix into a RealStorage grid of algorithmic blocks.
+BlockGrid<RealStorage> to_blocks(const Matrix& m, int block_order);
+
+/// Reassemble a matrix from a RealStorage grid.
+Matrix from_blocks(const BlockGrid<RealStorage>& grid);
+
+}  // namespace navcpp::linalg

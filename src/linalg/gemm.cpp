@@ -1,0 +1,51 @@
+#include "linalg/gemm.h"
+
+namespace navcpp::linalg {
+
+namespace {
+void check_shapes(const MatrixView& c, const ConstMatrixView& a,
+                  const ConstMatrixView& b) {
+  NAVCPP_CHECK(a.cols() == b.rows(),
+               "gemm: inner dimensions disagree (" +
+                   std::to_string(a.cols()) + " vs " +
+                   std::to_string(b.rows()) + ")");
+  NAVCPP_CHECK(c.rows() == a.rows() && c.cols() == b.cols(),
+               "gemm: output shape mismatch");
+}
+}  // namespace
+
+void gemm_acc_naive(MatrixView c, ConstMatrixView a, ConstMatrixView b) {
+  check_shapes(c, a, b);
+  for (int i = 0; i < c.rows(); ++i) {
+    for (int j = 0; j < c.cols(); ++j) {
+      double t = 0.0;
+      for (int k = 0; k < a.cols(); ++k) t += a(i, k) * b(k, j);
+      c(i, j) += t;
+    }
+  }
+}
+
+void gemm_acc(MatrixView c, ConstMatrixView a, ConstMatrixView b) {
+  check_shapes(c, a, b);
+  const int m = c.rows();
+  const int n = c.cols();
+  const int kk = a.cols();
+  for (int i = 0; i < m; ++i) {
+    double* crow = c.data() + static_cast<std::size_t>(i) * c.stride();
+    for (int k = 0; k < kk; ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      const double* brow = b.data() + static_cast<std::size_t>(k) * b.stride();
+      for (int j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+}
+
+Matrix multiply(const Matrix& a, const Matrix& b) {
+  NAVCPP_CHECK(a.cols() == b.rows(), "multiply: inner dimensions disagree");
+  Matrix c(a.rows(), b.cols());
+  gemm_acc(c.view(), a.view(), b.view());
+  return c;
+}
+
+}  // namespace navcpp::linalg

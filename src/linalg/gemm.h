@@ -1,0 +1,32 @@
+// GEMM kernels: C += A * B on views.
+//
+// Two implementations:
+//  * gemm_acc_naive — textbook i-j-k triple loop (the paper's Figure 2 at
+//    kernel granularity); reference for correctness tests.
+//  * gemm_acc — i-k-j loop order with the A(i,k) scalar hoisted, giving
+//    unit-stride inner loops over B and C rows.  This is the kernel every
+//    algorithm in src/mm/ uses, so sequential and parallel versions do
+//    identical arithmetic.
+#pragma once
+
+#include "linalg/matrix.h"
+
+namespace navcpp::linalg {
+
+/// Reference kernel: C += A * B, i-j-k order.
+void gemm_acc_naive(MatrixView c, ConstMatrixView a, ConstMatrixView b);
+
+/// Production kernel: C += A * B, i-k-j order (cache-friendly row access).
+void gemm_acc(MatrixView c, ConstMatrixView a, ConstMatrixView b);
+
+/// Full product helper: returns A * B as a fresh matrix (reference path for
+/// tests and small examples).
+Matrix multiply(const Matrix& a, const Matrix& b);
+
+/// Flop count of one C(m,n) += A(m,k) * B(k,n) accumulation.
+inline double gemm_flops(int m, int n, int k) {
+  return 2.0 * static_cast<double>(m) * static_cast<double>(n) *
+         static_cast<double>(k);
+}
+
+}  // namespace navcpp::linalg

@@ -1,0 +1,26 @@
+#include "linalg/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace navcpp::linalg {
+
+double max_abs_diff(const Matrix& a, const Matrix& b) {
+  NAVCPP_CHECK(a.rows() == b.rows() && a.cols() == b.cols(),
+               "max_abs_diff: shape mismatch");
+  double worst = 0.0;
+  for (int r = 0; r < a.rows(); ++r) {
+    for (int c = 0; c < a.cols(); ++c) {
+      worst = std::max(worst, std::abs(a(r, c) - b(r, c)));
+    }
+  }
+  return worst;
+}
+
+double frobenius_norm(const Matrix& a) {
+  double sum = 0.0;
+  for (double x : a.flat()) sum += x * x;
+  return std::sqrt(sum);
+}
+
+}  // namespace navcpp::linalg

@@ -1,0 +1,171 @@
+// Dense row-major matrices and views.
+//
+// Matrix owns storage; MatrixView/ConstMatrixView are non-owning strided
+// windows used by the GEMM kernels and by block extraction, so a kernel can
+// run on a sub-matrix without copying (CppCoreGuidelines: prefer spans/views
+// over pointer+size pairs).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace navcpp::linalg {
+
+class ConstMatrixView {
+ public:
+  ConstMatrixView(const double* data, int rows, int cols, int stride)
+      : data_(data), rows_(rows), cols_(cols), stride_(stride) {
+    NAVCPP_CHECK(rows >= 0 && cols >= 0 && stride >= cols,
+                 "invalid matrix view shape");
+  }
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int stride() const { return stride_; }
+  const double* data() const { return data_; }
+
+  double operator()(int r, int c) const {
+    return data_[static_cast<std::size_t>(r) * stride_ + c];
+  }
+
+  /// Sub-window of this view.
+  ConstMatrixView window(int r0, int c0, int rows, int cols) const {
+    NAVCPP_CHECK(r0 >= 0 && c0 >= 0 && r0 + rows <= rows_ &&
+                     c0 + cols <= cols_,
+                 "view window out of bounds");
+    return ConstMatrixView(
+        data_ + static_cast<std::size_t>(r0) * stride_ + c0, rows, cols,
+        stride_);
+  }
+
+ private:
+  const double* data_;
+  int rows_, cols_, stride_;
+};
+
+class MatrixView {
+ public:
+  MatrixView(double* data, int rows, int cols, int stride)
+      : data_(data), rows_(rows), cols_(cols), stride_(stride) {
+    NAVCPP_CHECK(rows >= 0 && cols >= 0 && stride >= cols,
+                 "invalid matrix view shape");
+  }
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int stride() const { return stride_; }
+  double* data() const { return data_; }
+
+  double& operator()(int r, int c) const {
+    return data_[static_cast<std::size_t>(r) * stride_ + c];
+  }
+
+  MatrixView window(int r0, int c0, int rows, int cols) const {
+    NAVCPP_CHECK(r0 >= 0 && c0 >= 0 && r0 + rows <= rows_ &&
+                     c0 + cols <= cols_,
+                 "view window out of bounds");
+    return MatrixView(data_ + static_cast<std::size_t>(r0) * stride_ + c0,
+                      rows, cols, stride_);
+  }
+
+  operator ConstMatrixView() const {  // NOLINT(google-explicit-constructor)
+    return ConstMatrixView(data_, rows_, cols_, stride_);
+  }
+
+ private:
+  double* data_;
+  int rows_, cols_, stride_;
+};
+
+/// Owning dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(int rows, int cols)
+      : rows_(rows),
+        cols_(cols),
+        data_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols),
+              0.0) {
+    NAVCPP_CHECK(rows >= 0 && cols >= 0, "negative matrix dimensions");
+  }
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(int r, int c) {
+    return data_[static_cast<std::size_t>(r) * cols_ + c];
+  }
+  double operator()(int r, int c) const {
+    return data_[static_cast<std::size_t>(r) * cols_ + c];
+  }
+
+  /// Bounds-checked access (tests, examples).
+  double& at(int r, int c) {
+    NAVCPP_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_,
+                 "matrix index out of bounds");
+    return (*this)(r, c);
+  }
+  double at(int r, int c) const {
+    NAVCPP_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_,
+                 "matrix index out of bounds");
+    return (*this)(r, c);
+  }
+
+  MatrixView view() { return MatrixView(data_.data(), rows_, cols_, cols_); }
+  ConstMatrixView view() const {
+    return ConstMatrixView(data_.data(), rows_, cols_, cols_);
+  }
+  MatrixView window(int r0, int c0, int rows, int cols) {
+    return view().window(r0, c0, rows, cols);
+  }
+  ConstMatrixView window(int r0, int c0, int rows, int cols) const {
+    return view().window(r0, c0, rows, cols);
+  }
+
+  std::span<const double> flat() const { return data_; }
+  std::span<double> flat() { return data_; }
+
+  void fill(double v) { data_.assign(data_.size(), v); }
+
+  friend bool operator==(const Matrix&, const Matrix&) = default;
+
+  // --- factories ---------------------------------------------------------
+  static Matrix zeros(int n) { return Matrix(n, n); }
+  static Matrix identity(int n) {
+    Matrix m(n, n);
+    for (int i = 0; i < n; ++i) m(i, i) = 1.0;
+    return m;
+  }
+  /// Uniform entries in [-1, 1), deterministic in `seed`.
+  static Matrix random(int rows, int cols, std::uint64_t seed) {
+    Matrix m(rows, cols);
+    support::Rng rng(seed);
+    for (auto& x : m.data_) x = rng.uniform(-1.0, 1.0);
+    return m;
+  }
+  /// m(i,j) = base + i*cols + j — handy for pinpointing layout bugs.
+  static Matrix iota(int rows, int cols, double base = 0.0) {
+    Matrix m(rows, cols);
+    double v = base;
+    for (auto& x : m.data_) x = v++;
+    return m;
+  }
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Largest absolute element-wise difference (for approximate comparisons).
+double max_abs_diff(const Matrix& a, const Matrix& b);
+
+/// Frobenius norm.
+double frobenius_norm(const Matrix& a);
+
+}  // namespace navcpp::linalg

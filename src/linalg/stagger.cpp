@@ -1,0 +1,161 @@
+#include "linalg/stagger.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace navcpp::linalg {
+
+namespace {
+void check_permutation(const std::vector<int>& perm) {
+  const int n = static_cast<int>(perm.size());
+  std::vector<bool> seen(perm.size(), false);
+  for (int x : perm) {
+    NAVCPP_CHECK(x >= 0 && x < n, "permutation value out of range");
+    NAVCPP_CHECK(!seen[static_cast<std::size_t>(x)],
+                 "duplicate value: not a permutation");
+    seen[static_cast<std::size_t>(x)] = true;
+  }
+}
+}  // namespace
+
+bool is_involution(const std::vector<int>& perm) {
+  check_permutation(perm);
+  for (std::size_t x = 0; x < perm.size(); ++x) {
+    if (perm[static_cast<std::size_t>(perm[x])] != static_cast<int>(x)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<int> cycle_lengths(const std::vector<int>& perm) {
+  check_permutation(perm);
+  std::vector<bool> seen(perm.size(), false);
+  std::vector<int> lengths;
+  for (std::size_t start = 0; start < perm.size(); ++start) {
+    if (seen[start]) continue;
+    int len = 0;
+    std::size_t x = start;
+    while (!seen[x]) {
+      seen[x] = true;
+      ++len;
+      x = static_cast<std::size_t>(perm[x]);
+    }
+    lengths.push_back(len);
+  }
+  std::sort(lengths.begin(), lengths.end(), std::greater<>());
+  return lengths;
+}
+
+int min_comm_phases(const std::vector<int>& perm) {
+  int phases = 0;
+  for (int len : cycle_lengths(perm)) {
+    int need = 0;
+    if (len == 1) {
+      need = 0;  // message to self: pointer swap, no network
+    } else if (len % 2 == 0) {
+      need = 2;  // even cycle: 2-edge-colorable
+    } else {
+      need = 3;  // odd cycle: needs a third phase
+    }
+    phases = std::max(phases, need);
+  }
+  return phases;
+}
+
+std::vector<int> forward_row_permutation(int i, int n) {
+  std::vector<int> perm(static_cast<std::size_t>(n));
+  for (int k = 0; k < n; ++k) {
+    perm[static_cast<std::size_t>(k)] = forward_stagger_col(i, k, n);
+  }
+  return perm;
+}
+
+std::vector<int> reverse_row_permutation(int i, int n) {
+  std::vector<int> perm(static_cast<std::size_t>(n));
+  for (int k = 0; k < n; ++k) {
+    perm[static_cast<std::size_t>(k)] = reverse_stagger_col(i, k, n);
+  }
+  return perm;
+}
+
+std::vector<int> schedule_comm_phases(const std::vector<int>& perm) {
+  check_permutation(perm);
+  const std::size_t n = perm.size();
+  std::vector<int> schedule(n, kNoMessage);
+  std::vector<bool> seen(n, false);
+  for (std::size_t start = 0; start < n; ++start) {
+    if (seen[start]) continue;
+    // Collect the cycle through `start`.
+    std::vector<std::size_t> cycle;
+    std::size_t x = start;
+    while (!seen[x]) {
+      seen[x] = true;
+      cycle.push_back(x);
+      x = static_cast<std::size_t>(perm[x]);
+    }
+    if (cycle.size() == 1) continue;  // fixed point: no message
+    // Edge-color the cycle: alternate phases 0/1 along it; an odd cycle
+    // needs phase 2 for its closing edge (adjacent to both phase-0 and
+    // phase-1 edges at the shared vertices).
+    for (std::size_t k = 0; k < cycle.size(); ++k) {
+      const bool closing = (k + 1 == cycle.size());
+      int phase = static_cast<int>(k % 2);
+      if (closing && cycle.size() % 2 == 1) phase = 2;
+      schedule[cycle[k]] = phase;
+    }
+  }
+  return schedule;
+}
+
+int validate_comm_schedule(const std::vector<int>& perm,
+                           const std::vector<int>& schedule) {
+  check_permutation(perm);
+  NAVCPP_CHECK(schedule.size() == perm.size(),
+               "schedule/permutation size mismatch");
+  int phases = 0;
+  for (std::size_t p = 0; p < perm.size(); ++p) {
+    const bool fixed = perm[p] == static_cast<int>(p);
+    NAVCPP_CHECK(fixed == (schedule[p] == kNoMessage),
+                 "schedule must mark exactly the fixed points as silent");
+    if (schedule[p] != kNoMessage) {
+      NAVCPP_CHECK(schedule[p] >= 0, "negative phase");
+      phases = std::max(phases, schedule[p] + 1);
+    }
+  }
+  // Half-duplex feasibility: within a phase, each PE is an endpoint of at
+  // most one message.
+  for (int phase = 0; phase < phases; ++phase) {
+    std::vector<int> endpoint_uses(perm.size(), 0);
+    for (std::size_t p = 0; p < perm.size(); ++p) {
+      if (schedule[p] != phase) continue;
+      ++endpoint_uses[p];
+      ++endpoint_uses[static_cast<std::size_t>(perm[p])];
+    }
+    for (std::size_t p = 0; p < perm.size(); ++p) {
+      NAVCPP_CHECK(endpoint_uses[p] <= 1,
+                   "PE " + std::to_string(p) +
+                       " is an endpoint of two messages in phase " +
+                       std::to_string(phase));
+    }
+  }
+  return phases;
+}
+
+int forward_stagger_phases(int n) {
+  int worst = 0;
+  for (int i = 0; i < n; ++i) {
+    worst = std::max(worst, min_comm_phases(forward_row_permutation(i, n)));
+  }
+  return worst;
+}
+
+int reverse_stagger_phases(int n) {
+  int worst = 0;
+  for (int i = 0; i < n; ++i) {
+    worst = std::max(worst, min_comm_phases(reverse_row_permutation(i, n)));
+  }
+  return worst;
+}
+
+}  // namespace navcpp::linalg

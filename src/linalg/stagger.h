@@ -1,0 +1,86 @@
+// Initial-staggering utilities and the communication-phase analysis behind
+// the paper's section 5, point 3:
+//
+//   "reverse staggering never requires more than two communication phases,
+//    while forward staggering often requires three."
+//
+// Forward staggering (Gentleman, Cannon) shifts row i of A west by i and
+// column j of B north by j: within each row/column that is a cyclic shift
+// of the PEs.  Reverse staggering (NavP) both shifts and reverses the
+// order: the resulting permutation is an involution (all cycles have length
+// <= 2).
+//
+// Phase model: half-duplex NICs — in one communication phase a PE can be an
+// endpoint of at most one message (sender or receiver); messages to self
+// are free.  The messages of a permutation form its functional graph, whose
+// cycles must be edge-colored: a fixed point needs 0 phases, any even cycle
+// (including a 2-cycle, i.e. an exchange) needs 2, and an odd cycle needs 3.
+// Hence involutions (reverse staggering) need at most 2 phases, while
+// cyclic shifts of odd cycle length (forward staggering) need 3.
+#pragma once
+
+#include <vector>
+
+#include "support/error.h"
+
+namespace navcpp::linalg {
+
+/// Gentleman/Cannon forward staggering: A(i,k) moves to column (k - i) mod N.
+inline int forward_stagger_col(int i, int k, int n) {
+  return ((k - i) % n + n) % n;
+}
+
+/// Forward staggering of B: B(k,j) moves to row (k - j) mod N.
+inline int forward_stagger_row(int k, int j, int n) {
+  return ((k - j) % n + n) % n;
+}
+
+/// NavP reverse staggering: A(i,k) starts at column (N-1-i-k) mod N — the
+/// chain is shifted *and* reverse-ordered (see Figure 12 and the ACarrier
+/// itinerary of Figure 13).
+inline int reverse_stagger_col(int i, int k, int n) {
+  return ((n - 1 - i - k) % n + n) % n;
+}
+
+/// Reverse staggering of B: B(k,j) starts at row (N-1-j-k) mod N.
+inline int reverse_stagger_row(int k, int j, int n) {
+  return ((n - 1 - j - k) % n + n) % n;
+}
+
+/// True if perm(perm(x)) == x for all x.
+bool is_involution(const std::vector<int>& perm);
+
+/// Cycle lengths of a permutation, largest first.
+std::vector<int> cycle_lengths(const std::vector<int>& perm);
+
+/// Minimum communication phases to realize `perm` (PE p sends to perm[p])
+/// under the half-duplex model described above.
+int min_comm_phases(const std::vector<int>& perm);
+
+/// The column permutation forward staggering applies to row `i` of A on an
+/// N-PE row: perm[k] = (k - i) mod N.
+std::vector<int> forward_row_permutation(int i, int n);
+
+/// The column permutation reverse staggering applies to row `i` of A:
+/// perm[k] = (N-1-i-k) mod N.
+std::vector<int> reverse_row_permutation(int i, int n);
+
+/// Worst-case phases over all rows (and by symmetry, columns) of an N x N
+/// staggering, for each scheme.
+int forward_stagger_phases(int n);
+int reverse_stagger_phases(int n);
+
+/// A concrete schedule realizing a permutation: schedule[p] is the phase
+/// (0-based) in which PE p transmits to perm[p]; kNoMessage for fixed
+/// points.  The returned schedule is feasible (within a phase no PE is an
+/// endpoint of two messages) and uses exactly min_comm_phases(perm)
+/// phases — a constructive witness for the bound.
+inline constexpr int kNoMessage = -1;
+std::vector<int> schedule_comm_phases(const std::vector<int>& perm);
+
+/// Validate feasibility of a schedule for `perm` under the half-duplex
+/// model; returns the number of phases used (max entry + 1).
+int validate_comm_schedule(const std::vector<int>& perm,
+                           const std::vector<int>& schedule);
+
+}  // namespace navcpp::linalg

@@ -1,0 +1,83 @@
+// Engine: the execution substrate shared by the NavP runtime and mini-MPI.
+//
+// An Engine is a set of PEs (processing elements), each of which executes
+// posted actions one at a time (a PE is a single-threaded executor).  All
+// cross-PE interaction goes through transmit(), which models/performs the
+// shipment of bytes across the interconnect.  Two implementations exist:
+//
+//  * ThreadedMachine — one OS thread per PE, real concurrency, wall-clock
+//    time.  Used for functional verification and real-machine benchmarks.
+//  * SimMachine — deterministic discrete-event simulation with virtual
+//    per-PE clocks and a calibrated network model.  Used to regenerate the
+//    paper's experiments at paper scale.
+//
+// The "PE executes one action at a time" rule is what makes NavP node
+// variables and events race-free by construction: they are only ever touched
+// by the computation currently resident on that PE (MESSENGERS semantics).
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <string>
+
+#include "support/move_function.h"
+
+namespace navcpp::machine {
+
+class Engine {
+ public:
+  virtual ~Engine() = default;
+
+  /// Number of PEs in this machine.
+  virtual int pe_count() const = 0;
+
+  /// Enqueue `action` to run on `pe`.  Safe to call before run() (initial
+  /// injections) and from within actions (including actions on other PEs in
+  /// the threaded backend).
+  virtual void post(int pe, support::MoveFunction action) = 0;
+
+  /// Ship `bytes` from `src` to `dst`; execute `on_delivery` on `dst` once
+  /// the message arrives.  In the simulated backend this advances through
+  /// the network model; in the threaded backend delivery is immediate.
+  virtual void transmit(int src, int dst, std::size_t bytes,
+                        support::MoveFunction on_delivery) = 0;
+
+  /// Charge `seconds` of compute time to `pe`.  Advances the virtual clock
+  /// in the simulated backend; a no-op in the threaded backend (where real
+  /// computation takes real time).
+  virtual void charge(int pe, double seconds) = 0;
+
+  /// Current time at `pe`: virtual seconds (simulated) or wall-clock seconds
+  /// since run() started (threaded).
+  virtual double now(int pe) const = 0;
+
+  /// Completion time of the whole run: max over PE clocks (simulated) or
+  /// wall-clock duration of run() (threaded).  Valid after run() returns.
+  virtual double finish_time() const = 0;
+
+  // --- Quiescence bookkeeping -------------------------------------------
+  // Long-lived logical tasks (NavP agents, MPI rank programs) register here;
+  // run() returns when every registered task has finished and no actions
+  // remain.  A task that blocks forever (event never signaled, message never
+  // sent) produces a DeadlockError carrying the blocked_report().
+
+  virtual void task_started() = 0;
+  virtual void task_finished() = 0;
+
+  /// Install a callback that describes currently-blocked tasks, used to
+  /// produce actionable deadlock diagnostics.  The callback is invoked only
+  /// when the machine has already stalled (no concurrent mutation).
+  virtual void set_blocked_reporter(std::function<std::string()> reporter) = 0;
+
+  /// Record a fatal error and stop the machine as soon as possible; run()
+  /// rethrows the first recorded error.  Noexcept so it can be called from
+  /// coroutine final-suspend paths.
+  virtual void fail(std::exception_ptr error) noexcept = 0;
+
+  /// Drive the machine until quiescence.  Rethrows the first exception an
+  /// action raised; throws support::DeadlockError on a stall.
+  virtual void run() = 0;
+};
+
+}  // namespace navcpp::machine

@@ -1,0 +1,100 @@
+#include "machine/sim_machine.h"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "support/error.h"
+
+namespace navcpp::machine {
+
+SimMachine::SimMachine(int pe_count, net::LinkParams link)
+    : network_(pe_count, link),
+      clock_(static_cast<std::size_t>(pe_count), sim::kTimeZero),
+      busy_(static_cast<std::size_t>(pe_count), 0.0) {
+  NAVCPP_CHECK(pe_count >= 1, "SimMachine needs at least one PE");
+}
+
+void SimMachine::check_pe(int pe) const {
+  NAVCPP_CHECK(pe >= 0 && pe < pe_count(),
+               "PE id " + std::to_string(pe) + " out of range [0, " +
+                   std::to_string(pe_count()) + ")");
+}
+
+void SimMachine::post(int pe, support::MoveFunction action) {
+  check_pe(pe);
+  const sim::Time when = clock_[static_cast<std::size_t>(pe)];
+  // The wrapper pins the event to its PE: on execution the PE clock jumps
+  // to the later of (event time, current PE clock) — the PE may still be
+  // busy with an earlier action when this event "arrives".
+  queue_.schedule(
+      when, [this, pe, when, action = std::move(action)]() mutable {
+        auto& clk = clock_[static_cast<std::size_t>(pe)];
+        clk = std::max(clk, when);
+        action();
+      });
+}
+
+void SimMachine::transmit(int src, int dst, std::size_t bytes,
+                          support::MoveFunction on_delivery) {
+  check_pe(src);
+  check_pe(dst);
+  auto& src_clk = clock_[static_cast<std::size_t>(src)];
+  const net::Transfer tr = network_.admit(src, dst, bytes, src_clk);
+  // Sender CPU is occupied until the message is handed to the NIC.
+  busy_[static_cast<std::size_t>(src)] += tr.sender_cpu_free - src_clk;
+  src_clk = tr.sender_cpu_free;
+  const sim::Time when = tr.delivered_at;
+  const sim::Duration recv_cost = tr.recv_overhead;
+  queue_.schedule(when, [this, dst, when, recv_cost,
+                         action = std::move(on_delivery)]() mutable {
+    auto& clk = clock_[static_cast<std::size_t>(dst)];
+    clk = std::max(clk, when);
+    charge(dst, recv_cost);
+    action();
+  });
+}
+
+void SimMachine::charge(int pe, double seconds) {
+  check_pe(pe);
+  NAVCPP_CHECK(seconds >= 0.0, "cannot charge negative time");
+  clock_[static_cast<std::size_t>(pe)] += seconds;
+  busy_[static_cast<std::size_t>(pe)] += seconds;
+}
+
+double SimMachine::now(int pe) const {
+  check_pe(pe);
+  return clock_[static_cast<std::size_t>(pe)];
+}
+
+double SimMachine::finish_time() const {
+  return *std::max_element(clock_.begin(), clock_.end());
+}
+
+double SimMachine::busy_time(int pe) const {
+  check_pe(pe);
+  return busy_[static_cast<std::size_t>(pe)];
+}
+
+void SimMachine::run() {
+  while (!queue_.empty() && !error_) {
+    support::MoveFunction action = queue_.pop();
+    action();
+  }
+  ran_ = true;
+  if (error_) {
+    std::exception_ptr e = error_;
+    error_ = nullptr;
+    std::rethrow_exception(e);
+  }
+  if (tasks_live_ > 0) {
+    std::ostringstream os;
+    os << "simulation stalled with " << tasks_live_
+       << " live task(s) and no pending events";
+    if (blocked_reporter_) os << "\n" << blocked_reporter_();
+    throw support::DeadlockError(os.str());
+  }
+}
+
+}  // namespace navcpp::machine

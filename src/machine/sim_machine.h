@@ -1,0 +1,73 @@
+// SimMachine: a deterministic discrete-event simulation of a cluster.
+//
+// Each PE has a virtual clock.  Actions posted to a PE run at
+// max(event arrival time, PE clock) — a PE is busy while an action charges
+// compute to it, so later arrivals queue up behind it, exactly like a real
+// single-core workstation.  Cross-PE messages go through net::NetworkModel,
+// which accounts sender/receiver NIC occupancy, per-message latency, and
+// bandwidth.
+//
+// Determinism: the event queue breaks time ties by insertion sequence, all
+// model arithmetic is plain double, and nothing consults wall-clock or OS
+// scheduling, so a given program produces bit-identical virtual times and
+// traces on every run.
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "machine/engine.h"
+#include "net/link_model.h"
+#include "sim/event_queue.h"
+#include "sim/time.h"
+
+namespace navcpp::machine {
+
+class SimMachine final : public Engine {
+ public:
+  SimMachine(int pe_count, net::LinkParams link = net::LinkParams{});
+
+  int pe_count() const override { return static_cast<int>(clock_.size()); }
+
+  void post(int pe, support::MoveFunction action) override;
+  void transmit(int src, int dst, std::size_t bytes,
+                support::MoveFunction on_delivery) override;
+  void charge(int pe, double seconds) override;
+  double now(int pe) const override;
+  double finish_time() const override;
+
+  void task_started() override { ++tasks_live_; }
+  void task_finished() override { --tasks_live_; }
+  void fail(std::exception_ptr error) noexcept override {
+    if (!error_) error_ = error;
+  }
+  void set_blocked_reporter(std::function<std::string()> reporter) override {
+    blocked_reporter_ = std::move(reporter);
+  }
+
+  void run() override;
+
+  /// The network model (for message/byte statistics in benches).
+  net::NetworkModel& network() { return network_; }
+  const net::NetworkModel& network() const { return network_; }
+
+  /// Total busy (non-idle) virtual seconds accumulated by `pe`.
+  double busy_time(int pe) const;
+
+ private:
+  void check_pe(int pe) const;
+
+  net::NetworkModel network_;
+  sim::EventQueue queue_;
+  std::vector<sim::Time> clock_;
+  std::vector<sim::Duration> busy_;
+  std::int64_t tasks_live_ = 0;
+  bool ran_ = false;
+  std::exception_ptr error_;
+  std::function<std::string()> blocked_reporter_;
+};
+
+}  // namespace navcpp::machine

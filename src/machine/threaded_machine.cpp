@@ -1,0 +1,168 @@
+#include "machine/threaded_machine.h"
+
+#include <chrono>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "support/error.h"
+
+namespace navcpp::machine {
+
+ThreadedMachine::ThreadedMachine(int pe_count) {
+  NAVCPP_CHECK(pe_count >= 1, "ThreadedMachine needs at least one PE");
+  queues_.reserve(static_cast<std::size_t>(pe_count));
+  for (int pe = 0; pe < pe_count; ++pe) {
+    queues_.push_back(
+        std::make_unique<support::MpscQueue<support::MoveFunction>>());
+  }
+}
+
+ThreadedMachine::~ThreadedMachine() {
+  // run() joins its workers; this only guards against a machine destroyed
+  // without ever running (queues may hold unexecuted coroutine starters,
+  // which MoveFunction destroys along with their captures).
+  for (auto& q : queues_) q->close();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+void ThreadedMachine::check_pe(int pe) const {
+  NAVCPP_CHECK(pe >= 0 && pe < pe_count(),
+               "PE id " + std::to_string(pe) + " out of range [0, " +
+                   std::to_string(pe_count()) + ")");
+}
+
+void ThreadedMachine::post(int pe, support::MoveFunction action) {
+  check_pe(pe);
+  queues_[static_cast<std::size_t>(pe)]->push(std::move(action));
+}
+
+void ThreadedMachine::transmit(int src, int dst, std::size_t bytes,
+                               support::MoveFunction on_delivery) {
+  check_pe(src);
+  check_pe(dst);
+  transmitted_messages_.fetch_add(1, std::memory_order_relaxed);
+  transmitted_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  queues_[static_cast<std::size_t>(dst)]->push(std::move(on_delivery));
+}
+
+double ThreadedMachine::now(int pe) const {
+  check_pe(pe);
+  return clock_.seconds();
+}
+
+void ThreadedMachine::task_started() {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  ++tasks_live_;
+}
+
+void ThreadedMachine::task_finished() {
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    --tasks_live_;
+    ++progress_counter_;
+  }
+  state_cv_.notify_all();
+}
+
+void ThreadedMachine::record_exception() {
+  fail(std::current_exception());
+}
+
+void ThreadedMachine::fail(std::exception_ptr error) noexcept {
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    if (!first_exception_) first_exception_ = error;
+    stopping_ = true;
+  }
+  for (auto& q : queues_) q->close();
+  state_cv_.notify_all();
+}
+
+void ThreadedMachine::worker_loop(int pe) {
+  auto& queue = *queues_[static_cast<std::size_t>(pe)];
+  while (true) {
+    std::optional<support::MoveFunction> action = queue.pop_blocking();
+    if (!action.has_value()) return;  // queue closed and drained
+    {
+      // After a failure, drain without executing: MoveFunction destruction
+      // releases captured coroutine frames and payloads.
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      if (stopping_) continue;
+    }
+    try {
+      (*action)();
+    } catch (...) {
+      record_exception();
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      ++progress_counter_;
+    }
+    state_cv_.notify_all();
+  }
+}
+
+void ThreadedMachine::run() {
+  clock_.reset();
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    stopping_ = false;
+    first_exception_ = nullptr;
+  }
+  for (auto& q : queues_) q->reopen();
+  workers_.clear();
+  workers_.reserve(queues_.size());
+  for (int pe = 0; pe < pe_count(); ++pe) {
+    workers_.emplace_back([this, pe] { worker_loop(pe); });
+  }
+
+  bool deadlocked = false;
+  {
+    std::unique_lock<std::mutex> lock(state_mutex_);
+    while (tasks_live_ > 0 && !stopping_) {
+      if (stall_timeout_s_ <= 0.0) {
+        state_cv_.wait(lock);
+        continue;
+      }
+      const std::uint64_t seen = progress_counter_;
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(stall_timeout_s_));
+      state_cv_.wait_until(lock, deadline, [&] {
+        return tasks_live_ == 0 || stopping_ || progress_counter_ != seen;
+      });
+      if (tasks_live_ > 0 && !stopping_ && progress_counter_ == seen) {
+        // No action executed and no task finished for a full timeout window:
+        // every remaining task is blocked.
+        deadlocked = true;
+        break;
+      }
+    }
+  }
+
+  for (auto& q : queues_) q->close();
+  for (auto& w : workers_) w.join();
+  workers_.clear();
+  finish_time_ = clock_.seconds();
+
+  std::exception_ptr eptr;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    eptr = first_exception_;
+  }
+  if (eptr) std::rethrow_exception(eptr);
+  if (deadlocked) {
+    std::ostringstream os;
+    os << "threaded machine stalled with " << tasks_live_
+       << " live task(s); no progress for " << stall_timeout_s_ << "s";
+    if (blocked_reporter_) os << "\n" << blocked_reporter_();
+    throw support::DeadlockError(os.str());
+  }
+}
+
+}  // namespace navcpp::machine

@@ -1,0 +1,97 @@
+// ThreadedMachine: one OS thread per PE, real concurrency.
+//
+// Each PE owns an MPSC run queue; its worker thread executes queued actions
+// strictly one at a time, so PE-confined state (NavP node variables, events,
+// mini-MPI mailboxes) needs no further locking.  transmit() is an immediate
+// enqueue on the destination PE — on a single shared-memory machine there is
+// no network to model, and "migration" is just rescheduling a coroutine on
+// another PE's executor (the byte count still feeds the statistics so the
+// same program can be cost-audited on either backend).
+//
+// Termination: run() returns when every registered task has finished.  An
+// optional stall timeout turns a silent distributed deadlock (all workers
+// idle, live tasks remain, nothing queued) into a DeadlockError carrying the
+// runtime's description of who is blocked on what.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "machine/engine.h"
+#include "support/mpsc_queue.h"
+#include "support/stopwatch.h"
+
+namespace navcpp::machine {
+
+class ThreadedMachine final : public Engine {
+ public:
+  explicit ThreadedMachine(int pe_count);
+  ~ThreadedMachine() override;
+
+  ThreadedMachine(const ThreadedMachine&) = delete;
+  ThreadedMachine& operator=(const ThreadedMachine&) = delete;
+
+  int pe_count() const override { return static_cast<int>(queues_.size()); }
+
+  void post(int pe, support::MoveFunction action) override;
+  void transmit(int src, int dst, std::size_t bytes,
+                support::MoveFunction on_delivery) override;
+  void charge(int /*pe*/, double /*seconds*/) override {}
+  double now(int pe) const override;
+  double finish_time() const override { return finish_time_; }
+
+  void task_started() override;
+  void task_finished() override;
+  void fail(std::exception_ptr error) noexcept override;
+  void set_blocked_reporter(std::function<std::string()> reporter) override {
+    blocked_reporter_ = std::move(reporter);
+  }
+
+  /// If no task finishes and no action executes for this long while tasks
+  /// remain live, run() aborts with DeadlockError.  Zero disables (default).
+  void set_stall_timeout(double seconds) { stall_timeout_s_ = seconds; }
+
+  void run() override;
+
+  /// Total bytes passed to transmit() (both backends expose cost audits).
+  std::uint64_t transmitted_bytes() const {
+    return transmitted_bytes_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t transmitted_messages() const {
+    return transmitted_messages_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void worker_loop(int pe);
+  void check_pe(int pe) const;
+  void record_exception();
+
+  std::vector<std::unique_ptr<support::MpscQueue<support::MoveFunction>>>
+      queues_;
+  std::vector<std::thread> workers_;
+
+  std::mutex state_mutex_;
+  std::condition_variable state_cv_;
+  std::int64_t tasks_live_ = 0;
+  std::uint64_t progress_counter_ = 0;  // bumps on every executed action
+  bool stopping_ = false;
+  std::exception_ptr first_exception_;
+
+  std::function<std::string()> blocked_reporter_;
+  double stall_timeout_s_ = 0.0;
+
+  support::Stopwatch clock_;
+  double finish_time_ = 0.0;
+  std::atomic<std::uint64_t> transmitted_bytes_{0};
+  std::atomic<std::uint64_t> transmitted_messages_{0};
+};
+
+}  // namespace navcpp::machine

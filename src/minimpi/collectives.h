@@ -1,0 +1,129 @@
+// Collective operations over mini-MPI, built from the point-to-point
+// primitives the way early MPI implementations built theirs: linear
+// fan-out/fan-in rooted at a designated rank (the paper's grids are 2x2
+// and 3x3 — trees win nothing at that scale, and the collision-free
+// switch serializes at the root NIC either way).
+//
+// All collectives are Task<>s awaited from rank programs, and every rank
+// of the communicator must call the collective exactly once per matching
+// "round" (tags carry a user-chosen round id so concurrent collectives on
+// disjoint tags cannot cross-match).
+#pragma once
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "minimpi/comm.h"
+#include "navp/task.h"
+
+namespace navcpp::minimpi {
+
+/// Tag bases reserved for the collectives (shifted by the round id).
+inline constexpr Tag kTagBcast = 10 << 20;
+inline constexpr Tag kTagReduce = 11 << 20;
+inline constexpr Tag kTagGather = 12 << 20;
+inline constexpr Tag kTagScatter = 13 << 20;
+inline constexpr Tag kTagAllreduce = 14 << 20;
+
+/// Broadcast `data` from `root` to every rank; each rank's call returns
+/// the broadcast payload.
+inline navp::Task<std::vector<double>> bcast(Comm& comm, int root,
+                                             std::vector<double> data,
+                                             int round = 0) {
+  const Tag tag = kTagBcast + round;
+  if (comm.rank() == root) {
+    for (int r = 0; r < comm.size(); ++r) {
+      if (r != root) comm.send(r, tag, data);
+    }
+    co_return data;
+  }
+  Message msg = co_await comm.recv(root, tag);
+  co_return std::move(msg.data);
+}
+
+/// Element-wise reduction onto `root` with a binary combiner; non-root
+/// ranks receive an empty vector.
+inline navp::Task<std::vector<double>> reduce(
+    Comm& comm, int root, std::vector<double> data,
+    const std::function<double(double, double)>& op, int round = 0) {
+  const Tag tag = kTagReduce + round;
+  if (comm.rank() == root) {
+    std::vector<double> acc = std::move(data);
+    for (int r = 0; r < comm.size(); ++r) {
+      if (r == root) continue;
+      Message msg = co_await comm.recv(r, tag);
+      NAVCPP_CHECK(msg.data.size() == acc.size(),
+                   "reduce: contribution size mismatch");
+      for (std::size_t i = 0; i < acc.size(); ++i) {
+        acc[i] = op(acc[i], msg.data[i]);
+      }
+    }
+    co_return acc;
+  }
+  comm.send(root, tag, std::move(data));
+  co_return std::vector<double>{};
+}
+
+/// Gather every rank's vector onto `root`, concatenated in rank order;
+/// non-root ranks receive an empty vector.
+inline navp::Task<std::vector<double>> gather(Comm& comm, int root,
+                                              std::vector<double> data,
+                                              int round = 0) {
+  const Tag tag = kTagGather + round;
+  if (comm.rank() == root) {
+    std::vector<std::vector<double>> parts(
+        static_cast<std::size_t>(comm.size()));
+    parts[static_cast<std::size_t>(root)] = std::move(data);
+    for (int r = 0; r < comm.size(); ++r) {
+      if (r == root) continue;
+      Message msg = co_await comm.recv(r, tag);
+      parts[static_cast<std::size_t>(r)] = std::move(msg.data);
+    }
+    std::vector<double> all;
+    for (auto& part : parts) {
+      all.insert(all.end(), part.begin(), part.end());
+    }
+    co_return all;
+  }
+  comm.send(root, tag, std::move(data));
+  co_return std::vector<double>{};
+}
+
+/// Scatter equal-sized chunks of root's `data` to every rank (including
+/// the root); each call returns that rank's chunk.
+inline navp::Task<std::vector<double>> scatter(Comm& comm, int root,
+                                               std::vector<double> data,
+                                               int round = 0) {
+  const Tag tag = kTagScatter + round;
+  if (comm.rank() == root) {
+    NAVCPP_CHECK(data.size() % static_cast<std::size_t>(comm.size()) == 0,
+                 "scatter: data must divide evenly over the ranks");
+    const std::size_t chunk = data.size() /
+                              static_cast<std::size_t>(comm.size());
+    for (int r = 0; r < comm.size(); ++r) {
+      if (r == root) continue;
+      std::vector<double> part(
+          data.begin() + static_cast<std::ptrdiff_t>(chunk) * r,
+          data.begin() + static_cast<std::ptrdiff_t>(chunk) * (r + 1));
+      comm.send(r, tag, std::move(part));
+    }
+    co_return std::vector<double>(
+        data.begin() + static_cast<std::ptrdiff_t>(chunk) * root,
+        data.begin() + static_cast<std::ptrdiff_t>(chunk) * (root + 1));
+  }
+  Message msg = co_await comm.recv(root, tag);
+  co_return std::move(msg.data);
+}
+
+/// Reduce onto rank 0 then broadcast: every rank returns the reduction.
+inline navp::Task<std::vector<double>> allreduce(
+    Comm& comm, std::vector<double> data,
+    const std::function<double(double, double)>& op, int round = 0) {
+  std::vector<double> reduced =
+      co_await reduce(comm, 0, std::move(data), op, kTagAllreduce + round);
+  co_return co_await bcast(comm, 0, std::move(reduced),
+                           kTagAllreduce + round);
+}
+
+}  // namespace navcpp::minimpi

@@ -1,0 +1,133 @@
+// Comm: the mini-MPI communicator, our stand-in for the subset of LAM/MPI
+// the paper's SPMD programs (Gentleman's algorithm, Cannon, SUMMA) need.
+//
+// Built *on top of* the NavP runtime, in the spirit of the paper's closing
+// argument that NavP subsumes message passing: an MPI "rank" is a stationary
+// agent pinned on its PE; MPI_Send is a transmit that deposits into the
+// destination's mailbox node variable and signals a node-local event;
+// MPI_Irecv/MPI_Wait await that event and pop the matching message.
+//
+// Semantics (documented differences from full MPI):
+//  * Sends are eager and buffered: they never block on the receiver, so the
+//    blocking-send + nonblocking-recv discipline the paper uses to avoid
+//    deadlock is trivially safe here.
+//  * irecv() only records the match terms; the transfer is not accelerated
+//    by posting early (our network model delivers eagerly regardless), so
+//    wait() is where the rank actually blocks.
+//  * Matching is exact (no ANY_SOURCE / ANY_TAG) and FIFO per (src, tag).
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "minimpi/message.h"
+#include "navp/runtime.h"
+#include "navp/task.h"
+
+namespace navcpp::minimpi {
+
+/// Event-key tag reserved for mailbox notifications.  User event tags in
+/// NavP programs are small non-negative ints; this cannot collide.
+inline constexpr std::int32_t kMailEventTag = -1001;
+/// Tag reserved for barrier traffic.
+inline constexpr Tag kBarrierTag = -7;
+
+/// Handle to a posted non-blocking receive.
+struct Request {
+  int src = -1;
+  Tag tag = 0;
+  bool completed = false;
+};
+
+class Comm {
+ public:
+  /// Wrap the calling rank's agent context.  rank == the PE the agent was
+  /// launched on; ranks must not hop.
+  explicit Comm(navp::Ctx ctx) : ctx_(ctx), rank_(ctx.here()) {}
+
+  int rank() const { return rank_; }
+  int size() const { return ctx_.pe_count(); }
+  navp::Ctx& ctx() { return ctx_; }
+
+  /// Eager buffered send.  `wire_bytes` defaults to the payload size (plus
+  /// a small header); pass it explicitly for phantom-storage runs where
+  /// `data` is empty but the modeled transfer is not.
+  void send(int dst, Tag tag, std::vector<double> data,
+            std::size_t wire_bytes = kAutoBytes) {
+    NAVCPP_CHECK(dst >= 0 && dst < size(),
+                 "send to invalid rank " + std::to_string(dst));
+    if (wire_bytes == kAutoBytes) {
+      wire_bytes = data.size() * sizeof(double) + kHeaderBytes;
+    }
+    navp::Runtime& rt = ctx_.runtime();
+    Message msg{rank_, tag, std::move(data), wire_bytes};
+    rt.engine().transmit(
+        rank_, dst, wire_bytes,
+        [&rt, dst, msg = std::move(msg)]() mutable {
+          // Runs on the destination PE: deposit, then wake a waiter.
+          const int src = msg.src;
+          const Tag tag = msg.tag;
+          rt.node_store(dst).get<Mailbox>().deposit(std::move(msg));
+          rt.signal_on(dst, mail_key(src, tag));
+        });
+  }
+
+  /// Post a non-blocking receive for (src, tag).
+  Request irecv(int src, Tag tag) const {
+    NAVCPP_CHECK(src >= 0 && src < size(),
+                 "irecv from invalid rank " + std::to_string(src));
+    return Request{src, tag, false};
+  }
+
+  /// Complete a posted receive, blocking until the message is available.
+  navp::Task<Message> wait(Request req) {
+    NAVCPP_CHECK(!req.completed, "Request already completed");
+    NAVCPP_CHECK(req.src >= 0, "wait on a default-constructed Request");
+    co_await ctx_.wait_event(mail_key(req.src, req.tag));
+    auto msg = ctx_.node<Mailbox>().pop(req.src, req.tag);
+    NAVCPP_CHECK(msg.has_value(),
+                 "mailbox event fired without a matching message");
+    co_return std::move(*msg);
+  }
+
+  /// Blocking receive: irecv + wait.
+  navp::Task<Message> recv(int src, Tag tag) { return wait(irecv(src, tag)); }
+
+  /// Synchronize all ranks (centralized gather-then-release on rank 0).
+  navp::Task<void> barrier() {
+    if (rank_ == 0) {
+      for (int r = 1; r < size(); ++r) {
+        (void)co_await recv(r, kBarrierTag);
+      }
+      for (int r = 1; r < size(); ++r) {
+        send(r, kBarrierTag, {}, kHeaderBytes);
+      }
+    } else {
+      send(0, kBarrierTag, {}, kHeaderBytes);
+      (void)co_await recv(0, kBarrierTag);
+    }
+  }
+
+  /// Charge modeled compute (forwarding helper so SPMD code reads well).
+  template <class Fn>
+  void work(const char* label, double cost_seconds, Fn&& body) {
+    ctx_.work(label, cost_seconds, std::forward<Fn>(body));
+  }
+
+  static navp::EventKey mail_key(int src, Tag tag) {
+    return navp::EventKey{kMailEventTag, src, tag};
+  }
+
+  static constexpr std::size_t kAutoBytes =
+      std::numeric_limits<std::size_t>::max();
+  static constexpr std::size_t kHeaderBytes = 64;
+
+ private:
+  navp::Ctx ctx_;
+  int rank_;
+};
+
+}  // namespace navcpp::minimpi

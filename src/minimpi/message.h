@@ -1,0 +1,57 @@
+// Message and per-PE mailbox for mini-MPI.
+//
+// Sends are eager and buffered (LAM/MPI-style for the message sizes the
+// paper's algorithms use): the payload is shipped immediately and deposited
+// into the destination rank's mailbox, where a banked event signal marks its
+// availability.  Matching is by (source, tag), FIFO within a match — the
+// delivery order of our network model preserves per-(src,dst) send order.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "support/error.h"
+
+namespace navcpp::minimpi {
+
+using Tag = std::int32_t;
+
+/// One in-flight or delivered message.  `data` may be empty when the sender
+/// runs with phantom storage (timing-only simulation); `wire_bytes` is what
+/// the network model charged either way.
+struct Message {
+  int src = 0;
+  Tag tag = 0;
+  std::vector<double> data;
+  std::size_t wire_bytes = 0;
+};
+
+/// Node variable holding a rank's undelivered messages.
+class Mailbox {
+ public:
+  void deposit(Message msg) { messages_.push_back(std::move(msg)); }
+
+  /// Pop the oldest message matching (src, tag).
+  std::optional<Message> pop(int src, Tag tag) {
+    for (auto it = messages_.begin(); it != messages_.end(); ++it) {
+      if (it->src == src && it->tag == tag) {
+        Message msg = std::move(*it);
+        messages_.erase(it);
+        return msg;
+      }
+    }
+    return std::nullopt;
+  }
+
+  std::size_t pending() const { return messages_.size(); }
+  bool empty() const { return messages_.empty(); }
+
+ private:
+  std::deque<Message> messages_;
+};
+
+}  // namespace navcpp::minimpi

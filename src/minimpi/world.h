@@ -1,0 +1,53 @@
+// World: launches one SPMD rank program per PE (the mpirun of mini-MPI).
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "minimpi/comm.h"
+#include "navp/runtime.h"
+
+namespace navcpp::minimpi {
+
+class World {
+ public:
+  /// Install a Mailbox on every PE of `rt` (idempotent).
+  explicit World(navp::Runtime& rt) : rt_(rt) {
+    for (int pe = 0; pe < rt_.pe_count(); ++pe) {
+      if (!rt_.node_store(pe).has<Mailbox>()) {
+        rt_.node_store(pe).emplace<Mailbox>();
+      }
+    }
+  }
+
+  navp::Runtime& runtime() { return rt_; }
+  int size() const { return rt_.pe_count(); }
+
+  /// Inject `fn(Comm, args...)` as rank r on PE r, for every r.  Call
+  /// Runtime::run() (or Engine::run()) afterwards to execute the program.
+  template <class F, class... Args>
+  void launch(F fn, Args... args) {
+    for (int r = 0; r < size(); ++r) {
+      rt_.inject(
+          r, "rank" + std::to_string(r),
+          [fn](navp::Ctx ctx, Args... as) -> navp::Mission {
+            return fn(Comm(ctx), std::move(as)...);
+          },
+          args...);
+    }
+  }
+
+  /// Post-run audit: true if any rank left undelivered messages behind
+  /// (usually a tag mismatch bug in an SPMD program).
+  bool has_leftover_messages() const {
+    for (int pe = 0; pe < rt_.pe_count(); ++pe) {
+      if (!rt_.node_store(pe).get<Mailbox>().empty()) return true;
+    }
+    return false;
+  }
+
+ private:
+  navp::Runtime& rt_;
+};
+
+}  // namespace navcpp::minimpi

@@ -1,0 +1,221 @@
+// Shared vocabulary of the matrix-multiplication implementations.
+//
+// All algorithms operate at *algorithmic block* granularity, exactly as the
+// paper prescribes for extending its fine-grained pseudocode:
+//
+//   "To extend our solution to a coarser level, we simply need to take each
+//    and every element (e.g., C01 or A21) as a sub-matrix block."
+//
+// So every index (mi, mj, mk) below ranges over the nb x nb grid of
+// algorithmic blocks (nb = order / block_order), and node(i, j) maps a block
+// coordinate to the PE hosting the distribution block that contains it.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "linalg/block.h"
+#include "navp/runtime.h"
+#include "net/topology.h"
+#include "perfmodel/testbed.h"
+#include "support/error.h"
+
+namespace navcpp::mm {
+
+/// How algorithmic blocks map onto PEs.
+///
+///  * kSlab   — contiguous runs of nb/P blocks per PE: the paper's
+///    "distribution blocks" (a distribution block = one slab).
+///  * kCyclic — block b on PE b mod P (ScaLAPACK-style block-cyclic).
+///    Under cyclic mapping a carrier marching over consecutive block
+///    indices visits a different PE every step: more network traffic, but
+///    the carriers of one row spread across the PE row instead of
+///    clustering (see bench_layout_ablation).
+enum class Layout { kSlab, kCyclic };
+
+inline const char* to_string(Layout layout) {
+  return layout == Layout::kSlab ? "slab" : "cyclic";
+}
+
+/// Problem description shared by every algorithm.
+struct MmConfig {
+  int order = 256;        ///< matrix order N
+  int block_order = 64;   ///< algorithmic block order
+  Layout layout = Layout::kSlab;  ///< block-to-PE mapping (NavP programs)
+  perfmodel::Testbed testbed{};
+
+  /// Number of algorithmic blocks per dimension.
+  int nb() const {
+    NAVCPP_CHECK(order >= 1 && block_order >= 1, "invalid MmConfig");
+    NAVCPP_CHECK(order % block_order == 0,
+                 "order must be a multiple of block_order for the "
+                 "distributed algorithms");
+    return order / block_order;
+  }
+};
+
+/// 1-D block-column / block-row ownership: nb blocks over P PEs in
+/// contiguous slabs (the paper's "columns of B and C are distributed").
+class Dist1D {
+ public:
+  Dist1D(int nb, int pes, Layout layout = Layout::kSlab)
+      : nb_(nb), pes_(pes), layout_(layout) {
+    NAVCPP_CHECK(pes >= 1, "need at least one PE");
+    NAVCPP_CHECK(nb % pes == 0,
+                 "block count must divide evenly over the PEs");
+    width_ = nb / pes;
+  }
+
+  int nb() const { return nb_; }
+  int pes() const { return pes_; }
+  Layout layout() const { return layout_; }
+  /// Blocks per PE.
+  int width() const { return width_; }
+
+  /// PE hosting block index `b`.
+  int owner(int b) const {
+    NAVCPP_CHECK(b >= 0 && b < nb_, "block index out of range");
+    return layout_ == Layout::kSlab ? b / width_ : b % pes_;
+  }
+
+ private:
+  int nb_;
+  int pes_;
+  Layout layout_;
+  int width_;
+};
+
+/// 2-D block ownership over an R x R grid: block (bi, bj) lives on the PE
+/// at grid position (bi / w, bj / w).
+class Dist2D {
+ public:
+  Dist2D(int nb, int grid, Layout layout = Layout::kSlab)
+      : nb_(nb), topo_(grid, grid), layout_(layout) {
+    NAVCPP_CHECK(grid >= 1, "need at least a 1x1 grid");
+    NAVCPP_CHECK(nb % grid == 0,
+                 "block count must divide evenly over the grid");
+    width_ = nb / grid;
+  }
+
+  int nb() const { return nb_; }
+  int grid() const { return topo_.rows(); }
+  Layout layout() const { return layout_; }
+  int width() const { return width_; }
+  int pe_count() const { return topo_.pe_count(); }
+  const net::Topology2D& topology() const { return topo_; }
+
+  /// PE hosting block coordinate (bi, bj).
+  int owner(int bi, int bj) const {
+    check(bi);
+    check(bj);
+    return layout_ == Layout::kSlab
+               ? topo_.node(bi / width_, bj / width_)
+               : topo_.node(bi % topo_.rows(), bj % topo_.cols());
+  }
+
+ private:
+  void check(int b) const {
+    NAVCPP_CHECK(b >= 0 && b < nb_, "block index out of range");
+  }
+
+  int nb_;
+  net::Topology2D topo_;
+  Layout layout_;
+  int width_;
+};
+
+/// Key for block-coordinate-indexed node-variable maps.
+inline std::uint64_t block_key(int bi, int bj) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(bi)) << 32) |
+         static_cast<std::uint32_t>(bj);
+}
+
+template <class Block>
+using BlockMap = std::unordered_map<std::uint64_t, Block>;
+
+/// Event families used by the NavP programs (paper's EP / EC), plus the
+/// staged-data events of the canonical-layout redistribution (see below).
+inline constexpr std::int32_t kEventProduced = 1;  // EP(i,j)
+inline constexpr std::int32_t kEventConsumed = 2;  // EC(i,j)
+inline constexpr std::int32_t kEventStagedA = 3;   // ES_A(i)
+inline constexpr std::int32_t kEventStagedB = 4;   // ES_B(j)
+
+inline navp::EventKey ep(int bi, int bj) {
+  return navp::EventKey{kEventProduced, bi, bj};
+}
+inline navp::EventKey ec(int bi, int bj) {
+  return navp::EventKey{kEventConsumed, bi, bj};
+}
+/// ES_A(i, k): block k of A's row i has been staged here (k = -1 is used by
+/// the 1-D scatter, which moves whole rows).
+inline navp::EventKey es_a(int bi, int bk = -1) {
+  return navp::EventKey{kEventStagedA, bi, bk};
+}
+/// ES_B(j, k): block k of B's column j has been staged here.
+inline navp::EventKey es_b(int bj, int bk = -1) {
+  return navp::EventKey{kEventStagedB, bj, bk};
+}
+
+// Canonical-layout timing policy.
+//
+// The paper states a different initial distribution for every program
+// (A on node(0) for 1D DSC/pipelining; A rows scattered for 1D phase
+// shifting; A rows / B columns staged on the anti-diagonal for 2D DSC and
+// pipelining; everything block-aligned on node(i,j) for 2D phase shifting
+// and for the SPMD comparators before their skew).  To compare the
+// variants fairly — and to reproduce the paper's measured orderings, where
+// each transformation improves on its predecessor — every timed run here
+// starts from the same *canonical* layout and performs whatever
+// redistribution its variant requires inside the run, carried by staging
+// agents and synchronized with ES_A/ES_B events:
+//
+//   1D canonical: B and C block-columns on their owners, all of A on
+//      node(0).  (The 1-D story starts from a sequential program whose
+//      data lives on one workstation.)  Phase shifting therefore pays the
+//      scatter of A's block-rows; DSC and pipelining start for free.
+//   2D canonical: A(i,j), B(i,j), C(i,j) on node(i,j).  2D DSC and
+//      pipelining pay the gather of A rows / B columns onto the
+//      anti-diagonal; phase shifting pays its reverse staggering through
+//      its carriers' first hops; Gentleman/Cannon pay their forward skew.
+
+/// One C += A*B block accumulation: runs the real kernel (if Storage is
+/// real) and charges the calibrated cost either way.
+template <class Storage>
+void charged_gemm(navp::Ctx& ctx, const perfmodel::Testbed& tb,
+                  perfmodel::CacheProfile profile,
+                  typename Storage::Block& c,
+                  const typename Storage::Block& a,
+                  const typename Storage::Block& b) {
+  ctx.work("gemm", tb.gemm_seconds(a.rows, b.cols, a.cols, profile),
+           [&] { Storage::gemm_acc(c, a, b); });
+}
+
+/// Scoped trace attachment for the mm runners (which construct their own
+/// Runtime internally): while an MmTraceScope is alive, every runner
+/// invoked on this thread records its execution into the given recorder.
+/// Used by the Figure-1 space-time benchmark and the trace examples.
+class MmTraceScope {
+ public:
+  explicit MmTraceScope(navp::TraceRecorder* trace) : previous_(current_) {
+    current_ = trace;
+  }
+  ~MmTraceScope() { current_ = previous_; }
+  MmTraceScope(const MmTraceScope&) = delete;
+  MmTraceScope& operator=(const MmTraceScope&) = delete;
+
+  static navp::TraceRecorder* current() { return current_; }
+
+ private:
+  navp::TraceRecorder* previous_;
+  static inline thread_local navp::TraceRecorder* current_ = nullptr;
+};
+
+/// Execution statistics of one distributed run.
+struct MmStats {
+  double seconds = 0.0;          ///< finish time (virtual or wall)
+  std::uint64_t hops = 0;        ///< NavP migrations (0 for SPMD programs)
+  std::uint64_t messages = 0;    ///< network messages (sim backend only)
+  std::uint64_t bytes = 0;       ///< network payload bytes (sim backend only)
+};
+
+}  // namespace navcpp::mm

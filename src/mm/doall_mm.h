@@ -1,0 +1,169 @@
+// The "zero-inventory" doall strawman of section 3 (Figure 3).
+//
+// The paper's point: parallelizing the two outer loops with doall either
+// makes every PE request the same A/B entries concurrently (contention at
+// the owners), or caches copies of everything everywhere (non-scalable
+// replication).  This module implements the replication flavour over
+// mini-MPI so the contention is measurable:
+//
+//   * every rank pushes each of its A blocks to all ranks in its PE row and
+//     each of its B blocks to all ranks in its PE column (the "cache
+//     multiple copies" solution), then
+//   * computes its C tile from the replicated panels, waiting in-line for
+//     whatever has not arrived yet.
+//
+// All replication traffic leaves at t=0 — the burst that serializes at the
+// owners' NICs and stops this approach from scaling (bench_doall_contention
+// sweeps the compute/communication ratio to show where it falls over).
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "machine/engine.h"
+#include "machine/sim_machine.h"
+#include "minimpi/world.h"
+#include "mm/common.h"
+#include "mm/gentleman_mm.h"
+#include "navp/runtime.h"
+#include "navp/task.h"
+
+namespace navcpp::mm {
+
+namespace detailmpi {
+
+inline constexpr minimpi::Tag kTagARepl = 7 << 20;
+inline constexpr minimpi::Tag kTagBRepl = 8 << 20;
+
+template <class Storage>
+navp::Mission doall_rank(minimpi::Comm comm, const MpiPlan<Storage>* plan,
+                         MpiIo<Storage>* io) {
+  const MmConfig& cfg = plan->cfg;
+  const int nb = cfg.nb();
+  const int w = plan->dist.width();
+  const auto& topo = plan->dist.topology();
+  const int rank = comm.rank();
+  const int pi = topo.row_of(rank);
+  const int pj = topo.col_of(rank);
+  const int bi0 = pi * w;
+  const int bj0 = pj * w;
+
+  using Block = typename Storage::Block;
+
+  // Replication burst: push local A blocks across the PE row and local B
+  // blocks down the PE column.  Tags carry the global block coordinate.
+  for (int r = 0; r < w; ++r) {
+    for (int c = 0; c < w; ++c) {
+      const int bi = bi0 + r;
+      const int bj = bj0 + c;
+      for (int peer_col = 0; peer_col < topo.cols(); ++peer_col) {
+        if (peer_col == pj) continue;
+        send_block<Storage>(comm, topo.node(pi, peer_col),
+                            kTagARepl + bi * nb + bj, io->a->at(bi, bj),
+                            plan->block_bytes);
+      }
+      for (int peer_row = 0; peer_row < topo.rows(); ++peer_row) {
+        if (peer_row == pi) continue;
+        send_block<Storage>(comm, topo.node(peer_row, pj),
+                            kTagBRepl + bi * nb + bj, io->b->at(bi, bj),
+                            plan->block_bytes);
+      }
+    }
+  }
+
+  // Assemble the full A block-rows and B block-columns this rank's C tile
+  // needs, awaiting remote blocks in-line.
+  // a_rows[r][bk] = A(bi0+r, bk); b_cols[c][bk] = B(bk, bj0+c).
+  std::vector<std::vector<Block>> a_rows(
+      static_cast<std::size_t>(w));
+  std::vector<std::vector<Block>> b_cols(
+      static_cast<std::size_t>(w));
+  for (int r = 0; r < w; ++r) {
+    auto& row = a_rows[static_cast<std::size_t>(r)];
+    row.reserve(static_cast<std::size_t>(nb));
+    const int bi = bi0 + r;
+    for (int bk = 0; bk < nb; ++bk) {
+      const int owner = plan->dist.owner(bi, bk);
+      if (owner == rank) {
+        row.push_back(io->a->at(bi, bk));
+      } else {
+        auto msg = co_await comm.recv(owner, kTagARepl + bi * nb + bk);
+        row.push_back(block_from_message<Storage>(cfg, std::move(msg)));
+      }
+    }
+  }
+  for (int c = 0; c < w; ++c) {
+    auto& col = b_cols[static_cast<std::size_t>(c)];
+    col.reserve(static_cast<std::size_t>(nb));
+    const int bj = bj0 + c;
+    for (int bk = 0; bk < nb; ++bk) {
+      const int owner = plan->dist.owner(bk, bj);
+      if (owner == rank) {
+        col.push_back(io->b->at(bk, bj));
+      } else {
+        auto msg = co_await comm.recv(owner, kTagBRepl + bk * nb + bj);
+        col.push_back(block_from_message<Storage>(cfg, std::move(msg)));
+      }
+    }
+  }
+
+  // doall body: every owned C block, fixed order.
+  for (int r = 0; r < w; ++r) {
+    for (int c = 0; c < w; ++c) {
+      Block cblk = Storage::make(cfg.block_order, cfg.block_order);
+      comm.work("C=A.B",
+                cfg.testbed.gemm_seconds(cfg.block_order, cfg.block_order,
+                                         cfg.order,
+                                         perfmodel::CacheProfile::kAllFresh),
+                [&] {
+                  for (int bk = 0; bk < nb; ++bk) {
+                    Storage::gemm_acc(
+                        cblk,
+                        a_rows[static_cast<std::size_t>(r)]
+                              [static_cast<std::size_t>(bk)],
+                        b_cols[static_cast<std::size_t>(c)]
+                              [static_cast<std::size_t>(bk)]);
+                  }
+                });
+      io->c->at(bi0 + r, bj0 + c) = std::move(cblk);
+    }
+  }
+  co_return;
+}
+
+}  // namespace detailmpi
+
+/// Run the replication doall strawman on the square PE grid of `engine`.
+template <class Storage>
+MmStats doall_mm(machine::Engine& engine, const MmConfig& cfg,
+                 const linalg::BlockGrid<Storage>& a,
+                 const linalg::BlockGrid<Storage>& b,
+                 linalg::BlockGrid<Storage>& c_out) {
+  NAVCPP_CHECK(cfg.layout == Layout::kSlab,
+               "doall_mm assumes the slab layout");
+  int grid = 1;
+  while ((grid + 1) * (grid + 1) <= engine.pe_count()) ++grid;
+  NAVCPP_CHECK(grid * grid == engine.pe_count(),
+               "doall_mm needs a square PE count");
+  const auto plan = std::make_unique<detailmpi::MpiPlan<Storage>>(
+      cfg, grid, StaggerMode::kDirect);
+  detailmpi::MpiIo<Storage> io{&a, &b, &c_out};
+
+  navp::Runtime rt(engine);
+  rt.set_trace(MmTraceScope::current());
+  rt.set_activation_overhead(cfg.testbed.daemon_dispatch_overhead);
+  minimpi::World world(rt);
+  world.launch(detailmpi::doall_rank<Storage>, plan.get(), &io);
+  rt.run();
+
+  MmStats stats;
+  stats.seconds = engine.finish_time();
+  if (auto* sim = dynamic_cast<machine::SimMachine*>(&engine)) {
+    stats.messages = sim->network().message_count();
+    stats.bytes = sim->network().byte_count();
+  }
+  return stats;
+}
+
+}  // namespace navcpp::mm

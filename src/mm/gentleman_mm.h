@@ -1,0 +1,372 @@
+// Gentleman's Algorithm (the paper's Figure 16) over mini-MPI, at
+// algorithmic-block granularity, plus Cannon's variant.
+//
+// Each rank of an R x R grid owns a w x w tile of algorithmic blocks
+// (w = nb / R) of A, B and C.  After the initial staggering (skew: A block
+// (bi,bk) moves to block-column (bk-bi) mod nb; B block (bk,bj) to
+// block-row (bk-bj) mod nb), the ranks run nb-1 iterations of "shift A one
+// block-column west, shift B one block-row north, C += A*B".  Blocks that
+// shift within a rank are pointer-swapped (std::move of the vector slot);
+// only the tile boundary crosses the network, exactly as the paper's MPI
+// implementation describes.
+//
+// Two staggering modes reproduce the paper's comparison:
+//  * kDirect   — the paper's implementation: "matrix staggering is
+//    accomplished in a single step", each block shipped straight to its
+//    skewed position (Gentleman).
+//  * kStepwise — the textbook Cannon/Figure-16 lines (1)-(10): nb-1 rounds
+//    of conditional neighbor shifts.
+//
+// Faithfulness notes (section 5, point 1): the per-iteration loop over the
+// local blocks runs in a fixed row-major order with the boundary receives
+// awaited in-line — the "artificial sequential order" the paper charges
+// against straightforward MPI code.  GEMMs use CacheProfile::kAllFresh
+// (section 5, point 2: A/B/C block triples are frequently fresh in cache).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "machine/engine.h"
+#include "machine/sim_machine.h"
+#include "minimpi/world.h"
+#include "mm/common.h"
+#include "navp/runtime.h"
+#include "navp/task.h"
+
+namespace navcpp::mm {
+
+enum class StaggerMode { kDirect, kStepwise };
+
+namespace detailmpi {
+
+inline constexpr minimpi::Tag kTagAStag = 1 << 20;
+inline constexpr minimpi::Tag kTagBStag = 2 << 20;
+inline constexpr minimpi::Tag kTagAShift = 3 << 20;
+inline constexpr minimpi::Tag kTagBShift = 4 << 20;
+
+template <class Storage>
+struct MpiPlan {
+  MmConfig cfg;
+  Dist2D dist;
+  StaggerMode stagger = StaggerMode::kDirect;
+  std::size_t block_bytes = 0;
+
+  MpiPlan(const MmConfig& c, int grid, StaggerMode mode)
+      : cfg(c),
+        dist(c.nb(), grid),  // the SPMD tile algorithms are slab-only
+        stagger(mode),
+        block_bytes(static_cast<std::size_t>(c.block_order) *
+                    static_cast<std::size_t>(c.block_order) *
+                    sizeof(double)) {}
+};
+
+/// Shared input/output grids the ranks seed from and gather into.  Each
+/// rank touches only its own blocks, so no synchronization is needed.
+template <class Storage>
+struct MpiIo {
+  const linalg::BlockGrid<Storage>* a = nullptr;
+  const linalg::BlockGrid<Storage>* b = nullptr;
+  linalg::BlockGrid<Storage>* c = nullptr;
+};
+
+/// A rank's w x w tile of blocks with local row-major indexing.
+template <class Storage>
+class Tile {
+ public:
+  using Block = typename Storage::Block;
+
+  Tile() = default;
+  explicit Tile(int w) : w_(w), blocks_(static_cast<std::size_t>(w) * w) {}
+
+  Block& at(int r, int c) {
+    return blocks_[static_cast<std::size_t>(r) * w_ + c];
+  }
+  int width() const { return w_; }
+
+  /// Rotate row `r` one slot left, installing `incoming` at the right edge.
+  void shift_row_west(int r, Block incoming) {
+    for (int c = 0; c + 1 < w_; ++c) at(r, c) = std::move(at(r, c + 1));
+    at(r, w_ - 1) = std::move(incoming);
+  }
+  /// Rotate column `c` one slot up, installing `incoming` at the bottom.
+  void shift_col_north(int c, Block incoming) {
+    for (int r = 0; r + 1 < w_; ++r) at(r, c) = std::move(at(r + 1, c));
+    at(w_ - 1, c) = std::move(incoming);
+  }
+
+ private:
+  int w_ = 0;
+  std::vector<Block> blocks_;
+};
+
+/// Ship `blk` to `dst` (or return it for local placement when dst==rank).
+template <class Storage>
+void send_block(minimpi::Comm& comm, int dst, minimpi::Tag tag,
+                const typename Storage::Block& blk, std::size_t wire_bytes) {
+  if constexpr (Storage::kReal) {
+    comm.send(dst, tag, blk.data, wire_bytes);
+  } else {
+    comm.send(dst, tag, {}, wire_bytes);
+  }
+}
+
+template <class Storage>
+typename Storage::Block block_from_message(const MmConfig& cfg,
+                                           minimpi::Message msg) {
+  auto blk = Storage::make(cfg.block_order, cfg.block_order);
+  if constexpr (Storage::kReal) {
+    NAVCPP_CHECK(msg.data.size() == blk.data.size(),
+                 "received block has wrong element count");
+    blk.data = std::move(msg.data);
+  }
+  return blk;
+}
+
+/// The SPMD rank program for Gentleman's algorithm (and Cannon's, via
+/// plan->stagger).
+template <class Storage>
+navp::Mission gentleman_rank(minimpi::Comm comm,
+                             const MpiPlan<Storage>* plan,
+                             MpiIo<Storage>* io) {
+  const MmConfig& cfg = plan->cfg;
+  const int nb = cfg.nb();
+  const int grid = plan->dist.grid();
+  const int w = plan->dist.width();
+  const auto& topo = plan->dist.topology();
+  const int rank = comm.rank();
+  const int pi = topo.row_of(rank);
+  const int pj = topo.col_of(rank);
+  const int bi0 = pi * w;  // first owned global block row
+  const int bj0 = pj * w;  // first owned global block column
+
+  // Seed the local tiles from the global grids.
+  Tile<Storage> la(w), lb(w), lc(w);
+  for (int r = 0; r < w; ++r) {
+    for (int c = 0; c < w; ++c) {
+      la.at(r, c) = io->a->at(bi0 + r, bj0 + c);
+      lb.at(r, c) = io->b->at(bi0 + r, bj0 + c);
+      lc.at(r, c) = Storage::make(cfg.block_order, cfg.block_order);
+    }
+  }
+
+  // ---- initial staggering ------------------------------------------------
+  if (plan->stagger == StaggerMode::kDirect) {
+    // Single-step skew: ship every block straight to its target position.
+    Tile<Storage> na(w), nw_b(w);
+    // Outgoing.
+    for (int r = 0; r < w; ++r) {
+      for (int c = 0; c < w; ++c) {
+        const int bi = bi0 + r;
+        const int bj = bj0 + c;
+        const int a_tcol = ((bj - bi) % nb + nb) % nb;
+        const int a_dst = topo.node(pi, a_tcol / w);
+        if (a_dst == rank) {
+          na.at(r, a_tcol - bj0) = std::move(la.at(r, c));
+        } else {
+          send_block<Storage>(comm, a_dst, kTagAStag + bi * nb + a_tcol,
+                              la.at(r, c), plan->block_bytes);
+        }
+        const int b_trow = ((bi - bj) % nb + nb) % nb;
+        const int b_dst = topo.node(b_trow / w, pj);
+        if (b_dst == rank) {
+          nw_b.at(b_trow - bi0, c) = std::move(lb.at(r, c));
+        } else {
+          send_block<Storage>(comm, b_dst, kTagBStag + b_trow * nb + bj,
+                              lb.at(r, c), plan->block_bytes);
+        }
+      }
+    }
+    // Incoming: position (bi, bj) receives A(bi, (bi+bj) mod nb) and
+    // B((bi+bj) mod nb, bj).
+    for (int r = 0; r < w; ++r) {
+      for (int c = 0; c < w; ++c) {
+        const int bi = bi0 + r;
+        const int bj = bj0 + c;
+        const int a_src_bk = (bi + bj) % nb;
+        const int a_src = topo.node(pi, a_src_bk / w);
+        if (a_src != rank) {
+          auto msg = co_await comm.recv(a_src, kTagAStag + bi * nb + bj);
+          na.at(r, c) = block_from_message<Storage>(cfg, std::move(msg));
+        }
+        const int b_src_bk = (bi + bj) % nb;
+        const int b_src = topo.node(b_src_bk / w, pj);
+        if (b_src != rank) {
+          auto msg = co_await comm.recv(b_src, kTagBStag + bi * nb + bj);
+          nw_b.at(r, c) = block_from_message<Storage>(cfg, std::move(msg));
+        }
+      }
+    }
+    la = std::move(na);
+    lb = std::move(nw_b);
+  } else {
+    // Figure 16 lines (1)-(10): nb-1 rounds of conditional neighbor shifts.
+    for (int k = 0; k + 1 < nb; ++k) {
+      // A: rows with global bi > k shift one block-column west.
+      std::vector<minimpi::Request> reqa(static_cast<std::size_t>(w));
+      std::vector<bool> row_moves(static_cast<std::size_t>(w), false);
+      for (int r = 0; r < w; ++r) {
+        if (bi0 + r > k) {
+          row_moves[static_cast<std::size_t>(r)] = true;
+          if (grid > 1) {
+            // Staggering rounds use the *Stag tag family so they can never
+            // match the compute loop's shift messages.
+            reqa[static_cast<std::size_t>(r)] =
+                comm.irecv(topo.east(rank), kTagAStag + k * 1024 + r);
+            send_block<Storage>(comm, topo.west(rank),
+                                kTagAStag + k * 1024 + r, la.at(r, 0),
+                                plan->block_bytes);
+          }
+        }
+      }
+      // B: columns with global bj > k shift one block-row north.
+      std::vector<minimpi::Request> reqb(static_cast<std::size_t>(w));
+      std::vector<bool> col_moves(static_cast<std::size_t>(w), false);
+      for (int c = 0; c < w; ++c) {
+        if (bj0 + c > k) {
+          col_moves[static_cast<std::size_t>(c)] = true;
+          if (grid > 1) {
+            reqb[static_cast<std::size_t>(c)] =
+                comm.irecv(topo.south(rank), kTagBStag + k * 1024 + c);
+            send_block<Storage>(comm, topo.north(rank),
+                                kTagBStag + k * 1024 + c, lb.at(0, c),
+                                plan->block_bytes);
+          }
+        }
+      }
+      for (int r = 0; r < w; ++r) {
+        if (!row_moves[static_cast<std::size_t>(r)]) continue;
+        typename Storage::Block incoming;
+        if (grid > 1) {
+          auto msg = co_await comm.wait(reqa[static_cast<std::size_t>(r)]);
+          incoming = block_from_message<Storage>(cfg, std::move(msg));
+        } else {
+          incoming = std::move(la.at(r, 0));
+        }
+        la.shift_row_west(r, std::move(incoming));
+      }
+      for (int c = 0; c < w; ++c) {
+        if (!col_moves[static_cast<std::size_t>(c)]) continue;
+        typename Storage::Block incoming;
+        if (grid > 1) {
+          auto msg = co_await comm.wait(reqb[static_cast<std::size_t>(c)]);
+          incoming = block_from_message<Storage>(cfg, std::move(msg));
+        } else {
+          incoming = std::move(lb.at(0, c));
+        }
+        lb.shift_col_north(c, std::move(incoming));
+      }
+    }
+  }
+
+  // ---- multiply, then nb-1 rounds of shift + multiply ---------------------
+  auto multiply_all = [&]() {
+    for (int r = 0; r < w; ++r) {
+      for (int c = 0; c < w; ++c) {
+        comm.work("C+=A*B",
+                  cfg.testbed.gemm_seconds(cfg.block_order, cfg.block_order,
+                                           cfg.block_order,
+                                           perfmodel::CacheProfile::kAllFresh),
+                  [&] { Storage::gemm_acc(lc.at(r, c), la.at(r, c),
+                                          lb.at(r, c)); });
+      }
+    }
+  };
+  multiply_all();
+
+  for (int k = 1; k < nb; ++k) {
+    std::vector<minimpi::Request> reqa(static_cast<std::size_t>(w));
+    std::vector<minimpi::Request> reqb(static_cast<std::size_t>(w));
+    if (grid > 1) {
+      for (int r = 0; r < w; ++r) {
+        reqa[static_cast<std::size_t>(r)] =
+            comm.irecv(topo.east(rank), kTagAShift + k * 1024 + r);
+      }
+      for (int c = 0; c < w; ++c) {
+        reqb[static_cast<std::size_t>(c)] =
+            comm.irecv(topo.south(rank), kTagBShift + k * 1024 + c);
+      }
+      for (int r = 0; r < w; ++r) {
+        send_block<Storage>(comm, topo.west(rank), kTagAShift + k * 1024 + r,
+                            la.at(r, 0), plan->block_bytes);
+      }
+      for (int c = 0; c < w; ++c) {
+        send_block<Storage>(comm, topo.north(rank), kTagBShift + k * 1024 + c,
+                            lb.at(0, c), plan->block_bytes);
+      }
+    }
+    // The straightforward fixed-order block loop (the paper's "artificial
+    // sequential order"): boundary receives are awaited in-line.
+    for (int r = 0; r < w; ++r) {
+      typename Storage::Block incoming_a;
+      if (grid > 1) {
+        auto msg = co_await comm.wait(reqa[static_cast<std::size_t>(r)]);
+        incoming_a = block_from_message<Storage>(cfg, std::move(msg));
+      } else {
+        incoming_a = std::move(la.at(r, 0));
+      }
+      la.shift_row_west(r, std::move(incoming_a));
+    }
+    for (int c = 0; c < w; ++c) {
+      typename Storage::Block incoming_b;
+      if (grid > 1) {
+        auto msg = co_await comm.wait(reqb[static_cast<std::size_t>(c)]);
+        incoming_b = block_from_message<Storage>(cfg, std::move(msg));
+      } else {
+        incoming_b = std::move(lb.at(0, c));
+      }
+      lb.shift_col_north(c, std::move(incoming_b));
+    }
+    multiply_all();
+  }
+
+  // Gather C into the shared output grid (disjoint slices per rank).
+  for (int r = 0; r < w; ++r) {
+    for (int c = 0; c < w; ++c) {
+      io->c->at(bi0 + r, bj0 + c) = std::move(lc.at(r, c));
+    }
+  }
+}
+
+}  // namespace detailmpi
+
+/// Run Gentleman's algorithm (StaggerMode::kDirect, the paper's MPI
+/// comparator) or Cannon's stepwise variant on the square PE grid of
+/// `engine`.
+template <class Storage>
+MmStats gentleman_mm(machine::Engine& engine, const MmConfig& cfg,
+                     StaggerMode stagger,
+                     const linalg::BlockGrid<Storage>& a,
+                     const linalg::BlockGrid<Storage>& b,
+                     linalg::BlockGrid<Storage>& c_out) {
+  NAVCPP_CHECK(cfg.layout == Layout::kSlab,
+               "gentleman_mm tiles assume the slab layout");
+  int grid = 1;
+  while ((grid + 1) * (grid + 1) <= engine.pe_count()) ++grid;
+  NAVCPP_CHECK(grid * grid == engine.pe_count(),
+               "gentleman_mm needs a square PE count");
+  const auto plan =
+      std::make_unique<detailmpi::MpiPlan<Storage>>(cfg, grid, stagger);
+  detailmpi::MpiIo<Storage> io{&a, &b, &c_out};
+
+  navp::Runtime rt(engine);
+  rt.set_trace(MmTraceScope::current());
+  rt.set_activation_overhead(cfg.testbed.daemon_dispatch_overhead);
+  minimpi::World world(rt);
+  world.launch(detailmpi::gentleman_rank<Storage>, plan.get(), &io);
+  rt.run();
+  NAVCPP_CHECK(!world.has_leftover_messages(),
+               "gentleman_mm left undelivered messages");
+
+  MmStats stats;
+  stats.seconds = engine.finish_time();
+  if (auto* sim = dynamic_cast<machine::SimMachine*>(&engine)) {
+    stats.messages = sim->network().message_count();
+    stats.bytes = sim->network().byte_count();
+  }
+  return stats;
+}
+
+}  // namespace navcpp::mm

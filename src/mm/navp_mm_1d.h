@@ -1,0 +1,233 @@
+// The three 1-D NavP matrix multiplications of section 3:
+//
+//   * kDsc          — Figure 5: one RowCarrier chases the distributed
+//                     columns of B and C, carrying one block-row of A at a
+//                     time (distributed *sequential* computing).
+//   * kPipelined    — Figure 7: one RowCarrier per block-row of A, injected
+//                     in order at node(0); the carriers follow each other
+//                     through the PE pipeline.
+//   * kPhaseShifted — Figure 9: carriers start phase-shifted from different
+//                     PEs ((N-1-mi+mj) mod N itinerary), achieving full
+//                     distributed parallel computing.
+//
+// Matrix A is carried in the agent variable mA (a vector of blocks living
+// in the coroutine frame); matrices B and C live in column-distributed node
+// variables.  Indices are algorithmic-block indices (see mm/common.h).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "machine/engine.h"
+#include "machine/sim_machine.h"
+#include "mm/common.h"
+#include "navp/runtime.h"
+
+namespace navcpp::mm {
+
+enum class Navp1dVariant { kDsc, kPipelined, kPhaseShifted };
+
+inline const char* to_string(Navp1dVariant v) {
+  switch (v) {
+    case Navp1dVariant::kDsc:
+      return "NavP 1D DSC";
+    case Navp1dVariant::kPipelined:
+      return "NavP 1D pipeline";
+    case Navp1dVariant::kPhaseShifted:
+      return "NavP 1D phase";
+  }
+  return "?";
+}
+
+namespace detail1d {
+
+template <class Storage>
+struct Nodes1D {
+  using Block = typename Storage::Block;
+  BlockMap<Block> b;  ///< B(bk, bj) for owned block-columns bj
+  BlockMap<Block> c;  ///< C(bi, bj) for owned block-columns bj
+  /// Staged block-rows of A, keyed by row index mi (on node(0) for DSC and
+  /// pipelining; on node(mi)'s owner for phase shifting).
+  std::unordered_map<int, std::vector<Block>> a_rows;
+};
+
+template <class Storage>
+struct Plan1D {
+  MmConfig cfg;
+  Dist1D dist;
+  std::size_t row_bytes = 0;  ///< wire size of one carried block-row of A
+
+  Plan1D(const MmConfig& c, int pes)
+      : cfg(c),
+        dist(c.nb(), pes, c.layout),
+        row_bytes(static_cast<std::size_t>(c.order) *
+                  static_cast<std::size_t>(c.block_order) * sizeof(double)) {}
+};
+
+/// C(mi, col) += mA . B(*, col) — one block-row x block-column accumulation
+/// charged as a single (b x order) x (order x b) GEMM.
+template <class Storage>
+void compute_c_block(navp::Ctx& ctx, const Plan1D<Storage>& plan, int mi,
+                     int col, const std::vector<typename Storage::Block>& ma) {
+  auto& nodes = ctx.node<Nodes1D<Storage>>();
+  auto& cblk = nodes.c.at(block_key(mi, col));
+  const int b = plan.cfg.block_order;
+  ctx.work("C-block",
+           plan.cfg.testbed.gemm_seconds(b, b, plan.cfg.order,
+                                         perfmodel::CacheProfile::kResident),
+           [&] {
+             for (int bk = 0; bk < plan.cfg.nb(); ++bk) {
+               Storage::gemm_acc(cblk, ma[static_cast<std::size_t>(bk)],
+                                 nodes.b.at(block_key(bk, col)));
+             }
+           });
+}
+
+/// Figure 5: the single DSC carrier.
+template <class Storage>
+navp::Mission row_carrier_dsc(navp::Ctx ctx, const Plan1D<Storage>* plan) {
+  std::vector<typename Storage::Block> ma;  // agent variable mA
+  const int nb = plan->cfg.nb();
+  for (int mi = 0; mi < nb; ++mi) {
+    for (int mj = 0; mj < nb; ++mj) {
+      co_await ctx.hop(plan->dist.owner(mj),
+                       ma.empty() ? 0 : plan->row_bytes);
+      if (mj == 0) {
+        // Back at node(0): pick up the next block-row of A.
+        auto& rows = ctx.node<Nodes1D<Storage>>().a_rows;
+        auto it = rows.find(mi);
+        NAVCPP_CHECK(it != rows.end(), "A row not staged at node(0)");
+        ma = std::move(it->second);
+        rows.erase(it);
+      }
+      compute_c_block(ctx, *plan, mi, mj, ma);
+    }
+  }
+}
+
+/// Canonical-layout scatter for phase shifting: carry block-row `mi` of A
+/// from node(0) to the carrier's start PE, then announce it (ES_A(mi)).
+template <class Storage>
+navp::Mission scatter_row(navp::Ctx ctx, const Plan1D<Storage>* plan,
+                          int mi) {
+  auto& rows = ctx.node<Nodes1D<Storage>>().a_rows;
+  auto it = rows.find(mi);
+  NAVCPP_CHECK(it != rows.end(), "A row not found at node(0) for scatter");
+  std::vector<typename Storage::Block> ma = std::move(it->second);
+  rows.erase(it);
+  co_await ctx.hop(plan->dist.owner(mi), plan->row_bytes);
+  ctx.node<Nodes1D<Storage>>().a_rows.emplace(mi, std::move(ma));
+  ctx.signal_event(es_a(mi));
+}
+
+/// Figure 7 / Figure 9: one carrier per block-row.  `phase_shifted` selects
+/// the (N-1-mi+mj) mod N itinerary of Figure 9 (and waits for the scatter
+/// of its row from the canonical layout).
+template <class Storage>
+navp::Mission row_carrier(navp::Ctx ctx, const Plan1D<Storage>* plan, int mi,
+                          bool phase_shifted) {
+  if (phase_shifted) co_await ctx.wait_event(es_a(mi));
+  auto& rows = ctx.node<Nodes1D<Storage>>().a_rows;
+  auto it = rows.find(mi);
+  NAVCPP_CHECK(it != rows.end(), "A row not staged at the carrier's origin");
+  std::vector<typename Storage::Block> ma = std::move(it->second);
+  rows.erase(it);
+
+  const int nb = plan->cfg.nb();
+  for (int mj = 0; mj < nb; ++mj) {
+    const int col = phase_shifted ? (nb - 1 - mi + mj) % nb : mj;
+    co_await ctx.hop(plan->dist.owner(col), plan->row_bytes);
+    compute_c_block(ctx, *plan, mi, col, ma);
+  }
+}
+
+}  // namespace detail1d
+
+/// Run one 1-D NavP variant on `pes` PEs of `engine`.  Seeds the initial
+/// distribution the paper specifies for that variant, executes the program,
+/// and (for real storage) gathers the distributed C back into `c_out`.
+template <class Storage>
+MmStats navp_mm_1d(machine::Engine& engine, const MmConfig& cfg,
+                   Navp1dVariant variant,
+                   const linalg::BlockGrid<Storage>& a,
+                   const linalg::BlockGrid<Storage>& b,
+                   linalg::BlockGrid<Storage>& c_out) {
+  using Nodes = detail1d::Nodes1D<Storage>;
+  const auto plan =
+      std::make_unique<detail1d::Plan1D<Storage>>(cfg, engine.pe_count());
+  const int nb = cfg.nb();
+  const auto& dist = plan->dist;
+
+  navp::Runtime rt(engine);
+  rt.set_trace(MmTraceScope::current());
+  rt.set_hop_state_bytes(cfg.testbed.hop_state_bytes);
+  rt.set_hop_cpu_overhead(cfg.testbed.hop_software_overhead);
+  rt.set_activation_overhead(cfg.testbed.daemon_dispatch_overhead);
+
+  // Initial distribution: B and C columns on their owners; A block-rows on
+  // node(0) (DSC, pipelining) or on node(mi)'s owner (phase shifting).
+  for (int pe = 0; pe < engine.pe_count(); ++pe) {
+    rt.node_store(pe).template emplace<Nodes>();
+  }
+  for (int bj = 0; bj < nb; ++bj) {
+    auto& nodes = rt.node_store(dist.owner(bj)).template get<Nodes>();
+    for (int bi = 0; bi < nb; ++bi) {
+      nodes.b[block_key(bi, bj)] = b.at(bi, bj);
+      nodes.c[block_key(bi, bj)] =
+          Storage::make(cfg.block_order, cfg.block_order);
+    }
+  }
+  // Canonical layout: all of A on node(0), for every variant.
+  for (int mi = 0; mi < nb; ++mi) {
+    auto& nodes = rt.node_store(dist.owner(0)).template get<Nodes>();
+    std::vector<typename Storage::Block> row;
+    row.reserve(static_cast<std::size_t>(nb));
+    for (int bk = 0; bk < nb; ++bk) row.push_back(a.at(mi, bk));
+    nodes.a_rows.emplace(mi, std::move(row));
+  }
+
+  // Injection (the paper's "hop(node(..)); inject(...)" command-line step).
+  switch (variant) {
+    case Navp1dVariant::kDsc:
+      rt.inject(dist.owner(0), "RowCarrier", detail1d::row_carrier_dsc<Storage>,
+                plan.get());
+      break;
+    case Navp1dVariant::kPipelined:
+      for (int mi = 0; mi < nb; ++mi) {
+        rt.inject(dist.owner(0), "RowCarrier(" + std::to_string(mi) + ")",
+                  detail1d::row_carrier<Storage>, plan.get(), mi, false);
+      }
+      break;
+    case Navp1dVariant::kPhaseShifted:
+      for (int mi = 0; mi < nb; ++mi) {
+        rt.inject(dist.owner(0), "Scatter(" + std::to_string(mi) + ")",
+                  detail1d::scatter_row<Storage>, plan.get(), mi);
+        rt.inject(dist.owner(mi), "RowCarrier(" + std::to_string(mi) + ")",
+                  detail1d::row_carrier<Storage>, plan.get(), mi, true);
+      }
+      break;
+  }
+
+  rt.run();
+
+  // Gather C for verification.
+  for (int bj = 0; bj < nb; ++bj) {
+    auto& nodes = rt.node_store(dist.owner(bj)).template get<Nodes>();
+    for (int bi = 0; bi < nb; ++bi) {
+      c_out.at(bi, bj) = std::move(nodes.c.at(block_key(bi, bj)));
+    }
+  }
+
+  MmStats stats;
+  stats.seconds = engine.finish_time();
+  stats.hops = rt.hop_count();
+  if (auto* sim = dynamic_cast<machine::SimMachine*>(&engine)) {
+    stats.messages = sim->network().message_count();
+    stats.bytes = sim->network().byte_count();
+  }
+  return stats;
+}
+
+}  // namespace navcpp::mm

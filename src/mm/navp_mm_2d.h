@@ -1,0 +1,442 @@
+// The three 2-D NavP matrix multiplications of sections 3.4–3.6, obtained
+// by applying the DSC / Pipelining / Phase-shifting transformations again
+// in the second dimension:
+//
+//   * kDsc          — Figure 11: RowCarriers carry whole block-rows of A
+//                     east along their PE row; ColCarriers carry whole
+//                     block-columns of B south along their PE column,
+//                     depositing the column and signalling EP at each node.
+//   * kPipelined    — Figure 13: the rows and columns are decomposed into
+//                     individual algorithmic blocks; spawners on the
+//                     anti-diagonal inject one ACarrier / BCarrier per
+//                     block, synchronized by the EP/EC event ping-pong.
+//   * kPhaseShifted — Figure 15: A, B, C all start block-aligned on
+//                     node(i,j); carriers enter the pipelines phase-shifted
+//                     ((N-1-mi-mk+mj) mod N itineraries), achieving full
+//                     parallelism.  The carriers' first hops perform the
+//                     "reverse staggering" of section 5, point 3.
+//
+// All indices are algorithmic-block indices; node(i,j) = Dist2D::owner.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "machine/engine.h"
+#include "machine/sim_machine.h"
+#include "mm/common.h"
+#include "navp/runtime.h"
+
+namespace navcpp::mm {
+
+enum class Navp2dVariant { kDsc, kPipelined, kPhaseShifted };
+
+inline const char* to_string(Navp2dVariant v) {
+  switch (v) {
+    case Navp2dVariant::kDsc:
+      return "NavP 2D DSC";
+    case Navp2dVariant::kPipelined:
+      return "NavP 2D pipeline";
+    case Navp2dVariant::kPhaseShifted:
+      return "NavP 2D phase";
+  }
+  return "?";
+}
+
+namespace detail2d {
+
+template <class Storage>
+struct Nodes2D {
+  using Block = typename Storage::Block;
+  BlockMap<Block> a;  ///< resident A blocks (phase shifting pickup)
+  BlockMap<Block> b;  ///< resident B blocks (phase shifting pickup)
+  BlockMap<Block> c;  ///< owned C blocks (all variants)
+  /// Staged whole block-rows of A / block-columns of B at the anti-diagonal
+  /// (DSC and pipelining pickup), keyed by row / column index.
+  std::unordered_map<int, std::vector<Block>> a_rows;
+  std::unordered_map<int, std::vector<Block>> b_cols;
+  /// 2D DSC: block-columns of B deposited at node (bi,bj) by ColCarriers.
+  std::unordered_map<std::uint64_t, std::vector<Block>> bcol_deposit;
+  /// Pipelining / phase shifting: the per-node single-B slot of the paper
+  /// ("B = mB"), cycled through by the EP/EC ping-pong.
+  BlockMap<Block> b_slot;
+};
+
+template <class Storage>
+struct Plan2D {
+  MmConfig cfg;
+  Dist2D dist;
+  std::size_t row_bytes = 0;    ///< one block-row / block-column of A or B
+  std::size_t block_bytes = 0;  ///< one algorithmic block
+
+  Plan2D(const MmConfig& c, int grid)
+      : cfg(c),
+        dist(c.nb(), grid, c.layout),
+        row_bytes(static_cast<std::size_t>(c.order) *
+                  static_cast<std::size_t>(c.block_order) * sizeof(double)),
+        block_bytes(static_cast<std::size_t>(c.block_order) *
+                    static_cast<std::size_t>(c.block_order) *
+                    sizeof(double)) {}
+};
+
+// --- canonical-layout staging (see mm/common.h) -----------------------------
+
+/// Carry A(mi, bk) from node(mi, bk) to the anti-diagonal staging node of
+/// row mi, slot it into the staged row, and announce it (ES_A(mi)).
+template <class Storage>
+navp::Mission stage_a_block(navp::Ctx ctx, const Plan2D<Storage>* plan,
+                            int mi, int bk) {
+  auto& resident = ctx.node<Nodes2D<Storage>>().a;
+  auto it = resident.find(block_key(mi, bk));
+  NAVCPP_CHECK(it != resident.end(), "A block missing for staging");
+  typename Storage::Block blk = std::move(it->second);
+  resident.erase(it);
+  const int nb = plan->cfg.nb();
+  co_await ctx.hop(plan->dist.owner(mi, (nb - 1 - mi + nb) % nb),
+                   plan->block_bytes);
+  ctx.node<Nodes2D<Storage>>().a_rows.at(mi)[static_cast<std::size_t>(bk)] =
+      std::move(blk);
+  ctx.signal_event(es_a(mi, bk));
+}
+
+/// Carry B(bk, ml) to the anti-diagonal staging node of column ml.
+template <class Storage>
+navp::Mission stage_b_block(navp::Ctx ctx, const Plan2D<Storage>* plan,
+                            int bk, int ml) {
+  auto& resident = ctx.node<Nodes2D<Storage>>().b;
+  auto it = resident.find(block_key(bk, ml));
+  NAVCPP_CHECK(it != resident.end(), "B block missing for staging");
+  typename Storage::Block blk = std::move(it->second);
+  resident.erase(it);
+  const int nb = plan->cfg.nb();
+  co_await ctx.hop(plan->dist.owner((nb - 1 - ml + nb) % nb, ml),
+                   plan->block_bytes);
+  ctx.node<Nodes2D<Storage>>().b_cols.at(ml)[static_cast<std::size_t>(bk)] =
+      std::move(blk);
+  ctx.signal_event(es_b(ml, bk));
+}
+
+// --- Figure 11: DSC in the second dimension -------------------------------
+
+template <class Storage>
+navp::Mission row_carrier_2d_dsc(navp::Ctx ctx, const Plan2D<Storage>* plan,
+                                 int mi) {
+  // Wait for all nb blocks of the row to be staged here (the first block
+  // product already needs the whole carried row).
+  for (int k = 0; k < plan->cfg.nb(); ++k) {
+    co_await ctx.wait_event(es_a(mi, k));
+  }
+  auto& staged = ctx.node<Nodes2D<Storage>>().a_rows;
+  auto it = staged.find(mi);
+  NAVCPP_CHECK(it != staged.end(), "A row not staged for 2D DSC carrier");
+  std::vector<typename Storage::Block> ma = std::move(it->second);
+  staged.erase(it);
+
+  const int nb = plan->cfg.nb();
+  const int b = plan->cfg.block_order;
+  for (int mj = 0; mj < nb; ++mj) {
+    const int col = (nb - 1 - mi + mj) % nb;
+    co_await ctx.hop(plan->dist.owner(mi, col), plan->row_bytes);
+    co_await ctx.wait_event(ep(mi, col));
+    auto& nodes = ctx.node<Nodes2D<Storage>>();
+    auto& cblk = nodes.c.at(block_key(mi, col));
+    const auto& bcol = nodes.bcol_deposit.at(block_key(mi, col));
+    ctx.work("C-block",
+             plan->cfg.testbed.gemm_seconds(
+                 b, b, plan->cfg.order, perfmodel::CacheProfile::kResident),
+             [&] {
+               for (int bk = 0; bk < nb; ++bk) {
+                 Storage::gemm_acc(cblk, ma[static_cast<std::size_t>(bk)],
+                                   bcol[static_cast<std::size_t>(bk)]);
+               }
+             });
+  }
+}
+
+template <class Storage>
+navp::Mission col_carrier_2d_dsc(navp::Ctx ctx, const Plan2D<Storage>* plan,
+                                 int mj) {
+  for (int k = 0; k < plan->cfg.nb(); ++k) {
+    co_await ctx.wait_event(es_b(mj, k));
+  }
+  auto& staged = ctx.node<Nodes2D<Storage>>().b_cols;
+  auto it = staged.find(mj);
+  NAVCPP_CHECK(it != staged.end(), "B column not staged for 2D DSC carrier");
+  std::vector<typename Storage::Block> mb = std::move(it->second);
+  staged.erase(it);
+
+  const int nb = plan->cfg.nb();
+  for (int step = 0; step < nb; ++step) {
+    const int row = (nb - 1 - mj + step) % nb;
+    co_await ctx.hop(plan->dist.owner(row, mj), plan->row_bytes);
+    // "B(*) = mB(*)": place the column at this node for the consumer.
+    ctx.node<Nodes2D<Storage>>().bcol_deposit[block_key(row, mj)] = mb;
+    ctx.signal_event(ep(row, mj));
+  }
+}
+
+// --- Figures 13 & 15: block carriers ---------------------------------------
+//
+// Event keying.  Figure 13 (pipelining) uses plain EP(i,j)/EC(i,j): all
+// carriers of a row enter the pipeline at the same node in mk order and
+// every link preserves FIFO order, so the k-th EP at a node always pairs
+// the k-th A block with the k-th deposited B block.  Figure 15 (phase
+// shifting) breaks that argument: carriers enter each pipeline from
+// *different* origin nodes (their first hops are the reverse staggering),
+// and on an asynchronous machine a late first hop can be overtaken.  We
+// therefore key the phase-shifted events by the inner block index k as
+// well — EP(i,j,k) = "B(k, j) is in place at node (i,j)", EC(i,j,k) =
+// "B(k, j) at node (i,j) has been consumed" — a mechanical strengthening
+// of the paper's scheme that makes the pairing timing-independent.
+
+inline navp::EventKey ep_k(int node_linear, int k) {
+  return navp::EventKey{kEventProduced, node_linear, k};
+}
+inline navp::EventKey ec_k(int node_linear, int k) {
+  return navp::EventKey{kEventConsumed, node_linear, k};
+}
+
+/// ACarrier(mi, mk) — `phase_shifted` selects the Figure 15 itinerary.
+template <class Storage>
+navp::Mission a_carrier(navp::Ctx ctx, const Plan2D<Storage>* plan, int mi,
+                        int mk, bool phase_shifted,
+                        typename Storage::Block ma) {
+  const int nb = plan->cfg.nb();
+  const int b = plan->cfg.block_order;
+  for (int mj = 0; mj < nb; ++mj) {
+    const int col = phase_shifted ? (2 * nb - 1 - mi - mk + mj) % nb
+                                  : (nb - 1 - mi + mj) % nb;
+    co_await ctx.hop(plan->dist.owner(mi, col), plan->block_bytes);
+    if (phase_shifted) {
+      co_await ctx.wait_event(ep_k(mi * nb + col, mk));
+    } else {
+      co_await ctx.wait_event(ep(mi, col));
+    }
+    auto& nodes = ctx.node<Nodes2D<Storage>>();
+    ctx.work("C+=A*B",
+             plan->cfg.testbed.gemm_seconds(
+                 b, b, b, perfmodel::CacheProfile::kResident),
+             [&] {
+               Storage::gemm_acc(nodes.c.at(block_key(mi, col)), ma,
+                                 nodes.b_slot.at(block_key(mi, col)));
+             });
+    if (phase_shifted) {
+      ctx.signal_event(ec_k(mi * nb + col, mk));
+    } else {
+      ctx.signal_event(ec(mi, col));
+    }
+  }
+}
+
+/// BCarrier(mk, mj) — `phase_shifted` selects the Figure 15 itinerary.
+template <class Storage>
+navp::Mission b_carrier(navp::Ctx ctx, const Plan2D<Storage>* plan, int mk,
+                        int mj, bool phase_shifted,
+                        typename Storage::Block mb) {
+  const int nb = plan->cfg.nb();
+  for (int step = 0; step < nb; ++step) {
+    const int row = phase_shifted ? (2 * nb - 1 - mj - mk + step) % nb
+                                  : (nb - 1 - mj + step) % nb;
+    co_await ctx.hop(plan->dist.owner(row, mj), plan->block_bytes);
+    if (phase_shifted) {
+      // Wait until the previous round's B at this node was consumed.
+      co_await ctx.wait_event(ec_k(row * nb + mj, (mk + nb - 1) % nb));
+    } else {
+      co_await ctx.wait_event(ec(row, mj));
+    }
+    ctx.node<Nodes2D<Storage>>().b_slot[block_key(row, mj)] = mb;
+    if (phase_shifted) {
+      ctx.signal_event(ep_k(row * nb + mj, mk));
+    } else {
+      ctx.signal_event(ep(row, mj));
+    }
+  }
+}
+
+/// Figure 13's spawner(ml): injects the carriers of anti-diagonal node
+/// (N-1-ml, ml), in mk order (the order the pipelines rely on).
+template <class Storage>
+navp::Mission spawner_pipeline(navp::Ctx ctx, const Plan2D<Storage>* plan,
+                               int ml) {
+  const int nb = plan->cfg.nb();
+  const int mi = nb - 1 - ml;
+  // Inject each carrier pair as soon as its staged blocks arrive, in mk
+  // order (the order the downstream pipelines rely on).
+  for (int mk = 0; mk < nb; ++mk) {
+    co_await ctx.wait_event(es_a(mi, mk));
+    co_await ctx.wait_event(es_b(ml, mk));
+    auto& nodes = ctx.node<Nodes2D<Storage>>();
+    ctx.inject("ACarrier(" + std::to_string(mi) + "," + std::to_string(mk) +
+                   ")",
+               a_carrier<Storage>, plan, mi, mk, false,
+               std::move(nodes.a_rows.at(mi)[static_cast<std::size_t>(mk)]));
+    ctx.inject("BCarrier(" + std::to_string(mk) + "," + std::to_string(ml) +
+                   ")",
+               b_carrier<Storage>, plan, mk, ml, false,
+               std::move(nodes.b_cols.at(ml)[static_cast<std::size_t>(mk)]));
+  }
+  {
+    auto& nodes = ctx.node<Nodes2D<Storage>>();
+    nodes.a_rows.erase(mi);
+    nodes.b_cols.erase(ml);
+  }
+  co_return;
+}
+
+/// Figure 15's spawner(mj): walks down column mj, signals the initial
+/// EC (the "slot at node (mi,mj) is free for round 0" condition: the round
+/// preceding k0 = (N-1-mi-mj) mod N counts as already consumed), and
+/// injects the resident blocks' carriers at each node.
+template <class Storage>
+navp::Mission spawner_phase(navp::Ctx ctx, const Plan2D<Storage>* plan,
+                            int mj) {
+  const int nb = plan->cfg.nb();
+  for (int mi = 0; mi < nb; ++mi) {
+    co_await ctx.hop(plan->dist.owner(mi, mj), 0);
+    const int k0 = ((nb - 1 - mi - mj) % nb + nb) % nb;
+    ctx.signal_event(ec_k(mi * nb + mj, (k0 + nb - 1) % nb));
+    auto& nodes = ctx.node<Nodes2D<Storage>>();
+    auto a_it = nodes.a.find(block_key(mi, mj));
+    auto b_it = nodes.b.find(block_key(mi, mj));
+    NAVCPP_CHECK(a_it != nodes.a.end() && b_it != nodes.b.end(),
+                 "A/B blocks not resident for phase-shifted spawner");
+    // ACarrier(mi, mj): carries A(mi, mj); BCarrier(mi, mj): carries
+    // B(mi, mj) (the paper's mk is the block's own index).
+    ctx.inject("ACarrier(" + std::to_string(mi) + "," + std::to_string(mj) +
+                   ")",
+               a_carrier<Storage>, plan, mi, mj, true,
+               std::move(a_it->second));
+    ctx.inject("BCarrier(" + std::to_string(mi) + "," + std::to_string(mj) +
+                   ")",
+               b_carrier<Storage>, plan, mi, mj, true,
+               std::move(b_it->second));
+    nodes.a.erase(a_it);
+    nodes.b.erase(b_it);
+  }
+}
+
+}  // namespace detail2d
+
+/// Run one 2-D NavP variant on the square PE grid of `engine` (pe_count
+/// must be a perfect square).  Seeds the paper's initial distribution for
+/// the variant, runs, gathers C into `c_out` (real storage).
+template <class Storage>
+MmStats navp_mm_2d(machine::Engine& engine, const MmConfig& cfg,
+                   Navp2dVariant variant,
+                   const linalg::BlockGrid<Storage>& a,
+                   const linalg::BlockGrid<Storage>& b,
+                   linalg::BlockGrid<Storage>& c_out) {
+  using Nodes = detail2d::Nodes2D<Storage>;
+  int grid = 1;
+  while ((grid + 1) * (grid + 1) <= engine.pe_count()) ++grid;
+  NAVCPP_CHECK(grid * grid == engine.pe_count(),
+               "navp_mm_2d needs a square PE count");
+
+  const auto plan = std::make_unique<detail2d::Plan2D<Storage>>(cfg, grid);
+  const int nb = cfg.nb();
+  const auto& dist = plan->dist;
+
+  navp::Runtime rt(engine);
+  rt.set_trace(MmTraceScope::current());
+  rt.set_hop_state_bytes(cfg.testbed.hop_state_bytes);
+  rt.set_hop_cpu_overhead(cfg.testbed.hop_software_overhead);
+  rt.set_activation_overhead(cfg.testbed.daemon_dispatch_overhead);
+
+  for (int pe = 0; pe < engine.pe_count(); ++pe) {
+    rt.node_store(pe).template emplace<Nodes>();
+  }
+  // C(i,j), initialized to 0, on node(i,j) — all variants.
+  for (int bi = 0; bi < nb; ++bi) {
+    for (int bj = 0; bj < nb; ++bj) {
+      rt.node_store(dist.owner(bi, bj))
+          .template get<Nodes>()
+          .c.emplace(block_key(bi, bj),
+                     Storage::make(cfg.block_order, cfg.block_order));
+    }
+  }
+
+  // Canonical layout for every variant: A(i,j) and B(i,j) on node(i,j).
+  for (int bi = 0; bi < nb; ++bi) {
+    for (int bj = 0; bj < nb; ++bj) {
+      auto& nodes = rt.node_store(dist.owner(bi, bj)).template get<Nodes>();
+      nodes.a.emplace(block_key(bi, bj), a.at(bi, bj));
+      nodes.b.emplace(block_key(bi, bj), b.at(bi, bj));
+    }
+  }
+
+  if (variant == Navp2dVariant::kPhaseShifted) {
+    for (int mj = 0; mj < nb; ++mj) {
+      rt.inject(dist.owner(0, mj), "spawner(" + std::to_string(mj) + ")",
+                detail2d::spawner_phase<Storage>, plan.get(), mj);
+    }
+  } else {
+    // Figures 10 and 12 require A(N-1-l, *) and B(*, l) on node(N-1-l, l):
+    // staging agents move them there inside the timed run, announced by
+    // ES_A / ES_B events; empty slots are pre-sized at the staging nodes.
+    for (int ml = 0; ml < nb; ++ml) {
+      const int mi = nb - 1 - ml;
+      auto& nodes = rt.node_store(dist.owner(mi, ml)).template get<Nodes>();
+      nodes.a_rows.emplace(
+          mi, std::vector<typename Storage::Block>(
+                  static_cast<std::size_t>(nb)));
+      nodes.b_cols.emplace(
+          ml, std::vector<typename Storage::Block>(
+                  static_cast<std::size_t>(nb)));
+    }
+    for (int mi = 0; mi < nb; ++mi) {
+      for (int bk = 0; bk < nb; ++bk) {
+        rt.inject(dist.owner(mi, bk),
+                  "StageA(" + std::to_string(mi) + "," + std::to_string(bk) +
+                      ")",
+                  detail2d::stage_a_block<Storage>, plan.get(), mi, bk);
+        rt.inject(dist.owner(bk, mi),
+                  "StageB(" + std::to_string(bk) + "," + std::to_string(mi) +
+                      ")",
+                  detail2d::stage_b_block<Storage>, plan.get(), bk, mi);
+      }
+    }
+    if (variant == Navp2dVariant::kDsc) {
+      for (int ml = 0; ml < nb; ++ml) {
+        const int mi = nb - 1 - ml;
+        rt.inject(dist.owner(mi, ml), "RowCarrier(" + std::to_string(mi) + ")",
+                  detail2d::row_carrier_2d_dsc<Storage>, plan.get(), mi);
+        rt.inject(dist.owner(mi, ml), "ColCarrier(" + std::to_string(ml) + ")",
+                  detail2d::col_carrier_2d_dsc<Storage>, plan.get(), ml);
+      }
+    } else {
+      // Pipelining: EC(i,j) signaled initially on every node.
+      for (int bi = 0; bi < nb; ++bi) {
+        for (int bj = 0; bj < nb; ++bj) {
+          rt.pre_signal(dist.owner(bi, bj), ec(bi, bj));
+        }
+      }
+      for (int ml = 0; ml < nb; ++ml) {
+        rt.inject(dist.owner(nb - 1 - ml, ml),
+                  "spawner(" + std::to_string(ml) + ")",
+                  detail2d::spawner_pipeline<Storage>, plan.get(), ml);
+      }
+    }
+  }
+
+  rt.run();
+
+  for (int bi = 0; bi < nb; ++bi) {
+    for (int bj = 0; bj < nb; ++bj) {
+      auto& nodes = rt.node_store(dist.owner(bi, bj)).template get<Nodes>();
+      c_out.at(bi, bj) = std::move(nodes.c.at(block_key(bi, bj)));
+    }
+  }
+
+  MmStats stats;
+  stats.seconds = engine.finish_time();
+  stats.hops = rt.hop_count();
+  if (auto* sim = dynamic_cast<machine::SimMachine*>(&engine)) {
+    stats.messages = sim->network().message_count();
+    stats.bytes = sim->network().byte_count();
+  }
+  return stats;
+}
+
+}  // namespace navcpp::mm

@@ -1,0 +1,44 @@
+// The sequential baseline (the paper's Figure 2), at algorithmic-block
+// granularity, plus its analytic time on the calibrated testbed (including
+// the virtual-memory thrashing that forced the paper to curve-fit large-N
+// sequential baselines).
+#pragma once
+
+#include "linalg/block.h"
+#include "mm/common.h"
+
+namespace navcpp::mm {
+
+/// C += A * B over block grids, i-j-k block order (Figure 2 lifted to
+/// blocks).  Pure computation — no engine, no distribution.
+template <class Storage>
+void sequential_mm(const linalg::BlockGrid<Storage>& a,
+                   const linalg::BlockGrid<Storage>& b,
+                   linalg::BlockGrid<Storage>& c) {
+  NAVCPP_CHECK(a.order() == b.order() && a.order() == c.order() &&
+                   a.block_order() == b.block_order() &&
+                   a.block_order() == c.block_order(),
+               "sequential_mm: grid shape mismatch");
+  const int nb = a.nb();
+  for (int bi = 0; bi < nb; ++bi) {
+    for (int bj = 0; bj < nb; ++bj) {
+      for (int bk = 0; bk < nb; ++bk) {
+        Storage::gemm_acc(c.at(bi, bj), a.at(bi, bk), b.at(bk, bj));
+      }
+    }
+  }
+}
+
+/// Modeled wall time of the sequential run on one testbed workstation,
+/// including the paging blowup once 3*N^2 doubles exceed physical memory.
+inline double sequential_mm_seconds(const MmConfig& cfg) {
+  return cfg.testbed.sequential_mm_seconds(cfg.order);
+}
+
+/// Modeled time had memory been unlimited (the quantity the paper estimates
+/// by cubic curve fitting; see bench_table2 for the fitted version).
+inline double sequential_mm_seconds_in_core(const MmConfig& cfg) {
+  return cfg.testbed.gemm_seconds(cfg.order, cfg.order, cfg.order);
+}
+
+}  // namespace navcpp::mm

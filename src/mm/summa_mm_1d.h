@@ -1,0 +1,139 @@
+// Column SUMMA on a 1-D PE array — the ScaLAPACK stand-in for Table 1
+// (the paper runs ScaLAPACK on the same 3-workstation "1-D network" the
+// NavP 1-D programs use; a 1 x P process grid).
+//
+// Layout: A, B, C distributed by block-columns (the canonical 1-D layout).
+// For every block step k the owner of block-column k of A sends that
+// column panel to every other rank; each rank then accumulates
+// C(:, own) += A(:, k) * B(k, own) from its resident B blocks.
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "machine/engine.h"
+#include "machine/sim_machine.h"
+#include "minimpi/world.h"
+#include "mm/common.h"
+#include "mm/gentleman_mm.h"
+#include "navp/runtime.h"
+#include "navp/task.h"
+
+namespace navcpp::mm {
+
+namespace detailmpi {
+
+inline constexpr minimpi::Tag kTagACol = 9 << 20;
+
+template <class Storage>
+struct Summa1dPlan {
+  MmConfig cfg;
+  Dist1D dist;
+  std::size_t block_bytes = 0;
+
+  Summa1dPlan(const MmConfig& c, int pes)
+      : cfg(c),
+        dist(c.nb(), pes),
+        block_bytes(static_cast<std::size_t>(c.block_order) *
+                    static_cast<std::size_t>(c.block_order) *
+                    sizeof(double)) {}
+};
+
+template <class Storage>
+navp::Mission summa_1d_rank(minimpi::Comm comm,
+                            const Summa1dPlan<Storage>* plan,
+                            MpiIo<Storage>* io) {
+  const MmConfig& cfg = plan->cfg;
+  const int nb = cfg.nb();
+  const int w = plan->dist.width();
+  const int rank = comm.rank();
+  const int bj0 = rank * w;
+  using Block = typename Storage::Block;
+
+  // Local C columns (zero-initialized).
+  std::vector<Block> lc;
+  lc.reserve(static_cast<std::size_t>(nb) * w);
+  for (int c = 0; c < w; ++c) {
+    for (int bi = 0; bi < nb; ++bi) {
+      lc.push_back(Storage::make(cfg.block_order, cfg.block_order));
+    }
+  }
+  auto lc_at = [&](int c, int bi) -> Block& {
+    return lc[static_cast<std::size_t>(c) * nb + bi];
+  };
+
+  for (int k = 0; k < nb; ++k) {
+    const int owner = plan->dist.owner(k);
+    std::vector<Block> a_panel;  // A(bi, k), bi = 0..nb-1
+    a_panel.reserve(static_cast<std::size_t>(nb));
+    if (owner == rank) {
+      for (int peer = 0; peer < comm.size(); ++peer) {
+        if (peer == rank) continue;
+        for (int bi = 0; bi < nb; ++bi) {
+          send_block<Storage>(comm, peer, kTagACol + k * 1024 + bi,
+                              io->a->at(bi, k), plan->block_bytes);
+        }
+      }
+      for (int bi = 0; bi < nb; ++bi) a_panel.push_back(io->a->at(bi, k));
+    } else {
+      for (int bi = 0; bi < nb; ++bi) {
+        auto msg = co_await comm.recv(owner, kTagACol + k * 1024 + bi);
+        a_panel.push_back(block_from_message<Storage>(cfg, std::move(msg)));
+      }
+    }
+    for (int c = 0; c < w; ++c) {
+      const Block& bkj = io->b->at(k, bj0 + c);
+      for (int bi = 0; bi < nb; ++bi) {
+        comm.work("C+=A*B",
+                  cfg.testbed.gemm_seconds(
+                      cfg.block_order, cfg.block_order, cfg.block_order,
+                      perfmodel::CacheProfile::kResident),
+                  [&] { Storage::gemm_acc(lc_at(c, bi), a_panel
+                                          [static_cast<std::size_t>(bi)],
+                                          bkj); });
+      }
+    }
+  }
+
+  for (int c = 0; c < w; ++c) {
+    for (int bi = 0; bi < nb; ++bi) {
+      io->c->at(bi, bj0 + c) = std::move(lc_at(c, bi));
+    }
+  }
+  co_return;
+}
+
+}  // namespace detailmpi
+
+/// Run the 1-D column SUMMA / ScaLAPACK stand-in on all PEs of `engine`.
+template <class Storage>
+MmStats summa_mm_1d(machine::Engine& engine, const MmConfig& cfg,
+                    const linalg::BlockGrid<Storage>& a,
+                    const linalg::BlockGrid<Storage>& b,
+                    linalg::BlockGrid<Storage>& c_out) {
+  NAVCPP_CHECK(cfg.layout == Layout::kSlab,
+               "summa_mm_1d assumes the slab layout");
+  const auto plan = std::make_unique<detailmpi::Summa1dPlan<Storage>>(
+      cfg, engine.pe_count());
+  detailmpi::MpiIo<Storage> io{&a, &b, &c_out};
+
+  navp::Runtime rt(engine);
+  rt.set_trace(MmTraceScope::current());
+  rt.set_activation_overhead(cfg.testbed.daemon_dispatch_overhead);
+  minimpi::World world(rt);
+  world.launch(detailmpi::summa_1d_rank<Storage>, plan.get(), &io);
+  rt.run();
+  NAVCPP_CHECK(!world.has_leftover_messages(),
+               "summa_mm_1d left undelivered messages");
+
+  MmStats stats;
+  stats.seconds = engine.finish_time();
+  if (auto* sim = dynamic_cast<machine::SimMachine*>(&engine)) {
+    stats.messages = sim->network().message_count();
+    stats.bytes = sim->network().byte_count();
+  }
+  return stats;
+}
+
+}  // namespace navcpp::mm

@@ -1,0 +1,217 @@
+// Distributed block-matrix transpose — a communication pattern that is
+// *all* exchanges: block (i,j) swaps with block (j,i), an involution, so
+// by the section 5.3 analysis it needs at most two half-duplex
+// communication phases no matter the grid size.  Implemented both ways:
+//
+//   * navp_transpose — one SwapCarrier per off-diagonal block: it picks up
+//     its block, hops to the transposed owner, deposits it into a landing
+//     slot and signals; the resident block's own carrier does the same in
+//     the opposite direction.  The two directions of each pair are
+//     completely independent (no rendezvous needed: the landing slot is
+//     separate from the source slot).
+//   * mpi_transpose — every rank sends its off-diagonal blocks to the
+//     transposed owners and receives the replacements (pairwise exchange
+//     over mini-MPI; within a rank, local pairs are pointer-swapped).
+//
+// Both run on either backend and either layout; results are verified
+// block-for-block against the dense transpose.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "machine/engine.h"
+#include "machine/sim_machine.h"
+#include "minimpi/world.h"
+#include "mm/common.h"
+#include "mm/gentleman_mm.h"
+#include "navp/runtime.h"
+#include "navp/task.h"
+
+namespace navcpp::mm {
+
+namespace detail_tr {
+
+inline constexpr minimpi::Tag kTagSwap = 15 << 20;
+
+template <class Storage>
+struct TrNodes {
+  using Block = typename Storage::Block;
+  BlockMap<Block> blocks;   ///< resident blocks, keyed by (bi, bj)
+  BlockMap<Block> landing;  ///< incoming transposed blocks
+};
+
+template <class Storage>
+struct TrPlan {
+  MmConfig cfg;
+  Dist2D dist;
+  std::size_t block_bytes;
+  TrPlan(const MmConfig& c, int grid)
+      : cfg(c),
+        dist(c.nb(), grid, c.layout),
+        block_bytes(static_cast<std::size_t>(c.block_order) *
+                    static_cast<std::size_t>(c.block_order) *
+                    sizeof(double)) {}
+};
+
+template <class Storage>
+navp::Mission swap_carrier(navp::Ctx ctx, const TrPlan<Storage>* plan,
+                           int bi, int bj) {
+  auto& nodes = ctx.node<TrNodes<Storage>>();
+  auto it = nodes.blocks.find(block_key(bi, bj));
+  NAVCPP_CHECK(it != nodes.blocks.end(), "block missing for transpose");
+  typename Storage::Block mine = std::move(it->second);
+  nodes.blocks.erase(it);
+  Storage::transpose(mine);  // the block's own contents transpose too
+  // The landing map is disjoint from the source map, so the two directions
+  // of each pair need no rendezvous: deposit and finish.
+  co_await ctx.hop(plan->dist.owner(bj, bi), plan->block_bytes);
+  ctx.node<TrNodes<Storage>>().landing.emplace(block_key(bj, bi),
+                                               std::move(mine));
+}
+
+}  // namespace detail_tr
+
+/// NavP transpose: returns stats; `grid_io` is transposed in place.
+template <class Storage>
+MmStats navp_transpose(machine::Engine& engine, const MmConfig& cfg,
+                       linalg::BlockGrid<Storage>& grid_io) {
+  using Nodes = detail_tr::TrNodes<Storage>;
+  int grid = 1;
+  while ((grid + 1) * (grid + 1) <= engine.pe_count()) ++grid;
+  NAVCPP_CHECK(grid * grid == engine.pe_count(),
+               "navp_transpose needs a square PE count");
+  const auto plan = std::make_unique<detail_tr::TrPlan<Storage>>(cfg, grid);
+  const int nb = cfg.nb();
+
+  navp::Runtime rt(engine);
+  rt.set_trace(MmTraceScope::current());
+  rt.set_hop_state_bytes(cfg.testbed.hop_state_bytes);
+  rt.set_hop_cpu_overhead(cfg.testbed.hop_software_overhead);
+  rt.set_activation_overhead(cfg.testbed.daemon_dispatch_overhead);
+
+  for (int pe = 0; pe < engine.pe_count(); ++pe) {
+    rt.node_store(pe).template emplace<Nodes>();
+  }
+  for (int bi = 0; bi < nb; ++bi) {
+    for (int bj = 0; bj < nb; ++bj) {
+      rt.node_store(plan->dist.owner(bi, bj))
+          .template get<Nodes>()
+          .blocks.emplace(block_key(bi, bj), grid_io.at(bi, bj));
+    }
+  }
+  // One carrier per off-diagonal block.
+  for (int bi = 0; bi < nb; ++bi) {
+    for (int bj = 0; bj < nb; ++bj) {
+      if (bi == bj) continue;
+      rt.inject(plan->dist.owner(bi, bj),
+                "Swap(" + std::to_string(bi) + "," + std::to_string(bj) +
+                    ")",
+                detail_tr::swap_carrier<Storage>, plan.get(), bi, bj);
+    }
+  }
+  rt.run();
+
+  // Gather: landed blocks plus untouched diagonal ones.
+  for (int bi = 0; bi < nb; ++bi) {
+    for (int bj = 0; bj < nb; ++bj) {
+      auto& nodes =
+          rt.node_store(plan->dist.owner(bi, bj)).template get<Nodes>();
+      auto land = nodes.landing.find(block_key(bi, bj));
+      if (land != nodes.landing.end()) {
+        grid_io.at(bi, bj) = std::move(land->second);
+      } else {
+        auto res = nodes.blocks.find(block_key(bi, bj));
+        NAVCPP_CHECK(res != nodes.blocks.end() && bi == bj,
+                     "transpose lost a block");
+        // Diagonal blocks stay put but transpose within.
+        Storage::transpose(res->second);
+        grid_io.at(bi, bj) = std::move(res->second);
+      }
+    }
+  }
+
+  MmStats stats;
+  stats.seconds = engine.finish_time();
+  stats.hops = rt.hop_count();
+  if (auto* sim = dynamic_cast<machine::SimMachine*>(&engine)) {
+    stats.messages = sim->network().message_count();
+    stats.bytes = sim->network().byte_count();
+  }
+  return stats;
+}
+
+namespace detail_tr {
+
+template <class Storage>
+navp::Mission transpose_rank(minimpi::Comm comm, const TrPlan<Storage>* plan,
+                             detailmpi::MpiIo<Storage>* io) {
+  const int nb = plan->cfg.nb();
+  const int rank = comm.rank();
+  // Send my off-diagonal blocks whose transposed home is remote.
+  for (int bi = 0; bi < nb; ++bi) {
+    for (int bj = 0; bj < nb; ++bj) {
+      if (plan->dist.owner(bi, bj) != rank || bi == bj) continue;
+      const int dst = plan->dist.owner(bj, bi);
+      if (dst == rank) continue;  // local pair: swapped below
+      detailmpi::send_block<Storage>(comm, dst, kTagSwap + bi * nb + bj,
+                                     io->a->at(bi, bj), plan->block_bytes);
+    }
+  }
+  // Local pairs (both blocks on this rank): plain swap into the output.
+  // Remote: receive the partner block.
+  for (int bi = 0; bi < nb; ++bi) {
+    for (int bj = 0; bj < nb; ++bj) {
+      if (plan->dist.owner(bi, bj) != rank) continue;
+      typename Storage::Block blk;
+      if (bi == bj) {
+        blk = io->a->at(bi, bj);
+      } else {
+        const int src = plan->dist.owner(bj, bi);
+        if (src == rank) {
+          blk = io->a->at(bj, bi);
+        } else {
+          auto msg = co_await comm.recv(src, kTagSwap + bj * nb + bi);
+          blk = detailmpi::block_from_message<Storage>(plan->cfg,
+                                                       std::move(msg));
+        }
+      }
+      Storage::transpose(blk);
+      io->c->at(bi, bj) = std::move(blk);
+    }
+  }
+}
+
+}  // namespace detail_tr
+
+/// mini-MPI transpose: reads `a`, writes the transposed blocks into `c`.
+template <class Storage>
+MmStats mpi_transpose(machine::Engine& engine, const MmConfig& cfg,
+                      const linalg::BlockGrid<Storage>& a,
+                      linalg::BlockGrid<Storage>& c_out) {
+  int grid = 1;
+  while ((grid + 1) * (grid + 1) <= engine.pe_count()) ++grid;
+  NAVCPP_CHECK(grid * grid == engine.pe_count(),
+               "mpi_transpose needs a square PE count");
+  const auto plan = std::make_unique<detail_tr::TrPlan<Storage>>(cfg, grid);
+  detailmpi::MpiIo<Storage> io{&a, nullptr, &c_out};
+
+  navp::Runtime rt(engine);
+  rt.set_activation_overhead(cfg.testbed.daemon_dispatch_overhead);
+  minimpi::World world(rt);
+  world.launch(detail_tr::transpose_rank<Storage>, plan.get(), &io);
+  rt.run();
+  NAVCPP_CHECK(!world.has_leftover_messages(),
+               "mpi_transpose left undelivered messages");
+
+  MmStats stats;
+  stats.seconds = engine.finish_time();
+  if (auto* sim = dynamic_cast<machine::SimMachine*>(&engine)) {
+    stats.messages = sim->network().message_count();
+    stats.bytes = sim->network().byte_count();
+  }
+  return stats;
+}
+
+}  // namespace navcpp::mm

@@ -1,0 +1,181 @@
+// Mission: the coroutine type of a NavP self-migrating computation.
+//
+// A NavP "Messenger" is written as a plain C++20 coroutine:
+//
+//   navp::Mission row_carrier(navp::Ctx ctx, int mi) {
+//     std::vector<double> mA = ...;         // agent variables = locals
+//     for (int mj = 0; mj < N; ++mj) {
+//       co_await ctx.hop(node(mj), navp::bytes_of(mA));
+//       auto& node_vars = ctx.node<Cols>(); // node variables at this PE
+//       ...
+//     }
+//   }
+//
+// Locals live in the coroutine frame, which is exactly the paper's notion of
+// agent variables: private to the computation and available wherever it
+// migrates.  hop() suspends the coroutine and reschedules it on the target
+// PE's executor; the declared byte count (plus a fixed state overhead) is
+// what the network model charges, mirroring "the cost of a hop() is
+// essentially the cost of moving the data stored in agent variables plus a
+// small amount of state data".
+//
+// Missions are fire-and-forget: the Runtime assumes ownership at inject()
+// and destroys the frame at final suspend.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "navp/event.h"
+#include "navp/trace.h"
+
+namespace navcpp::navp {
+
+class Runtime;
+
+/// Byte size of a contiguous container's payload (for hop cost accounting).
+template <class T>
+std::size_t bytes_of(const std::vector<T>& v) {
+  return v.size() * sizeof(T);
+}
+template <class T>
+std::size_t bytes_of(std::span<const T> v) {
+  return v.size_bytes();
+}
+
+/// Runtime-owned bookkeeping for one live agent.
+///
+/// shared_ptr-managed because teardown responsibility is distributed: the
+/// registry, in-flight resume actions, and parked event waiters may each be
+/// the last one standing when a run aborts.  `root` is the outermost
+/// coroutine frame; destroying it cascades through any Task<> sub-coroutines
+/// the agent was suspended inside (their frames are owned by Task objects
+/// living in their caller's frame).
+struct AgentState : std::enable_shared_from_this<AgentState> {
+  AgentId id = 0;
+  std::string name;
+  int pe = 0;  ///< current residence
+  Runtime* rt = nullptr;
+  std::optional<EventKey> blocked_on;  ///< set while parked on an event
+  std::coroutine_handle<> root;        ///< outermost frame; null once dead
+
+  /// Destroy the whole suspended coroutine stack (idempotent).
+  void destroy_stack() noexcept {
+    if (root) {
+      auto h = root;
+      root = nullptr;
+      h.destroy();
+    }
+  }
+};
+
+/// Called by FinalAwaiter; defined in runtime.cpp (needs Runtime).
+void agent_finished(AgentState* state, std::exception_ptr error) noexcept;
+
+class Mission {
+ public:
+  struct promise_type;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  struct FinalAwaiter {
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(Handle h) const noexcept {
+      promise_type& p = h.promise();
+      AgentState* state = p.state;
+      std::exception_ptr error = p.error;
+      h.destroy();
+      agent_finished(state, error);
+    }
+    void await_resume() const noexcept {}
+  };
+
+  struct promise_type {
+    AgentState* state = nullptr;
+    std::exception_ptr error;
+
+    Mission get_return_object() {
+      return Mission(Handle::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    FinalAwaiter final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception() { error = std::current_exception(); }
+  };
+
+  Mission() = default;
+  explicit Mission(Handle h) : handle_(h) {}
+  Mission(Mission&& other) noexcept : handle_(other.handle_) {
+    other.handle_ = nullptr;
+  }
+  Mission& operator=(Mission&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = other.handle_;
+      other.handle_ = nullptr;
+    }
+    return *this;
+  }
+  Mission(const Mission&) = delete;
+  Mission& operator=(const Mission&) = delete;
+  ~Mission() { destroy(); }
+
+  /// Transfer frame ownership to the caller (the Runtime's executor).
+  Handle release() {
+    Handle h = handle_;
+    handle_ = nullptr;
+    return h;
+  }
+
+  bool valid() const { return handle_ != nullptr; }
+
+ private:
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+
+  Handle handle_;
+};
+
+/// RAII ownership of a suspended agent while its resume action sits in an
+/// executor queue or an in-flight message: if the action is dropped (machine
+/// failure, abandoned queue), the agent's whole coroutine stack is destroyed
+/// instead of leaked.  `handle` is the continuation to resume (possibly a
+/// Task<> sub-coroutine); destruction goes through the agent's root frame.
+class OwnedResume {
+ public:
+  OwnedResume(std::coroutine_handle<> h, std::shared_ptr<AgentState> agent)
+      : handle_(h), agent_(std::move(agent)) {}
+  OwnedResume(OwnedResume&& other) noexcept
+      : handle_(other.handle_), agent_(std::move(other.agent_)) {
+    other.handle_ = nullptr;
+  }
+  OwnedResume(const OwnedResume&) = delete;
+  OwnedResume& operator=(const OwnedResume&) = delete;
+  OwnedResume& operator=(OwnedResume&&) = delete;
+  ~OwnedResume() {
+    if (handle_ && agent_) agent_->destroy_stack();
+  }
+
+  /// Resume the coroutine, relinquishing ownership (the frame now either
+  /// self-destroys at final suspend or parks elsewhere).
+  void operator()() {
+    auto h = handle_;
+    handle_ = nullptr;
+    h.resume();
+  }
+
+ private:
+  std::coroutine_handle<> handle_;
+  std::shared_ptr<AgentState> agent_;
+};
+
+}  // namespace navcpp::navp

@@ -1,0 +1,111 @@
+// Cargo: declared agent variables with automatic payload accounting and
+// optional strict-migration serialization.
+//
+// In this single-process reproduction an agent's variables live in its
+// coroutine frame, so a hop "carries" them for free; the byte counts the
+// algorithms pass to Ctx::hop() are bookkeeping.  In the real MESSENGERS
+// system a hop serializes the agent variables into a message and rebuilds
+// them at the destination.  Cargo closes that fidelity gap:
+//
+//   * attach() registers the vectors/PODs an agent carries;
+//   * wire_bytes() is the exact payload a hop must charge (no hand
+//     counting — Ctx::hop_cargo() uses it);
+//   * in strict mode, hop_cargo() serializes every registered buffer into
+//     a ByteBuffer and restores it after the hop, so any accidental
+//     reliance on shared memory (e.g. carrying raw pointers to another
+//     PE's node variables) is exercised the way a distributed runtime
+//     would exercise it.
+//
+// Strict mode is a Runtime-level switch (set_strict_migration) so a whole
+// program can be audited without touching its agents.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <type_traits>
+#include <vector>
+
+#include "navp/runtime.h"
+#include "navp/task.h"
+#include "support/bytebuffer.h"
+#include "support/error.h"
+
+namespace navcpp::navp {
+
+class Cargo {
+ public:
+  /// Register a vector of trivially copyable elements the agent carries.
+  /// The vector must outlive the Cargo (it is an agent variable: a local
+  /// in the same coroutine frame).
+  template <class T>
+  void attach(std::vector<T>* v) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "Cargo carries trivially copyable elements only");
+    NAVCPP_CHECK(v != nullptr, "Cargo::attach: null vector");
+    items_.push_back(Item{
+        [v] { return v->size() * sizeof(T); },
+        [v](support::ByteBuffer& buf) { buf.put_vector(*v); },
+        [v](support::ByteBuffer& buf) { *v = buf.get_vector<T>(); },
+    });
+  }
+
+  /// Register a single trivially copyable value.
+  template <class T>
+  void attach_value(T* value) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "Cargo carries trivially copyable values only");
+    NAVCPP_CHECK(value != nullptr, "Cargo::attach_value: null value");
+    items_.push_back(Item{
+        [] { return sizeof(T); },
+        [value](support::ByteBuffer& buf) { buf.put(*value); },
+        [value](support::ByteBuffer& buf) { *value = buf.get<T>(); },
+    });
+  }
+
+  /// Exact wire payload of the registered cargo right now.
+  std::size_t wire_bytes() const {
+    std::size_t total = 0;
+    for (const auto& item : items_) total += item.size();
+    return total;
+  }
+
+  /// Serialize everything into a fresh buffer (strict-migration capture).
+  support::ByteBuffer save() const {
+    support::ByteBuffer buf;
+    for (const auto& item : items_) item.save(buf);
+    return buf;
+  }
+
+  /// Restore everything from a buffer produced by save().
+  void restore(support::ByteBuffer& buf) {
+    for (auto& item : items_) item.load(buf);
+    NAVCPP_CHECK(buf.remaining() == 0,
+                 "Cargo::restore: trailing bytes (cargo set changed "
+                 "between save and restore?)");
+  }
+
+  std::size_t item_count() const { return items_.size(); }
+
+ private:
+  struct Item {
+    std::function<std::size_t()> size;
+    std::function<void(support::ByteBuffer&)> save;
+    std::function<void(support::ByteBuffer&)> load;
+  };
+  std::vector<Item> items_;
+};
+
+/// Hop to `dest` carrying `cargo`: the payload is computed from the cargo,
+/// and under Runtime::set_strict_migration(true) the cargo is serialized
+/// before departure and rebuilt on arrival, emulating a real migration.
+inline Task<void> hop_cargo(Ctx ctx, int dest, Cargo& cargo) {
+  if (ctx.runtime().strict_migration()) {
+    support::ByteBuffer snapshot = cargo.save();
+    co_await ctx.hop(dest, cargo.wire_bytes());
+    cargo.restore(snapshot);
+  } else {
+    co_await ctx.hop(dest, cargo.wire_bytes());
+  }
+}
+
+}  // namespace navcpp::navp

@@ -1,0 +1,127 @@
+// NavP events: the synchronization primitive of MESSENGERS.
+//
+// Events are *node-local* counting semaphores identified by a small key
+// (a tag plus up to two integer coordinates — the paper writes EP(i,j),
+// EC(i,j)).  signalEvent() increments the count or hands the signal to the
+// oldest waiter; waitEvent() consumes a count or suspends the calling agent.
+// Only computations currently resident on a PE touch that PE's event table,
+// so the table needs no synchronization of its own.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "support/error.h"
+
+namespace navcpp::navp {
+
+struct AgentState;  // defined in navp/agent.h
+
+/// Identifies one event on one PE.  `tag` distinguishes event families
+/// (e.g. EP vs EC); `a`/`b` are coordinates (unused ones default to 0).
+struct EventKey {
+  std::int32_t tag = 0;
+  std::int32_t a = 0;
+  std::int32_t b = 0;
+
+  friend bool operator==(const EventKey&, const EventKey&) = default;
+
+  std::string str() const {
+    return "E" + std::to_string(tag) + "(" + std::to_string(a) + "," +
+           std::to_string(b) + ")";
+  }
+};
+
+struct EventKeyHash {
+  std::size_t operator()(const EventKey& k) const {
+    // Mix the three 32-bit fields; splitmix-style finalizer.
+    std::uint64_t x = (static_cast<std::uint64_t>(
+                           static_cast<std::uint32_t>(k.tag))
+                       << 32) ^
+                      (static_cast<std::uint64_t>(
+                           static_cast<std::uint32_t>(k.a))
+                       << 16) ^
+                      static_cast<std::uint32_t>(k.b);
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(x ^ (x >> 31));
+  }
+};
+
+/// One waiter parked on an event.
+struct EventWaiter {
+  std::coroutine_handle<> handle;
+  AgentState* agent = nullptr;
+};
+
+/// Per-PE table of event counts and waiters.
+class EventTable {
+ public:
+  /// Consume one signal if available.  Returns true on success.
+  bool try_consume(const EventKey& key) {
+    auto it = counts_.find(key);
+    if (it == counts_.end() || it->second == 0) return false;
+    --it->second;
+    return true;
+  }
+
+  /// Park a waiter on `key` (called only after try_consume failed).
+  void add_waiter(const EventKey& key, EventWaiter waiter) {
+    waiters_[key].push_back(waiter);
+  }
+
+  /// Signal `key`: returns the oldest waiter to resume, or a null-handle
+  /// waiter if none (in which case the signal count is banked).
+  EventWaiter signal(const EventKey& key) {
+    auto it = waiters_.find(key);
+    if (it != waiters_.end() && !it->second.empty()) {
+      EventWaiter w = it->second.front();
+      it->second.pop_front();
+      if (it->second.empty()) waiters_.erase(it);
+      return w;
+    }
+    ++counts_[key];
+    return EventWaiter{};
+  }
+
+  /// Number of banked (unconsumed) signals for `key`.
+  std::uint64_t pending_signals(const EventKey& key) const {
+    auto it = counts_.find(key);
+    return it == counts_.end() ? 0 : it->second;
+  }
+
+  /// Number of agents currently parked on `key`.
+  std::size_t waiter_count(const EventKey& key) const {
+    auto it = waiters_.find(key);
+    return it == waiters_.end() ? 0 : it->second.size();
+  }
+
+  bool has_waiters() const { return !waiters_.empty(); }
+
+  /// Visit every parked waiter (deadlock diagnostics).
+  void for_each_waiter(
+      const std::function<void(const EventKey&, const EventWaiter&)>& fn)
+      const {
+    for (const auto& [key, list] : waiters_) {
+      for (const auto& w : list) fn(key, w);
+    }
+  }
+
+  /// Sum of banked signals over all keys (leak/conservation checks).
+  std::uint64_t total_pending_signals() const {
+    std::uint64_t total = 0;
+    for (const auto& [key, n] : counts_) total += n;
+    return total;
+  }
+
+ private:
+  std::unordered_map<EventKey, std::uint64_t, EventKeyHash> counts_;
+  std::unordered_map<EventKey, std::deque<EventWaiter>, EventKeyHash>
+      waiters_;
+};
+
+}  // namespace navcpp::navp

@@ -1,0 +1,59 @@
+// Node variables: PE-resident state shared by all computations currently on
+// that PE (the paper's "thick boxes").
+//
+// Applications define a plain struct of node variables and install one
+// instance per PE before the run (or lazily from an agent).  Access is via
+// Ctx::node<T>(), which resolves against the agent's *current* PE — hop and
+// the view of `A`, `B`, `C` moves with you, exactly like MESSENGERS.
+//
+// No locking: a PE executes one computation at a time (see machine/engine.h).
+#pragma once
+
+#include <memory>
+#include <typeindex>
+#include <unordered_map>
+#include <utility>
+
+#include "support/error.h"
+
+namespace navcpp::navp {
+
+class NodeStore {
+ public:
+  /// Construct a T in this store.  At most one instance per type.
+  template <class T, class... Args>
+  T& emplace(Args&&... args) {
+    auto [it, inserted] = slots_.emplace(
+        std::type_index(typeid(T)),
+        Slot{new T(std::forward<Args>(args)...),
+             [](void* p) { delete static_cast<T*>(p); }});
+    NAVCPP_CHECK(inserted, "node variable of this type already installed");
+    return *static_cast<T*>(it->second.ptr.get());
+  }
+
+  /// Fetch the instance of T.  Throws if none was installed.
+  template <class T>
+  T& get() const {
+    auto it = slots_.find(std::type_index(typeid(T)));
+    NAVCPP_CHECK(it != slots_.end(),
+                 std::string("node variable not installed: ") +
+                     typeid(T).name());
+    return *static_cast<T*>(it->second.ptr.get());
+  }
+
+  /// True if an instance of T is installed.
+  template <class T>
+  bool has() const {
+    return slots_.find(std::type_index(typeid(T))) != slots_.end();
+  }
+
+ private:
+  struct Slot {
+    Slot(void* p, void (*deleter)(void*)) : ptr(p, deleter) {}
+    std::unique_ptr<void, void (*)(void*)> ptr;
+  };
+
+  std::unordered_map<std::type_index, Slot> slots_;
+};
+
+}  // namespace navcpp::navp

@@ -1,0 +1,84 @@
+// Reusable NavP coordination patterns, composed from hop/inject/events —
+// the idioms the case studies keep reaching for, packaged:
+//
+//   * spawn_and_await  — inject N agents and wait for all to finish
+//                        (a completion barrier via counting events).
+//   * parallel_for_pes — run a body once on every PE, in parallel.
+//   * ring_token       — circulate a value through every PE in order,
+//                        folding a function over it (the "traveling
+//                        accumulator" idiom of DSC).
+//
+// All patterns are awaitable Tasks usable inside any Mission, or runnable
+// from the outside via Runtime::inject of a small driver.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "navp/runtime.h"
+#include "navp/task.h"
+
+namespace navcpp::navp {
+
+namespace patterns_detail {
+inline constexpr std::int32_t kDoneTag = 40;  // completion events
+}  // namespace patterns_detail
+
+/// Body run by a spawned worker: receives the worker's Ctx and index.
+using WorkerBody = std::function<Task<void>(Ctx&, int index)>;
+
+/// Inject `count` workers (worker i starts on `origin(i)`) and suspend
+/// until all have completed.  `token` must be unique among concurrently
+/// running spawn_and_await calls on the calling agent's current PE.
+// NOTE: coroutine parameters are taken BY VALUE on purpose: a Task is
+// lazy, so reference parameters would dangle when the caller's temporaries
+// die before the first co_await (the classic coroutine footgun).
+inline Task<void> spawn_and_await(Ctx ctx, int count,
+                                  std::function<int(int)> origin,
+                                  WorkerBody body, int token = 0) {
+  const EventKey done{patterns_detail::kDoneTag, token, 0};
+  const int home = ctx.here();
+  for (int i = 0; i < count; ++i) {
+    const int pe = origin(i);
+    // Injection is local in MESSENGERS: spawn a local stub that hops to
+    // its origin, runs the body, then returns home to deliver the
+    // completion signal (events are node-local).
+    ctx.inject("worker" + std::to_string(i),
+               [](Ctx wctx, const WorkerBody* b, int index, int start,
+                  EventKey ev, int notify) -> Mission {
+                 if (wctx.here() != start) co_await wctx.hop(start, 0);
+                 co_await (*b)(wctx, index);
+                 if (wctx.here() != notify) co_await wctx.hop(notify, 0);
+                 wctx.signal_event(ev);
+               },
+               &body, i, pe, done, home);
+  }
+  for (int i = 0; i < count; ++i) co_await ctx.wait_event(done);
+}
+
+/// Run `body(ctx, pe)` once on every PE concurrently; await completion.
+inline Task<void> parallel_for_pes(Ctx ctx, WorkerBody body,
+                                   int token = 0) {
+  return spawn_and_await(
+      ctx, ctx.pe_count(), [](int i) { return i; }, std::move(body), token);
+}
+
+/// Circulate a value once around the PEs (starting at the caller's PE),
+/// folding `step(value, pe)` at each stop.  Returns the folded value; the
+/// caller ends up back on its starting PE.
+template <class T>
+Task<T> ring_token(Ctx ctx, T value, std::function<T(T, int)> step,
+                   std::size_t payload_bytes = sizeof(T)) {
+  const int home = ctx.here();
+  for (int k = 0; k < ctx.pe_count(); ++k) {
+    const int pe = (home + k) % ctx.pe_count();
+    if (pe != ctx.here()) co_await ctx.hop(pe, payload_bytes);
+    value = step(std::move(value), pe);
+  }
+  if (ctx.here() != home) co_await ctx.hop(home, payload_bytes);
+  co_return value;
+}
+
+}  // namespace navcpp::navp

@@ -1,0 +1,95 @@
+#include "navp/runtime.h"
+
+#include <sstream>
+#include <utility>
+
+namespace navcpp::navp {
+
+Runtime::Runtime(machine::Engine& engine)
+    : engine_(engine),
+      node_stores_(static_cast<std::size_t>(engine.pe_count())),
+      event_tables_(static_cast<std::size_t>(engine.pe_count())) {}
+
+Runtime::~Runtime() {
+  // Abnormal teardown (exception or deadlock) may leave agents suspended —
+  // parked on events or sitting in abandoned executor queues.  Destroy every
+  // unfinished agent's coroutine stack exactly once; destroy_stack() is
+  // idempotent, so a later OwnedResume drop for the same agent is harmless.
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  for (auto& [id, state] : registry_) state->destroy_stack();
+}
+
+std::shared_ptr<AgentState> Runtime::make_agent(int pe, std::string name) {
+  auto state = std::make_shared<AgentState>();
+  state->id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  state->name = std::move(name);
+  state->pe = pe;
+  state->rt = this;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    registry_.emplace(state->id, state);
+  }
+  injected_.fetch_add(1, std::memory_order_relaxed);
+  return state;
+}
+
+void Runtime::start_agent(const std::shared_ptr<AgentState>& state,
+                          Mission mission) {
+  Mission::Handle h = mission.release();
+  h.promise().state = state.get();
+  state->root = h;
+  engine_.task_started();
+  const int pe = state->pe;
+  engine_.post(pe, [this, pe, owned = OwnedResume(h, state)]() mutable {
+    engine_.charge(pe, activation_overhead_);
+    owned();
+  });
+}
+
+void Runtime::run() {
+  engine_.set_blocked_reporter([this] { return blocked_report(); });
+  engine_.run();
+}
+
+std::uint64_t Runtime::unconsumed_signals() const {
+  std::uint64_t total = 0;
+  for (const auto& table : event_tables_) {
+    total += table.total_pending_signals();
+  }
+  return total;
+}
+
+std::string Runtime::blocked_report() const {
+  std::ostringstream os;
+  for (std::size_t pe = 0; pe < event_tables_.size(); ++pe) {
+    event_tables_[pe].for_each_waiter(
+        [&](const EventKey& key, const EventWaiter& w) {
+          os << "  agent ";
+          if (w.agent != nullptr) {
+            os << '"' << w.agent->name << "\" (#" << w.agent->id << ")";
+          } else {
+            os << "<unknown>";
+          }
+          os << " blocked on PE " << pe << " waiting for " << key.str()
+             << '\n';
+        });
+  }
+  std::string report = os.str();
+  if (report.empty()) report = "  (no agents parked on events)\n";
+  return "blocked agents:\n" + report;
+}
+
+void agent_finished(AgentState* state, std::exception_ptr error) noexcept {
+  Runtime* rt = state->rt;
+  rt->completed_.fetch_add(1, std::memory_order_relaxed);
+  machine::Engine& engine = rt->engine_;
+  state->root = nullptr;  // frame already destroyed by FinalAwaiter
+  {
+    std::lock_guard<std::mutex> lock(rt->registry_mutex_);
+    rt->registry_.erase(state->id);
+  }
+  if (error) engine.fail(error);
+  engine.task_finished();
+}
+
+}  // namespace navcpp::navp

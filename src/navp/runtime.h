@@ -1,0 +1,357 @@
+// The NavP runtime: our reimplementation of the MESSENGERS system the paper
+// builds on (http://www.ics.uci.edu/~bic/messengers).
+//
+// A Runtime binds the NavP programming model to a machine::Engine (threaded
+// or simulated).  It owns, per PE: the node-variable store and the event
+// table.  Agents (Mission coroutines) are injected at a PE and then navigate
+// with Ctx::hop(), synchronize with Ctx::wait_event()/signal_event(), spawn
+// peers with Ctx::inject() (always local, as in MESSENGERS), and account
+// their computation with Ctx::work()/compute().
+//
+// See navp/agent.h for how agent variables map onto coroutine frames.
+#pragma once
+
+#include <atomic>
+#include <coroutine>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "machine/engine.h"
+#include "navp/agent.h"
+#include "navp/event.h"
+#include "navp/node_store.h"
+#include "navp/trace.h"
+#include "support/error.h"
+
+namespace navcpp::navp {
+
+class Ctx;
+
+class Runtime {
+ public:
+  explicit Runtime(machine::Engine& engine);
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  int pe_count() const { return engine_.pe_count(); }
+  machine::Engine& engine() { return engine_; }
+
+  /// Node-variable store of `pe` (install application state here before
+  /// run(), or lazily from an agent resident on that PE).
+  NodeStore& node_store(int pe) {
+    check_pe(pe);
+    return node_stores_[static_cast<std::size_t>(pe)];
+  }
+
+  /// Event table of `pe`.  Exposed for diagnostics and tests; agents use
+  /// Ctx::wait_event()/signal_event().
+  EventTable& events(int pe) {
+    check_pe(pe);
+    return event_tables_[static_cast<std::size_t>(pe)];
+  }
+
+  /// Bank a signal on `pe` before the run starts (the paper's "an event
+  /// EC(i,j) is signaled on node(i,j) initially").
+  void pre_signal(int pe, EventKey key) {
+    events(pe).signal(key);
+    signals_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Inject (spawn) an agent at `pe`.  `fn` must be a coroutine function
+  /// invocable as fn(Ctx, args...) returning Mission.  This is the
+  /// "command line" injection of MESSENGERS; agents themselves must use
+  /// Ctx::inject(), which is local-only.
+  template <class F, class... Args>
+  AgentId inject(int pe, std::string name, F&& fn, Args&&... args);
+
+  /// Drive the machine until every agent finished.  Throws DeadlockError
+  /// (with a blocked-agent report) on a stall, and rethrows the first
+  /// exception escaping any agent.
+  void run();
+
+  /// Attach / detach a trace recorder (nullptr = off).
+  void set_trace(TraceRecorder* trace) { trace_ = trace; }
+  TraceRecorder* trace() const { return trace_; }
+
+  /// Fixed per-hop state overhead in bytes ("a small amount of state data").
+  void set_hop_state_bytes(std::size_t n) { hop_state_bytes_ = n; }
+  std::size_t hop_state_bytes() const { return hop_state_bytes_; }
+
+  /// Sender-side CPU seconds charged per hop (MESSENGERS thread-state
+  /// capture and dispatch), on top of the network model's message costs.
+  void set_hop_cpu_overhead(double seconds) { hop_cpu_overhead_ = seconds; }
+  double hop_cpu_overhead() const { return hop_cpu_overhead_; }
+
+  /// CPU seconds charged to a PE every time a suspended computation is
+  /// re-activated there (hop arrival, event wake, injection start) — the
+  /// daemon dequeue / context-switch cost of the MESSENGERS runtime.
+  void set_activation_overhead(double seconds) {
+    activation_overhead_ = seconds;
+  }
+  double activation_overhead() const { return activation_overhead_; }
+
+  /// Strict migration auditing: when on, navp::hop_cargo() serializes the
+  /// registered agent variables around every hop (see navp/cargo.h).
+  void set_strict_migration(bool on) { strict_migration_ = on; }
+  bool strict_migration() const { return strict_migration_; }
+
+  // --- statistics (for tests and cost audits) ---------------------------
+  std::uint64_t agents_injected() const {
+    return injected_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t agents_completed() const {
+    return completed_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t hop_count() const {
+    return hops_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t signals_sent() const {
+    return signals_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t waits_satisfied() const {
+    return waits_.load(std::memory_order_relaxed);
+  }
+  /// Signals banked across all PEs and never consumed (post-run audit).
+  std::uint64_t unconsumed_signals() const;
+
+  /// Human-readable list of agents parked on events (deadlock diagnostics).
+  std::string blocked_report() const;
+
+  // --- internal (used by Ctx, the awaiters, and minimpi) -----------------
+  void count_hop() { hops_.fetch_add(1, std::memory_order_relaxed); }
+  void count_signal() { signals_.fetch_add(1, std::memory_order_relaxed); }
+  void count_wait() { waits_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Signal `key` on `pe`, waking the oldest waiter if any.  MUST be called
+  /// from code executing on `pe` (an agent resident there, or a message
+  /// delivery action) — PE confinement is what makes this race-free.
+  void signal_on(int pe, EventKey key) {
+    count_signal();
+    EventWaiter w = events(pe).signal(key);
+    if (w.handle) {
+      engine_.post(pe, [this, pe,
+                        owned = OwnedResume(
+                            w.handle,
+                            w.agent->shared_from_this())]() mutable {
+        engine_.charge(pe, activation_overhead_);
+        owned();
+      });
+    }
+  }
+
+ private:
+  friend void agent_finished(AgentState* state,
+                             std::exception_ptr error) noexcept;
+
+  void check_pe(int pe) const {
+    NAVCPP_CHECK(pe >= 0 && pe < pe_count(),
+                 "PE id " + std::to_string(pe) + " out of range [0, " +
+                     std::to_string(pe_count()) + ")");
+  }
+
+  std::shared_ptr<AgentState> make_agent(int pe, std::string name);
+  void start_agent(const std::shared_ptr<AgentState>& state, Mission mission);
+
+  machine::Engine& engine_;
+  std::vector<NodeStore> node_stores_;
+  std::vector<EventTable> event_tables_;
+  TraceRecorder* trace_ = nullptr;
+  std::size_t hop_state_bytes_ = 256;
+  double hop_cpu_overhead_ = 0.0;
+  double activation_overhead_ = 0.0;
+  bool strict_migration_ = false;
+
+  std::mutex registry_mutex_;
+  std::unordered_map<AgentId, std::shared_ptr<AgentState>> registry_;
+  std::atomic<std::uint64_t> next_id_{1};
+  std::atomic<std::uint64_t> injected_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> hops_{0};
+  std::atomic<std::uint64_t> signals_{0};
+  std::atomic<std::uint64_t> waits_{0};
+};
+
+/// The handle an agent uses to interact with the NavP world.  Cheap to copy;
+/// passed by value as the first parameter of every Mission coroutine.
+class Ctx {
+ public:
+  explicit Ctx(AgentState* state) : state_(state) {}
+
+  /// PE the agent currently resides on.
+  int here() const { return state_->pe; }
+  int pe_count() const { return state_->rt->pe_count(); }
+  AgentId id() const { return state_->id; }
+  const std::string& name() const { return state_->name; }
+  Runtime& runtime() const { return *state_->rt; }
+
+  /// Current time at the agent's PE (virtual or wall seconds).
+  double now() const { return state_->rt->engine().now(state_->pe); }
+
+  /// Migrate to PE `dest`, carrying `payload_bytes` of agent variables.
+  /// Awaitable; the coroutine resumes on the destination PE.
+  [[nodiscard]] auto hop(int dest, std::size_t payload_bytes = 0);
+
+  /// Wait for one signal of `key` on the *current* PE.  Awaitable.
+  [[nodiscard]] auto wait_event(EventKey key);
+
+  /// Signal `key` on the current PE, waking the oldest waiter if any.
+  void signal_event(EventKey key);
+
+  /// Node variables of type T resident on the current PE.
+  template <class T>
+  T& node() const {
+    return state_->rt->node_store(state_->pe).get<T>();
+  }
+
+  /// Spawn an agent on the current PE (injection is always local in
+  /// MESSENGERS; use hop() first to spawn elsewhere).
+  template <class F, class... Args>
+  AgentId inject(std::string name, F&& fn, Args&&... args) {
+    return state_->rt->inject(state_->pe, std::move(name),
+                              std::forward<F>(fn),
+                              std::forward<Args>(args)...);
+  }
+
+  /// Perform `body` (real work) and charge `cost_seconds` of modeled time;
+  /// records one compute span in the trace.  On the threaded backend the
+  /// charge is a no-op and the span covers the body's wall time.
+  template <class Fn>
+  void work(const char* label, double cost_seconds, Fn&& body) {
+    const double t0 = now();
+    body();
+    state_->rt->engine().charge(state_->pe, cost_seconds);
+    if (auto* tr = state_->rt->trace()) {
+      tr->record_span(TraceSpan{state_->id, state_->pe, t0, now(),
+                                TraceSpan::Kind::kCompute, label});
+    }
+  }
+
+  /// Charge modeled compute time with no real work (phantom storage).
+  void compute(double cost_seconds, const char* label = "compute") {
+    work(label, cost_seconds, [] {});
+  }
+
+ private:
+  friend struct HopAwaiter;
+  friend struct EventAwaiter;
+
+  AgentState* state_;
+};
+
+struct HopAwaiter {
+  AgentState* state;
+  int dest;
+  std::size_t payload_bytes;
+
+  // MESSENGERS semantics: a hop() to the node the computation already
+  // resides on is a no-op — the thread keeps running without yielding the
+  // PE.  This is load-bearing for the Pipelining Transformation: a carrier
+  // finishes all its work on a PE in one scheduling slice and departs
+  // before the next carrier starts, instead of round-robin interleaving
+  // with it (which would stall the pipeline front).
+  bool await_ready() const noexcept {
+    if (dest == state->pe) {
+      state->rt->count_hop();  // the program issued a hop(); count it
+      return true;
+    }
+    return false;
+  }
+
+  void await_suspend(std::coroutine_handle<> h) {
+    Runtime* rt = state->rt;
+    const int src = state->pe;
+    if (rt->hop_cpu_overhead() > 0.0 && src != dest) {
+      rt->engine().charge(src, rt->hop_cpu_overhead());
+    }
+    const double depart = rt->engine().now(src);
+    const std::size_t bytes = payload_bytes + rt->hop_state_bytes();
+    state->pe = dest;
+    rt->count_hop();
+    AgentState* st = state;
+    rt->engine().transmit(
+        src, dest, bytes,
+        [st, src, d = dest, depart, bytes,
+         owned = OwnedResume(h, state->shared_from_this())]() mutable {
+          Runtime* r = st->rt;
+          r->engine().charge(d, r->activation_overhead());
+          if (auto* tr = r->trace()) {
+            tr->record_hop(TraceHop{st->id, src, d, depart,
+                                    r->engine().now(d), bytes});
+          }
+          owned();
+        });
+  }
+
+  void await_resume() const noexcept {}
+};
+
+struct EventAwaiter {
+  AgentState* state;
+  EventKey key;
+  double wait_start = 0.0;
+
+  bool await_ready() {
+    Runtime* rt = state->rt;
+    if (rt->events(state->pe).try_consume(key)) {
+      rt->count_wait();
+      return true;
+    }
+    return false;
+  }
+
+  void await_suspend(std::coroutine_handle<> h) {
+    Runtime* rt = state->rt;
+    wait_start = rt->engine().now(state->pe);
+    state->blocked_on = key;
+    rt->events(state->pe).add_waiter(key, EventWaiter{h, state});
+  }
+
+  void await_resume() {
+    if (state->blocked_on.has_value()) {
+      // We actually suspended; close out the wait span.
+      state->blocked_on.reset();
+      Runtime* rt = state->rt;
+      rt->count_wait();
+      if (auto* tr = rt->trace()) {
+        tr->record_span(TraceSpan{state->id, state->pe, wait_start,
+                                  rt->engine().now(state->pe),
+                                  TraceSpan::Kind::kWait, key.str()});
+      }
+    }
+  }
+};
+
+inline auto Ctx::hop(int dest, std::size_t payload_bytes) {
+  NAVCPP_CHECK(dest >= 0 && dest < pe_count(),
+               "hop destination " + std::to_string(dest) +
+                   " out of range [0, " + std::to_string(pe_count()) + ")");
+  return HopAwaiter{state_, dest, payload_bytes};
+}
+
+inline auto Ctx::wait_event(EventKey key) {
+  return EventAwaiter{state_, key};
+}
+
+inline void Ctx::signal_event(EventKey key) {
+  state_->rt->signal_on(state_->pe, key);
+}
+
+template <class F, class... Args>
+AgentId Runtime::inject(int pe, std::string name, F&& fn, Args&&... args) {
+  check_pe(pe);
+  std::shared_ptr<AgentState> state = make_agent(pe, std::move(name));
+  Mission mission =
+      std::forward<F>(fn)(Ctx(state.get()), std::forward<Args>(args)...);
+  NAVCPP_CHECK(mission.valid(), "agent function returned an empty Mission");
+  start_agent(state, std::move(mission));
+  return state->id;
+}
+
+}  // namespace navcpp::navp

@@ -1,0 +1,151 @@
+// Task<T>: an awaitable sub-coroutine for composing agent logic.
+//
+// A Mission is fire-and-forget (owned by the Runtime); a Task<T> is a
+// callee awaited by its caller:
+//
+//   navp::Task<double> fetch(navp::Ctx ctx, ...) { ... co_return x; }
+//   navp::Mission agent(navp::Ctx ctx) {
+//     double x = co_await fetch(ctx, ...);
+//   }
+//
+// Uses symmetric transfer: the callee starts lazily when awaited, and its
+// final suspend resumes the caller directly (no executor round-trip), so a
+// Task behaves exactly like inline code that happens to contain co_awaits.
+// Exceptions thrown in the callee re-surface at the caller's co_await.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+#include "support/error.h"
+
+namespace navcpp::navp {
+
+template <class T>
+class Task;
+
+namespace detail {
+
+template <class T>
+struct TaskPromiseBase {
+  std::coroutine_handle<> continuation;
+  std::exception_ptr error;
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+
+  struct FinalAwaiter {
+    bool await_ready() const noexcept { return false; }
+    template <class Promise>
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<Promise> h) const noexcept {
+      auto cont = h.promise().continuation;
+      return cont ? cont : std::noop_coroutine();
+    }
+    void await_resume() const noexcept {}
+  };
+
+  FinalAwaiter final_suspend() noexcept { return {}; }
+  void unhandled_exception() { error = std::current_exception(); }
+};
+
+}  // namespace detail
+
+template <class T = void>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type : detail::TaskPromiseBase<T> {
+    std::optional<T> value;
+
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_value(T v) { value = std::move(v); }
+  };
+
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Task() = default;
+  explicit Task(Handle h) : handle_(h) {}
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> caller) {
+    handle_.promise().continuation = caller;
+    return handle_;  // symmetric transfer: start the callee now
+  }
+  T await_resume() {
+    auto& p = handle_.promise();
+    if (p.error) std::rethrow_exception(p.error);
+    NAVCPP_CHECK(p.value.has_value(), "Task finished without a value");
+    return std::move(*p.value);
+  }
+
+ private:
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+  Handle handle_;
+};
+
+template <>
+class [[nodiscard]] Task<void> {
+ public:
+  struct promise_type : detail::TaskPromiseBase<void> {
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_void() {}
+  };
+
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Task() = default;
+  explicit Task(Handle h) : handle_(h) {}
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> caller) {
+    handle_.promise().continuation = caller;
+    return handle_;
+  }
+  void await_resume() {
+    auto& p = handle_.promise();
+    if (p.error) std::rethrow_exception(p.error);
+  }
+
+ private:
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+  Handle handle_;
+};
+
+}  // namespace navcpp::navp

@@ -1,0 +1,92 @@
+#include "navp/trace.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+namespace navcpp::navp {
+
+namespace {
+char agent_glyph(AgentId id) {
+  static const char kDigits[] = "0123456789abcdefghijklmnopqrstuvwxyz";
+  return kDigits[id % 36];
+}
+}  // namespace
+
+TraceStats summarize(const TraceRecorder& trace, int pe_count) {
+  TraceStats stats;
+  stats.compute_by_pe.assign(
+      static_cast<std::size_t>(std::max(pe_count, 0)), 0.0);
+  for (const auto& s : trace.spans()) {
+    const double span = s.t1 - s.t0;
+    stats.end_time = std::max(stats.end_time, s.t1);
+    if (s.kind == TraceSpan::Kind::kCompute) {
+      stats.total_compute += span;
+      if (s.pe >= 0 && s.pe < pe_count) {
+        stats.compute_by_pe[static_cast<std::size_t>(s.pe)] += span;
+      }
+    } else {
+      stats.total_wait += span;
+    }
+  }
+  for (const auto& h : trace.hops()) {
+    ++stats.hop_count;
+    stats.hop_bytes += h.bytes;
+    stats.end_time = std::max(stats.end_time, h.arrive);
+  }
+  return stats;
+}
+
+double mean_utilization(const TraceStats& stats) {
+  if (stats.end_time <= 0.0 || stats.compute_by_pe.empty()) return 0.0;
+  double sum = 0.0;
+  for (double c : stats.compute_by_pe) sum += c / stats.end_time;
+  return sum / static_cast<double>(stats.compute_by_pe.size());
+}
+
+std::string TraceRecorder::render_spacetime(int pe_count, int rows) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if ((spans_.empty() && hops_.empty()) || pe_count <= 0 || rows <= 0) {
+    return "(empty trace)\n";
+  }
+  double t_end = 0.0;
+  for (const auto& s : spans_) t_end = std::max(t_end, s.t1);
+  for (const auto& h : hops_) t_end = std::max(t_end, h.arrive);
+  if (t_end <= 0.0) t_end = 1.0;
+  const double dt = t_end / rows;
+
+  // grid[row][pe]: '.' idle; digit = computing agent; '|' = waiting.
+  std::vector<std::string> grid(static_cast<std::size_t>(rows),
+                                std::string(static_cast<std::size_t>(pe_count),
+                                            '.'));
+  auto paint = [&](const TraceSpan& s, char fill) {
+    if (s.pe < 0 || s.pe >= pe_count) return;
+    int r0 = static_cast<int>(s.t0 / dt);
+    int r1 = static_cast<int>(s.t1 / dt);
+    r0 = std::clamp(r0, 0, rows - 1);
+    r1 = std::clamp(r1, 0, rows - 1);
+    for (int r = r0; r <= r1; ++r) {
+      char& cell = grid[static_cast<std::size_t>(r)]
+                       [static_cast<std::size_t>(s.pe)];
+      // Compute spans win over wait spans so pipelines read clearly.
+      if (fill != '|' || cell == '.') cell = fill;
+    }
+  };
+  for (const auto& s : spans_) {
+    paint(s, s.kind == TraceSpan::Kind::kWait ? '|' : agent_glyph(s.agent));
+  }
+
+  std::ostringstream os;
+  os << "time v   PE: ";
+  for (int pe = 0; pe < pe_count; ++pe) os << pe % 10;
+  os << '\n';
+  for (int r = 0; r < rows; ++r) {
+    os.width(9);
+    os.precision(4);
+    os << std::fixed << (r * dt) << "    " << grid[static_cast<std::size_t>(r)]
+       << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace navcpp::navp

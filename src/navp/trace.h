@@ -1,0 +1,90 @@
+// Execution tracing: records the space-time behaviour of a NavP run so the
+// paper's Figure-1-style diagrams can be regenerated from real executions.
+//
+// The recorder is optional (null by default — zero overhead when off) and
+// thread-safe (the threaded backend records from several PE threads).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace navcpp::navp {
+
+using AgentId = std::uint64_t;
+
+/// A span of agent activity on one PE.
+struct TraceSpan {
+  enum class Kind { kCompute, kWait };
+  AgentId agent = 0;
+  int pe = 0;
+  double t0 = 0.0;
+  double t1 = 0.0;
+  Kind kind = Kind::kCompute;
+  std::string label;
+};
+
+/// One hop of one agent between PEs.
+struct TraceHop {
+  AgentId agent = 0;
+  int src = 0;
+  int dst = 0;
+  double depart = 0.0;
+  double arrive = 0.0;
+  std::uint64_t bytes = 0;
+};
+
+class TraceRecorder {
+ public:
+  void record_span(TraceSpan span) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    spans_.push_back(std::move(span));
+  }
+
+  void record_hop(TraceHop hop) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    hops_.push_back(hop);
+  }
+
+  /// Snapshot accessors (call after the run; no concurrent writers then).
+  const std::vector<TraceSpan>& spans() const { return spans_; }
+  const std::vector<TraceHop>& hops() const { return hops_; }
+
+  void clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    spans_.clear();
+    hops_.clear();
+  }
+
+  /// Render an ASCII space-time diagram (time flows downward, one column
+  /// per PE — the layout of the paper's Figure 1).  `rows` controls the
+  /// vertical resolution.  Each cell shows the id (mod 36, base-36 digit)
+  /// of the agent computing on that PE during that time slice, '.' for
+  /// idle, and '|' for an agent parked on an event.
+  std::string render_spacetime(int pe_count, int rows = 40) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<TraceSpan> spans_;
+  std::vector<TraceHop> hops_;
+};
+
+/// Aggregate statistics derived from a trace.
+struct TraceStats {
+  double total_compute = 0.0;  ///< sum of compute-span durations
+  double total_wait = 0.0;     ///< sum of wait-span durations
+  double end_time = 0.0;       ///< last span/hop end
+  std::uint64_t hop_count = 0;
+  std::uint64_t hop_bytes = 0;
+  std::vector<double> compute_by_pe;  ///< per-PE compute seconds
+};
+
+/// Summarize a finished run's trace.  `pe_count` sizes the per-PE vector;
+/// spans on out-of-range PEs are ignored.
+TraceStats summarize(const TraceRecorder& trace, int pe_count);
+
+/// Mean fraction of [0, stats.end_time] the PEs spent computing.
+double mean_utilization(const TraceStats& stats);
+
+}  // namespace navcpp::navp

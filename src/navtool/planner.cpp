@@ -1,0 +1,159 @@
+#include "navtool/planner.h"
+
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "navp/task.h"
+#include "support/error.h"
+
+namespace navcpp::navtool {
+
+namespace {
+
+/// Event family for planned cross-thread dependences: E(t, s) = "S(t, s)
+/// has executed".
+navp::EventKey done_event(int t, int s) {
+  return navp::EventKey{21, t, s};
+}
+
+}  // namespace
+
+Plan plan_nest(const NestSpec& spec, const mm::Dist1D& dist) {
+  NAVCPP_CHECK(spec.threads >= 1 && spec.steps >= 1,
+               "plan_nest: empty iteration space");
+  NAVCPP_CHECK(dist.nb() == spec.steps,
+               "plan_nest: distribution must cover the s dimension");
+
+  std::ostringstream why;
+  Plan plan;
+
+  // --- Step 1: DSC is always available. --------------------------------
+  why << "1. DSC Transformation: distribute the s dimension ("
+      << spec.steps << " steps over " << dist.pes()
+      << " PEs) and insert hop(owner(s)) into the sequential nest.\n";
+
+  // --- Step 2: may the t-iterations overlap? ----------------------------
+  const bool can_pipeline =
+      spec.rows_independent || spec.needs_previous_thread_same_step;
+  if (spec.rows_independent) {
+    why << "2. Pipelining Transformation: S(t,*) are mutually independent; "
+           "one carrier per t, staggered by injection order.\n";
+  } else if (spec.needs_previous_thread_same_step) {
+    why << "2. Pipelining Transformation: S(t,s) depends on S(t-1,s); the "
+           "carriers may still overlap one PE apart, guarded by "
+           "waitEvent(E(t-1,s)) / signalEvent(E(t,s)).\n";
+  } else {
+    why << "2. Pipelining Transformation: NOT applicable — the t-"
+           "iterations conflict and no event guard was declared; the "
+           "program stays DSC.\n";
+  }
+
+  // --- Step 3: may the carriers enter at different PEs? ------------------
+  const bool can_phase_shift = can_pipeline && spec.start_rotatable &&
+                               !spec.needs_previous_thread_same_step;
+  if (can_phase_shift) {
+    why << "3. Phase-shifting Transformation: each thread's s-loop is "
+           "rotatable, so thread t enters at step (steps-1-t) mod steps "
+           "and full parallelism is reached.\n";
+  } else if (can_pipeline) {
+    if (!spec.start_rotatable) {
+      why << "3. Phase-shifting: NOT applicable — the s-loop is not "
+             "rotatable (each thread must start at s = 0).\n";
+    } else {
+      why << "3. Phase-shifting: NOT applicable — the cross-thread "
+             "same-step dependence pins every thread behind its "
+             "predecessor.\n";
+    }
+  }
+
+  plan.transformation = can_phase_shift  ? Transformation::kPhaseShifted
+                        : can_pipeline   ? Transformation::kPipelined
+                                         : Transformation::kDsc;
+  plan.rationale = why.str();
+
+  // --- Emit the itineraries. ---------------------------------------------
+  const bool events = spec.needs_previous_thread_same_step;
+  if (plan.transformation == Transformation::kDsc) {
+    // One thread executes everything, t-major, s-ascending.
+    ThreadPlan carrier;
+    carrier.thread = 0;
+    carrier.origin_pe = dist.owner(0);
+    for (int t = 0; t < spec.threads; ++t) {
+      for (int s = 0; s < spec.steps; ++s) {
+        carrier.steps.push_back(PlannedStep{dist.owner(s), s, false, false});
+      }
+    }
+    plan.threads.push_back(std::move(carrier));
+    return plan;
+  }
+
+  for (int t = 0; t < spec.threads; ++t) {
+    ThreadPlan thread;
+    thread.thread = t;
+    const int rotation =
+        plan.transformation == Transformation::kPhaseShifted
+            ? ((spec.steps - 1 - t) % spec.steps + spec.steps) % spec.steps
+            : 0;
+    thread.origin_pe = dist.owner(rotation);
+    for (int k = 0; k < spec.steps; ++k) {
+      const int s = (rotation + k) % spec.steps;
+      PlannedStep step;
+      step.pe = dist.owner(s);
+      step.step = s;
+      step.wait_prev = events && t > 0;
+      step.signal_done = events && t + 1 < spec.threads;
+      thread.steps.push_back(step);
+    }
+    plan.threads.push_back(std::move(thread));
+  }
+  return plan;
+}
+
+namespace {
+
+struct InterpreterShared {
+  const Plan* plan;
+  const NestSpec* spec;
+  const StatementBody* body;
+};
+
+navp::Mission planned_thread(navp::Ctx ctx, const InterpreterShared* shared,
+                             std::size_t thread_index) {
+  const ThreadPlan& thread = shared->plan->threads[thread_index];
+  for (const PlannedStep& step : thread.steps) {
+    co_await ctx.hop(step.pe, shared->spec->payload_bytes);
+    if (step.wait_prev) {
+      co_await ctx.wait_event(done_event(thread.thread - 1, step.step));
+    }
+    (*shared->body)(ctx, thread.thread, step.step);
+    if (step.signal_done) {
+      ctx.signal_event(done_event(thread.thread, step.step));
+    }
+  }
+}
+
+}  // namespace
+
+ExecutionStats execute_plan(machine::Engine& engine, const Plan& plan,
+                            const NestSpec& spec, const StatementBody& body,
+                            const RuntimeHook& setup,
+                            const RuntimeHook& teardown) {
+  navp::Runtime rt(engine);
+  if (setup) setup(rt);
+  const InterpreterShared shared{&plan, &spec, &body};
+  for (std::size_t i = 0; i < plan.threads.size(); ++i) {
+    rt.inject(plan.threads[i].origin_pe,
+              "planned(" + std::to_string(plan.threads[i].thread) + ")",
+              planned_thread, &shared, i);
+  }
+  rt.run();
+  if (teardown) teardown(rt);
+  ExecutionStats stats;
+  stats.seconds = engine.finish_time();
+  stats.hops = rt.hop_count();
+  stats.agents = rt.agents_completed();
+  return stats;
+}
+
+}  // namespace navcpp::navtool

@@ -1,0 +1,130 @@
+// navtool: a mechanical planner for the NavP transformations — the paper's
+// future-work claim ("The NavP transformations are at least partially
+// automatable.  Building tools to automate them is part of our future
+// work.") made executable.
+//
+// Input: an abstract two-level loop nest
+//
+//     for t in 0..threads-1:          // the "carrier" dimension
+//       for s in 0..steps-1:          // the spatial dimension, distributed
+//         S(t, s)
+//
+// plus its dependence facts (is S(t,*) independent across t?  may a
+// thread's s-itinerary start anywhere, i.e. is the s-loop a rotatable
+// reduction?  does S(t,s) need S(t-1,s) first?).  The planner applies the
+// paper's transformations exactly as section 2 prescribes:
+//
+//   1. DSC Transformation        — always legal: one computation chases
+//                                  the distributed data in s order.
+//   2. Pipelining Transformation — legal when the t-iterations can overlap
+//                                  (independent rows, or a cross-thread
+//                                  chain guarded by events).
+//   3. Phase-shifting            — legal when additionally each thread may
+//                                  enter the pipeline at its own PE
+//                                  (rotatable starts, no cross-thread
+//                                  same-step dependence).
+//
+// Output: the chosen transformation, one itinerary per thread (which PE to
+// hop to for each step, with event waits/signals where the dependence
+// requires them), and a human-readable derivation.  An interpreter
+// (execute_plan) runs any plan on a machine::Engine with a user-supplied
+// statement body, so a planned program is a *runnable* program.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "machine/engine.h"
+#include "mm/common.h"
+#include "navp/runtime.h"
+
+namespace navcpp::navtool {
+
+/// Dependence summary of the loop nest (the facts a user — or one day a
+/// compiler front end — must establish about S).
+struct NestSpec {
+  int threads = 1;  ///< extent of the carrier dimension t
+  int steps = 1;    ///< extent of the spatial dimension s
+
+  /// Bytes of private state a thread carries between PEs (agent payload).
+  std::size_t payload_bytes = 0;
+  /// Modeled compute cost of one S(t, s) on the testbed.
+  double step_cost_seconds = 0.0;
+
+  /// S(t, s) never reads or writes state touched by S(t', s') for t' != t
+  /// (other than the PE-local data it owns per s).
+  bool rows_independent = false;
+  /// The s-loop of each thread may be rotated: executing s in the order
+  /// k, k+1, ..., steps-1, 0, ..., k-1 is equivalent for every k (true
+  /// for commutative-associative accumulations like C(t,s) += f(t,s)).
+  bool start_rotatable = false;
+  /// S(t, s) must observe the completion of S(t-1, s) (a cross-thread
+  /// sweep chain, like successive Jacobi sweeps).
+  bool needs_previous_thread_same_step = false;
+};
+
+/// The transformation the planner settled on.
+enum class Transformation { kDsc, kPipelined, kPhaseShifted };
+
+inline const char* to_string(Transformation t) {
+  switch (t) {
+    case Transformation::kDsc:
+      return "DSC";
+    case Transformation::kPipelined:
+      return "pipelined";
+    case Transformation::kPhaseShifted:
+      return "phase-shifted";
+  }
+  return "?";
+}
+
+/// One stop of one thread's itinerary.
+struct PlannedStep {
+  int pe = 0;           ///< where to hop before executing
+  int step = 0;         ///< the s index to execute there
+  bool wait_prev = false;    ///< wait E(t-1, s) before executing
+  bool signal_done = false;  ///< signal E(t, s) after executing
+};
+
+/// One migrating thread of the planned program.
+struct ThreadPlan {
+  int thread = 0;
+  int origin_pe = 0;  ///< injection PE
+  std::vector<PlannedStep> steps;
+};
+
+struct Plan {
+  Transformation transformation = Transformation::kDsc;
+  std::vector<ThreadPlan> threads;
+  std::string rationale;  ///< the derivation, step by step
+};
+
+/// Apply the transformations mechanically; `dist` maps s to its owner PE.
+Plan plan_nest(const NestSpec& spec, const mm::Dist1D& dist);
+
+/// The statement body: executes S(t, s) on the PE owning s.  `ctx` gives
+/// access to that PE's node variables; the body must charge its own
+/// compute via ctx.work()/compute() (the planner's step_cost_seconds is
+/// advisory for the body to use).
+using StatementBody = std::function<void(navp::Ctx& ctx, int t, int s)>;
+
+struct ExecutionStats {
+  double seconds = 0.0;
+  std::uint64_t hops = 0;
+  std::uint64_t agents = 0;
+};
+
+/// Prepares the runtime before the planned agents start (install node
+/// variables, pre-signal events) and collects results afterwards.
+using RuntimeHook = std::function<void(navp::Runtime&)>;
+
+/// Run a plan on `engine`.  `setup` runs before injection, `teardown`
+/// after completion (both optional).  Returns finish time and statistics.
+ExecutionStats execute_plan(machine::Engine& engine, const Plan& plan,
+                            const NestSpec& spec, const StatementBody& body,
+                            const RuntimeHook& setup = {},
+                            const RuntimeHook& teardown = {});
+
+}  // namespace navcpp::navtool

@@ -1,0 +1,88 @@
+// Processor-network topologies used by the paper:
+//  * a 1-D array of PEs identified by HnodeID = 0..P-1 (west -> east), and
+//  * a 2-D grid identified by (HnodeID, VnodeID) (west->east, north->south).
+//
+// Following the paper (section 3.1), all PEs are assumed fully connected via
+// a collision-free switch, so a "topology" here only defines the naming of
+// PEs and neighbor conventions (east/west/north/south wrap around), not
+// routing: any PE can ship a message directly to any other PE.
+#pragma once
+
+#include <string>
+
+#include "support/error.h"
+
+namespace navcpp::net {
+
+/// 1-D processor array: HnodeID 0..size-1, west to east.
+class Topology1D {
+ public:
+  explicit Topology1D(int size) : size_(size) {
+    NAVCPP_CHECK(size >= 1, "Topology1D needs at least one PE");
+  }
+
+  int size() const { return size_; }
+  int pe_count() const { return size_; }
+
+  /// PE hosting HnodeID j (identity map; exists to mirror Topology2D).
+  int node(int j) const {
+    NAVCPP_CHECK(j >= 0 && j < size_, "HnodeID out of range");
+    return j;
+  }
+
+  /// Eastern neighbor with wraparound.
+  int east(int j) const { return (node(j) + 1) % size_; }
+  /// Western neighbor with wraparound.
+  int west(int j) const { return (node(j) + size_ - 1) % size_; }
+
+ private:
+  int size_;
+};
+
+/// 2-D processor grid: rows indexed by VnodeID (north->south), columns by
+/// HnodeID (west->east).  Linearized PE id = VnodeID * cols + HnodeID.
+class Topology2D {
+ public:
+  Topology2D(int rows, int cols) : rows_(rows), cols_(cols) {
+    NAVCPP_CHECK(rows >= 1 && cols >= 1, "Topology2D needs positive extents");
+  }
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int pe_count() const { return rows_ * cols_; }
+
+  /// PE hosting grid node (VnodeID=i, HnodeID=j).
+  int node(int i, int j) const {
+    NAVCPP_CHECK(i >= 0 && i < rows_, "VnodeID out of range");
+    NAVCPP_CHECK(j >= 0 && j < cols_, "HnodeID out of range");
+    return i * cols_ + j;
+  }
+
+  int row_of(int pe) const { return check_pe(pe) / cols_; }
+  int col_of(int pe) const { return check_pe(pe) % cols_; }
+
+  /// Toroidal neighbors (Gentleman's algorithm shifts west and north).
+  int east(int pe) const {
+    return node(row_of(pe), (col_of(pe) + 1) % cols_);
+  }
+  int west(int pe) const {
+    return node(row_of(pe), (col_of(pe) + cols_ - 1) % cols_);
+  }
+  int south(int pe) const {
+    return node((row_of(pe) + 1) % rows_, col_of(pe));
+  }
+  int north(int pe) const {
+    return node((row_of(pe) + rows_ - 1) % rows_, col_of(pe));
+  }
+
+ private:
+  int check_pe(int pe) const {
+    NAVCPP_CHECK(pe >= 0 && pe < pe_count(), "PE id out of range");
+    return pe;
+  }
+
+  int rows_;
+  int cols_;
+};
+
+}  // namespace navcpp::net

@@ -1,0 +1,98 @@
+#include "perfmodel/curvefit.h"
+
+#include <cmath>
+#include <cstddef>
+
+#include "support/error.h"
+
+namespace navcpp::perfmodel {
+
+std::vector<double> solve_linear(std::vector<double> a,
+                                 std::vector<double> b) {
+  const std::size_t n = b.size();
+  NAVCPP_CHECK(a.size() == n * n, "solve_linear: matrix/vector size mismatch");
+  auto at = [&](std::size_t r, std::size_t c) -> double& {
+    return a[r * n + c];
+  };
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(at(r, col)) > std::abs(at(pivot, col))) pivot = r;
+    }
+    NAVCPP_CHECK(std::abs(at(pivot, col)) > 1e-12,
+                 "solve_linear: singular system");
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(at(col, c), at(pivot, c));
+      std::swap(b[col], b[pivot]);
+    }
+    // Eliminate below.
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = at(r, col) / at(col, col);
+      if (f == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) at(r, c) -= f * at(col, c);
+      b[r] -= f * b[col];
+    }
+  }
+  // Back substitution.
+  std::vector<double> x(n, 0.0);
+  for (std::size_t r = n; r-- > 0;) {
+    double sum = b[r];
+    for (std::size_t c = r + 1; c < n; ++c) sum -= at(r, c) * x[c];
+    x[r] = sum / at(r, r);
+  }
+  return x;
+}
+
+std::vector<double> polyfit(std::span<const double> xs,
+                            std::span<const double> ys, int degree) {
+  NAVCPP_CHECK(degree >= 0, "polyfit: negative degree");
+  NAVCPP_CHECK(xs.size() == ys.size(), "polyfit: xs/ys length mismatch");
+  const std::size_t terms = static_cast<std::size_t>(degree) + 1;
+  NAVCPP_CHECK(xs.size() >= terms,
+               "polyfit: need at least degree+1 sample points");
+
+  // Normal equations: (V^T V) c = V^T y with V[i][j] = xs[i]^j.
+  // Scale x by its max magnitude first: powers of matrix orders (~1e4)
+  // otherwise push the Gram matrix's condition number past double range.
+  double xscale = 0.0;
+  for (double x : xs) xscale = std::max(xscale, std::abs(x));
+  if (xscale == 0.0) xscale = 1.0;
+
+  std::vector<double> gram(terms * terms, 0.0);
+  std::vector<double> rhs(terms, 0.0);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double x = xs[i] / xscale;
+    double pj = 1.0;
+    std::vector<double> powers(terms);
+    for (std::size_t j = 0; j < terms; ++j) {
+      powers[j] = pj;
+      pj *= x;
+    }
+    for (std::size_t r = 0; r < terms; ++r) {
+      rhs[r] += powers[r] * ys[i];
+      for (std::size_t c = 0; c < terms; ++c) {
+        gram[r * terms + c] += powers[r] * powers[c];
+      }
+    }
+  }
+  std::vector<double> scaled = solve_linear(std::move(gram), std::move(rhs));
+  // Undo the x scaling: coefficient of x^j picks up xscale^-j.
+  double s = 1.0;
+  for (std::size_t j = 0; j < terms; ++j) {
+    scaled[j] /= s;
+    s *= xscale;
+  }
+  return scaled;
+}
+
+double polyval(std::span<const double> coeffs, double x) {
+  double result = 0.0;
+  for (std::size_t j = coeffs.size(); j-- > 0;) {
+    result = result * x + coeffs[j];
+  }
+  return result;
+}
+
+}  // namespace navcpp::perfmodel

@@ -1,0 +1,31 @@
+// Least-squares polynomial fitting — the paper's own methodology for
+// estimating sequential baselines too large to run in core:
+//
+//   "we calculate sequential timing for large problems using least squared
+//    curve fitting with a polynomial of order 3 using performance numbers
+//    collected with small problems."
+//
+// polyfit solves the normal equations (Vandermonde^T Vandermonde) with
+// Gaussian elimination and partial pivoting; fine for the tiny systems
+// (degree <= 5) this is used for.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace navcpp::perfmodel {
+
+/// Fit ys ~ sum_i coeffs[i] * xs^i by least squares.  Returns degree+1
+/// coefficients, constant term first.  Requires xs.size() == ys.size() and
+/// at least degree+1 distinct sample points.
+std::vector<double> polyfit(std::span<const double> xs,
+                            std::span<const double> ys, int degree);
+
+/// Evaluate a polynomial (constant term first) at x.
+double polyval(std::span<const double> coeffs, double x);
+
+/// Solve the dense linear system a * x = b in place (partial pivoting).
+/// `a` is row-major n x n.  Throws on singular systems.
+std::vector<double> solve_linear(std::vector<double> a, std::vector<double> b);
+
+}  // namespace navcpp::perfmodel

@@ -1,0 +1,14 @@
+#include "perfmodel/testbed.h"
+
+#include <cmath>
+
+namespace navcpp::perfmodel {
+
+double Testbed::paging_factor(std::size_t working_set) const {
+  if (working_set <= ram_bytes) return 1.0;
+  const double excess =
+      static_cast<double>(working_set) / static_cast<double>(ram_bytes) - 1.0;
+  return 1.0 + paging_c * std::pow(excess, paging_p);
+}
+
+}  // namespace navcpp::perfmodel

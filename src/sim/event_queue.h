@@ -1,0 +1,60 @@
+// The discrete-event queue at the heart of SimMachine.
+//
+// Determinism: events are ordered by (time, sequence number), where the
+// sequence number is assigned at schedule() time.  Two runs that schedule
+// the same events in the same order therefore execute them in the same
+// order, making simulated experiments exactly reproducible.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "sim/time.h"
+#include "support/move_function.h"
+
+namespace navcpp::sim {
+
+class EventQueue {
+ public:
+  /// Schedule `action` to run at virtual time `when` (>= 0).
+  void schedule(Time when, support::MoveFunction action) {
+    heap_.push(Entry{when, next_seq_++, std::move(action)});
+  }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Time of the earliest pending event.  Precondition: !empty().
+  Time next_time() const { return heap_.top().when; }
+
+  /// Pop and return the earliest event's action, advancing nothing else.
+  /// Precondition: !empty().
+  support::MoveFunction pop(Time* when_out = nullptr) {
+    // std::priority_queue::top() is const; we need to move the action out.
+    // Entry's action is declared mutable for exactly this purpose.
+    Entry& top = const_cast<Entry&>(heap_.top());
+    if (when_out != nullptr) *when_out = top.when;
+    support::MoveFunction action = std::move(top.action);
+    heap_.pop();
+    return action;
+  }
+
+ private:
+  struct Entry {
+    Time when;
+    std::uint64_t seq;
+    mutable support::MoveFunction action;
+
+    bool operator<(const Entry& other) const {
+      // priority_queue is a max-heap; invert for earliest-first.
+      if (when != other.when) return when > other.when;
+      return seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Entry> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace navcpp::sim

@@ -1,0 +1,19 @@
+// Virtual time for the discrete-event simulation.
+//
+// Virtual time is a plain double measured in seconds.  A strong typedef
+// would buy little here (no unit mixing occurs: every producer of times is
+// inside sim/net/perfmodel) and would add friction at the perfmodel
+// boundary, where costs are naturally computed in double seconds.
+#pragma once
+
+namespace navcpp::sim {
+
+/// Virtual seconds since simulation start.
+using Time = double;
+
+/// A duration in virtual seconds.
+using Duration = double;
+
+inline constexpr Time kTimeZero = 0.0;
+
+}  // namespace navcpp::sim

@@ -1,0 +1,81 @@
+// A growable byte buffer with typed append/extract, used to model agent
+// payload serialization (what MESSENGERS ships on a hop) and mini-MPI
+// message bodies.  Trivially-copyable types only, plus vectors of them.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "support/error.h"
+
+namespace navcpp::support {
+
+class ByteBuffer {
+ public:
+  ByteBuffer() = default;
+  explicit ByteBuffer(std::vector<std::byte> data) : data_(std::move(data)) {}
+
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+  std::span<const std::byte> bytes() const { return data_; }
+  void clear() {
+    data_.clear();
+    read_pos_ = 0;
+  }
+
+  /// Remaining unread bytes.
+  std::size_t remaining() const { return data_.size() - read_pos_; }
+
+  template <class T>
+  void put(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "ByteBuffer::put requires a trivially copyable type");
+    const auto* p = reinterpret_cast<const std::byte*>(&value);
+    data_.insert(data_.end(), p, p + sizeof(T));
+  }
+
+  template <class T>
+  void put_span(std::span<const T> values) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "ByteBuffer::put_span requires a trivially copyable type");
+    put<std::uint64_t>(values.size());
+    const auto* p = reinterpret_cast<const std::byte*>(values.data());
+    data_.insert(data_.end(), p, p + values.size_bytes());
+  }
+
+  template <class T>
+  void put_vector(const std::vector<T>& values) {
+    put_span(std::span<const T>(values));
+  }
+
+  template <class T>
+  T get() {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "ByteBuffer::get requires a trivially copyable type");
+    NAVCPP_CHECK(remaining() >= sizeof(T), "ByteBuffer underflow");
+    T value;
+    std::memcpy(&value, data_.data() + read_pos_, sizeof(T));
+    read_pos_ += sizeof(T);
+    return value;
+  }
+
+  template <class T>
+  std::vector<T> get_vector() {
+    const auto n = get<std::uint64_t>();
+    NAVCPP_CHECK(remaining() >= n * sizeof(T), "ByteBuffer underflow (vector)");
+    std::vector<T> out(n);
+    std::memcpy(out.data(), data_.data() + read_pos_, n * sizeof(T));
+    read_pos_ += n * sizeof(T);
+    return out;
+  }
+
+ private:
+  std::vector<std::byte> data_;
+  std::size_t read_pos_ = 0;
+};
+
+}  // namespace navcpp::support

@@ -1,0 +1,15 @@
+#include "support/error.h"
+
+#include <sstream>
+
+namespace navcpp::support {
+
+void raise_check_failure(const char* expr, const char* file, int line,
+                         const std::string& msg) {
+  std::ostringstream os;
+  os << "NAVCPP_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw LogicError(os.str());
+}
+
+}  // namespace navcpp::support

@@ -1,0 +1,51 @@
+// Error types and checked assertions shared by all navcpp modules.
+//
+// Guideline (CppCoreGuidelines E.2/E.14): throw exceptions derived from a
+// common project base so callers can distinguish navcpp failures from
+// standard-library ones.  Hot paths use NAVCPP_CHECK, which is always on
+// (these are logic-error guards, not profiling asserts).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace navcpp::support {
+
+/// Base class of every exception thrown by navcpp.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A precondition or internal invariant was violated.
+class LogicError : public Error {
+ public:
+  explicit LogicError(const std::string& what) : Error(what) {}
+};
+
+/// A runtime configuration is invalid (bad PE id, mismatched shapes, ...).
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error(what) {}
+};
+
+/// The runtime detected a stall: live agents remain but no progress is
+/// possible (e.g. every remaining agent waits on an event nobody signals).
+class DeadlockError : public Error {
+ public:
+  explicit DeadlockError(const std::string& what) : Error(what) {}
+};
+
+[[noreturn]] void raise_check_failure(const char* expr, const char* file,
+                                      int line, const std::string& msg);
+
+}  // namespace navcpp::support
+
+/// Always-on invariant check.  `msg` may use std::string concatenation.
+#define NAVCPP_CHECK(expr, msg)                                              \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      ::navcpp::support::raise_check_failure(#expr, __FILE__, __LINE__,      \
+                                             (msg));                         \
+    }                                                                        \
+  } while (false)

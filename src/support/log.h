@@ -1,0 +1,54 @@
+// Minimal leveled logger.  Off (WARN) by default so tests and benches stay
+// quiet; examples flip it to INFO/DEBUG to narrate runtime activity.
+// Thread-safe: each emit() takes a global mutex (logging is never on a hot
+// path in this project).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace navcpp::support {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global log threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit a single line at `level` (no newline needed in `message`).
+void log_emit(LogLevel level, const std::string& message);
+
+namespace detail {
+template <class... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+}  // namespace detail
+
+template <class... Args>
+void log_debug(Args&&... args) {
+  if (log_level() <= LogLevel::kDebug)
+    log_emit(LogLevel::kDebug, detail::concat(std::forward<Args>(args)...));
+}
+
+template <class... Args>
+void log_info(Args&&... args) {
+  if (log_level() <= LogLevel::kInfo)
+    log_emit(LogLevel::kInfo, detail::concat(std::forward<Args>(args)...));
+}
+
+template <class... Args>
+void log_warn(Args&&... args) {
+  if (log_level() <= LogLevel::kWarn)
+    log_emit(LogLevel::kWarn, detail::concat(std::forward<Args>(args)...));
+}
+
+template <class... Args>
+void log_error(Args&&... args) {
+  if (log_level() <= LogLevel::kError)
+    log_emit(LogLevel::kError, detail::concat(std::forward<Args>(args)...));
+}
+
+}  // namespace navcpp::support

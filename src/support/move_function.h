@@ -1,0 +1,47 @@
+// MoveFunction: a move-only std::function<void()> substitute.
+// libstdc++ 12 only ships std::move_only_function under -std=c++23, and
+// std::function requires copyability, which coroutine-handle-capturing
+// lambdas and ByteBuffer payload captures do not want to provide.
+#pragma once
+
+#include <memory>
+#include <utility>
+
+namespace navcpp::support {
+
+class MoveFunction {
+ public:
+  MoveFunction() = default;
+
+  template <class F>
+  MoveFunction(F&& f)  // NOLINT(google-explicit-constructor)
+      : impl_(std::make_unique<Model<std::decay_t<F>>>(std::forward<F>(f))) {}
+
+  MoveFunction(MoveFunction&&) = default;
+  MoveFunction& operator=(MoveFunction&&) = default;
+  MoveFunction(const MoveFunction&) = delete;
+  MoveFunction& operator=(const MoveFunction&) = delete;
+
+  explicit operator bool() const { return impl_ != nullptr; }
+
+  void operator()() {
+    impl_->invoke();
+  }
+
+ private:
+  struct Concept {
+    virtual ~Concept() = default;
+    virtual void invoke() = 0;
+  };
+
+  template <class F>
+  struct Model final : Concept {
+    explicit Model(F f) : fn(std::move(f)) {}
+    void invoke() override { fn(); }
+    F fn;
+  };
+
+  std::unique_ptr<Concept> impl_;
+};
+
+}  // namespace navcpp::support

@@ -1,0 +1,80 @@
+// Multi-producer single-consumer blocking queue used for per-PE run queues
+// in the threaded machine backend.  Mutex+condvar based: at our message
+// granularity (block transfers, agent migrations) lock cost is negligible,
+// and the simple implementation is trivially correct (CppCoreGuidelines
+// CP.20/CP.42: RAII locks, always wait with a predicate).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace navcpp::support {
+
+template <class T>
+class MpscQueue {
+ public:
+  /// Push an item; wakes the consumer if it is blocked.
+  void push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+  }
+
+  /// Pop one item, blocking until one is available or `closed()`.
+  /// Returns nullopt only after close() with an empty queue.
+  std::optional<T> pop_blocking() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> try_pop() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Wake all blocked consumers; subsequent pops drain then return nullopt.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  /// Reopen after close() (used when a machine instance is reused).
+  void reopen() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = false;
+  }
+
+  bool empty() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.empty();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace navcpp::support

@@ -1,0 +1,24 @@
+// Wall-clock stopwatch for the threaded backend and microbenchmarks.
+#pragma once
+
+#include <chrono>
+
+namespace navcpp::support {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed wall time in seconds.
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace navcpp::support

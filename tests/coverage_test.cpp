@@ -1,0 +1,137 @@
+// Coverage for the smaller public APIs not exercised elsewhere.
+#include <gtest/gtest.h>
+
+#include <coroutine>
+
+#include "machine/sim_machine.h"
+#include "minimpi/world.h"
+#include "mm/common.h"
+#include "navp/event.h"
+#include "navp/runtime.h"
+#include "perfmodel/testbed.h"
+
+namespace navcpp {
+namespace {
+
+TEST(EventTable, PendingSignalsAndWaiterCounts) {
+  navp::EventTable table;
+  const navp::EventKey k{1, 2, 3};
+  EXPECT_EQ(table.pending_signals(k), 0u);
+  EXPECT_EQ(table.waiter_count(k), 0u);
+  EXPECT_FALSE(table.has_waiters());
+
+  // Banked signals accumulate when nobody waits.
+  EXPECT_FALSE(table.signal(k).handle);
+  EXPECT_FALSE(table.signal(k).handle);
+  EXPECT_EQ(table.pending_signals(k), 2u);
+  EXPECT_EQ(table.total_pending_signals(), 2u);
+  EXPECT_TRUE(table.try_consume(k));
+  EXPECT_TRUE(table.try_consume(k));
+  EXPECT_FALSE(table.try_consume(k));
+}
+
+TEST(EventTable, SignalHandsToOldestWaiter) {
+  navp::EventTable table;
+  const navp::EventKey k{9, 0, 0};
+  navp::AgentState a, b;
+  a.id = 1;
+  b.id = 2;
+  table.add_waiter(k, navp::EventWaiter{std::noop_coroutine(), &a});
+  table.add_waiter(k, navp::EventWaiter{std::noop_coroutine(), &b});
+  EXPECT_EQ(table.waiter_count(k), 2u);
+  EXPECT_TRUE(table.has_waiters());
+  const auto first = table.signal(k);
+  EXPECT_EQ(first.agent, &a);  // FIFO
+  const auto second = table.signal(k);
+  EXPECT_EQ(second.agent, &b);
+  EXPECT_EQ(table.waiter_count(k), 0u);
+  // Nothing banked: both signals were handed over.
+  EXPECT_EQ(table.pending_signals(k), 0u);
+}
+
+TEST(EventKey, StringFormAndEquality) {
+  const navp::EventKey a{1, 2, 3}, b{1, 2, 3}, c{1, 2, 4};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.str(), "E1(2,3)");
+  const navp::EventKeyHash hash;
+  EXPECT_EQ(hash(a), hash(b));
+  EXPECT_NE(hash(a), hash(c));  // not guaranteed, but true for this hash
+}
+
+TEST(Testbed, WorkingSetFormula) {
+  EXPECT_EQ(perfmodel::Testbed::mm_working_set(1024),
+            3ull * 1024 * 1024 * sizeof(double));
+}
+
+TEST(Testbed, GemmSecondsScalesLinearlyInEachDimension) {
+  const perfmodel::Testbed tb;
+  const double base = tb.gemm_seconds(64, 64, 64);
+  EXPECT_NEAR(tb.gemm_seconds(128, 64, 64), 2.0 * base, 1e-12);
+  EXPECT_NEAR(tb.gemm_seconds(64, 128, 64), 2.0 * base, 1e-12);
+  EXPECT_NEAR(tb.gemm_seconds(64, 64, 128), 2.0 * base, 1e-12);
+}
+
+TEST(MmConfig, NbValidation) {
+  mm::MmConfig cfg;
+  cfg.order = 256;
+  cfg.block_order = 64;
+  EXPECT_EQ(cfg.nb(), 4);
+  cfg.block_order = 48;
+  EXPECT_THROW(cfg.nb(), support::LogicError);
+  cfg.order = 0;
+  EXPECT_THROW(cfg.nb(), support::LogicError);
+}
+
+TEST(BlockKey, PacksCoordinatesInjectively) {
+  EXPECT_NE(mm::block_key(1, 2), mm::block_key(2, 1));
+  EXPECT_EQ(mm::block_key(7, 9), mm::block_key(7, 9));
+  EXPECT_NE(mm::block_key(0, 1), mm::block_key(1, 0));
+}
+
+TEST(World, SizeMatchesMachineAndMailboxesInstalled) {
+  machine::SimMachine m(4);
+  navp::Runtime rt(m);
+  minimpi::World world(rt);
+  EXPECT_EQ(world.size(), 4);
+  for (int pe = 0; pe < 4; ++pe) {
+    EXPECT_TRUE(rt.node_store(pe).has<minimpi::Mailbox>());
+  }
+  EXPECT_FALSE(world.has_leftover_messages());
+  // Constructing a second World on the same runtime is idempotent.
+  minimpi::World again(rt);
+  EXPECT_EQ(again.size(), 4);
+}
+
+TEST(CommWork, ChargesOntoTheRanksPe) {
+  machine::SimMachine m(2);
+  navp::Runtime rt(m);
+  minimpi::World world(rt);
+  world.launch([](minimpi::Comm comm) -> navp::Mission {
+    comm.work("chunk", 0.25 * (comm.rank() + 1), [] {});
+    co_return;
+  });
+  rt.run();
+  EXPECT_DOUBLE_EQ(m.now(0), 0.25);
+  EXPECT_DOUBLE_EQ(m.now(1), 0.5);
+}
+
+TEST(Mailbox, PendingAndPopSemantics) {
+  minimpi::Mailbox box;
+  EXPECT_TRUE(box.empty());
+  box.deposit(minimpi::Message{0, 5, {1.0}, 8});
+  box.deposit(minimpi::Message{0, 5, {2.0}, 8});
+  box.deposit(minimpi::Message{1, 5, {3.0}, 8});
+  EXPECT_EQ(box.pending(), 3u);
+  EXPECT_FALSE(box.pop(2, 5).has_value());  // no such source
+  auto first = box.pop(0, 5);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->data[0], 1.0);  // FIFO within a match
+  auto cross = box.pop(1, 5);
+  ASSERT_TRUE(cross.has_value());
+  EXPECT_EQ(cross->data[0], 3.0);
+  EXPECT_EQ(box.pending(), 1u);
+}
+
+}  // namespace
+}  // namespace navcpp

@@ -1,0 +1,124 @@
+// Tests for the benchmark harness: table rendering, paper data integrity,
+// the curve-fit methodology, and (scaled-down) experiment drivers.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "harness/experiments.h"
+#include "harness/paper_data.h"
+#include "harness/text_table.h"
+#include "mm/sequential_mm.h"
+#include "support/error.h"
+
+namespace navcpp::harness {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1.00"});
+  t.add_row({"b", "123.45"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  // Numeric cells right-align: "  1.00" under "value".
+  EXPECT_NE(s.find("  1.00"), std::string::npos);
+  // Header underline exists.
+  EXPECT_NE(s.find("-----"), std::string::npos);
+}
+
+TEST(TextTable, RejectsWrongCellCount) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), support::LogicError);
+}
+
+TEST(TextTable, NumFormatsFixedPrecision) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(2.0, 0), "2");
+}
+
+TEST(PaperData, TablesHaveExpectedRowCounts) {
+  EXPECT_EQ(paper_table1().size(), 6u);
+  EXPECT_EQ(paper_table3().size(), 5u);
+  EXPECT_EQ(paper_table4().size(), 6u);
+  EXPECT_EQ(paper_table2().order, 9216);
+}
+
+TEST(PaperData, SpeedupsAreConsistentWithTimes) {
+  // paper speedup ~= seq / time for every NavP column (1% slack for the
+  // paper's own rounding).
+  for (const auto& r : paper_table1()) {
+    EXPECT_NEAR(r.seq_s / r.dsc_s, r.dsc_su, 0.011 * r.dsc_su);
+    EXPECT_NEAR(r.seq_s / r.pipe_s, r.pipe_su, 0.011 * r.pipe_su);
+    EXPECT_NEAR(r.seq_s / r.phase_s, r.phase_su, 0.011 * r.phase_su);
+  }
+  for (const auto& r : paper_table4()) {
+    EXPECT_NEAR(r.seq_s / r.mpi_s, r.mpi_su, 0.011 * r.mpi_su);
+    EXPECT_NEAR(r.seq_s / r.phase_s, r.phase_su, 0.011 * r.phase_su);
+  }
+}
+
+TEST(PaperData, PhaseAlwaysBeatsPipelineInThePaper) {
+  for (const auto& r : paper_table1()) EXPECT_LT(r.phase_s, r.pipe_s);
+  for (const auto& r : paper_table3()) EXPECT_LT(r.phase_s, r.pipe_s);
+  for (const auto& r : paper_table4()) EXPECT_LT(r.phase_s, r.pipe_s);
+}
+
+TEST(CurveFit, RecoversInCoreTimesFromInCoreSamples) {
+  // The modeled sequential time is exactly cubic in N while in core, so
+  // the fit must extrapolate it almost perfectly.
+  mm::MmConfig base;
+  const double fitted =
+      curve_fit_sequential(base, {256, 512, 768, 1024, 1536, 2048}, 1792);
+  mm::MmConfig cfg = base;
+  cfg.order = 1792;
+  EXPECT_NEAR(fitted, mm::sequential_mm_seconds_in_core(cfg),
+              1e-6 * fitted);
+}
+
+TEST(CurveFit, UndershootsThrashingRuns) {
+  // Extrapolating the in-core cubic to an out-of-core order must fall far
+  // below the modeled thrashing run — that gap is Table 2's whole point.
+  mm::MmConfig base;
+  const double fitted = curve_fit_sequential(
+      base, {512, 768, 1024, 1536, 2048, 2560, 3072}, 9216);
+  mm::MmConfig cfg = base;
+  cfg.order = 9216;
+  EXPECT_LT(fitted, 0.5 * mm::sequential_mm_seconds(cfg));
+}
+
+TEST(Experiments, Measured1dRowIsInternallyConsistent) {
+  // Scaled-down problem: fast enough for the test suite.
+  mm::MmConfig base;
+  const Measured1D row = measure_1d_row(384, 64, 3, base);
+  EXPECT_EQ(row.order, 384);
+  EXPECT_GT(row.seq_in_core, 0.0);
+  EXPECT_DOUBLE_EQ(row.seq_in_core, row.seq_actual);  // in core: no paging
+  // The three stages are each a working program; DSC is the slowest.
+  EXPECT_GT(row.dsc, row.pipe);
+  EXPECT_GT(row.dsc, row.phase);
+  EXPECT_GT(row.dsc, row.seq_in_core);  // DSC ~ sequential + hops
+  EXPECT_GT(row.summa, 0.0);
+}
+
+TEST(Experiments, Measured2dRowIsInternallyConsistent) {
+  mm::MmConfig base;
+  const Measured2D row = measure_2d_row(384, 64, 2, base);
+  EXPECT_GT(row.dsc, row.pipe);
+  EXPECT_GT(row.mpi, 0.0);
+  EXPECT_GT(row.phase, 0.0);
+  EXPECT_GT(row.summa, 0.0);
+}
+
+TEST(Experiments, MeasurementsAreDeterministic) {
+  mm::MmConfig base;
+  const Measured2D a = measure_2d_row(384, 64, 2, base);
+  const Measured2D b = measure_2d_row(384, 64, 2, base);
+  EXPECT_DOUBLE_EQ(a.mpi, b.mpi);
+  EXPECT_DOUBLE_EQ(a.dsc, b.dsc);
+  EXPECT_DOUBLE_EQ(a.pipe, b.pipe);
+  EXPECT_DOUBLE_EQ(a.phase, b.phase);
+  EXPECT_DOUBLE_EQ(a.summa, b.summa);
+}
+
+}  // namespace
+}  // namespace navcpp::harness

@@ -1,0 +1,200 @@
+// Tests for the Jacobi case study: the NavP variants against the
+// sequential reference, across backends and decompositions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include "apps/jacobi.h"
+#include "machine/sim_machine.h"
+#include "machine/threaded_machine.h"
+#include "support/error.h"
+
+namespace navcpp::apps {
+namespace {
+
+double max_grid_diff(const JacobiGrid& a, const JacobiGrid& b) {
+  double worst = 0.0;
+  for (int r = 0; r < a.rows; ++r) {
+    for (int c = 0; c < a.cols; ++c) {
+      worst = std::max(worst, std::abs(a.at(r, c) - b.at(r, c)));
+    }
+  }
+  return worst;
+}
+
+TEST(JacobiSequential, UniformGridIsAFixedPoint) {
+  JacobiGrid g(8, 8);
+  for (auto& x : g.u) x = 3.5;
+  const JacobiGrid out = jacobi_sequential(g, 5);
+  EXPECT_DOUBLE_EQ(max_grid_diff(out, g), 0.0);
+}
+
+TEST(JacobiSequential, HeatFlowsInFromTheHotEdge) {
+  JacobiGrid g = JacobiGrid::heated_plate(16, 16);
+  const JacobiGrid out = jacobi_sequential(g, 50);
+  // Temperature decreases monotonically away from the heated top edge
+  // along the center column.
+  for (int r = 1; r + 2 < out.rows; ++r) {
+    EXPECT_GT(out.at(r, 8), out.at(r + 1, 8));
+  }
+  // And everything sits strictly between the boundary temperatures.
+  for (int r = 1; r + 1 < out.rows; ++r) {
+    EXPECT_GT(out.at(r, 8), 0.0);
+    EXPECT_LT(out.at(r, 8), 1.0);
+  }
+}
+
+TEST(JacobiSequential, ConvergesTowardHarmonicEquilibrium) {
+  JacobiGrid g = JacobiGrid::heated_plate(12, 12);
+  const JacobiGrid a = jacobi_sequential(g, 200);
+  const JacobiGrid b = jacobi_sequential(g, 400);
+  // Successive iterates approach each other (contraction).
+  EXPECT_LT(max_grid_diff(a, b), 0.02);
+}
+
+TEST(JacobiSequential, ModeledTimeIncludesPaging) {
+  perfmodel::Testbed tb = perfmodel::Testbed::paper();
+  const double small = jacobi_sequential_seconds(tb, 512, 512, 10);
+  EXPECT_GT(small, 0.0);
+  // A grid twice the RAM pages.
+  const double big = jacobi_sequential_seconds(tb, 8192, 8192, 10);
+  const double big_core = 6.0 * 8190.0 * 8190.0 * 10 / tb.flops_per_sec;
+  EXPECT_GT(big, big_core * 1.01);
+}
+
+struct CaseJacobi {
+  std::string backend;
+  JacobiVariant variant;
+  int rows;
+  int cols;
+  int sweeps;
+  int pes;
+};
+
+class JacobiCorrectness : public ::testing::TestWithParam<CaseJacobi> {};
+
+TEST_P(JacobiCorrectness, MatchesSequentialBitForBit) {
+  const auto& p = GetParam();
+  JacobiConfig cfg;
+  cfg.rows = p.rows;
+  cfg.cols = p.cols;
+  cfg.sweeps = p.sweeps;
+  JacobiGrid initial = JacobiGrid::heated_plate(p.rows, p.cols);
+  // Perturb the interior deterministically so symmetric bugs can't hide.
+  for (int r = 1; r + 1 < p.rows; ++r) {
+    for (int c = 1; c + 1 < p.cols; ++c) {
+      initial.at(r, c) = 0.01 * ((r * 31 + c * 17) % 7);
+    }
+  }
+  const JacobiGrid want = jacobi_sequential(initial, p.sweeps);
+
+  std::unique_ptr<machine::Engine> engine;
+  if (p.backend == "sim") {
+    engine = std::make_unique<machine::SimMachine>(p.pes, cfg.testbed.lan);
+  } else {
+    auto m = std::make_unique<machine::ThreadedMachine>(p.pes);
+    m->set_stall_timeout(10.0);
+    engine = std::move(m);
+  }
+  JacobiStats stats;
+  const JacobiGrid got = jacobi_navp(*engine, cfg, p.variant, initial,
+                                     &stats);
+  EXPECT_DOUBLE_EQ(max_grid_diff(got, want), 0.0)
+      << "the distributed solver must match the reference bit for bit";
+  if (p.pes > 1 || p.variant != JacobiVariant::kDataflow) {
+    // Stationary dataflow agents on one PE never migrate at all.
+    EXPECT_GT(stats.hops, 0u);
+  }
+}
+
+std::string jacobi_name(const ::testing::TestParamInfo<CaseJacobi>& info) {
+  const auto& p = info.param;
+  const char* v = p.variant == JacobiVariant::kDsc         ? "_dsc_"
+                  : p.variant == JacobiVariant::kPipelined ? "_pipe_"
+                                                           : "_flow_";
+  return p.backend + v + "r" + std::to_string(p.rows) + "s" +
+         std::to_string(p.sweeps) + "p" + std::to_string(p.pes);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, JacobiCorrectness,
+    ::testing::Values(
+        CaseJacobi{"sim", JacobiVariant::kDsc, 14, 10, 4, 3},
+        CaseJacobi{"sim", JacobiVariant::kDsc, 18, 12, 7, 4},
+        CaseJacobi{"sim", JacobiVariant::kDsc, 10, 24, 3, 2},
+        CaseJacobi{"sim", JacobiVariant::kDsc, 11, 8, 5, 1},
+        CaseJacobi{"sim", JacobiVariant::kPipelined, 14, 10, 4, 3},
+        CaseJacobi{"sim", JacobiVariant::kPipelined, 18, 12, 7, 4},
+        CaseJacobi{"sim", JacobiVariant::kPipelined, 26, 9, 12, 6},
+        CaseJacobi{"sim", JacobiVariant::kPipelined, 10, 16, 9, 2},
+        CaseJacobi{"sim", JacobiVariant::kDataflow, 14, 10, 4, 3},
+        CaseJacobi{"sim", JacobiVariant::kDataflow, 18, 12, 7, 4},
+        CaseJacobi{"sim", JacobiVariant::kDataflow, 26, 9, 12, 6},
+        CaseJacobi{"sim", JacobiVariant::kDataflow, 10, 16, 9, 1},
+        CaseJacobi{"threaded", JacobiVariant::kDsc, 14, 10, 4, 3},
+        CaseJacobi{"threaded", JacobiVariant::kPipelined, 14, 10, 6, 3},
+        CaseJacobi{"threaded", JacobiVariant::kPipelined, 18, 12, 8, 4},
+        CaseJacobi{"threaded", JacobiVariant::kDataflow, 14, 10, 6, 3},
+        CaseJacobi{"threaded", JacobiVariant::kDataflow, 18, 12, 8, 4}),
+    jacobi_name);
+
+TEST(JacobiNavp, RejectsIndivisibleDecomposition) {
+  machine::SimMachine m(3);
+  JacobiConfig cfg;
+  cfg.rows = 12;  // 10 interior rows over 3 PEs
+  cfg.cols = 8;
+  cfg.sweeps = 2;
+  const JacobiGrid g = JacobiGrid::heated_plate(12, 8);
+  EXPECT_THROW(jacobi_navp(m, cfg, JacobiVariant::kDsc, g),
+               support::LogicError);
+}
+
+TEST(JacobiNavp, EachStageImprovesOnTheSimulatedTestbed) {
+  JacobiConfig cfg;
+  cfg.rows = 770;  // 768 interior rows over 4 PEs
+  cfg.cols = 768;
+  cfg.sweeps = 24;
+  const JacobiGrid g = JacobiGrid::heated_plate(cfg.rows, cfg.cols);
+
+  auto run = [&](JacobiVariant v) {
+    machine::SimMachine m(4, cfg.testbed.lan);
+    JacobiStats stats;
+    jacobi_navp(m, cfg, v, g, &stats);
+    return stats.seconds;
+  };
+  const double dsc = run(JacobiVariant::kDsc);
+  const double pipe = run(JacobiVariant::kPipelined);
+  const double flow = run(JacobiVariant::kDataflow);
+  const double seq = jacobi_sequential_seconds(cfg.testbed, cfg.rows,
+                                               cfg.cols, cfg.sweeps);
+  // DSC ~ sequential; traveling-agent pipelining is bounded near P/2 by
+  // the two-way wavefront dependence; stationary dataflow approaches P.
+  EXPECT_LT(seq / dsc, 1.05);
+  EXPECT_GT(seq / dsc, 0.5);
+  EXPECT_LT(pipe, dsc);
+  EXPECT_LT(flow, pipe);
+  EXPECT_GT(seq / pipe, 1.2);
+  EXPECT_LT(seq / pipe, 2.4);  // <= P/2 + overheads slack
+  EXPECT_GT(seq / flow, 2.5);  // well past the pipeline bound
+}
+
+TEST(JacobiNavp, DeterministicVirtualTime) {
+  JacobiConfig cfg;
+  cfg.rows = 66;
+  cfg.cols = 64;
+  cfg.sweeps = 8;
+  const JacobiGrid g = JacobiGrid::heated_plate(cfg.rows, cfg.cols);
+  auto once = [&] {
+    machine::SimMachine m(4, cfg.testbed.lan);
+    JacobiStats stats;
+    jacobi_navp(m, cfg, JacobiVariant::kPipelined, g, &stats);
+    return stats.seconds;
+  };
+  EXPECT_DOUBLE_EQ(once(), once());
+}
+
+}  // namespace
+}  // namespace navcpp::apps

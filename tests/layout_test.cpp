@@ -1,0 +1,141 @@
+// Tests for the block-cyclic layout option: ownership maps, correctness of
+// every NavP stage under cyclic distribution, and the slab-only guards of
+// the SPMD tile algorithms.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "linalg/gemm.h"
+#include "machine/sim_machine.h"
+#include "mm/gentleman_mm.h"
+#include "mm/navp_mm_1d.h"
+#include "mm/navp_mm_2d.h"
+#include "mm/summa_mm.h"
+#include "support/error.h"
+
+namespace navcpp::mm {
+namespace {
+
+using linalg::BlockGrid;
+using linalg::Matrix;
+using linalg::RealStorage;
+
+TEST(Layout, CyclicOwnershipRoundRobins) {
+  Dist1D d(12, 3, Layout::kCyclic);
+  EXPECT_EQ(d.owner(0), 0);
+  EXPECT_EQ(d.owner(1), 1);
+  EXPECT_EQ(d.owner(2), 2);
+  EXPECT_EQ(d.owner(3), 0);
+  EXPECT_EQ(d.owner(11), 2);
+}
+
+TEST(Layout, SlabOwnershipIsContiguous) {
+  Dist1D d(12, 3, Layout::kSlab);
+  for (int b = 0; b < 4; ++b) EXPECT_EQ(d.owner(b), 0);
+  for (int b = 4; b < 8; ++b) EXPECT_EQ(d.owner(b), 1);
+  for (int b = 8; b < 12; ++b) EXPECT_EQ(d.owner(b), 2);
+}
+
+TEST(Layout, BothLayoutsBalancePerfectly) {
+  for (Layout layout : {Layout::kSlab, Layout::kCyclic}) {
+    Dist2D d(12, 3, layout);
+    std::map<int, int> counts;
+    for (int bi = 0; bi < 12; ++bi) {
+      for (int bj = 0; bj < 12; ++bj) ++counts[d.owner(bi, bj)];
+    }
+    EXPECT_EQ(counts.size(), 9u);
+    for (const auto& [pe, n] : counts) EXPECT_EQ(n, 16) << "pe " << pe;
+  }
+}
+
+TEST(Layout, CyclicSpreadsConsecutiveBlocksAcrossPes) {
+  Dist2D d(12, 3, Layout::kCyclic);
+  // Consecutive block-columns of one row live on three different PEs.
+  std::set<int> owners;
+  for (int bj = 0; bj < 3; ++bj) owners.insert(d.owner(0, bj));
+  EXPECT_EQ(owners.size(), 3u);
+}
+
+class CyclicCorrectness
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(CyclicCorrectness, All1dVariantsMatchReference) {
+  const auto [order, block, pes] = GetParam();
+  MmConfig cfg;
+  cfg.order = order;
+  cfg.block_order = block;
+  cfg.layout = Layout::kCyclic;
+  const Matrix a = Matrix::random(order, order, 91);
+  const Matrix b = Matrix::random(order, order, 92);
+  const Matrix want = linalg::multiply(a, b);
+  auto ga = linalg::to_blocks(a, block);
+  auto gb = linalg::to_blocks(b, block);
+  for (auto v : {Navp1dVariant::kDsc, Navp1dVariant::kPipelined,
+                 Navp1dVariant::kPhaseShifted}) {
+    machine::SimMachine m(pes, cfg.testbed.lan);
+    BlockGrid<RealStorage> gc(order, block);
+    navp_mm_1d(m, cfg, v, ga, gb, gc);
+    EXPECT_LT(max_abs_diff(linalg::from_blocks(gc), want), 1e-9)
+        << to_string(v);
+  }
+}
+
+TEST_P(CyclicCorrectness, All2dVariantsMatchReference) {
+  const auto [order, block, grid] = GetParam();
+  if (grid * grid > 9) GTEST_SKIP();
+  MmConfig cfg;
+  cfg.order = order;
+  cfg.block_order = block;
+  cfg.layout = Layout::kCyclic;
+  const Matrix a = Matrix::random(order, order, 93);
+  const Matrix b = Matrix::random(order, order, 94);
+  const Matrix want = linalg::multiply(a, b);
+  auto ga = linalg::to_blocks(a, block);
+  auto gb = linalg::to_blocks(b, block);
+  for (auto v : {Navp2dVariant::kDsc, Navp2dVariant::kPipelined,
+                 Navp2dVariant::kPhaseShifted}) {
+    machine::SimMachine m(grid * grid, cfg.testbed.lan);
+    BlockGrid<RealStorage> gc(order, block);
+    navp_mm_2d(m, cfg, v, ga, gb, gc);
+    EXPECT_LT(max_abs_diff(linalg::from_blocks(gc), want), 1e-9)
+        << to_string(v);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, CyclicCorrectness,
+                         ::testing::Values(std::tuple{24, 4, 3},
+                                           std::tuple{16, 4, 2},
+                                           std::tuple{36, 6, 3}));
+
+TEST(Layout, SpmdTileAlgorithmsRejectCyclic) {
+  MmConfig cfg;
+  cfg.order = 24;
+  cfg.block_order = 4;
+  cfg.layout = Layout::kCyclic;
+  BlockGrid<RealStorage> g(24, 4), c(24, 4);
+  machine::SimMachine m(9, cfg.testbed.lan);
+  EXPECT_THROW(gentleman_mm(m, cfg, StaggerMode::kDirect, g, g, c),
+               support::LogicError);
+  EXPECT_THROW(summa_mm(m, cfg, g, g, c), support::LogicError);
+}
+
+TEST(Layout, CyclicFixesThe2dDscClustering) {
+  // The headline of bench_layout_ablation as a regression test: at the
+  // paper's smallest Table 4 configuration, cyclic 2D DSC must beat slab
+  // 2D DSC by a wide margin.
+  MmConfig slab;
+  slab.order = 1536;
+  slab.block_order = 128;
+  MmConfig cyclic = slab;
+  cyclic.layout = Layout::kCyclic;
+  BlockGrid<linalg::PhantomStorage> a(1536, 128), b(1536, 128);
+  auto run = [&](const MmConfig& cfg) {
+    machine::SimMachine m(9, cfg.testbed.lan);
+    BlockGrid<linalg::PhantomStorage> c(1536, 128);
+    return navp_mm_2d(m, cfg, Navp2dVariant::kDsc, a, b, c).seconds;
+  };
+  EXPECT_LT(run(cyclic), 0.85 * run(slab));
+}
+
+}  // namespace
+}  // namespace navcpp::mm

@@ -1,0 +1,255 @@
+// Tests for matrices, GEMM kernels, block grids, and staggering analysis.
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "linalg/block.h"
+#include "linalg/gemm.h"
+#include "linalg/matrix.h"
+#include "linalg/stagger.h"
+#include "support/error.h"
+
+namespace navcpp::linalg {
+namespace {
+
+TEST(Matrix, ConstructionAndIndexing) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  m(1, 2) = 5.0;
+  EXPECT_EQ(m(1, 2), 5.0);
+  EXPECT_EQ(m(0, 0), 0.0);
+}
+
+TEST(Matrix, AtBoundsChecked) {
+  Matrix m(2, 2);
+  EXPECT_THROW((void)m.at(2, 0), support::LogicError);
+  EXPECT_THROW((void)m.at(0, -1), support::LogicError);
+}
+
+TEST(Matrix, IdentityMultiplication) {
+  const Matrix a = Matrix::random(8, 8, 1);
+  const Matrix i = Matrix::identity(8);
+  EXPECT_LT(max_abs_diff(multiply(a, i), a), 1e-12);
+  EXPECT_LT(max_abs_diff(multiply(i, a), a), 1e-12);
+}
+
+TEST(Matrix, RandomIsDeterministicInSeed) {
+  EXPECT_EQ(Matrix::random(5, 5, 42), Matrix::random(5, 5, 42));
+  EXPECT_NE(Matrix::random(5, 5, 42), Matrix::random(5, 5, 43));
+}
+
+TEST(Matrix, IotaLayoutRowMajor) {
+  const Matrix m = Matrix::iota(2, 3);
+  EXPECT_EQ(m(0, 0), 0.0);
+  EXPECT_EQ(m(0, 2), 2.0);
+  EXPECT_EQ(m(1, 0), 3.0);
+}
+
+TEST(Matrix, WindowSharesStorage) {
+  Matrix m = Matrix::iota(4, 4);
+  MatrixView w = m.window(1, 1, 2, 2);
+  EXPECT_EQ(w(0, 0), 5.0);
+  w(0, 0) = 99.0;
+  EXPECT_EQ(m(1, 1), 99.0);
+  EXPECT_THROW((void)m.window(3, 3, 2, 2), support::LogicError);
+}
+
+TEST(Gemm, KernelsAgreeOnRandomMatrices) {
+  for (auto [m, n, k] : {std::tuple{4, 4, 4}, {7, 3, 5}, {1, 9, 2}}) {
+    const Matrix a = Matrix::random(m, k, 11);
+    const Matrix b = Matrix::random(k, n, 12);
+    Matrix c1(m, n), c2(m, n);
+    gemm_acc_naive(c1.view(), a.view(), b.view());
+    gemm_acc(c2.view(), a.view(), b.view());
+    EXPECT_LT(max_abs_diff(c1, c2), 1e-12);
+  }
+}
+
+TEST(Gemm, AccumulatesIntoExistingC) {
+  const Matrix a = Matrix::identity(3);
+  const Matrix b = Matrix::iota(3, 3);
+  Matrix c = Matrix::iota(3, 3);
+  gemm_acc(c.view(), a.view(), b.view());  // c += I*b = 2*iota
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      EXPECT_EQ(c(i, j), 2.0 * (3 * i + j));
+    }
+  }
+}
+
+TEST(Gemm, ShapeMismatchThrows) {
+  Matrix a(2, 3), b(4, 2), c(2, 2);
+  EXPECT_THROW(gemm_acc(c.view(), a.view(), b.view()), support::LogicError);
+  Matrix b2(3, 2), cbad(3, 2);
+  EXPECT_THROW(gemm_acc(cbad.view(), a.view(), b2.view()),
+               support::LogicError);
+}
+
+TEST(Gemm, OnWindowsComputesSubproduct) {
+  // Multiply the top-left 2x2 corners only.
+  const Matrix a = Matrix::random(4, 4, 3);
+  const Matrix b = Matrix::random(4, 4, 4);
+  Matrix c(4, 4);
+  gemm_acc(c.window(0, 0, 2, 2), a.window(0, 0, 2, 2), b.window(0, 0, 2, 2));
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 2; ++j) {
+      double want = 0.0;
+      for (int k = 0; k < 2; ++k) want += a(i, k) * b(k, j);
+      EXPECT_NEAR(c(i, j), want, 1e-12);
+    }
+  }
+  EXPECT_EQ(c(3, 3), 0.0);  // untouched outside the window
+}
+
+TEST(GemmFlops, CountsMultiplyAdd) {
+  EXPECT_DOUBLE_EQ(gemm_flops(2, 3, 4), 48.0);
+}
+
+class BlockGridRoundTrip
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(BlockGridRoundTrip, ToBlocksFromBlocksIsIdentity) {
+  const auto [order, block] = GetParam();
+  const Matrix m = Matrix::random(order, order, 99);
+  const auto grid = to_blocks(m, block);
+  EXPECT_EQ(from_blocks(grid), m);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BlockGridRoundTrip,
+    ::testing::Values(std::tuple{6, 2}, std::tuple{6, 3}, std::tuple{6, 4},
+                      std::tuple{7, 3}, std::tuple{1, 1}, std::tuple{5, 8},
+                      std::tuple{16, 4}, std::tuple{9, 2}));
+
+TEST(BlockGrid, EdgeBlocksAreSmaller) {
+  BlockGrid<RealStorage> grid(7, 3);  // blocks: 3,3,1
+  EXPECT_EQ(grid.nb(), 3);
+  EXPECT_EQ(grid.block_rows(0), 3);
+  EXPECT_EQ(grid.block_rows(2), 1);
+  EXPECT_EQ(grid.at(2, 2).rows, 1);
+  EXPECT_EQ(grid.at(2, 0).cols, 3);
+}
+
+TEST(BlockGrid, PhantomMatchesRealShapes) {
+  BlockGrid<RealStorage> real(10, 4);
+  BlockGrid<PhantomStorage> phantom(10, 4);
+  ASSERT_EQ(real.nb(), phantom.nb());
+  for (int bi = 0; bi < real.nb(); ++bi) {
+    for (int bj = 0; bj < real.nb(); ++bj) {
+      EXPECT_EQ(real.at(bi, bj).rows, phantom.at(bi, bj).rows);
+      EXPECT_EQ(real.at(bi, bj).cols, phantom.at(bi, bj).cols);
+      EXPECT_EQ(block_wire_bytes(real.at(bi, bj)),
+                block_wire_bytes(phantom.at(bi, bj)));
+    }
+  }
+}
+
+TEST(BlockGrid, BlockedMultiplyMatchesDense) {
+  const int order = 12, block = 4;
+  const Matrix a = Matrix::random(order, order, 5);
+  const Matrix b = Matrix::random(order, order, 6);
+  auto ga = to_blocks(a, block);
+  auto gb = to_blocks(b, block);
+  BlockGrid<RealStorage> gc(order, block);
+  for (int bi = 0; bi < ga.nb(); ++bi) {
+    for (int bj = 0; bj < ga.nb(); ++bj) {
+      for (int bk = 0; bk < ga.nb(); ++bk) {
+        RealStorage::gemm_acc(gc.at(bi, bj), ga.at(bi, bk), gb.at(bk, bj));
+      }
+    }
+  }
+  EXPECT_LT(max_abs_diff(from_blocks(gc), multiply(a, b)), 1e-10);
+}
+
+TEST(BlockGrid, RejectsBadParameters) {
+  EXPECT_THROW((BlockGrid<RealStorage>(0, 4)), support::LogicError);
+  EXPECT_THROW((BlockGrid<RealStorage>(4, 0)), support::LogicError);
+}
+
+TEST(PhantomStorage, GemmChecksShapes) {
+  PhantomBlock c(2, 2), a(2, 3), b(3, 2);
+  PhantomStorage::gemm_acc(c, a, b);  // fine
+  PhantomBlock bad(4, 2);
+  EXPECT_THROW(PhantomStorage::gemm_acc(c, a, bad), support::LogicError);
+}
+
+// --- staggering -----------------------------------------------------------
+
+TEST(Stagger, ForwardIsCyclicShift) {
+  // Row 1 on 3 PEs: k -> (k-1) mod 3 — a 3-cycle.
+  const auto perm = forward_row_permutation(1, 3);
+  EXPECT_EQ(perm, (std::vector<int>{2, 0, 1}));
+  EXPECT_EQ(cycle_lengths(perm), (std::vector<int>{3}));
+  EXPECT_FALSE(is_involution(perm));
+}
+
+TEST(Stagger, ReverseIsInvolutionForAllRowsAndSizes) {
+  for (int n = 1; n <= 16; ++n) {
+    for (int i = 0; i < n; ++i) {
+      EXPECT_TRUE(is_involution(reverse_row_permutation(i, n)))
+          << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(Stagger, RowZeroForwardIsIdentity) {
+  const auto perm = forward_row_permutation(0, 5);
+  for (int k = 0; k < 5; ++k) EXPECT_EQ(perm[static_cast<size_t>(k)], k);
+  EXPECT_EQ(min_comm_phases(perm), 0);
+}
+
+TEST(Stagger, PhaseCountsPerCycleStructure) {
+  EXPECT_EQ(min_comm_phases({0, 1, 2}), 0);     // identity
+  EXPECT_EQ(min_comm_phases({1, 0}), 2);        // exchange
+  EXPECT_EQ(min_comm_phases({1, 2, 0}), 3);     // 3-cycle
+  EXPECT_EQ(min_comm_phases({1, 2, 3, 0}), 2);  // 4-cycle
+  EXPECT_EQ(min_comm_phases({1, 0, 3, 2}), 2);  // two exchanges
+}
+
+TEST(Stagger, RejectsNonPermutations) {
+  EXPECT_THROW(min_comm_phases({0, 0, 1}), support::LogicError);
+  EXPECT_THROW(min_comm_phases({0, 3}), support::LogicError);
+}
+
+// The paper's claim, verified over a sweep of network sizes: reverse
+// staggering needs at most 2 phases; forward staggering needs 3 whenever
+// some shift produces an odd cycle (any N >= 3).
+class StaggerPhases : public ::testing::TestWithParam<int> {};
+
+TEST_P(StaggerPhases, ReverseNeverExceedsTwoPhases) {
+  EXPECT_LE(reverse_stagger_phases(GetParam()), 2);
+}
+
+TEST_P(StaggerPhases, ForwardNeedsThreeUnlessPowerOfTwo) {
+  // Shift-by-i on Z_n has cycles of length n/gcd(n,i); an odd cycle (> 1)
+  // exists iff n is not a power of two.  "Often requires three" is exactly
+  // the non-power-of-two case.
+  const int n = GetParam();
+  const bool power_of_two = (n & (n - 1)) == 0;
+  if (n >= 3 && !power_of_two) {
+    EXPECT_EQ(forward_stagger_phases(n), 3);
+  } else {
+    EXPECT_LE(forward_stagger_phases(n), 2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, StaggerPhases,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 12, 16,
+                                           25));
+
+TEST(Stagger, ForwardAndReverseAgreeWithPointwiseHelpers) {
+  const int n = 6;
+  for (int i = 0; i < n; ++i) {
+    const auto fwd = forward_row_permutation(i, n);
+    const auto rev = reverse_row_permutation(i, n);
+    for (int k = 0; k < n; ++k) {
+      EXPECT_EQ(fwd[static_cast<size_t>(k)], forward_stagger_col(i, k, n));
+      EXPECT_EQ(rev[static_cast<size_t>(k)], reverse_stagger_col(i, k, n));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace navcpp::linalg

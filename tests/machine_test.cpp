@@ -1,0 +1,203 @@
+// Tests for the two Engine backends: SimMachine and ThreadedMachine.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "machine/sim_machine.h"
+#include "machine/threaded_machine.h"
+#include "support/error.h"
+
+namespace navcpp::machine {
+namespace {
+
+net::LinkParams fast_link() {
+  net::LinkParams p;
+  p.send_overhead = 0.0;
+  p.recv_overhead = 0.0;
+  p.latency = 0.0;
+  p.bandwidth = 1e12;
+  p.local_delivery = 0.0;
+  return p;
+}
+
+TEST(SimMachine, ChargeAdvancesOnlyThatPe) {
+  SimMachine m(3);
+  m.charge(1, 2.5);
+  EXPECT_DOUBLE_EQ(m.now(0), 0.0);
+  EXPECT_DOUBLE_EQ(m.now(1), 2.5);
+  EXPECT_DOUBLE_EQ(m.now(2), 0.0);
+  EXPECT_DOUBLE_EQ(m.finish_time(), 2.5);
+}
+
+TEST(SimMachine, PostedActionsRunAtPeClock) {
+  SimMachine m(2, fast_link());
+  std::vector<double> at;
+  m.task_started();
+  m.post(0, [&] {
+    m.charge(0, 1.0);
+    at.push_back(m.now(0));
+    m.post(0, [&] {
+      at.push_back(m.now(0));
+      m.task_finished();
+    });
+  });
+  m.run();
+  ASSERT_EQ(at.size(), 2u);
+  EXPECT_DOUBLE_EQ(at[0], 1.0);
+  EXPECT_DOUBLE_EQ(at[1], 1.0);
+}
+
+TEST(SimMachine, BusyPeDelaysArrivals) {
+  // Two actions posted to PE 0 at time 0; the first charges 5s, so the
+  // second starts at 5s even though it "arrived" at 0.
+  SimMachine m(1, fast_link());
+  double second_start = -1.0;
+  m.post(0, [&] { m.charge(0, 5.0); });
+  m.post(0, [&] { second_start = m.now(0); });
+  m.run();
+  EXPECT_DOUBLE_EQ(second_start, 5.0);
+}
+
+TEST(SimMachine, TransmitDeliversAtModeledTime) {
+  net::LinkParams p;
+  p.send_overhead = 0.001;
+  p.recv_overhead = 0.002;
+  p.latency = 0.01;
+  p.bandwidth = 1000.0;
+  SimMachine m(2, p);
+  double delivered = -1.0;
+  m.post(0, [&] {
+    m.charge(0, 1.0);
+    m.transmit(0, 1, 500, [&] { delivered = m.now(1); });
+  });
+  m.run();
+  // send at t=1.0: cpu free 1.001, wire 0.5, latency 0.01,
+  // recv_overhead charged on arrival.
+  EXPECT_DOUBLE_EQ(delivered, 1.001 + 0.01 + 0.5 + 0.002);
+  EXPECT_DOUBLE_EQ(m.now(0), 1.001);
+}
+
+TEST(SimMachine, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    SimMachine m(4);
+    for (int pe = 0; pe < 4; ++pe) {
+      m.post(pe, [&m, pe] {
+        m.charge(pe, 0.5 * (pe + 1));
+        m.transmit(pe, (pe + 1) % 4, 1024, [&m, pe] {
+          m.charge((pe + 1) % 4, 0.25);
+        });
+      });
+    }
+    m.run();
+    return m.finish_time();
+  };
+  const double a = run_once();
+  const double b = run_once();
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(SimMachine, StallWithLiveTasksThrowsDeadlock) {
+  SimMachine m(1);
+  m.task_started();  // never finished, nothing queued
+  EXPECT_THROW(m.run(), support::DeadlockError);
+}
+
+TEST(SimMachine, DeadlockMessageIncludesBlockedReport) {
+  SimMachine m(1);
+  m.task_started();
+  m.set_blocked_reporter([] { return std::string("WHO-IS-BLOCKED"); });
+  try {
+    m.run();
+    FAIL() << "expected DeadlockError";
+  } catch (const support::DeadlockError& e) {
+    EXPECT_NE(std::string(e.what()).find("WHO-IS-BLOCKED"),
+              std::string::npos);
+  }
+}
+
+TEST(SimMachine, ActionExceptionPropagates) {
+  SimMachine m(1);
+  m.post(0, [] { throw support::ConfigError("boom"); });
+  EXPECT_THROW(m.run(), support::ConfigError);
+}
+
+TEST(SimMachine, BusyTimeExcludesIdle) {
+  SimMachine m(2, fast_link());
+  m.post(0, [&] { m.charge(0, 2.0); });
+  m.post(1, [&] { m.charge(1, 0.5); });
+  m.run();
+  EXPECT_DOUBLE_EQ(m.busy_time(0), 2.0);
+  EXPECT_DOUBLE_EQ(m.busy_time(1), 0.5);
+}
+
+TEST(SimMachine, RejectsBadPe) {
+  SimMachine m(2);
+  EXPECT_THROW(m.post(2, [] {}), support::LogicError);
+  EXPECT_THROW(m.charge(-1, 1.0), support::LogicError);
+  EXPECT_THROW((void)m.now(5), support::LogicError);
+}
+
+TEST(ThreadedMachine, RunsAllPostedActions) {
+  ThreadedMachine m(4);
+  std::atomic<int> count{0};
+  m.task_started();
+  for (int pe = 0; pe < 4; ++pe) {
+    m.post(pe, [&] { count.fetch_add(1); });
+  }
+  m.post(0, [&] { m.task_finished(); });
+  m.run();
+  EXPECT_EQ(count.load(), 4);
+}
+
+TEST(ThreadedMachine, PePreservesFifoOrder) {
+  ThreadedMachine m(1);
+  std::vector<int> order;
+  m.task_started();
+  for (int i = 0; i < 100; ++i) {
+    m.post(0, [&order, i] { order.push_back(i); });
+  }
+  m.post(0, [&] { m.task_finished(); });
+  m.run();
+  ASSERT_EQ(order.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(ThreadedMachine, TransmitDeliversToDestination) {
+  ThreadedMachine m(2);
+  std::atomic<bool> delivered{false};
+  m.task_started();
+  m.post(0, [&] {
+    m.transmit(0, 1, 4096, [&] {
+      delivered = true;
+      m.task_finished();
+    });
+  });
+  m.run();
+  EXPECT_TRUE(delivered.load());
+  EXPECT_EQ(m.transmitted_messages(), 1u);
+  EXPECT_EQ(m.transmitted_bytes(), 4096u);
+}
+
+TEST(ThreadedMachine, ExceptionInActionPropagatesToRun) {
+  ThreadedMachine m(2);
+  m.task_started();
+  m.post(1, [] { throw support::ConfigError("worker boom"); });
+  EXPECT_THROW(m.run(), support::ConfigError);
+}
+
+TEST(ThreadedMachine, StallTimeoutDetectsDeadlock) {
+  ThreadedMachine m(2);
+  m.set_stall_timeout(0.1);
+  m.task_started();  // a task that never finishes and never runs
+  EXPECT_THROW(m.run(), support::DeadlockError);
+}
+
+TEST(ThreadedMachine, RejectsBadPe) {
+  ThreadedMachine m(2);
+  EXPECT_THROW(m.post(7, [] {}), support::LogicError);
+}
+
+}  // namespace
+}  // namespace navcpp::machine

@@ -1,0 +1,234 @@
+// Tests for the mini-MPI substrate (Comm/World over the NavP runtime).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "machine/sim_machine.h"
+#include "machine/threaded_machine.h"
+#include "minimpi/world.h"
+#include "navp/runtime.h"
+#include "support/error.h"
+
+namespace navcpp::minimpi {
+namespace {
+
+class MpiBothBackends : public ::testing::TestWithParam<std::string> {
+ protected:
+  std::unique_ptr<machine::Engine> make_machine(int pes) {
+    if (GetParam() == "sim") {
+      return std::make_unique<machine::SimMachine>(pes);
+    }
+    auto m = std::make_unique<machine::ThreadedMachine>(pes);
+    m->set_stall_timeout(5.0);
+    return m;
+  }
+};
+
+// --- rank programs --------------------------------------------------------
+
+navp::Mission ping_pong(Comm comm, std::vector<double>* out) {
+  if (comm.rank() == 0) {
+    comm.send(1, /*tag=*/7, {1.0, 2.0, 3.0});
+    Message reply = co_await comm.recv(1, 8);
+    *out = reply.data;
+  } else if (comm.rank() == 1) {
+    Message msg = co_await comm.recv(0, 7);
+    for (auto& x : msg.data) x *= 10.0;
+    comm.send(0, 8, std::move(msg.data));
+  }
+}
+
+TEST_P(MpiBothBackends, PingPongRoundTrip) {
+  auto m = make_machine(2);
+  navp::Runtime rt(*m);
+  World world(rt);
+  std::vector<double> out;
+  world.launch(ping_pong, &out);
+  rt.run();
+  EXPECT_EQ(out, (std::vector<double>{10.0, 20.0, 30.0}));
+  EXPECT_FALSE(world.has_leftover_messages());
+}
+
+navp::Mission ring_pass(Comm comm, std::vector<int>* order) {
+  const int next = (comm.rank() + 1) % comm.size();
+  const int prev = (comm.rank() + comm.size() - 1) % comm.size();
+  if (comm.rank() == 0) {
+    comm.send(next, 1, {0.0});
+    Message msg = co_await comm.recv(prev, 1);
+    order->push_back(static_cast<int>(msg.data[0]));
+  } else {
+    Message msg = co_await comm.recv(prev, 1);
+    comm.send(next, 1, {msg.data[0] + 1.0});
+  }
+}
+
+TEST_P(MpiBothBackends, RingPassAccumulates) {
+  auto m = make_machine(5);
+  navp::Runtime rt(*m);
+  World world(rt);
+  std::vector<int> order;
+  world.launch(ring_pass, &order);
+  rt.run();
+  ASSERT_EQ(order.size(), 1u);
+  EXPECT_EQ(order[0], 4);  // incremented by ranks 1..4
+}
+
+navp::Mission tag_matcher(Comm comm, std::vector<double>* got) {
+  if (comm.rank() == 0) {
+    // Send tag 5 first, then tag 4; receiver asks for 4 first.
+    comm.send(1, 5, {5.0});
+    comm.send(1, 4, {4.0});
+  } else {
+    Message a = co_await comm.recv(0, 4);
+    Message b = co_await comm.recv(0, 5);
+    got->push_back(a.data[0]);
+    got->push_back(b.data[0]);
+  }
+}
+
+TEST_P(MpiBothBackends, OutOfOrderTagsMatchCorrectly) {
+  auto m = make_machine(2);
+  navp::Runtime rt(*m);
+  World world(rt);
+  std::vector<double> got;
+  world.launch(tag_matcher, &got);
+  rt.run();
+  EXPECT_EQ(got, (std::vector<double>{4.0, 5.0}));
+}
+
+navp::Mission fifo_same_tag(Comm comm, std::vector<double>* got) {
+  if (comm.rank() == 0) {
+    for (int i = 0; i < 8; ++i) {
+      comm.send(1, 2, {static_cast<double>(i)});
+    }
+  } else {
+    for (int i = 0; i < 8; ++i) {
+      Message msg = co_await comm.recv(0, 2);
+      got->push_back(msg.data[0]);
+    }
+  }
+}
+
+TEST_P(MpiBothBackends, SameTagMessagesArriveFifo) {
+  auto m = make_machine(2);
+  navp::Runtime rt(*m);
+  World world(rt);
+  std::vector<double> got;
+  world.launch(fifo_same_tag, &got);
+  rt.run();
+  std::vector<double> expect(8);
+  std::iota(expect.begin(), expect.end(), 0.0);
+  EXPECT_EQ(got, expect);
+}
+
+navp::Mission irecv_then_wait(Comm comm, double* got) {
+  if (comm.rank() == 0) {
+    Request req = comm.irecv(1, 3);  // post before the send happens
+    comm.send(1, 9, {0.0});          // tell rank 1 to go
+    Message msg = co_await comm.wait(req);
+    *got = msg.data[0];
+  } else {
+    (void)co_await comm.recv(0, 9);
+    comm.send(0, 3, {42.0});
+  }
+}
+
+TEST_P(MpiBothBackends, IrecvWaitCompletesAfterSend) {
+  auto m = make_machine(2);
+  navp::Runtime rt(*m);
+  World world(rt);
+  double got = 0.0;
+  world.launch(irecv_then_wait, &got);
+  rt.run();
+  EXPECT_EQ(got, 42.0);
+}
+
+navp::Mission barrier_program(Comm comm, std::vector<int>* after) {
+  // Every rank charges a different amount of compute, then barriers.
+  // Each rank writes only its own slot (no cross-thread races).
+  comm.ctx().compute(0.1 * (comm.rank() + 1), "stagger");
+  co_await comm.barrier();
+  (*after)[static_cast<std::size_t>(comm.rank())] = 1;
+}
+
+TEST_P(MpiBothBackends, BarrierReleasesAllRanks) {
+  auto m = make_machine(4);
+  navp::Runtime rt(*m);
+  World world(rt);
+  std::vector<int> after(4, 0);
+  world.launch(barrier_program, &after);
+  rt.run();
+  EXPECT_EQ(std::accumulate(after.begin(), after.end(), 0), 4);
+  EXPECT_FALSE(world.has_leftover_messages());
+}
+
+TEST(MpiSim, BarrierWaitsForSlowestRank) {
+  machine::SimMachine m(4);
+  navp::Runtime rt(m);
+  World world(rt);
+  std::vector<int> after(4, 0);
+  world.launch(barrier_program, &after);
+  rt.run();
+  // Rank 3 charges 0.4s; nobody may pass the barrier before that.
+  EXPECT_GE(m.finish_time(), 0.4);
+}
+
+navp::Mission phantom_sender(Comm comm) {
+  if (comm.rank() == 0) {
+    comm.send(1, 1, {}, /*wire_bytes=*/1 << 20);
+  } else {
+    Message msg = co_await comm.recv(0, 1);
+    NAVCPP_CHECK(msg.data.empty(), "phantom message should carry no data");
+    NAVCPP_CHECK(msg.wire_bytes == (1u << 20), "wire bytes preserved");
+  }
+  co_return;
+}
+
+TEST(MpiSim, PhantomSendChargesWireBytes) {
+  net::LinkParams p;
+  p.send_overhead = 0.0;
+  p.recv_overhead = 0.0;
+  p.latency = 0.0;
+  p.bandwidth = 1e6;  // 1 MB/s -> 1 MiB takes ~1.05s
+  machine::SimMachine m(2, p);
+  navp::Runtime rt(m);
+  World world(rt);
+  world.launch(phantom_sender);
+  rt.run();
+  EXPECT_NEAR(m.finish_time(), (1 << 20) / 1e6, 0.05);
+}
+
+TEST(MpiSim, SendToInvalidRankThrows) {
+  machine::SimMachine m(2);
+  navp::Runtime rt(m);
+  World world(rt);
+  world.launch([](Comm comm) -> navp::Mission {
+    if (comm.rank() == 0) comm.send(5, 1, {1.0});
+    co_return;
+  });
+  EXPECT_THROW(rt.run(), support::LogicError);
+}
+
+TEST(MpiSim, DeadlockedRecvIsReported) {
+  machine::SimMachine m(2);
+  navp::Runtime rt(m);
+  World world(rt);
+  world.launch([](Comm comm) -> navp::Mission {
+    if (comm.rank() == 0) {
+      (void)co_await comm.recv(1, 99);  // never sent
+    }
+    co_return;
+  });
+  EXPECT_THROW(rt.run(), support::DeadlockError);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, MpiBothBackends,
+                         ::testing::Values(std::string("sim"),
+                                           std::string("threaded")),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace navcpp::minimpi

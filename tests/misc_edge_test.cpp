@@ -1,0 +1,129 @@
+// Edge cases that don't fit the per-module suites: logging, node stores,
+// mini-MPI misuse, and machine reuse.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "machine/sim_machine.h"
+#include "machine/threaded_machine.h"
+#include "minimpi/world.h"
+#include "navp/node_store.h"
+#include "navp/runtime.h"
+#include "support/log.h"
+
+namespace navcpp {
+namespace {
+
+TEST(Log, LevelFilteringIsMonotone) {
+  const auto saved = support::log_level();
+  support::set_log_level(support::LogLevel::kError);
+  EXPECT_EQ(support::log_level(), support::LogLevel::kError);
+  support::set_log_level(support::LogLevel::kDebug);
+  EXPECT_EQ(support::log_level(), support::LogLevel::kDebug);
+  // Emitting at every level must not crash regardless of threshold.
+  support::log_debug("debug ", 1);
+  support::log_info("info ", 2.5);
+  support::log_warn("warn ", "x");
+  support::log_error("error ", 'c');
+  support::set_log_level(saved);
+}
+
+TEST(NodeStore, DuplicateEmplaceThrows) {
+  navp::NodeStore store;
+  store.emplace<int>(3);
+  EXPECT_THROW(store.emplace<int>(4), support::LogicError);
+  EXPECT_EQ(store.get<int>(), 3);
+}
+
+TEST(NodeStore, HasReflectsInstallation) {
+  navp::NodeStore store;
+  EXPECT_FALSE(store.has<double>());
+  store.emplace<double>(1.5);
+  EXPECT_TRUE(store.has<double>());
+  EXPECT_FALSE(store.has<int>());
+}
+
+TEST(NodeStore, DistinctTypesCoexist) {
+  navp::NodeStore store;
+  struct A { int x = 1; };
+  struct B { int x = 2; };
+  store.emplace<A>();
+  store.emplace<B>();
+  EXPECT_EQ(store.get<A>().x, 1);
+  EXPECT_EQ(store.get<B>().x, 2);
+}
+
+TEST(MiniMpiMisuse, WaitingTwiceOnARequestThrows) {
+  machine::SimMachine m(2);
+  navp::Runtime rt(m);
+  minimpi::World world(rt);
+  world.launch([](minimpi::Comm comm) -> navp::Mission {
+    if (comm.rank() == 0) {
+      comm.send(1, 1, {1.0});
+      comm.send(1, 1, {2.0});
+    } else {
+      minimpi::Request req = comm.irecv(0, 1);
+      (void)co_await comm.wait(req);
+      req.completed = true;  // simulate user double-wait bookkeeping
+      (void)co_await comm.wait(req);
+    }
+  });
+  EXPECT_THROW(rt.run(), support::LogicError);
+}
+
+TEST(MiniMpiMisuse, WaitOnDefaultRequestThrows) {
+  machine::SimMachine m(1);
+  navp::Runtime rt(m);
+  minimpi::World world(rt);
+  world.launch([](minimpi::Comm comm) -> navp::Mission {
+    minimpi::Request req;
+    (void)co_await comm.wait(req);
+  });
+  EXPECT_THROW(rt.run(), support::LogicError);
+}
+
+TEST(MachineReuse, SimMachineClocksPersistAcrossRuns) {
+  // A second batch of work on the same machine continues in virtual time
+  // (documented: callers wanting t=0 build a fresh machine).
+  machine::SimMachine m(2);
+  navp::Runtime rt(m);
+  rt.inject(0, "a", [](navp::Ctx ctx) -> navp::Mission {
+    ctx.compute(1.0, "x");
+    co_return;
+  });
+  rt.run();
+  EXPECT_DOUBLE_EQ(m.finish_time(), 1.0);
+  rt.inject(0, "b", [](navp::Ctx ctx) -> navp::Mission {
+    ctx.compute(0.5, "y");
+    co_return;
+  });
+  rt.run();
+  EXPECT_DOUBLE_EQ(m.finish_time(), 1.5);
+}
+
+TEST(MachineReuse, ThreadedMachineRunsTwice) {
+  machine::ThreadedMachine m(2);
+  m.set_stall_timeout(5.0);
+  navp::Runtime rt(m);
+  int hits = 0;
+  for (int round = 0; round < 2; ++round) {
+    rt.inject(round % 2, "r", [](navp::Ctx ctx, int* out) -> navp::Mission {
+      co_await ctx.hop((ctx.here() + 1) % ctx.pe_count(), 8);
+      ++*out;
+    }, &hits);
+    rt.run();
+  }
+  EXPECT_EQ(hits, 2);
+  EXPECT_EQ(rt.agents_completed(), 2u);
+}
+
+TEST(Engine, FinishTimeIsMaxOverPes) {
+  machine::SimMachine m(3);
+  m.charge(0, 1.0);
+  m.charge(1, 5.0);
+  m.charge(2, 3.0);
+  EXPECT_DOUBLE_EQ(m.finish_time(), 5.0);
+}
+
+}  // namespace
+}  // namespace navcpp

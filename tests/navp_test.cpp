@@ -1,0 +1,304 @@
+// Tests for the NavP runtime: hop/inject/events/node variables/tracing,
+// on both the simulated and the threaded backends.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "machine/sim_machine.h"
+#include "machine/threaded_machine.h"
+#include "navp/runtime.h"
+#include "support/error.h"
+
+namespace navcpp::navp {
+namespace {
+
+constexpr EventKey kGo{1, 0, 0};
+
+struct Counter {
+  int visits = 0;
+  std::vector<std::uint64_t> visitors;
+};
+
+// --- agents used across tests -------------------------------------------
+
+Mission tourist(Ctx ctx, int laps) {
+  for (int lap = 0; lap < laps; ++lap) {
+    for (int pe = 0; pe < ctx.pe_count(); ++pe) {
+      co_await ctx.hop(pe, /*payload=*/64);
+      auto& c = ctx.node<Counter>();
+      ++c.visits;
+      c.visitors.push_back(ctx.id());
+    }
+  }
+}
+
+Mission waiter_agent(Ctx ctx, EventKey key, int* resumed_order, int my_rank) {
+  co_await ctx.wait_event(key);
+  resumed_order[my_rank] = 1;
+}
+
+Mission signaler_agent(Ctx ctx, EventKey key, int times) {
+  for (int i = 0; i < times; ++i) ctx.signal_event(key);
+  co_return;
+}
+
+// Fixture running each test body against both backends.
+class NavpBothBackends : public ::testing::TestWithParam<std::string> {
+ protected:
+  std::unique_ptr<machine::Engine> make_machine(int pes) {
+    if (GetParam() == "sim") {
+      return std::make_unique<machine::SimMachine>(pes);
+    }
+    auto m = std::make_unique<machine::ThreadedMachine>(pes);
+    m->set_stall_timeout(5.0);
+    return m;
+  }
+};
+
+TEST_P(NavpBothBackends, AgentVisitsEveryPe) {
+  auto m = make_machine(4);
+  Runtime rt(*m);
+  for (int pe = 0; pe < 4; ++pe) rt.node_store(pe).emplace<Counter>();
+  rt.inject(0, "tourist", tourist, 3);
+  rt.run();
+  for (int pe = 0; pe < 4; ++pe) {
+    EXPECT_EQ(rt.node_store(pe).get<Counter>().visits, 3);
+  }
+  EXPECT_EQ(rt.agents_injected(), 1u);
+  EXPECT_EQ(rt.agents_completed(), 1u);
+  EXPECT_EQ(rt.hop_count(), 12u);
+}
+
+TEST_P(NavpBothBackends, ManyAgentsAllComplete) {
+  auto m = make_machine(3);
+  Runtime rt(*m);
+  for (int pe = 0; pe < 3; ++pe) rt.node_store(pe).emplace<Counter>();
+  for (int i = 0; i < 20; ++i) {
+    rt.inject(i % 3, "tourist" + std::to_string(i), tourist, 2);
+  }
+  rt.run();
+  int total = 0;
+  for (int pe = 0; pe < 3; ++pe) {
+    total += rt.node_store(pe).get<Counter>().visits;
+  }
+  EXPECT_EQ(total, 20 * 2 * 3);
+  EXPECT_EQ(rt.agents_completed(), 20u);
+}
+
+TEST_P(NavpBothBackends, EventWaitBlocksUntilSignal) {
+  auto m = make_machine(1);
+  Runtime rt(*m);
+  int order[1] = {0};
+  rt.inject(0, "waiter", waiter_agent, kGo, order, 0);
+  rt.inject(0, "signaler", signaler_agent, kGo, 1);
+  rt.run();
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(rt.signals_sent(), 1u);
+  EXPECT_EQ(rt.waits_satisfied(), 1u);
+  EXPECT_EQ(rt.unconsumed_signals(), 0u);
+}
+
+TEST_P(NavpBothBackends, BankedSignalIsConsumedWithoutBlocking) {
+  auto m = make_machine(1);
+  Runtime rt(*m);
+  int order[1] = {0};
+  rt.pre_signal(0, kGo);
+  rt.inject(0, "waiter", waiter_agent, kGo, order, 0);
+  rt.run();
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(rt.unconsumed_signals(), 0u);
+}
+
+TEST_P(NavpBothBackends, OneSignalWakesExactlyOneWaiter) {
+  auto m = make_machine(1);
+  Runtime rt(*m);
+  int order[3] = {0, 0, 0};
+  rt.inject(0, "w0", waiter_agent, kGo, order, 0);
+  rt.inject(0, "w1", waiter_agent, kGo, order, 1);
+  rt.inject(0, "w2", waiter_agent, kGo, order, 2);
+  rt.inject(0, "sig", signaler_agent, kGo, 3);
+  rt.run();
+  EXPECT_EQ(order[0] + order[1] + order[2], 3);
+  EXPECT_EQ(rt.unconsumed_signals(), 0u);
+}
+
+TEST_P(NavpBothBackends, SignalConservation) {
+  // Signals sent but never awaited stay banked: signals == waits + banked.
+  auto m = make_machine(2);
+  Runtime rt(*m);
+  rt.inject(0, "sig", signaler_agent, kGo, 5);
+  int order[1] = {0};
+  rt.inject(0, "waiter", waiter_agent, kGo, order, 0);
+  rt.run();
+  EXPECT_EQ(rt.signals_sent(), 5u);
+  EXPECT_EQ(rt.waits_satisfied(), 1u);
+  EXPECT_EQ(rt.unconsumed_signals(), 4u);
+}
+
+Mission spawner_agent(Ctx ctx, int n) {
+  // Local injection: children start on the spawner's current PE.
+  for (int i = 0; i < n; ++i) {
+    ctx.inject("child" + std::to_string(i), tourist, 1);
+  }
+  co_return;
+}
+
+TEST_P(NavpBothBackends, AgentsCanInjectAgentsLocally) {
+  auto m = make_machine(3);
+  Runtime rt(*m);
+  for (int pe = 0; pe < 3; ++pe) rt.node_store(pe).emplace<Counter>();
+  rt.inject(1, "spawner", spawner_agent, 4);
+  rt.run();
+  EXPECT_EQ(rt.agents_injected(), 5u);
+  EXPECT_EQ(rt.agents_completed(), 5u);
+  int total = 0;
+  for (int pe = 0; pe < 3; ++pe)
+    total += rt.node_store(pe).get<Counter>().visits;
+  EXPECT_EQ(total, 4 * 3);
+}
+
+Mission bad_hopper(Ctx ctx) {
+  co_await ctx.hop(999);
+}
+
+TEST_P(NavpBothBackends, HopToInvalidPeFailsTheRun) {
+  auto m = make_machine(2);
+  Runtime rt(*m);
+  rt.inject(0, "bad", bad_hopper);
+  EXPECT_THROW(rt.run(), support::LogicError);
+}
+
+Mission forever_waiter(Ctx ctx) {
+  co_await ctx.wait_event(EventKey{42, 1, 2});
+}
+
+TEST_P(NavpBothBackends, DeadlockIsDetectedAndNamed) {
+  auto m = make_machine(2);
+  if (GetParam() == "threaded") {
+    static_cast<machine::ThreadedMachine*>(m.get())->set_stall_timeout(0.2);
+  }
+  Runtime rt(*m);
+  rt.inject(1, "stuck-agent", forever_waiter);
+  try {
+    rt.run();
+    FAIL() << "expected DeadlockError";
+  } catch (const support::DeadlockError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("stuck-agent"), std::string::npos);
+    EXPECT_NE(what.find("E42(1,2)"), std::string::npos);
+    EXPECT_NE(what.find("PE 1"), std::string::npos);
+  }
+}
+
+Mission thrower(Ctx ctx) {
+  co_await ctx.hop(1);
+  throw support::ConfigError("agent exploded");
+}
+
+TEST_P(NavpBothBackends, AgentExceptionPropagatesToRun) {
+  auto m = make_machine(2);
+  Runtime rt(*m);
+  rt.inject(0, "thrower", thrower);
+  EXPECT_THROW(rt.run(), support::ConfigError);
+}
+
+TEST_P(NavpBothBackends, MissingNodeVariableThrows) {
+  auto m = make_machine(2);
+  Runtime rt(*m);
+  // No Counter installed on PE 1.
+  rt.node_store(0).emplace<Counter>();
+  rt.inject(0, "tourist", tourist, 1);
+  EXPECT_THROW(rt.run(), support::LogicError);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, NavpBothBackends,
+                         ::testing::Values(std::string("sim"),
+                                           std::string("threaded")),
+                         [](const auto& info) { return info.param; });
+
+// --- simulation-only semantics ------------------------------------------
+
+Mission charger(Ctx ctx, double seconds) {
+  ctx.compute(seconds, "charge");
+  co_return;
+}
+
+TEST(NavpSim, ComputeAdvancesVirtualTime) {
+  machine::SimMachine m(2);
+  Runtime rt(m);
+  rt.inject(0, "c0", charger, 2.0);
+  rt.inject(1, "c1", charger, 3.5);
+  rt.run();
+  EXPECT_DOUBLE_EQ(m.now(0), 2.0);
+  EXPECT_GE(m.now(1), 3.5);
+  EXPECT_DOUBLE_EQ(m.finish_time(), 3.5);
+}
+
+Mission ping(Ctx ctx, int laps) {
+  for (int i = 0; i < laps; ++i) {
+    co_await ctx.hop(1, 1024);
+    co_await ctx.hop(0, 1024);
+  }
+}
+
+TEST(NavpSim, HopCostIncludesPayloadAndState) {
+  net::LinkParams p;
+  p.send_overhead = 0.0;
+  p.recv_overhead = 0.0;
+  p.latency = 0.5;
+  p.bandwidth = 1e9;
+  machine::SimMachine m(2, p);
+  Runtime rt(m);
+  rt.set_hop_state_bytes(0);
+  rt.inject(0, "ping", ping, 3);
+  rt.run();
+  // 6 hops, each dominated by latency 0.5 (payload transfer ~1 microsecond).
+  EXPECT_NEAR(m.finish_time(), 3.0, 0.01);
+  EXPECT_EQ(rt.hop_count(), 6u);
+  EXPECT_EQ(m.network().message_count(), 6u);
+  // Each hop carries 1024 payload bytes (+0 state bytes).
+  EXPECT_EQ(m.network().byte_count(), 6u * 1024u);
+}
+
+TEST(NavpSim, DeterministicVirtualTimes) {
+  auto run_once = [] {
+    machine::SimMachine m(3);
+    Runtime rt(m);
+    for (int pe = 0; pe < 3; ++pe) rt.node_store(pe).emplace<Counter>();
+    for (int i = 0; i < 5; ++i) rt.inject(i % 3, "t", tourist, 2);
+    rt.run();
+    return m.finish_time();
+  };
+  EXPECT_DOUBLE_EQ(run_once(), run_once());
+}
+
+TEST(NavpSim, TraceRecordsHopsAndSpans) {
+  machine::SimMachine m(3);
+  Runtime rt(m);
+  TraceRecorder trace;
+  rt.set_trace(&trace);
+  for (int pe = 0; pe < 3; ++pe) rt.node_store(pe).emplace<Counter>();
+  rt.inject(0, "tourist", tourist, 1);
+  rt.inject(0, "sig", signaler_agent, kGo, 1);
+  rt.run();
+  // One lap over 3 PEs from PE 0: hop(0) is a same-node no-op (MESSENGERS
+  // semantics), so only the two migrations appear in the trace.
+  EXPECT_EQ(trace.hops().size(), 2u);
+  for (const auto& h : trace.hops()) {
+    EXPECT_LE(h.depart, h.arrive);
+  }
+  const std::string diagram = trace.render_spacetime(3, 10);
+  EXPECT_NE(diagram.find("PE"), std::string::npos);
+}
+
+TEST(NavpSim, InjectRejectsBadPe) {
+  machine::SimMachine m(2);
+  Runtime rt(m);
+  EXPECT_THROW(rt.inject(5, "x", charger, 1.0), support::LogicError);
+}
+
+}  // namespace
+}  // namespace navcpp::navp

@@ -1,0 +1,123 @@
+// Unit tests for topologies and the LogGP-style network model.
+#include <gtest/gtest.h>
+
+#include "net/link_model.h"
+#include "net/topology.h"
+#include "support/error.h"
+
+namespace navcpp::net {
+namespace {
+
+TEST(Topology1D, NeighborsWrapAround) {
+  Topology1D t(3);
+  EXPECT_EQ(t.east(0), 1);
+  EXPECT_EQ(t.east(2), 0);
+  EXPECT_EQ(t.west(0), 2);
+  EXPECT_EQ(t.west(1), 0);
+}
+
+TEST(Topology1D, RejectsBadIds) {
+  Topology1D t(3);
+  EXPECT_THROW(t.node(-1), support::LogicError);
+  EXPECT_THROW(t.node(3), support::LogicError);
+  EXPECT_THROW(Topology1D(0), support::LogicError);
+}
+
+TEST(Topology2D, LinearizationRowMajor) {
+  Topology2D t(3, 3);
+  EXPECT_EQ(t.node(0, 0), 0);
+  EXPECT_EQ(t.node(0, 2), 2);
+  EXPECT_EQ(t.node(2, 1), 7);
+  EXPECT_EQ(t.row_of(7), 2);
+  EXPECT_EQ(t.col_of(7), 1);
+}
+
+TEST(Topology2D, ToroidalNeighbors) {
+  Topology2D t(3, 3);
+  const int pe = t.node(0, 0);
+  EXPECT_EQ(t.east(pe), t.node(0, 1));
+  EXPECT_EQ(t.west(pe), t.node(0, 2));   // wrap
+  EXPECT_EQ(t.south(pe), t.node(1, 0));
+  EXPECT_EQ(t.north(pe), t.node(2, 0));  // wrap
+}
+
+TEST(Topology2D, NonSquareGrids) {
+  Topology2D t(2, 4);
+  EXPECT_EQ(t.pe_count(), 8);
+  EXPECT_EQ(t.node(1, 3), 7);
+  EXPECT_EQ(t.east(t.node(1, 3)), t.node(1, 0));
+  EXPECT_EQ(t.south(t.node(1, 2)), t.node(0, 2));
+}
+
+LinkParams test_params() {
+  LinkParams p;
+  p.send_overhead = 0.001;
+  p.recv_overhead = 0.002;
+  p.latency = 0.010;
+  p.bandwidth = 1000.0;  // 1000 B/s: easy arithmetic
+  p.local_delivery = 0.0001;
+  return p;
+}
+
+TEST(NetworkModel, SingleMessageTiming) {
+  NetworkModel net(2, test_params());
+  const Transfer tr = net.admit(0, 1, 500, /*when=*/1.0);
+  // ready = 1.0 + 0.001; wire = 0.5s; delivered = start + latency + wire.
+  EXPECT_DOUBLE_EQ(tr.sender_cpu_free, 1.001);
+  EXPECT_DOUBLE_EQ(tr.delivered_at, 1.001 + 0.010 + 0.5);
+  EXPECT_DOUBLE_EQ(tr.recv_overhead, 0.002);
+}
+
+TEST(NetworkModel, SenderNicSerializesBackToBackSends) {
+  NetworkModel net(3, test_params());
+  const Transfer a = net.admit(0, 1, 1000, 0.0);  // occupies NIC 1s
+  const Transfer b = net.admit(0, 2, 1000, 0.0);  // must queue behind it
+  EXPECT_DOUBLE_EQ(a.delivered_at, 0.001 + 0.010 + 1.0);
+  // b starts when the sender NIC frees at 1.001.
+  EXPECT_DOUBLE_EQ(b.delivered_at, 1.001 + 0.010 + 1.0);
+}
+
+TEST(NetworkModel, ReceiverNicSerializesConvergingSends) {
+  NetworkModel net(3, test_params());
+  const Transfer a = net.admit(0, 2, 1000, 0.0);
+  const Transfer b = net.admit(1, 2, 1000, 0.0);
+  EXPECT_DOUBLE_EQ(a.delivered_at, 1.011);
+  // b's receive window must wait for dst NIC: in_free = 1.011.
+  EXPECT_GE(b.delivered_at, a.delivered_at + 1.0);
+}
+
+TEST(NetworkModel, DisjointPairsDoNotContend) {
+  // Collision-free switch: 0->1 and 2->3 proceed in parallel.
+  NetworkModel net(4, test_params());
+  const Transfer a = net.admit(0, 1, 1000, 0.0);
+  const Transfer b = net.admit(2, 3, 1000, 0.0);
+  EXPECT_DOUBLE_EQ(a.delivered_at, b.delivered_at);
+}
+
+TEST(NetworkModel, LocalDeliveryIsCheap) {
+  NetworkModel net(2, test_params());
+  const Transfer tr = net.admit(1, 1, 1 << 20, 5.0);
+  EXPECT_DOUBLE_EQ(tr.delivered_at, 5.0001);
+  EXPECT_DOUBLE_EQ(tr.recv_overhead, 0.0);
+}
+
+TEST(NetworkModel, StatsCountMessagesAndBytes) {
+  NetworkModel net(2, test_params());
+  (void)net.admit(0, 1, 100, 0.0);
+  (void)net.admit(1, 0, 200, 0.0);
+  (void)net.admit(0, 0, 300, 0.0);
+  EXPECT_EQ(net.message_count(), 3u);
+  EXPECT_EQ(net.byte_count(), 600u);
+  net.reset_stats();
+  EXPECT_EQ(net.message_count(), 0u);
+  EXPECT_EQ(net.byte_count(), 0u);
+}
+
+TEST(NetworkModel, RejectsBadPeIds) {
+  NetworkModel net(2, test_params());
+  EXPECT_THROW((void)net.admit(-1, 0, 1, 0.0), support::LogicError);
+  EXPECT_THROW((void)net.admit(0, 2, 1, 0.0), support::LogicError);
+}
+
+}  // namespace
+}  // namespace navcpp::net

@@ -1,0 +1,191 @@
+// Tests for the navp coordination patterns and the constructive
+// communication-phase scheduler.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "linalg/stagger.h"
+#include "support/rng.h"
+#include "machine/sim_machine.h"
+#include "machine/threaded_machine.h"
+#include "navp/patterns.h"
+#include "navp/runtime.h"
+
+namespace navcpp::navp {
+namespace {
+
+struct PeScratch {
+  int touches = 0;
+  double value = 0.0;
+};
+
+class PatternsBothBackends : public ::testing::TestWithParam<std::string> {
+ protected:
+  std::unique_ptr<machine::Engine> make_machine(int pes) {
+    if (GetParam() == "sim") {
+      return std::make_unique<machine::SimMachine>(pes);
+    }
+    auto m = std::make_unique<machine::ThreadedMachine>(pes);
+    m->set_stall_timeout(5.0);
+    return m;
+  }
+};
+
+Mission run_parallel_for(Ctx ctx, bool* done) {
+  const WorkerBody body = [](Ctx& wctx, int) -> Task<void> {
+    ++wctx.node<PeScratch>().touches;
+    co_return;
+  };
+  co_await parallel_for_pes(ctx, body);
+  *done = true;
+}
+
+TEST_P(PatternsBothBackends, ParallelForTouchesEveryPeOnce) {
+  auto m = make_machine(5);
+  Runtime rt(*m);
+  for (int pe = 0; pe < 5; ++pe) rt.node_store(pe).emplace<PeScratch>();
+  bool done = false;
+  rt.inject(2, "driver", run_parallel_for, &done);
+  rt.run();
+  EXPECT_TRUE(done);
+  for (int pe = 0; pe < 5; ++pe) {
+    EXPECT_EQ(rt.node_store(pe).get<PeScratch>().touches, 1) << pe;
+  }
+  // Driver + 5 workers.
+  EXPECT_EQ(rt.agents_completed(), 6u);
+}
+
+Mission run_spawn_subset(Ctx ctx, int count, bool* done) {
+  const WorkerBody body = [](Ctx& wctx, int index) -> Task<void> {
+    wctx.node<PeScratch>().value += index + 1;
+    co_return;
+  };
+  co_await spawn_and_await(
+      ctx, count, [](int i) { return i % 2; }, body, /*token=*/7);
+  *done = true;
+}
+
+TEST_P(PatternsBothBackends, SpawnAndAwaitRunsAllWorkers) {
+  auto m = make_machine(3);
+  Runtime rt(*m);
+  for (int pe = 0; pe < 3; ++pe) rt.node_store(pe).emplace<PeScratch>();
+  bool done = false;
+  rt.inject(0, "driver", run_spawn_subset, 6, &done);
+  rt.run();
+  EXPECT_TRUE(done);
+  // Workers 0,2,4 land on PE 0 (values 1+3+5), 1,3,5 on PE 1 (2+4+6).
+  EXPECT_DOUBLE_EQ(rt.node_store(0).get<PeScratch>().value, 9.0);
+  EXPECT_DOUBLE_EQ(rt.node_store(1).get<PeScratch>().value, 12.0);
+  EXPECT_DOUBLE_EQ(rt.node_store(2).get<PeScratch>().value, 0.0);
+}
+
+Mission run_ring(Ctx ctx, double* out) {
+  const std::function<double(double, int)> step = [](double acc, int pe) {
+    return acc + pe + 1;
+  };
+  *out = co_await ring_token<double>(ctx, 100.0, step);
+}
+
+TEST_P(PatternsBothBackends, RingTokenFoldsOverEveryPe) {
+  auto m = make_machine(4);
+  Runtime rt(*m);
+  double out = 0.0;
+  rt.inject(1, "ring", run_ring, &out);
+  rt.run();
+  EXPECT_DOUBLE_EQ(out, 100.0 + 1 + 2 + 3 + 4);
+}
+
+Mission nested_patterns(Ctx ctx, int* total) {
+  // A driver whose workers themselves use ring_token: patterns compose.
+  const WorkerBody body = [](Ctx& wctx, int) -> Task<void> {
+    const std::function<double(double, int)> step = [](double acc, int) {
+      return acc + 1;
+    };
+    const double laps = co_await ring_token<double>(wctx, 0.0, step);
+    wctx.node<PeScratch>().value += laps;
+  };
+  co_await parallel_for_pes(ctx, body, /*token=*/3);
+  int sum = 0;
+  for (int pe = 0; pe < ctx.pe_count(); ++pe) sum += 1;
+  *total = sum;
+}
+
+TEST_P(PatternsBothBackends, PatternsCompose) {
+  auto m = make_machine(3);
+  Runtime rt(*m);
+  for (int pe = 0; pe < 3; ++pe) rt.node_store(pe).emplace<PeScratch>();
+  int total = 0;
+  rt.inject(0, "driver", nested_patterns, &total);
+  rt.run();
+  EXPECT_EQ(total, 3);
+  double sum = 0.0;
+  for (int pe = 0; pe < 3; ++pe) {
+    sum += rt.node_store(pe).get<PeScratch>().value;
+  }
+  EXPECT_DOUBLE_EQ(sum, 9.0);  // 3 workers x 3 PEs visited each
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, PatternsBothBackends,
+                         ::testing::Values(std::string("sim"),
+                                           std::string("threaded")),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace navcpp::navp
+
+namespace navcpp::linalg {
+namespace {
+
+TEST(CommSchedule, WitnessesTheBoundForStaggerPermutations) {
+  for (int n = 2; n <= 12; ++n) {
+    for (int i = 0; i < n; ++i) {
+      for (const auto& perm :
+           {forward_row_permutation(i, n), reverse_row_permutation(i, n)}) {
+        const auto schedule = schedule_comm_phases(perm);
+        const int used = validate_comm_schedule(perm, schedule);
+        EXPECT_EQ(used, min_comm_phases(perm))
+            << "n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(CommSchedule, RandomPermutationsAreFeasibleAndTight) {
+  navcpp::support::Rng rng(2026);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int n = 2 + static_cast<int>(rng.below(14));
+    std::vector<int> perm(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) perm[static_cast<std::size_t>(i)] = i;
+    std::shuffle(perm.begin(), perm.end(), rng);
+    const auto schedule = schedule_comm_phases(perm);
+    EXPECT_EQ(validate_comm_schedule(perm, schedule),
+              min_comm_phases(perm));
+  }
+}
+
+TEST(CommSchedule, IdentityNeedsNoPhases) {
+  const std::vector<int> id{0, 1, 2, 3};
+  const auto schedule = schedule_comm_phases(id);
+  EXPECT_EQ(validate_comm_schedule(id, schedule), 0);
+  for (int s : schedule) EXPECT_EQ(s, kNoMessage);
+}
+
+TEST(CommSchedule, ValidatorCatchesConflicts) {
+  // Two messages sharing an endpoint in the same phase.
+  const std::vector<int> perm{1, 2, 0};  // 3-cycle
+  std::vector<int> bad{0, 0, 0};         // all in one phase
+  EXPECT_THROW(validate_comm_schedule(perm, bad), support::LogicError);
+}
+
+TEST(CommSchedule, ValidatorChecksFixedPointMarking) {
+  const std::vector<int> perm{0, 2, 1};
+  std::vector<int> bad{0, 0, 1};  // fixed point 0 wrongly scheduled
+  EXPECT_THROW(validate_comm_schedule(perm, bad), support::LogicError);
+}
+
+}  // namespace
+}  // namespace navcpp::linalg

@@ -1,0 +1,157 @@
+// Tests for curve fitting and the calibrated testbed model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "perfmodel/curvefit.h"
+#include "perfmodel/testbed.h"
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace navcpp::perfmodel {
+namespace {
+
+TEST(SolveLinear, SolvesSmallSystem) {
+  // 2x + y = 5; x - y = 1  ->  x = 2, y = 1.
+  const auto x = solve_linear({2, 1, 1, -1}, {5, 1});
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+  EXPECT_NEAR(x[1], 1.0, 1e-12);
+}
+
+TEST(SolveLinear, PivotsWhenDiagonalIsZero) {
+  // 0x + y = 3; 2x + 0y = 4  ->  x = 2, y = 3.
+  const auto x = solve_linear({0, 1, 2, 0}, {3, 4});
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(SolveLinear, SingularSystemThrows) {
+  EXPECT_THROW(solve_linear({1, 2, 2, 4}, {1, 2}), support::LogicError);
+}
+
+TEST(Polyfit, ExactOnCleanCubic) {
+  // y = 2 - x + 0.5 x^2 + 0.25 x^3 sampled at distinct points.
+  const std::vector<double> truth{2.0, -1.0, 0.5, 0.25};
+  std::vector<double> xs, ys;
+  for (double x = -3.0; x <= 3.0; x += 0.5) {
+    xs.push_back(x);
+    ys.push_back(polyval(truth, x));
+  }
+  const auto fit = polyfit(xs, ys, 3);
+  ASSERT_EQ(fit.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NEAR(fit[static_cast<size_t>(i)], truth[static_cast<size_t>(i)],
+                1e-9);
+  }
+}
+
+TEST(Polyfit, PaperScaleMatrixOrdersAreWellConditioned) {
+  // The paper fits cubic times over matrix orders up to ~9216.  Verify the
+  // x-scaling keeps the normal equations solvable at that range.
+  const std::vector<double> truth{0.0, 1e-5, 0.0, 2.0 / 110e6};
+  std::vector<double> xs, ys;
+  for (double n : {512.0, 1024.0, 1536.0, 2048.0, 2560.0, 3072.0}) {
+    xs.push_back(n);
+    ys.push_back(polyval(truth, n));
+  }
+  const auto fit = polyfit(xs, ys, 3);
+  // Extrapolate to 9216 like the paper does.
+  EXPECT_NEAR(polyval(fit, 9216.0), polyval(truth, 9216.0),
+              1e-6 * polyval(truth, 9216.0));
+}
+
+TEST(Polyfit, LeastSquaresAveragesNoise) {
+  support::Rng rng(17);
+  const std::vector<double> truth{1.0, 3.0};
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 2000; ++i) {
+    const double x = rng.uniform(0.0, 10.0);
+    xs.push_back(x);
+    ys.push_back(polyval(truth, x) + rng.uniform(-0.1, 0.1));
+  }
+  const auto fit = polyfit(xs, ys, 1);
+  EXPECT_NEAR(fit[0], 1.0, 0.02);
+  EXPECT_NEAR(fit[1], 3.0, 0.005);
+}
+
+TEST(Polyfit, RequiresEnoughPoints) {
+  const std::vector<double> xs{1.0, 2.0}, ys{1.0, 2.0};
+  EXPECT_THROW(polyfit(xs, ys, 3), support::LogicError);
+}
+
+TEST(Polyval, HornerAgreesWithDirect) {
+  const std::vector<double> c{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(polyval(c, 2.0), 1.0 + 2.0 * 2.0 + 3.0 * 4.0);
+  EXPECT_DOUBLE_EQ(polyval({}, 5.0), 0.0);
+}
+
+// --- testbed -------------------------------------------------------------
+
+TEST(Testbed, GemmRateMatchesPaperSequentialTimes) {
+  const Testbed tb = Testbed::paper();
+  // Table 1: N=1536 took 65.44 s; Table 3: N=1024 took 19.49 s.
+  EXPECT_NEAR(tb.gemm_seconds(1536, 1536, 1536), 65.44, 65.44 * 0.05);
+  EXPECT_NEAR(tb.gemm_seconds(1024, 1024, 1024), 19.49, 19.49 * 0.05);
+  EXPECT_NEAR(tb.gemm_seconds(3072, 3072, 3072), 520.30, 520.30 * 0.05);
+}
+
+TEST(Testbed, CachePenaltyAppliesToAllFreshProfile) {
+  const Testbed tb = Testbed::paper();
+  const double resident = tb.gemm_seconds(128, 128, 128);
+  const double fresh =
+      tb.gemm_seconds(128, 128, 128, CacheProfile::kAllFresh);
+  EXPECT_GT(fresh, resident);
+  EXPECT_NEAR(fresh / resident, 1.0 / 0.96, 1e-9);
+}
+
+TEST(Testbed, PagingFactorIsOneInCore) {
+  const Testbed tb = Testbed::paper();
+  EXPECT_DOUBLE_EQ(tb.paging_factor(tb.ram_bytes / 2), 1.0);
+  EXPECT_DOUBLE_EQ(tb.paging_factor(tb.ram_bytes), 1.0);
+}
+
+TEST(Testbed, PagingFactorIsMonotoneBeyondRam) {
+  const Testbed tb = Testbed::paper();
+  double prev = 1.0;
+  for (std::size_t ws = tb.ram_bytes; ws <= 16 * tb.ram_bytes;
+       ws += tb.ram_bytes) {
+    const double f = tb.paging_factor(ws);
+    EXPECT_GE(f, prev);
+    prev = f;
+  }
+}
+
+TEST(Testbed, PagingCalibrationMatchesTable2Anchor) {
+  // Table 2: N=9216 measured 36534 s vs 13922 s curve-fit => 2.62x.
+  const Testbed tb = Testbed::paper();
+  const double factor = tb.paging_factor(Testbed::mm_working_set(9216));
+  EXPECT_NEAR(factor, 2.62, 0.15);
+}
+
+TEST(Testbed, PagingCalibrationMatchesTable1Anchor) {
+  // Table 1: N=4608 measured 1934.73 s vs 1745.94 s fit => 1.11x.
+  const Testbed tb = Testbed::paper();
+  const double factor = tb.paging_factor(Testbed::mm_working_set(4608));
+  EXPECT_NEAR(factor, 1.11, 0.08);
+}
+
+TEST(Testbed, SequentialSecondsIncludePaging) {
+  const Testbed tb = Testbed::paper();
+  // In-core: equals raw gemm time.
+  EXPECT_DOUBLE_EQ(tb.sequential_mm_seconds(1024),
+                   tb.gemm_seconds(1024, 1024, 1024));
+  // Out-of-core N=9216 blows up like the paper's 36534 s measurement.
+  EXPECT_NEAR(tb.sequential_mm_seconds(9216), 36534.0, 36534.0 * 0.12);
+}
+
+TEST(Testbed, NetworkMatchesEthernet) {
+  const Testbed tb = Testbed::paper();
+  EXPECT_DOUBLE_EQ(tb.lan.bandwidth, 12.5e6);  // 100 Mbps
+  // A 128x128 block of doubles (131072 B) needs ~10.5 ms on the wire.
+  const double wire = 131072.0 / tb.lan.bandwidth;
+  EXPECT_NEAR(wire, 0.0105, 0.0005);
+}
+
+}  // namespace
+}  // namespace navcpp::perfmodel

@@ -1,0 +1,122 @@
+// The reproduction contract, as tests: every qualitative claim
+// EXPERIMENTS.md makes about Tables 1-4 is asserted here at paper scale
+// (phantom storage), so any calibration or algorithm regression that
+// would change the paper-facing story fails the suite.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "harness/experiments.h"
+#include "harness/paper_data.h"
+#include "mm/common.h"
+#include "mm/sequential_mm.h"
+#include "perfmodel/curvefit.h"
+
+namespace navcpp::harness {
+namespace {
+
+const mm::MmConfig kBase;  // the calibrated paper testbed
+
+// --- Table 1: 3 PEs, 1-D ----------------------------------------------------
+
+class Table1Row : public ::testing::TestWithParam<PaperRow1D> {};
+
+TEST_P(Table1Row, OrderingAndBands) {
+  const auto& p = GetParam();
+  const Measured1D m = measure_1d_row(p.order, p.block, 3, kBase);
+  const double seq = m.seq_in_core;
+  // The incremental story: each transformation improves on its
+  // predecessor; DSC is within a few percent of sequential.
+  EXPECT_GT(m.dsc, seq) << "DSC adds hops to the sequential program";
+  EXPECT_LT(m.dsc, seq * 1.12);
+  EXPECT_LT(m.pipe, m.dsc);
+  EXPECT_LT(m.phase, m.pipe);
+  // Speedup bands: paper 2.36-2.54 (pipe), 2.67-2.76 (phase); we allow
+  // our documented few-percent optimism.
+  EXPECT_GT(seq / m.pipe, 2.3);
+  EXPECT_LT(seq / m.pipe, 3.0);
+  EXPECT_GT(seq / m.phase, 2.6);
+  EXPECT_LT(seq / m.phase, 3.0);
+  // Within 15% of the paper's measured seconds, row by row.
+  EXPECT_NEAR(m.dsc, p.dsc_s, 0.15 * p.dsc_s);
+  EXPECT_NEAR(m.phase, p.phase_s, 0.15 * p.phase_s);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rows, Table1Row,
+                         ::testing::ValuesIn(paper_table1()),
+                         [](const auto& info) {
+                           return "N" + std::to_string(info.param.order);
+                         });
+
+// --- Table 2: out-of-core ----------------------------------------------------
+
+TEST(Table2, ThrashingAndDscStory) {
+  const auto& p = paper_table2();
+  const Measured1D m = measure_1d_row(p.order, p.block, 8, kBase);
+  const double fitted = curve_fit_sequential(
+      kBase, {512, 768, 1024, 1536, 2048, 2560, 3072}, p.order);
+  // The thrashing run blows up ~2.6x over the fitted in-core estimate.
+  EXPECT_GT(m.seq_actual / fitted, 2.2);
+  EXPECT_LT(m.seq_actual / fitted, 3.0);
+  // DSC lands within a few percent of the in-core estimate...
+  EXPECT_NEAR(m.dsc / fitted, p.dsc_su > 0 ? 1.0 / p.dsc_su : 1.07, 0.10);
+  // ...and therefore beats the real sequential run by the paper's ~2.4x.
+  EXPECT_NEAR(m.seq_actual / m.dsc, p.seq_measured_s / p.dsc_s, 0.25);
+}
+
+// --- Tables 3 and 4: 2-D grids ----------------------------------------------
+
+struct Grid2DCase {
+  PaperRow2D row;
+  int grid;
+};
+
+class Table2DRow : public ::testing::TestWithParam<Grid2DCase> {};
+
+TEST_P(Table2DRow, OrderingAndBands) {
+  const auto& p = GetParam().row;
+  const int grid = GetParam().grid;
+  const Measured2D m = measure_2d_row(p.order, p.block, grid, kBase);
+  const double seq = m.seq_in_core;
+  const double ideal = grid * grid;
+
+  // The paper's ordering at every row: 2D DSC slowest, then MPI, then
+  // pipeline, then phase shifting.
+  EXPECT_GT(m.dsc, m.mpi);
+  // Gentleman must not beat the pipelined NavP program by more than a few
+  // percent (documented deviation: at N=6144/block 256 our pipeline dips
+  // ~3.5% below MPI; the paper has it 9% ahead there).
+  EXPECT_GT(m.mpi, m.pipe * 0.94);
+  EXPECT_LT(m.phase, m.mpi);
+  // Phase shifting reaches 85-100% of the ideal speedup.
+  EXPECT_GT(seq / m.phase, 0.85 * ideal);
+  EXPECT_LT(seq / m.phase, 1.0 * ideal);
+  // MPI within 20% of the paper's measured seconds.
+  EXPECT_NEAR(m.mpi, p.mpi_s, 0.20 * p.mpi_s);
+  EXPECT_NEAR(m.phase, p.phase_s, 0.15 * p.phase_s);
+}
+
+std::vector<Grid2DCase> all_2d_cases() {
+  std::vector<Grid2DCase> cases;
+  for (const auto& r : paper_table3()) cases.push_back({r, 2});
+  for (const auto& r : paper_table4()) cases.push_back({r, 3});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Rows, Table2DRow,
+                         ::testing::ValuesIn(all_2d_cases()),
+                         [](const auto& info) {
+                           return "g" + std::to_string(info.param.grid) +
+                                  "N" + std::to_string(info.param.row.order);
+                         });
+
+// --- the small-N ScaLAPACK crossover ----------------------------------------
+
+TEST(Crossover, ScalapackStandInWinsOnlyAtTheSmallestTable4Row) {
+  // Paper: ScaLAPACK 8.10 vs phase 7.97 at N=1536 — its only win.
+  const Measured2D small = measure_2d_row(1536, 128, 3, kBase);
+  EXPECT_LT(small.summa, small.phase);
+}
+
+}  // namespace
+}  // namespace navcpp::harness

@@ -1,0 +1,77 @@
+// Unit tests for the discrete-event queue.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace navcpp::sim {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(2.0, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop()();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 20; ++i) {
+    q.schedule(5.0, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop()();
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, ActionsMayScheduleMoreEvents) {
+  EventQueue q;
+  std::vector<double> times;
+  // A chain of events, each scheduling its successor one second later.
+  struct Chain {
+    EventQueue* q;
+    std::vector<double>* times;
+    void fire(double t, int remaining) const {
+      times->push_back(t);
+      if (remaining > 0) {
+        const Chain self = *this;
+        q->schedule(t + 1.0,
+                    [self, t, remaining] { self.fire(t + 1.0, remaining - 1); });
+      }
+    }
+  };
+  Chain chain{&q, &times};
+  q.schedule(0.0, [chain] { chain.fire(0.0, 4); });
+  while (!q.empty()) q.pop()();
+  EXPECT_EQ(times, (std::vector<double>{0.0, 1.0, 2.0, 3.0, 4.0}));
+}
+
+TEST(EventQueue, NextTimeAndPopTimeAgree) {
+  EventQueue q;
+  q.schedule(2.5, [] {});
+  q.schedule(1.5, [] {});
+  EXPECT_DOUBLE_EQ(q.next_time(), 1.5);
+  double when = -1.0;
+  (void)q.pop(&when);
+  EXPECT_DOUBLE_EQ(when, 1.5);
+  EXPECT_DOUBLE_EQ(q.next_time(), 2.5);
+}
+
+TEST(EventQueue, SizeTracksScheduleAndPop) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  q.schedule(1.0, [] {});
+  q.schedule(2.0, [] {});
+  EXPECT_EQ(q.size(), 2u);
+  (void)q.pop();
+  EXPECT_EQ(q.size(), 1u);
+  (void)q.pop();
+  EXPECT_TRUE(q.empty());
+}
+
+}  // namespace
+}  // namespace navcpp::sim

@@ -1,0 +1,239 @@
+// Stress and fuzz tests: randomized agent populations, event storms,
+// network-model invariants, and cross-backend agreement — the suite that
+// hunts for scheduling races and accounting leaks rather than functional
+// bugs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "machine/sim_machine.h"
+#include "machine/threaded_machine.h"
+#include "navp/runtime.h"
+#include "net/link_model.h"
+#include "support/rng.h"
+
+namespace navcpp {
+namespace {
+
+using navp::Ctx;
+using navp::EventKey;
+using navp::Mission;
+using navp::Runtime;
+
+// --- randomized agent soup --------------------------------------------------
+
+struct SoupState {
+  std::vector<long> pe_visits;  // per-PE visit counters (PE-confined)
+};
+
+/// An agent driven by a private PRNG: random hops, event handshakes with a
+/// partner, random compute charges.  Agent 2k and 2k+1 are partners: each
+/// signals the other's key `k` exactly `rounds` times and waits as often,
+/// so signals and waits balance by construction.
+Mission soup_agent(Ctx ctx, std::uint64_t seed, int id, int rounds) {
+  support::Rng rng(seed);
+  const EventKey my_key{50, id / 2, 0};
+  for (int r = 0; r < rounds; ++r) {
+    const int dest = static_cast<int>(rng.below(
+        static_cast<std::uint64_t>(ctx.pe_count())));
+    co_await ctx.hop(dest, 16 + rng.below(512));
+    ctx.node<SoupState>().pe_visits[static_cast<std::size_t>(dest)]++;
+    ctx.compute(1e-6 * static_cast<double>(rng.below(100)), "soup");
+    // Handshake: partners rendezvous on PE 0 every round.
+    co_await ctx.hop(0, 8);
+    ctx.signal_event(my_key);
+    co_await ctx.wait_event(my_key);
+  }
+}
+
+TEST(Stress, RandomAgentSoupConservesEverything) {
+  constexpr int kPes = 6;
+  constexpr int kPairs = 12;
+  constexpr int kRounds = 25;
+  machine::SimMachine m(kPes);
+  Runtime rt(m);
+  for (int pe = 0; pe < kPes; ++pe) {
+    rt.node_store(pe).emplace<SoupState>().pe_visits.assign(kPes, 0);
+  }
+  for (int id = 0; id < 2 * kPairs; ++id) {
+    rt.inject(0, "soup" + std::to_string(id), soup_agent,
+              0xdead + 31 * static_cast<std::uint64_t>(id), id, kRounds);
+  }
+  rt.run();
+  EXPECT_EQ(rt.agents_injected(), static_cast<std::uint64_t>(2 * kPairs));
+  EXPECT_EQ(rt.agents_completed(), rt.agents_injected());
+  // Every signal is matched by a wait (the handshake balances).
+  EXPECT_EQ(rt.signals_sent(), rt.waits_satisfied());
+  EXPECT_EQ(rt.unconsumed_signals(), 0u);
+  long visits = 0;
+  for (int pe = 0; pe < kPes; ++pe) {
+    const auto& v = rt.node_store(pe).get<SoupState>().pe_visits;
+    for (long x : v) visits += x;
+  }
+  EXPECT_EQ(visits, static_cast<long>(2 * kPairs) * kRounds);
+}
+
+TEST(Stress, SoupIsDeterministicInVirtualTime) {
+  auto once = [] {
+    machine::SimMachine m(4);
+    Runtime rt(m);
+    for (int pe = 0; pe < 4; ++pe) {
+      rt.node_store(pe).emplace<SoupState>().pe_visits.assign(4, 0);
+    }
+    for (int id = 0; id < 10; ++id) {
+      rt.inject(0, "s", soup_agent, 7 * static_cast<std::uint64_t>(id) + 1,
+                id, 15);
+    }
+    rt.run();
+    return m.finish_time();
+  };
+  EXPECT_DOUBLE_EQ(once(), once());
+}
+
+TEST(Stress, ThreadedSoupCompletesRepeatedly) {
+  for (int trial = 0; trial < 5; ++trial) {
+    machine::ThreadedMachine m(4);
+    m.set_stall_timeout(10.0);
+    Runtime rt(m);
+    for (int pe = 0; pe < 4; ++pe) {
+      rt.node_store(pe).emplace<SoupState>().pe_visits.assign(4, 0);
+    }
+    for (int id = 0; id < 8; ++id) {
+      rt.inject(0, "s", soup_agent,
+                static_cast<std::uint64_t>(trial) * 1000 + id, id, 10);
+    }
+    rt.run();
+    EXPECT_EQ(rt.agents_completed(), 8u);
+    EXPECT_EQ(rt.unconsumed_signals(), 0u);
+  }
+}
+
+// --- deep spawning trees -----------------------------------------------------
+
+Mission spawn_tree(Ctx ctx, int depth, int fanout) {
+  if (depth > 0) {
+    for (int c = 0; c < fanout; ++c) {
+      ctx.inject("child", spawn_tree, depth - 1, fanout);
+    }
+  }
+  co_await ctx.hop((ctx.here() + 1) % ctx.pe_count(), 32);
+}
+
+TEST(Stress, GeometricSpawnTreeAllComplete) {
+  machine::SimMachine m(3);
+  Runtime rt(m);
+  rt.inject(0, "root", spawn_tree, 6, 3);
+  rt.run();
+  // 1 + 3 + 9 + ... + 3^6 agents.
+  std::uint64_t expect = 0, pow = 1;
+  for (int d = 0; d <= 6; ++d) {
+    expect += pow;
+    pow *= 3;
+  }
+  EXPECT_EQ(rt.agents_completed(), expect);
+}
+
+// --- event storms ------------------------------------------------------------
+
+Mission storm_waiter(Ctx ctx, int count) {
+  for (int i = 0; i < count; ++i) {
+    co_await ctx.wait_event(EventKey{51, i % 7, 0});
+  }
+}
+
+Mission storm_signaler(Ctx ctx, int count) {
+  for (int i = 0; i < count; ++i) {
+    ctx.signal_event(EventKey{51, i % 7, 0});
+  }
+  co_return;
+}
+
+TEST(Stress, ManyWaitersManySignalersDrainExactly) {
+  machine::SimMachine m(1);
+  Runtime rt(m);
+  constexpr int kEach = 140;  // multiple of 7: keys balance
+  for (int w = 0; w < 5; ++w) rt.inject(0, "w", storm_waiter, kEach);
+  for (int s = 0; s < 5; ++s) rt.inject(0, "s", storm_signaler, kEach);
+  rt.run();
+  EXPECT_EQ(rt.signals_sent(), 5u * kEach);
+  EXPECT_EQ(rt.waits_satisfied(), 5u * kEach);
+  EXPECT_EQ(rt.unconsumed_signals(), 0u);
+}
+
+// --- network-model invariants ------------------------------------------------
+
+TEST(Stress, NetworkDeliveryNeverPrecedesRequestPlusMinimumLatency) {
+  support::Rng rng(404);
+  net::LinkParams p;
+  p.send_overhead = 1e-4;
+  p.recv_overhead = 1e-4;
+  p.latency = 5e-4;
+  p.bandwidth = 1e7;
+  net::NetworkModel net(6, p);
+  double clock = 0.0;
+  for (int i = 0; i < 5000; ++i) {
+    clock += rng.uniform(0.0, 1e-3);
+    const int src = static_cast<int>(rng.below(6));
+    int dst = static_cast<int>(rng.below(6));
+    const std::size_t bytes = 1 + rng.below(1 << 16);
+    const auto tr = net.admit(src, dst, bytes, clock);
+    ASSERT_GE(tr.sender_cpu_free, clock);
+    if (src != dst) {
+      const double min_arrival = clock + p.send_overhead + p.latency +
+                                 static_cast<double>(bytes) / p.bandwidth;
+      ASSERT_GE(tr.delivered_at, min_arrival - 1e-12);
+    } else {
+      ASSERT_GE(tr.delivered_at, clock);
+    }
+  }
+}
+
+TEST(Stress, NetworkSamePairDeliveriesAreFifo) {
+  support::Rng rng(405);
+  net::LinkParams p;
+  net::NetworkModel net(4, p);
+  std::vector<double> last(16, 0.0);
+  double clock = 0.0;
+  for (int i = 0; i < 5000; ++i) {
+    clock += rng.uniform(0.0, 2e-3);
+    const int src = static_cast<int>(rng.below(4));
+    const int dst = static_cast<int>(rng.below(4));
+    const auto tr = net.admit(src, dst, 1 + rng.below(1 << 14), clock);
+    double& prev = last[static_cast<std::size_t>(src * 4 + dst)];
+    ASSERT_GE(tr.delivered_at, prev)
+        << "same-pair delivery reordered at message " << i;
+    prev = tr.delivered_at;
+  }
+}
+
+TEST(Stress, SimMachineClocksNeverRunBackwards) {
+  support::Rng rng(406);
+  machine::SimMachine m(5);
+  Runtime rt(m);
+  for (int id = 0; id < 10; ++id) {
+    rt.inject(static_cast<int>(rng.below(5)), "walker",
+              [](Ctx ctx, std::uint64_t seed) -> Mission {
+                support::Rng r(seed);
+                double last = ctx.now();
+                for (int k = 0; k < 50; ++k) {
+                  co_await ctx.hop(static_cast<int>(r.below(
+                                       static_cast<std::uint64_t>(
+                                           ctx.pe_count()))),
+                                   r.below(4096));
+                  NAVCPP_CHECK(ctx.now() >= last - 1e-12,
+                               "virtual time ran backwards");
+                  last = ctx.now();
+                  ctx.compute(1e-6, "w");
+                }
+              },
+              rng.next());
+  }
+  rt.run();
+  EXPECT_EQ(rt.agents_completed(), 10u);
+}
+
+}  // namespace
+}  // namespace navcpp

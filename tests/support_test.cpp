@@ -1,0 +1,157 @@
+// Unit tests for navcpp::support: errors, byte buffers, RNG, queues.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "support/bytebuffer.h"
+#include "support/error.h"
+#include "support/move_function.h"
+#include "support/mpsc_queue.h"
+#include "support/rng.h"
+
+namespace navcpp::support {
+namespace {
+
+TEST(Error, CheckMacroThrowsLogicErrorWithContext) {
+  try {
+    NAVCPP_CHECK(1 == 2, "one is not two");
+    FAIL() << "NAVCPP_CHECK did not throw";
+  } catch (const LogicError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("one is not two"), std::string::npos);
+    EXPECT_NE(what.find("support_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Error, HierarchyIsCatchableAsBase) {
+  EXPECT_THROW(throw DeadlockError("stall"), Error);
+  EXPECT_THROW(throw ConfigError("bad"), Error);
+  EXPECT_THROW(throw LogicError("bug"), Error);
+}
+
+TEST(ByteBuffer, RoundTripsScalars) {
+  ByteBuffer buf;
+  buf.put<int>(42);
+  buf.put<double>(3.5);
+  buf.put<char>('x');
+  EXPECT_EQ(buf.size(), sizeof(int) + sizeof(double) + sizeof(char));
+  EXPECT_EQ(buf.get<int>(), 42);
+  EXPECT_EQ(buf.get<double>(), 3.5);
+  EXPECT_EQ(buf.get<char>(), 'x');
+  EXPECT_EQ(buf.remaining(), 0u);
+}
+
+TEST(ByteBuffer, RoundTripsVectors) {
+  ByteBuffer buf;
+  std::vector<double> v{1.0, 2.0, 3.0, 4.5};
+  buf.put_vector(v);
+  buf.put<int>(7);
+  EXPECT_EQ(buf.get_vector<double>(), v);
+  EXPECT_EQ(buf.get<int>(), 7);
+}
+
+TEST(ByteBuffer, UnderflowThrows) {
+  ByteBuffer buf;
+  buf.put<int>(1);
+  (void)buf.get<int>();
+  EXPECT_THROW((void)buf.get<int>(), LogicError);
+}
+
+TEST(ByteBuffer, VectorUnderflowThrows) {
+  ByteBuffer buf;
+  buf.put<std::uint64_t>(1000);  // length prefix with no payload behind it
+  EXPECT_THROW((void)buf.get_vector<double>(), LogicError);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.next() == b.next());
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.below(10);
+    ASSERT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all values hit
+}
+
+TEST(MoveFunction, InvokesMoveOnlyCallable) {
+  auto ptr = std::make_unique<int>(5);
+  int result = 0;
+  MoveFunction fn = [p = std::move(ptr), &result] { result = *p; };
+  fn();
+  EXPECT_EQ(result, 5);
+}
+
+TEST(MoveFunction, BoolConversion) {
+  MoveFunction empty;
+  EXPECT_FALSE(static_cast<bool>(empty));
+  MoveFunction full = [] {};
+  EXPECT_TRUE(static_cast<bool>(full));
+}
+
+TEST(MpscQueue, FifoOrderSingleThread) {
+  MpscQueue<int> q;
+  for (int i = 0; i < 10; ++i) q.push(i);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(q.try_pop(), std::optional<int>(i));
+  EXPECT_EQ(q.try_pop(), std::nullopt);
+}
+
+TEST(MpscQueue, CloseUnblocksConsumer) {
+  MpscQueue<int> q;
+  std::thread consumer([&] {
+    EXPECT_EQ(q.pop_blocking(), std::optional<int>(1));
+    EXPECT_EQ(q.pop_blocking(), std::nullopt);  // closed + empty
+  });
+  q.push(1);
+  q.close();
+  consumer.join();
+}
+
+TEST(MpscQueue, MultipleProducersAllItemsArrive) {
+  MpscQueue<int> q;
+  constexpr int kPerProducer = 1000;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 4; ++p) {
+    producers.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) q.push(p * kPerProducer + i);
+    });
+  }
+  std::set<int> seen;
+  for (int i = 0; i < 4 * kPerProducer; ++i) {
+    auto v = q.pop_blocking();
+    ASSERT_TRUE(v.has_value());
+    seen.insert(*v);
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(4 * kPerProducer));
+}
+
+}  // namespace
+}  // namespace navcpp::support

@@ -1,0 +1,171 @@
+// Tests for navp::Task<T> — the awaitable sub-coroutine used to compose
+// agent logic (and the substrate of mini-MPI's recv/barrier).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "machine/sim_machine.h"
+#include "machine/threaded_machine.h"
+#include "navp/runtime.h"
+#include "navp/task.h"
+#include "support/error.h"
+
+namespace navcpp::navp {
+namespace {
+
+Task<int> forty_two(Ctx) { co_return 42; }
+
+Task<int> add(Ctx ctx, int a, int b) {
+  const int x = co_await forty_two(ctx);
+  co_return a + b + x - 42;
+}
+
+Task<void> noop(Ctx) { co_return; }
+
+Task<std::string> concat(Ctx ctx, std::string base) {
+  co_await noop(ctx);
+  co_return base + "!";
+}
+
+Mission uses_tasks(Ctx ctx, std::vector<std::string>* out) {
+  const int sum = co_await add(ctx, 1, 2);
+  const std::string s = co_await concat(ctx, "hi");
+  out->push_back(s + std::to_string(sum));
+}
+
+TEST(Task, ValuesPropagateThroughNestedAwaits) {
+  machine::SimMachine m(1);
+  Runtime rt(m);
+  std::vector<std::string> out;
+  rt.inject(0, "agent", uses_tasks, &out);
+  rt.run();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], "hi!3");
+}
+
+Task<int> thrower(Ctx) {
+  throw support::ConfigError("task exploded");
+  co_return 0;  // unreachable
+}
+
+Mission catches_task_error(Ctx ctx, bool* caught) {
+  try {
+    (void)co_await thrower(ctx);
+  } catch (const support::ConfigError&) {
+    *caught = true;
+  }
+}
+
+TEST(Task, ExceptionsResurfaceAtCallersAwait) {
+  machine::SimMachine m(1);
+  Runtime rt(m);
+  bool caught = false;
+  rt.inject(0, "agent", catches_task_error, &caught);
+  rt.run();
+  EXPECT_TRUE(caught);
+}
+
+Mission propagates_task_error(Ctx ctx) {
+  (void)co_await thrower(ctx);
+}
+
+TEST(Task, UncaughtTaskErrorFailsTheRun) {
+  machine::SimMachine m(1);
+  Runtime rt(m);
+  rt.inject(0, "agent", propagates_task_error);
+  EXPECT_THROW(rt.run(), support::ConfigError);
+}
+
+// A task that migrates: the sub-coroutine hops and waits on events; its
+// caller resumes transparently afterwards.
+Task<int> roaming_fetch(Ctx ctx, int pe) {
+  co_await ctx.hop(pe, 16);
+  co_return ctx.here() * 100;
+}
+
+Mission roams_via_task(Ctx ctx, std::vector<int>* got) {
+  for (int pe = 0; pe < ctx.pe_count(); ++pe) {
+    got->push_back(co_await roaming_fetch(ctx, pe));
+  }
+  // After the last fetch the *agent* is now resident on the last PE —
+  // Task hops move the shared AgentState, exactly like inline code.
+  got->push_back(ctx.here());
+}
+
+TEST(Task, TasksMayHopAndTheAgentMovesWithThem) {
+  machine::SimMachine m(3);
+  Runtime rt(m);
+  std::vector<int> got;
+  rt.inject(0, "roamer", roams_via_task, &got);
+  rt.run();
+  EXPECT_EQ(got, (std::vector<int>{0, 100, 200, 2}));
+}
+
+Task<int> waits_for_event(Ctx ctx) {
+  co_await ctx.wait_event(EventKey{5, 0, 0});
+  co_return 7;
+}
+
+Mission task_waiter(Ctx ctx, int* got) {
+  *got = co_await waits_for_event(ctx);
+}
+
+Mission task_signaler(Ctx ctx) {
+  ctx.signal_event(EventKey{5, 0, 0});
+  co_return;
+}
+
+TEST(Task, TasksMayBlockOnEvents) {
+  machine::SimMachine m(1);
+  Runtime rt(m);
+  int got = 0;
+  rt.inject(0, "waiter", task_waiter, &got);
+  rt.inject(0, "signaler", task_signaler);
+  rt.run();
+  EXPECT_EQ(got, 7);
+}
+
+TEST(Task, BlockedSubCoroutineIsReclaimedOnDeadlockTeardown) {
+  // The agent deadlocks *inside a Task*; the run must report the deadlock
+  // and tear down the whole coroutine stack without leaks or crashes
+  // (destruction goes through the agent's root frame).
+  machine::SimMachine m(1);
+  Runtime rt(m);
+  int got = 0;
+  rt.inject(0, "stuck", task_waiter, &got);
+  EXPECT_THROW(rt.run(), support::DeadlockError);
+  EXPECT_EQ(got, 0);
+}
+
+Task<std::unique_ptr<int>> moves_value(Ctx) {
+  co_return std::make_unique<int>(9);
+}
+
+Mission move_only_user(Ctx ctx, int* got) {
+  auto p = co_await moves_value(ctx);
+  *got = *p;
+}
+
+TEST(Task, MoveOnlyResults) {
+  machine::SimMachine m(1);
+  Runtime rt(m);
+  int got = 0;
+  rt.inject(0, "agent", move_only_user, &got);
+  rt.run();
+  EXPECT_EQ(got, 9);
+}
+
+TEST(Task, WorksOnThreadedBackendToo) {
+  machine::ThreadedMachine m(3);
+  m.set_stall_timeout(5.0);
+  Runtime rt(m);
+  std::vector<int> got;
+  rt.inject(0, "roamer", roams_via_task, &got);
+  rt.run();
+  EXPECT_EQ(got, (std::vector<int>{0, 100, 200, 2}));
+}
+
+}  // namespace
+}  // namespace navcpp::navp

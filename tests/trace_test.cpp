@@ -1,0 +1,120 @@
+// Tests for the trace recorder and the space-time renderer.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "navp/trace.h"
+
+namespace navcpp::navp {
+namespace {
+
+TEST(TraceRecorder, EmptyTraceRenders) {
+  TraceRecorder trace;
+  EXPECT_EQ(trace.render_spacetime(3), "(empty trace)\n");
+}
+
+TEST(TraceRecorder, RecordsSpansAndHops) {
+  TraceRecorder trace;
+  trace.record_span({1, 0, 0.0, 1.0, TraceSpan::Kind::kCompute, "gemm"});
+  trace.record_hop({1, 0, 1, 1.0, 1.5, 4096});
+  EXPECT_EQ(trace.spans().size(), 1u);
+  EXPECT_EQ(trace.hops().size(), 1u);
+  EXPECT_EQ(trace.hops()[0].bytes, 4096u);
+  trace.clear();
+  EXPECT_TRUE(trace.spans().empty());
+  EXPECT_TRUE(trace.hops().empty());
+}
+
+TEST(TraceRenderer, ComputeCellsShowAgentGlyph) {
+  TraceRecorder trace;
+  // Agent 1 computes on PE 0 for the first half, agent 2 on PE 2 for the
+  // second half.
+  trace.record_span({1, 0, 0.0, 0.5, TraceSpan::Kind::kCompute, "a"});
+  trace.record_span({2, 2, 0.5, 1.0, TraceSpan::Kind::kCompute, "b"});
+  const std::string grid = trace.render_spacetime(3, 10);
+  // Row 0 starts with agent 1 on PE 0; bottom rows show agent 2 on PE 2.
+  EXPECT_NE(grid.find("1.."), std::string::npos);
+  EXPECT_NE(grid.find("..2"), std::string::npos);
+}
+
+TEST(TraceRenderer, WaitCellsShowBars) {
+  TraceRecorder trace;
+  trace.record_span({1, 1, 0.0, 1.0, TraceSpan::Kind::kWait, "EP"});
+  const std::string grid = trace.render_spacetime(2, 4);
+  EXPECT_NE(grid.find(".|"), std::string::npos);
+}
+
+TEST(TraceRenderer, ComputeWinsOverWaitInSharedCells) {
+  TraceRecorder trace;
+  trace.record_span({1, 0, 0.0, 1.0, TraceSpan::Kind::kWait, "EP"});
+  trace.record_span({2, 0, 0.0, 1.0, TraceSpan::Kind::kCompute, "gemm"});
+  const std::string grid = trace.render_spacetime(1, 4);
+  EXPECT_EQ(grid.find("|"), std::string::npos);
+  EXPECT_NE(grid.find("2"), std::string::npos);
+}
+
+TEST(TraceRenderer, AgentGlyphsWrapBase36) {
+  TraceRecorder trace;
+  trace.record_span({10, 0, 0.0, 1.0, TraceSpan::Kind::kCompute, "x"});
+  const std::string grid10 = trace.render_spacetime(1, 2);
+  EXPECT_NE(grid10.find("a"), std::string::npos);  // 10 -> 'a'
+  trace.clear();
+  trace.record_span({36, 0, 0.0, 1.0, TraceSpan::Kind::kCompute, "x"});
+  const std::string grid36 = trace.render_spacetime(1, 2);
+  EXPECT_NE(grid36.find("0"), std::string::npos);  // 36 wraps to '0'
+}
+
+TEST(TraceRenderer, OutOfRangePeIsIgnored) {
+  TraceRecorder trace;
+  trace.record_span({1, 7, 0.0, 1.0, TraceSpan::Kind::kCompute, "x"});
+  trace.record_span({2, 0, 0.0, 1.0, TraceSpan::Kind::kCompute, "x"});
+  const std::string grid = trace.render_spacetime(2, 4);
+  EXPECT_NE(grid.find("2."), std::string::npos);
+}
+
+TEST(TraceRenderer, HopsExtendTheTimeAxis) {
+  TraceRecorder trace;
+  trace.record_span({1, 0, 0.0, 0.1, TraceSpan::Kind::kCompute, "x"});
+  trace.record_hop({1, 0, 1, 0.1, 10.0, 64});
+  const std::string grid = trace.render_spacetime(2, 10);
+  // With t_end = 10, the compute span occupies only the first row.
+  const auto first_newline = grid.find('\n');
+  const auto second_line = grid.find('\n', first_newline + 1);
+  EXPECT_NE(grid.substr(0, second_line).find("PE"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace navcpp::navp
+
+namespace navcpp::navp {
+namespace {
+
+TEST(TraceStats, SummarizesComputeWaitAndHops) {
+  TraceRecorder trace;
+  trace.record_span({1, 0, 0.0, 1.0, TraceSpan::Kind::kCompute, "a"});
+  trace.record_span({2, 1, 0.5, 2.0, TraceSpan::Kind::kCompute, "b"});
+  trace.record_span({1, 0, 1.0, 1.5, TraceSpan::Kind::kWait, "E"});
+  trace.record_hop({1, 0, 1, 1.5, 2.5, 100});
+  const TraceStats stats = summarize(trace, 2);
+  EXPECT_DOUBLE_EQ(stats.total_compute, 2.5);
+  EXPECT_DOUBLE_EQ(stats.total_wait, 0.5);
+  EXPECT_DOUBLE_EQ(stats.end_time, 2.5);
+  EXPECT_EQ(stats.hop_count, 1u);
+  EXPECT_EQ(stats.hop_bytes, 100u);
+  ASSERT_EQ(stats.compute_by_pe.size(), 2u);
+  EXPECT_DOUBLE_EQ(stats.compute_by_pe[0], 1.0);
+  EXPECT_DOUBLE_EQ(stats.compute_by_pe[1], 1.5);
+  // utilization: PE0 1.0/2.5, PE1 1.5/2.5; mean = 0.5.
+  EXPECT_DOUBLE_EQ(mean_utilization(stats), 0.5);
+}
+
+TEST(TraceStats, EmptyTraceHasZeroUtilization) {
+  TraceRecorder trace;
+  const TraceStats stats = summarize(trace, 3);
+  EXPECT_DOUBLE_EQ(stats.total_compute, 0.0);
+  EXPECT_DOUBLE_EQ(mean_utilization(stats), 0.0);
+}
+
+}  // namespace
+}  // namespace navcpp::navp

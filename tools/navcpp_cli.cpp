@@ -1,0 +1,330 @@
+// navcpp_cli — command-line driver for the simulated-testbed experiments.
+//
+//   navcpp_cli mm      --order 3072 --block 128 --pes 9 --algo phase2d
+//                      [--layout slab|cyclic] [--verify]
+//   navcpp_cli jacobi  --rows 1538 --cols 1536 --sweeps 48 --pes 8
+//                      --variant dsc|pipeline|dataflow
+//   navcpp_cli lu      --order 1536 --block 128 --pes 4
+//                      --variant dsc|pipeline
+//   navcpp_cli table   --id 1|2|3|4
+//   navcpp_cli stagger --pes 9
+//   navcpp_cli plan    --threads 12 --steps 12 --pes 3
+//                      [--independent] [--rotatable] [--chain]
+//
+// Every run happens on the calibrated simulation of the paper's testbed;
+// `--verify` (mm) additionally executes with real data and checks the
+// product against a dense reference.
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apps/jacobi.h"
+#include "apps/lu.h"
+#include "harness/experiments.h"
+#include "harness/paper_data.h"
+#include "harness/text_table.h"
+#include "linalg/gemm.h"
+#include "linalg/stagger.h"
+#include "machine/sim_machine.h"
+#include "mm/doall_mm.h"
+#include "mm/gentleman_mm.h"
+#include "mm/navp_mm_1d.h"
+#include "mm/navp_mm_2d.h"
+#include "mm/sequential_mm.h"
+#include "mm/summa_mm.h"
+#include "mm/summa_mm_1d.h"
+#include "navtool/planner.h"
+
+namespace {
+
+using navcpp::harness::TextTable;
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+  std::map<std::string, bool> flags;
+
+  int get_int(const std::string& key, int fallback) const {
+    auto it = options.find(key);
+    return it == options.end() ? fallback : std::atoi(it->second.c_str());
+  }
+  std::string get(const std::string& key, const std::string& fallback) const {
+    auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+  bool has(const std::string& key) const { return flags.count(key) > 0; }
+};
+
+Args parse(int argc, char** argv) {
+  Args args;
+  if (argc >= 2) args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) continue;
+    key = key.substr(2);
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      args.options[key] = argv[++i];
+    } else {
+      args.flags[key] = true;
+    }
+  }
+  return args;
+}
+
+int usage() {
+  std::printf(
+      "usage: navcpp_cli <command> [options]\n"
+      "  mm      --order N --block B --pes P --algo "
+      "seq|dsc1d|pipe1d|phase1d|dsc2d|pipe2d|phase2d|gentleman|cannon|"
+      "summa|summa1d|doall [--layout slab|cyclic] [--verify]\n"
+      "  jacobi  --rows R --cols C --sweeps T --pes P --variant "
+      "dsc|pipeline|dataflow\n"
+      "  lu      --order N --block B --pes P --variant dsc|pipeline\n"
+      "  table   --id 1|2|3|4\n"
+      "  stagger --pes P\n"
+      "  plan    --threads T --steps S --pes P [--independent] "
+      "[--rotatable] [--chain]\n");
+  return 2;
+}
+
+int run_mm(const Args& args) {
+  navcpp::mm::MmConfig cfg;
+  cfg.order = args.get_int("order", 1536);
+  cfg.block_order = args.get_int("block", 128);
+  cfg.layout = args.get("layout", "slab") == "cyclic"
+                   ? navcpp::mm::Layout::kCyclic
+                   : navcpp::mm::Layout::kSlab;
+  const int pes = args.get_int("pes", 3);
+  const std::string algo = args.get("algo", "phase1d");
+
+  using navcpp::linalg::BlockGrid;
+  using navcpp::linalg::PhantomStorage;
+  using navcpp::linalg::RealStorage;
+
+  auto dispatch = [&](const navcpp::mm::MmConfig& cfg, auto& machine,
+                      const auto& a, const auto& b,
+                      auto& c) -> navcpp::mm::MmStats {
+    using navcpp::mm::Navp1dVariant;
+    using navcpp::mm::Navp2dVariant;
+    using navcpp::mm::StaggerMode;
+    if (algo == "dsc1d") {
+      return navp_mm_1d(machine, cfg, Navp1dVariant::kDsc, a, b, c);
+    }
+    if (algo == "pipe1d") {
+      return navp_mm_1d(machine, cfg, Navp1dVariant::kPipelined, a, b, c);
+    }
+    if (algo == "phase1d") {
+      return navp_mm_1d(machine, cfg, Navp1dVariant::kPhaseShifted, a, b, c);
+    }
+    if (algo == "dsc2d") {
+      return navp_mm_2d(machine, cfg, Navp2dVariant::kDsc, a, b, c);
+    }
+    if (algo == "pipe2d") {
+      return navp_mm_2d(machine, cfg, Navp2dVariant::kPipelined, a, b, c);
+    }
+    if (algo == "phase2d") {
+      return navp_mm_2d(machine, cfg, Navp2dVariant::kPhaseShifted, a, b, c);
+    }
+    if (algo == "gentleman") {
+      return gentleman_mm(machine, cfg, StaggerMode::kDirect, a, b, c);
+    }
+    if (algo == "cannon") {
+      return gentleman_mm(machine, cfg, StaggerMode::kStepwise, a, b, c);
+    }
+    if (algo == "summa") return summa_mm(machine, cfg, a, b, c);
+    if (algo == "summa1d") return summa_mm_1d(machine, cfg, a, b, c);
+    if (algo == "doall") return doall_mm(machine, cfg, a, b, c);
+    throw navcpp::support::ConfigError("unknown --algo " + algo);
+  };
+
+  const double seq = navcpp::mm::sequential_mm_seconds_in_core(cfg);
+  if (algo == "seq") {
+    std::printf("sequential (in-core model): %.2f s; with paging: %.2f s\n",
+                seq, navcpp::mm::sequential_mm_seconds(cfg));
+    return 0;
+  }
+
+  navcpp::machine::SimMachine machine(pes, cfg.testbed.lan);
+  BlockGrid<PhantomStorage> a(cfg.order, cfg.block_order);
+  BlockGrid<PhantomStorage> b(cfg.order, cfg.block_order);
+  BlockGrid<PhantomStorage> c(cfg.order, cfg.block_order);
+  const auto stats = dispatch(cfg, machine, a, b, c);
+  std::printf("%s  N=%d blk=%d PEs=%d layout=%s\n", algo.c_str(), cfg.order,
+              cfg.block_order, pes, navcpp::mm::to_string(cfg.layout));
+  std::printf("  simulated time   %.2f s\n", stats.seconds);
+  std::printf("  speedup vs seq   %.2f\n", seq / stats.seconds);
+  std::printf("  hops=%llu messages=%llu bytes=%.1f MB\n",
+              static_cast<unsigned long long>(stats.hops),
+              static_cast<unsigned long long>(stats.messages),
+              static_cast<double>(stats.bytes) / 1e6);
+
+  if (args.has("verify")) {
+    // Re-run at a small size compatible with the PE count, with real data.
+    navcpp::mm::MmConfig vcfg = cfg;
+    vcfg.block_order = 4;
+    int grid = 1;
+    while ((grid + 1) * (grid + 1) <= pes) ++grid;
+    const bool is_2d = algo == "dsc2d" || algo == "pipe2d" ||
+                       algo == "phase2d" || algo == "gentleman" ||
+                       algo == "cannon" || algo == "summa" ||
+                       algo == "doall";
+    const int nb = is_2d ? 4 * grid : 2 * pes;
+    vcfg.order = nb * vcfg.block_order;
+    const auto ma = navcpp::linalg::Matrix::random(vcfg.order, vcfg.order, 1);
+    const auto mb = navcpp::linalg::Matrix::random(vcfg.order, vcfg.order, 2);
+    auto ga = navcpp::linalg::to_blocks(ma, vcfg.block_order);
+    auto gb = navcpp::linalg::to_blocks(mb, vcfg.block_order);
+    BlockGrid<RealStorage> gc(vcfg.order, vcfg.block_order);
+    navcpp::machine::SimMachine m2(pes, vcfg.testbed.lan);
+    dispatch(vcfg, m2, ga, gb, gc);
+    const double err = navcpp::linalg::max_abs_diff(
+        navcpp::linalg::from_blocks(gc), navcpp::linalg::multiply(ma, mb));
+    std::printf("  verify (N=%d real data): max|err| = %.2e %s\n",
+                vcfg.order, err, err < 1e-9 ? "OK" : "FAILED");
+    if (err >= 1e-9) return 1;
+  }
+  return 0;
+}
+
+int run_jacobi(const Args& args) {
+  navcpp::apps::JacobiConfig cfg;
+  cfg.rows = args.get_int("rows", 770);
+  cfg.cols = args.get_int("cols", 768);
+  cfg.sweeps = args.get_int("sweeps", 24);
+  const int pes = args.get_int("pes", 4);
+  const std::string v = args.get("variant", "dataflow");
+  const auto variant = v == "dsc"        ? navcpp::apps::JacobiVariant::kDsc
+                       : v == "pipeline" ? navcpp::apps::JacobiVariant::kPipelined
+                                         : navcpp::apps::JacobiVariant::kDataflow;
+  const double seq = navcpp::apps::jacobi_sequential_seconds(
+      cfg.testbed, cfg.rows, cfg.cols, cfg.sweeps);
+  navcpp::machine::SimMachine m(pes, cfg.testbed.lan);
+  navcpp::apps::JacobiStats stats;
+  navcpp::apps::jacobi_navp(
+      m, cfg, variant,
+      navcpp::apps::JacobiGrid::heated_plate(cfg.rows, cfg.cols), &stats);
+  std::printf("%s  %dx%d, %d sweeps, %d PEs\n",
+              navcpp::apps::to_string(variant), cfg.rows, cfg.cols,
+              cfg.sweeps, pes);
+  std::printf("  simulated %.2f s (sequential %.2f s, speedup %.2f)\n",
+              stats.seconds, seq, seq / stats.seconds);
+  return 0;
+}
+
+int run_lu(const Args& args) {
+  navcpp::apps::LuConfig cfg;
+  cfg.order = args.get_int("order", 1536);
+  cfg.block_order = args.get_int("block", 128);
+  const int pes = args.get_int("pes", 4);
+  const auto variant = args.get("variant", "pipeline") == "dsc"
+                           ? navcpp::apps::LuVariant::kDsc
+                           : navcpp::apps::LuVariant::kPipelined;
+  const auto a = navcpp::apps::diagonally_dominant(cfg.order, 17);
+  navcpp::machine::SimMachine m(pes, cfg.testbed.lan);
+  navcpp::apps::LuStats stats;
+  const auto [l, u] = navcpp::apps::lu_navp(m, cfg, variant, a, &stats);
+  const double seq = navcpp::apps::lu_sequential_seconds(cfg);
+  std::printf("%s  N=%d blk=%d PEs=%d\n", navcpp::apps::to_string(variant),
+              cfg.order, cfg.block_order, pes);
+  std::printf("  simulated %.2f s (sequential %.2f s, speedup %.2f)\n",
+              stats.seconds, seq, seq / stats.seconds);
+  std::printf("  reconstruction max|A - LU| = %.2e\n",
+              navcpp::apps::lu_reconstruction_error(a, l, u));
+  return 0;
+}
+
+int run_table(const Args& args) {
+  const int id = args.get_int("id", 1);
+  const navcpp::mm::MmConfig base;
+  TextTable table({"N", "blk", "variant", "sim(s)", "speedup"});
+  auto add1d = [&](const navcpp::harness::Measured1D& m) {
+    const double seq = m.seq_in_core;
+    table.add_row({std::to_string(m.order), std::to_string(m.block), "dsc1d",
+                   TextTable::num(m.dsc), TextTable::num(seq / m.dsc)});
+    table.add_row({std::to_string(m.order), std::to_string(m.block),
+                   "pipe1d", TextTable::num(m.pipe),
+                   TextTable::num(seq / m.pipe)});
+    table.add_row({std::to_string(m.order), std::to_string(m.block),
+                   "phase1d", TextTable::num(m.phase),
+                   TextTable::num(seq / m.phase)});
+  };
+  auto add2d = [&](const navcpp::harness::Measured2D& m) {
+    const double seq = m.seq_in_core;
+    for (auto [name, t] :
+         {std::pair{"gentleman", m.mpi}, {"dsc2d", m.dsc}, {"pipe2d", m.pipe},
+          {"phase2d", m.phase}, {"summa", m.summa}}) {
+      table.add_row({std::to_string(m.order), std::to_string(m.block), name,
+                     TextTable::num(t), TextTable::num(seq / t)});
+    }
+  };
+  switch (id) {
+    case 1:
+      for (const auto& p : navcpp::harness::paper_table1()) {
+        add1d(navcpp::harness::measure_1d_row(p.order, p.block, 3, base));
+      }
+      break;
+    case 2: {
+      const auto& p = navcpp::harness::paper_table2();
+      add1d(navcpp::harness::measure_1d_row(p.order, p.block, 8, base));
+      break;
+    }
+    case 3:
+      for (const auto& p : navcpp::harness::paper_table3()) {
+        add2d(navcpp::harness::measure_2d_row(p.order, p.block, 2, base));
+      }
+      break;
+    case 4:
+      for (const auto& p : navcpp::harness::paper_table4()) {
+        add2d(navcpp::harness::measure_2d_row(p.order, p.block, 3, base));
+      }
+      break;
+    default:
+      return usage();
+  }
+  std::printf("%s", table.str().c_str());
+  return 0;
+}
+
+int run_stagger(const Args& args) {
+  const int pes = args.get_int("pes", 9);
+  std::printf("forward staggering: %d phase(s); reverse staggering: %d "
+              "phase(s)\n",
+              navcpp::linalg::forward_stagger_phases(pes),
+              navcpp::linalg::reverse_stagger_phases(pes));
+  return 0;
+}
+
+int run_plan(const Args& args) {
+  navcpp::navtool::NestSpec spec;
+  spec.threads = args.get_int("threads", 12);
+  spec.steps = args.get_int("steps", 12);
+  spec.rows_independent = args.has("independent");
+  spec.start_rotatable = args.has("rotatable");
+  spec.needs_previous_thread_same_step = args.has("chain");
+  const navcpp::mm::Dist1D dist(spec.steps, args.get_int("pes", 3));
+  const auto plan = navcpp::navtool::plan_nest(spec, dist);
+  std::printf("chosen transformation: %s\n\n%s",
+              navcpp::navtool::to_string(plan.transformation),
+              plan.rationale.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+  try {
+    if (args.command == "mm") return run_mm(args);
+    if (args.command == "jacobi") return run_jacobi(args);
+    if (args.command == "lu") return run_lu(args);
+    if (args.command == "table") return run_table(args);
+    if (args.command == "stagger") return run_stagger(args);
+    if (args.command == "plan") return run_plan(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

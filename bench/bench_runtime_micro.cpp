@@ -3,8 +3,10 @@
 // signal/wait, injection, and discrete-event queue operations.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <memory>
 
+#include "machine/chaos_machine.h"
 #include "machine/sim_machine.h"
 #include "machine/threaded_machine.h"
 #include "navp/runtime.h"
@@ -17,6 +19,17 @@ using navcpp::navp::EventKey;
 using navcpp::navp::Mission;
 using navcpp::navp::Runtime;
 
+// Opt-in schedule fuzzing for the runtime microbenchmarks: when
+// NAVCPP_CHAOS_SEED is set, the hop benchmarks run through a ChaosMachine
+// with that seed, so the fuzzed runtime can be profiled (and the decorator's
+// overhead measured) without a separate build.
+bool chaos_seed(std::uint64_t* seed) {
+  const char* env = std::getenv("NAVCPP_CHAOS_SEED");
+  if (env == nullptr) return false;
+  *seed = std::strtoull(env, nullptr, 10);
+  return true;
+}
+
 Mission hopper(Ctx ctx, int laps) {
   for (int i = 0; i < laps; ++i) {
     for (int pe = 0; pe < ctx.pe_count(); ++pe) {
@@ -27,9 +40,15 @@ Mission hopper(Ctx ctx, int laps) {
 
 void BM_SimHops(benchmark::State& state) {
   const int laps = static_cast<int>(state.range(0));
+  std::uint64_t seed = 0;
+  const bool chaos = chaos_seed(&seed);
   for (auto _ : state) {
     navcpp::machine::SimMachine m(4);
-    Runtime rt(m);
+    navcpp::machine::ChaosConfig ccfg;
+    ccfg.seed = seed;
+    navcpp::machine::ChaosMachine cm(m, ccfg);
+    Runtime rt(chaos ? static_cast<navcpp::machine::Engine&>(cm)
+                     : static_cast<navcpp::machine::Engine&>(m));
     rt.inject(0, "hopper", hopper, laps);
     rt.run();
     benchmark::DoNotOptimize(rt.hop_count());
@@ -37,6 +56,25 @@ void BM_SimHops(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * laps * 4);
 }
 BENCHMARK(BM_SimHops)->Arg(100)->Arg(1000);
+
+// The decorator's intercept cost in isolation: same hop workload, chaos
+// wrapper always on but with every perturbation probability at zero.
+void BM_ChaosHopsPassthrough(benchmark::State& state) {
+  const int laps = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    navcpp::machine::SimMachine m(4);
+    navcpp::machine::ChaosConfig ccfg;
+    ccfg.transmit_delay_prob = 0.0;
+    ccfg.post_jitter_prob = 0.0;
+    navcpp::machine::ChaosMachine cm(m, ccfg);
+    Runtime rt(cm);
+    rt.inject(0, "hopper", hopper, laps);
+    rt.run();
+    benchmark::DoNotOptimize(rt.hop_count());
+  }
+  state.SetItemsProcessed(state.iterations() * laps * 4);
+}
+BENCHMARK(BM_ChaosHopsPassthrough)->Arg(1000);
 
 void BM_ThreadedHops(benchmark::State& state) {
   const int laps = static_cast<int>(state.range(0));

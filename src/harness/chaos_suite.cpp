@@ -1,0 +1,189 @@
+#include "harness/chaos_suite.h"
+
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+#include "apps/jacobi.h"
+#include "apps/lu.h"
+#include "linalg/gemm.h"
+#include "machine/sim_machine.h"
+#include "mm/doall_mm.h"
+#include "mm/gentleman_mm.h"
+#include "mm/navp_mm_1d.h"
+#include "mm/navp_mm_2d.h"
+#include "mm/summa_mm.h"
+#include "mm/summa_mm_1d.h"
+#include "support/error.h"
+
+namespace navcpp::harness {
+namespace {
+
+using linalg::BlockGrid;
+using linalg::Matrix;
+using linalg::RealStorage;
+
+// Sizes are the smallest that still exercise every itinerary: the 1-D
+// variants need nb divisible by the PE count with >= 2 blocks per PE, the
+// 2-D variants need a 2x2 grid, Jacobi needs its interior rows to split
+// evenly over the PEs.
+constexpr int k1dPes = 3, k1dOrder = 24, k1dBlock = 4;   // nb=6, width=2
+constexpr int k2dGrid = 2, k2dOrder = 16, k2dBlock = 4;  // nb=4, 4 PEs
+constexpr int kLuPes = 3, kLuOrder = 24, kLuBlock = 4;
+constexpr int kJacobiPes = 4, kJacobiRows = 34, kJacobiCols = 16;
+constexpr int kJacobiSweeps = 4;
+
+ChaosCaseResult mm_case(const std::string& name,
+                        const machine::ChaosConfig& cfg) {
+  const bool is_1d = name == "mm/dsc1d" || name == "mm/pipe1d" ||
+                     name == "mm/phase1d" || name == "mm/summa1d";
+  mm::MmConfig mcfg;
+  mcfg.order = is_1d ? k1dOrder : k2dOrder;
+  mcfg.block_order = is_1d ? k1dBlock : k2dBlock;
+  const int pes = is_1d ? k1dPes : k2dGrid * k2dGrid;
+
+  const Matrix a = Matrix::random(mcfg.order, mcfg.order, 1);
+  const Matrix b = Matrix::random(mcfg.order, mcfg.order, 2);
+  auto ga = linalg::to_blocks(a, mcfg.block_order);
+  auto gb = linalg::to_blocks(b, mcfg.block_order);
+  BlockGrid<RealStorage> gc(mcfg.order, mcfg.block_order);
+
+  machine::SimMachine sim(pes, mcfg.testbed.lan);
+  machine::ChaosMachine chaos(sim, cfg);
+
+  using mm::Navp1dVariant;
+  using mm::Navp2dVariant;
+  using mm::StaggerMode;
+  if (name == "mm/dsc1d") {
+    navp_mm_1d(chaos, mcfg, Navp1dVariant::kDsc, ga, gb, gc);
+  } else if (name == "mm/pipe1d") {
+    navp_mm_1d(chaos, mcfg, Navp1dVariant::kPipelined, ga, gb, gc);
+  } else if (name == "mm/phase1d") {
+    navp_mm_1d(chaos, mcfg, Navp1dVariant::kPhaseShifted, ga, gb, gc);
+  } else if (name == "mm/summa1d") {
+    summa_mm_1d(chaos, mcfg, ga, gb, gc);
+  } else if (name == "mm/dsc2d") {
+    navp_mm_2d(chaos, mcfg, Navp2dVariant::kDsc, ga, gb, gc);
+  } else if (name == "mm/pipe2d") {
+    navp_mm_2d(chaos, mcfg, Navp2dVariant::kPipelined, ga, gb, gc);
+  } else if (name == "mm/phase2d") {
+    navp_mm_2d(chaos, mcfg, Navp2dVariant::kPhaseShifted, ga, gb, gc);
+  } else if (name == "mm/gentleman") {
+    gentleman_mm(chaos, mcfg, StaggerMode::kDirect, ga, gb, gc);
+  } else if (name == "mm/cannon") {
+    gentleman_mm(chaos, mcfg, StaggerMode::kStepwise, ga, gb, gc);
+  } else if (name == "mm/summa") {
+    summa_mm(chaos, mcfg, ga, gb, gc);
+  } else if (name == "mm/doall") {
+    doall_mm(chaos, mcfg, ga, gb, gc);
+  } else {
+    throw support::ConfigError("unknown chaos case " + name);
+  }
+
+  const double err = linalg::max_abs_diff(linalg::from_blocks(gc),
+                                          linalg::multiply(a, b));
+  ChaosCaseResult r{name, cfg.seed, err < 1e-9,
+                    "max|err| = " + std::to_string(err)};
+  return r;
+}
+
+ChaosCaseResult jacobi_case(const std::string& name,
+                            const machine::ChaosConfig& cfg) {
+  apps::JacobiConfig jcfg;
+  jcfg.rows = kJacobiRows;
+  jcfg.cols = kJacobiCols;
+  jcfg.sweeps = kJacobiSweeps;
+  const auto variant = name == "jacobi/dsc" ? apps::JacobiVariant::kDsc
+                       : name == "jacobi/pipeline"
+                           ? apps::JacobiVariant::kPipelined
+                           : apps::JacobiVariant::kDataflow;
+  const auto initial = apps::JacobiGrid::heated_plate(jcfg.rows, jcfg.cols);
+
+  machine::SimMachine sim(kJacobiPes, jcfg.testbed.lan);
+  machine::ChaosMachine chaos(sim, cfg);
+  const auto got = apps::jacobi_navp(chaos, jcfg, variant, initial);
+  const auto want = apps::jacobi_sequential(initial, jcfg.sweeps);
+
+  double err = 0.0;
+  for (std::size_t i = 0; i < want.u.size(); ++i) {
+    err = std::max(err, std::abs(got.u[i] - want.u[i]));
+  }
+  return ChaosCaseResult{name, cfg.seed, err < 1e-12,
+                         "max|err| = " + std::to_string(err)};
+}
+
+ChaosCaseResult lu_case(const std::string& name,
+                        const machine::ChaosConfig& cfg) {
+  apps::LuConfig lcfg;
+  lcfg.order = kLuOrder;
+  lcfg.block_order = kLuBlock;
+  const auto variant = name == "lu/dsc" ? apps::LuVariant::kDsc
+                                        : apps::LuVariant::kPipelined;
+  const Matrix a = apps::diagonally_dominant(lcfg.order, 17);
+
+  machine::SimMachine sim(kLuPes, lcfg.testbed.lan);
+  machine::ChaosMachine chaos(sim, cfg);
+  const auto [l, u] = apps::lu_navp(chaos, lcfg, variant, a);
+  const double err = apps::lu_reconstruction_error(a, l, u);
+  return ChaosCaseResult{name, cfg.seed, err < 1e-9,
+                         "max|A-LU| = " + std::to_string(err)};
+}
+
+}  // namespace
+
+std::vector<std::string> chaos_case_names() {
+  return {"mm/dsc1d",  "mm/pipe1d",    "mm/phase1d", "mm/summa1d",
+          "mm/dsc2d",  "mm/pipe2d",    "mm/phase2d", "mm/gentleman",
+          "mm/cannon", "mm/summa",     "mm/doall",   "jacobi/dsc",
+          "jacobi/pipeline", "jacobi/dataflow", "lu/dsc", "lu/pipeline"};
+}
+
+ChaosCaseResult run_chaos_case(const std::string& name,
+                               const machine::ChaosConfig& cfg) {
+  try {
+    if (name.rfind("mm/", 0) == 0) return mm_case(name, cfg);
+    if (name.rfind("jacobi/", 0) == 0) return jacobi_case(name, cfg);
+    if (name.rfind("lu/", 0) == 0) return lu_case(name, cfg);
+    throw support::ConfigError("unknown chaos case " + name);
+  } catch (const support::ConfigError&) {
+    throw;  // bad case name / config: caller error, not a chaos finding
+  } catch (const std::exception& e) {
+    return ChaosCaseResult{name, cfg.seed, false, e.what()};
+  }
+}
+
+ChaosSweepReport chaos_sweep(std::uint64_t first_seed, int num_seeds,
+                             machine::ChaosConfig base, bool verbose,
+                             const std::string& case_filter) {
+  std::vector<std::string> cases;
+  for (const auto& name : chaos_case_names()) {
+    if (case_filter.empty() || name.find(case_filter) != std::string::npos) {
+      cases.push_back(name);
+    }
+  }
+  NAVCPP_CHECK(!cases.empty(),
+               "no chaos case matches filter '" + case_filter + "'");
+
+  ChaosSweepReport report;
+  for (int i = 0; i < num_seeds; ++i) {
+    base.seed = first_seed + static_cast<std::uint64_t>(i);
+    for (const auto& name : cases) {
+      const ChaosCaseResult r = run_chaos_case(name, base);
+      ++report.cases_run;
+      if (!r.ok) {
+        report.failed = true;
+        report.first_failure = r;
+        report.seeds_run = i + 1;
+        return report;
+      }
+    }
+    if (verbose) {
+      std::printf("seed %llu: %zu case(s) ok\n",
+                  static_cast<unsigned long long>(base.seed), cases.size());
+    }
+  }
+  report.seeds_run = num_seeds;
+  return report;
+}
+
+}  // namespace navcpp::harness

@@ -1,0 +1,55 @@
+// The chaos workload suite: every distributed program in the repo (the six
+// NavP MM variants, the SPMD comparators, Jacobi, LU) run at a small size
+// with real data on a ChaosMachine-wrapped SimMachine and verified against
+// a sequential reference.
+//
+// Because the perturbations are schedule-legal and the sim backend is
+// deterministic, a failing (case, seed) pair is a real ordering bug and is
+// reproducible from the seed alone:
+//
+//   navcpp_cli chaos --seed <s>            # replay one seed, all cases
+//   navcpp_cli chaos --seed <s> --case mm/phase2d
+//
+// Used by tools/chaos_sweep.cpp, the `navcpp_cli chaos` subcommand, and the
+// chaos tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "machine/chaos_machine.h"
+
+namespace navcpp::harness {
+
+/// Names of all chaos workloads ("mm/phase1d", "jacobi/dataflow", ...).
+std::vector<std::string> chaos_case_names();
+
+struct ChaosCaseResult {
+  std::string name;
+  std::uint64_t seed = 0;
+  bool ok = false;
+  std::string detail;  ///< verification residual, or the failure text
+};
+
+/// Run one workload under chaos config `cfg` (seeded by `cfg.seed`) and
+/// verify its result.  Unknown names throw ConfigError.
+ChaosCaseResult run_chaos_case(const std::string& name,
+                               const machine::ChaosConfig& cfg);
+
+struct ChaosSweepReport {
+  int seeds_run = 0;
+  int cases_run = 0;
+  bool failed = false;
+  ChaosCaseResult first_failure;  ///< valid when failed
+};
+
+/// Run every case whose name contains `case_filter` (empty = all) across
+/// `num_seeds` consecutive seeds starting at `first_seed`.  Stops at the
+/// first failure so its seed can be replayed.  `verbose` prints per-seed
+/// progress lines to stdout.
+ChaosSweepReport chaos_sweep(std::uint64_t first_seed, int num_seeds,
+                             machine::ChaosConfig base, bool verbose,
+                             const std::string& case_filter = "");
+
+}  // namespace navcpp::harness

@@ -1,0 +1,153 @@
+#include "machine/chaos_machine.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "support/error.h"
+
+namespace navcpp::machine {
+
+ChaosMachine::ChaosMachine(Engine& inner, ChaosConfig cfg)
+    : inner_(inner), cfg_(cfg), rng_(cfg.seed) {
+  NAVCPP_CHECK(cfg_.max_transmit_defer >= 1 && cfg_.max_post_defer >= 1,
+               "defer maxima must be >= 1");
+  NAVCPP_CHECK(cfg_.max_post_jitter_s >= 0.0,
+               "jitter magnitude must be >= 0");
+}
+
+support::MoveFunction ChaosMachine::deferred(int pe, int times,
+                                             support::MoveFunction action) {
+  if (times <= 0) return action;
+  // Each layer, when dequeued, pushes the next layer to the back of the same
+  // PE's queue instead of running the payload: the payload slips behind
+  // whatever is ready on that PE right now.  The chain is finite, every hop
+  // is an ordinary post() on the same PE (one-at-a-time preserved), and each
+  // hop executes an action, so the threaded backend's stall detector keeps
+  // seeing progress.
+  return [this, pe, times, action = std::move(action)]() mutable {
+    inner_.post(pe, deferred(pe, times - 1, std::move(action)));
+  };
+}
+
+void ChaosMachine::post(int pe, support::MoveFunction action) {
+  int defer = 0;
+  double jitter = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++decisions_;
+    if (cfg_.shuffle_same_pe && rng_.uniform() < cfg_.shuffle_prob) {
+      defer = 1 + static_cast<int>(rng_.below(
+                      static_cast<std::uint64_t>(cfg_.max_post_defer)));
+    }
+    if (cfg_.post_jitter_prob > 0.0 &&
+        rng_.uniform() < cfg_.post_jitter_prob) {
+      jitter = rng_.uniform(0.0, cfg_.max_post_jitter_s);
+    }
+    if (defer > 0 || jitter > 0.0) ++perturbations_;
+    log_ += 'p';
+    log_ += std::to_string(pe);
+    log_ += 'd';
+    log_ += std::to_string(defer);
+    log_ += 'j';
+    log_ += std::to_string(static_cast<long long>(jitter * 1e6));
+    log_ += ';';
+  }
+  if (jitter > 0.0) {
+    const bool sleep_too = cfg_.wall_jitter;
+    action = [this, pe, jitter, sleep_too,
+              inner_action = std::move(action)]() mutable {
+      inner_.charge(pe, jitter);
+      if (sleep_too) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(jitter));
+      }
+      inner_action();
+    };
+  }
+  inner_.post(pe, deferred(pe, defer, std::move(action)));
+}
+
+void ChaosMachine::transmit(int src, int dst, std::size_t bytes,
+                            support::MoveFunction on_delivery) {
+  int defer = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++decisions_;
+    if (rng_.uniform() < cfg_.transmit_delay_prob) {
+      defer = 1 + static_cast<int>(rng_.below(
+                      static_cast<std::uint64_t>(cfg_.max_transmit_defer)));
+      ++perturbations_;
+    }
+    log_ += 't';
+    log_ += std::to_string(src);
+    log_ += '-';
+    log_ += std::to_string(dst);
+    log_ += 'd';
+    log_ += std::to_string(defer);
+    log_ += ';';
+  }
+  // Record the moment the payload really executes, so the summary captures
+  // the final delivery order, not just the decisions that shaped it.
+  support::MoveFunction logged = [this, dst,
+                                  payload = std::move(on_delivery)]() mutable {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      log_ += 'x';
+      log_ += std::to_string(dst);
+      log_ += ';';
+    }
+    payload();
+  };
+  if (!cfg_.preserve_pair_fifo) {
+    inner_.transmit(src, dst, bytes, deferred(dst, defer, std::move(logged)));
+    return;
+  }
+  // Non-overtaking: the payload is banked in its channel's queue *at send
+  // time*, and what travels through the (possibly deferred) delivery path is
+  // only a puller that consumes the oldest pending payload of that channel.
+  // A deferral therefore delays *a* delivery on the channel, but the payloads
+  // themselves still execute strictly in send order.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    channels_[{src, dst}].push_back(std::move(logged));
+  }
+  support::MoveFunction pull = [this, src, dst] {
+    support::MoveFunction payload;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto& queue = channels_[{src, dst}];
+      payload = std::move(queue.front());
+      queue.pop_front();
+    }
+    payload();  // outside the lock: payloads transmit()/post() re-entrantly
+  };
+  inner_.transmit(src, dst, bytes, deferred(dst, defer, std::move(pull)));
+}
+
+std::uint64_t ChaosMachine::decisions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return decisions_;
+}
+
+std::uint64_t ChaosMachine::perturbations() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return perturbations_;
+}
+
+std::string ChaosMachine::trace_summary() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return log_;
+}
+
+void ChaosMachine::reset_trace(std::uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  rng_.reseed(seed);
+  // A failed run can leave undelivered payloads banked (their pullers were
+  // dropped in the shutdown drain); destroy them like the drain would have.
+  channels_.clear();
+  log_.clear();
+  decisions_ = 0;
+  perturbations_ = 0;
+}
+
+}  // namespace navcpp::machine

@@ -1,0 +1,147 @@
+// ChaosMachine: a schedule-fuzzing decorator over any machine::Engine.
+//
+// The Engine contract makes exactly one scheduling promise: each PE executes
+// its actions one at a time.  Everything else — when a cross-PE message is
+// delivered, how deliveries interleave with locally posted actions, how long
+// an action waits in a queue — is backend discretion, and correct programs
+// (NavP missions, mini-MPI rank programs, the MM variants) must tolerate any
+// legal choice.  In practice we only ever exercise two choices: the threaded
+// machine's OS timing and the sim machine's deterministic (time, seq) order.
+//
+// ChaosMachine widens that coverage.  Driven by a seeded support::Rng it
+// legally perturbs execution:
+//
+//  * transmit() deliveries may be *deferred*: the delivery action, once it
+//    arrives at the destination PE, re-posts itself to the back of that PE's
+//    queue k times before running.  This delays and reorders cross-PE
+//    deliveries relative to each other and to local actions.  Deliveries on
+//    the same (src, dst) pair are never reordered against each other: the
+//    payloads of one channel execute strictly in send order (a per-channel
+//    FIFO holds them; a deferred delivery consumes the oldest pending
+//    payload).  Real interconnects in this model (TCP links, MPI channels)
+//    are non-overtaking, and the pipelined programs' correctness argument
+//    depends on it — see the event-keying note in mm/navp_mm_2d.h.
+//  * post() scheduling may be *jittered*: the action charges a small random
+//    compute cost to its PE before running (perturbing virtual time on the
+//    sim backend) and, when `wall_jitter` is on, also sleeps that long in
+//    wall time (perturbing real interleavings on the threaded backend).
+//  * optionally, same-PE ready actions are *shuffled*: post() itself gets
+//    the defer treatment, so locally queued actions overtake each other.
+//    Off by default — it breaks per-PE FIFO, which the Engine contract does
+//    not promise but which is a stronger perturbation than most programs
+//    are ever exposed to.
+//
+// Per-PE one-at-a-time execution is preserved (every trick reduces to extra
+// post() calls on the same PE), every defer chain is finite, and all random
+// choices are drawn from the seed in call order — so any failure ChaosMachine
+// provokes is a real bug in the program or runtime, and on the deterministic
+// sim backend it is reproducible from the seed alone.  trace_summary()
+// returns a compact log of every decision and every delivery execution;
+// byte-equality of two summaries certifies identical schedules.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "machine/engine.h"
+#include "support/rng.h"
+
+namespace navcpp::machine {
+
+/// Perturbation knobs.  All probabilities are in [0, 1]; all defer maxima
+/// are inclusive upper bounds on the uniformly drawn defer count (>= 1 when
+/// the perturbation fires).
+struct ChaosConfig {
+  std::uint64_t seed = 1;
+
+  /// Chance that a transmit() delivery is deferred at the destination.
+  double transmit_delay_prob = 0.5;
+  int max_transmit_defer = 4;
+
+  /// Keep same-(src, dst) deliveries in send order while deferring (the
+  /// non-overtaking guarantee of real channels; see the header comment).
+  /// Turning this off lets same-channel messages overtake each other — an
+  /// interleaving no modeled interconnect produces, useful only to probe
+  /// which programs *depend* on channel FIFO (the pipelined MM variants do,
+  /// by design, and will legitimately fail).
+  bool preserve_pair_fifo = true;
+
+  /// Chance that a post()ed action is charged a random activation delay.
+  double post_jitter_prob = 0.25;
+  double max_post_jitter_s = 50e-6;
+  /// Also sleep the jitter in wall time (use when wrapping the threaded
+  /// backend, where charge() is a no-op).
+  bool wall_jitter = false;
+
+  /// Shuffle same-PE ready actions by deferring post()s too.  Breaks per-PE
+  /// FIFO order (legal, but aggressive); off by default.
+  bool shuffle_same_pe = false;
+  double shuffle_prob = 0.5;
+  int max_post_defer = 3;
+};
+
+class ChaosMachine final : public Engine {
+ public:
+  explicit ChaosMachine(Engine& inner, ChaosConfig cfg = ChaosConfig{});
+
+  int pe_count() const override { return inner_.pe_count(); }
+  void post(int pe, support::MoveFunction action) override;
+  void transmit(int src, int dst, std::size_t bytes,
+                support::MoveFunction on_delivery) override;
+  void charge(int pe, double seconds) override { inner_.charge(pe, seconds); }
+  double now(int pe) const override { return inner_.now(pe); }
+  double finish_time() const override { return inner_.finish_time(); }
+  void task_started() override { inner_.task_started(); }
+  void task_finished() override { inner_.task_finished(); }
+  void set_blocked_reporter(std::function<std::string()> reporter) override {
+    inner_.set_blocked_reporter(std::move(reporter));
+  }
+  void fail(std::exception_ptr error) noexcept override { inner_.fail(error); }
+  void run() override { inner_.run(); }
+
+  Engine& inner() { return inner_; }
+  const ChaosConfig& config() const { return cfg_; }
+
+  /// Number of post()/transmit() calls that passed through the decorator.
+  std::uint64_t decisions() const;
+  /// Number of calls that were actually perturbed (deferred or jittered).
+  std::uint64_t perturbations() const;
+
+  /// Compact decision-and-delivery log: one token per post() decision
+  /// ("p<pe>d<defer>j<jitter_us>"), per transmit() decision
+  /// ("t<src>-<dst>d<defer>"), and per delivery execution ("x<dst>").
+  /// On the sim backend two runs with the same seed produce byte-identical
+  /// summaries; any divergence means the schedule differed.
+  std::string trace_summary() const;
+
+  /// Clear the log and counters and reseed the RNG (machine reuse).
+  void reset_trace(std::uint64_t seed);
+
+ private:
+  /// Wrap `action` so that, when first executed on `pe`, it re-posts itself
+  /// to the back of `pe`'s queue `times` more times before really running.
+  support::MoveFunction deferred(int pe, int times,
+                                 support::MoveFunction action);
+
+  Engine& inner_;
+  ChaosConfig cfg_;
+
+  mutable std::mutex mutex_;  // guards rng_, log_, channels_, counters
+  support::Rng rng_;
+  // Pending payloads per (src, dst) channel, in send order.  Each deferred
+  // delivery wrapper consumes the *oldest* pending payload of its channel,
+  // so defers delay deliveries without breaking non-overtaking.
+  std::map<std::pair<int, int>, std::deque<support::MoveFunction>> channels_;
+  std::string log_;
+  std::uint64_t decisions_ = 0;
+  std::uint64_t perturbations_ = 0;
+};
+
+}  // namespace navcpp::machine

@@ -40,6 +40,12 @@ class Engine {
   /// Ship `bytes` from `src` to `dst`; execute `on_delivery` on `dst` once
   /// the message arrives.  In the simulated backend this advances through
   /// the network model; in the threaded backend delivery is immediate.
+  ///
+  /// Delivery on one (src, dst) pair is non-overtaking: two messages on the
+  /// same channel arrive in send order, like TCP links or MPI channels.
+  /// Messages on *different* channels may interleave arbitrarily.  The
+  /// pipelined programs rely on this guarantee (see mm/navp_mm_2d.h), and
+  /// the chaos fuzzer preserves it while perturbing everything else.
   virtual void transmit(int src, int dst, std::size_t bytes,
                         support::MoveFunction on_delivery) = 0;
 

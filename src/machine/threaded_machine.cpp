@@ -36,16 +36,21 @@ void ThreadedMachine::check_pe(int pe) const {
 
 void ThreadedMachine::post(int pe, support::MoveFunction action) {
   check_pe(pe);
-  queues_[static_cast<std::size_t>(pe)]->push(std::move(action));
+  // A rejected push means the machine is stopping (failure or teardown);
+  // dropping the action destroys its captures, which is exactly what the
+  // post-failure drain would have done.
+  (void)queues_[static_cast<std::size_t>(pe)]->push(std::move(action));
 }
 
 void ThreadedMachine::transmit(int src, int dst, std::size_t bytes,
                                support::MoveFunction on_delivery) {
   check_pe(src);
   check_pe(dst);
-  transmitted_messages_.fetch_add(1, std::memory_order_relaxed);
-  transmitted_bytes_.fetch_add(bytes, std::memory_order_relaxed);
-  queues_[static_cast<std::size_t>(dst)]->push(std::move(on_delivery));
+  if (queues_[static_cast<std::size_t>(dst)]->push(std::move(on_delivery))) {
+    // Only messages actually enqueued count toward the cost audit.
+    transmitted_messages_.fetch_add(1, std::memory_order_relaxed);
+    transmitted_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  }
 }
 
 double ThreadedMachine::now(int pe) const {
@@ -91,15 +96,21 @@ void ThreadedMachine::worker_loop(int pe) {
       // releases captured coroutine frames and payloads.
       std::lock_guard<std::mutex> lock(state_mutex_);
       if (stopping_) continue;
+      ++actions_in_flight_;
     }
     try {
       (*action)();
     } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(state_mutex_);
+        --actions_in_flight_;
+      }
       record_exception();
       return;
     }
     {
       std::lock_guard<std::mutex> lock(state_mutex_);
+      --actions_in_flight_;
       ++progress_counter_;
     }
     state_cv_.notify_all();
@@ -108,10 +119,12 @@ void ThreadedMachine::worker_loop(int pe) {
 
 void ThreadedMachine::run() {
   clock_.reset();
+  reset_stats();
   {
     std::lock_guard<std::mutex> lock(state_mutex_);
     stopping_ = false;
     first_exception_ = nullptr;
+    actions_in_flight_ = 0;  // workers are joined; defensively re-zero
   }
   for (auto& q : queues_) q->reopen();
   workers_.clear();
@@ -137,8 +150,14 @@ void ThreadedMachine::run() {
         return tasks_live_ == 0 || stopping_ || progress_counter_ != seen;
       });
       if (tasks_live_ > 0 && !stopping_ && progress_counter_ == seen) {
-        // No action executed and no task finished for a full timeout window:
-        // every remaining task is blocked.
+        // The progress counter only ticks when an action *completes*, so a
+        // single action running longer than the timeout (one long GEMM
+        // block, say) must not be mistaken for a stall: a worker with an
+        // action in flight is making progress by definition.  Re-arm and
+        // keep waiting.
+        if (actions_in_flight_ > 0) continue;
+        // No action executing, none completed, and no task finished for a
+        // full timeout window: every remaining task is blocked.
         deadlocked = true;
         break;
       }
@@ -149,6 +168,10 @@ void ThreadedMachine::run() {
   for (auto& w : workers_) w.join();
   workers_.clear();
   finish_time_ = clock_.seconds();
+  // The workers are gone, so the queues can accept work again: a reused
+  // machine receives its next run's initial post()s *before* the next
+  // run() call, and those must not be dropped as shutdown strays.
+  for (auto& q : queues_) q->reopen();
 
   std::exception_ptr eptr;
   {

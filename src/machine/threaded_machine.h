@@ -55,18 +55,30 @@ class ThreadedMachine final : public Engine {
     blocked_reporter_ = std::move(reporter);
   }
 
-  /// If no task finishes and no action executes for this long while tasks
-  /// remain live, run() aborts with DeadlockError.  Zero disables (default).
+  /// If no action completes, none is executing, and no task finishes for
+  /// this long while tasks remain live, run() aborts with DeadlockError.
+  /// A single action running longer than the timeout is NOT a stall (the
+  /// worker is busy, not blocked).  Zero disables (default).
   void set_stall_timeout(double seconds) { stall_timeout_s_ = seconds; }
 
   void run() override;
 
   /// Total bytes passed to transmit() (both backends expose cost audits).
+  /// Counts only messages actually enqueued for delivery; messages dropped
+  /// because the machine is stopping are excluded.
   std::uint64_t transmitted_bytes() const {
     return transmitted_bytes_.load(std::memory_order_relaxed);
   }
   std::uint64_t transmitted_messages() const {
     return transmitted_messages_.load(std::memory_order_relaxed);
+  }
+
+  /// Zero the transmit statistics (mirrors net::NetworkModel::reset_stats).
+  /// run() calls this automatically so a reused machine reports per-run
+  /// numbers rather than accumulating across runs.
+  void reset_stats() {
+    transmitted_bytes_.store(0, std::memory_order_relaxed);
+    transmitted_messages_.store(0, std::memory_order_relaxed);
   }
 
  private:
@@ -82,6 +94,7 @@ class ThreadedMachine final : public Engine {
   std::condition_variable state_cv_;
   std::int64_t tasks_live_ = 0;
   std::uint64_t progress_counter_ = 0;  // bumps on every executed action
+  std::int64_t actions_in_flight_ = 0;  // actions currently executing
   bool stopping_ = false;
   std::exception_ptr first_exception_;
 

@@ -8,12 +8,15 @@
 // so the table needs no synchronization of its own.
 #pragma once
 
+#include <algorithm>
+#include <compare>
 #include <coroutine>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "support/error.h"
 
@@ -29,6 +32,9 @@ struct EventKey {
   std::int32_t b = 0;
 
   friend bool operator==(const EventKey&, const EventKey&) = default;
+  /// Lexicographic (tag, a, b) order — used wherever a deterministic
+  /// iteration order over keys is needed (diagnostics, chaos traces).
+  friend auto operator<=>(const EventKey&, const EventKey&) = default;
 
   std::string str() const {
     return "E" + std::to_string(tag) + "(" + std::to_string(a) + "," +
@@ -102,12 +108,19 @@ class EventTable {
 
   bool has_waiters() const { return !waiters_.empty(); }
 
-  /// Visit every parked waiter (deadlock diagnostics).
+  /// Visit every parked waiter in deterministic order: keys sorted by
+  /// (tag, a, b), waiters per key in park (FIFO) order.  Keeps deadlock
+  /// reports and chaos-trace summaries byte-identical across runs and
+  /// platforms despite the unordered_map storage.
   void for_each_waiter(
       const std::function<void(const EventKey&, const EventWaiter&)>& fn)
       const {
-    for (const auto& [key, list] : waiters_) {
-      for (const auto& w : list) fn(key, w);
+    std::vector<EventKey> keys;
+    keys.reserve(waiters_.size());
+    for (const auto& [key, list] : waiters_) keys.push_back(key);
+    std::sort(keys.begin(), keys.end());
+    for (const EventKey& key : keys) {
+      for (const auto& w : waiters_.at(key)) fn(key, w);
     }
   }
 

@@ -16,13 +16,19 @@ namespace navcpp::support {
 template <class T>
 class MpscQueue {
  public:
-  /// Push an item; wakes the consumer if it is blocked.
-  void push(T item) {
+  /// Push an item; wakes the consumer if it is blocked.  Returns false (and
+  /// drops `item`, running its destructor at the call site) if the queue has
+  /// been close()d: enqueueing into a closed queue would silently destroy the
+  /// item anyway — the consumer drains without executing — so the poster gets
+  /// an explicit signal instead of a black hole.
+  [[nodiscard]] bool push(T item) {
     {
       std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) return false;
       items_.push_back(std::move(item));
     }
     cv_.notify_one();
+    return true;
   }
 
   /// Pop one item, blocking until one is available or `closed()`.

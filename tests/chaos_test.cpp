@@ -1,0 +1,220 @@
+// Tests for the ChaosMachine schedule fuzzer: legality (programs stay
+// correct under perturbation), determinism (same seed => byte-identical
+// schedule), and the chaos sweep harness.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "harness/chaos_suite.h"
+#include "linalg/gemm.h"
+#include "machine/chaos_machine.h"
+#include "machine/sim_machine.h"
+#include "machine/threaded_machine.h"
+#include "mm/navp_mm_1d.h"
+#include "mm/navp_mm_2d.h"
+#include "navp/runtime.h"
+#include "support/error.h"
+
+namespace navcpp {
+namespace {
+
+machine::ChaosConfig seeded(std::uint64_t seed) {
+  machine::ChaosConfig cfg;
+  cfg.seed = seed;
+  return cfg;
+}
+
+// --- mechanics ------------------------------------------------------------
+
+TEST(ChaosMachine, PassthroughWhenProbabilitiesAreZero) {
+  machine::SimMachine sim(2);
+  machine::ChaosConfig cfg;
+  cfg.transmit_delay_prob = 0.0;
+  cfg.post_jitter_prob = 0.0;
+  machine::ChaosMachine chaos(sim, cfg);
+  std::vector<int> order;
+  chaos.post(0, [&] { order.push_back(1); });
+  chaos.post(0, [&] { order.push_back(2); });
+  chaos.transmit(0, 1, 64, [&] { order.push_back(3); });
+  chaos.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(chaos.decisions(), 3u);
+  EXPECT_EQ(chaos.perturbations(), 0u);
+}
+
+net::LinkParams instant_link() {
+  net::LinkParams p;
+  p.send_overhead = 0.0;
+  p.recv_overhead = 0.0;
+  p.latency = 0.0;
+  p.bandwidth = 1e12;
+  p.local_delivery = 0.0;
+  return p;
+}
+
+TEST(ChaosMachine, DeferredDeliverySlipsBehindReadyActions) {
+  // With delay probability 1, a transmit delivery must be re-posted at
+  // least once, so an action posted to the destination *after* the message
+  // was sent still runs before the delivery (with an instant link both
+  // would otherwise execute in schedule order: delivery first).
+  machine::SimMachine sim(2, instant_link());
+  machine::ChaosConfig cfg;
+  cfg.transmit_delay_prob = 1.0;
+  cfg.max_transmit_defer = 1;
+  cfg.post_jitter_prob = 0.0;
+  machine::ChaosMachine chaos(sim, cfg);
+  std::vector<int> order;
+  chaos.transmit(0, 1, 64, [&] { order.push_back(1); });
+  chaos.post(1, [&] { order.push_back(2); });
+  chaos.run();
+  EXPECT_EQ(order, (std::vector<int>{2, 1}));
+  EXPECT_EQ(chaos.perturbations(), 1u);
+}
+
+TEST(ChaosMachine, SameChannelDeliveriesNeverOvertake) {
+  // Messages on one (src, dst) pair must execute in send order no matter
+  // how individual deliveries are deferred — real links are non-overtaking,
+  // and the pipelined MM programs' block pairing depends on it.  Messages
+  // from a different source may still slip in between.
+  machine::SimMachine sim(3, instant_link());
+  machine::ChaosConfig cfg;
+  cfg.transmit_delay_prob = 1.0;  // every delivery deferred by 1..4
+  cfg.max_transmit_defer = 4;
+  cfg.post_jitter_prob = 0.0;
+  machine::ChaosMachine chaos(sim, cfg);
+  std::vector<int> order;
+  for (int i = 0; i < 6; ++i) {
+    chaos.transmit(0, 2, 64, [&order, i] { order.push_back(i); });
+    chaos.transmit(1, 2, 64, [&order, i] { order.push_back(100 + i); });
+  }
+  chaos.run();
+  ASSERT_EQ(order.size(), 12u);
+  std::vector<int> from0;
+  std::vector<int> from1;
+  for (int v : order) (v < 100 ? from0 : from1).push_back(v);
+  EXPECT_EQ(from0, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+  EXPECT_EQ(from1, (std::vector<int>{100, 101, 102, 103, 104, 105}));
+}
+
+TEST(ChaosMachine, ShuffleReordersSamePePosts) {
+  machine::SimMachine sim(1);
+  machine::ChaosConfig cfg;
+  cfg.transmit_delay_prob = 0.0;
+  cfg.post_jitter_prob = 0.0;
+  cfg.shuffle_same_pe = true;
+  cfg.shuffle_prob = 1.0;
+  cfg.max_post_defer = 3;
+  // Deterministic given the seed: some permutation of 0..7 must come out,
+  // and every posted action must still run exactly once.
+  machine::ChaosMachine chaos(sim, cfg);
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    chaos.post(0, [&order, i] { order.push_back(i); });
+  }
+  chaos.run();
+  ASSERT_EQ(order.size(), 8u);
+  std::vector<int> sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(ChaosMachine, RejectsBadConfig) {
+  machine::SimMachine sim(1);
+  machine::ChaosConfig cfg;
+  cfg.max_transmit_defer = 0;
+  EXPECT_THROW(machine::ChaosMachine(sim, cfg), support::LogicError);
+}
+
+// --- determinism ----------------------------------------------------------
+
+// The acceptance criterion: the same seed produces a byte-identical
+// decision-and-delivery trace (and the same virtual finish time) twice in
+// a row on the deterministic backend; a different seed produces a
+// different schedule.
+TEST(ChaosDeterminism, SameSeedSameScheduleByteForByte) {
+  auto run_once = [](std::uint64_t seed) {
+    mm::MmConfig cfg;
+    cfg.order = 24;
+    cfg.block_order = 4;
+    machine::SimMachine sim(3, cfg.testbed.lan);
+    machine::ChaosMachine chaos(sim, seeded(seed));
+    linalg::BlockGrid<linalg::PhantomStorage> a(cfg.order, cfg.block_order);
+    linalg::BlockGrid<linalg::PhantomStorage> b(cfg.order, cfg.block_order);
+    linalg::BlockGrid<linalg::PhantomStorage> c(cfg.order, cfg.block_order);
+    navp_mm_1d(chaos, cfg, mm::Navp1dVariant::kPhaseShifted, a, b, c);
+    return std::pair<std::string, double>{chaos.trace_summary(),
+                                          chaos.finish_time()};
+  };
+  const auto [trace_a, time_a] = run_once(42);
+  const auto [trace_b, time_b] = run_once(42);
+  EXPECT_FALSE(trace_a.empty());
+  EXPECT_EQ(trace_a, trace_b);
+  EXPECT_DOUBLE_EQ(time_a, time_b);
+
+  const auto [trace_c, time_c] = run_once(43);
+  EXPECT_NE(trace_a, trace_c);
+  (void)time_c;
+}
+
+// --- legality: real programs survive fuzzed schedules ---------------------
+
+TEST(ChaosSuite, EverySuiteCasePassesUnderDefaultChaos) {
+  for (const auto& name : harness::chaos_case_names()) {
+    const auto r = harness::run_chaos_case(name, seeded(7));
+    EXPECT_TRUE(r.ok) << r.name << ": " << r.detail;
+  }
+}
+
+TEST(ChaosSuite, SweepOverSeveralSeedsFindsNoFailures) {
+  const auto report =
+      harness::chaos_sweep(1, 3, machine::ChaosConfig{}, /*verbose=*/false);
+  EXPECT_FALSE(report.failed)
+      << report.first_failure.name << " seed " << report.first_failure.seed
+      << ": " << report.first_failure.detail;
+  EXPECT_EQ(report.seeds_run, 3);
+}
+
+TEST(ChaosSuite, CaseFilterSelectsSubset) {
+  const auto report = harness::chaos_sweep(1, 1, machine::ChaosConfig{},
+                                           /*verbose=*/false, "jacobi");
+  EXPECT_FALSE(report.failed);
+  EXPECT_EQ(report.cases_run, 3);
+  EXPECT_THROW(harness::chaos_sweep(1, 1, machine::ChaosConfig{}, false,
+                                    "no-such-case"),
+               support::LogicError);
+}
+
+TEST(ChaosSuite, UnknownCaseNameThrows) {
+  EXPECT_THROW(harness::run_chaos_case("mm/bogus", seeded(1)),
+               support::ConfigError);
+}
+
+// --- chaos over the threaded backend --------------------------------------
+
+TEST(ChaosThreaded, NavpProgramSurvivesWallJitterAndDelays) {
+  mm::MmConfig cfg;
+  cfg.order = 16;
+  cfg.block_order = 4;
+  const linalg::Matrix ma = linalg::Matrix::random(cfg.order, cfg.order, 1);
+  const linalg::Matrix mb = linalg::Matrix::random(cfg.order, cfg.order, 2);
+  auto ga = linalg::to_blocks(ma, cfg.block_order);
+  auto gb = linalg::to_blocks(mb, cfg.block_order);
+  linalg::BlockGrid<linalg::RealStorage> gc(cfg.order, cfg.block_order);
+
+  machine::ThreadedMachine threaded(4);
+  threaded.set_stall_timeout(10.0);
+  machine::ChaosConfig ccfg = seeded(11);
+  ccfg.wall_jitter = true;
+  machine::ChaosMachine chaos(threaded, ccfg);
+  navp_mm_2d(chaos, cfg, mm::Navp2dVariant::kPhaseShifted, ga, gb, gc);
+  EXPECT_LT(linalg::max_abs_diff(linalg::from_blocks(gc),
+                                 linalg::multiply(ma, mb)),
+            1e-9);
+  EXPECT_GT(chaos.decisions(), 0u);
+}
+
+}  // namespace
+}  // namespace navcpp

@@ -2,7 +2,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <memory>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "machine/sim_machine.h"
@@ -192,6 +195,88 @@ TEST(ThreadedMachine, StallTimeoutDetectsDeadlock) {
   m.set_stall_timeout(0.1);
   m.task_started();  // a task that never finishes and never runs
   EXPECT_THROW(m.run(), support::DeadlockError);
+}
+
+// Regression: the stall detector only saw *completed* actions as progress,
+// so one action running longer than the timeout (a long GEMM block, say)
+// made run() throw a false DeadlockError.  An in-flight action is progress.
+TEST(ThreadedMachine, LongRunningActionIsNotADeadlock) {
+  ThreadedMachine m(2);
+  m.set_stall_timeout(0.05);  // 50 ms
+  std::atomic<bool> finished{false};
+  m.task_started();
+  m.post(0, [&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(500));
+    finished = true;
+    m.task_finished();
+  });
+  EXPECT_NO_THROW(m.run());
+  EXPECT_TRUE(finished.load());
+}
+
+// ...while a genuinely parked task still raises DeadlockError with the
+// blocked report attached, even when unrelated PEs completed work earlier.
+TEST(ThreadedMachine, GenuineStallStillDetectedWithReport) {
+  ThreadedMachine m(2);
+  m.set_stall_timeout(0.05);
+  m.set_blocked_reporter([] { return std::string("PARKED-AGENT EP(1,2)"); });
+  m.task_started();  // never finishes, nothing ever queued for it
+  m.post(0, [] {});  // some real work that completes
+  try {
+    m.run();
+    FAIL() << "expected DeadlockError";
+  } catch (const support::DeadlockError& e) {
+    EXPECT_NE(std::string(e.what()).find("PARKED-AGENT EP(1,2)"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("1 live task"), std::string::npos);
+  }
+}
+
+// Regression: transmit statistics accumulated across run()s of a reused
+// machine because nothing ever reset them.
+TEST(ThreadedMachine, StatsResetBetweenRuns) {
+  ThreadedMachine m(2);
+  auto one_run = [&m] {
+    m.task_started();
+    m.post(0, [&m] {
+      m.transmit(0, 1, 1000, [&m] { m.task_finished(); });
+    });
+    m.run();
+  };
+  one_run();
+  EXPECT_EQ(m.transmitted_messages(), 1u);
+  EXPECT_EQ(m.transmitted_bytes(), 1000u);
+  one_run();
+  EXPECT_EQ(m.transmitted_messages(), 1u) << "stats leaked across runs";
+  EXPECT_EQ(m.transmitted_bytes(), 1000u);
+}
+
+TEST(ThreadedMachine, ReusedMachineRunsTwice) {
+  ThreadedMachine m(3);
+  for (int round = 0; round < 2; ++round) {
+    std::atomic<int> count{0};
+    m.task_started();
+    for (int pe = 0; pe < 3; ++pe) {
+      m.post(pe, [&] { count.fetch_add(1); });
+    }
+    m.post(2, [&] { m.task_finished(); });
+    m.run();
+    EXPECT_EQ(count.load(), 3) << "round " << round;
+  }
+}
+
+TEST(SimMachine, ReusedMachineRunsTwice) {
+  // SimMachine keeps its virtual clocks across runs (a second run continues
+  // the same virtual timeline); both runs must execute all their actions.
+  SimMachine m(2);
+  int executed = 0;
+  m.post(0, [&] { executed++; });
+  m.post(1, [&] { executed++; });
+  m.run();
+  EXPECT_EQ(executed, 2);
+  m.post(0, [&] { executed++; });
+  m.run();
+  EXPECT_EQ(executed, 3);
 }
 
 TEST(ThreadedMachine, RejectsBadPe) {

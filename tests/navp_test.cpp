@@ -125,6 +125,65 @@ TEST_P(NavpBothBackends, OneSignalWakesExactlyOneWaiter) {
   EXPECT_EQ(rt.unconsumed_signals(), 0u);
 }
 
+Mission ordered_waiter(Ctx ctx, EventKey key, std::vector<int>* order,
+                       int rank) {
+  co_await ctx.wait_event(key);
+  order->push_back(rank);  // PE-confined: only this PE's agents touch it
+}
+
+// EventTable fairness: when several agents park on one key, signals wake
+// them strictly oldest-first on both backends.  The chaos runner leans on
+// this — wake order must be a function of park order, not of scheduling.
+TEST_P(NavpBothBackends, EventWakeupOrderIsFifoAmongWaiters) {
+  auto m = make_machine(1);
+  Runtime rt(*m);
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i) {
+    rt.inject(0, "w" + std::to_string(i), ordered_waiter, kGo, &order, i);
+  }
+  rt.inject(0, "sig", signaler_agent, kGo, 4);
+  rt.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(rt.unconsumed_signals(), 0u);
+}
+
+// Unit-level FIFO check on the table itself, including interleaved banked
+// signals (consume must prefer banked counts; waiters pop oldest-first).
+TEST(EventTable, SignalHandsOldestWaiterFirst) {
+  EventTable table;
+  const EventKey key{9, 3, 4};
+  AgentState a0, a1, a2;
+  table.add_waiter(key, EventWaiter{std::noop_coroutine(), &a0});
+  table.add_waiter(key, EventWaiter{std::noop_coroutine(), &a1});
+  table.add_waiter(key, EventWaiter{std::noop_coroutine(), &a2});
+  EXPECT_EQ(table.waiter_count(key), 3u);
+  EXPECT_EQ(table.signal(key).agent, &a0);
+  EXPECT_EQ(table.signal(key).agent, &a1);
+  EXPECT_EQ(table.signal(key).agent, &a2);
+  // No waiters left: the next signal banks a count instead.
+  EXPECT_EQ(table.signal(key).agent, nullptr);
+  EXPECT_EQ(table.pending_signals(key), 1u);
+  EXPECT_TRUE(table.try_consume(key));
+  EXPECT_FALSE(table.try_consume(key));
+}
+
+// The blocked report lists parked agents in deterministic (tag, a, b) key
+// order regardless of signal/park ordering or hash-map layout.
+TEST(EventTable, ForEachWaiterVisitsKeysInSortedOrder) {
+  EventTable table;
+  AgentState agent;
+  table.add_waiter(EventKey{2, 0, 0},
+                   EventWaiter{std::noop_coroutine(), &agent});
+  table.add_waiter(EventKey{1, 5, 0},
+                   EventWaiter{std::noop_coroutine(), &agent});
+  table.add_waiter(EventKey{1, 2, 9},
+                   EventWaiter{std::noop_coroutine(), &agent});
+  std::vector<std::string> seen;
+  table.for_each_waiter(
+      [&](const EventKey& key, const EventWaiter&) { seen.push_back(key.str()); });
+  EXPECT_EQ(seen, (std::vector<std::string>{"E1(2,9)", "E1(5,0)", "E2(0,0)"}));
+}
+
 TEST_P(NavpBothBackends, SignalConservation) {
   // Signals sent but never awaited stay banked: signals == waits + banked.
   auto m = make_machine(2);

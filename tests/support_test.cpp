@@ -118,7 +118,7 @@ TEST(MoveFunction, BoolConversion) {
 
 TEST(MpscQueue, FifoOrderSingleThread) {
   MpscQueue<int> q;
-  for (int i = 0; i < 10; ++i) q.push(i);
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(q.push(i));
   for (int i = 0; i < 10; ++i) EXPECT_EQ(q.try_pop(), std::optional<int>(i));
   EXPECT_EQ(q.try_pop(), std::nullopt);
 }
@@ -129,9 +129,53 @@ TEST(MpscQueue, CloseUnblocksConsumer) {
     EXPECT_EQ(q.pop_blocking(), std::optional<int>(1));
     EXPECT_EQ(q.pop_blocking(), std::nullopt);  // closed + empty
   });
-  q.push(1);
+  EXPECT_TRUE(q.push(1));
   q.close();
   consumer.join();
+}
+
+// Regression: push() used to silently enqueue into a closed queue — the
+// item was destroyed by the drain without ever running and the poster got
+// no signal.  A closed queue now rejects the push and reports it.
+TEST(MpscQueue, PushOnClosedQueueIsRejected) {
+  MpscQueue<int> q;
+  EXPECT_TRUE(q.push(1));
+  q.close();
+  EXPECT_FALSE(q.push(2));
+  // The rejected item never entered the queue: only 1 drains out.
+  EXPECT_EQ(q.pop_blocking(), std::optional<int>(1));
+  EXPECT_EQ(q.pop_blocking(), std::nullopt);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(MpscQueue, PushOnClosedQueueDropsTheItem) {
+  // The dropped item's destructor runs at the push site (this is what
+  // releases captured coroutine frames when a machine is shutting down).
+  struct Tracker {
+    int* dropped;
+    explicit Tracker(int* d) : dropped(d) {}
+    Tracker(Tracker&& o) noexcept : dropped(o.dropped) { o.dropped = nullptr; }
+    ~Tracker() {
+      if (dropped != nullptr) ++*dropped;
+    }
+  };
+  int dropped = 0;
+  {
+    MpscQueue<Tracker> q;
+    q.close();
+    EXPECT_FALSE(q.push(Tracker(&dropped)));
+    EXPECT_EQ(dropped, 1);
+  }
+  EXPECT_EQ(dropped, 1);
+}
+
+TEST(MpscQueue, ReopenAcceptsPushesAgain) {
+  MpscQueue<int> q;
+  q.close();
+  EXPECT_FALSE(q.push(1));
+  q.reopen();
+  EXPECT_TRUE(q.push(2));
+  EXPECT_EQ(q.try_pop(), std::optional<int>(2));
 }
 
 TEST(MpscQueue, MultipleProducersAllItemsArrive) {
@@ -140,7 +184,9 @@ TEST(MpscQueue, MultipleProducersAllItemsArrive) {
   std::vector<std::thread> producers;
   for (int p = 0; p < 4; ++p) {
     producers.emplace_back([&q, p] {
-      for (int i = 0; i < kPerProducer; ++i) q.push(p * kPerProducer + i);
+      for (int i = 0; i < kPerProducer; ++i) {
+        EXPECT_TRUE(q.push(p * kPerProducer + i));
+      }
     });
   }
   std::set<int> seen;

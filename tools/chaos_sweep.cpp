@@ -1,0 +1,81 @@
+// chaos_sweep — seed-sweep stress runner over the chaos workload suite.
+//
+//   chaos_sweep [--seeds N] [--first-seed S] [--case SUBSTR]
+//               [--shuffle] [--verbose]
+//
+// Runs every MM variant, Jacobi, and LU under schedule fuzzing
+// (machine::ChaosMachine over the deterministic SimMachine) for N
+// consecutive seeds and verifies each result against a sequential
+// reference.  On the first failure it prints the failing (case, seed) pair
+// and the one-command replay line, and exits 1.  --shuffle additionally
+// enables same-PE ready-action shuffling (legal but aggressive; see
+// machine/chaos_machine.h).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "harness/chaos_suite.h"
+
+int main(int argc, char** argv) {
+  int seeds = 32;
+  unsigned long long first_seed = 1;
+  std::string case_filter;
+  bool verbose = false;
+  navcpp::machine::ChaosConfig cfg;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--seeds") {
+      seeds = std::atoi(value());
+    } else if (arg == "--first-seed") {
+      first_seed = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--case") {
+      case_filter = value();
+    } else if (arg == "--shuffle") {
+      cfg.shuffle_same_pe = true;
+    } else if (arg == "--verbose") {
+      verbose = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: chaos_sweep [--seeds N] [--first-seed S] "
+                   "[--case SUBSTR] [--shuffle] [--verbose]\n");
+      return 2;
+    }
+  }
+
+  if (seeds < 1) {
+    // A sweep that runs nothing must not report success — a typo'd seed
+    // count in CI would otherwise pass with zero coverage.
+    std::fprintf(stderr, "--seeds must be >= 1 (got %d)\n", seeds);
+    return 2;
+  }
+
+  try {
+    const auto report = navcpp::harness::chaos_sweep(
+        first_seed, seeds, cfg, verbose, case_filter);
+    if (report.failed) {
+      const auto& f = report.first_failure;
+      std::printf("FAIL: case %s, seed %llu: %s\n", f.name.c_str(),
+                  static_cast<unsigned long long>(f.seed), f.detail.c_str());
+      std::printf("replay: navcpp_cli chaos --seed %llu --case %s%s\n",
+                  static_cast<unsigned long long>(f.seed), f.name.c_str(),
+                  cfg.shuffle_same_pe ? " --shuffle" : "");
+      return 1;
+    }
+    std::printf("chaos sweep ok: %d seed(s) x %d case-run(s) total, "
+                "no failures\n",
+                report.seeds_run, report.cases_run);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}

@@ -10,6 +10,8 @@
 //   navcpp_cli stagger --pes 9
 //   navcpp_cli plan    --threads 12 --steps 12 --pes 3
 //                      [--independent] [--rotatable] [--chain]
+//   navcpp_cli chaos   [--seeds N] [--seed S] [--case SUBSTR] [--shuffle]
+//                      [--verbose]
 //
 // Every run happens on the calibrated simulation of the paper's testbed;
 // `--verify` (mm) additionally executes with real data and checks the
@@ -22,6 +24,7 @@
 
 #include "apps/jacobi.h"
 #include "apps/lu.h"
+#include "harness/chaos_suite.h"
 #include "harness/experiments.h"
 #include "harness/paper_data.h"
 #include "harness/text_table.h"
@@ -85,8 +88,61 @@ int usage() {
       "  table   --id 1|2|3|4\n"
       "  stagger --pes P\n"
       "  plan    --threads T --steps S --pes P [--independent] "
-      "[--rotatable] [--chain]\n");
+      "[--rotatable] [--chain]\n"
+      "  chaos   [--seeds N] [--seed S] [--case SUBSTR] [--shuffle] "
+      "[--verbose]\n");
   return 2;
+}
+
+// Schedule-fuzz the distributed programs.  `--seeds N` sweeps N consecutive
+// seeds (stress mode); `--seed S` replays exactly one seed verbosely, which
+// is how a failure found by chaos_sweep or CI is reproduced.
+int run_chaos(const Args& args) {
+  navcpp::machine::ChaosConfig cfg;
+  cfg.shuffle_same_pe = args.has("shuffle");
+  const std::string filter = args.get("case", "");
+
+  if (args.has("seed") || args.has("seeds") || args.has("case")) {
+    // A value-less `--seed` would silently fall through to sweep mode —
+    // the opposite of the replay the user asked for.
+    std::fprintf(stderr, "chaos: missing value after --seed/--seeds/--case\n");
+    return usage();
+  }
+  if (args.options.count("seed") > 0) {
+    const auto seed =
+        std::strtoull(args.get("seed", "1").c_str(), nullptr, 10);
+    const auto report =
+        navcpp::harness::chaos_sweep(seed, 1, cfg, /*verbose=*/true, filter);
+    if (report.failed) {
+      const auto& f = report.first_failure;
+      std::printf("FAIL: case %s, seed %llu: %s\n", f.name.c_str(),
+                  static_cast<unsigned long long>(f.seed), f.detail.c_str());
+      return 1;
+    }
+    std::printf("seed %llu: all %d case-run(s) ok\n",
+                static_cast<unsigned long long>(seed), report.cases_run);
+    return 0;
+  }
+
+  const int seeds = args.get_int("seeds", 16);
+  if (seeds < 1) {
+    std::fprintf(stderr, "chaos: --seeds must be >= 1 (got %d)\n", seeds);
+    return 2;
+  }
+  const auto report = navcpp::harness::chaos_sweep(
+      1, seeds, cfg, args.has("verbose"), filter);
+  if (report.failed) {
+    const auto& f = report.first_failure;
+    std::printf("FAIL: case %s, seed %llu: %s\n", f.name.c_str(),
+                static_cast<unsigned long long>(f.seed), f.detail.c_str());
+    std::printf("replay: navcpp_cli chaos --seed %llu --case %s%s\n",
+                static_cast<unsigned long long>(f.seed), f.name.c_str(),
+                cfg.shuffle_same_pe ? " --shuffle" : "");
+    return 1;
+  }
+  std::printf("chaos sweep ok: %d seed(s), %d case-run(s), no failures\n",
+              report.seeds_run, report.cases_run);
+  return 0;
 }
 
 int run_mm(const Args& args) {
@@ -322,6 +378,7 @@ int main(int argc, char** argv) {
     if (args.command == "table") return run_table(args);
     if (args.command == "stagger") return run_stagger(args);
     if (args.command == "plan") return run_plan(args);
+    if (args.command == "chaos") return run_chaos(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

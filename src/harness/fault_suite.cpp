@@ -1,0 +1,444 @@
+#include "harness/fault_suite.h"
+
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "apps/jacobi.h"
+#include "apps/lu.h"
+#include "machine/sim_machine.h"
+#include "mm/doall_mm.h"
+#include "mm/gentleman_mm.h"
+#include "mm/navp_mm_1d.h"
+#include "mm/navp_mm_2d.h"
+#include "mm/summa_mm.h"
+#include "mm/summa_mm_1d.h"
+#include "navp/checkpoint.h"
+#include "navp/runtime.h"
+#include "support/bytebuffer.h"
+#include "support/error.h"
+
+namespace navcpp::harness {
+namespace {
+
+using linalg::BlockGrid;
+using linalg::Matrix;
+using linalg::RealStorage;
+
+// Same sizes as the chaos suite: the smallest that exercise every
+// itinerary.
+constexpr int k1dPes = 3, k1dOrder = 24, k1dBlock = 4;   // nb=6, width=2
+constexpr int k2dGrid = 2, k2dOrder = 16, k2dBlock = 4;  // nb=4, 4 PEs
+constexpr int kLuPes = 3, kLuOrder = 24, kLuBlock = 4;
+constexpr int kJacobiPes = 4, kJacobiRows = 34, kJacobiCols = 16;
+constexpr int kJacobiSweeps = 4;
+
+/// Vary the protocol's jitter stream with the fault seed so a sweep
+/// explores different retransmit timings, not just different fault draws.
+net::ReliableConfig reliable_for_seed(std::uint64_t seed) {
+  net::ReliableConfig rel;
+  rel.seed = seed ^ 0x9e3779b97f4a7c15ULL;
+  return rel;
+}
+
+// ---------------------------------------------------------------------------
+// The 16 program cases.  Each runs the program on `eng` and returns its
+// numeric result flattened to a vector, so a faulted run can be compared
+// element-for-element against a fault-free one.
+
+std::vector<double> mm_values(const std::string& name, machine::Engine& eng) {
+  const bool is_1d = name == "mm/dsc1d" || name == "mm/pipe1d" ||
+                     name == "mm/phase1d" || name == "mm/summa1d";
+  mm::MmConfig mcfg;
+  mcfg.order = is_1d ? k1dOrder : k2dOrder;
+  mcfg.block_order = is_1d ? k1dBlock : k2dBlock;
+
+  const Matrix a = Matrix::random(mcfg.order, mcfg.order, 1);
+  const Matrix b = Matrix::random(mcfg.order, mcfg.order, 2);
+  auto ga = linalg::to_blocks(a, mcfg.block_order);
+  auto gb = linalg::to_blocks(b, mcfg.block_order);
+  BlockGrid<RealStorage> gc(mcfg.order, mcfg.block_order);
+
+  using mm::Navp1dVariant;
+  using mm::Navp2dVariant;
+  using mm::StaggerMode;
+  if (name == "mm/dsc1d") {
+    navp_mm_1d(eng, mcfg, Navp1dVariant::kDsc, ga, gb, gc);
+  } else if (name == "mm/pipe1d") {
+    navp_mm_1d(eng, mcfg, Navp1dVariant::kPipelined, ga, gb, gc);
+  } else if (name == "mm/phase1d") {
+    navp_mm_1d(eng, mcfg, Navp1dVariant::kPhaseShifted, ga, gb, gc);
+  } else if (name == "mm/summa1d") {
+    summa_mm_1d(eng, mcfg, ga, gb, gc);
+  } else if (name == "mm/dsc2d") {
+    navp_mm_2d(eng, mcfg, Navp2dVariant::kDsc, ga, gb, gc);
+  } else if (name == "mm/pipe2d") {
+    navp_mm_2d(eng, mcfg, Navp2dVariant::kPipelined, ga, gb, gc);
+  } else if (name == "mm/phase2d") {
+    navp_mm_2d(eng, mcfg, Navp2dVariant::kPhaseShifted, ga, gb, gc);
+  } else if (name == "mm/gentleman") {
+    gentleman_mm(eng, mcfg, StaggerMode::kDirect, ga, gb, gc);
+  } else if (name == "mm/cannon") {
+    gentleman_mm(eng, mcfg, StaggerMode::kStepwise, ga, gb, gc);
+  } else if (name == "mm/summa") {
+    summa_mm(eng, mcfg, ga, gb, gc);
+  } else if (name == "mm/doall") {
+    doall_mm(eng, mcfg, ga, gb, gc);
+  } else {
+    throw support::ConfigError("unknown fault case " + name);
+  }
+
+  const Matrix c = linalg::from_blocks(gc);
+  return std::vector<double>(c.flat().begin(), c.flat().end());
+}
+
+std::vector<double> jacobi_values(const std::string& name,
+                                  machine::Engine& eng) {
+  apps::JacobiConfig jcfg;
+  jcfg.rows = kJacobiRows;
+  jcfg.cols = kJacobiCols;
+  jcfg.sweeps = kJacobiSweeps;
+  const auto variant = name == "jacobi/dsc" ? apps::JacobiVariant::kDsc
+                       : name == "jacobi/pipeline"
+                           ? apps::JacobiVariant::kPipelined
+                           : apps::JacobiVariant::kDataflow;
+  const auto initial = apps::JacobiGrid::heated_plate(jcfg.rows, jcfg.cols);
+  const auto got = apps::jacobi_navp(eng, jcfg, variant, initial);
+  return got.u;
+}
+
+std::vector<double> lu_values(const std::string& name, machine::Engine& eng) {
+  apps::LuConfig lcfg;
+  lcfg.order = kLuOrder;
+  lcfg.block_order = kLuBlock;
+  const auto variant = name == "lu/dsc" ? apps::LuVariant::kDsc
+                                        : apps::LuVariant::kPipelined;
+  const Matrix a = apps::diagonally_dominant(lcfg.order, 17);
+  const auto [l, u] = apps::lu_navp(eng, lcfg, variant, a);
+  std::vector<double> out(l.flat().begin(), l.flat().end());
+  out.insert(out.end(), u.flat().begin(), u.flat().end());
+  return out;
+}
+
+int program_pe_count(const std::string& name) {
+  if (name.rfind("mm/", 0) == 0) {
+    const bool is_1d = name == "mm/dsc1d" || name == "mm/pipe1d" ||
+                       name == "mm/phase1d" || name == "mm/summa1d";
+    return is_1d ? k1dPes : k2dGrid * k2dGrid;
+  }
+  if (name.rfind("jacobi/", 0) == 0) return kJacobiPes;
+  if (name.rfind("lu/", 0) == 0) return kLuPes;
+  throw support::ConfigError("unknown fault case " + name);
+}
+
+net::LinkParams program_link(const std::string& name) {
+  if (name.rfind("mm/", 0) == 0) return mm::MmConfig{}.testbed.lan;
+  if (name.rfind("jacobi/", 0) == 0) return apps::JacobiConfig{}.testbed.lan;
+  return apps::LuConfig{}.testbed.lan;
+}
+
+std::vector<double> program_values(const std::string& name,
+                                   machine::Engine& eng) {
+  if (name.rfind("mm/", 0) == 0) return mm_values(name, eng);
+  if (name.rfind("jacobi/", 0) == 0) return jacobi_values(name, eng);
+  if (name.rfind("lu/", 0) == 0) return lu_values(name, eng);
+  throw support::ConfigError("unknown fault case " + name);
+}
+
+/// Fault-free reference result, computed once per case (the inputs are
+/// fixed, so it is seed-independent) and cached for the whole sweep.
+const std::vector<double>& reference_values(const std::string& name) {
+  static std::mutex mutex;
+  static std::map<std::string, std::vector<double>> cache;
+  std::lock_guard<std::mutex> lock(mutex);
+  auto it = cache.find(name);
+  if (it == cache.end()) {
+    machine::SimMachine sim(program_pe_count(name), program_link(name));
+    it = cache.emplace(name, program_values(name, sim)).first;
+  }
+  return it->second;
+}
+
+FaultCaseResult program_case(const std::string& name,
+                             const machine::FaultPlan& plan) {
+  // Message faults only: the programs hold no recoverable agents, so a
+  // planned crash would (correctly) fail the run rather than test anything.
+  machine::FaultPlan p = plan;
+  p.crashes.clear();
+
+  const std::vector<double>& want = reference_values(name);
+
+  machine::SimMachine sim(program_pe_count(name), program_link(name));
+  machine::FaultMachine fault(sim, p, reliable_for_seed(p.seed));
+  const std::vector<double> got = program_values(name, fault);
+
+  FaultCaseResult r{name, plan.seed, false, ""};
+  r.frames_dropped = fault.frames_dropped();
+  r.frames_duplicated = fault.frames_duplicated();
+  r.frames_corrupted = fault.frames_corrupted();
+
+  // Bit-identical or bust: the reliability layer must mask faults
+  // completely, so even the last ulp has to match the fault-free run.
+  std::size_t mismatches = 0;
+  std::size_t first_bad = 0;
+  if (got.size() != want.size()) {
+    r.detail = "result size " + std::to_string(got.size()) + " != " +
+               std::to_string(want.size());
+    return r;
+  }
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    if (got[i] != want[i]) {
+      if (mismatches == 0) first_bad = i;
+      ++mismatches;
+    }
+  }
+  r.ok = mismatches == 0;
+  r.detail = r.ok ? "bit-identical to fault-free run"
+                  : std::to_string(mismatches) + " element(s) differ, first at [" +
+                        std::to_string(first_bad) + "]";
+  r.detail += " (dropped=" + std::to_string(r.frames_dropped) +
+              " duplicated=" + std::to_string(r.frames_duplicated) +
+              " corrupted=" + std::to_string(r.frames_corrupted) + ")";
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// recovery/ring: crash + checkpoint-restart.
+//
+// A recoverable "collector" agent makes kRingRounds laps over kRingPes PEs,
+// adding each PE's fixed RingNode::contribution to an accumulator it
+// carries.  A stationary recoverable "clerk" on every PE acknowledges each
+// visit.  Mid-run, one PE fail-stops (killing its resident agents and
+// volatile state) and later restarts from its last checkpoint.
+//
+// The exactly-once discipline under test (see navp/checkpoint.h):
+//   * the collector commits its state and checkpoints the PE at every
+//     hop-arrival boundary, BEFORE the visit's side effects — recovery
+//     replays the visit from the top;
+//   * per-visit work is idempotent under that replay (the accumulator is
+//     recomputed from the committed pre-visit value);
+//   * shutdown is a durable node flag set before the checkpoint, re-checked
+//     by clerks on both sides of their event wait, so a clerk re-created
+//     after the signal vanished still terminates.
+//
+// The final sum must equal kRingRounds * sum(contributions) EXACTLY.
+
+constexpr int kRingPes = 4;
+constexpr int kRingRounds = 32;
+constexpr std::size_t kRingHopBytes = 64;
+constexpr double kRingVisitCost = 2.5e-4;  // stretches the run past the crash
+
+const navp::EventKey kArrived{1, 0, 0};
+const navp::EventKey kResume{2, 0, 0};
+
+struct RingNode {
+  double contribution = 0.0;
+  std::int64_t served = 0;
+  bool shutting_down = false;
+  double result = 0.0;
+};
+
+void commit_collector(navp::Ctx& ctx, int step, double acc) {
+  support::ByteBuffer st;
+  st.put<std::int32_t>(step);
+  st.put<double>(acc);
+  ctx.commit(st);
+}
+
+/// Steps 0 .. rounds*n-1 are sum visits (step % n is the PE); steps
+/// rounds*n .. rounds*n+n-1 are the shutdown lap; the last step deposits the
+/// result on PE 0.  Starting `step`/`acc` come from the committed state, so
+/// the same function body serves first launch and every recovery.
+navp::Mission collector_mission(navp::Ctx ctx, navp::Checkpointer* cp,
+                                int rounds, int step, double acc) {
+  const int n = ctx.pe_count();
+  const int total = rounds * n;
+  while (step < total) {
+    const int target = step % n;
+    if (ctx.here() != target) co_await ctx.hop(target, kRingHopBytes);
+    // Arrival boundary: make this visit the recovery point, then do the
+    // (replay-idempotent) visit work.
+    commit_collector(ctx, step, acc);
+    cp->take(ctx.here());
+    ctx.compute(kRingVisitCost, "ring-visit");
+    acc += ctx.node<RingNode>().contribution;
+    ctx.signal_event(kArrived);
+    co_await ctx.wait_event(kResume);
+    ++step;
+  }
+  while (step < total + n) {
+    const int target = step - total;
+    if (ctx.here() != target) co_await ctx.hop(target, kRingHopBytes);
+    commit_collector(ctx, step, acc);
+    // Durable flag BEFORE the checkpoint: a clerk re-created after this
+    // point must see shutdown without needing the (volatile) signal.
+    ctx.node<RingNode>().shutting_down = true;
+    cp->take(ctx.here());
+    ctx.signal_event(kArrived);
+    ++step;
+  }
+  if (ctx.here() != 0) co_await ctx.hop(0, kRingHopBytes);
+  commit_collector(ctx, step, acc);
+  ctx.node<RingNode>().result = acc;
+  cp->take(0);
+}
+
+navp::Mission clerk_mission(navp::Ctx ctx) {
+  // Check the durable flag on BOTH sides of the wait: a clerk restored
+  // from a post-shutdown checkpoint must exit without a signal, and a
+  // clerk woken by the shutdown lap must not wait for another visit.
+  while (!ctx.node<RingNode>().shutting_down) {
+    co_await ctx.wait_event(kArrived);
+    if (ctx.node<RingNode>().shutting_down) break;
+    ctx.node<RingNode>().served += 1;
+    ctx.signal_event(kResume);
+  }
+}
+
+FaultCaseResult recovery_ring_case(const machine::FaultPlan& base) {
+  machine::FaultPlan plan = base;
+  if (plan.crashes.empty()) {
+    // Seed-derived schedule: crash PE 2 somewhere in the first half of the
+    // run, restart it 4ms (virtual) later.
+    machine::CrashSpec spec;
+    spec.pe = 2;
+    spec.at = 4e-3 + static_cast<double>(plan.seed % 5) * 2e-3;
+    spec.restart_after = 4e-3;
+    plan.crashes.push_back(spec);
+  }
+
+  machine::SimMachine sim(kRingPes);
+  machine::FaultMachine fault(sim, plan, reliable_for_seed(plan.seed));
+  navp::Runtime rt(fault);
+  navp::Checkpointer cp(rt);
+  cp.set_node_state_hooks(
+      [&rt](int pe, support::ByteBuffer& out) {
+        const RingNode& node = rt.node_store(pe).get<RingNode>();
+        out.put<double>(node.contribution);
+        out.put<std::int64_t>(node.served);
+        out.put<std::uint8_t>(node.shutting_down ? 1 : 0);
+        out.put<double>(node.result);
+      },
+      [&rt](int pe, support::ByteBuffer& in) {
+        RingNode& node = rt.node_store(pe).get<RingNode>();
+        node.contribution = in.get<double>();
+        node.served = in.get<std::int64_t>();
+        node.shutting_down = in.get<std::uint8_t>() != 0;
+        node.result = in.get<double>();
+      });
+  fault.set_crash_handler([&rt](int pe) { rt.crash_pe(pe); });
+  fault.set_restart_handler([&cp](int pe) { cp.restore(pe); });
+
+  double expected = 0.0;
+  for (int p = 0; p < kRingPes; ++p) {
+    // Halves are exact in binary, so the expected sum is too.
+    rt.node_store(p).emplace<RingNode>().contribution = 0.5 + p;
+    expected += 0.5 + p;
+  }
+  expected *= kRingRounds;
+
+  rt.register_recovery_factory(
+      "collector", [cp = &cp](navp::Ctx c, support::ByteBuffer st) {
+        const int step = static_cast<int>(st.get<std::int32_t>());
+        const double acc = st.get<double>();
+        return collector_mission(c, cp, kRingRounds, step, acc);
+      });
+  rt.register_recovery_factory(
+      "clerk",
+      [](navp::Ctx c, support::ByteBuffer) { return clerk_mission(c); });
+
+  support::ByteBuffer init;
+  init.put<std::int32_t>(0);
+  init.put<double>(0.0);
+  rt.inject_recoverable(0, "collector", "collector", init);
+  for (int p = 0; p < kRingPes; ++p) {
+    rt.inject_recoverable(p, "clerk-" + std::to_string(p), "clerk",
+                          support::ByteBuffer{});
+  }
+  // Pre-run checkpoints so a crash before the first visit can restore.
+  for (int p = 0; p < kRingPes; ++p) cp.take(p);
+
+  rt.run();
+
+  FaultCaseResult r{"recovery/ring", plan.seed, false, ""};
+  r.frames_dropped = fault.frames_dropped();
+  r.frames_duplicated = fault.frames_duplicated();
+  r.frames_corrupted = fault.frames_corrupted();
+  r.crashes_fired = fault.crashes_fired();
+  r.agents_recovered = rt.agents_recovered();
+
+  const double got = rt.node_store(0).get<RingNode>().result;
+  bool served_ok = true;
+  for (int p = 0; p < kRingPes; ++p) {
+    served_ok = served_ok && rt.node_store(p).get<RingNode>().served > 0;
+  }
+  const bool crash_exercised =
+      plan.crashes.empty() ||
+      (r.crashes_fired >= 1 && r.agents_recovered >= 1);
+  r.ok = got == expected && served_ok && crash_exercised;
+  r.detail = "sum=" + std::to_string(got) + " expected=" +
+             std::to_string(expected) + " crashes=" +
+             std::to_string(r.crashes_fired) + " recovered=" +
+             std::to_string(r.agents_recovered) + " killed=" +
+             std::to_string(rt.agents_killed());
+  return r;
+}
+
+}  // namespace
+
+std::vector<std::string> fault_case_names() {
+  return {"mm/dsc1d",  "mm/pipe1d",    "mm/phase1d", "mm/summa1d",
+          "mm/dsc2d",  "mm/pipe2d",    "mm/phase2d", "mm/gentleman",
+          "mm/cannon", "mm/summa",     "mm/doall",   "jacobi/dsc",
+          "jacobi/pipeline", "jacobi/dataflow", "lu/dsc", "lu/pipeline",
+          "recovery/ring"};
+}
+
+FaultCaseResult run_fault_case(const std::string& name,
+                               const machine::FaultPlan& plan) {
+  try {
+    if (name == "recovery/ring") return recovery_ring_case(plan);
+    return program_case(name, plan);
+  } catch (const support::ConfigError&) {
+    throw;  // bad case name / plan: caller error, not a fault finding
+  } catch (const std::exception& e) {
+    return FaultCaseResult{name, plan.seed, false, e.what()};
+  }
+}
+
+FaultSweepReport fault_sweep(std::uint64_t first_seed, int num_seeds,
+                             machine::FaultPlan base, bool verbose,
+                             const std::string& case_filter) {
+  std::vector<std::string> cases;
+  for (const auto& name : fault_case_names()) {
+    if (case_filter.empty() || name.find(case_filter) != std::string::npos) {
+      cases.push_back(name);
+    }
+  }
+  NAVCPP_CHECK(!cases.empty(),
+               "no fault case matches filter '" + case_filter + "'");
+
+  FaultSweepReport report;
+  for (int i = 0; i < num_seeds; ++i) {
+    base.seed = first_seed + static_cast<std::uint64_t>(i);
+    for (const auto& name : cases) {
+      const FaultCaseResult r = run_fault_case(name, base);
+      ++report.cases_run;
+      if (!r.ok) {
+        report.failed = true;
+        report.first_failure = r;
+        report.seeds_run = i + 1;
+        return report;
+      }
+    }
+    if (verbose) {
+      std::printf("seed %llu: %zu case(s) ok\n",
+                  static_cast<unsigned long long>(base.seed), cases.size());
+    }
+  }
+  report.seeds_run = num_seeds;
+  return report;
+}
+
+}  // namespace navcpp::harness

@@ -1,0 +1,74 @@
+// The fault workload suite: every distributed program in the repo run on a
+// FaultMachine-wrapped SimMachine with message faults (drop / duplicate /
+// corrupt) injected at frame granularity, and verified BIT-IDENTICAL to a
+// fault-free run of the same program.  The reliability layer
+// (net::ReliableChannel, auto-installed by navp::Runtime) must mask every
+// injected fault completely — any residual difference is a protocol bug.
+//
+// On top of the 16 program cases, "recovery/ring" exercises the crash half
+// of the fault model: a recoverable collector agent ring-sums node
+// contributions across 4 PEs while one PE fail-stops mid-run and restarts
+// from its last checkpoint (navp/checkpoint.h).  The scenario demonstrates
+// the commit-at-arrival / idempotent-replay discipline and verifies the
+// final sum exactly.
+//
+// Like the chaos suite, everything is deterministic in (case, FaultPlan
+// seed), so a failure is replayable from the seed alone:
+//
+//   navcpp_cli fault --seed <s>              # replay one seed, all cases
+//   navcpp_cli fault --seed <s> --case mm/phase2d
+//
+// Used by tools/fault_sweep.cpp, the `navcpp_cli fault` subcommand, and the
+// fault tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "machine/fault_machine.h"
+
+namespace navcpp::harness {
+
+/// Names of all fault workloads: the 16 program cases ("mm/phase1d",
+/// "jacobi/dataflow", ...) plus "recovery/ring".
+std::vector<std::string> fault_case_names();
+
+struct FaultCaseResult {
+  std::string name;
+  std::uint64_t seed = 0;
+  bool ok = false;
+  std::string detail;  ///< comparison summary, or the failure text
+  // Injector statistics (what the run actually had to survive).
+  std::uint64_t frames_dropped = 0;
+  std::uint64_t frames_duplicated = 0;
+  std::uint64_t frames_corrupted = 0;
+  std::uint64_t crashes_fired = 0;
+  std::uint64_t agents_recovered = 0;
+};
+
+/// Run one workload under `plan` (seeded by `plan.seed`) and verify it.
+/// Program cases ignore plan.crashes (programs hold no recoverable agents;
+/// crash recovery is "recovery/ring"'s job) and must match the fault-free
+/// reference exactly.  "recovery/ring" uses plan.crashes as given, or a
+/// seed-derived one-crash schedule when the plan has none.  Unknown names
+/// throw ConfigError.
+FaultCaseResult run_fault_case(const std::string& name,
+                               const machine::FaultPlan& plan);
+
+struct FaultSweepReport {
+  int seeds_run = 0;
+  int cases_run = 0;
+  bool failed = false;
+  FaultCaseResult first_failure;  ///< valid when failed
+};
+
+/// Run every case whose name contains `case_filter` (empty = all) across
+/// `num_seeds` consecutive seeds starting at `first_seed`.  Stops at the
+/// first failure so its seed can be replayed.  `verbose` prints per-seed
+/// progress lines to stdout.
+FaultSweepReport fault_sweep(std::uint64_t first_seed, int num_seeds,
+                             machine::FaultPlan base, bool verbose,
+                             const std::string& case_filter = "");
+
+}  // namespace navcpp::harness

@@ -105,6 +105,14 @@ class ChaosMachine final : public Engine {
   }
   void fail(std::exception_ptr error) noexcept override { inner_.fail(error); }
   void run() override { inner_.run(); }
+  // Timers pass through untouched: deferring a retransmit timeout would only
+  // re-jitter what is already jittered, and the reliability layer depends on
+  // deadlines being honored for its liveness argument.
+  void post_after(int pe, double delay_seconds,
+                  support::MoveFunction action) override {
+    inner_.post_after(pe, delay_seconds, std::move(action));
+  }
+  Engine* decorated() override { return &inner_; }
 
   Engine& inner() { return inner_; }
   const ChaosConfig& config() const { return cfg_; }

@@ -49,6 +49,15 @@ class Engine {
   virtual void transmit(int src, int dst, std::size_t bytes,
                         support::MoveFunction on_delivery) = 0;
 
+  /// Enqueue `action` to run on `pe` no earlier than `delay_seconds` from
+  /// the PE's current time (virtual seconds on the simulated backend,
+  /// wall-clock on the threaded one).  This is the timer primitive the
+  /// reliability layer builds retransmit timeouts on; ordering between a
+  /// timer and other actions on the same PE is backend discretion beyond
+  /// "not before the deadline".
+  virtual void post_after(int pe, double delay_seconds,
+                          support::MoveFunction action) = 0;
+
   /// Charge `seconds` of compute time to `pe`.  Advances the virtual clock
   /// in the simulated backend; a no-op in the threaded backend (where real
   /// computation takes real time).
@@ -84,6 +93,11 @@ class Engine {
   /// Drive the machine until quiescence.  Rethrows the first exception an
   /// action raised; throws support::DeadlockError on a stall.
   virtual void run() = 0;
+
+  /// The next engine in a decorator chain (ChaosMachine, FaultMachine), or
+  /// nullptr for a terminal backend.  Lets the runtime discover injected
+  /// fault layers regardless of how decorators are stacked.
+  virtual Engine* decorated() { return nullptr; }
 };
 
 }  // namespace navcpp::machine

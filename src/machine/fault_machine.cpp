@@ -1,0 +1,156 @@
+#include "machine/fault_machine.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "support/error.h"
+
+namespace navcpp::machine {
+
+FaultMachine::FaultMachine(Engine& inner, FaultPlan plan,
+                           net::ReliableConfig reliable)
+    : inner_(inner),
+      plan_(std::move(plan)),
+      reliable_(reliable),
+      rng_(plan_.seed),
+      crashed_(static_cast<std::size_t>(inner.pe_count()), 0) {
+  auto check_prob = [](double p, const char* name) {
+    NAVCPP_CHECK(p >= 0.0 && p <= 1.0,
+                 std::string(name) + " must be a probability in [0, 1]");
+  };
+  check_prob(plan_.drop_prob, "drop_prob");
+  check_prob(plan_.duplicate_prob, "duplicate_prob");
+  check_prob(plan_.corrupt_prob, "corrupt_prob");
+  for (const CrashSpec& c : plan_.crashes) {
+    NAVCPP_CHECK(c.pe >= 0 && c.pe < inner.pe_count(),
+                 "CrashSpec.pe " + std::to_string(c.pe) + " out of range");
+    NAVCPP_CHECK(c.at >= 0.0, "CrashSpec.at must be >= 0");
+  }
+}
+
+void FaultMachine::transmit(int src, int dst, std::size_t bytes,
+                            support::MoveFunction on_delivery) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (crashed_[static_cast<std::size_t>(src)] != 0 ||
+        crashed_[static_cast<std::size_t>(dst)] != 0) {
+      // A downed endpoint: the payload goes to limbo instead of the wire.
+      // Kept alive (a destroyed closure would tear down its agent stack
+      // while the runtime still tracks it) and destroyed at teardown.
+      limbo_.push_back(std::move(on_delivery));
+      ++limboed_;
+      return;
+    }
+  }
+  inner_.transmit(src, dst, bytes, std::move(on_delivery));
+}
+
+net::FrameFate FaultMachine::decide_frame(int src, int dst) {
+  net::FrameFate fate;
+  if (src == dst) return fate;  // local traffic is never faulted
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Always draw all three so the RNG stream stays aligned per call no
+  // matter which faults fire (replayability of the decision trace).
+  const bool drop = rng_.uniform() < plan_.drop_prob;
+  const bool dup = rng_.uniform() < plan_.duplicate_prob;
+  const bool corrupt = rng_.uniform() < plan_.corrupt_prob;
+  fate.drop = drop;
+  fate.corrupt = corrupt;
+  fate.copies = dup ? 2 : 1;
+  if (drop) ++dropped_;
+  if (dup) ++duplicated_;
+  if (corrupt) ++corrupted_;
+  log_ += "f" + std::to_string(src) + "-" + std::to_string(dst);
+  if (drop) log_ += "D";
+  if (dup) log_ += "2";
+  if (corrupt) log_ += "C";
+  log_ += ";";
+  return fate;
+}
+
+bool FaultMachine::is_down(int pe) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return crashed_[static_cast<std::size_t>(pe)] != 0;
+}
+
+void FaultMachine::arm_crashes() {
+  if (crashes_armed_) return;
+  crashes_armed_ = true;
+  for (const CrashSpec& spec : plan_.crashes) {
+    const double delay = std::max(0.0, spec.at - inner_.now(spec.pe));
+    inner_.post_after(spec.pe, delay, [this, spec]() {
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        crashed_[static_cast<std::size_t>(spec.pe)] = 1;
+        ++crashes_fired_;
+        log_ += "X" + std::to_string(spec.pe) + ";";
+      }
+      if (crash_handler_) crash_handler_(spec.pe);
+      if (spec.restart_after >= 0.0) {
+        inner_.post_after(spec.pe, spec.restart_after, [this, spec]() {
+          {
+            std::lock_guard<std::mutex> lock(mutex_);
+            crashed_[static_cast<std::size_t>(spec.pe)] = 0;
+            log_ += "R" + std::to_string(spec.pe) + ";";
+          }
+          if (restart_handler_) restart_handler_(spec.pe);
+        });
+      }
+    });
+  }
+}
+
+void FaultMachine::run() {
+  arm_crashes();
+  inner_.run();
+}
+
+std::uint64_t FaultMachine::frames_dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+std::uint64_t FaultMachine::frames_duplicated() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return duplicated_;
+}
+
+std::uint64_t FaultMachine::frames_corrupted() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return corrupted_;
+}
+
+std::uint64_t FaultMachine::messages_limboed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return limboed_;
+}
+
+std::uint64_t FaultMachine::crashes_fired() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return crashes_fired_;
+}
+
+std::string FaultMachine::trace_summary() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  os << "seed=" << plan_.seed << " dropped=" << dropped_ << " duplicated="
+     << duplicated_ << " corrupted=" << corrupted_ << " limboed=" << limboed_
+     << " crashes=" << crashes_fired_ << "\n"
+     << log_;
+  return os.str();
+}
+
+void FaultMachine::reset_trace(std::uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  plan_.seed = seed;
+  rng_.reseed(seed);
+  log_.clear();
+  dropped_ = duplicated_ = corrupted_ = limboed_ = crashes_fired_ = 0;
+  // limbo_ is NOT cleared here: parked payloads own agent stacks that the
+  // runtime of the previous run may still sweep; they die with the machine.
+  crashes_armed_ = false;
+  std::fill(crashed_.begin(), crashed_.end(), 0);
+}
+
+}  // namespace navcpp::machine

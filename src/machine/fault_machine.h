@@ -1,0 +1,158 @@
+// FaultMachine: a seeded, deterministic fault injector over any Engine.
+//
+// ChaosMachine (chaos_machine.h) perturbs *orderings* within the Engine
+// contract; FaultMachine deliberately steps outside it and models the
+// failures a production interconnect and fleet would see:
+//
+//  * message faults — drop, duplication, payload corruption — injected at
+//    *frame* granularity through the net::FrameFaults interface.  Engine
+//    payloads are one-shot move-only closures (often owning a migrating
+//    agent's coroutine stack), so the injector never touches payloads
+//    directly: net::ReliableChannel banks the payload sender-side and asks
+//    decide_frame() for the fate of each small copyable frame it puts on
+//    the wire.  Dropping a frame loses nothing but time; the protocol
+//    retransmits.  A FaultMachine without a ReliableChannel on top delivers
+//    faithfully (transmit passes through), so programs opt into the fault
+//    model by routing traffic through the reliability layer — which
+//    navp::Runtime does automatically when it finds a FaultMachine in the
+//    engine decorator chain.
+//
+//  * PE crashes — fail-stop at a planned virtual time with optional restart.
+//    While a PE is down, transmit() to or from it parks the payload in a
+//    limbo list (closures are kept alive and destroyed at teardown, never
+//    executed — mirroring a host whose memory vanished), and inbound frames
+//    are black-holed by is_down().  Crash and restart handlers let the
+//    runtime kill resident agents and restore from a checkpoint
+//    (navp/checkpoint.h).  The crash model is fail-stop with volatile
+//    memory: anything delivered after the last checkpoint is lost and must
+//    be re-created by recovery; sender-side retain buffers are modeled as
+//    surviving (stable) storage.
+//
+// All randomness comes from one seeded support::Rng consulted in call
+// order, so on the sim backend a (program, FaultPlan) pair replays
+// bit-identically; trace_summary() certifies schedules byte-for-byte, like
+// ChaosMachine's.  Composable: FaultMachine(ChaosMachine(SimMachine)) and
+// ChaosMachine(FaultMachine(SimMachine)) both work — decorated() lets the
+// runtime find the fault layer anywhere in the chain.
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "machine/engine.h"
+#include "net/reliable_channel.h"
+#include "support/rng.h"
+
+namespace navcpp::machine {
+
+/// One planned fail-stop crash.
+struct CrashSpec {
+  int pe = -1;
+  double at = 0.0;             ///< virtual seconds (sim) / wall (threaded)
+  double restart_after = -1.0; ///< seconds after the crash; < 0 = no restart
+};
+
+/// Declarative description of the faults to inject.  Probabilities are per
+/// frame and independent; local (src == dst) traffic is never faulted.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  double drop_prob = 0.0;
+  double duplicate_prob = 0.0;
+  double corrupt_prob = 0.0;
+  std::vector<CrashSpec> crashes;
+};
+
+class FaultMachine final : public Engine, public net::FrameFaults {
+ public:
+  FaultMachine(Engine& inner, FaultPlan plan,
+               net::ReliableConfig reliable = net::ReliableConfig{});
+
+  // --- Engine ------------------------------------------------------------
+  int pe_count() const override { return inner_.pe_count(); }
+  void post(int pe, support::MoveFunction action) override {
+    inner_.post(pe, std::move(action));
+  }
+  void post_after(int pe, double delay_seconds,
+                  support::MoveFunction action) override {
+    inner_.post_after(pe, delay_seconds, std::move(action));
+  }
+  void transmit(int src, int dst, std::size_t bytes,
+                support::MoveFunction on_delivery) override;
+  void charge(int pe, double seconds) override { inner_.charge(pe, seconds); }
+  double now(int pe) const override { return inner_.now(pe); }
+  double finish_time() const override { return inner_.finish_time(); }
+  void task_started() override { inner_.task_started(); }
+  void task_finished() override { inner_.task_finished(); }
+  void set_blocked_reporter(std::function<std::string()> reporter) override {
+    inner_.set_blocked_reporter(std::move(reporter));
+  }
+  void fail(std::exception_ptr error) noexcept override { inner_.fail(error); }
+  void run() override;
+  Engine* decorated() override { return &inner_; }
+
+  // --- net::FrameFaults --------------------------------------------------
+  net::FrameFate decide_frame(int src, int dst) override;
+  bool is_down(int pe) const override;
+
+  // --- wiring ------------------------------------------------------------
+  Engine& inner() { return inner_; }
+  const FaultPlan& plan() const { return plan_; }
+  /// The protocol config navp::Runtime uses when it auto-installs a
+  /// ReliableChannel over this machine.
+  const net::ReliableConfig& reliable_config() const { return reliable_; }
+
+  /// Invoked on the crashed PE the moment it goes down (kill resident
+  /// agents, void volatile state).  Runs as an engine action on that PE.
+  void set_crash_handler(std::function<void(int)> handler) {
+    crash_handler_ = std::move(handler);
+  }
+  /// Invoked on the PE when it restarts (restore from checkpoint).
+  void set_restart_handler(std::function<void(int)> handler) {
+    restart_handler_ = std::move(handler);
+  }
+
+  // --- statistics / replay ----------------------------------------------
+  std::uint64_t frames_dropped() const;
+  std::uint64_t frames_duplicated() const;
+  std::uint64_t frames_corrupted() const;
+  /// transmit() payloads parked because an endpoint was down.
+  std::uint64_t messages_limboed() const;
+  std::uint64_t crashes_fired() const;
+
+  /// One token per decision ("f<src>-<dst>" plus D=drop, 2=dup, C=corrupt;
+  /// "X<pe>" crash, "R<pe>" restart).  Byte-equal across same-seed sim runs.
+  std::string trace_summary() const;
+  /// Clear the log and counters and reseed the RNG (machine reuse).
+  void reset_trace(std::uint64_t seed);
+
+ private:
+  void arm_crashes();
+
+  Engine& inner_;
+  FaultPlan plan_;
+  net::ReliableConfig reliable_;
+
+  mutable std::mutex mutex_;  // guards rng_, log_, crashed_, limbo_, counters
+  support::Rng rng_;
+  std::string log_;
+  std::vector<char> crashed_;
+  // Payloads addressed to/from a downed PE.  Destroyed (never run) at
+  // teardown: destruction releases captured coroutine frames, exactly like
+  // the failure-drain path.
+  std::vector<support::MoveFunction> limbo_;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t duplicated_ = 0;
+  std::uint64_t corrupted_ = 0;
+  std::uint64_t limboed_ = 0;
+  std::uint64_t crashes_fired_ = 0;
+  bool crashes_armed_ = false;
+
+  std::function<void(int)> crash_handler_;
+  std::function<void(int)> restart_handler_;
+};
+
+}  // namespace navcpp::machine

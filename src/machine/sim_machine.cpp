@@ -36,6 +36,19 @@ void SimMachine::post(int pe, support::MoveFunction action) {
       });
 }
 
+void SimMachine::post_after(int pe, double delay_seconds,
+                            support::MoveFunction action) {
+  check_pe(pe);
+  NAVCPP_CHECK(delay_seconds >= 0.0, "post_after needs a non-negative delay");
+  const sim::Time when = clock_[static_cast<std::size_t>(pe)] + delay_seconds;
+  queue_.schedule(
+      when, [this, pe, when, action = std::move(action)]() mutable {
+        auto& clk = clock_[static_cast<std::size_t>(pe)];
+        clk = std::max(clk, when);
+        action();
+      });
+}
+
 void SimMachine::transmit(int src, int dst, std::size_t bytes,
                           support::MoveFunction on_delivery) {
   check_pe(src);
@@ -75,6 +88,15 @@ double SimMachine::finish_time() const {
 double SimMachine::busy_time(int pe) const {
   check_pe(pe);
   return busy_[static_cast<std::size_t>(pe)];
+}
+
+void SimMachine::reset() {
+  NAVCPP_CHECK(queue_.empty(), "SimMachine::reset with pending events");
+  NAVCPP_CHECK(tasks_live_ == 0, "SimMachine::reset with live tasks");
+  std::fill(clock_.begin(), clock_.end(), sim::kTimeZero);
+  std::fill(busy_.begin(), busy_.end(), 0.0);
+  network_.reset();
+  ran_ = false;
 }
 
 void SimMachine::run() {

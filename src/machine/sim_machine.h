@@ -33,6 +33,8 @@ class SimMachine final : public Engine {
   int pe_count() const override { return static_cast<int>(clock_.size()); }
 
   void post(int pe, support::MoveFunction action) override;
+  void post_after(int pe, double delay_seconds,
+                  support::MoveFunction action) override;
   void transmit(int src, int dst, std::size_t bytes,
                 support::MoveFunction on_delivery) override;
   void charge(int pe, double seconds) override;
@@ -56,6 +58,12 @@ class SimMachine final : public Engine {
 
   /// Total busy (non-idle) virtual seconds accumulated by `pe`.
   double busy_time(int pe) const;
+
+  /// Rewind the machine to its freshly-constructed state for reuse: PE
+  /// clocks and busy counters to zero, network model fully reset (stats AND
+  /// NIC occupancy — see net::NetworkModel::reset()).  Requires an empty
+  /// event queue, i.e. call it between runs, not during one.
+  void reset();
 
  private:
   void check_pe(int pe) const;

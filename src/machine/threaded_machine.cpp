@@ -1,5 +1,6 @@
 #include "machine/threaded_machine.h"
 
+#include <algorithm>
 #include <chrono>
 #include <memory>
 #include <sstream>
@@ -26,6 +27,14 @@ ThreadedMachine::~ThreadedMachine() {
   for (auto& w : workers_) {
     if (w.joinable()) w.join();
   }
+  if (timer_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(timer_mutex_);
+      timers_stop_ = true;
+    }
+    timer_cv_.notify_all();
+    timer_thread_.join();
+  }
 }
 
 void ThreadedMachine::check_pe(int pe) const {
@@ -40,6 +49,60 @@ void ThreadedMachine::post(int pe, support::MoveFunction action) {
   // dropping the action destroys its captures, which is exactly what the
   // post-failure drain would have done.
   (void)queues_[static_cast<std::size_t>(pe)]->push(std::move(action));
+}
+
+void ThreadedMachine::post_after(int pe, double delay_seconds,
+                                 support::MoveFunction action) {
+  check_pe(pe);
+  NAVCPP_CHECK(delay_seconds >= 0.0, "post_after needs a non-negative delay");
+  const auto when =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(delay_seconds));
+  {
+    std::lock_guard<std::mutex> lock(timer_mutex_);
+    timers_.push_back(Timer{when, timer_seq_++, pe, std::move(action)});
+    std::push_heap(timers_.begin(), timers_.end(), timer_later);
+    timers_pending_.fetch_add(1, std::memory_order_relaxed);
+  }
+  timer_cv_.notify_all();
+}
+
+bool ThreadedMachine::timer_later(const Timer& a, const Timer& b) {
+  if (a.when != b.when) return a.when > b.when;
+  return a.seq > b.seq;
+}
+
+void ThreadedMachine::timer_loop() {
+  std::unique_lock<std::mutex> lock(timer_mutex_);
+  while (!timers_stop_) {
+    if (timers_.empty()) {
+      timer_cv_.wait(lock);
+      continue;
+    }
+    const auto next = timers_.front().when;
+    if (std::chrono::steady_clock::now() < next) {
+      // Wake early if stopped or an earlier deadline arrives.
+      timer_cv_.wait_until(lock, next, [&] {
+        return timers_stop_ ||
+               (!timers_.empty() && timers_.front().when < next);
+      });
+      continue;
+    }
+    std::pop_heap(timers_.begin(), timers_.end(), timer_later);
+    Timer due = std::move(timers_.back());
+    timers_.pop_back();
+    lock.unlock();
+    // post() outside the lock: a rejected push (machine stopping) simply
+    // destroys the action, same as any other shutdown stray.
+    post(due.pe, std::move(due.action));
+    timers_pending_.fetch_sub(1, std::memory_order_relaxed);
+    lock.lock();
+  }
+  // Unfired timers are dropped; destroying the actions releases captures.
+  timers_pending_.fetch_sub(static_cast<std::int64_t>(timers_.size()),
+                            std::memory_order_relaxed);
+  timers_.clear();
 }
 
 void ThreadedMachine::transmit(int src, int dst, std::size_t bytes,
@@ -132,6 +195,11 @@ void ThreadedMachine::run() {
   for (int pe = 0; pe < pe_count(); ++pe) {
     workers_.emplace_back([this, pe] { worker_loop(pe); });
   }
+  {
+    std::lock_guard<std::mutex> lock(timer_mutex_);
+    timers_stop_ = false;
+  }
+  timer_thread_ = std::thread([this] { timer_loop(); });
 
   bool deadlocked = false;
   {
@@ -154,8 +222,12 @@ void ThreadedMachine::run() {
         // single action running longer than the timeout (one long GEMM
         // block, say) must not be mistaken for a stall: a worker with an
         // action in flight is making progress by definition.  Re-arm and
-        // keep waiting.
-        if (actions_in_flight_ > 0) continue;
+        // keep waiting.  Pending post_after timers (retransmit timeouts)
+        // likewise count as future progress, not a stall.
+        if (actions_in_flight_ > 0 ||
+            timers_pending_.load(std::memory_order_relaxed) > 0) {
+          continue;
+        }
         // No action executing, none completed, and no task finished for a
         // full timeout window: every remaining task is blocked.
         deadlocked = true;
@@ -163,6 +235,13 @@ void ThreadedMachine::run() {
       }
     }
   }
+
+  {
+    std::lock_guard<std::mutex> lock(timer_mutex_);
+    timers_stop_ = true;
+  }
+  timer_cv_.notify_all();
+  timer_thread_.join();
 
   for (auto& q : queues_) q->close();
   for (auto& w : workers_) w.join();

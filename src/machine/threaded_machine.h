@@ -15,6 +15,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
@@ -42,6 +43,8 @@ class ThreadedMachine final : public Engine {
   int pe_count() const override { return static_cast<int>(queues_.size()); }
 
   void post(int pe, support::MoveFunction action) override;
+  void post_after(int pe, double delay_seconds,
+                  support::MoveFunction action) override;
   void transmit(int src, int dst, std::size_t bytes,
                 support::MoveFunction on_delivery) override;
   void charge(int /*pe*/, double /*seconds*/) override {}
@@ -82,7 +85,18 @@ class ThreadedMachine final : public Engine {
   }
 
  private:
+  struct Timer {
+    std::chrono::steady_clock::time_point when;
+    std::uint64_t seq;  // FIFO among equal deadlines
+    int pe;
+    support::MoveFunction action;
+  };
+
+  // push_heap/pop_heap comparator: min-heap on (deadline, seq).
+  static bool timer_later(const Timer& a, const Timer& b);
+
   void worker_loop(int pe);
+  void timer_loop();
   void check_pe(int pe) const;
   void record_exception();
 
@@ -100,6 +114,17 @@ class ThreadedMachine final : public Engine {
 
   std::function<std::string()> blocked_reporter_;
   double stall_timeout_s_ = 0.0;
+
+  // post_after timers: a binary heap serviced by one timer thread that runs
+  // only inside run().  timers_pending_ is atomic so the stall watchdog can
+  // consult it without nesting timer_mutex_ under state_mutex_.
+  std::mutex timer_mutex_;
+  std::condition_variable timer_cv_;
+  std::vector<Timer> timers_;
+  std::uint64_t timer_seq_ = 0;
+  bool timers_stop_ = false;
+  std::thread timer_thread_;
+  std::atomic<std::int64_t> timers_pending_{0};
 
   support::Stopwatch clock_;
   double finish_time_ = 0.0;

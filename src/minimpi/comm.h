@@ -64,7 +64,9 @@ class Comm {
     }
     navp::Runtime& rt = ctx_.runtime();
     Message msg{rank_, tag, std::move(data), wire_bytes};
-    rt.engine().transmit(
+    // ship() routes through the reliability layer when a fault injector is
+    // present, so MPI sends get the same exactly-once masking as hops.
+    rt.ship(
         rank_, dst, wire_bytes,
         [&rt, dst, msg = std::move(msg)]() mutable {
           // Runs on the destination PE: deposit, then wake a waiter.

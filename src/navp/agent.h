@@ -64,6 +64,13 @@ struct AgentState : std::enable_shared_from_this<AgentState> {
   Runtime* rt = nullptr;
   std::optional<EventKey> blocked_on;  ///< set while parked on an event
   std::coroutine_handle<> root;        ///< outermost frame; null once dead
+  /// True from hop-send until hop-delivery: the agent is on the wire, not
+  /// resident anywhere.  A PE crash kills resident agents only; in-flight
+  /// ones arrive (possibly after retransmission) once the PE restarts.
+  bool in_flight = false;
+  /// Non-empty for agents injected via Runtime::inject_recoverable: the key
+  /// of the recovery record that checkpoint/restore uses to re-inject them.
+  std::string recoverable_name;
 
   /// Destroy the whole suspended coroutine stack (idempotent).
   void destroy_stack() noexcept {
@@ -166,10 +173,13 @@ class OwnedResume {
   }
 
   /// Resume the coroutine, relinquishing ownership (the frame now either
-  /// self-destroys at final suspend or parks elsewhere).
+  /// self-destroys at final suspend or parks elsewhere).  If the agent was
+  /// killed while this resume sat in a queue (PE crash tearing down
+  /// residents), the frame is already gone: the wake is silently dropped.
   void operator()() {
     auto h = handle_;
     handle_ = nullptr;
+    if (agent_ && !agent_->root) return;
     h.resume();
   }
 

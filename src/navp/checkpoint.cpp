@@ -1,0 +1,113 @@
+#include "navp/checkpoint.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/error.h"
+
+namespace navcpp::navp {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4e564350;  // "NVCP"
+
+void put_string(support::ByteBuffer& buf, const std::string& s) {
+  buf.put_span(std::span<const char>(s.data(), s.size()));
+}
+
+std::string get_string(support::ByteBuffer& buf) {
+  std::vector<char> v = buf.get_vector<char>();
+  return std::string(v.begin(), v.end());
+}
+
+}  // namespace
+
+const support::ByteBuffer& Checkpointer::take(int pe) {
+  support::ByteBuffer buf;
+  buf.put<std::uint32_t>(kMagic);
+  buf.put<std::int32_t>(pe);
+
+  // Banked event counts, deterministic (tag, a, b) order.
+  const auto banked = rt_.events(pe).banked();
+  buf.put<std::uint64_t>(banked.size());
+  for (const auto& [key, count] : banked) {
+    buf.put<std::int32_t>(key.tag);
+    buf.put<std::int32_t>(key.a);
+    buf.put<std::int32_t>(key.b);
+    buf.put<std::uint64_t>(count);
+  }
+
+  // Application node state via the hook, length-framed.
+  support::ByteBuffer node;
+  if (save_node_) save_node_(pe, node);
+  buf.put_span(node.bytes());
+
+  // Recoverable agents whose last committed position is this PE.
+  const auto agents = rt_.recoverables_on(pe);
+  buf.put<std::uint64_t>(agents.size());
+  for (const auto& d : agents) {
+    put_string(buf, d.name);
+    put_string(buf, d.factory);
+    buf.put<std::int32_t>(d.pe);
+    buf.put_span(d.state.bytes());
+  }
+
+  auto [it, unused] = snapshots_.insert_or_assign(pe, std::move(buf));
+  return it->second;
+}
+
+bool Checkpointer::has_checkpoint(int pe) const {
+  return snapshots_.find(pe) != snapshots_.end();
+}
+
+int Checkpointer::restore(int pe) {
+  auto it = snapshots_.find(pe);
+  NAVCPP_CHECK(it != snapshots_.end(),
+               "no checkpoint taken for PE " + std::to_string(pe));
+  return restore_from(pe, it->second);  // copy: restore re-reads from zero
+}
+
+int Checkpointer::restore_from(int pe, support::ByteBuffer snapshot) {
+  NAVCPP_CHECK(snapshot.get<std::uint32_t>() == kMagic,
+               "not a checkpoint buffer");
+  const std::int32_t snap_pe = snapshot.get<std::int32_t>();
+  NAVCPP_CHECK(snap_pe == pe, "checkpoint is for PE " +
+                                  std::to_string(snap_pe) + ", not " +
+                                  std::to_string(pe));
+
+  // Events: crash already cleared the table (Runtime::crash_pe); clear
+  // again defensively, then re-bank the snapshotted counts.
+  EventTable& events = rt_.events(pe);
+  events.clear();
+  const std::uint64_t n_events = snapshot.get<std::uint64_t>();
+  for (std::uint64_t i = 0; i < n_events; ++i) {
+    EventKey key;
+    key.tag = snapshot.get<std::int32_t>();
+    key.a = snapshot.get<std::int32_t>();
+    key.b = snapshot.get<std::int32_t>();
+    events.set_banked(key, snapshot.get<std::uint64_t>());
+  }
+
+  // Node variables.
+  std::vector<std::byte> node_bytes = snapshot.get_vector<std::byte>();
+  if (restore_node_) {
+    support::ByteBuffer node(std::move(node_bytes));
+    restore_node_(pe, node);
+  }
+
+  // Agents: re-inject each dead, unfinished recoverable at its last commit.
+  int injected = 0;
+  const std::uint64_t n_agents = snapshot.get<std::uint64_t>();
+  for (std::uint64_t i = 0; i < n_agents; ++i) {
+    Runtime::RecoverableDescriptor d;
+    d.name = get_string(snapshot);
+    d.factory = get_string(snapshot);
+    d.pe = snapshot.get<std::int32_t>();
+    d.state = support::ByteBuffer(snapshot.get_vector<std::byte>());
+    if (rt_.restore_descriptor(d)) ++injected;
+  }
+  return injected;
+}
+
+}  // namespace navcpp::navp

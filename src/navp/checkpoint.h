@@ -1,0 +1,77 @@
+// Checkpoint/recovery for NavP PEs.
+//
+// The fault model (machine/fault_machine.h) is fail-stop with volatile
+// memory: when a PE crashes, its resident agents, banked events, and node
+// variables vanish.  A Checkpointer snapshots a PE's recoverable state into
+// a support::ByteBuffer and restores it when the PE comes back:
+//
+//   * banked event counts — serialized directly (EventTable::banked());
+//     parked *waiters* are not serialized: a waiter is a suspended
+//     coroutine, and recovery re-creates it by re-running its agent;
+//   * node variables — NodeStore is a type-indexed store of arbitrary C++
+//     objects, so the application provides save/restore hooks that
+//     serialize whatever it keeps there;
+//   * resident recoverable agents — their Runtime::RecoverableDescriptor
+//     (factory key + last Ctx::commit()ed state), re-injected on restore
+//     unless the agent's current incarnation is still alive (it hopped
+//     away, or was in flight when the PE died) or already finished.
+//
+// The consistency contract is the classic one: a checkpoint captures a PE
+// at an agent's hop-arrival boundary, *before* the visit's side effects.
+// Recovery rolls the PE back to that boundary and replays the visit.
+// Effects delivered to the PE after the checkpoint and before the crash are
+// lost — exactly-once overall therefore requires the discipline that
+// recovery_suite's ring scenario demonstrates: commit + checkpoint on
+// arrival, make per-visit work idempotent under replay, and have stationary
+// agents re-check durable node flags instead of trusting in-memory wakes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "navp/runtime.h"
+#include "support/bytebuffer.h"
+
+namespace navcpp::navp {
+
+class Checkpointer {
+ public:
+  /// Hooks that (de)serialize the application's node variables for one PE.
+  /// Either may be empty if the application keeps nothing / restores
+  /// manually.
+  using SaveNodeState = std::function<void(int pe, support::ByteBuffer& out)>;
+  using RestoreNodeState =
+      std::function<void(int pe, support::ByteBuffer& in)>;
+
+  explicit Checkpointer(Runtime& rt) : rt_(rt) {}
+
+  void set_node_state_hooks(SaveNodeState save, RestoreNodeState restore) {
+    save_node_ = std::move(save);
+    restore_node_ = std::move(restore);
+  }
+
+  /// Snapshot `pe` now and retain it as the PE's latest checkpoint.
+  /// Returns the serialized snapshot (also kept internally for restore()).
+  const support::ByteBuffer& take(int pe);
+
+  /// Restore `pe` from its latest checkpoint: clears the event table,
+  /// re-banks the snapshotted counts, runs the node-restore hook, and
+  /// re-injects every dead, unfinished recoverable agent the snapshot
+  /// holds.  Returns the number of agents re-injected.
+  int restore(int pe);
+
+  /// Restore from an explicit snapshot instead of the retained one.
+  int restore_from(int pe, support::ByteBuffer snapshot);
+
+  /// True once take() has run for `pe`.
+  bool has_checkpoint(int pe) const;
+
+ private:
+  Runtime& rt_;
+  SaveNodeState save_node_;
+  RestoreNodeState restore_node_;
+  std::unordered_map<int, support::ByteBuffer> snapshots_;
+};
+
+}  // namespace navcpp::navp

@@ -16,6 +16,7 @@
 #include <functional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "support/error.h"
@@ -129,6 +130,40 @@ class EventTable {
     std::uint64_t total = 0;
     for (const auto& [key, n] : counts_) total += n;
     return total;
+  }
+
+  // --- Checkpoint support (navp/checkpoint.h) ---------------------------
+
+  /// Banked signal counts in deterministic (tag, a, b) order — the
+  /// serializable half of the table.  Parked waiters are deliberately NOT
+  /// serializable: a waiter is a suspended coroutine, and recovery re-creates
+  /// it by re-running its agent from its last committed state.
+  std::vector<std::pair<EventKey, std::uint64_t>> banked() const {
+    std::vector<std::pair<EventKey, std::uint64_t>> out;
+    out.reserve(counts_.size());
+    for (const auto& [key, n] : counts_) {
+      if (n > 0) out.emplace_back(key, n);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  /// Restore one banked count (used after clear() during recovery).
+  void set_banked(const EventKey& key, std::uint64_t count) {
+    if (count == 0) {
+      counts_.erase(key);
+    } else {
+      counts_[key] = count;
+    }
+  }
+
+  /// Drop every banked count and parked waiter (PE crash: volatile memory
+  /// is gone).  Waiter *frames* are not destroyed here — the runtime kills
+  /// resident agents through AgentState::destroy_stack first; this just
+  /// forgets the dangling bookkeeping.
+  void clear() {
+    counts_.clear();
+    waiters_.clear();
   }
 
  private:

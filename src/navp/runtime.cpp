@@ -1,14 +1,31 @@
 #include "navp/runtime.h"
 
+#include <algorithm>
 #include <sstream>
 #include <utility>
+
+#include "machine/fault_machine.h"
+#include "net/reliable_channel.h"
 
 namespace navcpp::navp {
 
 Runtime::Runtime(machine::Engine& engine)
     : engine_(engine),
       node_stores_(static_cast<std::size_t>(engine.pe_count())),
-      event_tables_(static_cast<std::size_t>(engine.pe_count())) {}
+      event_tables_(static_cast<std::size_t>(engine.pe_count())) {
+  // Walk the decorator chain: if a fault injector is anywhere in the stack,
+  // route all cross-PE traffic through a reliability layer so drop/dup/
+  // corrupt faults are masked without any program change.  Frames and
+  // retransmit timers go to the *outermost* engine so other decorators
+  // (chaos scheduling) still see them.
+  for (machine::Engine* e = &engine_; e != nullptr; e = e->decorated()) {
+    if (auto* fault = dynamic_cast<machine::FaultMachine*>(e)) {
+      reliable_ = std::make_unique<net::ReliableChannel>(
+          engine_, fault, fault->reliable_config());
+      break;
+    }
+  }
+}
 
 Runtime::~Runtime() {
   // Abnormal teardown (exception or deadlock) may leave agents suspended —
@@ -17,6 +34,15 @@ Runtime::~Runtime() {
   // idempotent, so a later OwnedResume drop for the same agent is harmless.
   std::lock_guard<std::mutex> lock(registry_mutex_);
   for (auto& [id, state] : registry_) state->destroy_stack();
+}
+
+void Runtime::ship(int src, int dst, std::size_t bytes,
+                   support::MoveFunction deliver) {
+  if (reliable_) {
+    reliable_->send(src, dst, bytes, std::move(deliver));
+  } else {
+    engine_.transmit(src, dst, bytes, std::move(deliver));
+  }
 }
 
 std::shared_ptr<AgentState> Runtime::make_agent(int pe, std::string name) {
@@ -44,6 +70,133 @@ void Runtime::start_agent(const std::shared_ptr<AgentState>& state,
     engine_.charge(pe, activation_overhead_);
     owned();
   });
+}
+
+void Runtime::register_recovery_factory(const std::string& key,
+                                        RecoveryFactory fn) {
+  NAVCPP_CHECK(static_cast<bool>(fn), "recovery factory must be callable");
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  factories_[key] = std::move(fn);
+}
+
+AgentId Runtime::inject_recoverable(int pe, std::string name,
+                                    const std::string& factory_key,
+                                    const support::ByteBuffer& initial_state) {
+  check_pe(pe);
+  RecoveryFactory factory;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    auto it = factories_.find(factory_key);
+    NAVCPP_CHECK(it != factories_.end(),
+                 "unknown recovery factory \"" + factory_key + "\"");
+    NAVCPP_CHECK(recoverables_.find(name) == recoverables_.end(),
+                 "recoverable agent \"" + name + "\" already exists");
+    factory = it->second;
+  }
+  std::shared_ptr<AgentState> state = make_agent(pe, name);
+  state->recoverable_name = name;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    recoverables_[name] = RecoverableRecord{factory_key, initial_state, pe,
+                                            state->id, false};
+  }
+  Mission mission = factory(Ctx(state.get()), initial_state);
+  NAVCPP_CHECK(mission.valid(), "recovery factory returned an empty Mission");
+  start_agent(state, std::move(mission));
+  return state->id;
+}
+
+std::vector<Runtime::RecoverableDescriptor> Runtime::recoverables_on(
+    int pe) const {
+  std::vector<RecoverableDescriptor> out;
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  for (const auto& [name, rec] : recoverables_) {
+    if (rec.pe == pe && !rec.finished) {
+      out.push_back(RecoverableDescriptor{name, rec.factory, rec.pe,
+                                          rec.state});
+    }
+  }
+  // Deterministic order regardless of hash-map iteration.
+  std::sort(out.begin(), out.end(),
+            [](const RecoverableDescriptor& a, const RecoverableDescriptor& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+bool Runtime::restore_descriptor(const RecoverableDescriptor& d) {
+  RecoveryFactory factory;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    auto rec = recoverables_.find(d.name);
+    if (rec == recoverables_.end()) return false;  // unknown to this run
+    if (rec->second.finished) return false;  // completed since the snapshot
+    auto live = registry_.find(rec->second.current_id);
+    if (live != registry_.end() && live->second->root) {
+      // The current incarnation survived the crash (it hopped away or was
+      // in flight): never fork a second copy.
+      return false;
+    }
+    auto f = factories_.find(d.factory);
+    NAVCPP_CHECK(f != factories_.end(),
+                 "recovery factory \"" + d.factory + "\" not registered");
+    factory = f->second;
+  }
+  std::shared_ptr<AgentState> state = make_agent(d.pe, d.name);
+  state->recoverable_name = d.name;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    RecoverableRecord& rec = recoverables_[d.name];
+    rec.current_id = state->id;
+    rec.pe = d.pe;
+    rec.state = d.state;
+  }
+  Mission mission = factory(Ctx(state.get()), d.state);
+  NAVCPP_CHECK(mission.valid(), "recovery factory returned an empty Mission");
+  start_agent(state, std::move(mission));
+  recovered_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void Runtime::commit_recoverable(const std::string& name, int pe,
+                                 const support::ByteBuffer& state) {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  auto it = recoverables_.find(name);
+  NAVCPP_CHECK(it != recoverables_.end(),
+               "commit for unknown recoverable \"" + name + "\"");
+  it->second.pe = pe;
+  it->second.state = state;
+}
+
+void Runtime::crash_pe(int pe) {
+  check_pe(pe);
+  // Gather the victims first: resident (not in-flight) agents whose frames
+  // still exist.  In-flight agents are on the wire, not in this PE's memory;
+  // they arrive after the restart via retransmission.
+  std::vector<std::shared_ptr<AgentState>> victims;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    for (auto it = registry_.begin(); it != registry_.end();) {
+      const std::shared_ptr<AgentState>& st = it->second;
+      if (st->pe == pe && !st->in_flight && st->root) {
+        victims.push_back(st);
+        it = registry_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (const std::shared_ptr<AgentState>& st : victims) {
+    st->destroy_stack();
+    killed_.fetch_add(1, std::memory_order_relaxed);
+    // The task slot is released so the machine does not wait forever for an
+    // agent that no longer exists; recovery re-registers on re-injection.
+    engine_.task_finished();
+  }
+  // Volatile memory is gone: banked events and parked-waiter bookkeeping
+  // with it (the frames were destroyed above).  Node variables are left to
+  // the application's restore hook (navp/checkpoint.h).
+  events(pe).clear();
 }
 
 void Runtime::run() {
@@ -76,7 +229,9 @@ std::string Runtime::blocked_report() const {
   }
   std::string report = os.str();
   if (report.empty()) report = "  (no agents parked on events)\n";
-  return "blocked agents:\n" + report;
+  report = "blocked agents:\n" + report;
+  if (reliable_) report += reliable_->status_report() + "\n";
+  return report;
 }
 
 void agent_finished(AgentState* state, std::exception_ptr error) noexcept {
@@ -86,6 +241,15 @@ void agent_finished(AgentState* state, std::exception_ptr error) noexcept {
   state->root = nullptr;  // frame already destroyed by FinalAwaiter
   {
     std::lock_guard<std::mutex> lock(rt->registry_mutex_);
+    if (!state->recoverable_name.empty()) {
+      auto it = rt->recoverables_.find(state->recoverable_name);
+      // Mark finished only if *this* incarnation is the current one — a
+      // superseded ghost must not retire the record.
+      if (it != rt->recoverables_.end() &&
+          it->second.current_id == state->id) {
+        it->second.finished = true;
+      }
+    }
     rt->registry_.erase(state->id);
   }
   if (error) engine.fail(error);

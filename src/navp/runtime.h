@@ -14,6 +14,7 @@
 #include <atomic>
 #include <coroutine>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -26,7 +27,12 @@
 #include "navp/event.h"
 #include "navp/node_store.h"
 #include "navp/trace.h"
+#include "support/bytebuffer.h"
 #include "support/error.h"
+
+namespace navcpp::net {
+class ReliableChannel;
+}  // namespace navcpp::net
 
 namespace navcpp::navp {
 
@@ -122,7 +128,80 @@ class Runtime {
   std::uint64_t unconsumed_signals() const;
 
   /// Human-readable list of agents parked on events (deadlock diagnostics).
+  /// When a reliability layer is installed, appends its per-channel
+  /// in-flight / unacked counters so a retransmit stall is diagnosable from
+  /// the report alone.
   std::string blocked_report() const;
+
+  // --- fault tolerance ---------------------------------------------------
+  // The constructor walks the engine's decorator chain; if it finds a
+  // machine::FaultMachine it installs a net::ReliableChannel configured from
+  // FaultMachine::reliable_config() and routes every cross-PE shipment
+  // (agent hops AND mini-MPI sends) through it.  Programs need no changes
+  // to run correctly under injected faults.
+
+  /// The auto-installed reliability layer, or nullptr on a fault-free
+  /// engine.
+  net::ReliableChannel* reliable() { return reliable_.get(); }
+
+  /// Ship `deliver` from src to dst: through the reliability layer when one
+  /// is installed, straight through the engine otherwise.  All runtime and
+  /// minimpi traffic funnels through here.
+  void ship(int src, int dst, std::size_t bytes,
+            support::MoveFunction deliver);
+
+  /// Re-creates a recoverable agent from its last committed state.  The
+  /// returned Mission continues the agent's work from that state (typically
+  /// the function re-enters its main loop at the committed iteration).
+  using RecoveryFactory =
+      std::function<Mission(Ctx, support::ByteBuffer state)>;
+
+  /// Serializable description of one recoverable agent, as captured by a
+  /// checkpoint: which factory re-creates it, where it lived, and its last
+  /// committed state.
+  struct RecoverableDescriptor {
+    std::string name;
+    std::string factory;
+    int pe = 0;
+    support::ByteBuffer state;
+  };
+
+  /// Register the factory recoverable agents of kind `key` are rebuilt
+  /// with.  Must outlive the run.
+  void register_recovery_factory(const std::string& key, RecoveryFactory fn);
+
+  /// Inject an agent that survives PE crashes: its identity, factory key
+  /// and state are tracked centrally (stable storage in a real system), and
+  /// checkpoint/restore re-injects it from its last Ctx::commit()ed state.
+  /// `name` must be unique among recoverables.
+  AgentId inject_recoverable(int pe, std::string name,
+                             const std::string& factory_key,
+                             const support::ByteBuffer& initial_state);
+
+  /// Descriptors of the recoverable agents whose last committed position is
+  /// `pe` (what a checkpoint of that PE must include).
+  std::vector<RecoverableDescriptor> recoverables_on(int pe) const;
+
+  /// Re-inject the agent described by `d` if its current incarnation is
+  /// dead and it has not finished.  Returns true if an agent was started.
+  bool restore_descriptor(const RecoverableDescriptor& d);
+
+  /// Fail-stop crash of `pe`: destroys every agent resident there (in-flight
+  /// agents survive and arrive after the restart), clears the PE's event
+  /// table.  Node-variable state is the application's to restore (see
+  /// navp/checkpoint.h hooks).  Called from a FaultMachine crash handler.
+  void crash_pe(int pe);
+
+  /// Update the central record of a recoverable agent (Ctx::commit()).
+  void commit_recoverable(const std::string& name, int pe,
+                          const support::ByteBuffer& state);
+
+  std::uint64_t agents_killed() const {
+    return killed_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t agents_recovered() const {
+    return recovered_.load(std::memory_order_relaxed);
+  }
 
   // --- internal (used by Ctx, the awaiters, and minimpi) -----------------
   void count_hop() { hops_.fetch_add(1, std::memory_order_relaxed); }
@@ -159,7 +238,17 @@ class Runtime {
   std::shared_ptr<AgentState> make_agent(int pe, std::string name);
   void start_agent(const std::shared_ptr<AgentState>& state, Mission mission);
 
+  /// Central record of one recoverable agent ("stable storage").
+  struct RecoverableRecord {
+    std::string factory;
+    support::ByteBuffer state;
+    int pe = 0;
+    AgentId current_id = 0;
+    bool finished = false;
+  };
+
   machine::Engine& engine_;
+  std::unique_ptr<net::ReliableChannel> reliable_;
   std::vector<NodeStore> node_stores_;
   std::vector<EventTable> event_tables_;
   TraceRecorder* trace_ = nullptr;
@@ -168,14 +257,20 @@ class Runtime {
   double activation_overhead_ = 0.0;
   bool strict_migration_ = false;
 
-  std::mutex registry_mutex_;
+  mutable std::mutex registry_mutex_;
   std::unordered_map<AgentId, std::shared_ptr<AgentState>> registry_;
+  // Guarded by registry_mutex_ as well (commit/kill/restore interleave with
+  // registry updates on the threaded backend).
+  std::unordered_map<std::string, RecoveryFactory> factories_;
+  std::unordered_map<std::string, RecoverableRecord> recoverables_;
   std::atomic<std::uint64_t> next_id_{1};
   std::atomic<std::uint64_t> injected_{0};
   std::atomic<std::uint64_t> completed_{0};
   std::atomic<std::uint64_t> hops_{0};
   std::atomic<std::uint64_t> signals_{0};
   std::atomic<std::uint64_t> waits_{0};
+  std::atomic<std::uint64_t> killed_{0};
+  std::atomic<std::uint64_t> recovered_{0};
 };
 
 /// The handle an agent uses to interact with the NavP world.  Cheap to copy;
@@ -238,6 +333,19 @@ class Ctx {
     work(label, cost_seconds, [] {});
   }
 
+  /// Commit the agent's recovery state (recoverable agents only; see
+  /// Runtime::inject_recoverable).  After a crash the agent is re-created
+  /// by its factory from the most recent committed state — so commit at
+  /// each hop-arrival boundary, BEFORE applying local side effects, and the
+  /// re-run replays this visit from the top.
+  void commit(const support::ByteBuffer& state_bytes) {
+    NAVCPP_CHECK(!state_->recoverable_name.empty(),
+                 "Ctx::commit on a non-recoverable agent (use "
+                 "Runtime::inject_recoverable)");
+    state_->rt->commit_recoverable(state_->recoverable_name, state_->pe,
+                                   state_bytes);
+  }
+
  private:
   friend struct HopAwaiter;
   friend struct EventAwaiter;
@@ -273,12 +381,14 @@ struct HopAwaiter {
     const double depart = rt->engine().now(src);
     const std::size_t bytes = payload_bytes + rt->hop_state_bytes();
     state->pe = dest;
+    state->in_flight = true;  // on the wire: a crash of either PE spares it
     rt->count_hop();
     AgentState* st = state;
-    rt->engine().transmit(
+    rt->ship(
         src, dest, bytes,
         [st, src, d = dest, depart, bytes,
          owned = OwnedResume(h, state->shared_from_this())]() mutable {
+          st->in_flight = false;
           Runtime* r = st->rt;
           r->engine().charge(d, r->activation_overhead());
           if (auto* tr = r->trace()) {

@@ -92,6 +92,15 @@ class NetworkModel {
     bytes_total_ = 0;
   }
 
+  /// Full rewind for machine reuse: statistics AND NIC occupancy.  Without
+  /// clearing out_free_/in_free_ a reused SimMachine inherits the previous
+  /// run's NIC busy-times and every early message queues behind ghosts.
+  void reset() {
+    reset_stats();
+    std::fill(out_free_.begin(), out_free_.end(), sim::kTimeZero);
+    std::fill(in_free_.begin(), in_free_.end(), sim::kTimeZero);
+  }
+
  private:
   void check_pe(int pe) const {
     NAVCPP_CHECK(pe >= 0 && pe < pe_count(), "PE id out of range in network");

@@ -1,0 +1,301 @@
+#include "net/reliable_channel.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "support/error.h"
+
+namespace navcpp::net {
+
+ReliableChannel::ReliableChannel(machine::Engine& engine, FrameFaults* faults,
+                                 ReliableConfig cfg)
+    : engine_(engine), faults_(faults), cfg_(cfg), rng_(cfg.seed) {
+  NAVCPP_CHECK(cfg_.rto_initial > 0.0, "rto_initial must be positive");
+  NAVCPP_CHECK(cfg_.rto_backoff >= 1.0, "rto_backoff must be >= 1");
+  NAVCPP_CHECK(cfg_.rto_jitter >= 0.0 && cfg_.rto_jitter < 1.0,
+               "rto_jitter must be in [0, 1)");
+  NAVCPP_CHECK(cfg_.max_retries >= 0, "max_retries must be >= 0");
+}
+
+std::uint64_t ReliableChannel::checksum_of(const Frame& f) {
+  // SplitMix64-style mix over every header field; any single-bit change in
+  // the covered fields (or an injected flip of the stored checksum itself)
+  // fails verification.
+  auto mix = [](std::uint64_t h, std::uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    std::uint64_t z = h;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  };
+  std::uint64_t h = 0x5eedULL;
+  h = mix(h, static_cast<std::uint64_t>(f.kind));
+  h = mix(h, static_cast<std::uint64_t>(f.src));
+  h = mix(h, static_cast<std::uint64_t>(f.dst));
+  h = mix(h, f.seq);
+  h = mix(h, f.payload_bytes);
+  h = mix(h, f.cum);
+  return h;
+}
+
+ReliableChannel::Frame ReliableChannel::make_data_frame(
+    int src, int dst, std::uint64_t seq, std::size_t bytes) const {
+  Frame f;
+  f.kind = FrameKind::kData;
+  f.src = src;
+  f.dst = dst;
+  f.seq = seq;
+  f.payload_bytes = bytes;
+  f.checksum = checksum_of(f);
+  return f;
+}
+
+ReliableChannel::Frame ReliableChannel::make_ack_frame(
+    int src, int dst, std::uint64_t cum) const {
+  Frame f;
+  f.kind = FrameKind::kAck;
+  f.src = src;
+  f.dst = dst;
+  f.cum = cum;
+  f.checksum = checksum_of(f);
+  return f;
+}
+
+double ReliableChannel::jittered(double rto) {
+  if (cfg_.rto_jitter <= 0.0) return rto;
+  double u;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    u = rng_.uniform(-1.0, 1.0);
+  }
+  return rto * (1.0 + cfg_.rto_jitter * u);
+}
+
+void ReliableChannel::send(int src, int dst, std::size_t bytes,
+                           support::MoveFunction deliver) {
+  if (src == dst) {
+    // Local hops never touch the wire: no frames, no faults, no protocol.
+    engine_.transmit(src, dst, bytes, std::move(deliver));
+    return;
+  }
+  std::uint64_t seq;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    SendState& s = send_[{src, dst}];
+    seq = s.next_seq++;
+    Pending p;
+    p.bytes = bytes;
+    p.deliver = std::move(deliver);
+    p.retries_left = cfg_.max_retries;
+    p.rto = cfg_.rto_initial;
+    s.pending.emplace(seq, std::move(p));
+  }
+  transmit_frame(make_data_frame(src, dst, seq, bytes));
+  arm_timer(src, dst, seq, jittered(cfg_.rto_initial));
+}
+
+void ReliableChannel::transmit_frame(const Frame& frame) {
+  FrameFate fate;
+  if (faults_ != nullptr) fate = faults_->decide_frame(frame.src, frame.dst);
+  if (fate.drop || fate.copies < 1) return;  // retransmit will recover
+  Frame wire = frame;
+  if (fate.corrupt) wire.checksum ^= 0x1ULL << (wire.seq % 64);
+  const std::size_t wire_bytes =
+      frame.kind == FrameKind::kData
+          ? static_cast<std::size_t>(frame.payload_bytes) +
+                cfg_.frame_header_bytes
+          : cfg_.ack_bytes;
+  for (int copy = 0; copy < fate.copies; ++copy) {
+    if (frame.kind == FrameKind::kData) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++send_[{frame.src, frame.dst}].wire_in_flight;
+    }
+    engine_.transmit(frame.src, frame.dst, wire_bytes, [this, wire]() {
+      if (wire.kind == FrameKind::kData) {
+        on_data_frame(wire);
+      } else {
+        on_ack_frame(wire);
+      }
+    });
+  }
+}
+
+void ReliableChannel::arm_timer(int src, int dst, std::uint64_t seq,
+                                double delay) {
+  engine_.post_after(src, delay,
+                     [this, src, dst, seq]() { on_timer(src, dst, seq); });
+}
+
+void ReliableChannel::on_data_frame(const Frame& frame) {
+  const ChannelKey key{frame.src, frame.dst};
+  std::vector<support::MoveFunction> ready;
+  std::uint64_t cum = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    RecvState& r = recv_[key];
+    --send_[key].wire_in_flight;  // the frame left the wire, whatever its fate
+    if (faults_ != nullptr && faults_->is_down(frame.dst)) {
+      // The host is crashed: its NIC swallows the frame.  No ack, so the
+      // sender keeps retransmitting until the host restarts (or the retry
+      // budget converts the outage into a DeliveryError).
+      ++r.blackholed;
+      return;
+    }
+    if (frame.checksum != checksum_of(frame)) {
+      ++r.corrupt_discarded;  // no ack: retransmit recovers the frame
+      return;
+    }
+    if (frame.seq < r.cum || r.received.count(frame.seq) != 0) {
+      // Duplicate (injected copy, or a retransmit that crossed our ack).
+      // Never re-delivered — but re-acked, in case the first ack was lost.
+      ++r.dups_discarded;
+      cum = r.cum;
+    } else {
+      r.received.insert(frame.seq);
+      SendState& s = send_[key];
+      while (r.received.count(r.cum) != 0) {
+        r.received.erase(r.cum);
+        auto it = s.pending.find(r.cum);
+        // The payload lives in the sender-side retain buffer; consume it on
+        // first in-order arrival (the entry itself stays until acked).
+        if (it != s.pending.end() && it->second.deliver) {
+          ready.push_back(std::move(it->second.deliver));
+        }
+        ++r.cum;
+        ++r.delivered;
+      }
+      cum = r.cum;
+    }
+  }
+  // Run deliveries outside the lock: a released payload may hop, send, or
+  // signal, re-entering this channel.  We are executing on frame.dst, which
+  // is exactly the PE the payload was addressed to.
+  for (auto& deliver : ready) deliver();
+  transmit_frame(make_ack_frame(frame.dst, frame.src, cum));
+}
+
+void ReliableChannel::on_ack_frame(const Frame& frame) {
+  // An ack from R to S acknowledges the data channel S -> R.
+  const ChannelKey key{frame.dst, frame.src};
+  std::vector<Pending> retired;  // destroyed outside the lock
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (faults_ != nullptr && faults_->is_down(frame.dst)) return;
+    if (frame.checksum != checksum_of(frame)) {
+      ++recv_[key].corrupt_discarded;
+      return;
+    }
+    SendState& s = send_[key];
+    s.acked_cum = std::max(s.acked_cum, frame.cum);
+    auto it = s.pending.begin();
+    while (it != s.pending.end() && it->first < s.acked_cum) {
+      retired.push_back(std::move(it->second));
+      it = s.pending.erase(it);
+    }
+  }
+}
+
+void ReliableChannel::on_timer(int src, int dst, std::uint64_t seq) {
+  Frame frame;
+  double next_delay = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto ch = send_.find({src, dst});
+    if (ch == send_.end()) return;
+    auto it = ch->second.pending.find(seq);
+    if (it == ch->second.pending.end()) return;  // acked; stale timer
+    Pending& p = it->second;
+    if (p.retries_left <= 0) {
+      std::ostringstream os;
+      os << "delivery failed: message seq " << seq << " on channel " << src
+         << "->" << dst << " exhausted its retry budget ("
+         << cfg_.max_retries << " retransmits)\n"
+         << status_report_locked();
+      ch->second.pending.erase(it);
+      engine_.fail(
+          std::make_exception_ptr(support::DeliveryError(os.str())));
+      return;
+    }
+    --p.retries_left;
+    ++ch->second.retransmits;
+    p.rto *= cfg_.rto_backoff;
+    frame = make_data_frame(src, dst, seq, p.bytes);
+    next_delay = p.rto;
+  }
+  transmit_frame(frame);
+  arm_timer(src, dst, seq, jittered(next_delay));
+}
+
+ChannelStats ReliableChannel::stats(int src, int dst) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ChannelStats out;
+  const ChannelKey key{src, dst};
+  if (auto it = send_.find(key); it != send_.end()) {
+    const SendState& s = it->second;
+    out.sent = s.next_seq;
+    out.acked = s.acked_cum;
+    out.unacked = s.pending.size();
+    out.wire_in_flight = s.wire_in_flight;
+    out.retransmits = s.retransmits;
+  }
+  if (auto it = recv_.find(key); it != recv_.end()) {
+    const RecvState& r = it->second;
+    out.delivered = r.delivered;
+    out.reorder_buffered = r.received.size();
+    out.dups_discarded = r.dups_discarded;
+    out.corrupt_discarded = r.corrupt_discarded;
+    out.blackholed = r.blackholed;
+  }
+  return out;
+}
+
+std::string ReliableChannel::status_report() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return status_report_locked();
+}
+
+std::string ReliableChannel::status_report_locked() const {
+  std::ostringstream os;
+  os << "reliable channels (in_flight = frames on the wire, unacked = "
+        "payloads awaiting ack):";
+  std::set<ChannelKey> keys;
+  for (const auto& [key, unused] : send_) keys.insert(key);
+  for (const auto& [key, unused] : recv_) keys.insert(key);
+  if (keys.empty()) os << " none";
+  for (const ChannelKey& key : keys) {
+    os << "\n  " << key.first << "->" << key.second << ":";
+    auto s = send_.find(key);
+    if (s != send_.end()) {
+      os << " sent=" << s->second.next_seq << " acked=" << s->second.acked_cum
+         << " unacked=" << s->second.pending.size()
+         << " in_flight=" << s->second.wire_in_flight
+         << " retransmits=" << s->second.retransmits;
+    }
+    auto r = recv_.find(key);
+    if (r != recv_.end()) {
+      os << " delivered=" << r->second.delivered
+         << " reorder_buffered=" << r->second.received.size()
+         << " dups=" << r->second.dups_discarded
+         << " corrupt=" << r->second.corrupt_discarded
+         << " blackholed=" << r->second.blackholed;
+    }
+  }
+  return os.str();
+}
+
+std::uint64_t ReliableChannel::total_retransmits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& [key, s] : send_) total += s.retransmits;
+  return total;
+}
+
+std::uint64_t ReliableChannel::total_unacked() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& [key, s] : send_) total += s.pending.size();
+  return total;
+}
+
+}  // namespace navcpp::net

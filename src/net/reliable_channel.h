@@ -1,0 +1,195 @@
+// ReliableChannel: exactly-once, in-order delivery over a lossy Engine.
+//
+// The Engine contract promises reliable non-overtaking transmit(); the
+// FaultMachine decorator deliberately breaks that promise at *frame*
+// granularity (drop / duplicate / corrupt).  ReliableChannel restores the
+// contract on top, the way TCP restores it over IP:
+//
+//   * every payload gets a per-(src, dst) sequence number and is retained
+//     sender-side until acknowledged — the retention store doubles as the
+//     retransmit buffer, which matters because Engine payloads are one-shot
+//     move-only closures (often owning a migrating agent's coroutine stack)
+//     that cannot be copied onto the wire;
+//   * what actually crosses the engine is a small copyable Frame carrying
+//     (seq, byte count, checksum).  Fault decisions apply to frames, so a
+//     "dropped message" loses a frame, never the payload;
+//   * the receiver verifies the checksum (corrupt frames are discarded and
+//     recovered by retransmit), dedups by sequence number (duplicates are
+//     re-acked, never re-delivered), buffers out-of-order arrivals, and
+//     releases payloads strictly in send order;
+//   * cumulative acks flow back on the reverse channel; unacked frames are
+//     retransmitted on a per-message timer with exponential backoff and
+//     seeded jitter.  A configurable retry budget converts a dead channel
+//     into a typed support::DeliveryError instead of a silent hang.
+//
+// Local (src == dst) messages bypass the protocol entirely: they never touch
+// the wire, so the fault model must not see them (and the tests check it).
+//
+// Determinism: on the sim backend every timer is a post_after event and the
+// jitter comes from a seeded Rng, so a (program, FaultPlan seed) pair yields
+// a bit-identical schedule on every run.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "machine/engine.h"
+#include "support/move_function.h"
+#include "support/rng.h"
+
+namespace navcpp::net {
+
+/// What the fault layer decided to do with one frame on the wire.
+struct FrameFate {
+  bool drop = false;     ///< frame vanishes (retransmit will recover)
+  bool corrupt = false;  ///< frame arrives with a flipped checksum
+  int copies = 1;        ///< >1 duplicates the frame (receiver dedups)
+};
+
+/// Interface the fault injector exposes to the reliability layer.  Consulted
+/// once per frame put on the wire (data and ack frames alike) and once per
+/// frame arrival (crashed hosts black-hole their inbound frames).
+class FrameFaults {
+ public:
+  virtual ~FrameFaults() = default;
+
+  /// Fate of the next frame on channel src -> dst.  Never called for local
+  /// (src == dst) traffic.
+  virtual FrameFate decide_frame(int src, int dst) = 0;
+
+  /// True while `pe` is crashed: frames addressed to it are black-holed.
+  virtual bool is_down(int pe) const = 0;
+};
+
+/// Protocol knobs.
+struct ReliableConfig {
+  double rto_initial = 2.0e-3;  ///< first retransmit timeout, seconds
+  double rto_backoff = 2.0;     ///< multiplier per retransmit
+  double rto_jitter = 0.25;     ///< +- fraction of the timeout, seeded
+  int max_retries = 16;         ///< retransmits before DeliveryError
+  std::uint64_t seed = 0xab1eULL;  ///< jitter RNG seed
+  std::size_t frame_header_bytes = 32;  ///< wire overhead per data frame
+  std::size_t ack_bytes = 32;           ///< wire size of an ack frame
+};
+
+/// Per-channel counters for reports and tests.
+struct ChannelStats {
+  std::uint64_t sent = 0;           ///< payloads accepted from the sender
+  std::uint64_t acked = 0;          ///< payloads cumulatively acknowledged
+  std::uint64_t unacked = 0;        ///< payloads still in the retain buffer
+  std::uint64_t wire_in_flight = 0;  ///< frames transmitted, not yet arrived
+  std::uint64_t retransmits = 0;
+  std::uint64_t delivered = 0;      ///< payloads released in order at dst
+  std::uint64_t reorder_buffered = 0;  ///< arrivals waiting for a gap
+  std::uint64_t dups_discarded = 0;
+  std::uint64_t corrupt_discarded = 0;
+  std::uint64_t blackholed = 0;     ///< frames that arrived at a downed PE
+};
+
+class ReliableChannel {
+ public:
+  /// `faults` may be null (protocol runs, nothing is ever injected); when
+  /// non-null it must outlive the channel.  `engine` carries the frames and
+  /// the retransmit timers.
+  ReliableChannel(machine::Engine& engine, FrameFaults* faults,
+                  ReliableConfig cfg = ReliableConfig{});
+
+  ReliableChannel(const ReliableChannel&) = delete;
+  ReliableChannel& operator=(const ReliableChannel&) = delete;
+
+  /// Ship `deliver` from src to dst with exactly-once, in-order semantics.
+  /// `bytes` is the logical payload size (the wire adds frame_header_bytes).
+  /// Must not be called after the engine finished its last run; pending
+  /// timers drain inside Engine::run().
+  void send(int src, int dst, std::size_t bytes,
+            support::MoveFunction deliver);
+
+  /// Counters for channel src -> dst (zeros if the channel never carried
+  /// traffic).
+  ChannelStats stats(int src, int dst) const;
+
+  /// Deterministic multi-line "src->dst: sent=... unacked=... in_flight=..."
+  /// dump of every channel that carried traffic; embedded in DeliveryError
+  /// messages and appended to blocked/deadlock reports so a retransmit hang
+  /// is diagnosable from the report alone.
+  std::string status_report() const;
+
+  std::uint64_t total_retransmits() const;
+  std::uint64_t total_unacked() const;
+
+ private:
+  enum class FrameKind : std::uint8_t { kData = 0, kAck = 1 };
+
+  /// The copyable unit that actually crosses the engine.
+  struct Frame {
+    FrameKind kind = FrameKind::kData;
+    int src = 0;
+    int dst = 0;
+    std::uint64_t seq = 0;            // data: sequence number; ack: unused
+    std::uint64_t payload_bytes = 0;  // data: logical payload size
+    std::uint64_t cum = 0;            // ack: all seq < cum are delivered
+    std::uint64_t checksum = 0;
+  };
+
+  struct Pending {
+    std::size_t bytes = 0;
+    support::MoveFunction deliver;  // consumed at first in-order arrival
+    int retries_left = 0;
+    double rto = 0.0;
+  };
+
+  struct SendState {
+    std::uint64_t next_seq = 0;
+    std::uint64_t acked_cum = 0;
+    std::map<std::uint64_t, Pending> pending;
+    std::uint64_t retransmits = 0;
+    std::uint64_t wire_in_flight = 0;
+  };
+
+  struct RecvState {
+    std::uint64_t cum = 0;  // everything below is delivered
+    std::set<std::uint64_t> received;  // out-of-order arrivals >= cum
+    std::uint64_t delivered = 0;
+    std::uint64_t dups_discarded = 0;
+    std::uint64_t corrupt_discarded = 0;
+    std::uint64_t blackholed = 0;
+  };
+
+  using ChannelKey = std::pair<int, int>;
+
+  static std::uint64_t checksum_of(const Frame& f);
+  Frame make_data_frame(int src, int dst, std::uint64_t seq,
+                        std::size_t bytes) const;
+  Frame make_ack_frame(int src, int dst, std::uint64_t cum) const;
+
+  /// Put one frame on the engine, consulting the fault layer.  Caller must
+  /// NOT hold mutex_ (transmit may synchronously reach another decorator).
+  void transmit_frame(const Frame& frame);
+  /// Arm the per-message retransmit timer on the sender's PE.
+  void arm_timer(int src, int dst, std::uint64_t seq, double delay);
+
+  // Frame arrival handlers; run as engine actions on the frame's dst PE.
+  void on_data_frame(const Frame& frame);
+  void on_ack_frame(const Frame& frame);
+  void on_timer(int src, int dst, std::uint64_t seq);
+
+  double jittered(double rto);
+  std::string status_report_locked() const;  // caller holds mutex_
+
+  machine::Engine& engine_;
+  FrameFaults* faults_;
+  ReliableConfig cfg_;
+
+  mutable std::mutex mutex_;  // guards send_, recv_, rng_
+  support::Rng rng_;
+  std::map<ChannelKey, SendState> send_;
+  std::map<ChannelKey, RecvState> recv_;
+};
+
+}  // namespace navcpp::net

@@ -36,6 +36,15 @@ class DeadlockError : public Error {
   explicit DeadlockError(const std::string& what) : Error(what) {}
 };
 
+/// The reliability layer exhausted its retry budget for a message: the
+/// destination never acknowledged it within the configured number of
+/// retransmits.  Raised instead of hanging so fault-injected runs always
+/// terminate with a diagnosis (the message embeds the per-channel report).
+class DeliveryError : public Error {
+ public:
+  explicit DeliveryError(const std::string& what) : Error(what) {}
+};
+
 [[noreturn]] void raise_check_failure(const char* expr, const char* file,
                                       int line, const std::string& msg);
 

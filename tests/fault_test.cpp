@@ -1,0 +1,329 @@
+// Tests for the fault-injection stack: FaultMachine (drop/dup/corrupt +
+// crash), net::ReliableChannel (ack/retransmit/backoff, exactly-once
+// in-order delivery), checkpoint-based agent recovery, and the fault
+// workload suite that ties them together.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/fault_suite.h"
+#include "machine/fault_machine.h"
+#include "machine/sim_machine.h"
+#include "minimpi/world.h"
+#include "navp/checkpoint.h"
+#include "navp/event.h"
+#include "navp/runtime.h"
+#include "net/reliable_channel.h"
+#include "support/bytebuffer.h"
+#include "support/error.h"
+
+namespace navcpp {
+namespace {
+
+machine::FaultPlan plan_with(std::uint64_t seed, double drop, double dup,
+                             double corrupt) {
+  machine::FaultPlan plan;
+  plan.seed = seed;
+  plan.drop_prob = drop;
+  plan.duplicate_prob = dup;
+  plan.corrupt_prob = corrupt;
+  return plan;
+}
+
+/// Send `count` numbered payloads 0->1 through a ReliableChannel over a
+/// FaultMachine and return the order they were released at the receiver.
+std::vector<int> pump_channel(const machine::FaultPlan& plan, int count,
+                              std::size_t bytes,
+                              net::ChannelStats* stats_out) {
+  machine::SimMachine sim(2);
+  machine::FaultMachine fault(sim, plan);
+  net::ReliableChannel channel(fault, &fault, fault.reliable_config());
+  std::vector<int> released;
+  for (int i = 0; i < count; ++i) {
+    channel.send(0, 1, bytes, [&released, i] { released.push_back(i); });
+  }
+  // No task accounting: the run completes when the event queue (deliveries,
+  // acks, retransmit timers) drains.
+  fault.run();
+  if (stats_out != nullptr) *stats_out = channel.stats(0, 1);
+  return released;
+}
+
+TEST(ReliableChannel, HeavyDropDeliversInOrderExactlyOnce) {
+  net::ChannelStats stats;
+  const std::vector<int> got =
+      pump_channel(plan_with(11, 0.4, 0.0, 0.0), 50, 100, &stats);
+  ASSERT_EQ(got.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(got[static_cast<size_t>(i)], i);
+  EXPECT_EQ(stats.delivered, 50u);
+  EXPECT_EQ(stats.acked, 50u);
+  EXPECT_EQ(stats.unacked, 0u);
+  EXPECT_GT(stats.retransmits, 0u) << "40% drop must force retransmission";
+}
+
+TEST(ReliableChannel, DuplicatesDiscardedExactlyOnce) {
+  net::ChannelStats stats;
+  const std::vector<int> got =
+      pump_channel(plan_with(12, 0.0, 0.5, 0.0), 40, 100, &stats);
+  ASSERT_EQ(got.size(), 40u);
+  for (int i = 0; i < 40; ++i) EXPECT_EQ(got[static_cast<size_t>(i)], i);
+  EXPECT_EQ(stats.delivered, 40u);
+  EXPECT_GT(stats.dups_discarded, 0u);
+}
+
+TEST(ReliableChannel, CorruptFramesDiscardedAndRetransmitted) {
+  net::ChannelStats stats;
+  const std::vector<int> got =
+      pump_channel(plan_with(13, 0.0, 0.0, 0.5), 40, 100, &stats);
+  ASSERT_EQ(got.size(), 40u);
+  for (int i = 0; i < 40; ++i) EXPECT_EQ(got[static_cast<size_t>(i)], i);
+  EXPECT_GT(stats.corrupt_discarded, 0u);
+  EXPECT_GT(stats.retransmits, 0u);
+}
+
+TEST(ReliableChannel, ZeroByteMessagesSurviveDrop) {
+  net::ChannelStats stats;
+  const std::vector<int> got =
+      pump_channel(plan_with(14, 0.5, 0.1, 0.1), 20, 0, &stats);
+  ASSERT_EQ(got.size(), 20u);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(got[static_cast<size_t>(i)], i);
+  EXPECT_EQ(stats.delivered, 20u);
+}
+
+TEST(ReliableChannel, LocalTrafficBypassesProtocolAndFaults) {
+  machine::SimMachine sim(2);
+  machine::FaultMachine fault(sim, plan_with(15, 1.0, 1.0, 1.0));
+  net::ReliableChannel channel(fault, &fault, fault.reliable_config());
+  int delivered = 0;
+  for (int i = 0; i < 10; ++i) {
+    channel.send(1, 1, 64, [&delivered] { ++delivered; });
+  }
+  fault.run();
+  EXPECT_EQ(delivered, 10) << "src == dst must never be faulted";
+  EXPECT_EQ(fault.frames_dropped(), 0u);
+  EXPECT_EQ(fault.frames_duplicated(), 0u);
+  EXPECT_EQ(channel.stats(1, 1).sent, 0u)
+      << "local traffic must not enter the protocol";
+}
+
+TEST(FaultMachine, SameSeedReplaysBitIdentically) {
+  auto run_once = [](std::string* trace) {
+    net::ChannelStats stats;
+    const std::vector<int> got =
+        pump_channel(plan_with(99, 0.3, 0.2, 0.1), 30, 64, &stats);
+    machine::SimMachine sim(2);
+    machine::FaultMachine fault(sim, plan_with(99, 0.3, 0.2, 0.1));
+    net::ReliableChannel channel(fault, &fault, fault.reliable_config());
+    for (int i = 0; i < 30; ++i) channel.send(0, 1, 64, [] {});
+    fault.run();
+    *trace = fault.trace_summary();
+    return stats;
+  };
+  std::string trace_a, trace_b;
+  const net::ChannelStats a = run_once(&trace_a);
+  const net::ChannelStats b = run_once(&trace_b);
+  EXPECT_EQ(trace_a, trace_b) << "same seed must replay the same fault tape";
+  EXPECT_FALSE(trace_a.empty());
+  EXPECT_EQ(a.retransmits, b.retransmits);
+  EXPECT_EQ(a.dups_discarded, b.dups_discarded);
+  EXPECT_EQ(a.corrupt_discarded, b.corrupt_discarded);
+}
+
+TEST(FaultMachine, RejectsInvalidPlans) {
+  machine::SimMachine sim(2);
+  EXPECT_THROW(machine::FaultMachine(sim, plan_with(1, -0.1, 0, 0)),
+               support::Error);
+  EXPECT_THROW(machine::FaultMachine(sim, plan_with(1, 0, 1.5, 0)),
+               support::Error);
+  machine::FaultPlan bad_crash;
+  bad_crash.crashes.push_back(machine::CrashSpec{7, 1.0, -1.0});
+  EXPECT_THROW(machine::FaultMachine(sim, bad_crash), support::Error);
+}
+
+// --- runtime integration ---------------------------------------------------
+
+navp::Mission faulty_ping_pong(minimpi::Comm comm,
+                               std::vector<double>* out) {
+  if (comm.rank() == 0) {
+    comm.send(1, 7, {1.0, 2.0, 3.0});
+    minimpi::Message reply = co_await comm.recv(1, 8);
+    *out = reply.data;
+  } else {
+    minimpi::Message msg = co_await comm.recv(0, 7);
+    for (auto& x : msg.data) x *= 10.0;
+    comm.send(0, 8, std::move(msg.data));
+  }
+}
+
+// The runtime must find the FaultMachine in the decorator chain, install a
+// ReliableChannel, and route mini-MPI sends through it — message payloads
+// arrive intact and exactly once (no leftover mailbox entries, no
+// unconsumed mailbox signals) despite heavy injected faults.
+TEST(Runtime, MpiTrafficSurvivesInjectedFaults) {
+  machine::SimMachine sim(2);
+  machine::FaultMachine fault(sim, plan_with(21, 0.3, 0.2, 0.1));
+  navp::Runtime rt(fault);
+  ASSERT_NE(rt.reliable(), nullptr)
+      << "runtime must auto-install the reliability layer";
+  minimpi::World world(rt);
+  std::vector<double> out;
+  world.launch(faulty_ping_pong, &out);
+  rt.run();
+  EXPECT_EQ(out, (std::vector<double>{10.0, 20.0, 30.0}));
+  EXPECT_FALSE(world.has_leftover_messages());
+  EXPECT_EQ(rt.unconsumed_signals(), 0u)
+      << "duplicate frame made it through: an event was signaled twice";
+  EXPECT_GT(fault.frames_dropped() + fault.frames_duplicated() +
+                fault.frames_corrupted(),
+            0u)
+      << "test vacuous: nothing was injected";
+}
+
+navp::Mission forever_waiter(navp::Ctx ctx) {
+  co_await ctx.wait_event(navp::EventKey{42, 0, 0});
+}
+
+TEST(Runtime, DeadlockReportIncludesChannelCounters) {
+  machine::SimMachine sim(2);
+  machine::FaultMachine fault(sim, plan_with(22, 0.1, 0.0, 0.0));
+  navp::Runtime rt(fault);
+  rt.inject(0, "parked", forever_waiter);
+  try {
+    rt.run();
+    FAIL() << "expected DeadlockError";
+  } catch (const support::DeadlockError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("parked"), std::string::npos) << what;
+    EXPECT_NE(what.find("reliable channels"), std::string::npos) << what;
+  }
+}
+
+// EventTable::signal is a counting semaphore: double delivery of a signal
+// would bank a second count and break conservation.  Verified directly
+// here; Runtime.MpiTrafficSurvivesInjectedFaults checks the reliability
+// layer never lets that double delivery happen.
+TEST(EventTable, SignalsBankAndConsumeAsCounts) {
+  navp::EventTable table;
+  const navp::EventKey key{3, 1, 2};
+  EXPECT_FALSE(table.try_consume(key));
+  (void)table.signal(key);
+  (void)table.signal(key);
+  EXPECT_EQ(table.pending_signals(key), 2u);
+  EXPECT_TRUE(table.try_consume(key));
+  EXPECT_TRUE(table.try_consume(key));
+  EXPECT_FALSE(table.try_consume(key));
+  EXPECT_EQ(table.total_pending_signals(), 0u);
+}
+
+TEST(EventTable, BankedRoundTripsThroughSetBanked) {
+  navp::EventTable table;
+  (void)table.signal(navp::EventKey{1, 0, 0});
+  (void)table.signal(navp::EventKey{1, 0, 0});
+  (void)table.signal(navp::EventKey{2, 5, 6});
+  const auto banked = table.banked();
+  navp::EventTable restored;
+  for (const auto& [key, count] : banked) restored.set_banked(key, count);
+  EXPECT_EQ(restored.banked(), banked);
+  EXPECT_EQ(restored.pending_signals(navp::EventKey{1, 0, 0}), 2u);
+}
+
+// --- checkpointing ---------------------------------------------------------
+
+struct CounterNode {
+  std::int64_t value = 0;
+};
+
+TEST(Checkpointer, RoundTripsEventsAndNodeState) {
+  machine::SimMachine sim(2);
+  navp::Runtime rt(sim);
+  rt.node_store(1).emplace<CounterNode>().value = 41;
+  rt.pre_signal(1, navp::EventKey{9, 0, 0});
+  rt.pre_signal(1, navp::EventKey{9, 0, 0});
+
+  navp::Checkpointer cp(rt);
+  cp.set_node_state_hooks(
+      [&rt](int pe, support::ByteBuffer& out) {
+        out.put<std::int64_t>(rt.node_store(pe).get<CounterNode>().value);
+      },
+      [&rt](int pe, support::ByteBuffer& in) {
+        rt.node_store(pe).get<CounterNode>().value = in.get<std::int64_t>();
+      });
+  EXPECT_FALSE(cp.has_checkpoint(1));
+  (void)cp.take(1);
+  EXPECT_TRUE(cp.has_checkpoint(1));
+
+  // Diverge, then roll back.
+  rt.node_store(1).get<CounterNode>().value = -1;
+  rt.events(1).clear();
+  (void)rt.events(1).signal(navp::EventKey{8, 8, 8});
+  EXPECT_EQ(cp.restore(1), 0) << "no recoverable agents in this snapshot";
+  EXPECT_EQ(rt.node_store(1).get<CounterNode>().value, 41);
+  EXPECT_EQ(rt.events(1).pending_signals(navp::EventKey{9, 0, 0}), 2u);
+  EXPECT_EQ(rt.events(1).pending_signals(navp::EventKey{8, 8, 8}), 0u);
+}
+
+TEST(Checkpointer, RejectsForeignSnapshots) {
+  machine::SimMachine sim(2);
+  navp::Runtime rt(sim);
+  navp::Checkpointer cp(rt);
+  EXPECT_THROW((void)cp.restore(0), support::Error) << "nothing taken yet";
+  (void)cp.take(0);
+  support::ByteBuffer snapshot = cp.take(0);
+  EXPECT_THROW((void)cp.restore_from(1, snapshot), support::Error)
+      << "snapshot is for PE 0";
+  support::ByteBuffer garbage;
+  garbage.put<std::uint32_t>(0xdeadbeef);
+  EXPECT_THROW((void)cp.restore_from(0, garbage), support::Error);
+}
+
+// --- the fault suite -------------------------------------------------------
+
+// The ISSUE's acceptance plan: drop 5%, duplicate 2%, corrupt 1%.  Each
+// program's result must be bit-identical to its fault-free run.  The full
+// 32-seed sweep runs in CI; a handful of seeds here keeps ctest quick while
+// still crossing every program and the recovery scenario.
+TEST(FaultSuite, ProgramsBitIdenticalUnderFaults) {
+  const auto report = harness::fault_sweep(
+      /*first_seed=*/1, /*num_seeds=*/2,
+      plan_with(0, 0.05, 0.02, 0.01), /*verbose=*/false);
+  EXPECT_FALSE(report.failed)
+      << report.first_failure.name << " seed " << report.first_failure.seed
+      << ": " << report.first_failure.detail;
+  EXPECT_EQ(report.cases_run,
+            2 * static_cast<int>(harness::fault_case_names().size()));
+}
+
+TEST(FaultSuite, RecoveryRingSurvivesCrashAcrossSeeds) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto r = harness::run_fault_case(
+        "recovery/ring", plan_with(seed, 0.02, 0.01, 0.01));
+    EXPECT_TRUE(r.ok) << "seed " << seed << ": " << r.detail;
+    EXPECT_GE(r.crashes_fired, 1u) << "seed " << seed;
+    EXPECT_GE(r.agents_recovered, 1u) << "seed " << seed;
+  }
+}
+
+TEST(FaultSuite, CaseResultsAreDeterministic) {
+  const auto plan = plan_with(5, 0.05, 0.02, 0.01);
+  const auto a = harness::run_fault_case("recovery/ring", plan);
+  const auto b = harness::run_fault_case("recovery/ring", plan);
+  EXPECT_EQ(a.ok, b.ok);
+  EXPECT_EQ(a.detail, b.detail);
+  EXPECT_EQ(a.frames_dropped, b.frames_dropped);
+  EXPECT_EQ(a.crashes_fired, b.crashes_fired);
+  EXPECT_EQ(a.agents_recovered, b.agents_recovered);
+}
+
+TEST(FaultSuite, UnknownCaseThrows) {
+  EXPECT_THROW(
+      (void)harness::run_fault_case("mm/notacase", machine::FaultPlan{}),
+      support::ConfigError);
+  EXPECT_THROW((void)harness::fault_sweep(1, 1, machine::FaultPlan{}, false,
+                                          "nomatch"),
+               support::Error);
+}
+
+}  // namespace
+}  // namespace navcpp

@@ -10,6 +10,7 @@
 
 #include "machine/sim_machine.h"
 #include "machine/threaded_machine.h"
+#include "net/reliable_channel.h"
 #include "support/error.h"
 
 namespace navcpp::machine {
@@ -282,6 +283,108 @@ TEST(SimMachine, ReusedMachineRunsTwice) {
 TEST(ThreadedMachine, RejectsBadPe) {
   ThreadedMachine m(2);
   EXPECT_THROW(m.post(7, [] {}), support::LogicError);
+}
+
+TEST(SimMachine, PostAfterRunsAtDeadline) {
+  SimMachine m(2, fast_link());
+  double fired_at = -1.0;
+  m.post_after(0, 1.5, [&] { fired_at = m.now(0); });
+  m.run();
+  EXPECT_DOUBLE_EQ(fired_at, 1.5);
+  EXPECT_DOUBLE_EQ(m.now(1), 0.0) << "timer must not advance other PEs";
+}
+
+TEST(SimMachine, PostAfterOrdersByDeadline) {
+  SimMachine m(1, fast_link());
+  std::vector<int> order;
+  m.post_after(0, 2.0, [&] { order.push_back(2); });
+  m.post_after(0, 1.0, [&] { order.push_back(1); });
+  m.post_after(0, 3.0, [&] { order.push_back(3); });
+  m.run();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 2);
+  EXPECT_EQ(order[2], 3);
+}
+
+// A pending timer is progress: the stall watchdog must not fire while one
+// is armed, even when the delay exceeds the stall timeout.
+TEST(ThreadedMachine, PostAfterFiresAndIsNotAStall) {
+  ThreadedMachine m(2);
+  m.set_stall_timeout(0.05);
+  std::atomic<bool> fired{false};
+  m.task_started();
+  m.post_after(1, 0.2, [&] {
+    fired = true;
+    m.task_finished();
+  });
+  EXPECT_NO_THROW(m.run());
+  EXPECT_TRUE(fired.load());
+}
+
+// Regression: reset_stats() left the network model's NIC occupancy
+// (out_free_/in_free_) at the previous run's values, so a reused SimMachine
+// saw its first messages queue behind phantom transfers.  reset() rewinds
+// clocks AND the network, so back-to-back runs are bit-identical.
+TEST(SimMachine, ResetMakesRunsBitIdentical) {
+  SimMachine m(2);  // default (non-zero) link params: occupancy matters
+  auto one_run = [&m]() -> double {
+    double delivered_at = -1.0;
+    m.task_started();
+    m.post(0, [&] {
+      m.transmit(0, 1, 1 << 20, [&] {
+        delivered_at = m.now(1);
+        m.task_finished();
+      });
+    });
+    m.run();
+    return delivered_at;
+  };
+  const double first = one_run();
+  m.reset();
+  const double second = one_run();
+  EXPECT_DOUBLE_EQ(second, first) << "stale NIC occupancy leaked into rerun";
+  EXPECT_EQ(m.network().message_count(), 1u);
+}
+
+// --- reliability layer over an Engine -------------------------------------
+
+// Drops every frame: retransmission can never succeed, so the retry budget
+// must exhaust into a typed DeliveryError (never a silent hang), and the
+// error text must carry the per-channel counters the blocked report uses.
+struct BlackholeFaults final : net::FrameFaults {
+  net::FrameFate decide_frame(int, int) override {
+    net::FrameFate fate;
+    fate.drop = true;
+    return fate;
+  }
+  bool is_down(int) const override { return false; }
+};
+
+TEST(ReliableChannel, RetryExhaustionRaisesDeliveryErrorWithCounters) {
+  SimMachine m(2, fast_link());
+  BlackholeFaults faults;
+  net::ReliableConfig cfg;
+  cfg.max_retries = 3;
+  net::ReliableChannel channel(m, &faults, cfg);
+  m.task_started();
+  bool delivered = false;
+  channel.send(0, 1, 128, [&] { delivered = true; });
+  try {
+    m.run();
+    FAIL() << "expected DeliveryError";
+  } catch (const support::DeliveryError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("0->1"), std::string::npos) << what;
+    EXPECT_NE(what.find("unacked=1"), std::string::npos) << what;
+    EXPECT_NE(what.find("retransmits=3"), std::string::npos) << what;
+    EXPECT_NE(what.find("sent=1"), std::string::npos) << what;
+  }
+  EXPECT_FALSE(delivered);
+  // The exhausted payload is retired from the retain buffer (the error
+  // report above captured the counters first).
+  EXPECT_EQ(channel.total_unacked(), 0u);
+  EXPECT_EQ(channel.stats(0, 1).retransmits, 3u);
 }
 
 }  // namespace

@@ -113,6 +113,23 @@ TEST(NetworkModel, StatsCountMessagesAndBytes) {
   EXPECT_EQ(net.byte_count(), 0u);
 }
 
+// Regression: reset_stats() zeroed the counters but left out_free_/in_free_
+// at their high-water marks, so the "fresh" model delayed its first messages
+// behind transfers from the previous life.  reset() must restore
+// construction-time behavior exactly.
+TEST(NetworkModel, ResetClearsNicOccupancy) {
+  NetworkModel net(2, test_params());
+  const Transfer fresh = net.admit(0, 1, 1000, 0.0);  // occupies NICs ~1s
+  (void)net.admit(0, 1, 1000, 0.0);                   // stack more occupancy
+  net.reset();
+  EXPECT_EQ(net.message_count(), 0u);
+  EXPECT_EQ(net.byte_count(), 0u);
+  const Transfer again = net.admit(0, 1, 1000, 0.0);
+  EXPECT_DOUBLE_EQ(again.delivered_at, fresh.delivered_at)
+      << "stale NIC occupancy survived reset()";
+  EXPECT_DOUBLE_EQ(again.sender_cpu_free, fresh.sender_cpu_free);
+}
+
 TEST(NetworkModel, RejectsBadPeIds) {
   NetworkModel net(2, test_params());
   EXPECT_THROW((void)net.admit(-1, 0, 1, 0.0), support::LogicError);

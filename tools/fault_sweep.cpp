@@ -1,0 +1,91 @@
+// fault_sweep — seed-sweep stress runner over the fault workload suite.
+//
+//   fault_sweep [--seeds N] [--first-seed S] [--case SUBSTR]
+//               [--drop P] [--dup P] [--corrupt P] [--verbose]
+//
+// Runs every MM variant, Jacobi, LU, and the crash-recovery ring under
+// message-fault injection (machine::FaultMachine over the deterministic
+// SimMachine, masked by net::ReliableChannel) for N consecutive seeds.
+// Program results must be BIT-IDENTICAL to a fault-free run; the recovery
+// ring must survive a mid-run PE crash + checkpoint restart with an exact
+// final sum.  On the first failure it prints the failing (case, seed) pair
+// and the one-command replay line, and exits 1.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "harness/fault_suite.h"
+
+int main(int argc, char** argv) {
+  int seeds = 32;
+  unsigned long long first_seed = 1;
+  std::string case_filter;
+  bool verbose = false;
+  navcpp::machine::FaultPlan plan;
+  plan.drop_prob = 0.05;
+  plan.duplicate_prob = 0.02;
+  plan.corrupt_prob = 0.01;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--seeds") {
+      seeds = std::atoi(value());
+    } else if (arg == "--first-seed") {
+      first_seed = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--case") {
+      case_filter = value();
+    } else if (arg == "--drop") {
+      plan.drop_prob = std::atof(value());
+    } else if (arg == "--dup") {
+      plan.duplicate_prob = std::atof(value());
+    } else if (arg == "--corrupt") {
+      plan.corrupt_prob = std::atof(value());
+    } else if (arg == "--verbose") {
+      verbose = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: fault_sweep [--seeds N] [--first-seed S] "
+                   "[--case SUBSTR] [--drop P] [--dup P] [--corrupt P] "
+                   "[--verbose]\n");
+      return 2;
+    }
+  }
+
+  if (seeds < 1) {
+    // A sweep that runs nothing must not report success — a typo'd seed
+    // count in CI would otherwise pass with zero coverage.
+    std::fprintf(stderr, "--seeds must be >= 1 (got %d)\n", seeds);
+    return 2;
+  }
+
+  try {
+    const auto report = navcpp::harness::fault_sweep(
+        first_seed, seeds, plan, verbose, case_filter);
+    if (report.failed) {
+      const auto& f = report.first_failure;
+      std::printf("FAIL: case %s, seed %llu: %s\n", f.name.c_str(),
+                  static_cast<unsigned long long>(f.seed), f.detail.c_str());
+      std::printf(
+          "replay: navcpp_cli fault --seed %llu --case %s --drop %g "
+          "--dup %g --corrupt %g\n",
+          static_cast<unsigned long long>(f.seed), f.name.c_str(),
+          plan.drop_prob, plan.duplicate_prob, plan.corrupt_prob);
+      return 1;
+    }
+    std::printf("fault sweep ok: %d seed(s) x %d case-run(s) total, "
+                "no failures\n",
+                report.seeds_run, report.cases_run);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}

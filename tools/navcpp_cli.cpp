@@ -12,6 +12,8 @@
 //                      [--independent] [--rotatable] [--chain]
 //   navcpp_cli chaos   [--seeds N] [--seed S] [--case SUBSTR] [--shuffle]
 //                      [--verbose]
+//   navcpp_cli fault   [--seeds N] [--seed S] [--case SUBSTR] [--drop P]
+//                      [--dup P] [--corrupt P] [--verbose]
 //
 // Every run happens on the calibrated simulation of the paper's testbed;
 // `--verify` (mm) additionally executes with real data and checks the
@@ -26,6 +28,7 @@
 #include "apps/lu.h"
 #include "harness/chaos_suite.h"
 #include "harness/experiments.h"
+#include "harness/fault_suite.h"
 #include "harness/paper_data.h"
 #include "harness/text_table.h"
 #include "linalg/gemm.h"
@@ -90,7 +93,9 @@ int usage() {
       "  plan    --threads T --steps S --pes P [--independent] "
       "[--rotatable] [--chain]\n"
       "  chaos   [--seeds N] [--seed S] [--case SUBSTR] [--shuffle] "
-      "[--verbose]\n");
+      "[--verbose]\n"
+      "  fault   [--seeds N] [--seed S] [--case SUBSTR] [--drop P] "
+      "[--dup P] [--corrupt P] [--verbose]\n");
   return 2;
 }
 
@@ -141,6 +146,66 @@ int run_chaos(const Args& args) {
     return 1;
   }
   std::printf("chaos sweep ok: %d seed(s), %d case-run(s), no failures\n",
+              report.seeds_run, report.cases_run);
+  return 0;
+}
+
+// Fault-inject the distributed programs (drop/dup/corrupt frames, masked by
+// the reliability layer) plus the crash-recovery ring.  `--seeds N` sweeps N
+// consecutive seeds; `--seed S` replays exactly one seed verbosely, which is
+// how a failure found by fault_sweep or CI is reproduced.
+int run_fault(const Args& args) {
+  navcpp::machine::FaultPlan plan;
+  plan.drop_prob = std::atof(args.get("drop", "0.05").c_str());
+  plan.duplicate_prob = std::atof(args.get("dup", "0.02").c_str());
+  plan.corrupt_prob = std::atof(args.get("corrupt", "0.01").c_str());
+  const std::string filter = args.get("case", "");
+
+  if (args.has("seed") || args.has("seeds") || args.has("case") ||
+      args.has("drop") || args.has("dup") || args.has("corrupt")) {
+    // A value-less option would silently fall back to its default — the
+    // opposite of the run the user asked for.
+    std::fprintf(stderr,
+                 "fault: missing value after "
+                 "--seed/--seeds/--case/--drop/--dup/--corrupt\n");
+    return usage();
+  }
+  if (args.options.count("seed") > 0) {
+    const auto seed =
+        std::strtoull(args.get("seed", "1").c_str(), nullptr, 10);
+    plan.seed = seed;
+    const auto report =
+        navcpp::harness::fault_sweep(seed, 1, plan, /*verbose=*/true, filter);
+    if (report.failed) {
+      const auto& f = report.first_failure;
+      std::printf("FAIL: case %s, seed %llu: %s\n", f.name.c_str(),
+                  static_cast<unsigned long long>(f.seed), f.detail.c_str());
+      return 1;
+    }
+    std::printf("seed %llu: all %d case-run(s) ok\n",
+                static_cast<unsigned long long>(seed), report.cases_run);
+    return 0;
+  }
+
+  const int seeds = args.get_int("seeds", 16);
+  if (seeds < 1) {
+    std::fprintf(stderr, "fault: --seeds must be >= 1 (got %d)\n", seeds);
+    return 2;
+  }
+  const auto report = navcpp::harness::fault_sweep(
+      1, seeds, plan, args.has("verbose"), filter);
+  if (report.failed) {
+    const auto& f = report.first_failure;
+    std::printf("FAIL: case %s, seed %llu: %s\n", f.name.c_str(),
+                static_cast<unsigned long long>(f.seed), f.detail.c_str());
+    std::printf(
+        "replay: navcpp_cli fault --seed %llu --case %s --drop %g --dup %g "
+        "--corrupt %g\n",
+        static_cast<unsigned long long>(f.seed), f.name.c_str(),
+        plan.drop_prob, plan.duplicate_prob, plan.corrupt_prob);
+    return 1;
+  }
+  std::printf("fault sweep ok: %d seed(s), %d case-run(s), no failures\n",
               report.seeds_run, report.cases_run);
   return 0;
 }
@@ -379,6 +444,7 @@ int main(int argc, char** argv) {
     if (args.command == "stagger") return run_stagger(args);
     if (args.command == "plan") return run_plan(args);
     if (args.command == "chaos") return run_chaos(args);
+    if (args.command == "fault") return run_fault(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

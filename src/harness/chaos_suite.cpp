@@ -1,150 +1,51 @@
 #include "harness/chaos_suite.h"
 
-#include <cmath>
 #include <cstdio>
 #include <utility>
 
-#include "apps/jacobi.h"
-#include "apps/lu.h"
-#include "linalg/gemm.h"
+#include "harness/workloads.h"
 #include "machine/sim_machine.h"
-#include "mm/doall_mm.h"
-#include "mm/gentleman_mm.h"
-#include "mm/navp_mm_1d.h"
-#include "mm/navp_mm_2d.h"
-#include "mm/summa_mm.h"
-#include "mm/summa_mm_1d.h"
+#include "obs/metrics.h"
 #include "support/error.h"
 
 namespace navcpp::harness {
 namespace {
 
-using linalg::BlockGrid;
-using linalg::Matrix;
-using linalg::RealStorage;
-
-// Sizes are the smallest that still exercise every itinerary: the 1-D
-// variants need nb divisible by the PE count with >= 2 blocks per PE, the
-// 2-D variants need a 2x2 grid, Jacobi needs its interior rows to split
-// evenly over the PEs.
-constexpr int k1dPes = 3, k1dOrder = 24, k1dBlock = 4;   // nb=6, width=2
-constexpr int k2dGrid = 2, k2dOrder = 16, k2dBlock = 4;  // nb=4, 4 PEs
-constexpr int kLuPes = 3, kLuOrder = 24, kLuBlock = 4;
-constexpr int kJacobiPes = 4, kJacobiRows = 34, kJacobiCols = 16;
-constexpr int kJacobiSweeps = 4;
-
-ChaosCaseResult mm_case(const std::string& name,
-                        const machine::ChaosConfig& cfg) {
-  const bool is_1d = name == "mm/dsc1d" || name == "mm/pipe1d" ||
-                     name == "mm/phase1d" || name == "mm/summa1d";
-  mm::MmConfig mcfg;
-  mcfg.order = is_1d ? k1dOrder : k2dOrder;
-  mcfg.block_order = is_1d ? k1dBlock : k2dBlock;
-  const int pes = is_1d ? k1dPes : k2dGrid * k2dGrid;
-
-  const Matrix a = Matrix::random(mcfg.order, mcfg.order, 1);
-  const Matrix b = Matrix::random(mcfg.order, mcfg.order, 2);
-  auto ga = linalg::to_blocks(a, mcfg.block_order);
-  auto gb = linalg::to_blocks(b, mcfg.block_order);
-  BlockGrid<RealStorage> gc(mcfg.order, mcfg.block_order);
-
-  machine::SimMachine sim(pes, mcfg.testbed.lan);
+ChaosCaseResult chaos_case(const std::string& name,
+                           const machine::ChaosConfig& cfg) {
+  machine::SimMachine sim(workload_pe_count(name), workload_link(name));
   machine::ChaosMachine chaos(sim, cfg);
-
-  using mm::Navp1dVariant;
-  using mm::Navp2dVariant;
-  using mm::StaggerMode;
-  if (name == "mm/dsc1d") {
-    navp_mm_1d(chaos, mcfg, Navp1dVariant::kDsc, ga, gb, gc);
-  } else if (name == "mm/pipe1d") {
-    navp_mm_1d(chaos, mcfg, Navp1dVariant::kPipelined, ga, gb, gc);
-  } else if (name == "mm/phase1d") {
-    navp_mm_1d(chaos, mcfg, Navp1dVariant::kPhaseShifted, ga, gb, gc);
-  } else if (name == "mm/summa1d") {
-    summa_mm_1d(chaos, mcfg, ga, gb, gc);
-  } else if (name == "mm/dsc2d") {
-    navp_mm_2d(chaos, mcfg, Navp2dVariant::kDsc, ga, gb, gc);
-  } else if (name == "mm/pipe2d") {
-    navp_mm_2d(chaos, mcfg, Navp2dVariant::kPipelined, ga, gb, gc);
-  } else if (name == "mm/phase2d") {
-    navp_mm_2d(chaos, mcfg, Navp2dVariant::kPhaseShifted, ga, gb, gc);
-  } else if (name == "mm/gentleman") {
-    gentleman_mm(chaos, mcfg, StaggerMode::kDirect, ga, gb, gc);
-  } else if (name == "mm/cannon") {
-    gentleman_mm(chaos, mcfg, StaggerMode::kStepwise, ga, gb, gc);
-  } else if (name == "mm/summa") {
-    summa_mm(chaos, mcfg, ga, gb, gc);
-  } else if (name == "mm/doall") {
-    doall_mm(chaos, mcfg, ga, gb, gc);
-  } else {
-    throw support::ConfigError("unknown chaos case " + name);
+  // Ambient registry: the Runtime the program constructs internally picks
+  // it up and instruments the whole stack (runtime, chaos layer, sim), so
+  // a failing (case, seed) pair can be dumped with its full run profile.
+  obs::Registry registry;
+  obs::MetricsScope metrics_scope(&registry);
+  std::vector<double> got;
+  try {
+    got = run_workload(name, chaos);
+  } catch (const support::ConfigError&) {
+    throw;  // unknown workload: caller error, not a chaos finding
+  } catch (const std::exception& e) {
+    // Keep the partial run profile: counters up to the throw are exactly
+    // what a deadlock/failure report needs.
+    ChaosCaseResult r{name, cfg.seed, false, e.what()};
+    r.metrics = registry.snapshot().to_string();
+    return r;
   }
-
-  const double err = linalg::max_abs_diff(linalg::from_blocks(gc),
-                                          linalg::multiply(a, b));
-  ChaosCaseResult r{name, cfg.seed, err < 1e-9,
-                    "max|err| = " + std::to_string(err)};
+  const WorkloadCheck check = check_workload(name, got);
+  ChaosCaseResult r{name, cfg.seed, check.ok, check.detail};
+  r.metrics = registry.snapshot().to_string();
   return r;
-}
-
-ChaosCaseResult jacobi_case(const std::string& name,
-                            const machine::ChaosConfig& cfg) {
-  apps::JacobiConfig jcfg;
-  jcfg.rows = kJacobiRows;
-  jcfg.cols = kJacobiCols;
-  jcfg.sweeps = kJacobiSweeps;
-  const auto variant = name == "jacobi/dsc" ? apps::JacobiVariant::kDsc
-                       : name == "jacobi/pipeline"
-                           ? apps::JacobiVariant::kPipelined
-                           : apps::JacobiVariant::kDataflow;
-  const auto initial = apps::JacobiGrid::heated_plate(jcfg.rows, jcfg.cols);
-
-  machine::SimMachine sim(kJacobiPes, jcfg.testbed.lan);
-  machine::ChaosMachine chaos(sim, cfg);
-  const auto got = apps::jacobi_navp(chaos, jcfg, variant, initial);
-  const auto want = apps::jacobi_sequential(initial, jcfg.sweeps);
-
-  double err = 0.0;
-  for (std::size_t i = 0; i < want.u.size(); ++i) {
-    err = std::max(err, std::abs(got.u[i] - want.u[i]));
-  }
-  return ChaosCaseResult{name, cfg.seed, err < 1e-12,
-                         "max|err| = " + std::to_string(err)};
-}
-
-ChaosCaseResult lu_case(const std::string& name,
-                        const machine::ChaosConfig& cfg) {
-  apps::LuConfig lcfg;
-  lcfg.order = kLuOrder;
-  lcfg.block_order = kLuBlock;
-  const auto variant = name == "lu/dsc" ? apps::LuVariant::kDsc
-                                        : apps::LuVariant::kPipelined;
-  const Matrix a = apps::diagonally_dominant(lcfg.order, 17);
-
-  machine::SimMachine sim(kLuPes, lcfg.testbed.lan);
-  machine::ChaosMachine chaos(sim, cfg);
-  const auto [l, u] = apps::lu_navp(chaos, lcfg, variant, a);
-  const double err = apps::lu_reconstruction_error(a, l, u);
-  return ChaosCaseResult{name, cfg.seed, err < 1e-9,
-                         "max|A-LU| = " + std::to_string(err)};
 }
 
 }  // namespace
 
-std::vector<std::string> chaos_case_names() {
-  return {"mm/dsc1d",  "mm/pipe1d",    "mm/phase1d", "mm/summa1d",
-          "mm/dsc2d",  "mm/pipe2d",    "mm/phase2d", "mm/gentleman",
-          "mm/cannon", "mm/summa",     "mm/doall",   "jacobi/dsc",
-          "jacobi/pipeline", "jacobi/dataflow", "lu/dsc", "lu/pipeline"};
-}
+std::vector<std::string> chaos_case_names() { return workload_names(); }
 
 ChaosCaseResult run_chaos_case(const std::string& name,
                                const machine::ChaosConfig& cfg) {
   try {
-    if (name.rfind("mm/", 0) == 0) return mm_case(name, cfg);
-    if (name.rfind("jacobi/", 0) == 0) return jacobi_case(name, cfg);
-    if (name.rfind("lu/", 0) == 0) return lu_case(name, cfg);
-    throw support::ConfigError("unknown chaos case " + name);
+    return chaos_case(name, cfg);
   } catch (const support::ConfigError&) {
     throw;  // bad case name / config: caller error, not a chaos finding
   } catch (const std::exception& e) {

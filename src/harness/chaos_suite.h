@@ -30,6 +30,10 @@ struct ChaosCaseResult {
   std::uint64_t seed = 0;
   bool ok = false;
   std::string detail;  ///< verification residual, or the failure text
+  /// Full metrics snapshot of the run (obs::Snapshot::to_string format),
+  /// so a failing case can be dumped with its profile, not just the seed.
+  /// Empty when the case threw before the run started.
+  std::string metrics;
 };
 
 /// Run one workload under chaos config `cfg` (seeded by `cfg.seed`) and

@@ -1,38 +1,18 @@
 #include "harness/fault_suite.h"
 
 #include <cstdio>
-#include <map>
-#include <mutex>
 #include <utility>
 
-#include "apps/jacobi.h"
-#include "apps/lu.h"
+#include "harness/workloads.h"
 #include "machine/sim_machine.h"
-#include "mm/doall_mm.h"
-#include "mm/gentleman_mm.h"
-#include "mm/navp_mm_1d.h"
-#include "mm/navp_mm_2d.h"
-#include "mm/summa_mm.h"
-#include "mm/summa_mm_1d.h"
 #include "navp/checkpoint.h"
 #include "navp/runtime.h"
+#include "obs/metrics.h"
 #include "support/bytebuffer.h"
 #include "support/error.h"
 
 namespace navcpp::harness {
 namespace {
-
-using linalg::BlockGrid;
-using linalg::Matrix;
-using linalg::RealStorage;
-
-// Same sizes as the chaos suite: the smallest that exercise every
-// itinerary.
-constexpr int k1dPes = 3, k1dOrder = 24, k1dBlock = 4;   // nb=6, width=2
-constexpr int k2dGrid = 2, k2dOrder = 16, k2dBlock = 4;  // nb=4, 4 PEs
-constexpr int kLuPes = 3, kLuOrder = 24, kLuBlock = 4;
-constexpr int kJacobiPes = 4, kJacobiRows = 34, kJacobiCols = 16;
-constexpr int kJacobiSweeps = 4;
 
 /// Vary the protocol's jitter stream with the fault seed so a sweep
 /// explores different retransmit timings, not just different fault draws.
@@ -42,124 +22,6 @@ net::ReliableConfig reliable_for_seed(std::uint64_t seed) {
   return rel;
 }
 
-// ---------------------------------------------------------------------------
-// The 16 program cases.  Each runs the program on `eng` and returns its
-// numeric result flattened to a vector, so a faulted run can be compared
-// element-for-element against a fault-free one.
-
-std::vector<double> mm_values(const std::string& name, machine::Engine& eng) {
-  const bool is_1d = name == "mm/dsc1d" || name == "mm/pipe1d" ||
-                     name == "mm/phase1d" || name == "mm/summa1d";
-  mm::MmConfig mcfg;
-  mcfg.order = is_1d ? k1dOrder : k2dOrder;
-  mcfg.block_order = is_1d ? k1dBlock : k2dBlock;
-
-  const Matrix a = Matrix::random(mcfg.order, mcfg.order, 1);
-  const Matrix b = Matrix::random(mcfg.order, mcfg.order, 2);
-  auto ga = linalg::to_blocks(a, mcfg.block_order);
-  auto gb = linalg::to_blocks(b, mcfg.block_order);
-  BlockGrid<RealStorage> gc(mcfg.order, mcfg.block_order);
-
-  using mm::Navp1dVariant;
-  using mm::Navp2dVariant;
-  using mm::StaggerMode;
-  if (name == "mm/dsc1d") {
-    navp_mm_1d(eng, mcfg, Navp1dVariant::kDsc, ga, gb, gc);
-  } else if (name == "mm/pipe1d") {
-    navp_mm_1d(eng, mcfg, Navp1dVariant::kPipelined, ga, gb, gc);
-  } else if (name == "mm/phase1d") {
-    navp_mm_1d(eng, mcfg, Navp1dVariant::kPhaseShifted, ga, gb, gc);
-  } else if (name == "mm/summa1d") {
-    summa_mm_1d(eng, mcfg, ga, gb, gc);
-  } else if (name == "mm/dsc2d") {
-    navp_mm_2d(eng, mcfg, Navp2dVariant::kDsc, ga, gb, gc);
-  } else if (name == "mm/pipe2d") {
-    navp_mm_2d(eng, mcfg, Navp2dVariant::kPipelined, ga, gb, gc);
-  } else if (name == "mm/phase2d") {
-    navp_mm_2d(eng, mcfg, Navp2dVariant::kPhaseShifted, ga, gb, gc);
-  } else if (name == "mm/gentleman") {
-    gentleman_mm(eng, mcfg, StaggerMode::kDirect, ga, gb, gc);
-  } else if (name == "mm/cannon") {
-    gentleman_mm(eng, mcfg, StaggerMode::kStepwise, ga, gb, gc);
-  } else if (name == "mm/summa") {
-    summa_mm(eng, mcfg, ga, gb, gc);
-  } else if (name == "mm/doall") {
-    doall_mm(eng, mcfg, ga, gb, gc);
-  } else {
-    throw support::ConfigError("unknown fault case " + name);
-  }
-
-  const Matrix c = linalg::from_blocks(gc);
-  return std::vector<double>(c.flat().begin(), c.flat().end());
-}
-
-std::vector<double> jacobi_values(const std::string& name,
-                                  machine::Engine& eng) {
-  apps::JacobiConfig jcfg;
-  jcfg.rows = kJacobiRows;
-  jcfg.cols = kJacobiCols;
-  jcfg.sweeps = kJacobiSweeps;
-  const auto variant = name == "jacobi/dsc" ? apps::JacobiVariant::kDsc
-                       : name == "jacobi/pipeline"
-                           ? apps::JacobiVariant::kPipelined
-                           : apps::JacobiVariant::kDataflow;
-  const auto initial = apps::JacobiGrid::heated_plate(jcfg.rows, jcfg.cols);
-  const auto got = apps::jacobi_navp(eng, jcfg, variant, initial);
-  return got.u;
-}
-
-std::vector<double> lu_values(const std::string& name, machine::Engine& eng) {
-  apps::LuConfig lcfg;
-  lcfg.order = kLuOrder;
-  lcfg.block_order = kLuBlock;
-  const auto variant = name == "lu/dsc" ? apps::LuVariant::kDsc
-                                        : apps::LuVariant::kPipelined;
-  const Matrix a = apps::diagonally_dominant(lcfg.order, 17);
-  const auto [l, u] = apps::lu_navp(eng, lcfg, variant, a);
-  std::vector<double> out(l.flat().begin(), l.flat().end());
-  out.insert(out.end(), u.flat().begin(), u.flat().end());
-  return out;
-}
-
-int program_pe_count(const std::string& name) {
-  if (name.rfind("mm/", 0) == 0) {
-    const bool is_1d = name == "mm/dsc1d" || name == "mm/pipe1d" ||
-                       name == "mm/phase1d" || name == "mm/summa1d";
-    return is_1d ? k1dPes : k2dGrid * k2dGrid;
-  }
-  if (name.rfind("jacobi/", 0) == 0) return kJacobiPes;
-  if (name.rfind("lu/", 0) == 0) return kLuPes;
-  throw support::ConfigError("unknown fault case " + name);
-}
-
-net::LinkParams program_link(const std::string& name) {
-  if (name.rfind("mm/", 0) == 0) return mm::MmConfig{}.testbed.lan;
-  if (name.rfind("jacobi/", 0) == 0) return apps::JacobiConfig{}.testbed.lan;
-  return apps::LuConfig{}.testbed.lan;
-}
-
-std::vector<double> program_values(const std::string& name,
-                                   machine::Engine& eng) {
-  if (name.rfind("mm/", 0) == 0) return mm_values(name, eng);
-  if (name.rfind("jacobi/", 0) == 0) return jacobi_values(name, eng);
-  if (name.rfind("lu/", 0) == 0) return lu_values(name, eng);
-  throw support::ConfigError("unknown fault case " + name);
-}
-
-/// Fault-free reference result, computed once per case (the inputs are
-/// fixed, so it is seed-independent) and cached for the whole sweep.
-const std::vector<double>& reference_values(const std::string& name) {
-  static std::mutex mutex;
-  static std::map<std::string, std::vector<double>> cache;
-  std::lock_guard<std::mutex> lock(mutex);
-  auto it = cache.find(name);
-  if (it == cache.end()) {
-    machine::SimMachine sim(program_pe_count(name), program_link(name));
-    it = cache.emplace(name, program_values(name, sim)).first;
-  }
-  return it->second;
-}
-
 FaultCaseResult program_case(const std::string& name,
                              const machine::FaultPlan& plan) {
   // Message faults only: the programs hold no recoverable agents, so a
@@ -167,13 +29,31 @@ FaultCaseResult program_case(const std::string& name,
   machine::FaultPlan p = plan;
   p.crashes.clear();
 
-  const std::vector<double>& want = reference_values(name);
+  const std::vector<double>& want = workload_reference(name);
 
-  machine::SimMachine sim(program_pe_count(name), program_link(name));
+  machine::SimMachine sim(workload_pe_count(name), workload_link(name));
   machine::FaultMachine fault(sim, p, reliable_for_seed(p.seed));
-  const std::vector<double> got = program_values(name, fault);
-
+  // Ambient registry: the Runtime the program constructs internally picks
+  // it up and instruments the whole stack (runtime, fault layer, reliable
+  // channel, sim), so a failure can be dumped with its full run profile.
+  obs::Registry registry;
+  obs::MetricsScope metrics_scope(&registry);
   FaultCaseResult r{name, plan.seed, false, ""};
+  std::vector<double> got;
+  try {
+    got = run_workload(name, fault);
+  } catch (const std::exception& e) {
+    // A thrown run (DeliveryError, deadlock, ...) still carries its partial
+    // run profile: the counters up to the throw are exactly what a failure
+    // report needs.
+    r.detail = e.what();
+    r.metrics = registry.snapshot().to_string();
+    r.frames_dropped = fault.frames_dropped();
+    r.frames_duplicated = fault.frames_duplicated();
+    r.frames_corrupted = fault.frames_corrupted();
+    return r;
+  }
+  r.metrics = registry.snapshot().to_string();
   r.frames_dropped = fault.frames_dropped();
   r.frames_duplicated = fault.frames_duplicated();
   r.frames_corrupted = fault.frames_corrupted();
@@ -310,6 +190,8 @@ FaultCaseResult recovery_ring_case(const machine::FaultPlan& base) {
 
   machine::SimMachine sim(kRingPes);
   machine::FaultMachine fault(sim, plan, reliable_for_seed(plan.seed));
+  obs::Registry registry;
+  obs::MetricsScope metrics_scope(&registry);
   navp::Runtime rt(fault);
   navp::Checkpointer cp(rt);
   cp.set_node_state_hooks(
@@ -359,9 +241,19 @@ FaultCaseResult recovery_ring_case(const machine::FaultPlan& base) {
   // Pre-run checkpoints so a crash before the first visit can restore.
   for (int p = 0; p < kRingPes; ++p) cp.take(p);
 
-  rt.run();
-
   FaultCaseResult r{"recovery/ring", plan.seed, false, ""};
+  try {
+    rt.run();
+  } catch (const std::exception& e) {
+    r.detail = e.what();
+    r.metrics = registry.snapshot().to_string();
+    r.frames_dropped = fault.frames_dropped();
+    r.frames_duplicated = fault.frames_duplicated();
+    r.frames_corrupted = fault.frames_corrupted();
+    r.crashes_fired = fault.crashes_fired();
+    return r;
+  }
+  r.metrics = registry.snapshot().to_string();
   r.frames_dropped = fault.frames_dropped();
   r.frames_duplicated = fault.frames_duplicated();
   r.frames_corrupted = fault.frames_corrupted();
@@ -388,11 +280,9 @@ FaultCaseResult recovery_ring_case(const machine::FaultPlan& base) {
 }  // namespace
 
 std::vector<std::string> fault_case_names() {
-  return {"mm/dsc1d",  "mm/pipe1d",    "mm/phase1d", "mm/summa1d",
-          "mm/dsc2d",  "mm/pipe2d",    "mm/phase2d", "mm/gentleman",
-          "mm/cannon", "mm/summa",     "mm/doall",   "jacobi/dsc",
-          "jacobi/pipeline", "jacobi/dataflow", "lu/dsc", "lu/pipeline",
-          "recovery/ring"};
+  std::vector<std::string> names = workload_names();
+  names.push_back("recovery/ring");
+  return names;
 }
 
 FaultCaseResult run_fault_case(const std::string& name,

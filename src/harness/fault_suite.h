@@ -45,6 +45,10 @@ struct FaultCaseResult {
   std::uint64_t frames_corrupted = 0;
   std::uint64_t crashes_fired = 0;
   std::uint64_t agents_recovered = 0;
+  /// Full metrics snapshot of the run (obs::Snapshot::to_string format),
+  /// so a failing case can be dumped with its profile, not just the seed.
+  /// Empty when the case threw before the run started.
+  std::string metrics;
 };
 
 /// Run one workload under `plan` (seeded by `plan.seed`) and verify it.

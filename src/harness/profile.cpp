@@ -1,0 +1,78 @@
+#include "harness/profile.h"
+
+#include <algorithm>
+
+#include "harness/text_table.h"
+#include "harness/workloads.h"
+#include "machine/sim_machine.h"
+#include "navp/trace.h"
+#include "obs/chrome_trace.h"
+
+namespace navcpp::harness {
+
+ProfileResult profile_workload(const std::string& name) {
+  ProfileResult out;
+  out.program = name;
+  out.pe_count = workload_pe_count(name);
+
+  machine::SimMachine sim(out.pe_count, workload_link(name));
+  navp::TraceRecorder trace;
+  obs::Registry registry;
+  // Ambient scopes: the Runtime each program constructs internally picks
+  // both up in its constructor (trace.h / metrics.h), so no runner
+  // signature needs a recorder or registry parameter.
+  navp::TraceScope trace_scope(&trace);
+  obs::MetricsScope metrics_scope(&registry);
+
+  const std::vector<double> got = run_workload(name, sim);
+  const WorkloadCheck check = check_workload(name, got);
+  out.ok = check.ok;
+  out.detail = check.detail;
+
+  out.finish_time = sim.finish_time();
+  out.network_messages = sim.network().message_count();
+  out.network_bytes = sim.network().byte_count();
+  out.snapshot = registry.snapshot();
+  out.bytes_match = out.snapshot.counter_or("net.bytes") == out.network_bytes;
+
+  const navp::TraceSnapshot snap = trace.snapshot();
+  obs::ChromeTraceOptions opts;
+  opts.process_name = "navcpp " + name;
+  opts.pe_count = out.pe_count;
+  out.trace_json =
+      obs::chrome_trace_json(snap.spans, snap.hops, &out.snapshot, opts);
+
+  // Per-PE breakdown in the style of the paper's Tables 3-4.  Compute and
+  // wait come from the trace spans; "comm" is the busy time the engine
+  // charged to the PE beyond traced compute (message packing/unpacking,
+  // protocol work); idle is whatever remains until the run drained.
+  const navp::TraceStats stats = navp::summarize(snap, out.pe_count);
+  TextTable table(
+      {"PE", "compute(s)", "comm(s)", "wait(s)", "idle(s)", "util"});
+  double total_compute = 0.0, total_comm = 0.0, total_wait = 0.0;
+  double total_idle = 0.0;
+  for (int pe = 0; pe < out.pe_count; ++pe) {
+    const double compute = stats.compute_by_pe[static_cast<std::size_t>(pe)];
+    const double wait = stats.wait_by_pe[static_cast<std::size_t>(pe)];
+    const double busy = sim.busy_time(pe);
+    const double comm = std::max(0.0, busy - compute);
+    const double idle = std::max(0.0, out.finish_time - busy - wait);
+    const double util =
+        out.finish_time > 0.0 ? compute / out.finish_time : 0.0;
+    total_compute += compute;
+    total_comm += comm;
+    total_wait += wait;
+    total_idle += idle;
+    table.add_row({std::to_string(pe), TextTable::num(compute, 6),
+                   TextTable::num(comm, 6), TextTable::num(wait, 6),
+                   TextTable::num(idle, 6), TextTable::num(util, 3)});
+  }
+  table.add_row({"all", TextTable::num(total_compute, 6),
+                 TextTable::num(total_comm, 6), TextTable::num(total_wait, 6),
+                 TextTable::num(total_idle, 6),
+                 TextTable::num(navp::mean_utilization(stats), 3)});
+  out.table = table.str();
+  return out;
+}
+
+}  // namespace navcpp::harness

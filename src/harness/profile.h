@@ -1,0 +1,41 @@
+// Run-wide profiling of one workload on the deterministic sim backend:
+// trace + metrics scopes wrap a run_workload() call, and the result bundles
+// a Chrome trace-event JSON (chrome://tracing / Perfetto), a per-PE
+// compute / comm / wait / idle table in the style of the paper's Tables
+// 3-4, and the full metrics snapshot.  Everything is derived from virtual
+// time on a SimMachine, so two same-configuration runs produce
+// byte-identical JSON and tables.
+//
+// Used by `navcpp_cli profile` and the obs tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace navcpp::harness {
+
+struct ProfileResult {
+  std::string program;
+  int pe_count = 0;
+  double finish_time = 0.0;  ///< virtual seconds at drain
+  bool ok = false;           ///< result verified against the reference
+  std::string detail;        ///< verification residual summary
+
+  std::string trace_json;  ///< Chrome trace-event JSON of the run
+  std::string table;       ///< per-PE compute/comm/wait/idle breakdown
+  obs::Snapshot snapshot;  ///< full metrics snapshot of the run
+
+  // NetworkModel admission counts, for cross-checking the exported
+  // metrics: bytes_match certifies snapshot["net.bytes"] == network_bytes.
+  std::uint64_t network_messages = 0;
+  std::uint64_t network_bytes = 0;
+  bool bytes_match = false;
+};
+
+/// Profile the named workload (see harness/workloads.h) on a fresh
+/// SimMachine.  Unknown names throw ConfigError.
+ProfileResult profile_workload(const std::string& name);
+
+}  // namespace navcpp::harness

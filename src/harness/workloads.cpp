@@ -1,0 +1,249 @@
+#include "harness/workloads.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <mutex>
+
+#include "apps/jacobi.h"
+#include "apps/lu.h"
+#include "linalg/gemm.h"
+#include "machine/sim_machine.h"
+#include "mm/doall_mm.h"
+#include "mm/gentleman_mm.h"
+#include "mm/navp_mm_1d.h"
+#include "mm/navp_mm_2d.h"
+#include "mm/summa_mm.h"
+#include "mm/summa_mm_1d.h"
+#include "support/error.h"
+
+namespace navcpp::harness {
+namespace {
+
+using linalg::BlockGrid;
+using linalg::Matrix;
+using linalg::RealStorage;
+
+// Sizes are the smallest that still exercise every itinerary: the 1-D
+// variants need nb divisible by the PE count with >= 2 blocks per PE, the
+// 2-D variants need a 2x2 grid, Jacobi needs its interior rows to split
+// evenly over the PEs.
+constexpr int k1dPes = 3, k1dOrder = 24, k1dBlock = 4;   // nb=6, width=2
+constexpr int k2dGrid = 2, k2dOrder = 16, k2dBlock = 4;  // nb=4, 4 PEs
+constexpr int kLuPes = 3, kLuOrder = 24, kLuBlock = 4;
+constexpr int kJacobiPes = 4, kJacobiRows = 34, kJacobiCols = 16;
+constexpr int kJacobiSweeps = 4;
+
+bool is_mm_1d(const std::string& name) {
+  return name == "mm/dsc1d" || name == "mm/pipe1d" || name == "mm/phase1d" ||
+         name == "mm/summa1d";
+}
+
+mm::MmConfig mm_config(const std::string& name) {
+  mm::MmConfig mcfg;
+  mcfg.order = is_mm_1d(name) ? k1dOrder : k2dOrder;
+  mcfg.block_order = is_mm_1d(name) ? k1dBlock : k2dBlock;
+  return mcfg;
+}
+
+apps::JacobiConfig jacobi_config() {
+  apps::JacobiConfig jcfg;
+  jcfg.rows = kJacobiRows;
+  jcfg.cols = kJacobiCols;
+  jcfg.sweeps = kJacobiSweeps;
+  return jcfg;
+}
+
+apps::LuConfig lu_config() {
+  apps::LuConfig lcfg;
+  lcfg.order = kLuOrder;
+  lcfg.block_order = kLuBlock;
+  return lcfg;
+}
+
+std::vector<double> mm_values(const std::string& name, machine::Engine& eng) {
+  const mm::MmConfig mcfg = mm_config(name);
+
+  const Matrix a = Matrix::random(mcfg.order, mcfg.order, 1);
+  const Matrix b = Matrix::random(mcfg.order, mcfg.order, 2);
+  auto ga = linalg::to_blocks(a, mcfg.block_order);
+  auto gb = linalg::to_blocks(b, mcfg.block_order);
+  BlockGrid<RealStorage> gc(mcfg.order, mcfg.block_order);
+
+  using mm::Navp1dVariant;
+  using mm::Navp2dVariant;
+  using mm::StaggerMode;
+  if (name == "mm/dsc1d") {
+    navp_mm_1d(eng, mcfg, Navp1dVariant::kDsc, ga, gb, gc);
+  } else if (name == "mm/pipe1d") {
+    navp_mm_1d(eng, mcfg, Navp1dVariant::kPipelined, ga, gb, gc);
+  } else if (name == "mm/phase1d") {
+    navp_mm_1d(eng, mcfg, Navp1dVariant::kPhaseShifted, ga, gb, gc);
+  } else if (name == "mm/summa1d") {
+    summa_mm_1d(eng, mcfg, ga, gb, gc);
+  } else if (name == "mm/dsc2d") {
+    navp_mm_2d(eng, mcfg, Navp2dVariant::kDsc, ga, gb, gc);
+  } else if (name == "mm/pipe2d") {
+    navp_mm_2d(eng, mcfg, Navp2dVariant::kPipelined, ga, gb, gc);
+  } else if (name == "mm/phase2d") {
+    navp_mm_2d(eng, mcfg, Navp2dVariant::kPhaseShifted, ga, gb, gc);
+  } else if (name == "mm/gentleman") {
+    gentleman_mm(eng, mcfg, StaggerMode::kDirect, ga, gb, gc);
+  } else if (name == "mm/cannon") {
+    gentleman_mm(eng, mcfg, StaggerMode::kStepwise, ga, gb, gc);
+  } else if (name == "mm/summa") {
+    summa_mm(eng, mcfg, ga, gb, gc);
+  } else if (name == "mm/doall") {
+    doall_mm(eng, mcfg, ga, gb, gc);
+  } else {
+    throw support::ConfigError("unknown workload " + name);
+  }
+
+  const Matrix c = linalg::from_blocks(gc);
+  return std::vector<double>(c.flat().begin(), c.flat().end());
+}
+
+std::vector<double> jacobi_values(const std::string& name,
+                                  machine::Engine& eng) {
+  const apps::JacobiConfig jcfg = jacobi_config();
+  const auto variant = name == "jacobi/dsc" ? apps::JacobiVariant::kDsc
+                       : name == "jacobi/pipeline"
+                           ? apps::JacobiVariant::kPipelined
+                           : apps::JacobiVariant::kDataflow;
+  const auto initial = apps::JacobiGrid::heated_plate(jcfg.rows, jcfg.cols);
+  const auto got = apps::jacobi_navp(eng, jcfg, variant, initial);
+  return got.u;
+}
+
+std::vector<double> lu_values(const std::string& name, machine::Engine& eng) {
+  const apps::LuConfig lcfg = lu_config();
+  const auto variant = name == "lu/dsc" ? apps::LuVariant::kDsc
+                                        : apps::LuVariant::kPipelined;
+  const Matrix a = apps::diagonally_dominant(lcfg.order, 17);
+  const auto [l, u] = apps::lu_navp(eng, lcfg, variant, a);
+  std::vector<double> out(l.flat().begin(), l.flat().end());
+  out.insert(out.end(), u.flat().begin(), u.flat().end());
+  return out;
+}
+
+/// Checks shared by the three result families.  `got` layouts match
+/// run_workload's: C.flat for MM, u for Jacobi, L.flat ++ U.flat for LU.
+
+WorkloadCheck mm_check(const std::string& name,
+                       const std::vector<double>& got) {
+  const mm::MmConfig mcfg = mm_config(name);
+  const Matrix a = Matrix::random(mcfg.order, mcfg.order, 1);
+  const Matrix b = Matrix::random(mcfg.order, mcfg.order, 2);
+  const Matrix want = linalg::multiply(a, b);
+  WorkloadCheck r;
+  r.tolerance = 1e-9;
+  if (got.size() != want.flat().size()) {
+    r.detail = "result size " + std::to_string(got.size()) + " != " +
+               std::to_string(want.flat().size());
+    return r;
+  }
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    r.error = std::max(r.error, std::abs(got[i] - want.flat()[i]));
+  }
+  r.ok = r.error < r.tolerance;
+  r.detail = "max|err| = " + std::to_string(r.error);
+  return r;
+}
+
+WorkloadCheck jacobi_check(const std::vector<double>& got) {
+  const apps::JacobiConfig jcfg = jacobi_config();
+  const auto initial = apps::JacobiGrid::heated_plate(jcfg.rows, jcfg.cols);
+  const auto want = apps::jacobi_sequential(initial, jcfg.sweeps);
+  WorkloadCheck r;
+  r.tolerance = 1e-12;
+  if (got.size() != want.u.size()) {
+    r.detail = "result size " + std::to_string(got.size()) + " != " +
+               std::to_string(want.u.size());
+    return r;
+  }
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    r.error = std::max(r.error, std::abs(got[i] - want.u[i]));
+  }
+  r.ok = r.error < r.tolerance;
+  r.detail = "max|err| = " + std::to_string(r.error);
+  return r;
+}
+
+WorkloadCheck lu_check(const std::vector<double>& got) {
+  const apps::LuConfig lcfg = lu_config();
+  const Matrix a = apps::diagonally_dominant(lcfg.order, 17);
+  const std::size_t half =
+      static_cast<std::size_t>(lcfg.order) * static_cast<std::size_t>(lcfg.order);
+  WorkloadCheck r;
+  r.tolerance = 1e-9;
+  if (got.size() != 2 * half) {
+    r.detail = "result size " + std::to_string(got.size()) + " != " +
+               std::to_string(2 * half);
+    return r;
+  }
+  Matrix l(lcfg.order, lcfg.order);
+  Matrix u(lcfg.order, lcfg.order);
+  std::copy(got.begin(), got.begin() + static_cast<std::ptrdiff_t>(half),
+            l.flat().begin());
+  std::copy(got.begin() + static_cast<std::ptrdiff_t>(half), got.end(),
+            u.flat().begin());
+  r.error = apps::lu_reconstruction_error(a, l, u);
+  r.ok = r.error < r.tolerance;
+  r.detail = "max|A-LU| = " + std::to_string(r.error);
+  return r;
+}
+
+}  // namespace
+
+std::vector<std::string> workload_names() {
+  return {"mm/dsc1d",  "mm/pipe1d",    "mm/phase1d", "mm/summa1d",
+          "mm/dsc2d",  "mm/pipe2d",    "mm/phase2d", "mm/gentleman",
+          "mm/cannon", "mm/summa",     "mm/doall",   "jacobi/dsc",
+          "jacobi/pipeline", "jacobi/dataflow", "lu/dsc", "lu/pipeline"};
+}
+
+int workload_pe_count(const std::string& name) {
+  if (name.rfind("mm/", 0) == 0) {
+    return is_mm_1d(name) ? k1dPes : k2dGrid * k2dGrid;
+  }
+  if (name.rfind("jacobi/", 0) == 0) return kJacobiPes;
+  if (name.rfind("lu/", 0) == 0) return kLuPes;
+  throw support::ConfigError("unknown workload " + name);
+}
+
+net::LinkParams workload_link(const std::string& name) {
+  if (name.rfind("mm/", 0) == 0) return mm::MmConfig{}.testbed.lan;
+  if (name.rfind("jacobi/", 0) == 0) return apps::JacobiConfig{}.testbed.lan;
+  if (name.rfind("lu/", 0) == 0) return apps::LuConfig{}.testbed.lan;
+  throw support::ConfigError("unknown workload " + name);
+}
+
+std::vector<double> run_workload(const std::string& name,
+                                 machine::Engine& eng) {
+  if (name.rfind("mm/", 0) == 0) return mm_values(name, eng);
+  if (name.rfind("jacobi/", 0) == 0) return jacobi_values(name, eng);
+  if (name.rfind("lu/", 0) == 0) return lu_values(name, eng);
+  throw support::ConfigError("unknown workload " + name);
+}
+
+const std::vector<double>& workload_reference(const std::string& name) {
+  static std::mutex mutex;
+  static std::map<std::string, std::vector<double>> cache;
+  std::lock_guard<std::mutex> lock(mutex);
+  auto it = cache.find(name);
+  if (it == cache.end()) {
+    machine::SimMachine sim(workload_pe_count(name), workload_link(name));
+    it = cache.emplace(name, run_workload(name, sim)).first;
+  }
+  return it->second;
+}
+
+WorkloadCheck check_workload(const std::string& name,
+                             const std::vector<double>& got) {
+  if (name.rfind("mm/", 0) == 0) return mm_check(name, got);
+  if (name.rfind("jacobi/", 0) == 0) return jacobi_check(got);
+  if (name.rfind("lu/", 0) == 0) return lu_check(got);
+  throw support::ConfigError("unknown workload " + name);
+}
+
+}  // namespace navcpp::harness

@@ -1,0 +1,62 @@
+// The shared workload catalog: the 16 distributed programs (six NavP MM
+// variants, the SPMD comparators, Jacobi, LU) that the chaos suite, the
+// fault suite, and the profiler all run.  Each workload fixes its inputs
+// deterministically (seeded random matrices, the heated plate), so any two
+// runs of the same name see identical data and differ only in the engine
+// they execute on — which is exactly what the suites need to compare
+// perturbed runs against references.
+//
+// Three verification styles hang off the same catalog:
+//   * workload_reference(name): a fault-free SimMachine run, cached for the
+//     whole process — the fault suite compares bit-identically against it;
+//   * check_workload(name, got): the analytic / sequential reference with
+//     per-family tolerances — the chaos suite's notion of "still correct";
+//   * harness/profile.h runs a workload under trace + metrics scopes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "machine/engine.h"
+#include "net/link_model.h"
+
+namespace navcpp::harness {
+
+/// Names of all 16 program workloads ("mm/phase1d", "jacobi/dataflow", ...).
+/// Does NOT include "recovery/ring" — that scenario needs a FaultMachine
+/// and lives in fault_suite.cpp.
+std::vector<std::string> workload_names();
+
+/// PEs the named workload wants.  Unknown names throw ConfigError.
+int workload_pe_count(const std::string& name);
+
+/// Link parameters the named workload models (its config's LAN testbed).
+net::LinkParams workload_link(const std::string& name);
+
+/// Run the named workload on `eng` (which must have workload_pe_count(name)
+/// PEs) and return its numeric result flattened to a vector: the C matrix
+/// for MM, the grid for Jacobi, L then U for LU.  Inputs are regenerated
+/// deterministically on every call.
+std::vector<double> run_workload(const std::string& name,
+                                 machine::Engine& eng);
+
+/// Fault-free reference result on a plain SimMachine, computed once per
+/// name (the inputs are fixed, so it is seed-independent) and cached for
+/// the lifetime of the process.
+const std::vector<double>& workload_reference(const std::string& name);
+
+/// Outcome of checking a workload result against its analytic reference.
+struct WorkloadCheck {
+  bool ok = false;
+  double error = 0.0;      ///< the residual that was compared
+  double tolerance = 0.0;  ///< the per-family bound it had to beat
+  std::string detail;      ///< human-readable residual summary
+};
+
+/// Verify `got` (a run_workload result) against the sequential reference:
+/// MM against linalg::multiply (1e-9), Jacobi against jacobi_sequential
+/// (1e-12), LU by reconstruction error |A - LU| (1e-9).
+WorkloadCheck check_workload(const std::string& name,
+                             const std::vector<double>& got);
+
+}  // namespace navcpp::harness

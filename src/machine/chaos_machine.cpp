@@ -36,6 +36,7 @@ void ChaosMachine::post(int pe, support::MoveFunction action) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     ++decisions_;
+    if (m_decisions_ != nullptr) m_decisions_->add();
     if (cfg_.shuffle_same_pe && rng_.uniform() < cfg_.shuffle_prob) {
       defer = 1 + static_cast<int>(rng_.below(
                       static_cast<std::uint64_t>(cfg_.max_post_defer)));
@@ -44,7 +45,10 @@ void ChaosMachine::post(int pe, support::MoveFunction action) {
         rng_.uniform() < cfg_.post_jitter_prob) {
       jitter = rng_.uniform(0.0, cfg_.max_post_jitter_s);
     }
-    if (defer > 0 || jitter > 0.0) ++perturbations_;
+    if (defer > 0 || jitter > 0.0) {
+      ++perturbations_;
+      if (m_perturbations_ != nullptr) m_perturbations_->add();
+    }
     log_ += 'p';
     log_ += std::to_string(pe);
     log_ += 'd';
@@ -73,10 +77,12 @@ void ChaosMachine::transmit(int src, int dst, std::size_t bytes,
   {
     std::lock_guard<std::mutex> lock(mutex_);
     ++decisions_;
+    if (m_decisions_ != nullptr) m_decisions_->add();
     if (rng_.uniform() < cfg_.transmit_delay_prob) {
       defer = 1 + static_cast<int>(rng_.below(
                       static_cast<std::uint64_t>(cfg_.max_transmit_defer)));
       ++perturbations_;
+      if (m_perturbations_ != nullptr) m_perturbations_->add();
     }
     log_ += 't';
     log_ += std::to_string(src);
@@ -148,6 +154,17 @@ void ChaosMachine::reset_trace(std::uint64_t seed) {
   log_.clear();
   decisions_ = 0;
   perturbations_ = 0;
+}
+
+void ChaosMachine::set_metrics(obs::Registry* registry) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (registry == nullptr) {
+    m_decisions_ = nullptr;
+    m_perturbations_ = nullptr;
+    return;
+  }
+  m_decisions_ = &registry->counter("chaos.decisions");
+  m_perturbations_ = &registry->counter("chaos.perturbations");
 }
 
 }  // namespace navcpp::machine

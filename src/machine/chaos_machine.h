@@ -51,6 +51,7 @@
 #include <utility>
 
 #include "machine/engine.h"
+#include "obs/metrics.h"
 #include "support/rng.h"
 
 namespace navcpp::machine {
@@ -113,6 +114,9 @@ class ChaosMachine final : public Engine {
     inner_.post_after(pe, delay_seconds, std::move(action));
   }
   Engine* decorated() override { return &inner_; }
+  /// Metrics: "chaos.decisions" / "chaos.perturbations" counters mirroring
+  /// decisions()/perturbations().
+  void set_metrics(obs::Registry* registry) override;
 
   Engine& inner() { return inner_; }
   const ChaosConfig& config() const { return cfg_; }
@@ -150,6 +154,10 @@ class ChaosMachine final : public Engine {
   std::string log_;
   std::uint64_t decisions_ = 0;
   std::uint64_t perturbations_ = 0;
+
+  // Cached metric handles (null when metrics are off).
+  obs::Counter* m_decisions_ = nullptr;
+  obs::Counter* m_perturbations_ = nullptr;
 };
 
 }  // namespace navcpp::machine

@@ -23,6 +23,10 @@
 
 #include "support/move_function.h"
 
+namespace navcpp::obs {
+class Registry;
+}  // namespace navcpp::obs
+
 namespace navcpp::machine {
 
 class Engine {
@@ -98,6 +102,13 @@ class Engine {
   /// nullptr for a terminal backend.  Lets the runtime discover injected
   /// fault layers regardless of how decorators are stacked.
   virtual Engine* decorated() { return nullptr; }
+
+  /// Attach a metrics registry (nullptr = off).  Each layer reports its own
+  /// dimensions (actions executed, queue depths, faults injected, ...);
+  /// navp::Runtime::set_metrics walks the decorator chain and calls this on
+  /// every layer, so decorators must not forward the call.  The registry
+  /// must outlive the engine's use of it.  Default: no instrumentation.
+  virtual void set_metrics(obs::Registry* /*registry*/) {}
 };
 
 }  // namespace navcpp::machine

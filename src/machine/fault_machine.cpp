@@ -40,6 +40,7 @@ void FaultMachine::transmit(int src, int dst, std::size_t bytes,
       // while the runtime still tracks it) and destroyed at teardown.
       limbo_.push_back(std::move(on_delivery));
       ++limboed_;
+      if (m_limboed_ != nullptr) m_limboed_->add();
       return;
     }
   }
@@ -61,6 +62,9 @@ net::FrameFate FaultMachine::decide_frame(int src, int dst) {
   if (drop) ++dropped_;
   if (dup) ++duplicated_;
   if (corrupt) ++corrupted_;
+  if (drop && m_drops_ != nullptr) m_drops_->add();
+  if (dup && m_dups_ != nullptr) m_dups_->add();
+  if (corrupt && m_corrupts_ != nullptr) m_corrupts_->add();
   log_ += "f" + std::to_string(src) + "-" + std::to_string(dst);
   if (drop) log_ += "D";
   if (dup) log_ += "2";
@@ -84,6 +88,7 @@ void FaultMachine::arm_crashes() {
         std::lock_guard<std::mutex> lock(mutex_);
         crashed_[static_cast<std::size_t>(spec.pe)] = 1;
         ++crashes_fired_;
+        if (m_crashes_ != nullptr) m_crashes_->add();
         log_ += "X" + std::to_string(spec.pe) + ";";
       }
       if (crash_handler_) crash_handler_(spec.pe);
@@ -151,6 +156,19 @@ void FaultMachine::reset_trace(std::uint64_t seed) {
   // runtime of the previous run may still sweep; they die with the machine.
   crashes_armed_ = false;
   std::fill(crashed_.begin(), crashed_.end(), 0);
+}
+
+void FaultMachine::set_metrics(obs::Registry* registry) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (registry == nullptr) {
+    m_drops_ = m_dups_ = m_corrupts_ = m_limboed_ = m_crashes_ = nullptr;
+    return;
+  }
+  m_drops_ = &registry->counter("fault.frames_dropped");
+  m_dups_ = &registry->counter("fault.frames_duplicated");
+  m_corrupts_ = &registry->counter("fault.frames_corrupted");
+  m_limboed_ = &registry->counter("fault.messages_limboed");
+  m_crashes_ = &registry->counter("fault.crashes_fired");
 }
 
 }  // namespace navcpp::machine

@@ -45,6 +45,7 @@
 
 #include "machine/engine.h"
 #include "net/reliable_channel.h"
+#include "obs/metrics.h"
 #include "support/rng.h"
 
 namespace navcpp::machine {
@@ -93,6 +94,10 @@ class FaultMachine final : public Engine, public net::FrameFaults {
   void fail(std::exception_ptr error) noexcept override { inner_.fail(error); }
   void run() override;
   Engine* decorated() override { return &inner_; }
+  /// Metrics: injected-fault counters under "fault.*" (drops, dups,
+  /// corruptions, limboed payloads, crashes fired).  Reports only this
+  /// layer's dimensions — Runtime::set_metrics walks the chain.
+  void set_metrics(obs::Registry* registry) override;
 
   // --- net::FrameFaults --------------------------------------------------
   net::FrameFate decide_frame(int src, int dst) override;
@@ -153,6 +158,13 @@ class FaultMachine final : public Engine, public net::FrameFaults {
 
   std::function<void(int)> crash_handler_;
   std::function<void(int)> restart_handler_;
+
+  // Cached metric handles (null when metrics are off).
+  obs::Counter* m_drops_ = nullptr;
+  obs::Counter* m_dups_ = nullptr;
+  obs::Counter* m_corrupts_ = nullptr;
+  obs::Counter* m_limboed_ = nullptr;
+  obs::Counter* m_crashes_ = nullptr;
 };
 
 }  // namespace navcpp::machine

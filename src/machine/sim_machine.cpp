@@ -32,6 +32,7 @@ void SimMachine::post(int pe, support::MoveFunction action) {
       when, [this, pe, when, action = std::move(action)]() mutable {
         auto& clk = clock_[static_cast<std::size_t>(pe)];
         clk = std::max(clk, when);
+        count_action(pe);
         action();
       });
 }
@@ -45,6 +46,7 @@ void SimMachine::post_after(int pe, double delay_seconds,
       when, [this, pe, when, action = std::move(action)]() mutable {
         auto& clk = clock_[static_cast<std::size_t>(pe)];
         clk = std::max(clk, when);
+        count_action(pe);
         action();
       });
 }
@@ -55,6 +57,12 @@ void SimMachine::transmit(int src, int dst, std::size_t bytes,
   check_pe(dst);
   auto& src_clk = clock_[static_cast<std::size_t>(src)];
   const net::Transfer tr = network_.admit(src, dst, bytes, src_clk);
+  // Mirror the model's admission counts byte-for-byte: the acceptance check
+  // "exported trace totals == NetworkModel stats" depends on this pairing.
+  if (m_net_messages_ != nullptr) {
+    m_net_messages_->add();
+    m_net_bytes_->add(bytes);
+  }
   // Sender CPU is occupied until the message is handed to the NIC.
   busy_[static_cast<std::size_t>(src)] += tr.sender_cpu_free - src_clk;
   src_clk = tr.sender_cpu_free;
@@ -65,6 +73,7 @@ void SimMachine::transmit(int src, int dst, std::size_t bytes,
     auto& clk = clock_[static_cast<std::size_t>(dst)];
     clk = std::max(clk, when);
     charge(dst, recv_cost);
+    count_action(dst);
     action();
   });
 }
@@ -97,6 +106,25 @@ void SimMachine::reset() {
   std::fill(busy_.begin(), busy_.end(), 0.0);
   network_.reset();
   ran_ = false;
+  // The reporter captures the previous run's Runtime by reference; a reused
+  // machine must not invoke it after that Runtime is gone.
+  blocked_reporter_ = nullptr;
+}
+
+void SimMachine::set_metrics(obs::Registry* registry) {
+  m_actions_.clear();
+  if (registry == nullptr) {
+    m_net_messages_ = nullptr;
+    m_net_bytes_ = nullptr;
+    m_virtual_time_ = nullptr;
+    return;
+  }
+  for (int pe = 0; pe < pe_count(); ++pe) {
+    m_actions_.push_back(&registry->counter("sim.actions", obs::pe_label(pe)));
+  }
+  m_net_messages_ = &registry->counter("net.messages");
+  m_net_bytes_ = &registry->counter("net.bytes");
+  m_virtual_time_ = &registry->gauge("sim.virtual_time");
 }
 
 void SimMachine::run() {
@@ -105,6 +133,7 @@ void SimMachine::run() {
     action();
   }
   ran_ = true;
+  if (m_virtual_time_ != nullptr) m_virtual_time_->set(finish_time());
   if (error_) {
     std::exception_ptr e = error_;
     error_ = nullptr;

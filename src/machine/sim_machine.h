@@ -21,6 +21,7 @@
 
 #include "machine/engine.h"
 #include "net/link_model.h"
+#include "obs/metrics.h"
 #include "sim/event_queue.h"
 #include "sim/time.h"
 
@@ -52,6 +53,13 @@ class SimMachine final : public Engine {
 
   void run() override;
 
+  /// Metrics: per-PE "sim.actions{pe=N}" counters, "net.messages" /
+  /// "net.bytes" counters mirroring the NetworkModel's admission counts
+  /// byte-for-byte (so an exported trace can be cross-checked against
+  /// network().stats() exactly), and a "sim.virtual_time" gauge updated when
+  /// run() drains.
+  void set_metrics(obs::Registry* registry) override;
+
   /// The network model (for message/byte statistics in benches).
   net::NetworkModel& network() { return network_; }
   const net::NetworkModel& network() const { return network_; }
@@ -61,12 +69,17 @@ class SimMachine final : public Engine {
 
   /// Rewind the machine to its freshly-constructed state for reuse: PE
   /// clocks and busy counters to zero, network model fully reset (stats AND
-  /// NIC occupancy — see net::NetworkModel::reset()).  Requires an empty
-  /// event queue, i.e. call it between runs, not during one.
+  /// NIC occupancy — see net::NetworkModel::reset()), and the blocked
+  /// reporter dropped (it captures the previous run's Runtime; keeping it
+  /// across a reset left a dangling diagnostic callback).  Requires an
+  /// empty event queue, i.e. call it between runs, not during one.
   void reset();
 
  private:
   void check_pe(int pe) const;
+  void count_action(int pe) {
+    if (!m_actions_.empty()) m_actions_[static_cast<std::size_t>(pe)]->add();
+  }
 
   net::NetworkModel network_;
   sim::EventQueue queue_;
@@ -76,6 +89,12 @@ class SimMachine final : public Engine {
   bool ran_ = false;
   std::exception_ptr error_;
   std::function<std::string()> blocked_reporter_;
+
+  // Cached metric handles (empty/null when metrics are off).
+  std::vector<obs::Counter*> m_actions_;
+  obs::Counter* m_net_messages_ = nullptr;
+  obs::Counter* m_net_bytes_ = nullptr;
+  obs::Gauge* m_virtual_time_ = nullptr;
 };
 
 }  // namespace navcpp::machine

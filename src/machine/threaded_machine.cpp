@@ -17,6 +17,16 @@ ThreadedMachine::ThreadedMachine(int pe_count) {
     queues_.push_back(
         std::make_unique<support::MpscQueue<support::MoveFunction>>());
   }
+  enqueued_ = std::make_unique<std::atomic<std::int64_t>[]>(
+      static_cast<std::size_t>(pe_count));
+  dequeued_ = std::make_unique<std::atomic<std::int64_t>[]>(
+      static_cast<std::size_t>(pe_count));
+  for (int pe = 0; pe < pe_count; ++pe) {
+    enqueued_[static_cast<std::size_t>(pe)].store(0,
+                                                  std::memory_order_relaxed);
+    dequeued_[static_cast<std::size_t>(pe)].store(0,
+                                                  std::memory_order_relaxed);
+  }
 }
 
 ThreadedMachine::~ThreadedMachine() {
@@ -48,7 +58,9 @@ void ThreadedMachine::post(int pe, support::MoveFunction action) {
   // A rejected push means the machine is stopping (failure or teardown);
   // dropping the action destroys its captures, which is exactly what the
   // post-failure drain would have done.
-  (void)queues_[static_cast<std::size_t>(pe)]->push(std::move(action));
+  if (queues_[static_cast<std::size_t>(pe)]->push(std::move(action))) {
+    note_enqueue(pe);
+  }
 }
 
 void ThreadedMachine::post_after(int pe, double delay_seconds,
@@ -113,6 +125,11 @@ void ThreadedMachine::transmit(int src, int dst, std::size_t bytes,
     // Only messages actually enqueued count toward the cost audit.
     transmitted_messages_.fetch_add(1, std::memory_order_relaxed);
     transmitted_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    note_enqueue(dst);
+    if (m_net_messages_ != nullptr) {
+      m_net_messages_->add();
+      m_net_bytes_->add(bytes);
+    }
   }
 }
 
@@ -154,6 +171,7 @@ void ThreadedMachine::worker_loop(int pe) {
   while (true) {
     std::optional<support::MoveFunction> action = queue.pop_blocking();
     if (!action.has_value()) return;  // queue closed and drained
+    note_dequeue(pe);
     {
       // After a failure, drain without executing: MoveFunction destruction
       // releases captured coroutine frames and payloads.
@@ -161,6 +179,7 @@ void ThreadedMachine::worker_loop(int pe) {
       if (stopping_) continue;
       ++actions_in_flight_;
     }
+    if (!m_actions_.empty()) m_actions_[static_cast<std::size_t>(pe)]->add();
     try {
       (*action)();
     } catch (...) {
@@ -247,6 +266,7 @@ void ThreadedMachine::run() {
   for (auto& w : workers_) w.join();
   workers_.clear();
   finish_time_ = clock_.seconds();
+  if (m_wall_time_ != nullptr) m_wall_time_->set(finish_time_);
   // The workers are gone, so the queues can accept work again: a reused
   // machine receives its next run's initial post()s *before* the next
   // run() call, and those must not be dropped as shutdown strays.
@@ -265,6 +285,26 @@ void ThreadedMachine::run() {
     if (blocked_reporter_) os << "\n" << blocked_reporter_();
     throw support::DeadlockError(os.str());
   }
+}
+
+void ThreadedMachine::set_metrics(obs::Registry* registry) {
+  m_actions_.clear();
+  if (registry == nullptr) {
+    m_queue_depth_ = nullptr;
+    m_net_messages_ = nullptr;
+    m_net_bytes_ = nullptr;
+    m_wall_time_ = nullptr;
+    return;
+  }
+  for (int pe = 0; pe < pe_count(); ++pe) {
+    m_actions_.push_back(
+        &registry->counter("threaded.actions", obs::pe_label(pe)));
+  }
+  m_queue_depth_ = &registry->histogram(
+      "threaded.queue_depth", "", {0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 64.0, 256.0});
+  m_net_messages_ = &registry->counter("net.messages");
+  m_net_bytes_ = &registry->counter("net.bytes");
+  m_wall_time_ = &registry->gauge("threaded.wall_time");
 }
 
 }  // namespace navcpp::machine

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -27,6 +28,7 @@
 #include <vector>
 
 #include "machine/engine.h"
+#include "obs/metrics.h"
 #include "support/mpsc_queue.h"
 #include "support/stopwatch.h"
 
@@ -84,6 +86,13 @@ class ThreadedMachine final : public Engine {
     transmitted_messages_.store(0, std::memory_order_relaxed);
   }
 
+  /// Metrics: per-PE "threaded.actions{pe=N}" counters, a
+  /// "threaded.queue_depth" histogram sampled at every enqueue,
+  /// "net.messages" / "net.bytes" counters beside the transmit audit, and a
+  /// "threaded.wall_time" gauge set when run() returns.  Attach before
+  /// run() — the worker threads read the cached handles unsynchronized.
+  void set_metrics(obs::Registry* registry) override;
+
  private:
   struct Timer {
     std::chrono::steady_clock::time_point when;
@@ -99,6 +108,22 @@ class ThreadedMachine final : public Engine {
   void timer_loop();
   void check_pe(int pe) const;
   void record_exception();
+
+  /// Queue-depth bookkeeping around the MPSC queues (which expose no size).
+  void note_enqueue(int pe) {
+    const std::int64_t depth =
+        enqueued_[static_cast<std::size_t>(pe)].fetch_add(
+            1, std::memory_order_relaxed) +
+        1 - dequeued_[static_cast<std::size_t>(pe)].load(
+                std::memory_order_relaxed);
+    if (m_queue_depth_ != nullptr) {
+      m_queue_depth_->record(static_cast<double>(depth));
+    }
+  }
+  void note_dequeue(int pe) {
+    dequeued_[static_cast<std::size_t>(pe)].fetch_add(
+        1, std::memory_order_relaxed);
+  }
 
   std::vector<std::unique_ptr<support::MpscQueue<support::MoveFunction>>>
       queues_;
@@ -130,6 +155,16 @@ class ThreadedMachine final : public Engine {
   double finish_time_ = 0.0;
   std::atomic<std::uint64_t> transmitted_bytes_{0};
   std::atomic<std::uint64_t> transmitted_messages_{0};
+
+  // Cached metric handles (empty/null when metrics are off) and the per-PE
+  // enqueue/dequeue tallies backing the queue-depth histogram.
+  std::vector<obs::Counter*> m_actions_;
+  obs::Histogram* m_queue_depth_ = nullptr;
+  obs::Counter* m_net_messages_ = nullptr;
+  obs::Counter* m_net_bytes_ = nullptr;
+  obs::Gauge* m_wall_time_ = nullptr;
+  std::unique_ptr<std::atomic<std::int64_t>[]> enqueued_;
+  std::unique_ptr<std::atomic<std::int64_t>[]> dequeued_;
 };
 
 }  // namespace navcpp::machine

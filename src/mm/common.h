@@ -191,24 +191,14 @@ void charged_gemm(navp::Ctx& ctx, const perfmodel::Testbed& tb,
 }
 
 /// Scoped trace attachment for the mm runners (which construct their own
-/// Runtime internally): while an MmTraceScope is alive, every runner
-/// invoked on this thread records its execution into the given recorder.
-/// Used by the Figure-1 space-time benchmark and the trace examples.
-class MmTraceScope {
- public:
-  explicit MmTraceScope(navp::TraceRecorder* trace) : previous_(current_) {
-    current_ = trace;
-  }
-  ~MmTraceScope() { current_ = previous_; }
-  MmTraceScope(const MmTraceScope&) = delete;
-  MmTraceScope& operator=(const MmTraceScope&) = delete;
-
-  static navp::TraceRecorder* current() { return current_; }
-
- private:
-  navp::TraceRecorder* previous_;
-  static inline thread_local navp::TraceRecorder* current_ = nullptr;
-};
+/// Runtime internally): while a scope is alive, every runner invoked on
+/// this thread records its execution into the given recorder.  Now an
+/// alias of the runtime-wide ambient scope (navp/trace.h) — Runtime picks
+/// the recorder up automatically in its constructor, so the explicit
+/// `rt.set_trace(MmTraceScope::current())` in the runners is redundant
+/// but harmless.  Used by the Figure-1 space-time benchmark, the trace
+/// examples, and the profiler (harness/profile.h).
+using MmTraceScope = navp::TraceScope;
 
 /// Execution statistics of one distributed run.
 struct MmStats {

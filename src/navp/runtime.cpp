@@ -25,6 +25,41 @@ Runtime::Runtime(machine::Engine& engine)
       break;
     }
   }
+  // Ambient observability: programs that build their Runtime internally
+  // (the sixteen workload runners) get traced/metered by whoever holds the
+  // enclosing scope — the harness suites and `navcpp_cli profile`.
+  if (trace_ == nullptr) trace_ = TraceScope::current();
+  if (obs::Registry* ambient = obs::MetricsScope::current()) {
+    set_metrics(ambient);
+  }
+}
+
+void Runtime::set_metrics(obs::Registry* registry) {
+  metrics_ = registry;
+  if (registry == nullptr) {
+    m_hops_ = m_hop_bytes_ = m_injects_ = m_completions_ = nullptr;
+    m_signals_ = m_waits_ = m_commits_ = m_killed_ = m_recovered_ = nullptr;
+    m_hop_arrivals_.clear();
+  } else {
+    m_hops_ = &registry->counter("navp.hops");
+    m_hop_bytes_ = &registry->counter("navp.hop_bytes");
+    m_injects_ = &registry->counter("navp.agents_injected");
+    m_completions_ = &registry->counter("navp.agents_completed");
+    m_signals_ = &registry->counter("navp.signals");
+    m_waits_ = &registry->counter("navp.waits");
+    m_commits_ = &registry->counter("navp.checkpoint_commits");
+    m_killed_ = &registry->counter("navp.agents_killed");
+    m_recovered_ = &registry->counter("navp.agents_recovered");
+    m_hop_arrivals_.clear();
+    for (int pe = 0; pe < pe_count(); ++pe) {
+      m_hop_arrivals_.push_back(
+          &registry->counter("navp.hop_arrivals", obs::pe_label(pe)));
+    }
+  }
+  for (machine::Engine* e = &engine_; e != nullptr; e = e->decorated()) {
+    e->set_metrics(registry);
+  }
+  if (reliable_) reliable_->set_metrics(registry);
 }
 
 Runtime::~Runtime() {
@@ -56,6 +91,7 @@ std::shared_ptr<AgentState> Runtime::make_agent(int pe, std::string name) {
     registry_.emplace(state->id, state);
   }
   injected_.fetch_add(1, std::memory_order_relaxed);
+  if (m_injects_ != nullptr) m_injects_->add();
   return state;
 }
 
@@ -155,6 +191,7 @@ bool Runtime::restore_descriptor(const RecoverableDescriptor& d) {
   NAVCPP_CHECK(mission.valid(), "recovery factory returned an empty Mission");
   start_agent(state, std::move(mission));
   recovered_.fetch_add(1, std::memory_order_relaxed);
+  if (m_recovered_ != nullptr) m_recovered_->add();
   return true;
 }
 
@@ -166,6 +203,7 @@ void Runtime::commit_recoverable(const std::string& name, int pe,
                "commit for unknown recoverable \"" + name + "\"");
   it->second.pe = pe;
   it->second.state = state;
+  if (m_commits_ != nullptr) m_commits_->add();
 }
 
 void Runtime::crash_pe(int pe) {
@@ -189,6 +227,7 @@ void Runtime::crash_pe(int pe) {
   for (const std::shared_ptr<AgentState>& st : victims) {
     st->destroy_stack();
     killed_.fetch_add(1, std::memory_order_relaxed);
+    if (m_killed_ != nullptr) m_killed_->add();
     // The task slot is released so the machine does not wait forever for an
     // agent that no longer exists; recovery re-registers on re-injection.
     engine_.task_finished();
@@ -237,6 +276,7 @@ std::string Runtime::blocked_report() const {
 void agent_finished(AgentState* state, std::exception_ptr error) noexcept {
   Runtime* rt = state->rt;
   rt->completed_.fetch_add(1, std::memory_order_relaxed);
+  if (rt->m_completions_ != nullptr) rt->m_completions_->add();
   machine::Engine& engine = rt->engine_;
   state->root = nullptr;  // frame already destroyed by FinalAwaiter
   {

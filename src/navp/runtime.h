@@ -27,6 +27,7 @@
 #include "navp/event.h"
 #include "navp/node_store.h"
 #include "navp/trace.h"
+#include "obs/metrics.h"
 #include "support/bytebuffer.h"
 #include "support/error.h"
 
@@ -82,9 +83,19 @@ class Runtime {
   /// exception escaping any agent.
   void run();
 
-  /// Attach / detach a trace recorder (nullptr = off).
+  /// Attach / detach a trace recorder (nullptr = off).  The constructor
+  /// defaults this from the ambient TraceScope, so scoped callers (harness,
+  /// profile) need not reach into every program's Runtime.
   void set_trace(TraceRecorder* trace) { trace_ = trace; }
   TraceRecorder* trace() const { return trace_; }
+
+  /// Attach / detach a metrics registry (nullptr = off).  Resolves and
+  /// caches the runtime's own counters, walks the engine decorator chain so
+  /// every layer (backend, chaos, fault) reports its dimensions, and
+  /// propagates to the auto-installed reliability layer.  The constructor
+  /// defaults this from the ambient obs::MetricsScope.
+  void set_metrics(obs::Registry* registry);
+  obs::Registry* metrics() const { return metrics_; }
 
   /// Fixed per-hop state overhead in bytes ("a small amount of state data").
   void set_hop_state_bytes(std::size_t n) { hop_state_bytes_ = n; }
@@ -204,9 +215,30 @@ class Runtime {
   }
 
   // --- internal (used by Ctx, the awaiters, and minimpi) -----------------
-  void count_hop() { hops_.fetch_add(1, std::memory_order_relaxed); }
-  void count_signal() { signals_.fetch_add(1, std::memory_order_relaxed); }
-  void count_wait() { waits_.fetch_add(1, std::memory_order_relaxed); }
+  void count_hop() {
+    hops_.fetch_add(1, std::memory_order_relaxed);
+    if (m_hops_ != nullptr) m_hops_->add();
+  }
+  void count_signal() {
+    signals_.fetch_add(1, std::memory_order_relaxed);
+    if (m_signals_ != nullptr) m_signals_->add();
+  }
+  void count_wait() {
+    waits_.fetch_add(1, std::memory_order_relaxed);
+    if (m_waits_ != nullptr) m_waits_->add();
+  }
+  /// Called from the hop delivery closure, which runs exactly once per hop
+  /// even when the reliability layer retransmits the frame — so hop-byte
+  /// accounting here counts the *delivered* copy only, never the wire-level
+  /// duplicates (those show up under net.reliable.* instead).
+  void count_hop_delivered(int dst, std::uint64_t bytes) {
+    if (m_hop_bytes_ != nullptr) {
+      m_hop_bytes_->add(bytes);
+      if (dst >= 0 && static_cast<std::size_t>(dst) < m_hop_arrivals_.size()) {
+        m_hop_arrivals_[static_cast<std::size_t>(dst)]->add();
+      }
+    }
+  }
 
   /// Signal `key` on `pe`, waking the oldest waiter if any.  MUST be called
   /// from code executing on `pe` (an agent resident there, or a message
@@ -252,6 +284,19 @@ class Runtime {
   std::vector<NodeStore> node_stores_;
   std::vector<EventTable> event_tables_;
   TraceRecorder* trace_ = nullptr;
+  obs::Registry* metrics_ = nullptr;
+  // Cached metric handles (null when metrics are off); resolved once in
+  // set_metrics so the counting hooks stay a relaxed atomic add.
+  obs::Counter* m_hops_ = nullptr;
+  obs::Counter* m_hop_bytes_ = nullptr;
+  obs::Counter* m_injects_ = nullptr;
+  obs::Counter* m_completions_ = nullptr;
+  obs::Counter* m_signals_ = nullptr;
+  obs::Counter* m_waits_ = nullptr;
+  obs::Counter* m_commits_ = nullptr;
+  obs::Counter* m_killed_ = nullptr;
+  obs::Counter* m_recovered_ = nullptr;
+  std::vector<obs::Counter*> m_hop_arrivals_;  // per destination PE
   std::size_t hop_state_bytes_ = 256;
   double hop_cpu_overhead_ = 0.0;
   double activation_overhead_ = 0.0;
@@ -391,6 +436,7 @@ struct HopAwaiter {
           st->in_flight = false;
           Runtime* r = st->rt;
           r->engine().charge(d, r->activation_overhead());
+          r->count_hop_delivered(d, bytes);
           if (auto* tr = r->trace()) {
             tr->record_hop(TraceHop{st->id, src, d, depart,
                                     r->engine().now(d), bytes});

@@ -14,10 +14,16 @@ char agent_glyph(AgentId id) {
 }  // namespace
 
 TraceStats summarize(const TraceRecorder& trace, int pe_count) {
+  return summarize(trace.snapshot(), pe_count);
+}
+
+TraceStats summarize(const TraceSnapshot& snap, int pe_count) {
   TraceStats stats;
   stats.compute_by_pe.assign(
       static_cast<std::size_t>(std::max(pe_count, 0)), 0.0);
-  for (const auto& s : trace.spans()) {
+  stats.wait_by_pe.assign(
+      static_cast<std::size_t>(std::max(pe_count, 0)), 0.0);
+  for (const auto& s : snap.spans) {
     const double span = s.t1 - s.t0;
     stats.end_time = std::max(stats.end_time, s.t1);
     if (s.kind == TraceSpan::Kind::kCompute) {
@@ -27,9 +33,12 @@ TraceStats summarize(const TraceRecorder& trace, int pe_count) {
       }
     } else {
       stats.total_wait += span;
+      if (s.pe >= 0 && s.pe < pe_count) {
+        stats.wait_by_pe[static_cast<std::size_t>(s.pe)] += span;
+      }
     }
   }
-  for (const auto& h : trace.hops()) {
+  for (const auto& h : snap.hops) {
     ++stats.hop_count;
     stats.hop_bytes += h.bytes;
     stats.end_time = std::max(stats.end_time, h.arrive);

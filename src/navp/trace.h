@@ -35,6 +35,12 @@ struct TraceHop {
   std::uint64_t bytes = 0;
 };
 
+/// A consistent copy of a recorder's contents, taken under its lock.
+struct TraceSnapshot {
+  std::vector<TraceSpan> spans;
+  std::vector<TraceHop> hops;
+};
+
 class TraceRecorder {
  public:
   void record_span(TraceSpan span) {
@@ -47,9 +53,26 @@ class TraceRecorder {
     hops_.push_back(hop);
   }
 
-  /// Snapshot accessors (call after the run; no concurrent writers then).
-  const std::vector<TraceSpan>& spans() const { return spans_; }
-  const std::vector<TraceHop>& hops() const { return hops_; }
+  /// Accessors return copies taken under the lock: the threaded backend's
+  /// timer/watchdog thread can still be recording while a DeadlockError
+  /// unwinds and the harness reads the trace, so handing out references to
+  /// the live vectors was a read/write race (and a dangling reference after
+  /// any reallocation).
+  std::vector<TraceSpan> spans() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return spans_;
+  }
+  std::vector<TraceHop> hops() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hops_;
+  }
+
+  /// Both vectors under one lock acquisition — spans and hops are mutually
+  /// consistent, which two separate accessor calls cannot guarantee.
+  TraceSnapshot snapshot() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return TraceSnapshot{spans_, hops_};
+  }
 
   void clear() {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -78,13 +101,36 @@ struct TraceStats {
   std::uint64_t hop_count = 0;
   std::uint64_t hop_bytes = 0;
   std::vector<double> compute_by_pe;  ///< per-PE compute seconds
+  std::vector<double> wait_by_pe;     ///< per-PE event-wait seconds
 };
 
-/// Summarize a finished run's trace.  `pe_count` sizes the per-PE vector;
+/// Summarize a finished run's trace.  `pe_count` sizes the per-PE vectors;
 /// spans on out-of-range PEs are ignored.
 TraceStats summarize(const TraceRecorder& trace, int pe_count);
+TraceStats summarize(const TraceSnapshot& snap, int pe_count);
 
 /// Mean fraction of [0, stats.end_time] the PEs spent computing.
 double mean_utilization(const TraceStats& stats);
+
+/// Scoped default recorder (thread-local): while a TraceScope is alive,
+/// every navp::Runtime constructed on this thread records into the given
+/// recorder.  This lets the harness and the profile subcommand trace
+/// programs (jacobi, lu, ...) that build their Runtime internally, without
+/// threading a recorder through every runner signature.
+class TraceScope {
+ public:
+  explicit TraceScope(TraceRecorder* trace) : previous_(current_) {
+    current_ = trace;
+  }
+  ~TraceScope() { current_ = previous_; }
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+  static TraceRecorder* current() { return current_; }
+
+ private:
+  TraceRecorder* previous_;
+  static inline thread_local TraceRecorder* current_ = nullptr;
+};
 
 }  // namespace navcpp::navp

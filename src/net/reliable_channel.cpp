@@ -111,6 +111,7 @@ void ReliableChannel::transmit_frame(const Frame& frame) {
       std::lock_guard<std::mutex> lock(mutex_);
       ++send_[{frame.src, frame.dst}].wire_in_flight;
     }
+    if (m_wire_bytes_ != nullptr) m_wire_bytes_->add(wire_bytes);
     engine_.transmit(frame.src, frame.dst, wire_bytes, [this, wire]() {
       if (wire.kind == FrameKind::kData) {
         on_data_frame(wire);
@@ -140,16 +141,19 @@ void ReliableChannel::on_data_frame(const Frame& frame) {
       // sender keeps retransmitting until the host restarts (or the retry
       // budget converts the outage into a DeliveryError).
       ++r.blackholed;
+      if (m_blackholed_ != nullptr) m_blackholed_->add();
       return;
     }
     if (frame.checksum != checksum_of(frame)) {
       ++r.corrupt_discarded;  // no ack: retransmit recovers the frame
+      if (m_corrupt_drops_ != nullptr) m_corrupt_drops_->add();
       return;
     }
     if (frame.seq < r.cum || r.received.count(frame.seq) != 0) {
       // Duplicate (injected copy, or a retransmit that crossed our ack).
       // Never re-delivered — but re-acked, in case the first ack was lost.
       ++r.dups_discarded;
+      if (m_dup_drops_ != nullptr) m_dup_drops_->add();
       cum = r.cum;
     } else {
       r.received.insert(frame.seq);
@@ -164,6 +168,7 @@ void ReliableChannel::on_data_frame(const Frame& frame) {
         }
         ++r.cum;
         ++r.delivered;
+        if (m_delivered_ != nullptr) m_delivered_->add();
       }
       cum = r.cum;
     }
@@ -186,6 +191,7 @@ void ReliableChannel::on_ack_frame(const Frame& frame) {
       ++recv_[key].corrupt_discarded;
       return;
     }
+    if (m_acks_ != nullptr) m_acks_->add();
     SendState& s = send_[key];
     s.acked_cum = std::max(s.acked_cum, frame.cum);
     auto it = s.pending.begin();
@@ -219,6 +225,7 @@ void ReliableChannel::on_timer(int src, int dst, std::uint64_t seq) {
     }
     --p.retries_left;
     ++ch->second.retransmits;
+    if (m_retransmits_ != nullptr) m_retransmits_->add();
     p.rto *= cfg_.rto_backoff;
     frame = make_data_frame(src, dst, seq, p.bytes);
     next_delay = p.rto;
@@ -296,6 +303,32 @@ std::uint64_t ReliableChannel::total_unacked() const {
   std::uint64_t total = 0;
   for (const auto& [key, s] : send_) total += s.pending.size();
   return total;
+}
+
+void ReliableChannel::set_metrics(obs::Registry* registry) {
+  if (registry == nullptr) {
+    m_retransmits_ = m_dup_drops_ = m_corrupt_drops_ = nullptr;
+    m_acks_ = m_delivered_ = m_blackholed_ = m_wire_bytes_ = nullptr;
+    return;
+  }
+  m_retransmits_ = &registry->counter("net.reliable.retransmits");
+  m_dup_drops_ = &registry->counter("net.reliable.dup_drops");
+  m_corrupt_drops_ = &registry->counter("net.reliable.corrupt_drops");
+  m_acks_ = &registry->counter("net.reliable.acks");
+  m_delivered_ = &registry->counter("net.reliable.delivered");
+  m_blackholed_ = &registry->counter("net.reliable.blackholed");
+  m_wire_bytes_ = &registry->counter("net.reliable.wire_bytes");
+}
+
+void ReliableChannel::reset_stats() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [key, s] : send_) s.retransmits = 0;
+  for (auto& [key, r] : recv_) {
+    r.delivered = 0;
+    r.dups_discarded = 0;
+    r.corrupt_discarded = 0;
+    r.blackholed = 0;
+  }
 }
 
 }  // namespace navcpp::net

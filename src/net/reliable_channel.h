@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "machine/engine.h"
+#include "obs/metrics.h"
 #include "support/move_function.h"
 #include "support/rng.h"
 
@@ -123,6 +124,20 @@ class ReliableChannel {
   std::uint64_t total_retransmits() const;
   std::uint64_t total_unacked() const;
 
+  /// Attach a metrics registry (nullptr = off): protocol events are counted
+  /// under "net.reliable.*" (retransmits, dup/corrupt drops, acks,
+  /// deliveries, blackholed frames, wire bytes).  Wire bytes include every
+  /// retransmitted and duplicated copy — deliberately distinct from
+  /// navp.hop_bytes, which counts only the delivered payload.
+  void set_metrics(obs::Registry* registry);
+
+  /// Rewind the statistics counters (retransmits, delivered, dup/corrupt
+  /// drops, blackholed) to zero so a reused channel reports per-run numbers.
+  /// Protocol state — sequence numbers, ack horizons, retained payloads —
+  /// is untouched, so `sent`/`acked`/`unacked` keep their meaning and
+  /// in-flight traffic is unaffected.
+  void reset_stats();
+
  private:
   enum class FrameKind : std::uint8_t { kData = 0, kAck = 1 };
 
@@ -185,6 +200,15 @@ class ReliableChannel {
   machine::Engine& engine_;
   FrameFaults* faults_;
   ReliableConfig cfg_;
+
+  // Cached metric handles (null when metrics are off).
+  obs::Counter* m_retransmits_ = nullptr;
+  obs::Counter* m_dup_drops_ = nullptr;
+  obs::Counter* m_corrupt_drops_ = nullptr;
+  obs::Counter* m_acks_ = nullptr;
+  obs::Counter* m_delivered_ = nullptr;
+  obs::Counter* m_blackholed_ = nullptr;
+  obs::Counter* m_wire_bytes_ = nullptr;
 
   mutable std::mutex mutex_;  // guards send_, recv_, rng_
   support::Rng rng_;

@@ -1,0 +1,454 @@
+#include "obs/chrome_trace.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <utility>
+
+namespace navcpp::obs {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------------
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Microseconds with fixed precision — deterministic across runs.
+std::string us(double seconds) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", seconds * 1e6);
+  return buf;
+}
+
+std::string gauge_value(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+struct Event {
+  double ts = 0.0;   // sort key, seconds; metadata uses -1 to sort first
+  int order = 0;     // tie-break: original emission order (stable output)
+  std::string json;
+};
+
+}  // namespace
+
+std::string chrome_trace_json(const std::vector<navp::TraceSpan>& spans,
+                              const std::vector<navp::TraceHop>& hops,
+                              const Snapshot* metrics,
+                              const ChromeTraceOptions& opts) {
+  std::vector<Event> events;
+  events.reserve(spans.size() + hops.size() + 64);
+  int order = 0;
+  auto push = [&](double ts, std::string json) {
+    events.push_back(Event{ts, order++, std::move(json)});
+  };
+
+  int pe_count = opts.pe_count;
+  double end_time = 0.0;
+  for (const auto& s : spans) {
+    pe_count = std::max(pe_count, s.pe + 1);
+    end_time = std::max(end_time, s.t1);
+  }
+  for (const auto& h : hops) {
+    pe_count = std::max(pe_count, std::max(h.src, h.dst) + 1);
+    end_time = std::max(end_time, h.arrive);
+  }
+
+  // Dense, deterministic track ids for the directed channels seen in hops.
+  std::map<std::pair<int, int>, int> channel_track;
+  for (const auto& h : hops) {
+    channel_track.emplace(std::make_pair(h.src, h.dst), 0);
+  }
+  {
+    int next = 0;
+    for (auto& [ch, track] : channel_track) track = next++;
+  }
+
+  // Process / thread naming metadata (ph "M"; sorts before all real events).
+  push(-1.0, "{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"process_name\","
+             "\"args\":{\"name\":\"" + json_escape(opts.process_name) +
+             " PEs\"}}");
+  push(-1.0, "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
+             "\"args\":{\"name\":\"" + json_escape(opts.process_name) +
+             " network\"}}");
+  for (int pe = 0; pe < pe_count; ++pe) {
+    push(-1.0, "{\"ph\":\"M\",\"pid\":0,\"tid\":" + std::to_string(pe) +
+               ",\"name\":\"thread_name\",\"args\":{\"name\":\"PE " +
+               std::to_string(pe) + "\"}}");
+  }
+  for (const auto& [ch, track] : channel_track) {
+    push(-1.0, "{\"ph\":\"M\",\"pid\":1,\"tid\":" + std::to_string(track) +
+               ",\"name\":\"thread_name\",\"args\":{\"name\":\"ch " +
+               std::to_string(ch.first) + "->" + std::to_string(ch.second) +
+               "\"}}");
+  }
+
+  for (const auto& s : spans) {
+    const bool compute = s.kind == navp::TraceSpan::Kind::kCompute;
+    const std::string name =
+        s.label.empty() ? (compute ? "compute" : "wait") : s.label;
+    push(s.t0,
+         "{\"ph\":\"X\",\"pid\":0,\"tid\":" + std::to_string(s.pe) +
+             ",\"ts\":" + us(s.t0) + ",\"dur\":" + us(s.t1 - s.t0) +
+             ",\"name\":\"" + json_escape(name) + "\",\"cat\":\"" +
+             (compute ? "compute" : "wait") + "\",\"args\":{\"agent\":" +
+             std::to_string(s.agent) + "}}");
+  }
+
+  for (const auto& h : hops) {
+    const int track = channel_track.at({h.src, h.dst});
+    push(h.depart,
+         "{\"ph\":\"X\",\"pid\":1,\"tid\":" + std::to_string(track) +
+             ",\"ts\":" + us(h.depart) + ",\"dur\":" + us(h.arrive - h.depart) +
+             ",\"name\":\"agent " + std::to_string(h.agent) +
+             "\",\"cat\":\"hop\",\"args\":{\"src\":" + std::to_string(h.src) +
+             ",\"dst\":" + std::to_string(h.dst) + ",\"bytes\":" +
+             std::to_string(h.bytes) + ",\"agent\":" +
+             std::to_string(h.agent) + "}}");
+  }
+
+  // Every metrics counter becomes a trailing counter sample at end-of-run,
+  // so the numbers are inspectable on the timeline itself.
+  if (metrics != nullptr) {
+    for (const auto& [key, value] : metrics->counters) {
+      push(end_time,
+           "{\"ph\":\"C\",\"pid\":0,\"tid\":0,\"ts\":" + us(end_time) +
+               ",\"name\":\"" + json_escape(key) + "\",\"args\":{\"value\":" +
+               std::to_string(value) + "}}");
+    }
+  }
+
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Event& a, const Event& b) {
+                     if (a.ts != b.ts) return a.ts < b.ts;
+                     return a.order < b.order;
+                   });
+
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ms\",\"otherData\":{";
+  {
+    bool first = true;
+    auto kv = [&](const std::string& k, const std::string& v) {
+      if (!first) os << ",";
+      first = false;
+      os << "\"" << json_escape(k) << "\":\"" << json_escape(v) << "\"";
+    };
+    kv("exporter", "navcpp_obs");
+    if (metrics != nullptr) {
+      for (const auto& [key, value] : metrics->counters) {
+        kv(key, std::to_string(value));
+      }
+      for (const auto& [key, value] : metrics->gauges) {
+        kv(key, gauge_value(value));
+      }
+    }
+  }
+  os << "},\"traceEvents\":[";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (i != 0) os << ",";
+    os << "\n" << events[i].json;
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Validation: a tiny self-contained JSON reader (objects, arrays, strings,
+// numbers, literals), enough to check the structure we emit — and to catch a
+// hand-edited or truncated file before someone wastes time in Perfetto.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  JsonParser(const std::string& text, std::string* error)
+      : text_(text), error_(error) {}
+
+  bool parse(JsonValue* out) {
+    skip_ws();
+    if (!parse_value(out)) return false;
+    skip_ws();
+    if (pos_ != text_.size()) return fail("trailing content after JSON value");
+    return true;
+  }
+
+ private:
+  bool fail(const std::string& why) {
+    if (error_ != nullptr && error_->empty()) {
+      *error_ = why + " (at byte " + std::to_string(pos_) + ")";
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool parse_value(JsonValue* out) {
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{': return parse_object(out);
+      case '[': return parse_array(out);
+      case '"':
+        out->type = JsonValue::Type::kString;
+        return parse_string(&out->string);
+      case 't':
+      case 'f': return parse_literal(out);
+      case 'n': return parse_literal(out);
+      default: return parse_number(out);
+    }
+  }
+
+  bool parse_object(JsonValue* out) {
+    out->type = JsonValue::Type::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return fail("expected object key");
+      }
+      if (!parse_string(&key)) return false;
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return fail("expected ':' in object");
+      }
+      ++pos_;
+      skip_ws();
+      JsonValue value;
+      if (!parse_value(&value)) return false;
+      out->object.emplace_back(std::move(key), std::move(value));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool parse_array(JsonValue* out) {
+    out->type = JsonValue::Type::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      JsonValue value;
+      if (!parse_value(&value)) return false;
+      out->array.push_back(std::move(value));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool parse_string(std::string* out) {
+    ++pos_;  // '"'
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return fail("unterminated escape");
+        char e = text_[pos_++];
+        switch (e) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'n': out->push_back('\n'); break;
+          case 't': out->push_back('\t'); break;
+          case 'r': out->push_back('\r'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'u':
+            if (pos_ + 4 > text_.size()) return fail("bad \\u escape");
+            out->push_back('?');  // validation doesn't need the code point
+            pos_ += 4;
+            break;
+          default: return fail("unknown escape character");
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_literal(JsonValue* out) {
+    auto match = [&](const char* lit) {
+      std::size_t n = std::string(lit).size();
+      if (text_.compare(pos_, n, lit) == 0) {
+        pos_ += n;
+        return true;
+      }
+      return false;
+    };
+    if (match("true")) {
+      out->type = JsonValue::Type::kBool;
+      out->boolean = true;
+      return true;
+    }
+    if (match("false")) {
+      out->type = JsonValue::Type::kBool;
+      out->boolean = false;
+      return true;
+    }
+    if (match("null")) {
+      out->type = JsonValue::Type::kNull;
+      return true;
+    }
+    return fail("unknown literal");
+  }
+
+  bool parse_number(JsonValue* out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) return fail("expected a value");
+    try {
+      out->number = std::stod(text_.substr(start, pos_ - start));
+    } catch (...) {
+      return fail("malformed number");
+    }
+    out->type = JsonValue::Type::kNumber;
+    return true;
+  }
+
+  const std::string& text_;
+  std::string* error_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool validate_chrome_trace(const std::string& json, std::string* error) {
+  if (error != nullptr) error->clear();
+  auto fail = [&](const std::string& why) {
+    if (error != nullptr && error->empty()) *error = why;
+    return false;
+  };
+
+  JsonValue root;
+  JsonParser parser(json, error);
+  if (!parser.parse(&root)) return fail("JSON parse error");
+  if (root.type != JsonValue::Type::kObject) {
+    return fail("top level is not an object");
+  }
+  const JsonValue* events = root.find("traceEvents");
+  if (events == nullptr || events->type != JsonValue::Type::kArray) {
+    return fail("missing traceEvents array");
+  }
+  if (events->array.empty()) return fail("traceEvents is empty");
+
+  double last_ts = -1.0;
+  for (std::size_t i = 0; i < events->array.size(); ++i) {
+    const JsonValue& ev = events->array[i];
+    const std::string at = "event " + std::to_string(i);
+    if (ev.type != JsonValue::Type::kObject) {
+      return fail(at + " is not an object");
+    }
+    const JsonValue* ph = ev.find("ph");
+    if (ph == nullptr || ph->type != JsonValue::Type::kString ||
+        ph->string.empty()) {
+      return fail(at + " has no phase (ph)");
+    }
+    const JsonValue* ts = ev.find("ts");
+    if (ph->string == "M") {
+      if (ts != nullptr) return fail(at + ": metadata events carry no ts");
+      continue;
+    }
+    if (ts == nullptr || ts->type != JsonValue::Type::kNumber) {
+      return fail(at + " has no numeric ts");
+    }
+    if (ts->number < 0.0) return fail(at + " has negative ts");
+    if (ts->number < last_ts) {
+      return fail(at + " breaks timestamp monotonicity");
+    }
+    last_ts = ts->number;
+    const JsonValue* dur = ev.find("dur");
+    if (dur != nullptr) {
+      if (dur->type != JsonValue::Type::kNumber || dur->number < 0.0) {
+        return fail(at + " has negative or non-numeric dur");
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace navcpp::obs

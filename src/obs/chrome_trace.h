@@ -1,0 +1,39 @@
+// Chrome trace-event JSON export (chrome://tracing / Perfetto "JSON trace
+// format").  Feeds from navp::TraceRecorder snapshots plus an optional
+// metrics Snapshot, so a run can be inspected on the usual timeline UI:
+// pid 0 carries one track per PE (compute/wait spans), pid 1 carries one
+// track per directed channel (hop transits), and every metrics counter is
+// emitted both as a trailing "C" counter event and under "otherData".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "navp/trace.h"
+#include "obs/metrics.h"
+
+namespace navcpp::obs {
+
+struct ChromeTraceOptions {
+  std::string process_name = "navcpp";
+  /// Number of PE tracks to name in metadata; 0 derives it from the spans.
+  int pe_count = 0;
+};
+
+/// Serialize a run to Chrome trace-event JSON.  Timestamps are engine
+/// seconds scaled to microseconds, events sorted by timestamp; output is
+/// deterministic for identical inputs (fixed formatting, sorted metrics).
+std::string chrome_trace_json(const std::vector<navp::TraceSpan>& spans,
+                              const std::vector<navp::TraceHop>& hops,
+                              const Snapshot* metrics = nullptr,
+                              const ChromeTraceOptions& opts = {});
+
+/// Structural validation used by tests and `navcpp_cli profile --check`:
+/// the string parses as JSON, has a non-empty `traceEvents` array, every
+/// event carries a `ph`, timestamps are non-negative and non-decreasing in
+/// array order, and durations are non-negative.  On failure returns false
+/// and (if `error` is non-null) a human-readable reason.
+bool validate_chrome_trace(const std::string& json,
+                           std::string* error = nullptr);
+
+}  // namespace navcpp::obs

@@ -1,0 +1,116 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/error.h"
+
+namespace navcpp::obs {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  NAVCPP_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()),
+               "histogram bounds must be ascending");
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::record(double v) noexcept {
+  auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const std::size_t idx = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+Counter& Registry::counter(const std::string& name, const std::string& labels) {
+  const std::string key = key_of(name, labels);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[key];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name, const std::string& labels) {
+  const std::string key = key_of(name, labels);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[key];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               const std::string& labels,
+                               std::vector<double> bounds) {
+  const std::string key = key_of(name, labels);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[key];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return *slot;
+}
+
+namespace {
+
+std::string bound_label(double bound) {
+  std::ostringstream os;
+  os << bound;
+  return os.str();
+}
+
+}  // namespace
+
+Snapshot Registry::snapshot() const {
+  Snapshot snap;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [key, c] : counters_) {
+    snap.counters[key] = c->value();
+  }
+  for (const auto& [key, g] : gauges_) {
+    snap.gauges[key] = g->value();
+  }
+  for (const auto& [key, h] : histograms_) {
+    const auto buckets = h->bucket_counts();
+    const auto& bounds = h->bounds();
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+      snap.counters[key + "/le_" + bound_label(bounds[i])] = buckets[i];
+    }
+    snap.counters[key + "/overflow"] = buckets[bounds.size()];
+    snap.counters[key + "/count"] = h->count();
+    snap.gauges[key + "/sum"] = h->sum();
+  }
+  return snap;
+}
+
+Snapshot Snapshot::delta(const Snapshot& earlier) const {
+  Snapshot out;
+  for (const auto& [key, value] : counters) {
+    const std::uint64_t before = earlier.counter_or(key);
+    out.counters[key] = value >= before ? value - before : 0;
+  }
+  out.gauges = gauges;
+  return out;
+}
+
+std::string Snapshot::to_string() const {
+  std::ostringstream os;
+  for (const auto& [key, value] : counters) {
+    os << key << " = " << value << "\n";
+  }
+  for (const auto& [key, value] : gauges) {
+    os << key << " = " << value << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace navcpp::obs

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "harness/fault_suite.h"
+#include "harness/workloads.h"
 #include "machine/fault_machine.h"
 #include "machine/sim_machine.h"
 #include "minimpi/world.h"
@@ -16,6 +17,7 @@
 #include "navp/event.h"
 #include "navp/runtime.h"
 #include "net/reliable_channel.h"
+#include "obs/metrics.h"
 #include "support/bytebuffer.h"
 #include "support/error.h"
 
@@ -323,6 +325,82 @@ TEST(FaultSuite, UnknownCaseThrows) {
   EXPECT_THROW((void)harness::fault_sweep(1, 1, machine::FaultPlan{}, false,
                                           "nomatch"),
                support::Error);
+}
+
+TEST(ReliableChannel, ResetStatsClearsCountersButKeepsProtocolState) {
+  machine::SimMachine sim(2);
+  machine::FaultMachine fault(sim, plan_with(31, 0.4, 0.3, 0.3));
+  net::ReliableChannel channel(fault, &fault, fault.reliable_config());
+  std::vector<int> released;
+  for (int i = 0; i < 30; ++i) {
+    channel.send(0, 1, 64, [&released, i] { released.push_back(i); });
+  }
+  fault.run();
+  const net::ChannelStats before = channel.stats(0, 1);
+  ASSERT_EQ(before.delivered, 30u);
+  ASSERT_GT(before.retransmits, 0u);
+  ASSERT_GT(before.dups_discarded + before.corrupt_discarded, 0u);
+
+  channel.reset_stats();
+  const net::ChannelStats after = channel.stats(0, 1);
+  EXPECT_EQ(after.retransmits, 0u);
+  EXPECT_EQ(after.delivered, 0u);
+  EXPECT_EQ(after.dups_discarded, 0u);
+  EXPECT_EQ(after.corrupt_discarded, 0u);
+  EXPECT_EQ(after.blackholed, 0u);
+  // Protocol state is NOT statistics: wiping it would desynchronize the
+  // sliding window from the receiver's cumulative ack.
+  EXPECT_EQ(after.sent, before.sent);
+  EXPECT_EQ(after.acked, before.acked);
+  EXPECT_EQ(after.unacked, 0u);
+
+  // The channel keeps delivering in order after the wipe.
+  for (int i = 30; i < 40; ++i) {
+    channel.send(0, 1, 64, [&released, i] { released.push_back(i); });
+  }
+  fault.run();
+  ASSERT_EQ(released.size(), 40u);
+  for (int i = 0; i < 40; ++i) EXPECT_EQ(released[static_cast<size_t>(i)], i);
+  EXPECT_EQ(channel.stats(0, 1).delivered, 10u)
+      << "post-reset stats must count only the second batch";
+}
+
+// Regression for hop-traffic double counting: retransmitted frames used to
+// inflate the per-run "navp.hop_bytes" / "navp.hop_arrivals" counters, so a
+// faulty link made agent traffic look heavier than the program actually is.
+// Application-level hop stats must be identical with and without faults.
+TEST(FaultSuite, HopStatsMatchFaultFreeUnderRetransmission) {
+  const std::string name = "mm/phase1d";
+  auto run = [&](bool faulted) {
+    machine::SimMachine sim(harness::workload_pe_count(name),
+                            harness::workload_link(name));
+    obs::Registry registry;
+    obs::MetricsScope scope(&registry);
+    std::vector<double> got;
+    if (faulted) {
+      machine::FaultMachine faults(sim, plan_with(21, 0.2, 0.1, 0.1));
+      got = harness::run_workload(name, faults);
+    } else {
+      got = harness::run_workload(name, sim);
+    }
+    EXPECT_TRUE(harness::check_workload(name, got).ok);
+    return registry.snapshot();
+  };
+  const obs::Snapshot clean = run(false);
+  const obs::Snapshot faulty = run(true);
+
+  ASSERT_GT(faulty.counter_or("net.reliable.retransmits"), 0u)
+      << "the faulty run must actually exercise retransmission";
+  EXPECT_EQ(faulty.counter_or("navp.hops"), clean.counter_or("navp.hops"));
+  EXPECT_EQ(faulty.counter_or("navp.hop_bytes"),
+            clean.counter_or("navp.hop_bytes"));
+  for (int pe = 0; pe < harness::workload_pe_count(name); ++pe) {
+    const std::string key = "navp.hop_arrivals{pe=" + std::to_string(pe) + "}";
+    EXPECT_EQ(faulty.counter_or(key), clean.counter_or(key)) << key;
+  }
+  // Wire traffic, by contrast, legitimately grows: retransmits and protocol
+  // frames are real bytes on the network.
+  EXPECT_GT(faulty.counter_or("net.bytes"), clean.counter_or("net.bytes"));
 }
 
 }  // namespace

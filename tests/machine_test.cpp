@@ -8,9 +8,12 @@
 #include <thread>
 #include <vector>
 
+#include "machine/chaos_machine.h"
+#include "machine/fault_machine.h"
 #include "machine/sim_machine.h"
 #include "machine/threaded_machine.h"
 #include "net/reliable_channel.h"
+#include "obs/metrics.h"
 #include "support/error.h"
 
 namespace navcpp::machine {
@@ -385,6 +388,123 @@ TEST(ReliableChannel, RetryExhaustionRaisesDeliveryErrorWithCounters) {
   // report above captured the counters first).
   EXPECT_EQ(channel.total_unacked(), 0u);
   EXPECT_EQ(channel.stats(0, 1).retransmits, 3u);
+}
+
+// --- stats freshness across runs -------------------------------------------
+// A reused machine must start every run with a clean slate: a stale
+// reporter, counter, or log from the previous run corrupts the next run's
+// diagnostics (and in the reporter's case dangles into a dead Runtime).
+
+TEST(SimMachine, ResetDropsBlockedReporter) {
+  SimMachine m(1);
+  m.task_started();
+  m.set_blocked_reporter([] { return std::string("STALE-RUN-ONE"); });
+  EXPECT_THROW(m.run(), support::DeadlockError);
+  m.task_finished();  // retire the stalled task so reset() accepts the machine
+  m.reset();
+  m.task_started();
+  try {
+    m.run();
+    FAIL() << "expected DeadlockError";
+  } catch (const support::DeadlockError& e) {
+    EXPECT_EQ(std::string(e.what()).find("STALE-RUN-ONE"), std::string::npos)
+        << "reset must drop the previous run's blocked reporter";
+  }
+}
+
+TEST(ChaosMachine, ResetTraceRewindsCounters) {
+  SimMachine sim(2);
+  ChaosConfig cfg;
+  cfg.seed = 7;
+  ChaosMachine chaos(sim, cfg);
+  for (int i = 0; i < 8; ++i) chaos.post(i % 2, [] {});
+  chaos.transmit(0, 1, 64, [] {});
+  chaos.run();
+  EXPECT_GT(chaos.decisions(), 0u);
+  EXPECT_FALSE(chaos.trace_summary().empty());
+
+  chaos.reset_trace(8);
+  EXPECT_EQ(chaos.decisions(), 0u);
+  EXPECT_EQ(chaos.perturbations(), 0u);
+  EXPECT_TRUE(chaos.trace_summary().empty())
+      << "a fresh seed must not inherit the previous run's decision log";
+}
+
+TEST(FaultMachine, ResetTraceRewindsCounters) {
+  SimMachine sim(2);
+  FaultPlan plan;
+  plan.seed = 5;
+  plan.drop_prob = 1.0;
+  plan.duplicate_prob = 1.0;
+  plan.corrupt_prob = 1.0;
+  FaultMachine fault(sim, plan);
+  for (int i = 0; i < 4; ++i) fault.decide_frame(0, 1);
+  EXPECT_EQ(fault.frames_dropped(), 4u);
+  EXPECT_EQ(fault.frames_duplicated(), 4u);
+  EXPECT_EQ(fault.frames_corrupted(), 4u);
+
+  fault.reset_trace(6);
+  EXPECT_EQ(fault.frames_dropped(), 0u);
+  EXPECT_EQ(fault.frames_duplicated(), 0u);
+  EXPECT_EQ(fault.frames_corrupted(), 0u);
+  EXPECT_EQ(fault.messages_limboed(), 0u);
+  EXPECT_EQ(fault.crashes_fired(), 0u);
+  EXPECT_NE(fault.trace_summary().find("dropped=0"), std::string::npos);
+}
+
+// --- metrics ---------------------------------------------------------------
+
+TEST(SimMachine, MetricsMirrorNetworkModelExactly) {
+  obs::Registry registry;
+  SimMachine m(2, fast_link());
+  m.set_metrics(&registry);
+  m.task_started();
+  m.post(0, [&] {
+    m.charge(0, 1e-3);
+    m.transmit(0, 1, 1000, [&] { m.task_finished(); });
+  });
+  m.run();
+  const obs::Snapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counter_or("net.messages"), m.network().message_count());
+  EXPECT_EQ(snap.counter_or("net.bytes"), m.network().byte_count());
+  EXPECT_EQ(snap.counter_or("net.bytes"), 1000u);
+  EXPECT_GT(snap.counter_or("sim.actions{pe=0}"), 0u);
+  EXPECT_GT(snap.counter_or("sim.actions{pe=1}"), 0u);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("sim.virtual_time"), m.finish_time());
+}
+
+TEST(ChaosMachine, MetricsMirrorDecisionCounters) {
+  obs::Registry registry;
+  SimMachine sim(2);
+  ChaosConfig cfg;
+  cfg.seed = 3;
+  ChaosMachine chaos(sim, cfg);
+  chaos.set_metrics(&registry);
+  for (int i = 0; i < 16; ++i) chaos.post(i % 2, [] {});
+  chaos.run();
+  const obs::Snapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counter_or("chaos.decisions"), chaos.decisions());
+  EXPECT_EQ(snap.counter_or("chaos.perturbations"), chaos.perturbations());
+}
+
+TEST(ThreadedMachine, MetricsCountActionsPerPe) {
+  obs::Registry registry;
+  ThreadedMachine m(2);
+  m.set_metrics(&registry);
+  std::atomic<int> ran{0};
+  m.task_started();
+  for (int i = 0; i < 10; ++i) {
+    m.post(i % 2, [&] {
+      if (ran.fetch_add(1) + 1 == 10) m.task_finished();
+    });
+  }
+  m.run();
+  const obs::Snapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counter_or("threaded.actions{pe=0}") +
+                snap.counter_or("threaded.actions{pe=1}"),
+            static_cast<std::uint64_t>(ran.load()));
+  EXPECT_EQ(snap.counter_or("threaded.queue_depth/count"),
+            static_cast<std::uint64_t>(ran.load()));
 }
 
 }  // namespace

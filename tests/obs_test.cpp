@@ -1,0 +1,253 @@
+// Tests for the observability layer: metrics registry (counters, gauges,
+// histograms, snapshot/delta), the Chrome trace-event exporter and its
+// validator, and the workload profiler that ties them together.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/profile.h"
+#include "harness/workloads.h"
+#include "machine/sim_machine.h"
+#include "navp/trace.h"
+#include "obs/chrome_trace.h"
+#include "obs/metrics.h"
+#include "support/error.h"
+
+namespace navcpp {
+namespace {
+
+TEST(Registry, CounterFindOrCreateIsStable) {
+  obs::Registry reg;
+  obs::Counter& a = reg.counter("navp.hops");
+  obs::Counter& b = reg.counter("navp.hops");
+  EXPECT_EQ(&a, &b) << "same key must resolve to the same counter";
+  a.add(3);
+  b.add();
+  EXPECT_EQ(a.value(), 4u);
+}
+
+TEST(Registry, LabelsDistinguishCounters) {
+  obs::Registry reg;
+  reg.counter("sim.actions", obs::pe_label(0)).add(5);
+  reg.counter("sim.actions", obs::pe_label(1)).add(7);
+  const obs::Snapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counter_or("sim.actions{pe=0}"), 5u);
+  EXPECT_EQ(snap.counter_or("sim.actions{pe=1}"), 7u);
+  EXPECT_EQ(snap.counter_or("sim.actions"), 0u);
+}
+
+TEST(Registry, GaugeKeepsLatestValue) {
+  obs::Registry reg;
+  obs::Gauge& g = reg.gauge("sim.virtual_time");
+  g.set(1.5);
+  g.set(0.25);
+  g.add(0.5);
+  EXPECT_DOUBLE_EQ(reg.snapshot().gauges.at("sim.virtual_time"), 0.75);
+}
+
+TEST(Histogram, BucketsByInclusiveUpperBound) {
+  obs::Registry reg;
+  obs::Histogram& h = reg.histogram("depth", "", {1.0, 4.0, 16.0});
+  for (double v : {0.0, 1.0, 2.0, 4.0, 5.0, 100.0}) h.record(v);
+  const obs::Snapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counter_or("depth/le_1"), 2u);   // 0, 1
+  EXPECT_EQ(snap.counter_or("depth/le_4"), 2u);   // 2, 4
+  EXPECT_EQ(snap.counter_or("depth/le_16"), 1u);  // 5
+  EXPECT_EQ(snap.counter_or("depth/overflow"), 1u);  // 100
+  EXPECT_EQ(snap.counter_or("depth/count"), 6u);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("depth/sum"), 112.0);
+}
+
+TEST(Snapshot, DeltaSubtractsCountersAndClampsAtZero) {
+  obs::Snapshot earlier;
+  earlier.counters["a"] = 10;
+  earlier.counters["rewound"] = 100;
+  obs::Snapshot later;
+  later.counters["a"] = 25;
+  later.counters["rewound"] = 5;  // counter was reset between snapshots
+  later.counters["fresh"] = 3;
+  later.gauges["g"] = 2.5;
+  const obs::Snapshot d = later.delta(earlier);
+  EXPECT_EQ(d.counter_or("a"), 15u);
+  EXPECT_EQ(d.counter_or("rewound"), 0u) << "negative deltas clamp to zero";
+  EXPECT_EQ(d.counter_or("fresh"), 3u);
+  EXPECT_DOUBLE_EQ(d.gauges.at("g"), 2.5) << "gauges keep the latest value";
+}
+
+TEST(Snapshot, DeltaIsolatesRepeatedRunsInOneRegistry) {
+  // Two identical deterministic runs against ONE registry: the second
+  // run's delta must equal the first run's absolute numbers, which is how
+  // a sweep gets per-run metrics without a registry per run.
+  obs::Registry reg;
+  obs::MetricsScope scope(&reg);
+  auto run_once = [] {
+    machine::SimMachine sim(harness::workload_pe_count("mm/dsc1d"),
+                            harness::workload_link("mm/dsc1d"));
+    harness::run_workload("mm/dsc1d", sim);
+  };
+  run_once();
+  const obs::Snapshot first = reg.snapshot();
+  run_once();
+  const obs::Snapshot second = reg.snapshot();
+  const obs::Snapshot per_run = second.delta(first);
+  ASSERT_FALSE(first.counters.empty());
+  for (const auto& [key, value] : first.counters) {
+    EXPECT_EQ(per_run.counter_or(key), value) << key;
+  }
+  EXPECT_GT(first.counter_or("navp.hops"), 0u);
+  EXPECT_EQ(first.counter_or("net.bytes"), per_run.counter_or("net.bytes"));
+}
+
+TEST(Snapshot, ToStringIsSortedAndKeepsZeros) {
+  obs::Registry reg;
+  reg.counter("b.zero");
+  reg.counter("a.some").add(2);
+  const std::string text = reg.snapshot().to_string();
+  EXPECT_NE(text.find("a.some = 2\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("b.zero = 0\n"), std::string::npos) << text;
+  EXPECT_LT(text.find("a.some"), text.find("b.zero"));
+}
+
+TEST(MetricsScope, NestsAndRestores) {
+  EXPECT_EQ(obs::MetricsScope::current(), nullptr);
+  obs::Registry outer, inner;
+  {
+    obs::MetricsScope a(&outer);
+    EXPECT_EQ(obs::MetricsScope::current(), &outer);
+    {
+      obs::MetricsScope b(&inner);
+      EXPECT_EQ(obs::MetricsScope::current(), &inner);
+    }
+    EXPECT_EQ(obs::MetricsScope::current(), &outer);
+  }
+  EXPECT_EQ(obs::MetricsScope::current(), nullptr);
+}
+
+TEST(Counter, ConcurrentAddsAreLossless) {
+  obs::Registry reg;
+  obs::Counter& c = reg.counter("contended");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < 10000; ++i) c.add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), 40000u);
+}
+
+// --- Chrome trace exporter -------------------------------------------------
+
+std::vector<navp::TraceSpan> sample_spans() {
+  return {{1, 0, 0.0, 1e-3, navp::TraceSpan::Kind::kCompute, "gemm"},
+          {2, 1, 5e-4, 2e-3, navp::TraceSpan::Kind::kWait, "EP"}};
+}
+
+std::vector<navp::TraceHop> sample_hops() {
+  return {{1, 0, 1, 1e-3, 1.5e-3, 4096}};
+}
+
+TEST(ChromeTrace, ExportsValidJson) {
+  const std::string json = obs::chrome_trace_json(sample_spans(),
+                                                  sample_hops());
+  std::string error;
+  EXPECT_TRUE(obs::validate_chrome_trace(json, &error)) << error;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("gemm"), std::string::npos);
+}
+
+TEST(ChromeTrace, EmbedsMetricsAsCountersAndOtherData) {
+  obs::Registry reg;
+  reg.counter("navp.hops").add(7);
+  reg.gauge("sim.virtual_time").set(0.5);
+  const obs::Snapshot snap = reg.snapshot();
+  const std::string json =
+      obs::chrome_trace_json(sample_spans(), sample_hops(), &snap);
+  std::string error;
+  EXPECT_TRUE(obs::validate_chrome_trace(json, &error)) << error;
+  EXPECT_NE(json.find("\"navp.hops\""), std::string::npos);
+  EXPECT_NE(json.find("sim.virtual_time"), std::string::npos);
+}
+
+TEST(ChromeTrace, DeterministicForIdenticalInput) {
+  obs::Registry reg;
+  reg.counter("navp.hops").add(3);
+  const obs::Snapshot snap = reg.snapshot();
+  const std::string a =
+      obs::chrome_trace_json(sample_spans(), sample_hops(), &snap);
+  const std::string b =
+      obs::chrome_trace_json(sample_spans(), sample_hops(), &snap);
+  EXPECT_EQ(a, b);
+}
+
+TEST(ChromeTrace, EmptyTraceStillValidates) {
+  const std::string json = obs::chrome_trace_json({}, {});
+  std::string error;
+  EXPECT_TRUE(obs::validate_chrome_trace(json, &error)) << error;
+}
+
+TEST(ChromeTraceValidator, RejectsGarbage) {
+  std::string error;
+  EXPECT_FALSE(obs::validate_chrome_trace("not json at all", &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(obs::validate_chrome_trace("{}", &error))
+      << "missing traceEvents must fail";
+  EXPECT_FALSE(obs::validate_chrome_trace("{\"traceEvents\":[]}", &error))
+      << "empty traceEvents must fail";
+}
+
+TEST(ChromeTraceValidator, RejectsNonMonotonicTimestamps) {
+  const std::string json =
+      "{\"traceEvents\":["
+      "{\"ph\":\"X\",\"ts\":5.0,\"dur\":1.0,\"pid\":0,\"tid\":0},"
+      "{\"ph\":\"X\",\"ts\":2.0,\"dur\":1.0,\"pid\":0,\"tid\":0}]}";
+  std::string error;
+  EXPECT_FALSE(obs::validate_chrome_trace(json, &error));
+  EXPECT_NE(error.find("monotonic"), std::string::npos) << error;
+}
+
+// --- Profiler --------------------------------------------------------------
+
+TEST(Profile, PhaseShifted1dIsReproducibleBitForBit) {
+  const harness::ProfileResult a = harness::profile_workload("mm/phase1d");
+  const harness::ProfileResult b = harness::profile_workload("mm/phase1d");
+  EXPECT_TRUE(a.ok) << a.detail;
+  EXPECT_EQ(a.trace_json, b.trace_json);
+  EXPECT_EQ(a.table, b.table);
+  EXPECT_EQ(a.finish_time, b.finish_time);
+  EXPECT_EQ(a.snapshot.counters, b.snapshot.counters);
+}
+
+TEST(Profile, ExportedBytesMatchNetworkModelExactly) {
+  for (const std::string name :
+       {"mm/phase1d", "jacobi/dataflow", "lu/pipeline"}) {
+    const harness::ProfileResult r = harness::profile_workload(name);
+    EXPECT_TRUE(r.ok) << name << ": " << r.detail;
+    EXPECT_TRUE(r.bytes_match) << name;
+    EXPECT_EQ(r.snapshot.counter_or("net.bytes"), r.network_bytes) << name;
+    EXPECT_EQ(r.snapshot.counter_or("net.messages"), r.network_messages)
+        << name;
+    std::string error;
+    EXPECT_TRUE(obs::validate_chrome_trace(r.trace_json, &error))
+        << name << ": " << error;
+  }
+}
+
+TEST(Profile, TableHasOneRowPerPePlusTotal) {
+  const harness::ProfileResult r = harness::profile_workload("jacobi/dsc");
+  int newlines = 0;
+  for (char ch : r.table) newlines += ch == '\n' ? 1 : 0;
+  // Header + underline + one row per PE + the "all" row.
+  EXPECT_EQ(newlines, 2 + r.pe_count + 1) << r.table;
+  EXPECT_NE(r.table.find("compute(s)"), std::string::npos);
+  EXPECT_NE(r.table.find("all"), std::string::npos);
+}
+
+TEST(Profile, UnknownWorkloadThrows) {
+  EXPECT_THROW(harness::profile_workload("mm/banana"), support::ConfigError);
+}
+
+}  // namespace
+}  // namespace navcpp

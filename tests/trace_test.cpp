@@ -1,7 +1,9 @@
 // Tests for the trace recorder and the space-time renderer.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "navp/trace.h"
@@ -114,6 +116,134 @@ TEST(TraceStats, EmptyTraceHasZeroUtilization) {
   const TraceStats stats = summarize(trace, 3);
   EXPECT_DOUBLE_EQ(stats.total_compute, 0.0);
   EXPECT_DOUBLE_EQ(mean_utilization(stats), 0.0);
+  ASSERT_EQ(stats.compute_by_pe.size(), 3u) << "vectors sized even when empty";
+  ASSERT_EQ(stats.wait_by_pe.size(), 3u);
+}
+
+TEST(TraceStats, NegativePeCountYieldsEmptyVectors) {
+  TraceRecorder trace;
+  trace.record_span({1, 0, 0.0, 1.0, TraceSpan::Kind::kCompute, "a"});
+  const TraceStats stats = summarize(trace, -2);
+  EXPECT_TRUE(stats.compute_by_pe.empty());
+  EXPECT_TRUE(stats.wait_by_pe.empty());
+  EXPECT_DOUBLE_EQ(stats.total_compute, 1.0) << "totals still accumulate";
+}
+
+TEST(TraceStats, OutOfRangePeCountsTowardTotalsOnly) {
+  TraceRecorder trace;
+  trace.record_span({1, 0, 0.0, 1.0, TraceSpan::Kind::kCompute, "a"});
+  trace.record_span({2, 9, 0.0, 2.0, TraceSpan::Kind::kCompute, "b"});
+  const TraceStats stats = summarize(trace, 2);
+  EXPECT_DOUBLE_EQ(stats.total_compute, 3.0);
+  ASSERT_EQ(stats.compute_by_pe.size(), 2u);
+  EXPECT_DOUBLE_EQ(stats.compute_by_pe[0], 1.0);
+  EXPECT_DOUBLE_EQ(stats.compute_by_pe[1], 0.0)
+      << "a span on an out-of-range PE must not land in any bucket";
+}
+
+TEST(TraceStats, InstantaneousSpansContributeNothing) {
+  TraceRecorder trace;
+  trace.record_span({1, 0, 0.5, 0.5, TraceSpan::Kind::kCompute, "zero"});
+  const TraceStats stats = summarize(trace, 1);
+  EXPECT_DOUBLE_EQ(stats.total_compute, 0.0);
+  EXPECT_DOUBLE_EQ(stats.end_time, 0.5) << "end_time still advances";
+}
+
+TEST(TraceStats, HopsExtendEndTimeBeyondSpans) {
+  TraceRecorder trace;
+  trace.record_span({1, 0, 0.0, 1.0, TraceSpan::Kind::kCompute, "a"});
+  trace.record_hop({1, 0, 1, 1.0, 7.5, 64});
+  const TraceStats stats = summarize(trace, 2);
+  EXPECT_DOUBLE_EQ(stats.end_time, 7.5);
+  // Utilization is measured against the hop-extended end time.
+  EXPECT_DOUBLE_EQ(mean_utilization(stats), (1.0 / 7.5) / 2.0);
+}
+
+TEST(TraceStats, SummarizeFromSnapshotMatchesRecorder) {
+  TraceRecorder trace;
+  trace.record_span({1, 0, 0.0, 1.0, TraceSpan::Kind::kCompute, "a"});
+  trace.record_hop({1, 0, 1, 1.0, 2.0, 64});
+  const TraceSnapshot snap = trace.snapshot();
+  const TraceStats from_recorder = summarize(trace, 2);
+  const TraceStats from_snapshot = summarize(snap, 2);
+  EXPECT_EQ(from_recorder.total_compute, from_snapshot.total_compute);
+  EXPECT_EQ(from_recorder.end_time, from_snapshot.end_time);
+  EXPECT_EQ(from_recorder.hop_bytes, from_snapshot.hop_bytes);
+}
+
+TEST(TraceRenderer, NonPositivePeCountOrRowsRendersEmpty) {
+  TraceRecorder trace;
+  trace.record_span({1, 0, 0.0, 1.0, TraceSpan::Kind::kCompute, "a"});
+  EXPECT_EQ(trace.render_spacetime(0), "(empty trace)\n");
+  EXPECT_EQ(trace.render_spacetime(-1), "(empty trace)\n");
+  EXPECT_EQ(trace.render_spacetime(2, 0), "(empty trace)\n");
+  EXPECT_EQ(trace.render_spacetime(2, -5), "(empty trace)\n");
+}
+
+TEST(TraceRenderer, NonPositiveEndTimeStillRenders) {
+  TraceRecorder trace;
+  // Every event sits at t = 0, so the raw time axis would be zero-length;
+  // the renderer coerces it to a sane span instead of dividing by zero.
+  trace.record_span({1, 0, 0.0, 0.0, TraceSpan::Kind::kCompute, "a"});
+  const std::string grid = trace.render_spacetime(1, 4);
+  EXPECT_NE(grid.find("PE"), std::string::npos);
+}
+
+// Regression: spans()/hops() used to return references to the live vectors,
+// so a renderer or stats pass racing a recording Runtime read freely while
+// the writer appended.  They now copy under the recorder's lock (and
+// snapshot() takes both in one critical section); this test is the TSan
+// witness — run it under -DNAVCPP_SANITIZE=thread and it must stay silent.
+TEST(TraceRecorder, ConcurrentRecordAndReadIsSafe) {
+  TraceRecorder trace;
+  std::atomic<bool> stop{false};
+  const int kWriters = 2;
+  const int kPerWriter = 2000;
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&trace, w] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        const double t = static_cast<double>(i);
+        const AgentId agent = static_cast<AgentId>(w);
+        trace.record_span(
+            {agent, w, t, t + 0.5, TraceSpan::Kind::kCompute, "work"});
+        trace.record_hop({agent, w, (w + 1) % kWriters, t, t + 0.25, 8});
+      }
+    });
+  }
+  std::thread reader([&trace, &stop] {
+    while (!stop.load()) {
+      (void)trace.spans().size();
+      (void)trace.hops().size();
+      const TraceSnapshot snap = trace.snapshot();
+      (void)summarize(snap, kWriters);
+      (void)trace.render_spacetime(kWriters, 4);
+    }
+  });
+  for (auto& t : writers) t.join();
+  stop.store(true);
+  reader.join();
+  EXPECT_EQ(trace.spans().size(),
+            static_cast<std::size_t>(kWriters * kPerWriter));
+  EXPECT_EQ(trace.hops().size(),
+            static_cast<std::size_t>(kWriters * kPerWriter));
+  const TraceSnapshot snap = trace.snapshot();
+  EXPECT_EQ(snap.spans.size(), snap.hops.size());
+}
+
+TEST(TraceScope, NestsAndRestores) {
+  EXPECT_EQ(TraceScope::current(), nullptr);
+  TraceRecorder outer, inner;
+  {
+    TraceScope a(&outer);
+    EXPECT_EQ(TraceScope::current(), &outer);
+    {
+      TraceScope b(&inner);
+      EXPECT_EQ(TraceScope::current(), &inner);
+    }
+    EXPECT_EQ(TraceScope::current(), &outer);
+  }
+  EXPECT_EQ(TraceScope::current(), nullptr);
 }
 
 }  // namespace

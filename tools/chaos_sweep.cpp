@@ -68,6 +68,10 @@ int main(int argc, char** argv) {
       std::printf("replay: navcpp_cli chaos --seed %llu --case %s%s\n",
                   static_cast<unsigned long long>(f.seed), f.name.c_str(),
                   cfg.shuffle_same_pe ? " --shuffle" : "");
+      if (!f.metrics.empty()) {
+        std::printf("metrics snapshot of the failing run:\n%s",
+                    f.metrics.c_str());
+      }
       return 1;
     }
     std::printf("chaos sweep ok: %d seed(s) x %d case-run(s) total, "

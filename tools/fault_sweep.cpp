@@ -78,6 +78,10 @@ int main(int argc, char** argv) {
           "--dup %g --corrupt %g\n",
           static_cast<unsigned long long>(f.seed), f.name.c_str(),
           plan.drop_prob, plan.duplicate_prob, plan.corrupt_prob);
+      if (!f.metrics.empty()) {
+        std::printf("metrics snapshot of the failing run:\n%s",
+                    f.metrics.c_str());
+      }
       return 1;
     }
     std::printf("fault sweep ok: %d seed(s) x %d case-run(s) total, "

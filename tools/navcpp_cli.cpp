@@ -14,12 +14,15 @@
 //                      [--verbose]
 //   navcpp_cli fault   [--seeds N] [--seed S] [--case SUBSTR] [--drop P]
 //                      [--dup P] [--corrupt P] [--verbose]
+//   navcpp_cli profile --program NAME [--out FILE.json] [--check]
+//                      [--metrics]
 //
 // Every run happens on the calibrated simulation of the paper's testbed;
 // `--verify` (mm) additionally executes with real data and checks the
 // product against a dense reference.
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <map>
 #include <string>
 #include <vector>
@@ -29,6 +32,8 @@
 #include "harness/chaos_suite.h"
 #include "harness/experiments.h"
 #include "harness/fault_suite.h"
+#include "harness/profile.h"
+#include "harness/workloads.h"
 #include "harness/paper_data.h"
 #include "harness/text_table.h"
 #include "linalg/gemm.h"
@@ -42,6 +47,7 @@
 #include "mm/summa_mm.h"
 #include "mm/summa_mm_1d.h"
 #include "navtool/planner.h"
+#include "obs/chrome_trace.h"
 
 namespace {
 
@@ -95,7 +101,8 @@ int usage() {
       "  chaos   [--seeds N] [--seed S] [--case SUBSTR] [--shuffle] "
       "[--verbose]\n"
       "  fault   [--seeds N] [--seed S] [--case SUBSTR] [--drop P] "
-      "[--dup P] [--corrupt P] [--verbose]\n");
+      "[--dup P] [--corrupt P] [--verbose]\n"
+      "  profile --program NAME [--out FILE.json] [--check] [--metrics]\n");
   return 2;
 }
 
@@ -122,6 +129,10 @@ int run_chaos(const Args& args) {
       const auto& f = report.first_failure;
       std::printf("FAIL: case %s, seed %llu: %s\n", f.name.c_str(),
                   static_cast<unsigned long long>(f.seed), f.detail.c_str());
+      if (!f.metrics.empty()) {
+        std::printf("metrics snapshot of the failing run:\n%s",
+                    f.metrics.c_str());
+      }
       return 1;
     }
     std::printf("seed %llu: all %d case-run(s) ok\n",
@@ -143,6 +154,10 @@ int run_chaos(const Args& args) {
     std::printf("replay: navcpp_cli chaos --seed %llu --case %s%s\n",
                 static_cast<unsigned long long>(f.seed), f.name.c_str(),
                 cfg.shuffle_same_pe ? " --shuffle" : "");
+    if (!f.metrics.empty()) {
+      std::printf("metrics snapshot of the failing run:\n%s",
+                  f.metrics.c_str());
+    }
     return 1;
   }
   std::printf("chaos sweep ok: %d seed(s), %d case-run(s), no failures\n",
@@ -180,6 +195,10 @@ int run_fault(const Args& args) {
       const auto& f = report.first_failure;
       std::printf("FAIL: case %s, seed %llu: %s\n", f.name.c_str(),
                   static_cast<unsigned long long>(f.seed), f.detail.c_str());
+      if (!f.metrics.empty()) {
+        std::printf("metrics snapshot of the failing run:\n%s",
+                    f.metrics.c_str());
+      }
       return 1;
     }
     std::printf("seed %llu: all %d case-run(s) ok\n",
@@ -203,10 +222,77 @@ int run_fault(const Args& args) {
         "--corrupt %g\n",
         static_cast<unsigned long long>(f.seed), f.name.c_str(),
         plan.drop_prob, plan.duplicate_prob, plan.corrupt_prob);
+    if (!f.metrics.empty()) {
+      std::printf("metrics snapshot of the failing run:\n%s",
+                  f.metrics.c_str());
+    }
     return 1;
   }
   std::printf("fault sweep ok: %d seed(s), %d case-run(s), no failures\n",
               report.seeds_run, report.cases_run);
+  return 0;
+}
+
+// Profile one workload on the sim backend: per-PE compute/comm/wait table
+// on stdout, Chrome trace-event JSON to --out, full metrics snapshot with
+// --metrics.  --check validates the JSON structurally and cross-checks the
+// exported "net.bytes" counter against the NetworkModel byte-for-byte,
+// exiting nonzero on any mismatch (the profile smoke tests use this).
+int run_profile(const Args& args) {
+  const std::string program = args.get("program", "");
+  if (program.empty()) {
+    std::fprintf(stderr, "profile: --program NAME is required; names:\n");
+    for (const auto& name : navcpp::harness::workload_names()) {
+      std::fprintf(stderr, "  %s\n", name.c_str());
+    }
+    return 2;
+  }
+  const auto result = navcpp::harness::profile_workload(program);
+  std::printf("%s  PEs=%d  simulated %.6f s  verify: %s (%s)\n",
+              result.program.c_str(), result.pe_count, result.finish_time,
+              result.ok ? "OK" : "FAILED", result.detail.c_str());
+  std::printf("%s", result.table.c_str());
+  std::printf("network: %llu message(s), %llu byte(s); exported net.bytes %s\n",
+              static_cast<unsigned long long>(result.network_messages),
+              static_cast<unsigned long long>(result.network_bytes),
+              result.bytes_match ? "matches" : "MISMATCH");
+  if (args.has("metrics")) {
+    std::printf("metrics snapshot:\n%s", result.snapshot.to_string().c_str());
+  }
+
+  const std::string out_path = args.get("out", "");
+  if (!out_path.empty()) {
+    std::ofstream out(out_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "profile: cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    out << result.trace_json;
+    std::printf("trace written to %s (load in chrome://tracing or "
+                "ui.perfetto.dev)\n",
+                out_path.c_str());
+  }
+
+  if (args.has("check")) {
+    std::string error;
+    if (!navcpp::obs::validate_chrome_trace(result.trace_json, &error)) {
+      std::fprintf(stderr, "profile: trace JSON invalid: %s\n",
+                   error.c_str());
+      return 1;
+    }
+    if (!result.bytes_match) {
+      std::fprintf(stderr,
+                   "profile: exported net.bytes does not match the "
+                   "NetworkModel\n");
+      return 1;
+    }
+    if (!result.ok) {
+      std::fprintf(stderr, "profile: result verification failed: %s\n",
+                   result.detail.c_str());
+      return 1;
+    }
+    std::printf("check: trace JSON valid, byte counts consistent\n");
+  }
   return 0;
 }
 
@@ -445,6 +531,7 @@ int main(int argc, char** argv) {
     if (args.command == "plan") return run_plan(args);
     if (args.command == "chaos") return run_chaos(args);
     if (args.command == "fault") return run_fault(args);
+    if (args.command == "profile") return run_profile(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

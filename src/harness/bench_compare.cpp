@@ -1,0 +1,107 @@
+#include "harness/bench_compare.h"
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "harness/bench_runner.h"
+#include "harness/text_table.h"
+#include "support/json.h"
+
+namespace navcpp::harness {
+
+namespace {
+
+struct ParsedMetric {
+  double value = 0.0;
+  bool higher_is_better = true;
+  std::string unit;
+};
+
+bool parse_metrics(const std::string& json,
+                   std::map<std::string, ParsedMetric>* out,
+                   std::string* revision, std::string* error) {
+  if (!validate_bench_json(json, error)) return false;
+  support::JsonValue doc;
+  (void)support::json_parse(json, &doc);  // validated above; cannot fail
+  *revision = doc.find("revision")->as_string();
+  for (const auto& [name, metric] : doc.find("metrics")->as_object()) {
+    ParsedMetric m;
+    m.value = metric.find("value")->as_number();
+    m.higher_is_better = metric.find("higher_is_better")->as_bool();
+    m.unit = metric.find("unit")->as_string();
+    (*out)[name] = m;
+  }
+  return true;
+}
+
+std::string pct(double ratio) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%+.1f%%", ratio * 100.0);
+  return buf;
+}
+
+std::string num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4g", v);
+  return buf;
+}
+
+}  // namespace
+
+BenchComparison compare_bench_reports(const std::string& old_json,
+                                      const std::string& new_json,
+                                      double tolerance) {
+  BenchComparison out;
+  std::map<std::string, ParsedMetric> old_metrics, new_metrics;
+  std::string old_rev, new_rev, error;
+  if (!parse_metrics(old_json, &old_metrics, &old_rev, &error)) {
+    out.parse_error = "old report: " + error;
+    return out;
+  }
+  if (!parse_metrics(new_json, &new_metrics, &new_rev, &error)) {
+    out.parse_error = "new report: " + error;
+    return out;
+  }
+  out.parse_ok = true;
+
+  TextTable table({"metric", old_rev, new_rev, "delta", "status"});
+  for (const auto& [name, old_metric] : old_metrics) {
+    auto it = new_metrics.find(name);
+    if (it == new_metrics.end()) {
+      table.add_row({name, num(old_metric.value), "-", "-", "dropped"});
+      continue;
+    }
+    const ParsedMetric& new_metric = it->second;
+    ++out.compared;
+    const double old_v = old_metric.value;
+    const double new_v = new_metric.value;
+    // Relative move in the metric's "better" direction: positive = better.
+    double move = 0.0;
+    if (old_v != 0.0) {
+      move = (new_v - old_v) / old_v;
+      if (!old_metric.higher_is_better) move = -move;
+    } else if (new_v != 0.0) {
+      move = new_metric.higher_is_better == (new_v > 0.0) ? 1.0 : -1.0;
+    }
+    std::string status = "ok";
+    if (move < -tolerance) {
+      status = "REGRESSION";
+      ++out.regressions;
+    } else if (move > tolerance) {
+      status = "improved";
+      ++out.improvements;
+    }
+    const double raw = old_v != 0.0 ? (new_v - old_v) / old_v : 0.0;
+    table.add_row({name, num(old_v), num(new_v), pct(raw), status});
+  }
+  for (const auto& [name, new_metric] : new_metrics) {
+    if (old_metrics.find(name) == old_metrics.end()) {
+      table.add_row({name, "-", num(new_metric.value), "-", "new"});
+    }
+  }
+  out.report = table.str();
+  return out;
+}
+
+}  // namespace navcpp::harness

@@ -1,0 +1,31 @@
+// Diff two navcpp.bench/v1 reports and flag regressions.
+//
+// A metric regresses when it moves against its declared direction by more
+// than `tolerance` (relative): a higher-is-better metric that drops below
+// old * (1 - tolerance), or a lower-is-better metric that rises above
+// old * (1 + tolerance).  Metrics present in only one report are listed but
+// never counted as regressions (the trajectory is allowed to grow).
+//
+// Used by tools/bench_compare (CI gate) and the bench_runner tests.
+#pragma once
+
+#include <string>
+
+namespace navcpp::harness {
+
+struct BenchComparison {
+  bool parse_ok = false;     ///< both inputs validated as navcpp.bench/v1
+  std::string parse_error;   ///< set when !parse_ok
+  int compared = 0;          ///< metrics present in both reports
+  int regressions = 0;       ///< metrics beyond tolerance, against direction
+  int improvements = 0;      ///< metrics beyond tolerance, with direction
+  std::string report;        ///< human-readable per-metric table
+};
+
+/// Compare `new_json` against `old_json` with the given relative tolerance
+/// (0.10 = 10%).
+BenchComparison compare_bench_reports(const std::string& old_json,
+                                      const std::string& new_json,
+                                      double tolerance);
+
+}  // namespace navcpp::harness

@@ -1,0 +1,208 @@
+#include "harness/bench_runner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+
+#include "harness/profile.h"
+#include "harness/workloads.h"
+#include "linalg/gemm.h"
+#include "linalg/matrix.h"
+#include "machine/sim_machine.h"
+#include "machine/threaded_machine.h"
+#include "navp/runtime.h"
+#include "support/json.h"
+#include "support/stopwatch.h"
+
+namespace navcpp::harness {
+
+namespace {
+
+constexpr const char* kSchemaTag = "navcpp.bench/v1";
+
+// Same mission as bench_runtime_micro's hopper: visit every PE in order,
+// `laps` times, carrying 64 payload bytes per hop.
+navp::Mission hopper(navp::Ctx ctx, int laps) {
+  for (int i = 0; i < laps; ++i) {
+    for (int pe = 0; pe < ctx.pe_count(); ++pe) {
+      co_await ctx.hop(pe, 64);
+    }
+  }
+}
+
+/// Hops per wall second on a fresh engine per repetition (machine
+/// construction and thread spawn included, exactly like the google-benchmark
+/// loop); best-of-reps to shed scheduler noise.
+template <class MakeEngine>
+double measure_hops_per_sec(MakeEngine make_engine, int laps, int reps) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    auto engine = make_engine();
+    support::Stopwatch timer;
+    navp::Runtime rt(*engine);
+    rt.inject(0, "hopper", hopper, laps);
+    rt.run();
+    const double secs = timer.seconds();
+    const double hops = static_cast<double>(rt.hop_count());
+    if (secs > 0.0) best = std::max(best, hops / secs);
+  }
+  return best;
+}
+
+double measure_gemm_gflops(int order, int reps) {
+  const auto a = linalg::Matrix::random(order, order, 11);
+  const auto b = linalg::Matrix::random(order, order, 12);
+  linalg::Matrix c(order, order);
+  const double flops = linalg::gemm_flops(order, order, order);
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    support::Stopwatch timer;
+    linalg::gemm_acc(c.view(), a.view(), b.view());
+    const double secs = timer.seconds();
+    if (secs > 0.0) best = std::max(best, flops / secs / 1e9);
+  }
+  return best;
+}
+
+/// Wall seconds to run one catalog workload start-to-finish on the sim
+/// backend (runtime overhead + simulation machinery, not virtual time).
+double measure_workload_wall_seconds(const std::string& name, int reps) {
+  double best = 0.0;
+  bool first = true;
+  for (int r = 0; r < reps; ++r) {
+    machine::SimMachine sim(workload_pe_count(name), workload_link(name));
+    support::Stopwatch timer;
+    (void)run_workload(name, sim);
+    const double secs = timer.seconds();
+    if (first || secs < best) best = secs;
+    first = false;
+  }
+  return best;
+}
+
+}  // namespace
+
+BenchReport run_bench_suite(const BenchOptions& options) {
+  BenchReport report;
+  report.revision = options.revision;
+  report.quick = options.quick;
+  report.hardware_threads =
+      static_cast<int>(std::thread::hardware_concurrency());
+
+  const int laps = options.quick ? 200 : 1000;
+  const int reps = options.quick ? 2 : 5;
+
+  report.metrics["runtime.threaded.hops_per_sec"] = BenchMetric{
+      measure_hops_per_sec(
+          [] { return std::make_unique<machine::ThreadedMachine>(2); }, laps,
+          reps),
+      "hops/s", true};
+  report.metrics["runtime.threaded.hops_per_sec_4pe"] = BenchMetric{
+      measure_hops_per_sec(
+          [] { return std::make_unique<machine::ThreadedMachine>(4); }, laps,
+          reps),
+      "hops/s", true};
+  report.metrics["runtime.sim.hops_per_sec"] = BenchMetric{
+      measure_hops_per_sec(
+          [] { return std::make_unique<machine::SimMachine>(4); }, laps,
+          reps),
+      "hops/s", true};
+
+  report.metrics["kernels.gemm_gflops"] = BenchMetric{
+      measure_gemm_gflops(options.quick ? 128 : 256, reps), "GFLOP/s", true};
+
+  report.metrics["sweep.jacobi_wall_seconds"] = BenchMetric{
+      measure_workload_wall_seconds("jacobi/dataflow", options.quick ? 1 : 2),
+      "s", false};
+  report.metrics["sweep.lu_wall_seconds"] = BenchMetric{
+      measure_workload_wall_seconds("lu/pipeline", options.quick ? 1 : 2),
+      "s", false};
+
+  // Deterministic anchor: mean per-PE utilization of the phase-shifted MM
+  // on the calibrated sim, from the obs registry / trace pipeline.  This
+  // one is bit-identical across hosts, so a diff here is always real.
+  const ProfileResult profile = profile_workload("mm/phase1d");
+  report.metrics["obs.mean_pe_utilization"] =
+      BenchMetric{profile.mean_utilization, "ratio", true};
+
+  return report;
+}
+
+std::string BenchReport::to_json() const {
+  std::string out;
+  out += "{\n";
+  out += "  \"schema\": \"";
+  out += kSchemaTag;
+  out += "\",\n";
+  out += "  \"revision\": \"" + support::json_escape(revision) + "\",\n";
+  out += std::string("  \"quick\": ") + (quick ? "true" : "false") + ",\n";
+  out += "  \"host\": {\"hardware_threads\": " +
+         std::to_string(hardware_threads) + "},\n";
+  out += "  \"metrics\": {\n";
+  bool first = true;
+  for (const auto& [name, metric] : metrics) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "    \"" + support::json_escape(name) + "\": {\"value\": " +
+           support::json_number(metric.value) + ", \"unit\": \"" +
+           support::json_escape(metric.unit) + "\", \"higher_is_better\": " +
+           (metric.higher_is_better ? "true" : "false") + "}";
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+bool validate_bench_json(const std::string& json, std::string* error) {
+  auto fail = [&](const std::string& why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+  support::JsonValue doc;
+  std::string parse_error;
+  if (!support::json_parse(json, &doc, &parse_error)) {
+    return fail("not valid JSON: " + parse_error);
+  }
+  if (!doc.is_object()) return fail("top level is not an object");
+  const auto* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != kSchemaTag) {
+    return fail(std::string("missing or wrong schema tag (want \"") +
+                kSchemaTag + "\")");
+  }
+  const auto* revision = doc.find("revision");
+  if (revision == nullptr || !revision->is_string() ||
+      revision->as_string().empty()) {
+    return fail("revision must be a non-empty string");
+  }
+  const auto* quick = doc.find("quick");
+  if (quick == nullptr || !quick->is_bool()) {
+    return fail("quick must be a boolean");
+  }
+  const auto* metrics = doc.find("metrics");
+  if (metrics == nullptr || !metrics->is_object() ||
+      metrics->as_object().empty()) {
+    return fail("metrics must be a non-empty object");
+  }
+  for (const auto& [name, metric] : metrics->as_object()) {
+    if (!metric.is_object()) {
+      return fail("metric '" + name + "' is not an object");
+    }
+    const auto* value = metric.find("value");
+    if (value == nullptr || !value->is_number() ||
+        !std::isfinite(value->as_number()) || value->as_number() < 0.0) {
+      return fail("metric '" + name +
+                  "' needs a finite non-negative numeric value");
+    }
+    const auto* unit = metric.find("unit");
+    if (unit == nullptr || !unit->is_string()) {
+      return fail("metric '" + name + "' needs a string unit");
+    }
+    const auto* dir = metric.find("higher_is_better");
+    if (dir == nullptr || !dir->is_bool()) {
+      return fail("metric '" + name + "' needs a boolean higher_is_better");
+    }
+  }
+  return true;
+}
+
+}  // namespace navcpp::harness

@@ -1,0 +1,66 @@
+// The performance-trajectory runner: a curated subset of bench/ distilled
+// into one callable suite whose output is a schema-validated BENCH_<rev>.json
+// committed to the repository.  The trajectory makes the repo's perf claims
+// falsifiable: every hot-path change lands next to a before/after pair, and
+// `bench_compare` turns a silent regression into a nonzero exit.
+//
+// Headline metrics (same workloads as the bench/ binaries they mirror):
+//   * runtime.threaded.hops_per_sec     — BM_ThreadedHops (2 PEs, wall time)
+//   * runtime.threaded.hops_per_sec_4pe — same hopper on 4 PEs
+//   * runtime.sim.hops_per_sec          — BM_SimHops (4 PEs)
+//   * kernels.gemm_gflops               — gemm_acc, as in bench_kernels
+//   * sweep.jacobi_wall_seconds         — jacobi/dataflow wall time (sim)
+//   * sweep.lu_wall_seconds             — lu/pipeline wall time (sim)
+//   * obs.mean_pe_utilization           — profile of mm/phase1d (sim;
+//                                          deterministic across hosts)
+//
+// Wall-clock metrics are best-of-N to shed scheduler noise; the sim-derived
+// utilization metric is bit-deterministic and anchors cross-host diffs.
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace navcpp::harness {
+
+struct BenchOptions {
+  /// Quick profile: smaller sizes and fewer repetitions (CI smoke); the
+  /// full profile is what committed BENCH_<rev>.json files are made from.
+  bool quick = false;
+  /// Revision label embedded in the report ("7fca760", "dev", ...).  The
+  /// library takes it as a string: the caller decides whether to consult
+  /// git.
+  std::string revision = "dev";
+};
+
+struct BenchMetric {
+  double value = 0.0;
+  std::string unit;
+  /// Direction a *better* run moves this metric; bench_compare uses it to
+  /// decide what counts as a regression.
+  bool higher_is_better = true;
+};
+
+struct BenchReport {
+  std::string revision;
+  bool quick = false;
+  int hardware_threads = 0;
+  std::map<std::string, BenchMetric> metrics;  // sorted, deterministic
+
+  /// Render as the navcpp.bench/v1 JSON document (always passes
+  /// validate_bench_json by construction).
+  std::string to_json() const;
+};
+
+/// Run the curated suite.  Wall-time metrics depend on the host; the
+/// sim-backend metrics are deterministic.
+BenchReport run_bench_suite(const BenchOptions& options);
+
+/// Structural validation of a navcpp.bench/v1 document: parses as JSON,
+/// schema tag matches, revision is a non-empty string, metrics is a
+/// non-empty object and every entry has a finite non-negative numeric
+/// `value`, a string `unit`, and a boolean `higher_is_better`.  On failure
+/// returns false and (if `error` is non-null) a human-readable reason.
+bool validate_bench_json(const std::string& json, std::string* error);
+
+}  // namespace navcpp::harness

@@ -67,10 +67,11 @@ ProfileResult profile_workload(const std::string& name) {
                    TextTable::num(comm, 6), TextTable::num(wait, 6),
                    TextTable::num(idle, 6), TextTable::num(util, 3)});
   }
+  out.mean_utilization = navp::mean_utilization(stats);
   table.add_row({"all", TextTable::num(total_compute, 6),
                  TextTable::num(total_comm, 6), TextTable::num(total_wait, 6),
                  TextTable::num(total_idle, 6),
-                 TextTable::num(navp::mean_utilization(stats), 3)});
+                 TextTable::num(out.mean_utilization, 3)});
   out.table = table.str();
   return out;
 }

@@ -27,6 +27,11 @@ struct ProfileResult {
   std::string table;       ///< per-PE compute/comm/wait/idle breakdown
   obs::Snapshot snapshot;  ///< full metrics snapshot of the run
 
+  /// Mean per-PE compute utilization (the "all" row of `table` as a
+  /// number); deterministic on the sim backend, so the bench trajectory
+  /// uses it as a cross-host anchor metric.
+  double mean_utilization = 0.0;
+
   // NetworkModel admission counts, for cross-checking the exported
   // metrics: bytes_match certifies snapshot["net.bytes"] == network_bytes.
   std::uint64_t network_messages = 0;

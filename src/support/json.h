@@ -1,0 +1,77 @@
+// Minimal JSON value model and recursive-descent parser.
+//
+// The repo emits JSON by hand (obs/chrome_trace, harness/bench_runner) but
+// the bench trajectory also needs to *read* it back: `bench_compare` diffs
+// two BENCH_<rev>.json files and the schema validator checks what the
+// runner emits.  This is a deliberately small, dependency-free reader:
+// UTF-8 pass-through strings, doubles for all numbers, objects as ordered
+// maps.  It is not a streaming parser and is not meant for huge documents —
+// BENCH files are a few kilobytes.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace navcpp::support {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool as_bool() const { return bool_; }
+  double as_number() const { return number_; }
+  const std::string& as_string() const { return string_; }
+  const std::vector<JsonValue>& as_array() const { return array_; }
+  const std::map<std::string, JsonValue>& as_object() const {
+    return object_;
+  }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(const std::string& key) const {
+    if (kind_ != Kind::kObject) return nullptr;
+    auto it = object_.find(key);
+    return it == object_.end() ? nullptr : &it->second;
+  }
+
+  static JsonValue null() { return JsonValue(); }
+  static JsonValue boolean(bool b);
+  static JsonValue number(double d);
+  static JsonValue string(std::string s);
+  static JsonValue array(std::vector<JsonValue> items);
+  static JsonValue object(std::map<std::string, JsonValue> members);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+/// Parse `text` as a single JSON document.  On success returns true and
+/// fills `*out`; on failure returns false and (if `error` is non-null)
+/// writes a human-readable reason with a byte offset.
+bool json_parse(const std::string& text, JsonValue* out,
+                std::string* error = nullptr);
+
+/// Escape `s` for embedding in a JSON string literal (no quotes added).
+std::string json_escape(const std::string& s);
+
+/// Shortest round-trip-ish rendering of a double ("%.10g"), with non-finite
+/// values mapped to 0 (JSON has no NaN/Inf).
+std::string json_number(double v);
+
+}  // namespace navcpp::support

@@ -1,0 +1,202 @@
+// Tests for the perf-trajectory pieces: the minimal JSON parser in
+// support/json.h, the navcpp.bench/v1 validator/emitter, and the
+// bench_compare regression classifier.  The fixture documents below are the
+// same shape as the committed BENCH_*.json files.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "harness/bench_compare.h"
+#include "harness/bench_runner.h"
+#include "support/json.h"
+
+namespace {
+
+using navcpp::harness::BenchComparison;
+using navcpp::harness::BenchMetric;
+using navcpp::harness::BenchOptions;
+using navcpp::harness::BenchReport;
+using navcpp::harness::compare_bench_reports;
+using navcpp::harness::run_bench_suite;
+using navcpp::harness::validate_bench_json;
+using navcpp::support::json_parse;
+using navcpp::support::JsonValue;
+
+// ---------------------------------------------------------------- JSON --
+
+TEST(Json, ParsesScalarsArraysAndObjects) {
+  JsonValue v;
+  std::string error;
+  ASSERT_TRUE(json_parse(
+      R"({"a": 1.5, "b": [true, false, null], "c": {"d": "x\nA"}})", &v,
+      &error))
+      << error;
+  ASSERT_TRUE(v.is_object());
+  EXPECT_DOUBLE_EQ(v.find("a")->as_number(), 1.5);
+  const JsonValue* b = v.find("b");
+  ASSERT_TRUE(b != nullptr && b->is_array());
+  ASSERT_EQ(b->as_array().size(), 3u);
+  EXPECT_TRUE(b->as_array()[0].as_bool());
+  EXPECT_TRUE(b->as_array()[2].is_null());
+  const JsonValue* d = v.find("c")->find("d");
+  ASSERT_TRUE(d != nullptr);
+  EXPECT_EQ(d->as_string(), "x\nA");
+}
+
+TEST(Json, RejectsMalformedInput) {
+  JsonValue v;
+  std::string error;
+  EXPECT_FALSE(json_parse("{", &v, &error));
+  EXPECT_FALSE(json_parse("{\"a\": }", &v, &error));
+  EXPECT_FALSE(json_parse("[1, 2,]", &v, &error));
+  EXPECT_FALSE(json_parse("{} trailing", &v, &error));
+  EXPECT_FALSE(json_parse("", &v, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(Json, FindReturnsNullForMissingKeysAndNonObjects) {
+  JsonValue v;
+  ASSERT_TRUE(json_parse("{\"a\": [1]}", &v, nullptr));
+  EXPECT_EQ(v.find("missing"), nullptr);
+  EXPECT_EQ(v.find("a")->find("a"), nullptr);  // arrays have no keys
+}
+
+// --------------------------------------------------- emit + validate --
+
+std::string fixture(const std::string& rev, double hops, double gemm,
+                    double jacobi) {
+  BenchReport r;
+  r.revision = rev;
+  r.quick = false;
+  r.hardware_threads = 1;
+  r.metrics["runtime.threaded.hops_per_sec"] =
+      BenchMetric{hops, "hops/s", true};
+  r.metrics["kernels.gemm_gflops"] = BenchMetric{gemm, "GFLOP/s", true};
+  r.metrics["sweep.jacobi_wall_seconds"] = BenchMetric{jacobi, "s", false};
+  return r.to_json();
+}
+
+TEST(BenchJson, EmitterOutputPassesValidation) {
+  std::string error;
+  EXPECT_TRUE(validate_bench_json(fixture("abc1234", 4e5, 1.5, 0.8), &error))
+      << error;
+}
+
+TEST(BenchJson, ValidatorRejectsWrongSchemaAndShapes) {
+  std::string error;
+  EXPECT_FALSE(validate_bench_json("not json at all", &error));
+  EXPECT_FALSE(validate_bench_json("[1, 2]", &error));
+  EXPECT_FALSE(validate_bench_json(
+      R"({"schema": "other/v9", "revision": "r", "quick": false,
+          "metrics": {"m": {"value": 1, "unit": "x",
+                            "higher_is_better": true}}})",
+      &error));
+  EXPECT_NE(error.find("schema"), std::string::npos);
+  // Missing metrics object entirely.
+  EXPECT_FALSE(validate_bench_json(
+      R"({"schema": "navcpp.bench/v1", "revision": "r", "quick": false})",
+      &error));
+  // Metric with a non-numeric value.
+  EXPECT_FALSE(validate_bench_json(
+      R"({"schema": "navcpp.bench/v1", "revision": "r", "quick": false,
+          "metrics": {"m": {"value": "fast", "unit": "x",
+                            "higher_is_better": true}}})",
+      &error));
+  // Metric missing its direction.
+  EXPECT_FALSE(validate_bench_json(
+      R"({"schema": "navcpp.bench/v1", "revision": "r", "quick": false,
+          "metrics": {"m": {"value": 1, "unit": "x"}}})",
+      &error));
+  // Empty revision.
+  EXPECT_FALSE(validate_bench_json(
+      R"({"schema": "navcpp.bench/v1", "revision": "", "quick": false,
+          "metrics": {"m": {"value": 1, "unit": "x",
+                            "higher_is_better": true}}})",
+      &error));
+}
+
+// -------------------------------------------------------- comparison --
+
+TEST(BenchCompare, FlagsRegressionsInBothDirections) {
+  // hops/s (higher better) halves, jacobi wall (lower better) doubles:
+  // both are regressions.  gemm improves.
+  const BenchComparison cmp =
+      compare_bench_reports(fixture("old1234", 4e5, 1.0, 0.5),
+                            fixture("new5678", 2e5, 2.0, 1.0), 0.10);
+  ASSERT_TRUE(cmp.parse_ok) << cmp.parse_error;
+  EXPECT_EQ(cmp.compared, 3);
+  EXPECT_EQ(cmp.regressions, 2);
+  EXPECT_EQ(cmp.improvements, 1);
+  EXPECT_NE(cmp.report.find("REGRESSION"), std::string::npos);
+}
+
+TEST(BenchCompare, ToleranceAbsorbsSmallMoves) {
+  // Every metric moves 5%; at 10% tolerance nothing regresses.
+  const BenchComparison cmp =
+      compare_bench_reports(fixture("old1234", 4.00e5, 1.00, 0.500),
+                            fixture("new5678", 3.80e5, 0.95, 0.525), 0.10);
+  ASSERT_TRUE(cmp.parse_ok);
+  EXPECT_EQ(cmp.regressions, 0);
+  EXPECT_EQ(cmp.improvements, 0);
+  // The same moves at 2% tolerance all regress.
+  EXPECT_EQ(compare_bench_reports(fixture("o", 4.00e5, 1.00, 0.500),
+                                  fixture("n", 3.80e5, 0.95, 0.525), 0.02)
+                .regressions,
+            3);
+}
+
+TEST(BenchCompare, MetricsInOnlyOneReportAreListedNotCounted) {
+  BenchReport old_r;
+  old_r.revision = "old1234";
+  old_r.metrics["dropped.metric"] = BenchMetric{1.0, "x", true};
+  old_r.metrics["shared.metric"] = BenchMetric{1.0, "x", true};
+  BenchReport new_r;
+  new_r.revision = "new5678";
+  new_r.metrics["shared.metric"] = BenchMetric{1.0, "x", true};
+  new_r.metrics["added.metric"] = BenchMetric{9.0, "x", true};
+  const BenchComparison cmp =
+      compare_bench_reports(old_r.to_json(), new_r.to_json(), 0.10);
+  ASSERT_TRUE(cmp.parse_ok);
+  EXPECT_EQ(cmp.compared, 1);
+  EXPECT_EQ(cmp.regressions, 0);
+  EXPECT_NE(cmp.report.find("dropped"), std::string::npos);
+  EXPECT_NE(cmp.report.find("new"), std::string::npos);
+}
+
+TEST(BenchCompare, InvalidInputReportsParseError) {
+  const BenchComparison cmp =
+      compare_bench_reports("nonsense", fixture("r", 1, 1, 1), 0.10);
+  EXPECT_FALSE(cmp.parse_ok);
+  EXPECT_NE(cmp.parse_error.find("old report"), std::string::npos);
+  const BenchComparison cmp2 =
+      compare_bench_reports(fixture("r", 1, 1, 1), "{\"schema\": 3}", 0.10);
+  EXPECT_FALSE(cmp2.parse_ok);
+  EXPECT_NE(cmp2.parse_error.find("new report"), std::string::npos);
+}
+
+// ------------------------------------------------------- whole suite --
+
+TEST(BenchSuite, QuickRunEmitsAllHeadlineMetricsAndValidates) {
+  BenchOptions options;
+  options.quick = true;
+  options.revision = "testrun";
+  const BenchReport report = run_bench_suite(options);
+  for (const char* name :
+       {"runtime.threaded.hops_per_sec", "runtime.threaded.hops_per_sec_4pe",
+        "runtime.sim.hops_per_sec", "kernels.gemm_gflops",
+        "sweep.jacobi_wall_seconds", "sweep.lu_wall_seconds",
+        "obs.mean_pe_utilization"}) {
+    ASSERT_TRUE(report.metrics.count(name) == 1) << name;
+    EXPECT_GT(report.metrics.at(name).value, 0.0) << name;
+  }
+  std::string error;
+  EXPECT_TRUE(validate_bench_json(report.to_json(), &error)) << error;
+  // Comparing a report against itself finds no regression at any tolerance.
+  const BenchComparison self =
+      compare_bench_reports(report.to_json(), report.to_json(), 0.01);
+  ASSERT_TRUE(self.parse_ok);
+  EXPECT_EQ(self.regressions, 0);
+  EXPECT_EQ(self.compared, static_cast<int>(report.metrics.size()));
+}
+
+}  // namespace

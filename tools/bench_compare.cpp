@@ -1,0 +1,79 @@
+// CI regression gate over the committed perf trajectory: diff two
+// navcpp.bench/v1 reports and exit nonzero when any metric moved against
+// its declared direction by more than the tolerance.
+//
+//   bench_compare OLD.json NEW.json [--tolerance 0.10]
+//
+// Exit codes: 0 = no regression, 1 = at least one regression, 2 = usage or
+// parse/validation failure.  Metrics present in only one report are listed
+// but never counted as regressions (the trajectory is allowed to grow).
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/bench_compare.h"
+
+namespace {
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: bench_compare OLD.json NEW.json [--tolerance 0.10]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  double tolerance = 0.10;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--tolerance" && i + 1 < argc) {
+      tolerance = std::atof(argv[++i]);
+      if (tolerance <= 0.0) {
+        std::fprintf(stderr, "bench_compare: --tolerance must be > 0\n");
+        return 2;
+      }
+    } else if (!arg.empty() && arg[0] != '-') {
+      paths.push_back(arg);
+    } else {
+      return usage();
+    }
+  }
+  if (paths.size() != 2) return usage();
+
+  std::string old_json, new_json;
+  if (!read_file(paths[0], &old_json)) {
+    std::fprintf(stderr, "bench_compare: cannot read %s\n", paths[0].c_str());
+    return 2;
+  }
+  if (!read_file(paths[1], &new_json)) {
+    std::fprintf(stderr, "bench_compare: cannot read %s\n", paths[1].c_str());
+    return 2;
+  }
+
+  const auto cmp =
+      navcpp::harness::compare_bench_reports(old_json, new_json, tolerance);
+  if (!cmp.parse_ok) {
+    std::fprintf(stderr, "bench_compare: %s\n", cmp.parse_error.c_str());
+    return 2;
+  }
+  std::printf("%s", cmp.report.c_str());
+  std::printf(
+      "%d metric(s) compared, %d regression(s), %d improvement(s) at "
+      "tolerance %.0f%%\n",
+      cmp.compared, cmp.regressions, cmp.improvements, tolerance * 100.0);
+  return cmp.regressions > 0 ? 1 : 0;
+}

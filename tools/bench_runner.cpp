@@ -1,0 +1,59 @@
+// Standalone perf-trajectory runner: run the curated suite from
+// harness/bench_runner.h and write a navcpp.bench/v1 JSON report.  Thin
+// wrapper over the same library code as `navcpp_cli bench`, for CI jobs and
+// scripts that don't want the full CLI.
+//
+//   bench_runner [--quick] [--rev LABEL] [--out FILE.json]
+//
+// Default output path is BENCH_<rev>.json in the current directory.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "harness/bench_runner.h"
+
+int main(int argc, char** argv) {
+  navcpp::harness::BenchOptions options;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      options.quick = true;
+    } else if (arg == "--rev" && i + 1 < argc) {
+      options.revision = argv[++i];
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_runner [--quick] [--rev LABEL] "
+                   "[--out FILE.json]\n");
+      return 2;
+    }
+  }
+  if (options.revision.empty()) {
+    std::fprintf(stderr, "bench_runner: --rev needs a non-empty label\n");
+    return 2;
+  }
+  if (out_path.empty()) out_path = "BENCH_" + options.revision + ".json";
+
+  std::fprintf(stderr, "running %s bench suite (rev %s)...\n",
+               options.quick ? "quick" : "full", options.revision.c_str());
+  const auto report = navcpp::harness::run_bench_suite(options);
+  const std::string json = report.to_json();
+
+  std::string error;
+  if (!navcpp::harness::validate_bench_json(json, &error)) {
+    std::fprintf(stderr, "bench_runner: emitted report invalid: %s\n",
+                 error.c_str());
+    return 1;
+  }
+  std::ofstream out(out_path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "bench_runner: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << json;
+  std::fprintf(stderr, "report written to %s\n", out_path.c_str());
+  return 0;
+}

@@ -16,6 +16,7 @@
 //                      [--dup P] [--corrupt P] [--verbose]
 //   navcpp_cli profile --program NAME [--out FILE.json] [--check]
 //                      [--metrics]
+//   navcpp_cli bench   [--quick] [--rev LABEL] [--out FILE.json]
 //
 // Every run happens on the calibrated simulation of the paper's testbed;
 // `--verify` (mm) additionally executes with real data and checks the
@@ -29,6 +30,7 @@
 
 #include "apps/jacobi.h"
 #include "apps/lu.h"
+#include "harness/bench_runner.h"
 #include "harness/chaos_suite.h"
 #include "harness/experiments.h"
 #include "harness/fault_suite.h"
@@ -102,7 +104,8 @@ int usage() {
       "[--verbose]\n"
       "  fault   [--seeds N] [--seed S] [--case SUBSTR] [--drop P] "
       "[--dup P] [--corrupt P] [--verbose]\n"
-      "  profile --program NAME [--out FILE.json] [--check] [--metrics]\n");
+      "  profile --program NAME [--out FILE.json] [--check] [--metrics]\n"
+      "  bench   [--quick] [--rev LABEL] [--out FILE.json]\n");
   return 2;
 }
 
@@ -293,6 +296,52 @@ int run_profile(const Args& args) {
     }
     std::printf("check: trace JSON valid, byte counts consistent\n");
   }
+  return 0;
+}
+
+// Run the curated perf suite (harness/bench_runner.h) and emit a
+// navcpp.bench/v1 JSON report.  `--quick` is the CI smoke profile; the full
+// profile is what committed BENCH_<rev>.json files are made from.  The
+// emitted document is validated before it is written, so a bug in the
+// emitter fails loudly here rather than in a later bench_compare.
+int run_bench(const Args& args) {
+  navcpp::harness::BenchOptions options;
+  options.quick = args.has("quick");
+  options.revision = args.get("rev", "dev");
+  if (options.revision.empty()) {
+    std::fprintf(stderr, "bench: --rev needs a non-empty label\n");
+    return 2;
+  }
+
+  std::printf("running %s bench suite (rev %s)...\n",
+              options.quick ? "quick" : "full", options.revision.c_str());
+  const auto report = navcpp::harness::run_bench_suite(options);
+
+  TextTable table({"metric", "value", "unit", "direction"});
+  for (const auto& [name, metric] : report.metrics) {
+    table.add_row({name, TextTable::num(metric.value, 4), metric.unit,
+                   metric.higher_is_better ? "higher" : "lower"});
+  }
+  std::printf("%s", table.str().c_str());
+
+  const std::string json = report.to_json();
+  std::string error;
+  if (!navcpp::harness::validate_bench_json(json, &error)) {
+    std::fprintf(stderr, "bench: emitted report failed validation: %s\n",
+                 error.c_str());
+    return 1;
+  }
+
+  const std::string out_path =
+      args.get("out", "BENCH_" + options.revision + ".json");
+  std::ofstream out(out_path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "bench: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << json;
+  std::printf("report written to %s (schema navcpp.bench/v1)\n",
+              out_path.c_str());
   return 0;
 }
 
@@ -532,6 +581,7 @@ int main(int argc, char** argv) {
     if (args.command == "chaos") return run_chaos(args);
     if (args.command == "fault") return run_fault(args);
     if (args.command == "profile") return run_profile(args);
+    if (args.command == "bench") return run_bench(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

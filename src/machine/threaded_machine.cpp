@@ -10,18 +10,28 @@
 
 namespace navcpp::machine {
 
-ThreadedMachine::ThreadedMachine(int pe_count) {
+ThreadedMachine::ThreadedMachine(int pe_count) : pe_count_(pe_count) {
   NAVCPP_CHECK(pe_count >= 1, "ThreadedMachine needs at least one PE");
   queues_.reserve(static_cast<std::size_t>(pe_count));
   for (int pe = 0; pe < pe_count; ++pe) {
     queues_.push_back(
-        std::make_unique<support::MpscQueue<support::MoveFunction>>());
+        std::make_unique<support::FastMpscQueue<support::MoveFunction>>());
+  }
+  pe_busy_ = std::make_unique<std::atomic<bool>[]>(
+      static_cast<std::size_t>(pe_count));
+  const std::size_t n_channels = static_cast<std::size_t>(pe_count) *
+                                 static_cast<std::size_t>(pe_count);
+  channels_.reserve(n_channels);
+  for (std::size_t i = 0; i < n_channels; ++i) {
+    channels_.push_back(std::make_unique<Channel>());
   }
   enqueued_ = std::make_unique<std::atomic<std::int64_t>[]>(
       static_cast<std::size_t>(pe_count));
   dequeued_ = std::make_unique<std::atomic<std::int64_t>[]>(
       static_cast<std::size_t>(pe_count));
   for (int pe = 0; pe < pe_count; ++pe) {
+    pe_busy_[static_cast<std::size_t>(pe)].store(false,
+                                                 std::memory_order_relaxed);
     enqueued_[static_cast<std::size_t>(pe)].store(0,
                                                   std::memory_order_relaxed);
     dequeued_[static_cast<std::size_t>(pe)].store(0,
@@ -31,20 +41,23 @@ ThreadedMachine::ThreadedMachine(int pe_count) {
 
 ThreadedMachine::~ThreadedMachine() {
   // run() joins its workers; this only guards against a machine destroyed
-  // without ever running (queues may hold unexecuted coroutine starters,
-  // which MoveFunction destroys along with their captures).
-  for (auto& q : queues_) q->close();
+  // mid-failure.  Queue destructors drain unexecuted actions, destroying
+  // their captures (coroutine frames, payloads).
+  stop_workers_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(lot_mutex_);
+  }
+  lot_cv_.notify_all();
   for (auto& w : workers_) {
     if (w.joinable()) w.join();
   }
-  if (timer_thread_.joinable()) {
-    {
-      std::lock_guard<std::mutex> lock(timer_mutex_);
-      timers_stop_ = true;
-    }
-    timer_cv_.notify_all();
-    timer_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(timer_mutex_);
+    timers_stop_ = true;
+    machine_running_ = false;
   }
+  timer_cv_.notify_all();
+  if (timer_thread_.joinable()) timer_thread_.join();
 }
 
 void ThreadedMachine::check_pe(int pe) const {
@@ -60,13 +73,32 @@ void ThreadedMachine::post(int pe, support::MoveFunction action) {
   // post-failure drain would have done.
   if (queues_[static_cast<std::size_t>(pe)]->push(std::move(action))) {
     note_enqueue(pe);
+    wake_lot_if_idle();
   }
+}
+
+void ThreadedMachine::wake_lot_if_idle() {
+  // Wake the lot only when *every* worker is parked: an awake worker always
+  // completes a full empty scan before parking, so it is guaranteed to see
+  // this push — waking a helper that would lose the race to the busy worker
+  // is pure futex churn.  (Work queued behind a long-running action while
+  // the rest of the lot sleeps is picked up by the kParkPollMs poll.)
+  if (parked_workers_.load(std::memory_order_seq_cst) <
+      worker_count_.load(std::memory_order_relaxed)) {
+    return;
+  }
+  // Taking the lot mutex orders this notify after any parker that
+  // registered but has not yet begun waiting (it holds the mutex from
+  // registration until wait), so the wake cannot be lost.
+  std::lock_guard<std::mutex> lock(lot_mutex_);
+  lot_cv_.notify_one();
 }
 
 void ThreadedMachine::post_after(int pe, double delay_seconds,
                                  support::MoveFunction action) {
   check_pe(pe);
   NAVCPP_CHECK(delay_seconds >= 0.0, "post_after needs a non-negative delay");
+  timers_used_.store(true, std::memory_order_release);
   const auto when =
       std::chrono::steady_clock::now() +
       std::chrono::duration_cast<std::chrono::steady_clock::duration>(
@@ -76,6 +108,13 @@ void ThreadedMachine::post_after(int pe, double delay_seconds,
     timers_.push_back(Timer{when, timer_seq_++, pe, std::move(action)});
     std::push_heap(timers_.begin(), timers_.end(), timer_later);
     timers_pending_.fetch_add(1, std::memory_order_relaxed);
+    // The timer thread is spawned lazily: timer-free programs (most of
+    // them) never pay for it.  First post_after mid-run starts it here;
+    // run() starts it up front when timers are already queued.
+    if (machine_running_ && !timer_thread_.joinable()) {
+      timers_stop_ = false;
+      timer_thread_ = std::thread([this] { timer_loop(); });
+    }
   }
   timer_cv_.notify_all();
 }
@@ -121,16 +160,65 @@ void ThreadedMachine::transmit(int src, int dst, std::size_t bytes,
                                support::MoveFunction on_delivery) {
   check_pe(src);
   check_pe(dst);
-  if (queues_[static_cast<std::size_t>(dst)]->push(std::move(on_delivery))) {
-    // Only messages actually enqueued count toward the cost audit.
-    transmitted_messages_.fetch_add(1, std::memory_order_relaxed);
-    transmitted_bytes_.fetch_add(bytes, std::memory_order_relaxed);
-    note_enqueue(dst);
-    if (m_net_messages_ != nullptr) {
-      m_net_messages_->add();
-      m_net_bytes_->add(bytes);
+  Channel& ch = channel(src, dst);
+  // A rejected push means the machine is stopping; only messages actually
+  // enqueued count toward the cost audit.
+  if (!ch.pending.push(std::move(on_delivery))) return;
+  transmitted_messages_.fetch_add(1, std::memory_order_relaxed);
+  transmitted_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  note_enqueue(dst);
+  if (m_net_messages_ != nullptr) {
+    m_net_messages_->add();
+    m_net_bytes_->add(bytes);
+  }
+  // First transmit of a burst schedules the drain marker; the rest ride
+  // along for free.  Per-channel FIFO holds because the pending stack
+  // linearizes pushes and markers for one channel are never concurrent.
+  if (!ch.scheduled.exchange(true, std::memory_order_acq_rel)) {
+    support::MoveFunction marker([this, src, dst] {
+      deliver_channel(src, dst);
+    });
+    if (queues_[static_cast<std::size_t>(dst)]->push(std::move(marker))) {
+      note_enqueue(dst);
+      wake_lot_if_idle();
+    } else {
+      // Run queue closed mid-shutdown: the delivery stays in the channel
+      // and is destroyed by the teardown drain.
+      ch.scheduled.store(false, std::memory_order_release);
     }
   }
+}
+
+void ThreadedMachine::deliver_channel(int src, int dst) {
+  Channel& ch = channel(src, dst);
+  // Scratch vector swap-out: reuses capacity across markers on this thread
+  // without sharing state if a delivery ever re-enters.
+  static thread_local std::vector<support::MoveFunction> scratch;
+  std::vector<support::MoveFunction> batch = std::move(scratch);
+  batch.clear();
+  for (;;) {
+    if (!ch.pending.pop_all(batch)) {
+      ch.scheduled.store(false, std::memory_order_release);
+      // A transmit may have pushed between our final pop_all and the store
+      // above and seen scheduled still true (so posted no marker).  Re-check
+      // and re-claim; if a racing transmit claims first, its marker owns
+      // the channel now.
+      if (ch.pending.empty() ||
+          ch.scheduled.exchange(true, std::memory_order_acq_rel)) {
+        break;
+      }
+      continue;
+    }
+    for (auto& fn : batch) {
+      note_dequeue(dst);
+      if (!stopping_.load(std::memory_order_relaxed)) {
+        fn();
+        progress_counter_.fetch_add(1, std::memory_order_release);
+      }
+    }
+    batch.clear();
+  }
+  scratch = std::move(batch);
 }
 
 double ThreadedMachine::now(int pe) const {
@@ -139,17 +227,18 @@ double ThreadedMachine::now(int pe) const {
 }
 
 void ThreadedMachine::task_started() {
-  std::lock_guard<std::mutex> lock(state_mutex_);
-  ++tasks_live_;
+  tasks_live_.fetch_add(1, std::memory_order_acq_rel);
 }
 
 void ThreadedMachine::task_finished() {
+  tasks_live_.fetch_sub(1, std::memory_order_acq_rel);
+  progress_counter_.fetch_add(1, std::memory_order_release);
+  // Empty critical section: orders the notify after run()'s predicate
+  // check, closing the check-then-wait race.
   {
-    std::lock_guard<std::mutex> lock(state_mutex_);
-    --tasks_live_;
-    ++progress_counter_;
+    std::lock_guard<std::mutex> lock(done_mutex_);
   }
-  state_cv_.notify_all();
+  done_cv_.notify_all();
 }
 
 void ThreadedMachine::record_exception() {
@@ -158,129 +247,208 @@ void ThreadedMachine::record_exception() {
 
 void ThreadedMachine::fail(std::exception_ptr error) noexcept {
   {
-    std::lock_guard<std::mutex> lock(state_mutex_);
+    std::lock_guard<std::mutex> lock(done_mutex_);
     if (!first_exception_) first_exception_ = error;
-    stopping_ = true;
   }
+  stopping_.store(true, std::memory_order_release);
   for (auto& q : queues_) q->close();
-  state_cv_.notify_all();
+  for (auto& ch : channels_) ch->pending.close();
+  {
+    std::lock_guard<std::mutex> lock(lot_mutex_);
+  }
+  lot_cv_.notify_all();  // parked workers wake to drain the closed queues
+  done_cv_.notify_all();
 }
 
-void ThreadedMachine::worker_loop(int pe) {
-  auto& queue = *queues_[static_cast<std::size_t>(pe)];
-  while (true) {
-    std::optional<support::MoveFunction> action = queue.pop_blocking();
-    if (!action.has_value()) return;  // queue closed and drained
-    note_dequeue(pe);
-    {
-      // After a failure, drain without executing: MoveFunction destruction
-      // releases captured coroutine frames and payloads.
-      std::lock_guard<std::mutex> lock(state_mutex_);
-      if (stopping_) continue;
-      ++actions_in_flight_;
-    }
-    if (!m_actions_.empty()) m_actions_[static_cast<std::size_t>(pe)]->add();
-    try {
-      (*action)();
-    } catch (...) {
-      {
-        std::lock_guard<std::mutex> lock(state_mutex_);
-        --actions_in_flight_;
-      }
-      record_exception();
-      return;
-    }
-    {
-      std::lock_guard<std::mutex> lock(state_mutex_);
-      --actions_in_flight_;
-      ++progress_counter_;
-    }
-    state_cv_.notify_all();
+void ThreadedMachine::execute(int pe, support::MoveFunction& action) {
+  note_dequeue(pe);
+  // After a failure, drain without executing: MoveFunction destruction
+  // (when the batch is cleared) releases captured coroutine frames and
+  // payloads.
+  if (stopping_.load(std::memory_order_relaxed)) return;
+  actions_in_flight_.fetch_add(1, std::memory_order_acq_rel);
+  if (!m_actions_.empty()) m_actions_[static_cast<std::size_t>(pe)]->add();
+  try {
+    action();
+  } catch (...) {
+    actions_in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    record_exception();
+    return;
   }
+  actions_in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+  progress_counter_.fetch_add(1, std::memory_order_release);
+}
+
+bool ThreadedMachine::drain_pe(int pe,
+                               std::vector<support::MoveFunction>& batch) {
+  std::atomic<bool>& busy = pe_busy_[static_cast<std::size_t>(pe)];
+  if (busy.load(std::memory_order_relaxed)) return false;
+  auto& queue = *queues_[static_cast<std::size_t>(pe)];
+  if (queue.empty()) return false;
+  // Claim the PE's consumer token.  acquire pairs with the release below,
+  // handing PE-confined state from the previous draining worker to us.
+  if (busy.exchange(true, std::memory_order_acquire)) return false;
+  bool did_work = false;
+  for (;;) {
+    batch.clear();
+    if (!queue.pop_all(batch)) break;
+    did_work = true;
+    sample_queue_depth(pe);
+    for (auto& action : batch) execute(pe, action);
+  }
+  batch.clear();
+  busy.store(false, std::memory_order_release);
+  return did_work;
+}
+
+void ThreadedMachine::worker_loop(int home_pe) {
+  std::vector<support::MoveFunction> batch;
+  while (!stop_workers_.load(std::memory_order_acquire)) {
+    bool did_work = false;
+    for (int i = 0; i < pe_count_; ++i) {
+      did_work |= drain_pe((home_pe + i) % pe_count_, batch);
+    }
+    if (!did_work) park();
+  }
+}
+
+void ThreadedMachine::park() {
+  std::unique_lock<std::mutex> lock(lot_mutex_);
+  parked_workers_.fetch_add(1, std::memory_order_seq_cst);
+  // Rescan while registered and holding the lot mutex: any push either
+  // happened before this rescan (we see the item and bail out) or after our
+  // registration (the producer sees every worker parked and notifies; the
+  // notify cannot fire before our wait starts because the producer needs
+  // the mutex we hold).  The seq_cst fences on push / empty() / the parked
+  // counter make "either-or" airtight rather than best-effort.
+  bool work = stop_workers_.load(std::memory_order_acquire);
+  for (int pe = 0; pe < pe_count_ && !work; ++pe) {
+    work = !queues_[static_cast<std::size_t>(pe)]->empty();
+  }
+  // kParkPollMs bounds the one remaining latency hole: work queued while
+  // some worker is awake but stuck in a long action, so nobody is scanning
+  // and nobody gets notified.
+  if (!work) lot_cv_.wait_for(lock, kParkPollMs);
+  parked_workers_.fetch_sub(1, std::memory_order_seq_cst);
 }
 
 void ThreadedMachine::run() {
   clock_.reset();
   reset_stats();
   {
-    std::lock_guard<std::mutex> lock(state_mutex_);
-    stopping_ = false;
+    std::lock_guard<std::mutex> lock(done_mutex_);
     first_exception_ = nullptr;
-    actions_in_flight_ = 0;  // workers are joined; defensively re-zero
   }
+  stopping_.store(false, std::memory_order_relaxed);
+  stop_workers_.store(false, std::memory_order_relaxed);
+  actions_in_flight_.store(0, std::memory_order_relaxed);
   for (auto& q : queues_) q->reopen();
+  for (auto& ch : channels_) {
+    ch->pending.reopen();
+    ch->scheduled.store(false, std::memory_order_relaxed);
+  }
+
   workers_.clear();
   workers_.reserve(queues_.size());
-  for (int pe = 0; pe < pe_count(); ++pe) {
+  worker_count_.store(pe_count_, std::memory_order_release);
+  for (int pe = 0; pe < pe_count_; ++pe) {
     workers_.emplace_back([this, pe] { worker_loop(pe); });
   }
   {
     std::lock_guard<std::mutex> lock(timer_mutex_);
-    timers_stop_ = false;
+    machine_running_ = true;
+    if (!timers_.empty() && !timer_thread_.joinable()) {
+      timers_stop_ = false;
+      timer_thread_ = std::thread([this] { timer_loop(); });
+    }
   }
-  timer_thread_ = std::thread([this] { timer_loop(); });
 
   bool deadlocked = false;
   {
-    std::unique_lock<std::mutex> lock(state_mutex_);
-    while (tasks_live_ > 0 && !stopping_) {
+    std::unique_lock<std::mutex> lock(done_mutex_);
+    const auto done = [&] {
+      return tasks_live_.load(std::memory_order_acquire) <= 0 ||
+             stopping_.load(std::memory_order_acquire);
+    };
+    while (!done()) {
       if (stall_timeout_s_ <= 0.0) {
-        state_cv_.wait(lock);
+        done_cv_.wait(lock);
         continue;
       }
-      const std::uint64_t seen = progress_counter_;
+      const std::uint64_t seen =
+          progress_counter_.load(std::memory_order_acquire);
       const auto deadline =
           std::chrono::steady_clock::now() +
           std::chrono::duration_cast<std::chrono::steady_clock::duration>(
               std::chrono::duration<double>(stall_timeout_s_));
-      state_cv_.wait_until(lock, deadline, [&] {
-        return tasks_live_ == 0 || stopping_ || progress_counter_ != seen;
+      const bool progressed = done_cv_.wait_until(lock, deadline, [&] {
+        return done() ||
+               progress_counter_.load(std::memory_order_acquire) != seen;
       });
-      if (tasks_live_ > 0 && !stopping_ && progress_counter_ == seen) {
-        // The progress counter only ticks when an action *completes*, so a
-        // single action running longer than the timeout (one long GEMM
-        // block, say) must not be mistaken for a stall: a worker with an
-        // action in flight is making progress by definition.  Re-arm and
-        // keep waiting.  Pending post_after timers (retransmit timeouts)
-        // likewise count as future progress, not a stall.
-        if (actions_in_flight_ > 0 ||
-            timers_pending_.load(std::memory_order_relaxed) > 0) {
-          continue;
-        }
-        // No action executing, none completed, and no task finished for a
-        // full timeout window: every remaining task is blocked.
-        deadlocked = true;
-        break;
+      if (progressed) continue;  // done, failed, or re-arm with new baseline
+      // The progress counter only ticks when an action *completes*, so a
+      // single action running longer than the timeout (one long GEMM
+      // block, say) must not be mistaken for a stall: a worker with an
+      // action in flight is making progress by definition.  Pending
+      // post_after timers (retransmit timeouts) likewise count as future
+      // progress, not a stall.
+      if (actions_in_flight_.load(std::memory_order_acquire) > 0 ||
+          timers_pending_.load(std::memory_order_relaxed) > 0) {
+        continue;
       }
+      // No action executing, none completed, and no task finished for a
+      // full timeout window: every remaining task is blocked.
+      deadlocked = true;
+      break;
     }
   }
 
   {
     std::lock_guard<std::mutex> lock(timer_mutex_);
+    machine_running_ = false;
     timers_stop_ = true;
   }
   timer_cv_.notify_all();
-  timer_thread_.join();
+  if (timer_thread_.joinable()) timer_thread_.join();
 
-  for (auto& q : queues_) q->close();
+  stop_workers_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(lot_mutex_);
+  }
+  lot_cv_.notify_all();
   for (auto& w : workers_) w.join();
   workers_.clear();
+  worker_count_.store(0, std::memory_order_relaxed);
+
+  // Stray work pushed after the workers' final scans (or parked behind a
+  // failure) is destroyed here, releasing captures; then everything reopens
+  // so a reused machine accepts its next run's initial post()s.
+  for (auto& q : queues_) q->close();
+  for (auto& ch : channels_) ch->pending.close();
+  {
+    std::vector<support::MoveFunction> drain;
+    for (auto& q : queues_) q->pop_all(drain);
+    for (auto& ch : channels_) ch->pending.pop_all(drain);
+  }
+  for (auto& q : queues_) q->reopen();
+  for (auto& ch : channels_) {
+    ch->pending.reopen();
+    ch->scheduled.store(false, std::memory_order_relaxed);
+  }
+
   finish_time_ = clock_.seconds();
   if (m_wall_time_ != nullptr) m_wall_time_->set(finish_time_);
-  // The workers are gone, so the queues can accept work again: a reused
-  // machine receives its next run's initial post()s *before* the next
-  // run() call, and those must not be dropped as shutdown strays.
-  for (auto& q : queues_) q->reopen();
 
   std::exception_ptr eptr;
   {
-    std::lock_guard<std::mutex> lock(state_mutex_);
+    std::lock_guard<std::mutex> lock(done_mutex_);
     eptr = first_exception_;
   }
   if (eptr) std::rethrow_exception(eptr);
   if (deadlocked) {
     std::ostringstream os;
-    os << "threaded machine stalled with " << tasks_live_
+    os << "threaded machine stalled with "
+       << tasks_live_.load(std::memory_order_relaxed)
        << " live task(s); no progress for " << stall_timeout_s_ << "s";
     if (blocked_reporter_) os << "\n" << blocked_reporter_();
     throw support::DeadlockError(os.str());

@@ -1,17 +1,34 @@
 // ThreadedMachine: one OS thread per PE, real concurrency.
 //
-// Each PE owns an MPSC run queue; its worker thread executes queued actions
-// strictly one at a time, so PE-confined state (NavP node variables, events,
-// mini-MPI mailboxes) needs no further locking.  transmit() is an immediate
-// enqueue on the destination PE — on a single shared-memory machine there is
-// no network to model, and "migration" is just rescheduling a coroutine on
-// another PE's executor (the byte count still feeds the statistics so the
-// same program can be cost-audited on either backend).
+// Each PE owns a lock-free FastMpscQueue run queue plus a *consumer token*
+// (an atomic flag).  Workers scan every PE's queue round-robin: whoever
+// claims a PE's token drains that queue in pop_all() batches and executes
+// the actions one at a time.  The token — not thread identity — is what
+// serializes a PE, so PE-confined state (NavP node variables, events,
+// mini-MPI mailboxes) still needs no locking, while an idle worker can
+// *help* a busy neighbour instead of sleeping.  On a machine with fewer
+// cores than PEs (the common CI case) a ping-pong between two PEs collapses
+// onto a single worker with zero context switches, which is where most of
+// the hop-rate win over the old mutex+condvar design comes from (see
+// docs/architecture.md, "Run-queue design").
+//
+// transmit() coalesces per (src,dst) channel: deliveries CAS onto the
+// channel's pending stack, and only the first in a burst enqueues a drain
+// marker on the destination PE, which then delivers the whole burst as one
+// run-queue action.  Per-channel FIFO (the Engine non-overtaking guarantee)
+// is preserved: the pending stack linearizes producers and drains in push
+// order, and markers for one channel are never concurrent.
+//
+// Workers that find every queue empty park on a machine-wide lot; producers
+// wake the lot only when *no* worker is awake, so a busy worker absorbs new
+// work without any futex traffic.  A short parked timeout (kParkPollMs)
+// bounds the latency of the one theoretical miss left: work queued behind a
+// long-running action while every other worker sleeps.
 //
 // Termination: run() returns when every registered task has finished.  An
 // optional stall timeout turns a silent distributed deadlock (all workers
-// idle, live tasks remain, nothing queued) into a DeadlockError carrying the
-// runtime's description of who is blocked on what.
+// idle, live tasks remain, nothing queued) into a DeadlockError carrying
+// the runtime's description of who is blocked on what.
 #pragma once
 
 #include <atomic>
@@ -22,14 +39,13 @@
 #include <functional>
 #include <memory>
 #include <mutex>
-#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "machine/engine.h"
 #include "obs/metrics.h"
-#include "support/mpsc_queue.h"
+#include "support/fast_mpsc_queue.h"
 #include "support/stopwatch.h"
 
 namespace navcpp::machine {
@@ -42,7 +58,7 @@ class ThreadedMachine final : public Engine {
   ThreadedMachine(const ThreadedMachine&) = delete;
   ThreadedMachine& operator=(const ThreadedMachine&) = delete;
 
-  int pe_count() const override { return static_cast<int>(queues_.size()); }
+  int pe_count() const override { return pe_count_; }
 
   void post(int pe, support::MoveFunction action) override;
   void post_after(int pe, double delay_seconds,
@@ -86,14 +102,22 @@ class ThreadedMachine final : public Engine {
     transmitted_messages_.store(0, std::memory_order_relaxed);
   }
 
-  /// Metrics: per-PE "threaded.actions{pe=N}" counters, a
-  /// "threaded.queue_depth" histogram sampled at every enqueue,
-  /// "net.messages" / "net.bytes" counters beside the transmit audit, and a
-  /// "threaded.wall_time" gauge set when run() returns.  Attach before
-  /// run() — the worker threads read the cached handles unsynchronized.
+  /// Metrics: per-PE "threaded.actions{pe=N}" counters (labelled by the PE
+  /// whose queue the action came from, not the thread that ran it), a
+  /// "threaded.queue_depth" histogram sampled by the *consumer* once per
+  /// drained batch (producers only bump a relaxed tally, so the hot path
+  /// stays wait-free; samples are clamped at zero because the two tallies
+  /// are read without mutual ordering), "net.messages" / "net.bytes"
+  /// counters beside the transmit audit, and a "threaded.wall_time" gauge
+  /// set when run() returns.  Attach before run() — the worker threads read
+  /// the cached handles unsynchronized.
   void set_metrics(obs::Registry* registry) override;
 
  private:
+  /// Parked-worker poll interval: bounds the wake-up latency of work that
+  /// arrives while every producer-visible worker is busy executing.
+  static constexpr std::chrono::milliseconds kParkPollMs{2};
+
   struct Timer {
     std::chrono::steady_clock::time_point when;
     std::uint64_t seq;  // FIFO among equal deadlines
@@ -101,55 +125,100 @@ class ThreadedMachine final : public Engine {
     support::MoveFunction action;
   };
 
+  /// Per-(src,dst) delivery coalescing cell: transmits stack their
+  /// on_delivery closures here, and `scheduled` dedups the drain marker so
+  /// a burst costs the destination run queue a single entry.
+  struct Channel {
+    support::FastMpscQueue<support::MoveFunction> pending;
+    std::atomic<bool> scheduled{false};
+  };
+
   // push_heap/pop_heap comparator: min-heap on (deadline, seq).
   static bool timer_later(const Timer& a, const Timer& b);
 
-  void worker_loop(int pe);
+  void worker_loop(int home_pe);
+  bool drain_pe(int pe, std::vector<support::MoveFunction>& batch);
+  void execute(int pe, support::MoveFunction& action);
+  void park();
+  void wake_lot_if_idle();
+  void deliver_channel(int src, int dst);
   void timer_loop();
   void check_pe(int pe) const;
   void record_exception();
 
-  /// Queue-depth bookkeeping around the MPSC queues (which expose no size).
+  Channel& channel(int src, int dst) {
+    return *channels_[static_cast<std::size_t>(src) *
+                          static_cast<std::size_t>(pe_count_) +
+                      static_cast<std::size_t>(dst)];
+  }
+
+  /// Producer-side half of the queue-depth metric: a wait-free tally bump.
+  /// The histogram sample happens on the consumer, once per batch.
   void note_enqueue(int pe) {
-    const std::int64_t depth =
-        enqueued_[static_cast<std::size_t>(pe)].fetch_add(
-            1, std::memory_order_relaxed) +
-        1 - dequeued_[static_cast<std::size_t>(pe)].load(
-                std::memory_order_relaxed);
-    if (m_queue_depth_ != nullptr) {
-      m_queue_depth_->record(static_cast<double>(depth));
-    }
+    enqueued_[static_cast<std::size_t>(pe)].fetch_add(
+        1, std::memory_order_relaxed);
   }
   void note_dequeue(int pe) {
     dequeued_[static_cast<std::size_t>(pe)].fetch_add(
         1, std::memory_order_relaxed);
   }
+  /// Consumer-side sample: enqueued - dequeued, clamped at zero (the
+  /// tallies are independently relaxed, so a transient negative read is
+  /// possible and must not reach the histogram).
+  void sample_queue_depth(int pe) {
+    if (m_queue_depth_ == nullptr) return;
+    const std::int64_t depth =
+        enqueued_[static_cast<std::size_t>(pe)].load(
+            std::memory_order_relaxed) -
+        dequeued_[static_cast<std::size_t>(pe)].load(
+            std::memory_order_relaxed);
+    m_queue_depth_->record(static_cast<double>(depth < 0 ? 0 : depth));
+  }
 
-  std::vector<std::unique_ptr<support::MpscQueue<support::MoveFunction>>>
+  int pe_count_ = 0;
+  std::vector<std::unique_ptr<support::FastMpscQueue<support::MoveFunction>>>
       queues_;
+  std::unique_ptr<std::atomic<bool>[]> pe_busy_;  // per-PE consumer tokens
+  std::vector<std::unique_ptr<Channel>> channels_;  // pe_count^2 cells
   std::vector<std::thread> workers_;
 
-  std::mutex state_mutex_;
-  std::condition_variable state_cv_;
-  std::int64_t tasks_live_ = 0;
-  std::uint64_t progress_counter_ = 0;  // bumps on every executed action
-  std::int64_t actions_in_flight_ = 0;  // actions currently executing
-  bool stopping_ = false;
-  std::exception_ptr first_exception_;
+  std::atomic<bool> stop_workers_{false};  // run() teardown signal
+  std::atomic<bool> stopping_{false};      // failure: drain, don't execute
+  std::atomic<int> worker_count_{0};       // workers spawned by this run
+  std::atomic<std::int64_t> tasks_live_{0};
+  std::atomic<std::uint64_t> progress_counter_{0};  // completed actions
+  std::atomic<std::int64_t> actions_in_flight_{0};
+
+  // run()'s completion wait + the first-failure slot.
+  std::mutex done_mutex_;
+  std::condition_variable done_cv_;
+  std::exception_ptr first_exception_;  // guarded by done_mutex_
+
+  // Parking lot for idle workers.  parked_workers_ is seq_cst against the
+  // queues' push CAS: a producer that sees every worker parked wakes the
+  // lot; a parker registers, rescans, and only then waits (holding the lot
+  // mutex across register+rescan makes the handoff race-free).
+  std::mutex lot_mutex_;
+  std::condition_variable lot_cv_;
+  std::atomic<int> parked_workers_{0};
 
   std::function<std::string()> blocked_reporter_;
   double stall_timeout_s_ = 0.0;
 
-  // post_after timers: a binary heap serviced by one timer thread that runs
-  // only inside run().  timers_pending_ is atomic so the stall watchdog can
-  // consult it without nesting timer_mutex_ under state_mutex_.
+  // post_after timers: a binary heap serviced by one timer thread.  The
+  // thread is only spawned by run() once a post_after has ever happened
+  // (timers_used_ is sticky), so timer-free programs skip the thread
+  // entirely.  timers_pending_ is atomic so the stall watchdog can consult
+  // it without taking timer_mutex_.
   std::mutex timer_mutex_;
   std::condition_variable timer_cv_;
   std::vector<Timer> timers_;
   std::uint64_t timer_seq_ = 0;
   bool timers_stop_ = false;
+  bool machine_running_ = false;  // guarded by timer_mutex_
   std::thread timer_thread_;
   std::atomic<std::int64_t> timers_pending_{0};
+  std::atomic<bool> timers_used_{false};
 
   support::Stopwatch clock_;
   double finish_time_ = 0.0;

@@ -429,20 +429,27 @@ struct HopAwaiter {
     state->in_flight = true;  // on the wire: a crash of either PE spares it
     rt->count_hop();
     AgentState* st = state;
-    rt->ship(
-        src, dest, bytes,
-        [st, src, d = dest, depart, bytes,
-         owned = OwnedResume(h, state->shared_from_this())]() mutable {
-          st->in_flight = false;
-          Runtime* r = st->rt;
-          r->engine().charge(d, r->activation_overhead());
-          r->count_hop_delivered(d, bytes);
-          if (auto* tr = r->trace()) {
-            tr->record_hop(TraceHop{st->id, src, d, depart,
-                                    r->engine().now(d), bytes});
-          }
-          owned();
-        });
+    auto deliver = [st, src, d = dest, depart, bytes,
+                    owned = OwnedResume(h, state->shared_from_this())]() mutable {
+      st->in_flight = false;
+      Runtime* r = st->rt;
+      r->engine().charge(d, r->activation_overhead());
+      r->count_hop_delivered(d, bytes);
+      if (auto* tr = r->trace()) {
+        tr->record_hop(TraceHop{st->id, src, d, depart,
+                                r->engine().now(d), bytes});
+      }
+      owned();
+    };
+    // The hop-delivery closure is the single hottest thing the threaded
+    // backend moves through its run queues; it must stay within
+    // MoveFunction's inline buffer or every hop buys a heap allocation.
+    // (+ one pointer: MoveFunction wraps the callable with a vptr.)
+    static_assert(sizeof(deliver) + sizeof(void*) <=
+                      support::MoveFunction::kInlineSize,
+                  "hop-delivery closure outgrew MoveFunction's inline "
+                  "buffer; trim the captures or grow kInlineSize");
+    rt->ship(src, dest, bytes, std::move(deliver));
   }
 
   void await_resume() const noexcept {}

@@ -1,0 +1,220 @@
+// Lock-free multi-producer run queue with batched consumption, built for the
+// threaded machine's hot path (see docs/architecture.md, "Run-queue design").
+//
+// Shape: a Treiber stack of heap nodes.  push() is one CAS; pop_all() grabs
+// the whole stack with a single exchange and reverses it, so the items come
+// out in global push order (the CAS on the head linearizes concurrent
+// producers) and the consumer pays one synchronizing operation per *burst*
+// rather than per item.  There is no blocking pop: the consumer side
+// (ThreadedMachine's worker scan + parking lot) decides how to wait, which
+// keeps this class a pure data structure.
+//
+// close()/reopen() support the machine's teardown protocol.  close() swaps
+// the head for a tagged sentinel, so producers observe rejection with the
+// same single CAS they use to push — no flag, no lock.  Items that were
+// already queued when close() hit are retained on a mutex-guarded side list
+// (cold path) and still come out of pop_all(): drain-after-close is how the
+// machine destroys unexecuted actions without running them.
+//
+// Node allocations are recycled through a bounded thread-local free list, so
+// a steady-state producer/consumer pair stops touching the allocator
+// entirely.  The cache is per-thread and nodes carry no live T while cached,
+// which sidesteps the ABA hazard a shared lock-free pool would have.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace navcpp::support {
+
+template <class T>
+class FastMpscQueue {
+ public:
+  FastMpscQueue() = default;
+
+  FastMpscQueue(const FastMpscQueue&) = delete;
+  FastMpscQueue& operator=(const FastMpscQueue&) = delete;
+
+  ~FastMpscQueue() {
+    std::vector<T> drain;
+    pop_all(drain);  // destroys remaining items, recycles their nodes
+  }
+
+  /// Push an item; lock-free (one CAS on the uncontended path).  Returns
+  /// false (and drops `item`, running its destructor at the call site) if
+  /// the queue has been close()d — the poster gets an explicit signal
+  /// instead of a black hole, exactly like MpscQueue::push.
+  [[nodiscard]] bool push(T item) {
+    Node* node = alloc_node();
+    ::new (node->slot()) T(std::move(item));
+    Node* head = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      if (head == closed_tag()) {
+        node->slot()->~T();
+        free_node(node);
+        return false;
+      }
+      node->next = head;
+      // seq_cst on success: the machine's parking protocol needs this store
+      // and the consumer's "is anything queued?" load in a single total
+      // order (see ThreadedMachine's parking-lot comment).
+      if (head_.compare_exchange_weak(head, node, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+  }
+
+  /// Append every queued item to `out` in push order and return true if
+  /// anything was popped.  One exchange per call; safe to call from any
+  /// thread, though callers are expected to serialize consumers themselves
+  /// (the machine does so with per-PE tokens).  After close(), drains the
+  /// retained items.
+  bool pop_all(std::vector<T>& out) {
+    Node* leftovers = nullptr;
+    if (has_leftovers_.load(std::memory_order_acquire)) {
+      std::lock_guard<std::mutex> lock(leftovers_mutex_);
+      leftovers = leftovers_;
+      leftovers_ = nullptr;
+      has_leftovers_.store(false, std::memory_order_relaxed);
+    }
+    Node* chain = nullptr;
+    Node* head = head_.load(std::memory_order_relaxed);
+    while (head != nullptr && head != closed_tag()) {
+      if (head_.compare_exchange_weak(head, nullptr,
+                                      std::memory_order_acquire,
+                                      std::memory_order_relaxed)) {
+        chain = head;
+        break;
+      }
+    }
+    // Leftovers predate anything currently on the live stack.
+    const bool popped = leftovers != nullptr || chain != nullptr;
+    append_reversed(leftovers, out);
+    append_reversed(chain, out);
+    return popped;
+  }
+
+  /// Reject subsequent pushes.  Already-queued items are retained and still
+  /// drain through pop_all().  Lock-free for producers; the retention step
+  /// itself takes a mutex (teardown cold path).
+  void close() {
+    Node* head = head_.exchange(closed_tag(), std::memory_order_acq_rel);
+    if (head == closed_tag() || head == nullptr) return;
+    std::lock_guard<std::mutex> lock(leftovers_mutex_);
+    // Newest-first chains concatenate newest-chain-first so that one
+    // reversal in pop_all restores global FIFO across repeated closes.
+    Node* tail = head;
+    while (tail->next != nullptr) tail = tail->next;
+    tail->next = leftovers_;
+    leftovers_ = head;
+    has_leftovers_.store(true, std::memory_order_release);
+  }
+
+  /// Reopen after close() (used when a machine instance is reused).
+  void reopen() {
+    Node* expected = closed_tag();
+    head_.compare_exchange_strong(expected, nullptr,
+                                  std::memory_order_acq_rel,
+                                  std::memory_order_relaxed);
+  }
+
+  bool closed() const {
+    return head_.load(std::memory_order_acquire) == closed_tag();
+  }
+
+  /// Approximate: exact when producers are quiescent.  seq_cst load so the
+  /// parking protocol's rescan participates in the same total order as
+  /// push's CAS.
+  bool empty() const {
+    const Node* head = head_.load(std::memory_order_seq_cst);
+    return (head == nullptr || head == closed_tag()) &&
+           !has_leftovers_.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct Node {
+    Node* next = nullptr;
+    alignas(T) unsigned char storage[sizeof(T)];
+    T* slot() { return std::launder(reinterpret_cast<T*>(storage)); }
+  };
+
+  static Node* closed_tag() {
+    // Misaligned sentinel: can never equal a real allocation.
+    return reinterpret_cast<Node*>(static_cast<std::uintptr_t>(1));
+  }
+
+  // Bounded per-thread node cache.  Cached nodes hold no constructed T.
+  struct FreeCache {
+    Node* head = nullptr;
+    std::size_t count = 0;
+    ~FreeCache() {
+      while (head != nullptr) {
+        Node* node = head;
+        head = node->next;
+        ::operator delete(node);
+      }
+    }
+  };
+  static constexpr std::size_t kCacheCap = 256;
+
+  static FreeCache& cache() {
+    static thread_local FreeCache instance;
+    return instance;
+  }
+
+  static Node* alloc_node() {
+    FreeCache& c = cache();
+    if (c.head != nullptr) {
+      Node* node = c.head;
+      c.head = node->next;
+      --c.count;
+      return node;
+    }
+    return ::new (::operator new(sizeof(Node))) Node();
+  }
+
+  static void free_node(Node* node) {
+    FreeCache& c = cache();
+    if (c.count < kCacheCap) {
+      node->next = c.head;
+      c.head = node;
+      ++c.count;
+      return;
+    }
+    ::operator delete(node);
+  }
+
+  /// Walk a newest-first chain, appending items oldest-first; destroys the
+  /// items in the nodes and recycles the nodes.
+  static void append_reversed(Node* chain, std::vector<T>& out) {
+    Node* reversed = nullptr;
+    while (chain != nullptr) {
+      Node* next = chain->next;
+      chain->next = reversed;
+      reversed = chain;
+      chain = next;
+    }
+    while (reversed != nullptr) {
+      Node* next = reversed->next;
+      out.push_back(std::move(*reversed->slot()));
+      reversed->slot()->~T();
+      free_node(reversed);
+      reversed = next;
+    }
+  }
+
+  std::atomic<Node*> head_{nullptr};
+
+  // Drain-after-close retention (cold path only).
+  std::atomic<bool> has_leftovers_{false};
+  std::mutex leftovers_mutex_;
+  Node* leftovers_ = nullptr;
+};
+
+}  // namespace navcpp::support

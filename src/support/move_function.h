@@ -2,46 +2,115 @@
 // libstdc++ 12 only ships std::move_only_function under -std=c++23, and
 // std::function requires copyability, which coroutine-handle-capturing
 // lambdas and ByteBuffer payload captures do not want to provide.
+//
+// Small-buffer optimized: callables up to kInlineSize bytes (which covers
+// the runtime's hop-delivery and resume closures — a handful of pointers,
+// ids and a byte count) are stored inline and never touch the allocator.
+// That matters because every hop on the threaded backend moves one of these
+// through a run queue; with the inline path, enqueueing an action is
+// allocation-free end to end (the queue recycles its nodes too).  Larger or
+// throwing-move callables fall back to the heap exactly as before.
 #pragma once
 
+#include <cstddef>
 #include <memory>
+#include <new>
+#include <type_traits>
 #include <utility>
 
 namespace navcpp::support {
 
 class MoveFunction {
  public:
+  /// Inline storage size.  The hop-delivery closure (runtime state pointer,
+  /// two PE ids, a departure timestamp, a byte count, and an owned
+  /// coroutine-resume handle with its keepalive) is ~64 bytes plus a vptr;
+  /// 88 gives it headroom without bloating the queue nodes.
+  static constexpr std::size_t kInlineSize = 88;
+
   MoveFunction() = default;
 
-  template <class F>
-  MoveFunction(F&& f)  // NOLINT(google-explicit-constructor)
-      : impl_(std::make_unique<Model<std::decay_t<F>>>(std::forward<F>(f))) {}
+  template <class F, class = std::enable_if_t<
+                         !std::is_same_v<std::decay_t<F>, MoveFunction>>>
+  MoveFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Decayed = std::decay_t<F>;
+    if constexpr (sizeof(Model<Decayed>) <= kInlineSize &&
+                  alignof(Model<Decayed>) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Decayed>) {
+      impl_ = ::new (static_cast<void*>(buffer_))
+          Model<Decayed>(std::forward<F>(f));
+    } else {
+      impl_ = new Model<Decayed>(std::forward<F>(f));
+    }
+  }
 
-  MoveFunction(MoveFunction&&) = default;
-  MoveFunction& operator=(MoveFunction&&) = default;
+  MoveFunction(MoveFunction&& other) noexcept { steal(other); }
+
+  MoveFunction& operator=(MoveFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      steal(other);
+    }
+    return *this;
+  }
+
   MoveFunction(const MoveFunction&) = delete;
   MoveFunction& operator=(const MoveFunction&) = delete;
 
+  ~MoveFunction() { reset(); }
+
   explicit operator bool() const { return impl_ != nullptr; }
 
-  void operator()() {
-    impl_->invoke();
-  }
+  void operator()() { impl_->invoke(); }
 
  private:
   struct Concept {
     virtual ~Concept() = default;
     virtual void invoke() = 0;
+    /// Move-construct a clone of the most-derived object into `storage`
+    /// (used when the source is inline).  noexcept by construction: only
+    /// nothrow-movable callables are stored inline.
+    virtual Concept* relocate_to(void* storage) noexcept = 0;
   };
 
   template <class F>
   struct Model final : Concept {
     explicit Model(F f) : fn(std::move(f)) {}
     void invoke() override { fn(); }
+    Concept* relocate_to(void* storage) noexcept override {
+      return ::new (storage) Model<F>(std::move(fn));
+    }
     F fn;
   };
 
-  std::unique_ptr<Concept> impl_;
+  bool is_inline() const {
+    return static_cast<const void*>(impl_) ==
+           static_cast<const void*>(buffer_);
+  }
+
+  void reset() {
+    if (impl_ == nullptr) return;
+    if (is_inline()) {
+      impl_->~Concept();
+    } else {
+      delete impl_;
+    }
+    impl_ = nullptr;
+  }
+
+  void steal(MoveFunction& other) {
+    if (other.impl_ == nullptr) return;
+    if (other.is_inline()) {
+      impl_ = other.impl_->relocate_to(static_cast<void*>(buffer_));
+      other.impl_->~Concept();
+    } else {
+      impl_ = other.impl_;
+    }
+    other.impl_ = nullptr;
+  }
+
+  Concept* impl_ = nullptr;
+  alignas(std::max_align_t) unsigned char buffer_[kInlineSize];
 };
 
 }  // namespace navcpp::support

@@ -1,8 +1,13 @@
-// Multi-producer single-consumer blocking queue used for per-PE run queues
-// in the threaded machine backend.  Mutex+condvar based: at our message
-// granularity (block transfers, agent migrations) lock cost is negligible,
-// and the simple implementation is trivially correct (CppCoreGuidelines
-// CP.20/CP.42: RAII locks, always wait with a predicate).
+// Multi-producer single-consumer blocking queue.  Mutex+condvar based and
+// trivially correct (CppCoreGuidelines CP.20/CP.42: RAII locks, always wait
+// with a predicate), but NOT cheap on a hot path: every push takes the lock
+// and a notify, and a blocked consumer costs a futex round-trip per wake.
+// The threaded machine's per-PE run queues paid exactly that tax per hop,
+// which is why they now use support::FastMpscQueue (lock-free push, batched
+// pop_all) — see docs/architecture.md, "Run-queue design", for the
+// measurements and the design note.  This queue remains the right tool when
+// a blocking pop_blocking() consumer is wanted and throughput is not the
+// concern.
 #pragma once
 
 #include <condition_variable>
@@ -10,6 +15,7 @@
 #include <mutex>
 #include <optional>
 #include <utility>
+#include <vector>
 
 namespace navcpp::support {
 
@@ -49,6 +55,18 @@ class MpscQueue {
     T item = std::move(items_.front());
     items_.pop_front();
     return item;
+  }
+
+  /// Batched non-blocking drain: append everything queued to `out` in FIFO
+  /// order under a single lock acquisition; returns true if anything was
+  /// popped.  Works after close() too (drain-after-close), mirroring
+  /// FastMpscQueue::pop_all.
+  bool pop_all(std::vector<T>& out) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (items_.empty()) return false;
+    for (auto& item : items_) out.push_back(std::move(item));
+    items_.clear();
+    return true;
   }
 
   /// Wake all blocked consumers; subsequent pops drain then return nullopt.

@@ -503,8 +503,50 @@ TEST(ThreadedMachine, MetricsCountActionsPerPe) {
   EXPECT_EQ(snap.counter_or("threaded.actions{pe=0}") +
                 snap.counter_or("threaded.actions{pe=1}"),
             static_cast<std::uint64_t>(ran.load()));
-  EXPECT_EQ(snap.counter_or("threaded.queue_depth/count"),
-            static_cast<std::uint64_t>(ran.load()));
+  // Queue depth is sampled by the consumer once per drained batch, so the
+  // sample count is between 1 (everything arrived in one batch) and the
+  // number of actions (every action drained alone).
+  const std::uint64_t depth_samples =
+      snap.counter_or("threaded.queue_depth/count");
+  EXPECT_GE(depth_samples, 1u);
+  EXPECT_LE(depth_samples, static_cast<std::uint64_t>(ran.load()));
+}
+
+// Regression test: the old producer-side depth sampling could read the
+// dequeue tally *after* a racing consumer advanced it past this producer's
+// enqueue tally, recording a negative queue depth.  Consumer-side sampling
+// clamps at zero, so under heavy producer/consumer concurrency the
+// histogram sum (sum of all recorded depths) can never go negative.
+TEST(ThreadedMachine, QueueDepthSamplesNeverGoNegative) {
+  obs::Registry registry;
+  ThreadedMachine m(2);
+  m.set_metrics(&registry);
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 500;
+  std::atomic<int> ran{0};
+  m.task_started();
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int t = 0; t < kProducers; ++t) {
+    producers.emplace_back([&m, &ran, t] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        m.post((t + i) % 2, [&m, &ran] {
+          if (ran.fetch_add(1) + 1 == kProducers * kPerProducer) {
+            m.task_finished();
+          }
+        });
+      }
+    });
+  }
+  // Consume concurrently with the producers: this is the interleaving that
+  // used to produce negative samples.
+  m.run();
+  for (auto& p : producers) p.join();
+  const obs::Snapshot snap = registry.snapshot();
+  EXPECT_EQ(ran.load(), kProducers * kPerProducer);
+  auto it = snap.gauges.find("threaded.queue_depth/sum");
+  ASSERT_NE(it, snap.gauges.end());
+  EXPECT_GE(it->second, 0.0);
 }
 
 }  // namespace

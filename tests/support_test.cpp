@@ -1,12 +1,15 @@
 // Unit tests for navcpp::support: errors, byte buffers, RNG, queues.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <memory>
 #include <set>
 #include <thread>
 #include <vector>
 
 #include "support/bytebuffer.h"
 #include "support/error.h"
+#include "support/fast_mpsc_queue.h"
 #include "support/move_function.h"
 #include "support/mpsc_queue.h"
 #include "support/rng.h"
@@ -197,6 +200,244 @@ TEST(MpscQueue, MultipleProducersAllItemsArrive) {
   }
   for (auto& t : producers) t.join();
   EXPECT_EQ(seen.size(), static_cast<std::size_t>(4 * kPerProducer));
+}
+
+TEST(MpscQueue, PopAllDrainsEverythingInFifoOrder) {
+  MpscQueue<int> q;
+  std::vector<int> out;
+  EXPECT_FALSE(q.pop_all(out));  // empty: nothing popped
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.push(i));
+  EXPECT_TRUE(q.pop_all(out));
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_TRUE(q.empty());
+  // Appends rather than replaces, so a consumer can accumulate batches.
+  EXPECT_TRUE(q.push(9));
+  EXPECT_TRUE(q.pop_all(out));
+  EXPECT_EQ(out.back(), 9);
+  EXPECT_EQ(out.size(), 6u);
+}
+
+TEST(MpscQueue, PopAllDrainsAfterClose) {
+  MpscQueue<int> q;
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  q.close();
+  EXPECT_FALSE(q.push(3));  // rejected
+  std::vector<int> out;
+  EXPECT_TRUE(q.pop_all(out));
+  EXPECT_EQ(out, (std::vector<int>{1, 2}));  // queued items still drain
+}
+
+// Close/reopen raced against concurrent producers: every push must either
+// report success (the item is later popped exactly once) or rejection (the
+// item never appears) — no silent drops, no duplicates, no torn state.
+TEST(MpscQueue, CloseReopenUnderConcurrentProducers) {
+  MpscQueue<int> q;
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 2000;
+  std::atomic<int> accepted{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, &accepted, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        if (q.push(p * kPerProducer + i)) {
+          accepted.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  std::vector<int> drained;
+  for (int cycle = 0; cycle < 50; ++cycle) {
+    q.close();
+    q.pop_all(drained);
+    q.reopen();
+  }
+  for (auto& t : producers) t.join();
+  q.close();
+  q.pop_all(drained);
+  EXPECT_EQ(static_cast<int>(drained.size()), accepted.load());
+  std::set<int> unique(drained.begin(), drained.end());
+  EXPECT_EQ(unique.size(), drained.size());  // no duplicates
+}
+
+// ---- FastMpscQueue: the lock-free run queue behind ThreadedMachine ----
+
+TEST(FastMpscQueue, PopAllReturnsItemsInPushOrder) {
+  FastMpscQueue<int> q;
+  std::vector<int> out;
+  EXPECT_FALSE(q.pop_all(out));
+  EXPECT_TRUE(q.empty());
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(q.push(i));
+  EXPECT_FALSE(q.empty());
+  EXPECT_TRUE(q.pop_all(out));
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(FastMpscQueue, PushOnClosedQueueIsRejectedAndDropsTheItem) {
+  struct Tracker {
+    int* dropped;
+    explicit Tracker(int* d) : dropped(d) {}
+    Tracker(Tracker&& o) noexcept : dropped(o.dropped) { o.dropped = nullptr; }
+    Tracker& operator=(Tracker&& o) noexcept {
+      dropped = o.dropped;
+      o.dropped = nullptr;
+      return *this;
+    }
+    ~Tracker() {
+      if (dropped != nullptr) ++*dropped;
+    }
+  };
+  int dropped = 0;
+  {
+    FastMpscQueue<Tracker> q;
+    q.close();
+    EXPECT_TRUE(q.closed());
+    EXPECT_FALSE(q.push(Tracker(&dropped)));
+    EXPECT_EQ(dropped, 1);  // destroyed at the push site
+  }
+  EXPECT_EQ(dropped, 1);
+}
+
+TEST(FastMpscQueue, DrainAfterCloseKeepsQueuedItems) {
+  FastMpscQueue<int> q;
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  q.close();
+  EXPECT_FALSE(q.push(3));
+  EXPECT_FALSE(q.empty());  // retained items are still visible
+  std::vector<int> out;
+  EXPECT_TRUE(q.pop_all(out));
+  EXPECT_EQ(out, (std::vector<int>{1, 2}));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(FastMpscQueue, ReopenAcceptsPushesAgainAndKeepsFifoAcrossCycles) {
+  FastMpscQueue<int> q;
+  EXPECT_TRUE(q.push(1));
+  q.close();
+  EXPECT_FALSE(q.push(2));
+  q.reopen();
+  EXPECT_FALSE(q.closed());
+  EXPECT_TRUE(q.push(3));
+  // Item 1 (pre-close leftover) must drain before item 3.
+  std::vector<int> out;
+  EXPECT_TRUE(q.pop_all(out));
+  EXPECT_EQ(out, (std::vector<int>{1, 3}));
+}
+
+TEST(FastMpscQueue, MultipleProducersAllItemsArriveExactlyOnce) {
+  FastMpscQueue<int> q;
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 2000;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        EXPECT_TRUE(q.push(p * kPerProducer + i));
+      }
+    });
+  }
+  std::vector<int> drained;
+  while (drained.size() <
+         static_cast<std::size_t>(kProducers * kPerProducer)) {
+    q.pop_all(drained);
+  }
+  for (auto& t : producers) t.join();
+  std::set<int> unique(drained.begin(), drained.end());
+  EXPECT_EQ(unique.size(),
+            static_cast<std::size_t>(kProducers * kPerProducer));
+  // Per-producer order is preserved: a single producer's items come out in
+  // the order it pushed them (the head CAS linearizes every push).
+  std::vector<int> last(kProducers, -1);
+  for (int v : drained) {
+    const int p = v / kPerProducer;
+    EXPECT_LT(last[static_cast<std::size_t>(p)], v);
+    last[static_cast<std::size_t>(p)] = v;
+  }
+}
+
+TEST(FastMpscQueue, CloseReopenUnderConcurrentProducers) {
+  FastMpscQueue<int> q;
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 2000;
+  std::atomic<int> accepted{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, &accepted, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        if (q.push(p * kPerProducer + i)) {
+          accepted.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  std::vector<int> drained;
+  for (int cycle = 0; cycle < 50; ++cycle) {
+    q.close();
+    q.pop_all(drained);
+    q.reopen();
+  }
+  for (auto& t : producers) t.join();
+  q.close();
+  q.pop_all(drained);
+  EXPECT_EQ(static_cast<int>(drained.size()), accepted.load());
+  std::set<int> unique(drained.begin(), drained.end());
+  EXPECT_EQ(unique.size(), drained.size());
+}
+
+TEST(FastMpscQueue, DestructorReleasesUnpoppedItems) {
+  auto counter = std::make_shared<int>(0);
+  {
+    FastMpscQueue<std::shared_ptr<int>> q;
+    for (int i = 0; i < 8; ++i) EXPECT_TRUE(q.push(counter));
+    EXPECT_EQ(counter.use_count(), 9);
+  }
+  EXPECT_EQ(counter.use_count(), 1);  // queue destructor drained them
+}
+
+// ---- MoveFunction small-buffer optimization ----
+
+TEST(MoveFunction, InlineCallablesSurviveMovesWithoutAllocation) {
+  int hits = 0;
+  int* target = &hits;
+  MoveFunction f = [target] { ++*target; };
+  MoveFunction g = std::move(f);
+  EXPECT_FALSE(static_cast<bool>(f));  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(static_cast<bool>(g));
+  g();
+  MoveFunction h;
+  h = std::move(g);
+  h();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(MoveFunction, LargeCallablesFallBackToHeapAndStillWork) {
+  struct Big {
+    double payload[32];  // well past kInlineSize
+  };
+  Big big{};
+  big.payload[0] = 1.0;
+  big.payload[31] = 2.0;
+  double got = 0.0;
+  double* out = &got;
+  MoveFunction f = [big, out] { *out = big.payload[0] + big.payload[31]; };
+  MoveFunction g = std::move(f);
+  g();
+  EXPECT_EQ(got, 3.0);
+}
+
+TEST(MoveFunction, DestroysCapturesExactlyOnceAcrossMoves) {
+  auto counter = std::make_shared<int>(0);
+  {
+    MoveFunction f = [counter] {};
+    EXPECT_EQ(counter.use_count(), 2);
+    MoveFunction g = std::move(f);
+    EXPECT_EQ(counter.use_count(), 2);  // moved, not copied
+    MoveFunction h = std::move(g);
+    EXPECT_EQ(counter.use_count(), 2);
+  }
+  EXPECT_EQ(counter.use_count(), 1);
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include <memory>
 #include <utility>
 
+#include "navp/cargo.h"
 #include "navp/task.h"
 
 namespace navcpp::apps {
@@ -76,7 +77,9 @@ navp::Mission ghost_carrier(navp::Ctx ctx, const JacobiPlan* plan,
                             std::vector<double> top_row) {
   const int dest = ctx.here() - 1;
   (void)plan;
-  co_await ctx.hop(dest, top_row.size() * sizeof(double));
+  navp::Cargo cargo;
+  cargo.attach(&top_row);
+  co_await navp::hop_cargo(ctx, dest, cargo);
   ctx.node<Slab>().ghost_below = std::move(top_row);
   ctx.signal_event(wg_ghost_ready(dest));
 }
@@ -84,8 +87,10 @@ navp::Mission ghost_carrier(navp::Ctx ctx, const JacobiPlan* plan,
 navp::Task<void> east_pass(navp::Ctx ctx, const JacobiPlan* plan,
                            bool pipelined) {
   std::vector<double> carried_bottom;  // previous slab's NEW bottom row
+  navp::Cargo cargo;
+  cargo.attach(&carried_bottom);
   for (int p = 0; p < plan->pes; ++p) {
-    co_await ctx.hop(p, carried_bottom.size() * sizeof(double));
+    co_await navp::hop_cargo(ctx, p, cargo);
     if (pipelined && p + 1 < plan->pes) {
       // ghost_below(p) must hold the previous sweep's values, refreshed by
       // the previous sweep's one-hop ghost carrier from p+1.
@@ -107,8 +112,10 @@ navp::Task<void> east_pass(navp::Ctx ctx, const JacobiPlan* plan,
 
 navp::Task<void> west_pass(navp::Ctx ctx, const JacobiPlan* plan) {
   std::vector<double> carried_top;  // eastern slab's NEW top row
+  navp::Cargo cargo;
+  cargo.attach(&carried_top);
   for (int p = plan->pes - 1; p >= 0; --p) {
-    co_await ctx.hop(p, carried_top.size() * sizeof(double));
+    co_await navp::hop_cargo(ctx, p, cargo);
     Slab& slab = ctx.node<Slab>();
     if (p + 1 < plan->pes) slab.ghost_below = std::move(carried_top);
     carried_top = slab.rows.front();
@@ -129,7 +136,9 @@ navp::Mission east_agent(navp::Ctx ctx, const JacobiPlan* plan) {
 
 navp::Mission dataflow_ghost_carrier(navp::Ctx ctx, int dest, bool to_west,
                                      std::vector<double> row) {
-  co_await ctx.hop(dest, row.size() * sizeof(double));
+  navp::Cargo cargo;
+  cargo.attach(&row);
+  co_await navp::hop_cargo(ctx, dest, cargo);
   // Do not overwrite a boundary row the destination has not read yet.
   co_await ctx.wait_event(to_west ? wg_ghost_consumed(dest)
                                   : wa_ghost_consumed(dest));

@@ -8,6 +8,7 @@
 #include "linalg/gemm.h"
 #include "machine/sim_machine.h"
 #include "mm/common.h"
+#include "navp/cargo.h"
 #include "navp/runtime.h"
 #include "navp/task.h"
 #include "support/rng.h"
@@ -148,11 +149,31 @@ double column_update_cost(const LuPlan& plan, int k) {
          plan.cfg.testbed.flops_per_sec;
 }
 
-std::size_t panel_bytes(const LuPlan& plan, int k) {
-  const std::size_t b = static_cast<std::size_t>(plan.cfg.block_order);
-  const std::size_t blocks =
-      1 + static_cast<std::size_t>(plan.cfg.nb() - k - 1);
-  return blocks * b * b * sizeof(double);
+/// Register an owning dense matrix with a Cargo: the wire cost is its
+/// rows x cols doubles (zero while empty), and strict-migration runs
+/// round-trip shape plus elements.
+void attach_matrix(navp::Cargo& cargo, linalg::Matrix* m) {
+  cargo.attach_custom(
+      [m] {
+        return static_cast<std::size_t>(m->rows()) *
+               static_cast<std::size_t>(m->cols()) * sizeof(double);
+      },
+      [m](support::ByteBuffer& buf) {
+        buf.put(m->rows());
+        buf.put(m->cols());
+        for (int r = 0; r < m->rows(); ++r) {
+          for (int c = 0; c < m->cols(); ++c) buf.put((*m)(r, c));
+        }
+      },
+      [m](support::ByteBuffer& buf) {
+        const int rows = buf.get<int>();
+        const int cols = buf.get<int>();
+        linalg::Matrix restored(rows, cols);
+        for (int r = 0; r < rows; ++r) {
+          for (int c = 0; c < cols; ++c) restored(r, c) = buf.get<double>();
+        }
+        *m = std::move(restored);
+      });
 }
 
 /// One factorization step: factor column k, then update the trailing
@@ -162,15 +183,23 @@ navp::Task<void> lu_step(navp::Ctx ctx, const LuPlan* plan, int k,
   const int nb = plan->cfg.nb();
   const int b = plan->cfg.block_order;
 
-  co_await ctx.hop(plan->dist.owner(k), 0);
+  // Agent variables, declared (empty) before the first hop so the cargo
+  // carries them everywhere the step goes: the hop to owner(k) charges
+  // zero bytes, each trailing hop charges the factored diag + panel.
+  linalg::Matrix diag;   // packed L\U of A(k,k)
+  linalg::Matrix panel;  // L(k+1.., k), stacked
+  navp::Cargo cargo;
+  attach_matrix(cargo, &diag);
+  attach_matrix(cargo, &panel);
+
+  co_await navp::hop_cargo(ctx, plan->dist.owner(k), cargo);
   if (pipelined && k > 0) {
     // Column k must have absorbed update k-1 before factoring.
     co_await ctx.wait_event(es_step_done(k - 1, k));
   }
 
   // --- factor at owner(k); stash L(k,k) and the panel in agent variables.
-  linalg::Matrix diag(b, b);    // packed L\U of A(k,k)
-  linalg::Matrix panel;         // L(k+1.., k), stacked
+  diag = linalg::Matrix(b, b);
   {
     auto& cols = ctx.node<LuCols>().col;
     auto it = cols.find(k);
@@ -196,7 +225,7 @@ navp::Task<void> lu_step(navp::Ctx ctx, const LuPlan* plan, int k,
 
   // --- trailing updates, east-bound.
   for (int j = k + 1; j < nb; ++j) {
-    co_await ctx.hop(plan->dist.owner(j), panel_bytes(*plan, k));
+    co_await navp::hop_cargo(ctx, plan->dist.owner(j), cargo);
     if (pipelined && k > 0) {
       co_await ctx.wait_event(es_step_done(k - 1, j));
     }

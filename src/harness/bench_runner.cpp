@@ -8,6 +8,7 @@
 #include "harness/workloads.h"
 #include "linalg/gemm.h"
 #include "linalg/matrix.h"
+#include "machine/proc_machine.h"
 #include "machine/sim_machine.h"
 #include "machine/threaded_machine.h"
 #include "navp/runtime.h"
@@ -105,6 +106,14 @@ BenchReport run_bench_suite(const BenchOptions& options) {
   report.metrics["runtime.sim.hops_per_sec"] = BenchMetric{
       measure_hops_per_sec(
           [] { return std::make_unique<machine::SimMachine>(4); }, laps,
+          reps),
+      "hops/s", true};
+  // Process-per-PE backend: every hop crosses an address-space boundary
+  // through the wire protocol (worker fork + socket round trips included
+  // in the measured wall time, like thread spawn is for threaded).
+  report.metrics["runtime.proc.hops_per_sec"] = BenchMetric{
+      measure_hops_per_sec(
+          [] { return std::make_unique<machine::ProcMachine>(2); }, laps,
           reps),
       "hops/s", true};
 

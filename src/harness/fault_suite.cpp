@@ -1,9 +1,11 @@
 #include "harness/fault_suite.h"
 
 #include <cstdio>
+#include <memory>
 #include <utility>
 
 #include "harness/workloads.h"
+#include "machine/proc_machine.h"
 #include "machine/sim_machine.h"
 #include "navp/checkpoint.h"
 #include "navp/runtime.h"
@@ -23,7 +25,8 @@ net::ReliableConfig reliable_for_seed(std::uint64_t seed) {
 }
 
 FaultCaseResult program_case(const std::string& name,
-                             const machine::FaultPlan& plan) {
+                             const machine::FaultPlan& plan,
+                             FaultBackend backend) {
   // Message faults only: the programs hold no recoverable agents, so a
   // planned crash would (correctly) fail the run rather than test anything.
   machine::FaultPlan p = plan;
@@ -31,8 +34,16 @@ FaultCaseResult program_case(const std::string& name,
 
   const std::vector<double>& want = workload_reference(name);
 
-  machine::SimMachine sim(workload_pe_count(name), workload_link(name));
-  machine::FaultMachine fault(sim, p, reliable_for_seed(p.seed));
+  // The fault layer sits on top of either backend unchanged: on proc, every
+  // frame the injector perturbs has genuinely crossed a socket.
+  std::unique_ptr<machine::Engine> base;
+  if (backend == FaultBackend::kProc) {
+    base = std::make_unique<machine::ProcMachine>(workload_pe_count(name));
+  } else {
+    base = std::make_unique<machine::SimMachine>(workload_pe_count(name),
+                                                 workload_link(name));
+  }
+  machine::FaultMachine fault(*base, p, reliable_for_seed(p.seed));
   // Ambient registry: the Runtime the program constructs internally picks
   // it up and instruments the whole stack (runtime, fault layer, reliable
   // channel, sim), so a failure can be dumped with its full run profile.
@@ -286,10 +297,18 @@ std::vector<std::string> fault_case_names() {
 }
 
 FaultCaseResult run_fault_case(const std::string& name,
-                               const machine::FaultPlan& plan) {
+                               const machine::FaultPlan& plan,
+                               FaultBackend backend) {
   try {
-    if (name == "recovery/ring") return recovery_ring_case(plan);
-    return program_case(name, plan);
+    if (name == "recovery/ring") {
+      if (backend == FaultBackend::kProc) {
+        throw support::ConfigError(
+            "recovery/ring is sim-only: its crash schedule is calibrated "
+            "in virtual time");
+      }
+      return recovery_ring_case(plan);
+    }
+    return program_case(name, plan, backend);
   } catch (const support::ConfigError&) {
     throw;  // bad case name / plan: caller error, not a fault finding
   } catch (const std::exception& e) {
@@ -299,9 +318,11 @@ FaultCaseResult run_fault_case(const std::string& name,
 
 FaultSweepReport fault_sweep(std::uint64_t first_seed, int num_seeds,
                              machine::FaultPlan base, bool verbose,
-                             const std::string& case_filter) {
+                             const std::string& case_filter,
+                             FaultBackend backend) {
   std::vector<std::string> cases;
   for (const auto& name : fault_case_names()) {
+    if (backend == FaultBackend::kProc && name == "recovery/ring") continue;
     if (case_filter.empty() || name.find(case_filter) != std::string::npos) {
       cases.push_back(name);
     }
@@ -313,7 +334,7 @@ FaultSweepReport fault_sweep(std::uint64_t first_seed, int num_seeds,
   for (int i = 0; i < num_seeds; ++i) {
     base.seed = first_seed + static_cast<std::uint64_t>(i);
     for (const auto& name : cases) {
-      const FaultCaseResult r = run_fault_case(name, base);
+      const FaultCaseResult r = run_fault_case(name, base, backend);
       ++report.cases_run;
       if (!r.ok) {
         report.failed = true;

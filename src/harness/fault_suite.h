@@ -51,6 +51,14 @@ struct FaultCaseResult {
   std::string metrics;
 };
 
+/// Which Engine the program cases run on.  kSim is the deterministic
+/// default; kProc runs the same programs on the process-per-PE
+/// machine::ProcMachine, pushing every injected fault through a real
+/// socket transport.  "recovery/ring" is sim-only (its crash schedule is
+/// calibrated in virtual time), so kProc rejects it with ConfigError and
+/// fault_sweep skips it.
+enum class FaultBackend { kSim, kProc };
+
 /// Run one workload under `plan` (seeded by `plan.seed`) and verify it.
 /// Program cases ignore plan.crashes (programs hold no recoverable agents;
 /// crash recovery is "recovery/ring"'s job) and must match the fault-free
@@ -58,7 +66,8 @@ struct FaultCaseResult {
 /// seed-derived one-crash schedule when the plan has none.  Unknown names
 /// throw ConfigError.
 FaultCaseResult run_fault_case(const std::string& name,
-                               const machine::FaultPlan& plan);
+                               const machine::FaultPlan& plan,
+                               FaultBackend backend = FaultBackend::kSim);
 
 struct FaultSweepReport {
   int seeds_run = 0;
@@ -73,6 +82,7 @@ struct FaultSweepReport {
 /// progress lines to stdout.
 FaultSweepReport fault_sweep(std::uint64_t first_seed, int num_seeds,
                              machine::FaultPlan base, bool verbose,
-                             const std::string& case_filter = "");
+                             const std::string& case_filter = "",
+                             FaultBackend backend = FaultBackend::kSim);
 
 }  // namespace navcpp::harness

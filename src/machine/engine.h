@@ -3,17 +3,30 @@
 // An Engine is a set of PEs (processing elements), each of which executes
 // posted actions one at a time (a PE is a single-threaded executor).  All
 // cross-PE interaction goes through transmit(), which models/performs the
-// shipment of bytes across the interconnect.  Two implementations exist:
+// shipment of bytes across the interconnect.  Three implementations exist:
 //
 //  * ThreadedMachine — one OS thread per PE, real concurrency, wall-clock
 //    time.  Used for functional verification and real-machine benchmarks.
 //  * SimMachine — deterministic discrete-event simulation with virtual
 //    per-PE clocks and a calibrated network model.  Used to regenerate the
 //    paper's experiments at paper scale.
+//  * ProcMachine — one OS *process* per PE, connected over real sockets.
+//    Scheduling, timers, and payload transport live in the worker
+//    processes; payload bytes genuinely cross address-space boundaries.
 //
 // The "PE executes one action at a time" rule is what makes NavP node
 // variables and events race-free by construction: they are only ever touched
 // by the computation currently resident on that PE (MESSENGERS semantics).
+//
+// Contract note — hop closures must be address-space-clean.  The sim and
+// threaded backends share one address space, so an action or hop closure
+// that captures a raw pointer/reference into another PE's node variables
+// works there by accident and nowhere else.  Carried agent state must be
+// the migrating computation's own (frame locals declared via navp::Cargo,
+// moved out of the source PE's node store before the hop); anything
+// reached through Ctx::node<T>() must be re-fetched after arrival.  The
+// hop audit (navp/runtime.h) and strict migration mode exist to flag and
+// exercise exactly this contract.
 #pragma once
 
 #include <cstddef>

@@ -1,0 +1,688 @@
+#include "machine/proc_machine.h"
+
+#include <errno.h>
+#include <poll.h>
+#include <signal.h>
+#include <stdlib.h>
+#include <string.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "machine/proc_worker.h"
+#include "support/error.h"
+
+namespace navcpp::machine {
+namespace {
+
+using net::FrameConn;
+using net::GrantKind;
+using net::WireFrame;
+using net::WireType;
+
+/// Locate the navcpp_worker binary: explicit env override, then next to the
+/// running executable, then the sibling tools/ directory (the build-tree
+/// layout: tests run from build/tests, the binary lands in build/tools).
+/// Empty when nothing is found — the caller falls back to fork-only.
+std::string discover_worker_binary() {
+  const char* env = ::getenv("NAVCPP_WORKER");
+  if (env != nullptr && env[0] != '\0') return env;
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) return "";
+  buf[n] = '\0';
+  std::string dir(buf);
+  const std::size_t slash = dir.rfind('/');
+  if (slash == std::string::npos) return "";
+  dir.resize(slash);
+  for (const std::string& cand :
+       {dir + "/navcpp_worker", dir + "/../tools/navcpp_worker"}) {
+    if (::access(cand.c_str(), X_OK) == 0) return cand;
+  }
+  return "";
+}
+
+std::string describe_exit(pid_t pid, bool reaped, int status) {
+  if (!reaped) return "pid " + std::to_string(pid) + ", not yet reaped";
+  if (WIFSIGNALED(status)) {
+    return "killed by signal " + std::to_string(WTERMSIG(status));
+  }
+  if (WIFEXITED(status)) {
+    return "exit code " + std::to_string(WEXITSTATUS(status));
+  }
+  return "status " + std::to_string(status);
+}
+
+}  // namespace
+
+ProcMachine::ProcMachine(int pe_count, Options options)
+    : pe_count_(pe_count), options_(std::move(options)) {
+  NAVCPP_CHECK(pe_count_ > 0, "ProcMachine needs at least one PE");
+  const char* tcp_env = ::getenv("NAVCPP_PROC_TCP");
+  if (tcp_env != nullptr && tcp_env[0] == '1') options_.use_tcp = true;
+  workers_.resize(static_cast<std::size_t>(pe_count_));
+  try {
+    spawn_workers();
+    await_hellos();
+  } catch (...) {
+    shutdown_workers();
+    throw;
+  }
+}
+
+ProcMachine::~ProcMachine() { shutdown_workers(); }
+
+void ProcMachine::check_pe(int pe) const {
+  NAVCPP_CHECK(pe >= 0 && pe < pe_count_,
+               "PE id " + std::to_string(pe) + " out of range [0, " +
+                   std::to_string(pe_count_) + ")");
+}
+
+void ProcMachine::spawn_workers() {
+  std::string worker_path;
+  if (!options_.force_fork_only) {
+    worker_path = options_.worker_path.empty() ? discover_worker_binary()
+                                               : options_.worker_path;
+  }
+  if (options_.use_tcp) listener_ = std::make_unique<net::WireListener>();
+  const std::uint16_t port = listener_ ? listener_->port() : 0;
+  for (int pe = 0; pe < pe_count_; ++pe) spawn_one(pe, worker_path, port);
+}
+
+void ProcMachine::spawn_one(int pe, const std::string& worker_path,
+                            std::uint16_t tcp_port) {
+  int fds[2] = {-1, -1};
+  if (!options_.use_tcp) net::wire_socketpair(fds);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    if (fds[0] >= 0) ::close(fds[0]);
+    if (fds[1] >= 0) ::close(fds[1]);
+    throw support::ProcError("ProcMachine: fork failed: " +
+                             std::string(::strerror(errno)));
+  }
+
+  if (pid == 0) {
+    // Child.  Drop every parent-side fd we inherited so a sibling worker's
+    // death is visible to the parent as EOF (and the parent's death to us).
+    if (fds[0] >= 0) ::close(fds[0]);
+    for (const Worker& w : workers_) {
+      if (w.conn.valid()) ::close(w.conn.fd());
+    }
+    if (!worker_path.empty()) {
+      const std::string pe_s = std::to_string(pe);
+      if (options_.use_tcp) {
+        const std::string port_s = std::to_string(tcp_port);
+        ::execl(worker_path.c_str(), "navcpp_worker", "--pe", pe_s.c_str(),
+                "--port", port_s.c_str(), static_cast<char*>(nullptr));
+      } else {
+        const std::string fd_s = std::to_string(fds[1]);
+        ::execl(worker_path.c_str(), "navcpp_worker", "--pe", pe_s.c_str(),
+                "--fd", fd_s.c_str(), static_cast<char*>(nullptr));
+      }
+      // exec failed; fall through to the in-process worker loop.
+    }
+    int code = 1;
+    try {
+      int fd = fds[1];
+      if (options_.use_tcp) fd = net::wire_connect_loopback(tcp_port);
+      code = proc_worker_main(fd, pe);
+    } catch (...) {
+      code = 1;
+    }
+    ::_exit(code);
+  }
+
+  // Parent.
+  if (fds[1] >= 0) ::close(fds[1]);
+  Worker& w = workers_[static_cast<std::size_t>(pe)];
+  w.pid = pid;
+  w.alive = true;
+  if (!options_.use_tcp) {
+    w.conn.set_fd(fds[0]);
+    w.conn.set_nonblocking();
+  }
+}
+
+void ProcMachine::await_hellos() {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(
+          static_cast<long>(options_.hello_timeout_s * 1e3));
+
+  if (options_.use_tcp) {
+    // Workers connect in arbitrary order and identify themselves by the pe
+    // field of their kHello.
+    for (int i = 0; i < pe_count_; ++i) {
+      const double left = std::chrono::duration<double>(
+                              deadline - std::chrono::steady_clock::now())
+                              .count();
+      const int fd = listener_->accept_one(left);
+      if (fd < 0) {
+        throw support::ProcError(
+            "ProcMachine: timed out waiting for workers to connect");
+      }
+      FrameConn conn(fd);
+      WireFrame frame;
+      while (!conn.next_frame(&frame)) {
+        if (!conn.read_some()) {
+          throw support::ProcError(
+              "ProcMachine: worker hung up during handshake");
+        }
+      }
+      if (frame.type != WireType::kHello ||
+          frame.arg != net::kWireProtocolVersion ||
+          frame.pe >= static_cast<std::uint32_t>(pe_count_)) {
+        throw support::ProcError("ProcMachine: bad handshake from worker");
+      }
+      Worker& w = workers_[frame.pe];
+      if (w.conn.valid()) {
+        ::close(fd);
+        throw support::ProcError("ProcMachine: duplicate hello for PE " +
+                                 std::to_string(frame.pe));
+      }
+      w.conn.set_fd(fd);
+      w.conn.set_nonblocking();
+    }
+    return;
+  }
+
+  std::vector<char> greeted(static_cast<std::size_t>(pe_count_), 0);
+  int missing = pe_count_;
+  while (missing > 0) {
+    if (std::chrono::steady_clock::now() >= deadline) {
+      throw support::ProcError(
+          "ProcMachine: timed out waiting for worker hello(s); " +
+          std::to_string(missing) + " worker(s) silent");
+    }
+    std::vector<pollfd> fds;
+    std::vector<int> pes;
+    for (int pe = 0; pe < pe_count_; ++pe) {
+      if (greeted[static_cast<std::size_t>(pe)] != 0) continue;
+      fds.push_back(pollfd{workers_[static_cast<std::size_t>(pe)].conn.fd(),
+                           POLLIN, 0});
+      pes.push_back(pe);
+    }
+    if (::poll(fds.data(), fds.size(), 100) < 0 && errno != EINTR) {
+      throw support::ProcError("ProcMachine: poll failed during handshake");
+    }
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      Worker& w = workers_[static_cast<std::size_t>(pes[i])];
+      if (!w.conn.read_some()) {
+        throw support::ProcError("ProcMachine: worker for PE " +
+                                 std::to_string(pes[i]) +
+                                 " died before its hello");
+      }
+      WireFrame frame;
+      while (w.conn.next_frame(&frame)) {
+        if (frame.type != WireType::kHello ||
+            frame.arg != net::kWireProtocolVersion) {
+          throw support::ProcError("ProcMachine: bad handshake from PE " +
+                                   std::to_string(pes[i]));
+        }
+        greeted[static_cast<std::size_t>(pes[i])] = 1;
+        --missing;
+      }
+    }
+  }
+}
+
+void ProcMachine::shutdown_workers() noexcept {
+  for (Worker& w : workers_) {
+    if (!w.alive || !w.conn.valid()) continue;
+    WireFrame bye;
+    bye.type = WireType::kShutdown;
+    w.conn.send_frame(bye);
+    // A blocked outgoing buffer is drained by the worker once it reads;
+    // give it a brief window below either way.
+  }
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(2000);
+  for (Worker& w : workers_) {
+    if (w.pid <= 0) continue;
+    bool reaped = false;
+    int status = 0;
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (w.conn.valid() && w.conn.has_outgoing()) w.conn.flush();
+      const pid_t r = ::waitpid(w.pid, &status, WNOHANG);
+      if (r == w.pid || (r < 0 && errno == ECHILD)) {
+        reaped = true;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    if (!reaped) {
+      ::kill(w.pid, SIGKILL);
+      ::waitpid(w.pid, &status, 0);
+    }
+    w.pid = -1;
+    w.alive = false;
+    w.conn.close();
+  }
+}
+
+void ProcMachine::record_error(std::exception_ptr error) noexcept {
+  if (!first_error_) first_error_ = error;
+}
+
+void ProcMachine::fail(std::exception_ptr error) noexcept {
+  record_error(error);
+}
+
+void ProcMachine::task_started() {
+  ++tasks_live_;
+  tasks_seen_ = true;
+}
+
+void ProcMachine::task_finished() { --tasks_live_; }
+
+double ProcMachine::now(int pe) const {
+  check_pe(pe);
+  return clock_.seconds();
+}
+
+void ProcMachine::send_to(int pe, const WireFrame& frame) {
+  Worker& w = workers_[static_cast<std::size_t>(pe)];
+  if (!w.alive) return;  // death already recorded; frames go nowhere
+  if (!w.conn.send_frame(frame)) on_worker_dead(pe);
+}
+
+void ProcMachine::dispatch(int pe, WireFrame frame) {
+  if (!running_) {
+    prerun_frames_.emplace_back(pe, std::move(frame));
+    return;
+  }
+  send_to(pe, frame);
+}
+
+void ProcMachine::post(int pe, support::MoveFunction action) {
+  check_pe(pe);
+  if (draining_ || first_error_) return;  // stopping: drop, don't enqueue
+  const std::uint64_t token = next_token_++;
+  PendingAction pending;
+  pending.pe = pe;
+  pending.kind = ActionKind::kPost;
+  pending.fn = std::move(action);
+  actions_.emplace(token, std::move(pending));
+  ++outstanding_actions_;
+  WireFrame frame;
+  frame.type = WireType::kPost;
+  frame.pe = static_cast<std::uint32_t>(pe);
+  frame.token = token;
+  dispatch(pe, std::move(frame));
+}
+
+void ProcMachine::post_after(int pe, double delay_seconds,
+                             support::MoveFunction action) {
+  check_pe(pe);
+  if (draining_ || first_error_) return;
+  if (delay_seconds < 0.0) delay_seconds = 0.0;
+  const std::uint64_t token = next_token_++;
+  PendingAction pending;
+  pending.pe = pe;
+  pending.kind = ActionKind::kTimer;
+  pending.fn = std::move(action);
+  actions_.emplace(token, std::move(pending));
+  ++outstanding_timers_;
+  WireFrame frame;
+  frame.type = WireType::kTimer;
+  frame.pe = static_cast<std::uint32_t>(pe);
+  frame.token = token;
+  frame.arg = static_cast<std::uint64_t>(delay_seconds * 1e9);
+  dispatch(pe, std::move(frame));
+}
+
+void ProcMachine::transmit(int src, int dst, std::size_t bytes,
+                           support::MoveFunction on_delivery) {
+  check_pe(src);
+  check_pe(dst);
+  if (draining_ || first_error_) return;
+  const std::uint64_t token = next_token_++;
+  PendingAction pending;
+  pending.pe = dst;
+  pending.kind = ActionKind::kHop;
+  pending.fn = std::move(on_delivery);
+  actions_.emplace(token, std::move(pending));
+  ++outstanding_actions_;
+  transmitted_bytes_ += bytes;
+  ++transmitted_messages_;
+  if (m_net_messages_ != nullptr) {
+    m_net_messages_->add();
+    m_net_bytes_->add(bytes);
+  }
+  WireFrame frame;
+  frame.type = WireType::kSend;
+  frame.pe = static_cast<std::uint32_t>(dst);
+  frame.src = static_cast<std::uint32_t>(src);
+  frame.token = token;
+  frame.arg = bytes;
+  dispatch(src, std::move(frame));
+}
+
+void ProcMachine::on_worker_dead(int pe) {
+  Worker& w = workers_[static_cast<std::size_t>(pe)];
+  if (!w.alive) return;
+  w.alive = false;
+  w.conn.close();
+  bool reaped = false;
+  int status = 0;
+  // The socket closes a beat before the zombie is reapable; retry briefly.
+  for (int i = 0; i < 100; ++i) {
+    const pid_t r = ::waitpid(w.pid, &status, WNOHANG);
+    if (r == w.pid) {
+      reaped = true;
+      break;
+    }
+    if (r < 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  record_error(std::make_exception_ptr(support::ProcError(
+      "ProcMachine: worker for PE " + std::to_string(pe) +
+      " exited unexpectedly (" + describe_exit(w.pid, reaped, status) +
+      "); " + status_summary())));
+}
+
+void ProcMachine::execute(std::uint64_t /*token*/, PendingAction action) {
+  if (!m_actions_.empty()) {
+    m_actions_[static_cast<std::size_t>(action.pe)]->add();
+  }
+  try {
+    action.fn();
+  } catch (...) {
+    record_error(std::current_exception());
+  }
+}
+
+void ProcMachine::handle_frame(int pe, const WireFrame& frame) {
+  Worker& w = workers_[static_cast<std::size_t>(pe)];
+  switch (frame.type) {
+    case WireType::kHop: {
+      if (frame.pe >= static_cast<std::uint32_t>(pe_count_)) {
+        record_error(std::make_exception_ptr(support::ProcError(
+            "ProcMachine: hop routed to unknown PE " +
+            std::to_string(frame.pe))));
+        return;
+      }
+      send_to(static_cast<int>(frame.pe), frame);
+      return;
+    }
+
+    case WireType::kGrant: {
+      auto it = actions_.find(frame.token);
+      if (it == actions_.end()) return;  // canceled by a racing quiesce
+      if (it->second.kind == ActionKind::kTimer) {
+        --outstanding_timers_;
+      } else {
+        --outstanding_actions_;
+      }
+      PendingAction action = std::move(it->second);
+      actions_.erase(it);
+      if ((frame.arg & net::kGrantOkBit) == 0) {
+        record_error(std::make_exception_ptr(support::ProcError(
+            "ProcMachine: hop payload failed checksum verification at PE " +
+            std::to_string(pe))));
+        return;  // action destroyed, not run
+      }
+      if (draining_ || first_error_) return;  // drain: destroy, don't run
+      execute(frame.token, std::move(action));
+      return;
+    }
+
+    case WireType::kQuiesceAck: {
+      w.acked_quiesce = true;
+      w.stats = frame.stats;
+      for (const std::uint64_t token : frame.tokens) {
+        auto it = actions_.find(token);
+        if (it == actions_.end()) continue;
+        if (it->second.kind == ActionKind::kTimer) --outstanding_timers_;
+        actions_.erase(it);
+      }
+      return;
+    }
+
+    case WireType::kStatusReply:
+      w.stats = frame.stats;
+      return;
+
+    case WireType::kHello:
+      return;  // late duplicate; harmless
+
+    default:
+      record_error(std::make_exception_ptr(support::ProcError(
+          "ProcMachine: unexpected frame type " +
+          std::to_string(static_cast<int>(frame.type)) + " from PE " +
+          std::to_string(pe))));
+      return;
+  }
+}
+
+void ProcMachine::pump(int timeout_ms) {
+  std::vector<pollfd> fds;
+  std::vector<int> pes;
+  for (int pe = 0; pe < pe_count_; ++pe) {
+    Worker& w = workers_[static_cast<std::size_t>(pe)];
+    if (!w.alive) continue;
+    short events = POLLIN;
+    if (w.conn.has_outgoing()) events |= POLLOUT;
+    fds.push_back(pollfd{w.conn.fd(), events, 0});
+    pes.push_back(pe);
+  }
+  if (fds.empty()) {
+    record_error(std::make_exception_ptr(
+        support::ProcError("ProcMachine: every worker is dead")));
+    return;
+  }
+  const int r = ::poll(fds.data(), fds.size(), timeout_ms);
+  if (r < 0) {
+    if (errno != EINTR) {
+      record_error(std::make_exception_ptr(support::ProcError(
+          "ProcMachine: poll failed: " + std::string(::strerror(errno)))));
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < fds.size(); ++i) {
+    const int pe = pes[i];
+    Worker& w = workers_[static_cast<std::size_t>(pe)];
+    if (!w.alive) continue;
+    if ((fds[i].revents & POLLOUT) != 0 && !w.conn.flush()) {
+      on_worker_dead(pe);
+      continue;
+    }
+    if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+    if (!w.conn.read_some()) {
+      on_worker_dead(pe);
+      continue;
+    }
+    WireFrame frame;
+    try {
+      while (w.alive && w.conn.next_frame(&frame)) {
+        last_activity_s_ = clock_.seconds();
+        handle_frame(pe, frame);
+      }
+    } catch (...) {
+      record_error(std::current_exception());
+    }
+  }
+}
+
+void ProcMachine::quiesce() {
+  draining_ = true;
+  int expected = 0;
+  for (int pe = 0; pe < pe_count_; ++pe) {
+    Worker& w = workers_[static_cast<std::size_t>(pe)];
+    w.acked_quiesce = false;
+    if (!w.alive) continue;
+    WireFrame frame;
+    frame.type = WireType::kQuiesce;
+    send_to(pe, frame);
+    if (w.alive) ++expected;
+  }
+  (void)expected;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(
+          static_cast<long>(options_.quiesce_timeout_s * 1e3));
+  for (;;) {
+    int n = 0;
+    int alive = 0;
+    for (const Worker& w : workers_) {
+      if (!w.alive) continue;
+      ++alive;
+      if (w.acked_quiesce) ++n;
+    }
+    if (n >= alive) break;
+    if (std::chrono::steady_clock::now() >= deadline) {
+      record_error(std::make_exception_ptr(support::ProcError(
+          "ProcMachine: quiesce timed out waiting for worker ack(s); " +
+          status_summary())));
+      break;
+    }
+    pump(20);
+  }
+  // Anything still in the table — canceled timers already left, so these
+  // are in-flight posts/hops of an aborted run — is destroyed, which
+  // releases any captured coroutine frames, exactly like the other
+  // backends' failure drains.
+  actions_.clear();
+  outstanding_actions_ = 0;
+  outstanding_timers_ = 0;
+  record_worker_metrics();
+  draining_ = false;
+}
+
+void ProcMachine::run() {
+  NAVCPP_CHECK(!running_, "ProcMachine::run is not reentrant");
+  running_ = true;
+  draining_ = false;
+  clock_.reset();
+  finish_time_ = 0.0;
+  reset_stats();
+  last_activity_s_ = 0.0;
+  tasks_seen_ = tasks_live_ > 0;
+  ++run_id_;
+  for (int pe = 0; pe < pe_count_; ++pe) {
+    WireFrame frame;
+    frame.type = WireType::kStart;
+    frame.arg = run_id_;
+    send_to(pe, frame);
+  }
+  for (auto& [pe, frame] : prerun_frames_) send_to(pe, frame);
+  prerun_frames_.clear();
+
+  bool deadlocked = false;
+  while (!first_error_) {
+    if (outstanding_actions_ == 0) {
+      if (tasks_live_ <= 0) {
+        // Leftover timers after every task finished are pure bookkeeping
+        // (retransmit timers for acked frames); quiesce cancels them.  A
+        // task-free run (timer smoke tests) waits them out instead.
+        if (outstanding_timers_ == 0 || tasks_seen_) break;
+      } else if (outstanding_timers_ == 0) {
+        deadlocked = true;
+        break;
+      }
+    }
+    pump(100);
+    if (stall_timeout_s_ > 0.0 &&
+        outstanding_actions_ + outstanding_timers_ > 0 &&
+        clock_.seconds() - last_activity_s_ > stall_timeout_s_) {
+      record_error(std::make_exception_ptr(support::ProcError(
+          "ProcMachine: no wire activity for " +
+          std::to_string(stall_timeout_s_) +
+          " s with work outstanding; " + status_summary())));
+      break;
+    }
+  }
+
+  quiesce();
+  finish_time_ = clock_.seconds();
+  if (m_wall_time_ != nullptr) m_wall_time_->set(finish_time_);
+  running_ = false;
+
+  if (first_error_) {
+    std::exception_ptr error = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(error);
+  }
+  if (deadlocked) {
+    std::string report =
+        "ProcMachine: deadlock — " + std::to_string(tasks_live_) +
+        " task(s) live with no actions or timers outstanding at any "
+        "worker\n";
+    if (blocked_reporter_) report += blocked_reporter_();
+    report += status_summary();
+    throw support::DeadlockError(report);
+  }
+}
+
+const net::WireWorkerStats& ProcMachine::worker_stats(int pe) const {
+  check_pe(pe);
+  return workers_[static_cast<std::size_t>(pe)].stats;
+}
+
+bool ProcMachine::worker_alive(int pe) const {
+  check_pe(pe);
+  return workers_[static_cast<std::size_t>(pe)].alive;
+}
+
+void ProcMachine::kill_worker(int pe) {
+  check_pe(pe);
+  Worker& w = workers_[static_cast<std::size_t>(pe)];
+  if (w.alive && w.pid > 0) ::kill(w.pid, SIGKILL);
+}
+
+std::string ProcMachine::status_summary() const {
+  std::string out = "per-worker status:\n";
+  for (int pe = 0; pe < pe_count_; ++pe) {
+    const Worker& w = workers_[static_cast<std::size_t>(pe)];
+    out += "  pe " + std::to_string(pe) + ": " +
+           (w.alive ? "alive" : "DEAD") +
+           " posts=" + std::to_string(w.stats.posts_granted) +
+           " timers_fired=" + std::to_string(w.stats.timers_fired) +
+           " hops_in=" + std::to_string(w.stats.hops_in) +
+           " hop_bytes_in=" + std::to_string(w.stats.hop_bytes_in) + "\n";
+  }
+  out += "  parent: outstanding_actions=" +
+         std::to_string(outstanding_actions_) +
+         " outstanding_timers=" + std::to_string(outstanding_timers_) +
+         " tasks_live=" + std::to_string(tasks_live_) + "\n";
+  return out;
+}
+
+void ProcMachine::record_worker_metrics() {
+  if (metrics_ == nullptr) return;
+  for (int pe = 0; pe < pe_count_; ++pe) {
+    const net::WireWorkerStats& s =
+        workers_[static_cast<std::size_t>(pe)].stats;
+    const std::string label = obs::pe_label(pe);
+    metrics_->counter("proc.worker.posts", label).add(s.posts_granted);
+    metrics_->counter("proc.worker.timers_fired", label).add(s.timers_fired);
+    metrics_->counter("proc.worker.hops_in", label).add(s.hops_in);
+    metrics_->counter("proc.worker.hop_bytes_in", label).add(s.hop_bytes_in);
+    metrics_->counter("proc.worker.hops_out", label).add(s.hops_out);
+    metrics_->counter("proc.worker.hop_bytes_out", label)
+        .add(s.hop_bytes_out);
+  }
+}
+
+void ProcMachine::set_metrics(obs::Registry* registry) {
+  metrics_ = registry;
+  m_actions_.clear();
+  m_net_messages_ = nullptr;
+  m_net_bytes_ = nullptr;
+  m_wall_time_ = nullptr;
+  if (registry == nullptr) return;
+  m_actions_.reserve(static_cast<std::size_t>(pe_count_));
+  for (int pe = 0; pe < pe_count_; ++pe) {
+    m_actions_.push_back(&registry->counter("proc.actions", obs::pe_label(pe)));
+  }
+  m_net_messages_ = &registry->counter("net.messages");
+  m_net_bytes_ = &registry->counter("net.bytes");
+  m_wall_time_ = &registry->gauge("proc.wall_time");
+}
+
+}  // namespace navcpp::machine

@@ -1,0 +1,206 @@
+// ProcMachine: one OS *process* per PE — the honest deployment model.
+//
+// The sim and threaded backends run every PE in one address space, so a hop
+// closure that captures a raw pointer into the "remote" PE's memory works
+// by accident.  ProcMachine makes the boundary real: each PE is a forked
+// worker process (fork/exec of tools/navcpp_worker, with a fork-only
+// fallback), connected to the parent over a Unix-domain socketpair
+// (loopback TCP fallback) speaking the length-prefixed net/wire.h protocol.
+//
+// Division of labor (see docs/architecture.md, "Process-per-PE backend"):
+//
+//  * The PARENT executes action closures.  Engine payloads are move-only
+//    closures owning C++ coroutine frames; no amount of serialization
+//    moves a coroutine frame across an exec boundary, so the closures stay
+//    here.  What the parent does NOT own is scheduling, timing, or
+//    transport.
+//  * Each WORKER owns its PE's substrate: a posted action becomes runnable
+//    only when that PE's worker grants its token back; post_after timers
+//    live in the worker's timer heap and fire on the worker's clock; and
+//    every transmit()'s payload bytes are materialized in the source
+//    worker's address space, shipped through the parent to the destination
+//    worker, and checksum-verified there — the payload genuinely crosses
+//    two address-space boundaries before on_delivery runs.
+//
+// Ordering: every leg is a FIFO stream socket, so actions on one PE run in
+// grant order and transmit() keeps the Engine's per-(src,dst)
+// non-overtaking guarantee end to end.  The parent is single-threaded;
+// like SimMachine, all Engine calls must come from the constructing thread
+// (actions run inside run(), so calls from actions are fine).
+//
+// Quiescence: the parent counts outstanding tokens.  run() returns when no
+// actions are outstanding and every registered task finished; leftover
+// timers (e.g. retransmit timers for already-acked frames) are canceled at
+// quiesce, which also ships every worker's WireWorkerStats back for the
+// metrics registry.  A stall with live tasks and nothing outstanding
+// anywhere is a deterministic DeadlockError carrying the runtime's blocked
+// report plus the per-worker status the quiesce collected.  A worker that
+// dies mid-run surfaces as a typed support::ProcError, never a hang.
+//
+// Decorators compose unchanged: FaultMachine(ProcMachine) injects frame
+// faults in the ReliableChannel layer above, whose retransmit timers run
+// on the workers' wall clocks.
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include <sys/types.h>
+
+#include "machine/engine.h"
+#include "net/wire.h"
+#include "obs/metrics.h"
+#include "support/stopwatch.h"
+
+namespace navcpp::machine {
+
+class ProcMachine final : public Engine {
+ public:
+  struct Options {
+    /// Path of the worker binary; empty = discover (NAVCPP_WORKER env, then
+    /// next to /proc/self/exe, then ../tools/), falling back to fork-only.
+    std::string worker_path;
+    /// Use the loopback-TCP transport instead of a Unix socketpair (also
+    /// enabled by NAVCPP_PROC_TCP=1 in the environment).
+    bool use_tcp = false;
+    /// Never exec: fork and run the worker loop in the child directly.
+    bool force_fork_only = false;
+    double hello_timeout_s = 10.0;    ///< worker startup handshake
+    double quiesce_timeout_s = 10.0;  ///< per-quiesce ack collection
+  };
+
+  explicit ProcMachine(int pe_count) : ProcMachine(pe_count, Options{}) {}
+  ProcMachine(int pe_count, Options options);
+  ~ProcMachine() override;
+
+  ProcMachine(const ProcMachine&) = delete;
+  ProcMachine& operator=(const ProcMachine&) = delete;
+
+  // --- Engine ------------------------------------------------------------
+  int pe_count() const override { return pe_count_; }
+  void post(int pe, support::MoveFunction action) override;
+  void post_after(int pe, double delay_seconds,
+                  support::MoveFunction action) override;
+  void transmit(int src, int dst, std::size_t bytes,
+                support::MoveFunction on_delivery) override;
+  void charge(int /*pe*/, double /*seconds*/) override {}
+  double now(int pe) const override;
+  double finish_time() const override { return finish_time_; }
+  void task_started() override;
+  void task_finished() override;
+  void fail(std::exception_ptr error) noexcept override;
+  void set_blocked_reporter(std::function<std::string()> reporter) override {
+    blocked_reporter_ = std::move(reporter);
+  }
+  void run() override;
+  void set_metrics(obs::Registry* registry) override;
+
+  // --- knobs / audits ----------------------------------------------------
+
+  /// Abort run() with a diagnosis if no wire activity happens for this long
+  /// while work is outstanding (a wedged-but-alive worker).  Zero disables
+  /// (default); the deterministic outstanding==0 deadlock detection works
+  /// regardless.
+  void set_stall_timeout(double seconds) { stall_timeout_s_ = seconds; }
+
+  /// Total bytes/messages passed to transmit() this run (cost audit, like
+  /// the other backends).  run() resets them.
+  std::uint64_t transmitted_bytes() const { return transmitted_bytes_; }
+  std::uint64_t transmitted_messages() const { return transmitted_messages_; }
+  void reset_stats() {
+    transmitted_bytes_ = 0;
+    transmitted_messages_ = 0;
+  }
+
+  /// Worker-side counters of `pe`, as of the last quiesce (end of run()).
+  const net::WireWorkerStats& worker_stats(int pe) const;
+
+  bool worker_alive(int pe) const;
+
+  /// Test hook: SIGKILL the worker of `pe` (a real fail-stop crash of the
+  /// PE's process).  The next run() — or the current one, from within an
+  /// action — surfaces it as a support::ProcError.
+  void kill_worker(int pe);
+
+ private:
+  enum class ActionKind : std::uint8_t { kPost, kTimer, kHop };
+
+  struct PendingAction {
+    int pe = 0;
+    ActionKind kind = ActionKind::kPost;
+    support::MoveFunction fn;
+  };
+
+  struct Worker {
+    pid_t pid = -1;
+    net::FrameConn conn;
+    bool alive = false;
+    bool acked_quiesce = false;
+    net::WireWorkerStats stats;
+  };
+
+  void check_pe(int pe) const;
+  void spawn_workers();
+  void spawn_one(int pe, const std::string& worker_path,
+                 std::uint16_t tcp_port);
+  void await_hellos();
+  void shutdown_workers() noexcept;
+
+  void send_to(int pe, const net::WireFrame& frame);
+  /// send_to, or park in prerun_frames_ when run() has not started yet.
+  void dispatch(int pe, net::WireFrame frame);
+  /// One poll iteration over the worker sockets; reads, writes, and
+  /// processes frames (executing granted actions unless draining).
+  void pump(int timeout_ms);
+  void handle_frame(int pe, const net::WireFrame& frame);
+  void on_worker_dead(int pe);
+  void execute(std::uint64_t token, PendingAction action);
+  /// Cancel timers at every live worker, collect stats, destroy leftovers.
+  void quiesce();
+  void record_worker_metrics();
+  std::string status_summary() const;
+  void record_error(std::exception_ptr error) noexcept;
+
+  int pe_count_ = 0;
+  Options options_;
+  std::vector<Worker> workers_;
+  std::unique_ptr<net::WireListener> listener_;  // TCP transport only
+
+  std::unordered_map<std::uint64_t, PendingAction> actions_;
+  /// Frames issued before run(): held back until kStart so workers see a
+  /// clean run boundary and pre-run timers start ticking at run start
+  /// (now() is seconds since run start, like the threaded backend).
+  std::vector<std::pair<int, net::WireFrame>> prerun_frames_;
+  std::uint64_t next_token_ = 1;
+  std::int64_t outstanding_actions_ = 0;  // posts + hops awaiting grants
+  std::int64_t outstanding_timers_ = 0;
+  std::int64_t tasks_live_ = 0;
+  bool tasks_seen_ = false;  // any task registered this run
+  bool running_ = false;
+  bool draining_ = false;  // quiesce/teardown: destroy grants, don't run
+  std::exception_ptr first_error_;
+  std::uint64_t run_id_ = 0;
+
+  std::function<std::string()> blocked_reporter_;
+  double stall_timeout_s_ = 0.0;
+  double last_activity_s_ = 0.0;
+
+  support::Stopwatch clock_;
+  double finish_time_ = 0.0;
+  std::uint64_t transmitted_bytes_ = 0;
+  std::uint64_t transmitted_messages_ = 0;
+
+  // Cached metric handles (empty/null when metrics are off).
+  obs::Registry* metrics_ = nullptr;
+  std::vector<obs::Counter*> m_actions_;
+  obs::Counter* m_net_messages_ = nullptr;
+  obs::Counter* m_net_bytes_ = nullptr;
+  obs::Gauge* m_wall_time_ = nullptr;
+};
+
+}  // namespace navcpp::machine

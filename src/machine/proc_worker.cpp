@@ -1,0 +1,201 @@
+#include "machine/proc_worker.h"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <chrono>
+
+namespace navcpp::machine {
+
+using net::GrantKind;
+using net::WireFrame;
+using net::WireType;
+
+ProcWorker::ProcWorker(int fd, int pe) : conn_(fd), pe_(pe) {
+  run_start_ns_ = 0;
+}
+
+std::int64_t ProcWorker::now_ns() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+bool ProcWorker::timer_later(const Timer& a, const Timer& b) {
+  // push_heap/pop_heap keep a max-heap; invert for a min-heap on
+  // (deadline, seq).
+  if (a.deadline_ns != b.deadline_ns) return a.deadline_ns > b.deadline_ns;
+  return a.seq > b.seq;
+}
+
+int ProcWorker::next_timeout_ms() const {
+  if (timers_.empty()) return -1;
+  const std::int64_t delta = timers_.front().deadline_ns - now_ns();
+  if (delta <= 0) return 0;
+  // Round up so we never wake a hair before the deadline and spin.
+  return static_cast<int>(delta / 1000000 + 1);
+}
+
+void ProcWorker::fire_due_timers() {
+  const std::int64_t now = now_ns();
+  while (!timers_.empty() && timers_.front().deadline_ns <= now) {
+    std::pop_heap(timers_.begin(), timers_.end(), timer_later);
+    const Timer t = timers_.back();
+    timers_.pop_back();
+    ++stats_.timers_fired;
+    WireFrame grant;
+    grant.type = WireType::kGrant;
+    grant.pe = static_cast<std::uint32_t>(pe_);
+    grant.token = t.token;
+    grant.arg = static_cast<std::uint64_t>(GrantKind::kTimer) |
+                net::kGrantOkBit;
+    if (!conn_.send_frame(grant)) shutdown_ = true;
+  }
+}
+
+void ProcWorker::handle(const WireFrame& frame) {
+  ++stats_.frames_seen;
+  switch (frame.type) {
+    case WireType::kStart:
+      // Stats are per-run; timers are NOT cleared — a post_after issued
+      // before run() is already ticking here, and stale timers from a
+      // previous run were canceled by its quiesce.
+      stats_ = net::WireWorkerStats{};
+      stats_.frames_seen = 1;  // this frame
+      break;
+
+    case WireType::kPost: {
+      // The grant is what makes the action runnable: scheduling authority
+      // for this PE lives here, not in the parent.
+      ++stats_.posts_granted;
+      WireFrame grant;
+      grant.type = WireType::kGrant;
+      grant.pe = static_cast<std::uint32_t>(pe_);
+      grant.token = frame.token;
+      grant.arg = static_cast<std::uint64_t>(GrantKind::kPost) |
+                  net::kGrantOkBit;
+      if (!conn_.send_frame(grant)) shutdown_ = true;
+      break;
+    }
+
+    case WireType::kTimer: {
+      Timer t;
+      t.deadline_ns = now_ns() + static_cast<std::int64_t>(frame.arg);
+      t.seq = timer_seq_++;
+      t.token = frame.token;
+      timers_.push_back(t);
+      std::push_heap(timers_.begin(), timers_.end(), timer_later);
+      break;
+    }
+
+    case WireType::kSend: {
+      // Materialize the payload in THIS address space; the bytes cross to
+      // the parent and again to the destination worker, which re-derives
+      // the checksum from (token, src, dst) and verifies it.
+      const std::uint64_t seed =
+          frame.token ^ (static_cast<std::uint64_t>(pe_) << 32) ^
+          (static_cast<std::uint64_t>(frame.pe) << 48);
+      net::wire_fill_pattern(scratch_, static_cast<std::size_t>(frame.arg),
+                             seed);
+      WireFrame hop;
+      hop.type = WireType::kHop;
+      hop.pe = frame.pe;  // destination
+      hop.src = static_cast<std::uint32_t>(pe_);
+      hop.token = frame.token;
+      hop.arg = net::wire_checksum(scratch_.data(), scratch_.size(), seed);
+      hop.payload = scratch_;
+      ++stats_.hops_out;
+      stats_.hop_bytes_out += scratch_.size();
+      if (!conn_.send_frame(hop)) shutdown_ = true;
+      break;
+    }
+
+    case WireType::kHop: {
+      // Inbound payload, routed by the parent from the source worker.
+      const std::uint64_t seed =
+          frame.token ^ (static_cast<std::uint64_t>(frame.src) << 32) ^
+          (static_cast<std::uint64_t>(frame.pe) << 48);
+      const std::uint64_t sum =
+          net::wire_checksum(frame.payload.data(), frame.payload.size(), seed);
+      const bool ok = sum == frame.arg;
+      ++stats_.hops_in;
+      stats_.hop_bytes_in += frame.payload.size();
+      WireFrame grant;
+      grant.type = WireType::kGrant;
+      grant.pe = static_cast<std::uint32_t>(pe_);
+      grant.token = frame.token;
+      grant.arg = static_cast<std::uint64_t>(GrantKind::kHop) |
+                  (ok ? net::kGrantOkBit : 0);
+      if (!conn_.send_frame(grant)) shutdown_ = true;
+      break;
+    }
+
+    case WireType::kQuiesce: {
+      WireFrame ack;
+      ack.type = WireType::kQuiesceAck;
+      ack.pe = static_cast<std::uint32_t>(pe_);
+      for (const Timer& t : timers_) ack.tokens.push_back(t.token);
+      stats_.timers_canceled += timers_.size();
+      timers_.clear();
+      ack.stats = stats_;
+      if (!conn_.send_frame(ack)) shutdown_ = true;
+      break;
+    }
+
+    case WireType::kStatus: {
+      WireFrame reply;
+      reply.type = WireType::kStatusReply;
+      reply.pe = static_cast<std::uint32_t>(pe_);
+      reply.arg = timers_.size();
+      reply.stats = stats_;
+      if (!conn_.send_frame(reply)) shutdown_ = true;
+      break;
+    }
+
+    case WireType::kShutdown:
+      shutdown_ = true;
+      break;
+
+    case WireType::kHello:
+    case WireType::kGrant:
+    case WireType::kQuiesceAck:
+    case WireType::kStatusReply:
+      // Parent-bound frames; a parent never sends them.
+      break;
+  }
+}
+
+int ProcWorker::run() {
+  WireFrame hello;
+  hello.type = WireType::kHello;
+  hello.pe = static_cast<std::uint32_t>(pe_);
+  hello.arg = net::kWireProtocolVersion;
+  if (!conn_.send_frame(hello)) {
+    conn_.close();
+    return 0;  // parent already gone
+  }
+
+  while (!shutdown_) {
+    pollfd pfd{conn_.fd(), POLLIN, 0};
+    const int r = ::poll(&pfd, 1, next_timeout_ms());
+    if (r < 0) continue;  // EINTR
+    fire_due_timers();
+    if (r == 0) continue;
+    if ((pfd.revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+      if (!conn_.read_some()) break;  // parent gone: exit quietly
+      WireFrame frame;
+      try {
+        while (!shutdown_ && conn_.next_frame(&frame)) handle(frame);
+      } catch (...) {
+        conn_.close();
+        return 1;  // malformed traffic from the parent
+      }
+    }
+  }
+  conn_.close();
+  return 0;
+}
+
+int proc_worker_main(int fd, int pe) { return ProcWorker(fd, pe).run(); }
+
+}  // namespace navcpp::machine

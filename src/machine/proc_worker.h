@@ -1,0 +1,66 @@
+// ProcWorker: the per-PE worker process of the process-per-PE backend.
+//
+// One worker runs per PE, in its own address space, connected to the parent
+// by a stream socket speaking net/wire.h frames.  The worker owns the PE's
+// *substrate*: scheduling order (a kPost is not runnable until this worker
+// grants it), the timer heap behind Engine::post_after, and the transport
+// leg of every hop — it materializes outgoing payload bytes, and verifies
+// the checksum of inbound payloads after they crossed two address-space
+// boundaries (src worker -> parent -> dst worker).  The parent executes the
+// action *closures* (C++ coroutine frames cannot cross an exec boundary);
+// see docs/architecture.md, "Process-per-PE backend", for the split.
+//
+// The worker is single-threaded and uses blocking writes: the parent's end
+// is non-blocking with an outgoing queue, so the parent always drains
+// worker output and a blocking worker write can never deadlock the pair.
+//
+// proc_worker_main() is the whole worker program; tools/navcpp_worker.cpp
+// is a thin exec wrapper around it, and ProcMachine falls back to calling
+// it directly in a fork()ed child when the binary cannot be found.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/wire.h"
+
+namespace navcpp::machine {
+
+class ProcWorker {
+ public:
+  /// Takes ownership of `fd` (closed when the loop exits).
+  ProcWorker(int fd, int pe);
+
+  /// Serve the parent until kShutdown or parent EOF.  Returns the process
+  /// exit code (0 on a clean shutdown or parent disappearance; nonzero on
+  /// a protocol error, which the parent surfaces as a ProcError).
+  int run();
+
+ private:
+  struct Timer {
+    std::int64_t deadline_ns;  // since run start
+    std::uint64_t seq;         // FIFO among equal deadlines
+    std::uint64_t token;
+  };
+  static bool timer_later(const Timer& a, const Timer& b);
+
+  void handle(const net::WireFrame& frame);
+  void fire_due_timers();
+  std::int64_t now_ns() const;
+  /// Milliseconds until the next timer deadline (poll timeout), or -1.
+  int next_timeout_ms() const;
+
+  net::FrameConn conn_;
+  int pe_ = 0;
+  bool shutdown_ = false;
+  std::int64_t run_start_ns_ = 0;
+  std::uint64_t timer_seq_ = 0;
+  std::vector<Timer> timers_;  // binary min-heap on (deadline, seq)
+  net::WireWorkerStats stats_;
+  std::vector<std::byte> scratch_;  // payload materialization buffer
+};
+
+/// Run a worker for PE `pe` over connected socket `fd` until shutdown.
+int proc_worker_main(int fd, int pe);
+
+}  // namespace navcpp::machine

@@ -1,0 +1,79 @@
+// Cargo adapters for block-structured agent variables.
+//
+// The mm carriers keep algorithmic blocks (RealBlock / PhantomBlock) in
+// their coroutine frames — the paper's mA / mB agent variables.  These
+// adapters register them with a navp::Cargo so that
+//
+//   * hop_cargo() charges exactly block_wire_bytes() per block, the same
+//     number the hand-written ctx.hop(dest, plan->row_bytes) calls used
+//     (phantom blocks charge what their real counterparts would), and
+//   * strict-migration runs serialize and rebuild every carried block
+//     around each hop, proving the carried state is address-space-clean —
+//     no pointer into another PE's node variables survives the round trip.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "linalg/block.h"
+#include "navp/cargo.h"
+#include "support/bytebuffer.h"
+
+namespace navcpp::mm {
+
+namespace detail_cargo {
+
+template <class Block>
+void put_block(support::ByteBuffer& buf, const Block& blk) {
+  buf.put(blk.rows);
+  buf.put(blk.cols);
+  if constexpr (requires { blk.data; }) buf.put_vector(blk.data);
+}
+
+template <class Block>
+void get_block(support::ByteBuffer& buf, Block& blk) {
+  blk.rows = buf.get<int>();
+  blk.cols = buf.get<int>();
+  if constexpr (requires { blk.data; }) blk.data = buf.get_vector<double>();
+}
+
+}  // namespace detail_cargo
+
+/// Register one carried block.  Wire cost is block_wire_bytes (rows x cols
+/// doubles for both storages); the block must outlive the Cargo (it is an
+/// agent variable in the same coroutine frame).
+template <class Block>
+void attach_block(navp::Cargo& cargo, Block* blk) {
+  cargo.attach_custom(
+      [blk] { return linalg::block_wire_bytes(*blk); },
+      [blk](support::ByteBuffer& buf) { detail_cargo::put_block(buf, *blk); },
+      [blk](support::ByteBuffer& buf) { detail_cargo::get_block(buf, *blk); });
+}
+
+/// Register a carried vector of blocks (a block-row of A, a block-column
+/// of B).  Wire cost is the sum of the blocks' wire bytes right now: zero
+/// while the vector is empty, one row_bytes' worth once a row is loaded —
+/// matching the `ma.empty() ? 0 : plan->row_bytes` accounting the carriers
+/// used before they declared their cargo.
+template <class Block>
+void attach_blocks(navp::Cargo& cargo, std::vector<Block>* blocks) {
+  cargo.attach_custom(
+      [blocks] {
+        std::size_t total = 0;
+        for (const auto& blk : *blocks) {
+          total += linalg::block_wire_bytes(blk);
+        }
+        return total;
+      },
+      [blocks](support::ByteBuffer& buf) {
+        buf.put<std::uint64_t>(blocks->size());
+        for (const auto& blk : *blocks) detail_cargo::put_block(buf, blk);
+      },
+      [blocks](support::ByteBuffer& buf) {
+        blocks->resize(static_cast<std::size_t>(buf.get<std::uint64_t>()));
+        for (auto& blk : *blocks) detail_cargo::get_block(buf, blk);
+      });
+}
+
+}  // namespace navcpp::mm

@@ -22,7 +22,9 @@
 
 #include "machine/engine.h"
 #include "machine/sim_machine.h"
+#include "mm/cargo_blocks.h"
 #include "mm/common.h"
+#include "navp/cargo.h"
 #include "navp/runtime.h"
 
 namespace navcpp::mm {
@@ -89,11 +91,12 @@ void compute_c_block(navp::Ctx& ctx, const Plan1D<Storage>& plan, int mi,
 template <class Storage>
 navp::Mission row_carrier_dsc(navp::Ctx ctx, const Plan1D<Storage>* plan) {
   std::vector<typename Storage::Block> ma;  // agent variable mA
+  navp::Cargo cargo;
+  attach_blocks(cargo, &ma);  // 0 bytes while empty, row_bytes once loaded
   const int nb = plan->cfg.nb();
   for (int mi = 0; mi < nb; ++mi) {
     for (int mj = 0; mj < nb; ++mj) {
-      co_await ctx.hop(plan->dist.owner(mj),
-                       ma.empty() ? 0 : plan->row_bytes);
+      co_await navp::hop_cargo(ctx, plan->dist.owner(mj), cargo);
       if (mj == 0) {
         // Back at node(0): pick up the next block-row of A.
         auto& rows = ctx.node<Nodes1D<Storage>>().a_rows;
@@ -117,7 +120,9 @@ navp::Mission scatter_row(navp::Ctx ctx, const Plan1D<Storage>* plan,
   NAVCPP_CHECK(it != rows.end(), "A row not found at node(0) for scatter");
   std::vector<typename Storage::Block> ma = std::move(it->second);
   rows.erase(it);
-  co_await ctx.hop(plan->dist.owner(mi), plan->row_bytes);
+  navp::Cargo cargo;
+  attach_blocks(cargo, &ma);
+  co_await navp::hop_cargo(ctx, plan->dist.owner(mi), cargo);
   ctx.node<Nodes1D<Storage>>().a_rows.emplace(mi, std::move(ma));
   ctx.signal_event(es_a(mi));
 }
@@ -134,11 +139,13 @@ navp::Mission row_carrier(navp::Ctx ctx, const Plan1D<Storage>* plan, int mi,
   NAVCPP_CHECK(it != rows.end(), "A row not staged at the carrier's origin");
   std::vector<typename Storage::Block> ma = std::move(it->second);
   rows.erase(it);
+  navp::Cargo cargo;
+  attach_blocks(cargo, &ma);
 
   const int nb = plan->cfg.nb();
   for (int mj = 0; mj < nb; ++mj) {
     const int col = phase_shifted ? (nb - 1 - mi + mj) % nb : mj;
-    co_await ctx.hop(plan->dist.owner(col), plan->row_bytes);
+    co_await navp::hop_cargo(ctx, plan->dist.owner(col), cargo);
     compute_c_block(ctx, *plan, mi, col, ma);
   }
 }

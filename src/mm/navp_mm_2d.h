@@ -26,7 +26,9 @@
 
 #include "machine/engine.h"
 #include "machine/sim_machine.h"
+#include "mm/cargo_blocks.h"
 #include "mm/common.h"
+#include "navp/cargo.h"
 #include "navp/runtime.h"
 
 namespace navcpp::mm {
@@ -93,9 +95,11 @@ navp::Mission stage_a_block(navp::Ctx ctx, const Plan2D<Storage>* plan,
   NAVCPP_CHECK(it != resident.end(), "A block missing for staging");
   typename Storage::Block blk = std::move(it->second);
   resident.erase(it);
+  navp::Cargo cargo;
+  attach_block(cargo, &blk);
   const int nb = plan->cfg.nb();
-  co_await ctx.hop(plan->dist.owner(mi, (nb - 1 - mi + nb) % nb),
-                   plan->block_bytes);
+  co_await navp::hop_cargo(
+      ctx, plan->dist.owner(mi, (nb - 1 - mi + nb) % nb), cargo);
   ctx.node<Nodes2D<Storage>>().a_rows.at(mi)[static_cast<std::size_t>(bk)] =
       std::move(blk);
   ctx.signal_event(es_a(mi, bk));
@@ -110,9 +114,11 @@ navp::Mission stage_b_block(navp::Ctx ctx, const Plan2D<Storage>* plan,
   NAVCPP_CHECK(it != resident.end(), "B block missing for staging");
   typename Storage::Block blk = std::move(it->second);
   resident.erase(it);
+  navp::Cargo cargo;
+  attach_block(cargo, &blk);
   const int nb = plan->cfg.nb();
-  co_await ctx.hop(plan->dist.owner((nb - 1 - ml + nb) % nb, ml),
-                   plan->block_bytes);
+  co_await navp::hop_cargo(
+      ctx, plan->dist.owner((nb - 1 - ml + nb) % nb, ml), cargo);
   ctx.node<Nodes2D<Storage>>().b_cols.at(ml)[static_cast<std::size_t>(bk)] =
       std::move(blk);
   ctx.signal_event(es_b(ml, bk));
@@ -133,12 +139,14 @@ navp::Mission row_carrier_2d_dsc(navp::Ctx ctx, const Plan2D<Storage>* plan,
   NAVCPP_CHECK(it != staged.end(), "A row not staged for 2D DSC carrier");
   std::vector<typename Storage::Block> ma = std::move(it->second);
   staged.erase(it);
+  navp::Cargo cargo;
+  attach_blocks(cargo, &ma);
 
   const int nb = plan->cfg.nb();
   const int b = plan->cfg.block_order;
   for (int mj = 0; mj < nb; ++mj) {
     const int col = (nb - 1 - mi + mj) % nb;
-    co_await ctx.hop(plan->dist.owner(mi, col), plan->row_bytes);
+    co_await navp::hop_cargo(ctx, plan->dist.owner(mi, col), cargo);
     co_await ctx.wait_event(ep(mi, col));
     auto& nodes = ctx.node<Nodes2D<Storage>>();
     auto& cblk = nodes.c.at(block_key(mi, col));
@@ -166,11 +174,13 @@ navp::Mission col_carrier_2d_dsc(navp::Ctx ctx, const Plan2D<Storage>* plan,
   NAVCPP_CHECK(it != staged.end(), "B column not staged for 2D DSC carrier");
   std::vector<typename Storage::Block> mb = std::move(it->second);
   staged.erase(it);
+  navp::Cargo cargo;
+  attach_blocks(cargo, &mb);
 
   const int nb = plan->cfg.nb();
   for (int step = 0; step < nb; ++step) {
     const int row = (nb - 1 - mj + step) % nb;
-    co_await ctx.hop(plan->dist.owner(row, mj), plan->row_bytes);
+    co_await navp::hop_cargo(ctx, plan->dist.owner(row, mj), cargo);
     // "B(*) = mB(*)": place the column at this node for the consumer.
     ctx.node<Nodes2D<Storage>>().bcol_deposit[block_key(row, mj)] = mb;
     ctx.signal_event(ep(row, mj));
@@ -203,12 +213,14 @@ template <class Storage>
 navp::Mission a_carrier(navp::Ctx ctx, const Plan2D<Storage>* plan, int mi,
                         int mk, bool phase_shifted,
                         typename Storage::Block ma) {
+  navp::Cargo cargo;
+  attach_block(cargo, &ma);
   const int nb = plan->cfg.nb();
   const int b = plan->cfg.block_order;
   for (int mj = 0; mj < nb; ++mj) {
     const int col = phase_shifted ? (2 * nb - 1 - mi - mk + mj) % nb
                                   : (nb - 1 - mi + mj) % nb;
-    co_await ctx.hop(plan->dist.owner(mi, col), plan->block_bytes);
+    co_await navp::hop_cargo(ctx, plan->dist.owner(mi, col), cargo);
     if (phase_shifted) {
       co_await ctx.wait_event(ep_k(mi * nb + col, mk));
     } else {
@@ -235,11 +247,13 @@ template <class Storage>
 navp::Mission b_carrier(navp::Ctx ctx, const Plan2D<Storage>* plan, int mk,
                         int mj, bool phase_shifted,
                         typename Storage::Block mb) {
+  navp::Cargo cargo;
+  attach_block(cargo, &mb);
   const int nb = plan->cfg.nb();
   for (int step = 0; step < nb; ++step) {
     const int row = phase_shifted ? (2 * nb - 1 - mj - mk + step) % nb
                                   : (nb - 1 - mj + step) % nb;
-    co_await ctx.hop(plan->dist.owner(row, mj), plan->block_bytes);
+    co_await navp::hop_cargo(ctx, plan->dist.owner(row, mj), cargo);
     if (phase_shifted) {
       // Wait until the previous round's B at this node was consumed.
       co_await ctx.wait_event(ec_k(row * nb + mj, (mk + nb - 1) % nb));

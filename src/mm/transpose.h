@@ -24,8 +24,10 @@
 #include "machine/engine.h"
 #include "machine/sim_machine.h"
 #include "minimpi/world.h"
+#include "mm/cargo_blocks.h"
 #include "mm/common.h"
 #include "mm/gentleman_mm.h"
+#include "navp/cargo.h"
 #include "navp/runtime.h"
 #include "navp/task.h"
 
@@ -64,9 +66,11 @@ navp::Mission swap_carrier(navp::Ctx ctx, const TrPlan<Storage>* plan,
   typename Storage::Block mine = std::move(it->second);
   nodes.blocks.erase(it);
   Storage::transpose(mine);  // the block's own contents transpose too
+  navp::Cargo cargo;
+  attach_block(cargo, &mine);
   // The landing map is disjoint from the source map, so the two directions
   // of each pair need no rendezvous: deposit and finish.
-  co_await ctx.hop(plan->dist.owner(bj, bi), plan->block_bytes);
+  co_await navp::hop_cargo(ctx, plan->dist.owner(bj, bi), cargo);
   ctx.node<TrNodes<Storage>>().landing.emplace(block_key(bj, bi),
                                                std::move(mine));
 }

@@ -71,6 +71,11 @@ struct AgentState : std::enable_shared_from_this<AgentState> {
   /// Non-empty for agents injected via Runtime::inject_recoverable: the key
   /// of the recovery record that checkpoint/restore uses to re-inject them.
   std::string recoverable_name;
+  /// Byte size of the root coroutine frame (agent variables + captures),
+  /// captured at injection.  The hop audit compares this against the bytes
+  /// a hop *declares*: locals that never appear in the declared cargo are
+  /// state that would not survive a real address-space boundary.
+  std::size_t frame_bytes = 0;
 
   /// Destroy the whole suspended coroutine stack (idempotent).
   void destroy_stack() noexcept {
@@ -84,6 +89,15 @@ struct AgentState : std::enable_shared_from_this<AgentState> {
 
 /// Called by FinalAwaiter; defined in runtime.cpp (needs Runtime).
 void agent_finished(AgentState* state, std::exception_ptr error) noexcept;
+
+namespace detail {
+/// Size of the most recent Mission coroutine frame allocated on this
+/// thread, recorded by promise_type::operator new.  Runtime::start_agent
+/// reads it immediately after the mission function ran, so the value is
+/// always the frame of the agent being started (only Mission frames write
+/// it; Task<> sub-coroutines do not).
+inline thread_local std::size_t last_mission_frame_bytes = 0;
+}  // namespace detail
 
 class Mission {
  public:
@@ -105,6 +119,12 @@ class Mission {
   struct promise_type {
     AgentState* state = nullptr;
     std::exception_ptr error;
+
+    static void* operator new(std::size_t n) {
+      detail::last_mission_frame_bytes = n;
+      return ::operator new(n);
+    }
+    static void operator delete(void* p) noexcept { ::operator delete(p); }
 
     Mission get_return_object() {
       return Mission(Handle::from_promise(*this));

@@ -62,6 +62,20 @@ class Cargo {
     });
   }
 
+  /// Register an item with caller-supplied size/save/load hooks, for agent
+  /// variables that are not flat vectors (block-structured matrices, nested
+  /// containers).  `size` must return the exact payload bytes a hop should
+  /// charge for the item's *current* contents — the same convention
+  /// attach() uses (data bytes only; framing/length prefixes are the
+  /// engine's hop_state_bytes overhead, not cargo).
+  void attach_custom(std::function<std::size_t()> size,
+                     std::function<void(support::ByteBuffer&)> save,
+                     std::function<void(support::ByteBuffer&)> load) {
+    NAVCPP_CHECK(size && save && load,
+                 "Cargo::attach_custom: all three hooks are required");
+    items_.push_back(Item{std::move(size), std::move(save), std::move(load)});
+  }
+
   /// Exact wire payload of the registered cargo right now.
   std::size_t wire_bytes() const {
     std::size_t total = 0;
@@ -76,12 +90,30 @@ class Cargo {
     return buf;
   }
 
-  /// Restore everything from a buffer produced by save().
+  /// Restore everything from a buffer produced by save().  Throws
+  /// support::CargoSchemaError when the buffer does not match the
+  /// registered cargo set — truncated (an item underflows the buffer) or
+  /// oversized (trailing bytes remain).  Typed so a version-skewed or
+  /// corrupted peer frame is catchable instead of fatal; the items loaded
+  /// before the mismatch may already have been overwritten.
   void restore(support::ByteBuffer& buf) {
-    for (auto& item : items_) item.load(buf);
-    NAVCPP_CHECK(buf.remaining() == 0,
-                 "Cargo::restore: trailing bytes (cargo set changed "
-                 "between save and restore?)");
+    for (std::size_t i = 0; i < items_.size(); ++i) {
+      try {
+        items_[i].load(buf);
+      } catch (const support::Error& e) {
+        throw support::CargoSchemaError(
+            "Cargo::restore: item " + std::to_string(i) + " of " +
+            std::to_string(items_.size()) +
+            " underflowed the buffer (cargo set changed between save and "
+            "restore?): " + e.what());
+      }
+    }
+    if (buf.remaining() != 0) {
+      throw support::CargoSchemaError(
+          "Cargo::restore: " + std::to_string(buf.remaining()) +
+          " trailing byte(s) (cargo set changed between save and "
+          "restore?)");
+    }
   }
 
   std::size_t item_count() const { return items_.size(); }

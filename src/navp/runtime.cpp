@@ -32,6 +32,7 @@ Runtime::Runtime(machine::Engine& engine)
   if (obs::Registry* ambient = obs::MetricsScope::current()) {
     set_metrics(ambient);
   }
+  if (StrictMigrationScope::active()) strict_migration_ = true;
 }
 
 void Runtime::set_metrics(obs::Registry* registry) {
@@ -100,6 +101,9 @@ void Runtime::start_agent(const std::shared_ptr<AgentState>& state,
   Mission::Handle h = mission.release();
   h.promise().state = state.get();
   state->root = h;
+  // The mission function just allocated its frame on this thread; bank the
+  // size for the hop audit (agent variables live in that frame).
+  state->frame_bytes = detail::last_mission_frame_bytes;
   engine_.task_started();
   const int pe = state->pe;
   engine_.post(pe, [this, pe, owned = OwnedResume(h, state)]() mutable {
@@ -249,6 +253,35 @@ std::uint64_t Runtime::unconsumed_signals() const {
     total += table.total_pending_signals();
   }
   return total;
+}
+
+void Runtime::flag_hop_audit(const AgentState* state, int src, int dest,
+                             std::size_t declared_bytes) {
+  hop_audit_flags_.fetch_add(1, std::memory_order_relaxed);
+  if (metrics_ != nullptr) metrics_->counter("navp.hop_audit.flags").add();
+  std::lock_guard<std::mutex> lock(audit_mutex_);
+  constexpr std::size_t kMaxReportEntries = 64;
+  if (hop_audit_report_.size() >= kMaxReportEntries) return;
+  std::string entry =
+      "agent '" + state->name + "' (id " + std::to_string(state->id) +
+      ") hop " + std::to_string(src) + "->" + std::to_string(dest) +
+      " declares " + std::to_string(declared_bytes) +
+      " payload byte(s) (+ " + std::to_string(hop_state_bytes_) +
+      " state) but its coroutine frame holds " +
+      std::to_string(state->frame_bytes) +
+      " bytes: agent variables beyond the declared cargo would not survive "
+      "a real address-space boundary";
+  // One line per distinct site is enough; the same agent hopping in a loop
+  // would otherwise flood the report.
+  for (const std::string& seen : hop_audit_report_) {
+    if (seen == entry) return;
+  }
+  hop_audit_report_.push_back(std::move(entry));
+}
+
+std::vector<std::string> Runtime::hop_audit_report() const {
+  std::lock_guard<std::mutex> lock(audit_mutex_);
+  return hop_audit_report_;
 }
 
 std::string Runtime::blocked_report() const {

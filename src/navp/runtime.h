@@ -116,8 +116,34 @@ class Runtime {
 
   /// Strict migration auditing: when on, navp::hop_cargo() serializes the
   /// registered agent variables around every hop (see navp/cargo.h).
+  /// Defaults to the ambient StrictMigrationScope, so whole programs that
+  /// construct their Runtime internally can be audited from the outside.
   void set_strict_migration(bool on) { strict_migration_ = on; }
   bool strict_migration() const { return strict_migration_; }
+
+  // --- hop-size audit ----------------------------------------------------
+  // A hop that declares fewer wire bytes than the agent actually keeps in
+  // its coroutine frame is carrying state that would not survive a real
+  // address-space boundary (the shared-memory bug class the process-per-PE
+  // backend makes fatal).  The audit compares each hopping agent's frame
+  // size against payload + hop_state_bytes + slack, and records (never
+  // throws) a bounded report plus a counter.  On by default: one compare
+  // per hop.
+
+  void set_hop_audit(bool on) { hop_audit_ = on; }
+  bool hop_audit() const { return hop_audit_; }
+  /// Allowance for coroutine machinery (promise, suspend bookkeeping,
+  /// awaiter storage) and small by-value locals before a hop is flagged.
+  void set_hop_audit_slack(std::size_t bytes) { hop_audit_slack_ = bytes; }
+  std::size_t hop_audit_slack() const { return hop_audit_slack_; }
+  std::uint64_t hop_audit_flags() const {
+    return hop_audit_flags_.load(std::memory_order_relaxed);
+  }
+  /// Distinct flagged (agent name, declared bytes) sites, capped at 64.
+  std::vector<std::string> hop_audit_report() const;
+  /// Internal: called from HopAwaiter when a hop under-declares.
+  void flag_hop_audit(const AgentState* state, int src, int dest,
+                      std::size_t declared_bytes);
 
   // --- statistics (for tests and cost audits) ---------------------------
   std::uint64_t agents_injected() const {
@@ -301,6 +327,11 @@ class Runtime {
   double hop_cpu_overhead_ = 0.0;
   double activation_overhead_ = 0.0;
   bool strict_migration_ = false;
+  bool hop_audit_ = true;
+  std::size_t hop_audit_slack_ = 1024;
+  std::atomic<std::uint64_t> hop_audit_flags_{0};
+  mutable std::mutex audit_mutex_;
+  std::vector<std::string> hop_audit_report_;  // bounded; see .cpp
 
   mutable std::mutex registry_mutex_;
   std::unordered_map<AgentId, std::shared_ptr<AgentState>> registry_;
@@ -425,6 +456,10 @@ struct HopAwaiter {
     }
     const double depart = rt->engine().now(src);
     const std::size_t bytes = payload_bytes + rt->hop_state_bytes();
+    if (rt->hop_audit() &&
+        state->frame_bytes > bytes + rt->hop_audit_slack()) {
+      rt->flag_hop_audit(state, src, dest, payload_bytes);
+    }
     state->pe = dest;
     state->in_flight = true;  // on the wire: a crash of either PE spares it
     rt->count_hop();
@@ -516,5 +551,25 @@ AgentId Runtime::inject(int pe, std::string name, F&& fn, Args&&... args) {
   start_agent(state, std::move(mission));
   return state->id;
 }
+
+/// Scoped thread-local default for strict migration: while a scope is
+/// alive, every Runtime constructed on this thread starts with
+/// set_strict_migration(true).  This lets a test or a harness audit the
+/// serialization fidelity of whole programs — which build their Runtime
+/// internally — without touching any runner signature; the same ambient
+/// pattern as TraceScope and obs::MetricsScope.
+class StrictMigrationScope {
+ public:
+  StrictMigrationScope() : previous_(active_) { active_ = true; }
+  ~StrictMigrationScope() { active_ = previous_; }
+  StrictMigrationScope(const StrictMigrationScope&) = delete;
+  StrictMigrationScope& operator=(const StrictMigrationScope&) = delete;
+
+  static bool active() { return active_; }
+
+ private:
+  bool previous_;
+  static inline thread_local bool active_ = false;
+};
 
 }  // namespace navcpp::navp

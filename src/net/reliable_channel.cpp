@@ -13,6 +13,8 @@ ReliableChannel::ReliableChannel(machine::Engine& engine, FrameFaults* faults,
     : engine_(engine), faults_(faults), cfg_(cfg), rng_(cfg.seed) {
   NAVCPP_CHECK(cfg_.rto_initial > 0.0, "rto_initial must be positive");
   NAVCPP_CHECK(cfg_.rto_backoff >= 1.0, "rto_backoff must be >= 1");
+  NAVCPP_CHECK(cfg_.rto_max >= cfg_.rto_initial,
+               "rto_max must be >= rto_initial");
   NAVCPP_CHECK(cfg_.rto_jitter >= 0.0 && cfg_.rto_jitter < 1.0,
                "rto_jitter must be in [0, 1)");
   NAVCPP_CHECK(cfg_.max_retries >= 0, "max_retries must be >= 0");
@@ -226,7 +228,7 @@ void ReliableChannel::on_timer(int src, int dst, std::uint64_t seq) {
     --p.retries_left;
     ++ch->second.retransmits;
     if (m_retransmits_ != nullptr) m_retransmits_->add();
-    p.rto *= cfg_.rto_backoff;
+    p.rto = std::min(p.rto * cfg_.rto_backoff, cfg_.rto_max);
     frame = make_data_frame(src, dst, seq, p.bytes);
     next_delay = p.rto;
   }

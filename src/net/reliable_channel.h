@@ -72,6 +72,13 @@ class FrameFaults {
 struct ReliableConfig {
   double rto_initial = 2.0e-3;  ///< first retransmit timeout, seconds
   double rto_backoff = 2.0;     ///< multiplier per retransmit
+  /// Ceiling on the backed-off timeout, seconds (pre-jitter).  Without it
+  /// the exponential backoff grows without bound, and on the wall-clock
+  /// backends a long fail-stop outage pushes retransmit timers to absurd
+  /// real delays before recovery kicks in.  The default (1 s) sits far
+  /// above where healthy traffic ever backs off to (~9 doublings of
+  /// rto_initial), so it only matters during a genuine outage.
+  double rto_max = 1.0;
   double rto_jitter = 0.25;     ///< +- fraction of the timeout, seeded
   int max_retries = 16;         ///< retransmits before DeliveryError
   std::uint64_t seed = 0xab1eULL;  ///< jitter RNG seed

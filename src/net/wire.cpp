@@ -1,0 +1,320 @@
+#include "net/wire.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "support/error.h"
+
+namespace navcpp::net {
+namespace {
+
+/// Frames larger than this are protocol corruption, not traffic: the
+/// biggest legitimate frame is a hop payload, and the catalog programs top
+/// out far below it.
+constexpr std::uint32_t kMaxFrameBytes = 1u << 30;
+
+template <class T>
+void put_raw(std::vector<std::byte>& out, const T& v) {
+  const auto* p = reinterpret_cast<const std::byte*>(&v);
+  out.insert(out.end(), p, p + sizeof(T));
+}
+
+template <class T>
+T get_raw(const std::byte* p) {
+  T v;
+  std::memcpy(&v, p, sizeof(T));
+  return v;
+}
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+bool carries_stats(WireType t) {
+  return t == WireType::kQuiesceAck || t == WireType::kStatusReply;
+}
+
+}  // namespace
+
+void wire_encode(const WireFrame& frame, std::vector<std::byte>& out) {
+  const std::size_t len_pos = out.size();
+  put_raw<std::uint32_t>(out, 0);  // patched below
+  put_raw<std::uint8_t>(out, static_cast<std::uint8_t>(frame.type));
+  put_raw<std::uint32_t>(out, frame.pe);
+  put_raw<std::uint32_t>(out, frame.src);
+  put_raw<std::uint64_t>(out, frame.token);
+  put_raw<std::uint64_t>(out, frame.arg);
+  put_raw<std::uint32_t>(out, static_cast<std::uint32_t>(frame.tokens.size()));
+  for (std::uint64_t t : frame.tokens) put_raw<std::uint64_t>(out, t);
+  put_raw<std::uint32_t>(out, static_cast<std::uint32_t>(frame.payload.size()));
+  out.insert(out.end(), frame.payload.begin(), frame.payload.end());
+  if (carries_stats(frame.type)) put_raw<WireWorkerStats>(out, frame.stats);
+
+  const auto body = static_cast<std::uint32_t>(out.size() - len_pos -
+                                               sizeof(std::uint32_t));
+  std::memcpy(out.data() + len_pos, &body, sizeof(body));
+}
+
+std::uint64_t wire_checksum(const std::byte* data, std::size_t n,
+                            std::uint64_t seed) {
+  std::uint64_t h = splitmix64(seed ^ n);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    h = splitmix64(h ^ get_raw<std::uint64_t>(data + i));
+  }
+  std::uint64_t tail = 0;
+  if (i < n) {
+    std::memcpy(&tail, data + i, n - i);
+    h = splitmix64(h ^ tail);
+  }
+  return h;
+}
+
+void wire_fill_pattern(std::vector<std::byte>& out, std::size_t n,
+                       std::uint64_t seed) {
+  out.resize(n);
+  std::uint64_t word = seed;
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    word = splitmix64(word);
+    std::memcpy(out.data() + i, &word, 8);
+  }
+  if (i < n) {
+    word = splitmix64(word);
+    std::memcpy(out.data() + i, &word, n - i);
+  }
+}
+
+// --- FrameConn -------------------------------------------------------------
+
+void FrameConn::set_nonblocking() {
+  NAVCPP_CHECK(fd_ >= 0, "FrameConn::set_nonblocking on a closed conn");
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+  nonblocking_ = true;
+}
+
+bool FrameConn::send_frame(const WireFrame& frame) {
+  if (fd_ < 0) return false;
+  wire_encode(frame, out_);
+  return flush();
+}
+
+bool FrameConn::flush() {
+  if (fd_ < 0) return false;
+  while (out_off_ < out_.size()) {
+    const ssize_t n = ::send(fd_, out_.data() + out_off_,
+                             out_.size() - out_off_, MSG_NOSIGNAL);
+    if (n > 0) {
+      out_off_ += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK) && nonblocking_) {
+      break;  // poll for POLLOUT and retry
+    }
+    // Peer gone (EPIPE, ECONNRESET, ...): drop what we buffered.
+    out_.clear();
+    out_off_ = 0;
+    return false;
+  }
+  if (out_off_ == out_.size()) {
+    out_.clear();
+    out_off_ = 0;
+  } else if (out_off_ > (1u << 16) && out_off_ * 2 > out_.size()) {
+    out_.erase(out_.begin(),
+               out_.begin() + static_cast<std::ptrdiff_t>(out_off_));
+    out_off_ = 0;
+  }
+  return true;
+}
+
+bool FrameConn::read_some() {
+  if (fd_ < 0) return false;
+  std::byte chunk[65536];
+  for (;;) {
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      in_.insert(in_.end(), chunk, chunk + n);
+      if (static_cast<std::size_t>(n) == sizeof(chunk) && nonblocking_) {
+        continue;  // more may be pending; drain it now
+      }
+      return true;
+    }
+    if (n == 0) return false;  // EOF
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+    return false;
+  }
+}
+
+bool FrameConn::next_frame(WireFrame* out) {
+  const std::size_t avail = in_.size() - in_off_;
+  if (avail < sizeof(std::uint32_t)) return false;
+  const auto body = get_raw<std::uint32_t>(in_.data() + in_off_);
+  if (body > kMaxFrameBytes) {
+    throw support::ProcError("wire: frame length " + std::to_string(body) +
+                             " exceeds the protocol maximum");
+  }
+  if (avail < sizeof(std::uint32_t) + body) return false;
+
+  const std::byte* p = in_.data() + in_off_ + sizeof(std::uint32_t);
+  const std::byte* end = p + body;
+  auto need = [&](std::size_t n) {
+    if (static_cast<std::size_t>(end - p) < n) {
+      throw support::ProcError("wire: truncated frame body");
+    }
+  };
+
+  need(1 + 4 + 4 + 8 + 8 + 4);
+  const auto type_byte = get_raw<std::uint8_t>(p);
+  p += 1;
+  if (type_byte < static_cast<std::uint8_t>(WireType::kHello) ||
+      type_byte > static_cast<std::uint8_t>(WireType::kShutdown)) {
+    throw support::ProcError("wire: unknown frame type " +
+                             std::to_string(type_byte));
+  }
+  out->type = static_cast<WireType>(type_byte);
+  out->pe = get_raw<std::uint32_t>(p);
+  p += 4;
+  out->src = get_raw<std::uint32_t>(p);
+  p += 4;
+  out->token = get_raw<std::uint64_t>(p);
+  p += 8;
+  out->arg = get_raw<std::uint64_t>(p);
+  p += 8;
+  const auto ntokens = get_raw<std::uint32_t>(p);
+  p += 4;
+  need(static_cast<std::size_t>(ntokens) * 8 + 4);
+  out->tokens.clear();
+  out->tokens.reserve(ntokens);
+  for (std::uint32_t i = 0; i < ntokens; ++i) {
+    out->tokens.push_back(get_raw<std::uint64_t>(p));
+    p += 8;
+  }
+  const auto npayload = get_raw<std::uint32_t>(p);
+  p += 4;
+  need(npayload);
+  out->payload.assign(p, p + npayload);
+  p += npayload;
+  if (carries_stats(out->type)) {
+    need(sizeof(WireWorkerStats));
+    out->stats = get_raw<WireWorkerStats>(p);
+    p += sizeof(WireWorkerStats);
+  } else {
+    out->stats = WireWorkerStats{};
+  }
+
+  in_off_ += sizeof(std::uint32_t) + body;
+  if (in_off_ == in_.size()) {
+    in_.clear();
+    in_off_ = 0;
+  } else if (in_off_ > (1u << 16) && in_off_ * 2 > in_.size()) {
+    in_.erase(in_.begin(), in_.begin() + static_cast<std::ptrdiff_t>(in_off_));
+    in_off_ = 0;
+  }
+  return true;
+}
+
+void FrameConn::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  in_.clear();
+  in_off_ = 0;
+  out_.clear();
+  out_off_ = 0;
+}
+
+// --- transports ------------------------------------------------------------
+
+void wire_socketpair(int fds[2]) {
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    throw support::ProcError("wire: socketpair failed: " +
+                             std::string(std::strerror(errno)));
+  }
+  // Parent end must not leak into workers; worker end must survive exec.
+  ::fcntl(fds[0], F_SETFD, FD_CLOEXEC);
+}
+
+WireListener::WireListener() {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw support::ProcError("wire: socket failed: " +
+                             std::string(std::strerror(errno)));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // ephemeral
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd_, 64) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw support::ProcError("wire: bind/listen on loopback failed: " + why);
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  ::fcntl(fd_, F_SETFD, FD_CLOEXEC);
+}
+
+WireListener::~WireListener() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+int WireListener::accept_one(double timeout_seconds) {
+  pollfd pfd{fd_, POLLIN, 0};
+  const int ms = timeout_seconds <= 0
+                     ? 0
+                     : static_cast<int>(timeout_seconds * 1e3) + 1;
+  for (;;) {
+    const int r = ::poll(&pfd, 1, ms);
+    if (r < 0 && errno == EINTR) continue;
+    if (r <= 0) return -1;
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd < 0 && (errno == EINTR || errno == EAGAIN)) continue;
+    if (fd >= 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    }
+    return fd;
+  }
+}
+
+int wire_connect_loopback(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw support::ProcError("wire: socket failed: " +
+                             std::string(std::strerror(errno)));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd);
+    throw support::ProcError("wire: connect to loopback:" +
+                             std::to_string(port) + " failed: " + why);
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+}  // namespace navcpp::net

@@ -1,0 +1,180 @@
+// Wire protocol of the process-per-PE backend (machine/proc_machine.h).
+//
+// The parent and its per-PE workers exchange length-prefixed binary frames
+// over a stream socket (a Unix-domain socketpair by default, loopback TCP
+// as the fallback transport).  Every frame is
+//
+//   u32  length   — byte count of everything after this field
+//   u8   type     — WireType
+//   u32  pe       — kHello: sender PE; kSend/kHop: destination PE
+//   u32  src      — kHop: source PE
+//   u64  token    — parent-issued id of the action this frame is about
+//   u64  arg      — type-specific scalar (timer delay in ns, run id,
+//                   payload checksum, grant kind/ok, protocol version)
+//   u32  ntokens  + ntokens * u64   — kQuiesceAck: canceled timer tokens
+//   u32  npayload + npayload bytes  — kHop: the payload crossing the wire
+//   [WireWorkerStats]               — kQuiesceAck / kStatusReply only
+//
+// All integers are host-endian: parent and workers run on one host (the
+// deployment model is "one box, many address spaces", like the Princeton
+// process-pool runtimes).  FrameConn below does the buffering: workers run
+// it blocking; the parent runs it non-blocking with an outgoing queue so
+// parent and worker can never deadlock writing to each other (the parent
+// always returns to its poll loop, so it always drains worker output).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace navcpp::net {
+
+/// Protocol revision; kHello carries it in `arg` and the parent refuses a
+/// mismatched worker instead of misparsing its frames.
+constexpr std::uint64_t kWireProtocolVersion = 1;
+
+enum class WireType : std::uint8_t {
+  kHello = 1,       ///< worker -> parent: I am PE `pe`, protocol `arg`
+  kStart = 2,       ///< parent -> worker: begin run `arg`, reset stats
+  kPost = 3,        ///< parent -> worker: schedule action `token` on your PE
+  kTimer = 4,       ///< parent -> worker: fire `token` after `arg` ns
+  kSend = 5,        ///< parent -> worker: emit hop `token`, `arg` bytes to `pe`
+  kHop = 6,         ///< worker -> parent -> worker: the payload frame itself
+  kGrant = 7,       ///< worker -> parent: run action `token` now (arg: kind|ok)
+  kQuiesce = 8,     ///< parent -> worker: cancel timers, report stats
+  kQuiesceAck = 9,  ///< worker -> parent: canceled tokens + WireWorkerStats
+  kStatus = 10,     ///< parent -> worker: status ping
+  kStatusReply = 11,  ///< worker -> parent: timers pending in `arg` + stats
+  kShutdown = 12,   ///< parent -> worker: exit cleanly
+};
+
+/// What kind of action a kGrant releases; packed into the low byte of
+/// `arg`.  Bit 8 is the ok flag (hop checksum verified).
+enum class GrantKind : std::uint8_t { kPost = 0, kTimer = 1, kHop = 2 };
+
+constexpr std::uint64_t kGrantOkBit = 1ULL << 8;
+
+/// Per-worker counters shipped back on kQuiesceAck: the worker-side half of
+/// the run profile (the parent owns action execution, the worker owns
+/// scheduling and transport).  Trivially copyable: crosses the wire as raw
+/// bytes.
+struct WireWorkerStats {
+  std::uint64_t posts_granted = 0;   ///< kPost actions scheduled + granted
+  std::uint64_t timers_fired = 0;
+  std::uint64_t timers_canceled = 0;  ///< outstanding at quiesce
+  std::uint64_t hops_out = 0;         ///< kSend payloads materialized
+  std::uint64_t hops_in = 0;          ///< kHop payloads verified
+  std::uint64_t hop_bytes_out = 0;
+  std::uint64_t hop_bytes_in = 0;
+  std::uint64_t frames_seen = 0;      ///< every frame the worker processed
+};
+
+/// One decoded (or to-be-encoded) protocol frame.  Unused fields stay at
+/// their defaults; encode() writes the stats block only for the two frame
+/// types that carry it.
+struct WireFrame {
+  WireType type = WireType::kHello;
+  std::uint32_t pe = 0;
+  std::uint32_t src = 0;
+  std::uint64_t token = 0;
+  std::uint64_t arg = 0;
+  std::vector<std::uint64_t> tokens;
+  std::vector<std::byte> payload;
+  WireWorkerStats stats;
+};
+
+/// Append the encoded frame (including its length prefix) to `out`.
+void wire_encode(const WireFrame& frame, std::vector<std::byte>& out);
+
+/// Checksum of a payload (SplitMix64-style mix folded over 8-byte words);
+/// the receiving worker recomputes it so a hop payload is verified after
+/// genuinely crossing two address-space boundaries.
+std::uint64_t wire_checksum(const std::byte* data, std::size_t n,
+                            std::uint64_t seed);
+
+/// Deterministically fill `n` bytes of payload from `seed` (the source
+/// worker materializes hop payloads with this; the Engine contract ships a
+/// byte *count*, so the bytes themselves are a seeded pattern — see
+/// docs/architecture.md, "Process-per-PE backend").
+void wire_fill_pattern(std::vector<std::byte>& out, std::size_t n,
+                       std::uint64_t seed);
+
+/// A framed stream connection over an fd.  Owns read/write buffering and
+/// frame parsing; does NOT own the fd's lifetime policy (close() is
+/// explicit).  Blocking mode: send_frame writes through.  Non-blocking
+/// mode: send_frame queues and flush() is retried from a poll loop.
+class FrameConn {
+ public:
+  FrameConn() = default;
+  explicit FrameConn(int fd) : fd_(fd) {}
+
+  int fd() const { return fd_; }
+  void set_fd(int fd) { fd_ = fd; }
+  bool valid() const { return fd_ >= 0; }
+
+  /// Make the fd non-blocking (parent side).  Blocking is the default.
+  void set_nonblocking();
+
+  /// Encode `frame` and write it.  Blocking fds write through (looping on
+  /// partial writes); non-blocking fds append to the outgoing buffer and
+  /// attempt a flush.  Returns false if the peer is gone (EPIPE and
+  /// friends); buffered bytes are then dropped.
+  bool send_frame(const WireFrame& frame);
+
+  /// Push buffered outgoing bytes (non-blocking mode).  Returns false if
+  /// the peer is gone.
+  bool flush();
+  bool has_outgoing() const { return out_off_ < out_.size(); }
+
+  /// Read whatever the socket has.  Returns false on EOF or a hard error
+  /// (the peer is gone); EAGAIN returns true with nothing consumed.
+  bool read_some();
+
+  /// Decode the next complete frame out of the read buffer.  Throws
+  /// support::ProcError on a malformed frame (bad type, oversized length).
+  bool next_frame(WireFrame* out);
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  bool nonblocking_ = false;
+  std::vector<std::byte> in_;
+  std::size_t in_off_ = 0;
+  std::vector<std::byte> out_;
+  std::size_t out_off_ = 0;
+};
+
+// --- transports ------------------------------------------------------------
+
+/// A connected Unix-domain stream pair; [0] is the parent end, [1] the
+/// worker end.  Both ends survive exec (no CLOEXEC on [1]).  Throws
+/// support::ProcError on failure.
+void wire_socketpair(int fds[2]);
+
+/// Loopback-TCP fallback transport: listen on 127.0.0.1 with an ephemeral
+/// port.  Workers connect with wire_connect_loopback and identify
+/// themselves with kHello.  Throws support::ProcError on failure.
+class WireListener {
+ public:
+  WireListener();
+  ~WireListener();
+  WireListener(const WireListener&) = delete;
+  WireListener& operator=(const WireListener&) = delete;
+
+  std::uint16_t port() const { return port_; }
+  /// Accept one connection, waiting up to `timeout_seconds`.  Returns the
+  /// connected fd, or -1 on timeout.
+  int accept_one(double timeout_seconds);
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+/// Connect to 127.0.0.1:`port` (worker side of the TCP fallback).  Returns
+/// the fd; throws support::ProcError on failure.
+int wire_connect_loopback(std::uint16_t port);
+
+}  // namespace navcpp::net

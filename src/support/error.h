@@ -45,6 +45,24 @@ class DeliveryError : public Error {
   explicit DeliveryError(const std::string& what) : Error(what) {}
 };
 
+/// A serialized cargo set did not match the one being restored into:
+/// trailing bytes, truncation, or a mid-item underflow.  Typed (rather than
+/// a NAVCPP_CHECK abort) because a version-skewed or corrupted peer frame
+/// is an input error the caller can handle — it must not take down the
+/// whole parent process on the process-per-PE backend.
+class CargoSchemaError : public Error {
+ public:
+  explicit CargoSchemaError(const std::string& what) : Error(what) {}
+};
+
+/// The process-per-PE backend lost a worker (crash, unexpected exit) or the
+/// wire protocol between parent and worker broke.  Typed so a dead worker
+/// surfaces as a catchable run() failure instead of a hang.
+class ProcError : public Error {
+ public:
+  explicit ProcError(const std::string& what) : Error(what) {}
+};
+
 [[noreturn]] void raise_check_failure(const char* expr, const char* file,
                                       int line, const std::string& msg);
 

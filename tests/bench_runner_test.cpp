@@ -183,9 +183,9 @@ TEST(BenchSuite, QuickRunEmitsAllHeadlineMetricsAndValidates) {
   const BenchReport report = run_bench_suite(options);
   for (const char* name :
        {"runtime.threaded.hops_per_sec", "runtime.threaded.hops_per_sec_4pe",
-        "runtime.sim.hops_per_sec", "kernels.gemm_gflops",
-        "sweep.jacobi_wall_seconds", "sweep.lu_wall_seconds",
-        "obs.mean_pe_utilization"}) {
+        "runtime.sim.hops_per_sec", "runtime.proc.hops_per_sec",
+        "kernels.gemm_gflops", "sweep.jacobi_wall_seconds",
+        "sweep.lu_wall_seconds", "obs.mean_pe_utilization"}) {
     ASSERT_TRUE(report.metrics.count(name) == 1) << name;
     EXPECT_GT(report.metrics.at(name).value, 0.0) << name;
   }

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "harness/workloads.h"
 #include "machine/sim_machine.h"
 #include "machine/threaded_machine.h"
 #include "navp/cargo.h"
@@ -42,7 +43,7 @@ TEST(Cargo, SaveRestoreRoundTrips) {
   EXPECT_DOUBLE_EQ(x, 3.25);
 }
 
-TEST(Cargo, RestoreRejectsTrailingBytes) {
+TEST(Cargo, RestoreRejectsTrailingBytesWithTypedError) {
   Cargo small;
   std::vector<int> w{1};
   small.attach(&w);
@@ -52,7 +53,52 @@ TEST(Cargo, RestoreRejectsTrailingBytes) {
   big.attach(&v);
   big.attach(&u);
   auto buf = big.save();
-  EXPECT_THROW(small.restore(buf), support::LogicError);
+  // Typed and catchable: a schema-skewed peer frame is an input error the
+  // caller can handle, not a NAVCPP_CHECK abort of the whole process.
+  try {
+    small.restore(buf);
+    FAIL() << "restore should have thrown CargoSchemaError";
+  } catch (const support::CargoSchemaError& e) {
+    EXPECT_NE(std::string(e.what()).find("trailing byte"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Cargo, RestoreRejectsTruncationWithTypedError) {
+  // The reverse skew: the restore-side cargo set wants MORE than the buffer
+  // holds.  The mid-item underflow must also surface as CargoSchemaError.
+  Cargo small;
+  std::vector<int> w{1};
+  small.attach(&w);
+  auto buf = small.save();
+  Cargo big;
+  std::vector<int> v;
+  std::vector<int> u;
+  big.attach(&v);
+  big.attach(&u);
+  EXPECT_THROW(big.restore(buf), support::CargoSchemaError);
+}
+
+TEST(Cargo, SchemaErrorIsCatchableAsBaseError) {
+  // CargoSchemaError derives from support::Error so generic failure paths
+  // (run() rethrow, fault-suite case wrappers) classify it as a navcpp
+  // failure rather than an unknown std::exception.
+  Cargo small;
+  std::vector<int> w{1};
+  small.attach(&w);
+  Cargo big;
+  std::vector<int> v{1, 2};
+  std::vector<int> u{3};
+  big.attach(&v);
+  big.attach(&u);
+  auto buf = big.save();
+  bool caught = false;
+  try {
+    small.restore(buf);
+  } catch (const support::Error&) {
+    caught = true;
+  }
+  EXPECT_TRUE(caught);
 }
 
 struct Sink {
@@ -130,6 +176,39 @@ INSTANTIATE_TEST_SUITE_P(Backends, CargoBothBackends,
                          ::testing::Values(std::string("sim"),
                                            std::string("threaded")),
                          [](const auto& info) { return info.param; });
+
+TEST(CargoStrict, AllWorkloadsBitIdenticalUnderStrictMigration) {
+  // Every catalog program's carried agent variables are declared via Cargo,
+  // so under the ambient strict scope every hop serializes them into a
+  // ByteBuffer and rebuilds them on arrival — the way a real address-space
+  // boundary would.  A program that carried a raw pointer into another
+  // PE's node variables, or forgot to declare a carried buffer, would
+  // diverge (or crash) here.  Results must match the relaxed-mode
+  // reference bit for bit.
+  for (const auto& name : harness::workload_names()) {
+    const auto& reference = harness::workload_reference(name);
+    machine::SimMachine sim(harness::workload_pe_count(name),
+                            harness::workload_link(name));
+    StrictMigrationScope strict;
+    const auto got = harness::run_workload(name, sim);
+    ASSERT_EQ(got, reference) << name;
+  }
+}
+
+TEST(CargoStrict, ScopeIsThreadLocalAndRestored) {
+  EXPECT_FALSE(StrictMigrationScope::active());
+  {
+    StrictMigrationScope outer;
+    EXPECT_TRUE(StrictMigrationScope::active());
+    machine::SimMachine m(1);
+    Runtime rt(m);
+    EXPECT_TRUE(rt.strict_migration());
+  }
+  EXPECT_FALSE(StrictMigrationScope::active());
+  machine::SimMachine m(1);
+  Runtime rt(m);
+  EXPECT_FALSE(rt.strict_migration());
+}
 
 }  // namespace
 }  // namespace navcpp::navp

@@ -390,6 +390,35 @@ TEST(ReliableChannel, RetryExhaustionRaisesDeliveryErrorWithCounters) {
   EXPECT_EQ(channel.stats(0, 1).retransmits, 3u);
 }
 
+TEST(ReliableChannel, RtoBackoffIsCappedByRtoMax) {
+  SimMachine m(2, fast_link());
+  BlackholeFaults faults;
+  net::ReliableConfig cfg;
+  cfg.rto_initial = 1e-3;
+  cfg.rto_backoff = 10.0;
+  cfg.rto_max = 2e-3;
+  cfg.rto_jitter = 0.0;
+  cfg.max_retries = 4;
+  net::ReliableChannel channel(m, &faults, cfg);
+  m.task_started();
+  channel.send(0, 1, 64, [] {});
+  EXPECT_THROW(m.run(), support::DeliveryError);
+  // Retransmits land at 1, 3, 5, 7 ms (virtual): every interval after the
+  // first is clamped to rto_max.  Uncapped 10x backoff would put the last
+  // retry past a virtual second — the unbounded-wait bug this cap fixes.
+  EXPECT_EQ(channel.stats(0, 1).retransmits, 4u);
+  EXPECT_LT(m.finish_time(), 0.02);
+  m.task_finished();
+}
+
+TEST(ReliableChannel, RejectsRtoMaxBelowInitial) {
+  SimMachine m(2, fast_link());
+  net::ReliableConfig cfg;
+  cfg.rto_initial = 1.0;
+  cfg.rto_max = 0.5;
+  EXPECT_THROW(net::ReliableChannel(m, nullptr, cfg), support::LogicError);
+}
+
 // --- stats freshness across runs -------------------------------------------
 // A reused machine must start every run with a clean slate: a stale
 // reporter, counter, or log from the previous run corrupts the next run's

@@ -359,5 +359,74 @@ TEST(NavpSim, InjectRejectsBadPe) {
   EXPECT_THROW(rt.inject(5, "x", charger, 1.0), support::LogicError);
 }
 
+// --- hop-size audit ------------------------------------------------------
+
+// 8 KB of frame-resident state, used on both sides of the hop so it must
+// live in the coroutine frame — but the hop declares only 8 payload bytes.
+Mission frame_hoarder(Ctx ctx) {
+  double big[1024] = {0.0};
+  big[0] = 1.0;
+  co_await ctx.hop(1, sizeof(double));
+  double sum = 0.0;
+  for (double v : big) sum += v;
+  ctx.node<Counter>().visits += static_cast<int>(sum);
+}
+
+// The honest twin: it declares what it keeps.
+Mission frame_declarer(Ctx ctx) {
+  double big[1024] = {0.0};
+  big[0] = 1.0;
+  co_await ctx.hop(1, sizeof(big));
+  double sum = 0.0;
+  for (double v : big) sum += v;
+  ctx.node<Counter>().visits += static_cast<int>(sum);
+}
+
+TEST(HopAudit, FlagsHopDeclaringLessThanItsFrame) {
+  machine::SimMachine m(2);
+  Runtime rt(m);
+  rt.node_store(1).emplace<Counter>();
+  rt.inject(0, "hoarder", frame_hoarder);
+  rt.run();
+  EXPECT_GE(rt.hop_audit_flags(), 1u);
+  const auto report = rt.hop_audit_report();
+  ASSERT_FALSE(report.empty());
+  EXPECT_NE(report[0].find("hoarder"), std::string::npos) << report[0];
+  EXPECT_NE(report[0].find("0->1"), std::string::npos) << report[0];
+}
+
+TEST(HopAudit, DeclaredFrameIsClean) {
+  machine::SimMachine m(2);
+  Runtime rt(m);
+  rt.node_store(1).emplace<Counter>();
+  rt.inject(0, "declarer", frame_declarer);
+  rt.run();
+  EXPECT_EQ(rt.hop_audit_flags(), 0u);
+  EXPECT_TRUE(rt.hop_audit_report().empty());
+}
+
+TEST(HopAudit, CanBeDisabled) {
+  machine::SimMachine m(2);
+  Runtime rt(m);
+  rt.set_hop_audit(false);
+  rt.node_store(1).emplace<Counter>();
+  rt.inject(0, "hoarder", frame_hoarder);
+  rt.run();
+  EXPECT_EQ(rt.hop_audit_flags(), 0u);
+}
+
+TEST(HopAudit, CargoCarriersOfTheCatalogAreClean) {
+  // The audit heuristic never fires on the converted carriers: their bulk
+  // state lives in heap-backed vectors declared via Cargo, so the frames
+  // stay small.  (The full bit-identical strict-migration sweep lives in
+  // cargo_test.cpp.)
+  machine::SimMachine m(4);
+  Runtime rt(m);
+  for (int pe = 0; pe < 4; ++pe) rt.node_store(pe).emplace<Counter>();
+  rt.inject(0, "tourist", tourist, 2);
+  rt.run();
+  EXPECT_EQ(rt.hop_audit_flags(), 0u);
+}
+
 }  // namespace
 }  // namespace navcpp::navp

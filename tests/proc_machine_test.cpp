@@ -1,0 +1,281 @@
+// Tests for the process-per-PE backend: ProcMachine + the wire protocol.
+//
+// Everything here runs real forked worker processes.  The default options
+// exercise the fork/exec path (the navcpp_worker binary is discovered next
+// to the test's build tree); fork_only() pins the no-exec fallback so the
+// suite still passes when the binary is missing.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "harness/fault_suite.h"
+#include "harness/workloads.h"
+#include "machine/fault_machine.h"
+#include "machine/proc_machine.h"
+#include "net/wire.h"
+#include "obs/metrics.h"
+#include "support/error.h"
+
+namespace navcpp::machine {
+namespace {
+
+ProcMachine::Options fork_only() {
+  ProcMachine::Options o;
+  o.force_fork_only = true;
+  return o;
+}
+
+TEST(Wire, FrameRoundTripsThroughEncodeAndParse) {
+  net::WireFrame in;
+  in.type = net::WireType::kQuiesceAck;
+  in.pe = 3;
+  in.src = 1;
+  in.token = 0xdeadbeefULL;
+  in.arg = 42;
+  in.tokens = {7, 8, 9};
+  in.payload = {std::byte{1}, std::byte{2}, std::byte{3}};
+  in.stats.posts_granted = 5;
+  in.stats.hop_bytes_in = 4096;
+
+  std::vector<std::byte> bytes;
+  wire_encode(in, bytes);
+
+  // Feed the encoding through a FrameConn's parser via a socketpair.
+  int fds[2];
+  net::wire_socketpair(fds);
+  net::FrameConn a(fds[0]);
+  net::FrameConn b(fds[1]);
+  ASSERT_EQ(::write(fds[0], bytes.data(), bytes.size()),
+            static_cast<ssize_t>(bytes.size()));
+  ASSERT_TRUE(b.read_some());
+  net::WireFrame out;
+  ASSERT_TRUE(b.next_frame(&out));
+  EXPECT_EQ(out.type, in.type);
+  EXPECT_EQ(out.pe, in.pe);
+  EXPECT_EQ(out.src, in.src);
+  EXPECT_EQ(out.token, in.token);
+  EXPECT_EQ(out.arg, in.arg);
+  EXPECT_EQ(out.tokens, in.tokens);
+  EXPECT_EQ(out.payload, in.payload);
+  EXPECT_EQ(out.stats.posts_granted, 5u);
+  EXPECT_EQ(out.stats.hop_bytes_in, 4096u);
+  EXPECT_FALSE(b.next_frame(&out));
+  a.close();
+  b.close();
+}
+
+TEST(Wire, ChecksumDetectsCorruption) {
+  std::vector<std::byte> payload;
+  net::wire_fill_pattern(payload, 1000, 123);
+  const std::uint64_t good =
+      net::wire_checksum(payload.data(), payload.size(), 123);
+  payload[500] ^= std::byte{1};
+  EXPECT_NE(net::wire_checksum(payload.data(), payload.size(), 123), good);
+}
+
+TEST(ProcMachine, RunsPostedActionsOnAllPes) {
+  ProcMachine m(4);
+  std::vector<int> ran(4, 0);
+  for (int pe = 0; pe < 4; ++pe) {
+    m.post(pe, [&ran, pe] { ran[static_cast<std::size_t>(pe)] += 1; });
+  }
+  m.run();
+  for (int pe = 0; pe < 4; ++pe) EXPECT_EQ(ran[pe], 1) << "pe " << pe;
+}
+
+TEST(ProcMachine, PePreservesFifoOrder) {
+  ProcMachine m(1, fork_only());
+  std::vector<int> order;
+  for (int i = 0; i < 100; ++i) {
+    m.post(0, [&order, i] { order.push_back(i); });
+  }
+  m.run();
+  ASSERT_EQ(order.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ProcMachine, TransmitDeliversInSendOrder) {
+  ProcMachine m(2, fork_only());
+  std::vector<int> got;
+  m.post(0, [&] {
+    for (int i = 0; i < 50; ++i) {
+      m.transmit(0, 1, 128, [&got, i] { got.push_back(i); });
+    }
+  });
+  m.run();
+  ASSERT_EQ(got.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(got[i], i);
+  EXPECT_EQ(m.transmitted_messages(), 50u);
+  EXPECT_EQ(m.transmitted_bytes(), 50u * 128u);
+}
+
+TEST(ProcMachine, HopPayloadCrossesBothWorkers) {
+  ProcMachine m(2, fork_only());
+  m.post(0, [&] { m.transmit(0, 1, 4096, [] {}); });
+  m.run();
+  // The source worker materialized the bytes; the destination worker
+  // checksum-verified them after two address-space crossings.
+  EXPECT_EQ(m.worker_stats(0).hops_out, 1u);
+  EXPECT_EQ(m.worker_stats(0).hop_bytes_out, 4096u);
+  EXPECT_EQ(m.worker_stats(1).hops_in, 1u);
+  EXPECT_EQ(m.worker_stats(1).hop_bytes_in, 4096u);
+}
+
+TEST(ProcMachine, PostAfterFiresOnWorkerTimer) {
+  ProcMachine m(2, fork_only());
+  bool fired = false;
+  m.post_after(1, 0.02, [&] { fired = true; });
+  m.run();
+  EXPECT_TRUE(fired);
+  EXPECT_GE(m.worker_stats(1).timers_fired, 1u);
+}
+
+TEST(ProcMachine, ExceptionInActionPropagatesToRun) {
+  ProcMachine m(2, fork_only());
+  m.post(1, [] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(m.run(), std::runtime_error);
+}
+
+TEST(ProcMachine, RejectsBadPe) {
+  ProcMachine m(2, fork_only());
+  EXPECT_THROW(m.post(2, [] {}), support::Error);
+  EXPECT_THROW(m.post(-1, [] {}), support::Error);
+  EXPECT_THROW(m.transmit(0, 5, 1, [] {}), support::Error);
+}
+
+TEST(ProcMachine, ReusedMachineStaysFresh) {
+  ProcMachine m(3, fork_only());
+  for (int round = 0; round < 3; ++round) {
+    int count = 0;
+    for (int pe = 0; pe < 3; ++pe) {
+      m.post(pe, [&, pe] { m.transmit(pe, (pe + 1) % 3, 64, [&] { ++count; }); });
+    }
+    m.run();
+    EXPECT_EQ(count, 3) << "round " << round;
+    // Stats are per-run, reset by run(): no leakage from earlier rounds.
+    EXPECT_EQ(m.transmitted_messages(), 3u) << "round " << round;
+    EXPECT_EQ(m.transmitted_bytes(), 3u * 64u) << "round " << round;
+  }
+}
+
+TEST(ProcMachine, WorkerCrashSurfacesTypedErrorNotHang) {
+  ProcMachine m(2);
+  m.task_started();
+  m.post(0, [&] {
+    m.kill_worker(1);  // fail-stop: PE 1's process is gone mid-run
+    m.post(1, [&] { m.task_finished(); });
+  });
+  try {
+    m.run();
+    FAIL() << "run() should have thrown ProcError";
+  } catch (const support::ProcError& e) {
+    EXPECT_NE(std::string(e.what()).find("PE 1"), std::string::npos)
+        << e.what();
+  }
+  m.task_finished();  // rebalance the counter for teardown
+  EXPECT_FALSE(m.worker_alive(1));
+  EXPECT_TRUE(m.worker_alive(0));
+}
+
+TEST(ProcMachine, DeadlockDetectedWithBlockedReport) {
+  ProcMachine m(2, fork_only());
+  m.set_blocked_reporter([] { return std::string("agent 7 waits on event X"); });
+  m.task_started();
+  m.post(0, [] {});  // never calls task_finished
+  try {
+    m.run();
+    FAIL() << "run() should have thrown DeadlockError";
+  } catch (const support::DeadlockError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("agent 7 waits on event X"), std::string::npos);
+    EXPECT_NE(what.find("per-worker status"), std::string::npos);
+  }
+  m.task_finished();
+}
+
+TEST(ProcMachine, QuiesceDrainsInFlightFramesOnError) {
+  ProcMachine m(2, fork_only());
+  int delivered = 0;
+  m.post(0, [&] {
+    // Leave a burst of hops in flight, then die: quiesce must destroy the
+    // undelivered closures (not run them) and leave the machine reusable.
+    for (int i = 0; i < 50; ++i) m.transmit(0, 1, 4096, [&] { ++delivered; });
+    throw std::runtime_error("mid-burst failure");
+  });
+  EXPECT_THROW(m.run(), std::runtime_error);
+  EXPECT_EQ(delivered, 0);
+
+  bool ran = false;
+  m.post(1, [&] { ran = true; });
+  m.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(ProcMachine, TcpTransportFallback) {
+  ProcMachine::Options o;
+  o.use_tcp = true;
+  o.force_fork_only = true;
+  ProcMachine m(2, o);
+  int delivered = 0;
+  m.post(0, [&] { m.transmit(0, 1, 256, [&] { ++delivered; }); });
+  m.run();
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(m.worker_stats(1).hops_in, 1u);
+}
+
+TEST(ProcMachine, MetricsRegistryGetsPerPeAndWorkerCounters) {
+  ProcMachine m(2, fork_only());
+  obs::Registry reg;
+  m.set_metrics(&reg);
+  m.post(0, [&] { m.transmit(0, 1, 512, [] {}); });
+  m.run();
+  const obs::Snapshot snap = reg.snapshot();
+  EXPECT_GE(snap.counter_or("proc.actions{pe=0}"), 1u);
+  EXPECT_GE(snap.counter_or("proc.actions{pe=1}"), 1u);
+  EXPECT_EQ(snap.counter_or("net.messages"), 1u);
+  EXPECT_EQ(snap.counter_or("net.bytes"), 512u);
+  // Worker-side counters shipped back on quiesce.
+  EXPECT_GE(snap.counter_or("proc.worker.posts{pe=0}"), 1u);
+  EXPECT_EQ(snap.counter_or("proc.worker.hops_in{pe=1}"), 1u);
+  EXPECT_EQ(snap.counter_or("proc.worker.hop_bytes_in{pe=1}"), 512u);
+}
+
+// --- the catalog on the proc backend ---------------------------------------
+
+TEST(ProcMachineWorkloads, AllProgramsBitIdenticalToSimReference) {
+  for (const std::string& name : harness::workload_names()) {
+    const std::vector<double>& want = harness::workload_reference(name);
+    ProcMachine eng(harness::workload_pe_count(name));
+    const std::vector<double> got = harness::run_workload(name, eng);
+    ASSERT_EQ(got.size(), want.size()) << name;
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      ASSERT_EQ(got[i], want[i]) << name << " differs at [" << i << "]";
+    }
+  }
+}
+
+TEST(ProcMachineWorkloads, FaultSweepSmokeOverSocketTransport) {
+  machine::FaultPlan plan;
+  plan.drop_prob = 0.05;
+  plan.duplicate_prob = 0.02;
+  plan.corrupt_prob = 0.01;
+  const harness::FaultSweepReport report = harness::fault_sweep(
+      /*first_seed=*/1, /*num_seeds=*/2, plan, /*verbose=*/false,
+      /*case_filter=*/"jacobi", harness::FaultBackend::kProc);
+  EXPECT_FALSE(report.failed)
+      << report.first_failure.name << " seed " << report.first_failure.seed
+      << ": " << report.first_failure.detail;
+}
+
+TEST(ProcMachineWorkloads, RecoveryRingIsSimOnly) {
+  machine::FaultPlan plan;
+  EXPECT_THROW(harness::run_fault_case("recovery/ring", plan,
+                                       harness::FaultBackend::kProc),
+               support::ConfigError);
+}
+
+}  // namespace
+}  // namespace navcpp::machine

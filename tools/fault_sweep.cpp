@@ -1,11 +1,15 @@
 // fault_sweep — seed-sweep stress runner over the fault workload suite.
 //
 //   fault_sweep [--seeds N] [--first-seed S] [--case SUBSTR]
-//               [--drop P] [--dup P] [--corrupt P] [--verbose]
+//               [--drop P] [--dup P] [--corrupt P] [--backend sim|proc]
+//               [--verbose]
 //
 // Runs every MM variant, Jacobi, LU, and the crash-recovery ring under
 // message-fault injection (machine::FaultMachine over the deterministic
 // SimMachine, masked by net::ReliableChannel) for N consecutive seeds.
+// `--backend proc` pushes the same faulted frames through the
+// process-per-PE machine's real socket transport instead (the recovery
+// ring stays sim-only: its crash schedule is calibrated in virtual time).
 // Program results must be BIT-IDENTICAL to a fault-free run; the recovery
 // ring must survive a mid-run PE crash + checkpoint restart with an exact
 // final sum.  On the first failure it prints the failing (case, seed) pair
@@ -21,6 +25,7 @@ int main(int argc, char** argv) {
   int seeds = 32;
   unsigned long long first_seed = 1;
   std::string case_filter;
+  std::string backend_name = "sim";
   bool verbose = false;
   navcpp::machine::FaultPlan plan;
   plan.drop_prob = 0.05;
@@ -48,16 +53,26 @@ int main(int argc, char** argv) {
       plan.duplicate_prob = std::atof(value());
     } else if (arg == "--corrupt") {
       plan.corrupt_prob = std::atof(value());
+    } else if (arg == "--backend") {
+      backend_name = value();
     } else if (arg == "--verbose") {
       verbose = true;
     } else {
       std::fprintf(stderr,
                    "usage: fault_sweep [--seeds N] [--first-seed S] "
                    "[--case SUBSTR] [--drop P] [--dup P] [--corrupt P] "
-                   "[--verbose]\n");
+                   "[--backend sim|proc] [--verbose]\n");
       return 2;
     }
   }
+  if (backend_name != "sim" && backend_name != "proc") {
+    std::fprintf(stderr, "unknown --backend %s (sim|proc)\n",
+                 backend_name.c_str());
+    return 2;
+  }
+  const auto backend = backend_name == "proc"
+                           ? navcpp::harness::FaultBackend::kProc
+                           : navcpp::harness::FaultBackend::kSim;
 
   if (seeds < 1) {
     // A sweep that runs nothing must not report success — a typo'd seed
@@ -68,16 +83,17 @@ int main(int argc, char** argv) {
 
   try {
     const auto report = navcpp::harness::fault_sweep(
-        first_seed, seeds, plan, verbose, case_filter);
+        first_seed, seeds, plan, verbose, case_filter, backend);
     if (report.failed) {
       const auto& f = report.first_failure;
       std::printf("FAIL: case %s, seed %llu: %s\n", f.name.c_str(),
                   static_cast<unsigned long long>(f.seed), f.detail.c_str());
       std::printf(
           "replay: navcpp_cli fault --seed %llu --case %s --drop %g "
-          "--dup %g --corrupt %g\n",
+          "--dup %g --corrupt %g --backend %s\n",
           static_cast<unsigned long long>(f.seed), f.name.c_str(),
-          plan.drop_prob, plan.duplicate_prob, plan.corrupt_prob);
+          plan.drop_prob, plan.duplicate_prob, plan.corrupt_prob,
+          backend_name.c_str());
       if (!f.metrics.empty()) {
         std::printf("metrics snapshot of the failing run:\n%s",
                     f.metrics.c_str());

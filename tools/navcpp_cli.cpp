@@ -13,18 +13,24 @@
 //   navcpp_cli chaos   [--seeds N] [--seed S] [--case SUBSTR] [--shuffle]
 //                      [--verbose]
 //   navcpp_cli fault   [--seeds N] [--seed S] [--case SUBSTR] [--drop P]
-//                      [--dup P] [--corrupt P] [--verbose]
+//                      [--dup P] [--corrupt P] [--backend sim|proc]
+//                      [--verbose]
+//   navcpp_cli run     --program NAME [--backend sim|threaded|proc]
+//                      [--strict] [--metrics]
 //   navcpp_cli profile --program NAME [--out FILE.json] [--check]
 //                      [--metrics]
 //   navcpp_cli bench   [--quick] [--rev LABEL] [--out FILE.json]
 //
-// Every run happens on the calibrated simulation of the paper's testbed;
-// `--verify` (mm) additionally executes with real data and checks the
-// product against a dense reference.
+// Every run happens on the calibrated simulation of the paper's testbed
+// unless a --backend selects the threaded (wall-clock) or proc
+// (process-per-PE) machine; `--verify` (mm) additionally executes with real
+// data and checks the product against a dense reference.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <map>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -40,7 +46,9 @@
 #include "harness/text_table.h"
 #include "linalg/gemm.h"
 #include "linalg/stagger.h"
+#include "machine/proc_machine.h"
 #include "machine/sim_machine.h"
+#include "machine/threaded_machine.h"
 #include "mm/doall_mm.h"
 #include "mm/gentleman_mm.h"
 #include "mm/navp_mm_1d.h"
@@ -48,8 +56,10 @@
 #include "mm/sequential_mm.h"
 #include "mm/summa_mm.h"
 #include "mm/summa_mm_1d.h"
+#include "navp/runtime.h"
 #include "navtool/planner.h"
 #include "obs/chrome_trace.h"
+#include "obs/metrics.h"
 
 namespace {
 
@@ -103,7 +113,9 @@ int usage() {
       "  chaos   [--seeds N] [--seed S] [--case SUBSTR] [--shuffle] "
       "[--verbose]\n"
       "  fault   [--seeds N] [--seed S] [--case SUBSTR] [--drop P] "
-      "[--dup P] [--corrupt P] [--verbose]\n"
+      "[--dup P] [--corrupt P] [--backend sim|proc] [--verbose]\n"
+      "  run     --program NAME [--backend sim|threaded|proc] [--strict] "
+      "[--metrics]\n"
       "  profile --program NAME [--out FILE.json] [--check] [--metrics]\n"
       "  bench   [--quick] [--rev LABEL] [--out FILE.json]\n");
   return 2;
@@ -178,22 +190,32 @@ int run_fault(const Args& args) {
   plan.duplicate_prob = std::atof(args.get("dup", "0.02").c_str());
   plan.corrupt_prob = std::atof(args.get("corrupt", "0.01").c_str());
   const std::string filter = args.get("case", "");
+  const std::string backend_name = args.get("backend", "sim");
 
   if (args.has("seed") || args.has("seeds") || args.has("case") ||
-      args.has("drop") || args.has("dup") || args.has("corrupt")) {
+      args.has("drop") || args.has("dup") || args.has("corrupt") ||
+      args.has("backend")) {
     // A value-less option would silently fall back to its default — the
     // opposite of the run the user asked for.
     std::fprintf(stderr,
                  "fault: missing value after "
-                 "--seed/--seeds/--case/--drop/--dup/--corrupt\n");
+                 "--seed/--seeds/--case/--drop/--dup/--corrupt/--backend\n");
     return usage();
   }
+  if (backend_name != "sim" && backend_name != "proc") {
+    std::fprintf(stderr, "fault: unknown --backend %s (sim|proc)\n",
+                 backend_name.c_str());
+    return 2;
+  }
+  const auto backend = backend_name == "proc"
+                           ? navcpp::harness::FaultBackend::kProc
+                           : navcpp::harness::FaultBackend::kSim;
   if (args.options.count("seed") > 0) {
     const auto seed =
         std::strtoull(args.get("seed", "1").c_str(), nullptr, 10);
     plan.seed = seed;
-    const auto report =
-        navcpp::harness::fault_sweep(seed, 1, plan, /*verbose=*/true, filter);
+    const auto report = navcpp::harness::fault_sweep(
+        seed, 1, plan, /*verbose=*/true, filter, backend);
     if (report.failed) {
       const auto& f = report.first_failure;
       std::printf("FAIL: case %s, seed %llu: %s\n", f.name.c_str(),
@@ -215,7 +237,7 @@ int run_fault(const Args& args) {
     return 2;
   }
   const auto report = navcpp::harness::fault_sweep(
-      1, seeds, plan, args.has("verbose"), filter);
+      1, seeds, plan, args.has("verbose"), filter, backend);
   if (report.failed) {
     const auto& f = report.first_failure;
     std::printf("FAIL: case %s, seed %llu: %s\n", f.name.c_str(),
@@ -552,6 +574,86 @@ int run_stagger(const Args& args) {
   return 0;
 }
 
+// Run one catalog workload end to end on a chosen backend and verify it.
+// --backend proc executes it on the process-per-PE machine — one worker
+// process per PE, every hop crossing a real address-space boundary — and
+// prints the per-PE worker counters the parent collected at quiesce.
+// --strict additionally serializes/restores all declared agent cargo
+// around every hop (navp::StrictMigrationScope).
+int run_run(const Args& args) {
+  const std::string program = args.get("program", "");
+  if (program.empty()) {
+    std::fprintf(stderr, "run: --program NAME is required; names:\n");
+    for (const auto& name : navcpp::harness::workload_names()) {
+      std::fprintf(stderr, "  %s\n", name.c_str());
+    }
+    return 2;
+  }
+  const std::string backend = args.get("backend", "sim");
+  const int pes = navcpp::harness::workload_pe_count(program);
+
+  navcpp::obs::Registry registry;
+  std::unique_ptr<navcpp::machine::Engine> engine;
+  if (backend == "sim") {
+    engine = std::make_unique<navcpp::machine::SimMachine>(
+        pes, navcpp::harness::workload_link(program));
+  } else if (backend == "threaded") {
+    auto m = std::make_unique<navcpp::machine::ThreadedMachine>(pes);
+    m->set_stall_timeout(60.0);
+    engine = std::move(m);
+  } else if (backend == "proc") {
+    auto m = std::make_unique<navcpp::machine::ProcMachine>(pes);
+    m->set_stall_timeout(60.0);
+    engine = std::move(m);
+  } else {
+    std::fprintf(stderr, "run: unknown --backend %s (sim|threaded|proc)\n",
+                 backend.c_str());
+    return 2;
+  }
+  engine->set_metrics(&registry);
+
+  std::vector<double> got;
+  {
+    navcpp::obs::MetricsScope metrics(&registry);
+    std::optional<navcpp::navp::StrictMigrationScope> strict;
+    if (args.has("strict")) strict.emplace();
+    got = navcpp::harness::run_workload(program, *engine);
+  }
+
+  const auto check = navcpp::harness::check_workload(program, got);
+  const bool identical =
+      got == navcpp::harness::workload_reference(program);
+  std::printf("%s  backend=%s  PEs=%d%s\n", program.c_str(), backend.c_str(),
+              pes, args.has("strict") ? "  strict-migration" : "");
+  std::printf("  verify: %s (%s); vs sim reference: %s\n",
+              check.ok ? "OK" : "FAILED", check.detail.c_str(),
+              identical ? "bit-identical" : "DIVERGED");
+
+  const auto snap = registry.snapshot();
+  if (backend == "proc") {
+    TextTable table({"pe", "actions", "posts", "timers", "hops_in",
+                     "bytes_in", "hops_out", "bytes_out"});
+    for (int pe = 0; pe < pes; ++pe) {
+      const std::string label = "{" + navcpp::obs::pe_label(pe) + "}";
+      auto counter = [&](const std::string& name) {
+        return std::to_string(snap.counter_or(name + label, 0));
+      };
+      table.add_row(
+          {std::to_string(pe), counter("proc.actions"),
+           counter("proc.worker.posts"), counter("proc.worker.timers_fired"),
+           counter("proc.worker.hops_in"), counter("proc.worker.hop_bytes_in"),
+           counter("proc.worker.hops_out"),
+           counter("proc.worker.hop_bytes_out")});
+    }
+    std::printf("per-PE worker counters (shipped back at quiesce):\n%s",
+                table.str().c_str());
+  }
+  if (args.has("metrics")) {
+    std::printf("metrics snapshot:\n%s", snap.to_string().c_str());
+  }
+  return check.ok && identical ? 0 : 1;
+}
+
 int run_plan(const Args& args) {
   navcpp::navtool::NestSpec spec;
   spec.threads = args.get_int("threads", 12);
@@ -580,6 +682,7 @@ int main(int argc, char** argv) {
     if (args.command == "plan") return run_plan(args);
     if (args.command == "chaos") return run_chaos(args);
     if (args.command == "fault") return run_fault(args);
+    if (args.command == "run") return run_run(args);
     if (args.command == "profile") return run_profile(args);
     if (args.command == "bench") return run_bench(args);
   } catch (const std::exception& e) {

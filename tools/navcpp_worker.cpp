@@ -1,0 +1,52 @@
+// navcpp_worker: the per-PE worker process of machine::ProcMachine.
+//
+// Not a user-facing tool.  ProcMachine fork/execs one of these per PE and
+// speaks net/wire.h frames to it over the inherited socket fd (or a
+// loopback TCP connection in --port mode).  The program is a thin argv
+// shim around machine::proc_worker_main().
+//
+//   navcpp_worker --pe N --fd FD     # socketpair transport (fd inherited)
+//   navcpp_worker --pe N --port P    # connect to 127.0.0.1:P instead
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+
+#include "machine/proc_worker.h"
+#include "net/wire.h"
+
+int main(int argc, char** argv) {
+  int pe = -1;
+  int fd = -1;
+  long port = -1;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "--pe") == 0) {
+      pe = std::atoi(argv[i + 1]);
+    } else if (std::strcmp(argv[i], "--fd") == 0) {
+      fd = std::atoi(argv[i + 1]);
+    } else if (std::strcmp(argv[i], "--port") == 0) {
+      port = std::atol(argv[i + 1]);
+    } else {
+      std::fprintf(stderr, "navcpp_worker: unknown option %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (pe < 0 || (fd < 0 && port < 0)) {
+    std::fprintf(stderr,
+                 "usage: navcpp_worker --pe N (--fd FD | --port P)\n"
+                 "(internal helper of the navcpp process-per-PE backend; "
+                 "not meant to be run by hand)\n");
+    return 2;
+  }
+  try {
+    if (fd < 0) {
+      fd = navcpp::net::wire_connect_loopback(
+          static_cast<std::uint16_t>(port));
+    }
+    return navcpp::machine::proc_worker_main(fd, pe);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "navcpp_worker (pe %d): %s\n", pe, e.what());
+    return 1;
+  }
+}

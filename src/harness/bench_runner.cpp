@@ -65,6 +65,35 @@ double measure_gemm_gflops(int order, int reps) {
   return best;
 }
 
+/// Wall milliseconds for the proc supervisor to bring a SIGKILLed worker
+/// back: death detection, backoff, re-fork, re-handshake, checkpoint
+/// re-push, and retained-frame replay, measured by the supervisor itself
+/// (ProcMachine::last_recovery_seconds).  The hopper keeps cross-PE
+/// traffic flowing so the kill lands mid-run and the resumed run still
+/// has work to finish; best (lowest) of reps.  A rep whose kill misses
+/// the run window contributes nothing.
+double measure_proc_recovery_ms(int reps) {
+  constexpr int kLaps = 60;         // 2 PEs -> 120 cross-PE transmits
+  constexpr std::uint64_t kKillAt = 40;  // mid-run, well before quiesce
+  double best = 0.0;
+  bool first = true;
+  for (int r = 0; r < reps; ++r) {
+    machine::ProcMachine::Options opt;
+    opt.recovery.enabled = true;
+    opt.recovery.max_respawns = 4;
+    auto engine = std::make_unique<machine::ProcMachine>(2, opt);
+    engine->schedule_kill_after_transmits(1, kKillAt);
+    navp::Runtime rt(*engine);
+    rt.inject(0, "hopper", hopper, kLaps);
+    rt.run();
+    if (engine->total_respawns() == 0) continue;
+    const double ms = engine->last_recovery_seconds() * 1e3;
+    if (first || ms < best) best = ms;
+    first = false;
+  }
+  return best;
+}
+
 /// Wall seconds to run one catalog workload start-to-finish on the sim
 /// backend (runtime overhead + simulation machinery, not virtual time).
 double measure_workload_wall_seconds(const std::string& name, int reps) {
@@ -116,6 +145,11 @@ BenchReport run_bench_suite(const BenchOptions& options) {
           [] { return std::make_unique<machine::ProcMachine>(2); }, laps,
           reps),
       "hops/s", true};
+  // Crash recovery on the same backend: SIGKILL a worker mid-hopper-run
+  // and report how long the supervisor took to detect, respawn, and
+  // replay (lower is better; bench_compare gates regressions).
+  report.metrics["runtime.proc.recovery_ms"] =
+      BenchMetric{measure_proc_recovery_ms(reps), "ms", false};
 
   report.metrics["kernels.gemm_gflops"] = BenchMetric{
       measure_gemm_gflops(options.quick ? 128 : 256, reps), "GFLOP/s", true};

@@ -8,6 +8,11 @@
 //   * runtime.threaded.hops_per_sec     — BM_ThreadedHops (2 PEs, wall time)
 //   * runtime.threaded.hops_per_sec_4pe — same hopper on 4 PEs
 //   * runtime.sim.hops_per_sec          — BM_SimHops (4 PEs)
+//   * runtime.proc.hops_per_sec         — hopper on the process backend
+//                                          (heartbeats on, per defaults)
+//   * runtime.proc.recovery_ms          — SIGKILL-to-recovered latency of
+//                                          the proc supervisor (detect +
+//                                          respawn + replay; lower better)
 //   * kernels.gemm_gflops               — gemm_acc, as in bench_kernels
 //   * sweep.jacobi_wall_seconds         — jacobi/dataflow wall time (sim)
 //   * sweep.lu_wall_seconds             — lu/pipeline wall time (sim)

@@ -1,6 +1,9 @@
 #include "harness/fault_suite.h"
 
+#include <stdlib.h>
+
 #include <cstdio>
+#include <filesystem>
 #include <memory>
 #include <utility>
 
@@ -187,24 +190,81 @@ navp::Mission clerk_mission(navp::Ctx ctx) {
   }
 }
 
-FaultCaseResult recovery_ring_case(const machine::FaultPlan& base) {
+/// Scratch directory for the proc backend's per-PE checkpoint spill files;
+/// removed (with its contents) when the case finishes.
+struct ScopedCheckpointDir {
+  std::string path;
+  ScopedCheckpointDir() {
+    char tmpl[] = "/tmp/navcpp-ring-ckpt-XXXXXX";
+    if (::mkdtemp(tmpl) != nullptr) path = tmpl;
+  }
+  ~ScopedCheckpointDir() {
+    if (path.empty()) return;
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+};
+
+FaultCaseResult recovery_ring_case(const machine::FaultPlan& base,
+                                   FaultBackend backend) {
   machine::FaultPlan plan = base;
   if (plan.crashes.empty()) {
-    // Seed-derived schedule: crash PE 2 somewhere in the first half of the
-    // run, restart it 4ms (virtual) later.
-    machine::CrashSpec spec;
-    spec.pe = 2;
-    spec.at = 4e-3 + static_cast<double>(plan.seed % 5) * 2e-3;
-    spec.restart_after = 4e-3;
-    plan.crashes.push_back(spec);
+    if (backend == FaultBackend::kProc) {
+      // Real-time backend: anchor the crashes to the machine's cumulative
+      // transmit count — a deterministic mid-run position no matter how
+      // fast the host is — and take TWO of them, so the run survives more
+      // than one real SIGKILL.  Restarts are short wall-clock timers.
+      machine::CrashSpec first;
+      first.pe = 2;
+      first.trigger = machine::CrashSpec::Trigger::kHopCount;
+      first.after_hops = 40 + (plan.seed % 7) * 10;
+      first.restart_after = 0.05;
+      plan.crashes.push_back(first);
+      machine::CrashSpec second;
+      second.pe = 1;
+      second.trigger = machine::CrashSpec::Trigger::kHopCount;
+      second.after_hops = 150 + (plan.seed % 5) * 20;
+      second.restart_after = 0.05;
+      plan.crashes.push_back(second);
+    } else {
+      // Seed-derived schedule: crash PE 2 somewhere in the first half of
+      // the run, restart it 4ms (virtual) later.
+      machine::CrashSpec spec;
+      spec.pe = 2;
+      spec.at = 4e-3 + static_cast<double>(plan.seed % 5) * 2e-3;
+      spec.restart_after = 4e-3;
+      plan.crashes.push_back(spec);
+    }
   }
 
-  machine::SimMachine sim(kRingPes);
-  machine::FaultMachine fault(sim, plan, reliable_for_seed(plan.seed));
+  ScopedCheckpointDir ckpt_dir;
+  std::unique_ptr<machine::SimMachine> sim;
+  std::unique_ptr<machine::ProcMachine> proc;
+  machine::Engine* base_engine = nullptr;
+  if (backend == FaultBackend::kProc) {
+    machine::ProcMachine::Options opts;
+    opts.recovery.enabled = true;
+    opts.recovery.max_respawns = 8;
+    opts.checkpoint_dir = ckpt_dir.path;
+    proc = std::make_unique<machine::ProcMachine>(kRingPes, opts);
+    base_engine = proc.get();
+  } else {
+    sim = std::make_unique<machine::SimMachine>(kRingPes);
+    base_engine = sim.get();
+  }
+  machine::FaultMachine fault(*base_engine, plan,
+                              reliable_for_seed(plan.seed));
   obs::Registry registry;
   obs::MetricsScope metrics_scope(&registry);
   navp::Runtime rt(fault);
   navp::Checkpointer cp(rt);
+  std::unique_ptr<navp::ProcCheckpointStore> store;
+  if (proc != nullptr) {
+    // Snapshots round-trip through bytes over the wire: take() ships them
+    // to the worker (and its spill file), restore() fetches them back.
+    store = std::make_unique<navp::ProcCheckpointStore>(*proc);
+    cp.set_store(store.get());
+  }
   cp.set_node_state_hooks(
       [&rt](int pe, support::ByteBuffer& out) {
         const RingNode& node = rt.node_store(pe).get<RingNode>();
@@ -220,7 +280,18 @@ FaultCaseResult recovery_ring_case(const machine::FaultPlan& base) {
         node.shutting_down = in.get<std::uint8_t>() != 0;
         node.result = in.get<double>();
       });
-  fault.set_crash_handler([&rt](int pe) { rt.crash_pe(pe); });
+  if (proc != nullptr) {
+    machine::ProcMachine* pm = proc.get();
+    fault.set_crash_handler([&rt, pm](int pe) {
+      rt.crash_pe(pe);
+      // Make the fail-stop REAL: SIGKILL the PE's worker process.  The
+      // machine's supervisor respawns it transparently; the modeled
+      // restart timer below then restores the application state.
+      pm->kill_worker(pe);
+    });
+  } else {
+    fault.set_crash_handler([&rt](int pe) { rt.crash_pe(pe); });
+  }
   fault.set_restart_handler([&cp](int pe) { cp.restore(pe); });
 
   double expected = 0.0;
@@ -276,15 +347,26 @@ FaultCaseResult recovery_ring_case(const machine::FaultPlan& base) {
   for (int p = 0; p < kRingPes; ++p) {
     served_ok = served_ok && rt.node_store(p).get<RingNode>().served > 0;
   }
-  const bool crash_exercised =
+  bool crash_exercised =
       plan.crashes.empty() ||
-      (r.crashes_fired >= 1 && r.agents_recovered >= 1);
+      (r.crashes_fired >= plan.crashes.size() && r.agents_recovered >= 1);
+  if (proc != nullptr && !plan.crashes.empty()) {
+    // The crashes must have been REAL: worker processes died (SIGKILL) and
+    // the supervisor respawned each of them.
+    crash_exercised = crash_exercised &&
+                      proc->worker_deaths() >= plan.crashes.size() &&
+                      proc->total_respawns() >= plan.crashes.size();
+  }
   r.ok = got == expected && served_ok && crash_exercised;
   r.detail = "sum=" + std::to_string(got) + " expected=" +
              std::to_string(expected) + " crashes=" +
              std::to_string(r.crashes_fired) + " recovered=" +
              std::to_string(r.agents_recovered) + " killed=" +
              std::to_string(rt.agents_killed());
+  if (proc != nullptr) {
+    r.detail += " worker_deaths=" + std::to_string(proc->worker_deaths()) +
+                " respawns=" + std::to_string(proc->total_respawns());
+  }
   return r;
 }
 
@@ -301,12 +383,7 @@ FaultCaseResult run_fault_case(const std::string& name,
                                FaultBackend backend) {
   try {
     if (name == "recovery/ring") {
-      if (backend == FaultBackend::kProc) {
-        throw support::ConfigError(
-            "recovery/ring is sim-only: its crash schedule is calibrated "
-            "in virtual time");
-      }
-      return recovery_ring_case(plan);
+      return recovery_ring_case(plan, backend);
     }
     return program_case(name, plan, backend);
   } catch (const support::ConfigError&) {
@@ -322,7 +399,6 @@ FaultSweepReport fault_sweep(std::uint64_t first_seed, int num_seeds,
                              FaultBackend backend) {
   std::vector<std::string> cases;
   for (const auto& name : fault_case_names()) {
-    if (backend == FaultBackend::kProc && name == "recovery/ring") continue;
     if (case_filter.empty() || name.find(case_filter) != std::string::npos) {
       cases.push_back(name);
     }

@@ -54,9 +54,11 @@ struct FaultCaseResult {
 /// Which Engine the program cases run on.  kSim is the deterministic
 /// default; kProc runs the same programs on the process-per-PE
 /// machine::ProcMachine, pushing every injected fault through a real
-/// socket transport.  "recovery/ring" is sim-only (its crash schedule is
-/// calibrated in virtual time), so kProc rejects it with ConfigError and
-/// fault_sweep skips it.
+/// socket transport.  On kProc, "recovery/ring" becomes the full-stack
+/// crash drill: hop-count-triggered crashes SIGKILL real worker
+/// processes mid-run, the recovery-enabled ProcMachine respawns them, and
+/// restore fetches the serialized checkpoint back over the wire
+/// (navp::ProcCheckpointStore) — the sum must still match exactly.
 enum class FaultBackend { kSim, kProc };
 
 /// Run one workload under `plan` (seeded by `plan.seed`) and verify it.

@@ -25,12 +25,19 @@ FaultMachine::FaultMachine(Engine& inner, FaultPlan plan,
   for (const CrashSpec& c : plan_.crashes) {
     NAVCPP_CHECK(c.pe >= 0 && c.pe < inner.pe_count(),
                  "CrashSpec.pe " + std::to_string(c.pe) + " out of range");
-    NAVCPP_CHECK(c.at >= 0.0, "CrashSpec.at must be >= 0");
+    if (c.trigger == CrashSpec::Trigger::kHopCount) {
+      NAVCPP_CHECK(c.after_hops >= 1,
+                   "CrashSpec.after_hops must be >= 1 for a hop-count "
+                   "trigger");
+    } else {
+      NAVCPP_CHECK(c.at >= 0.0, "CrashSpec.at must be >= 0");
+    }
   }
 }
 
 void FaultMachine::transmit(int src, int dst, std::size_t bytes,
                             support::MoveFunction on_delivery) {
+  check_triggers();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (crashed_[static_cast<std::size_t>(src)] != 0 ||
@@ -78,35 +85,79 @@ bool FaultMachine::is_down(int pe) const {
   return crashed_[static_cast<std::size_t>(pe)] != 0;
 }
 
-void FaultMachine::arm_crashes() {
-  if (crashes_armed_) return;
-  crashes_armed_ = true;
-  for (const CrashSpec& spec : plan_.crashes) {
-    const double delay = std::max(0.0, spec.at - inner_.now(spec.pe));
-    inner_.post_after(spec.pe, delay, [this, spec]() {
+void FaultMachine::fire_crash(const CrashSpec& spec) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    crashed_[static_cast<std::size_t>(spec.pe)] = 1;
+    ++crashes_fired_;
+    if (m_crashes_ != nullptr) m_crashes_->add();
+    log_ += "X" + std::to_string(spec.pe) + ";";
+  }
+  if (crash_handler_) crash_handler_(spec.pe);
+  if (spec.restart_after >= 0.0) {
+    inner_.post_after(spec.pe, spec.restart_after, [this, spec]() {
       {
         std::lock_guard<std::mutex> lock(mutex_);
-        crashed_[static_cast<std::size_t>(spec.pe)] = 1;
-        ++crashes_fired_;
-        if (m_crashes_ != nullptr) m_crashes_->add();
-        log_ += "X" + std::to_string(spec.pe) + ";";
+        crashed_[static_cast<std::size_t>(spec.pe)] = 0;
+        log_ += "R" + std::to_string(spec.pe) + ";";
       }
-      if (crash_handler_) crash_handler_(spec.pe);
-      if (spec.restart_after >= 0.0) {
-        inner_.post_after(spec.pe, spec.restart_after, [this, spec]() {
-          {
-            std::lock_guard<std::mutex> lock(mutex_);
-            crashed_[static_cast<std::size_t>(spec.pe)] = 0;
-            log_ += "R" + std::to_string(spec.pe) + ";";
-          }
-          if (restart_handler_) restart_handler_(spec.pe);
-        });
-      }
+      if (restart_handler_) restart_handler_(spec.pe);
     });
   }
 }
 
+void FaultMachine::arm_crashes() {
+  if (crashes_armed_) return;
+  crashes_armed_ = true;
+  pending_triggers_.clear();
+  for (std::size_t i = 0; i < plan_.crashes.size(); ++i) {
+    const CrashSpec& spec = plan_.crashes[i];
+    if (spec.trigger == CrashSpec::Trigger::kEngineTime) {
+      const double delay = std::max(0.0, spec.at - inner_.now(spec.pe));
+      inner_.post_after(spec.pe, delay,
+                        [this, spec]() { fire_crash(spec); });
+    } else {
+      pending_triggers_.push_back(i);
+    }
+  }
+}
+
+void FaultMachine::check_triggers() {
+  std::vector<CrashSpec> due;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++transmit_count_;
+    if (pending_triggers_.empty()) return;
+    const double wall = run_started_ ? run_clock_.seconds() : 0.0;
+    for (auto it = pending_triggers_.begin();
+         it != pending_triggers_.end();) {
+      const CrashSpec& spec = plan_.crashes[*it];
+      const bool fire =
+          spec.trigger == CrashSpec::Trigger::kHopCount
+              ? transmit_count_ >= spec.after_hops
+              : (run_started_ && wall >= spec.at);
+      if (fire) {
+        due.push_back(spec);
+        it = pending_triggers_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (const CrashSpec& spec : due) {
+    // Post rather than fire inline: the crash sequence must run as an
+    // engine action on the victim PE (handlers expect engine context), and
+    // transmit() may be called from any thread on a real-time backend.
+    inner_.post(spec.pe, [this, spec]() { fire_crash(spec); });
+  }
+}
+
 void FaultMachine::run() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    run_clock_.reset();
+    run_started_ = true;
+  }
   arm_crashes();
   inner_.run();
 }
@@ -155,6 +206,8 @@ void FaultMachine::reset_trace(std::uint64_t seed) {
   // limbo_ is NOT cleared here: parked payloads own agent stacks that the
   // runtime of the previous run may still sweep; they die with the machine.
   crashes_armed_ = false;
+  pending_triggers_.clear();
+  transmit_count_ = 0;
   std::fill(crashed_.begin(), crashed_.end(), 0);
 }
 

@@ -47,14 +47,32 @@
 #include "net/reliable_channel.h"
 #include "obs/metrics.h"
 #include "support/rng.h"
+#include "support/stopwatch.h"
 
 namespace navcpp::machine {
 
 /// One planned fail-stop crash.
+///
+/// Trigger modes: kEngineTime schedules through post_after on the inner
+/// engine's clock — exact on the sim backend, but on a real-time backend
+/// "0.004 s in" lands at an arbitrary point of the program's *progress*
+/// (machine speed decides what has run by then).  kHopCount anchors the
+/// crash to the machine's cumulative transmit() count instead — a
+/// deterministic mid-run position on any backend — and kWallClock fires
+/// once the wall clock of the current run() passes `at` (checked at
+/// transmit granularity).  Both non-timer modes run the crash sequence as
+/// a posted engine action on the victim PE, same as kEngineTime.
 struct CrashSpec {
   int pe = -1;
   double at = 0.0;             ///< virtual seconds (sim) / wall (threaded)
   double restart_after = -1.0; ///< seconds after the crash; < 0 = no restart
+  enum class Trigger {
+    kEngineTime,  ///< post_after at `at` engine seconds (the default)
+    kWallClock,   ///< wall seconds since run() started reaches `at`
+    kHopCount,    ///< cumulative transmit() count reaches `after_hops`
+  };
+  Trigger trigger = Trigger::kEngineTime;
+  std::uint64_t after_hops = 0;  ///< kHopCount threshold (>= 1)
 };
 
 /// Declarative description of the faults to inject.  Probabilities are per
@@ -136,6 +154,11 @@ class FaultMachine final : public Engine, public net::FrameFaults {
 
  private:
   void arm_crashes();
+  /// The crash sequence (mark down, log, handlers, optional restart timer);
+  /// runs as an engine action on the victim PE.
+  void fire_crash(const CrashSpec& spec);
+  /// Fire due kWallClock/kHopCount triggers; called from transmit().
+  void check_triggers();
 
   Engine& inner_;
   FaultPlan plan_;
@@ -145,6 +168,11 @@ class FaultMachine final : public Engine, public net::FrameFaults {
   support::Rng rng_;
   std::string log_;
   std::vector<char> crashed_;
+  /// Indexes into plan_.crashes of unfired wall-clock / hop-count triggers.
+  std::vector<std::size_t> pending_triggers_;
+  std::uint64_t transmit_count_ = 0;  // cumulative; kHopCount anchor
+  support::Stopwatch run_clock_;      // kWallClock anchor, reset at run()
+  bool run_started_ = false;
   // Payloads addressed to/from a downed PE.  Destroyed (never run) at
   // teardown: destruction releases captured coroutine frames, exactly like
   // the failure-drain path.

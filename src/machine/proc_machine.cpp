@@ -1,6 +1,7 @@
 #include "machine/proc_machine.h"
 
 #include <errno.h>
+#include <fcntl.h>
 #include <poll.h>
 #include <signal.h>
 #include <stdlib.h>
@@ -8,7 +9,9 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <thread>
 #include <utility>
 
@@ -22,6 +25,52 @@ using net::FrameConn;
 using net::GrantKind;
 using net::WireFrame;
 using net::WireType;
+
+// --- SIGCHLD self-pipe -----------------------------------------------------
+//
+// One process-wide pipe: the handler's only job is to make the supervising
+// poll loop wake up promptly so it can reap with waitpid(WNOHANG).  The
+// handler is installed while a recovery-enabled ProcMachine exists and the
+// previous disposition is restored when the last one goes away.  The parent
+// is single-threaded by contract, so the user count needs no lock.
+
+int g_sigchld_pipe[2] = {-1, -1};
+int g_sigchld_users = 0;
+struct sigaction g_sigchld_prev;
+
+void sigchld_notify(int /*signo*/) {
+  const int saved_errno = errno;
+  if (g_sigchld_pipe[1] >= 0) {
+    const char b = 1;
+    [[maybe_unused]] const ssize_t n = ::write(g_sigchld_pipe[1], &b, 1);
+  }
+  errno = saved_errno;
+}
+
+void install_sigchld_watch() {
+  if (g_sigchld_users++ > 0) return;
+  if (::pipe2(g_sigchld_pipe, O_NONBLOCK | O_CLOEXEC) != 0) {
+    g_sigchld_pipe[0] = g_sigchld_pipe[1] = -1;
+    return;  // EOF + heartbeat detection still stand; reaping stays lazy
+  }
+  struct sigaction sa;
+  ::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = sigchld_notify;
+  ::sigemptyset(&sa.sa_mask);
+  // SA_NOCLDSTOP: a SIGSTOPped (wedged) worker must NOT look reapable —
+  // that is the heartbeat path's case, not the exit path's.
+  sa.sa_flags = SA_RESTART | SA_NOCLDSTOP;
+  ::sigaction(SIGCHLD, &sa, &g_sigchld_prev);
+}
+
+void remove_sigchld_watch() {
+  if (--g_sigchld_users > 0) return;
+  ::sigaction(SIGCHLD, &g_sigchld_prev, nullptr);
+  for (int& fd : g_sigchld_pipe) {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+}
 
 /// Locate the navcpp_worker binary: explicit env override, then next to the
 /// running executable, then the sibling tools/ directory (the build-tree
@@ -56,6 +105,11 @@ std::string describe_exit(pid_t pid, bool reaped, int status) {
   return "status " + std::to_string(status);
 }
 
+std::string ckpt_path_for(const std::string& dir, int pe) {
+  if (dir.empty()) return "";
+  return dir + "/pe" + std::to_string(pe) + ".ckpt";
+}
+
 }  // namespace
 
 ProcMachine::ProcMachine(int pe_count, Options options)
@@ -64,16 +118,24 @@ ProcMachine::ProcMachine(int pe_count, Options options)
   const char* tcp_env = ::getenv("NAVCPP_PROC_TCP");
   if (tcp_env != nullptr && tcp_env[0] == '1') options_.use_tcp = true;
   workers_.resize(static_cast<std::size_t>(pe_count_));
+  if (options_.recovery.enabled) {
+    install_sigchld_watch();
+    sigchld_installed_ = true;
+  }
   try {
     spawn_workers();
     await_hellos();
   } catch (...) {
     shutdown_workers();
+    if (sigchld_installed_) remove_sigchld_watch();
     throw;
   }
 }
 
-ProcMachine::~ProcMachine() { shutdown_workers(); }
+ProcMachine::~ProcMachine() {
+  shutdown_workers();
+  if (sigchld_installed_) remove_sigchld_watch();
+}
 
 void ProcMachine::check_pe(int pe) const {
   NAVCPP_CHECK(pe >= 0 && pe < pe_count_,
@@ -82,14 +144,16 @@ void ProcMachine::check_pe(int pe) const {
 }
 
 void ProcMachine::spawn_workers() {
-  std::string worker_path;
   if (!options_.force_fork_only) {
-    worker_path = options_.worker_path.empty() ? discover_worker_binary()
-                                               : options_.worker_path;
+    resolved_worker_path_ = options_.worker_path.empty()
+                                ? discover_worker_binary()
+                                : options_.worker_path;
   }
   if (options_.use_tcp) listener_ = std::make_unique<net::WireListener>();
   const std::uint16_t port = listener_ ? listener_->port() : 0;
-  for (int pe = 0; pe < pe_count_; ++pe) spawn_one(pe, worker_path, port);
+  for (int pe = 0; pe < pe_count_; ++pe) {
+    spawn_one(pe, resolved_worker_path_, port);
+  }
 }
 
 void ProcMachine::spawn_one(int pe, const std::string& worker_path,
@@ -108,20 +172,31 @@ void ProcMachine::spawn_one(int pe, const std::string& worker_path,
   if (pid == 0) {
     // Child.  Drop every parent-side fd we inherited so a sibling worker's
     // death is visible to the parent as EOF (and the parent's death to us).
+    // Also shed the supervisor's SIGCHLD machinery: the worker forks no
+    // children and must not hold the self-pipe open.
+    ::signal(SIGCHLD, SIG_DFL);
+    for (const int fd : g_sigchld_pipe) {
+      if (fd >= 0) ::close(fd);
+    }
     if (fds[0] >= 0) ::close(fds[0]);
     for (const Worker& w : workers_) {
       if (w.conn.valid()) ::close(w.conn.fd());
     }
+    const std::string ckpt = ckpt_path_for(options_.checkpoint_dir, pe);
     if (!worker_path.empty()) {
       const std::string pe_s = std::to_string(pe);
+      const char* ckpt_flag = ckpt.empty() ? nullptr : "--ckpt";
+      const char* ckpt_arg = ckpt.empty() ? nullptr : ckpt.c_str();
       if (options_.use_tcp) {
         const std::string port_s = std::to_string(tcp_port);
         ::execl(worker_path.c_str(), "navcpp_worker", "--pe", pe_s.c_str(),
-                "--port", port_s.c_str(), static_cast<char*>(nullptr));
+                "--port", port_s.c_str(), ckpt_flag, ckpt_arg,
+                static_cast<char*>(nullptr));
       } else {
         const std::string fd_s = std::to_string(fds[1]);
         ::execl(worker_path.c_str(), "navcpp_worker", "--pe", pe_s.c_str(),
-                "--fd", fd_s.c_str(), static_cast<char*>(nullptr));
+                "--fd", fd_s.c_str(), ckpt_flag, ckpt_arg,
+                static_cast<char*>(nullptr));
       }
       // exec failed; fall through to the in-process worker loop.
     }
@@ -129,7 +204,7 @@ void ProcMachine::spawn_one(int pe, const std::string& worker_path,
     try {
       int fd = fds[1];
       if (options_.use_tcp) fd = net::wire_connect_loopback(tcp_port);
-      code = proc_worker_main(fd, pe);
+      code = proc_worker_main(fd, pe, ckpt);
     } catch (...) {
       code = 1;
     }
@@ -244,6 +319,13 @@ void ProcMachine::shutdown_workers() noexcept {
                         std::chrono::milliseconds(2000);
   for (Worker& w : workers_) {
     if (w.pid <= 0) continue;
+    if (w.exited) {
+      // Already reaped via the SIGCHLD path; nothing to wait for.
+      w.pid = -1;
+      w.alive = false;
+      w.conn.close();
+      continue;
+    }
     bool reaped = false;
     int status = 0;
     while (std::chrono::steady_clock::now() < deadline) {
@@ -291,6 +373,28 @@ void ProcMachine::send_to(int pe, const WireFrame& frame) {
   if (!w.conn.send_frame(frame)) on_worker_dead(pe);
 }
 
+void ProcMachine::send_tracked(int pe, WireFrame frame) {
+  Worker& w = workers_[static_cast<std::size_t>(pe)];
+  if (w.degraded) return;  // black-holed: callers already dropped the action
+  if (options_.recovery.enabled) {
+    // Stamp and retain BEFORE attempting delivery: a frame issued while the
+    // worker is down (mid-recovery window) must still be in the retained
+    // set the respawn resends.
+    frame.seq = w.next_seq++;
+    w.retained.push_back(frame);
+  }
+  dispatch(pe, std::move(frame));
+}
+
+void ProcMachine::retire_retained(int pe, std::uint64_t token) {
+  Worker& w = workers_[static_cast<std::size_t>(pe)];
+  if (w.retained.empty()) return;
+  const auto it = std::find_if(
+      w.retained.begin(), w.retained.end(),
+      [token](const WireFrame& f) { return f.token == token; });
+  if (it != w.retained.end()) w.retained.erase(it);
+}
+
 void ProcMachine::dispatch(int pe, WireFrame frame) {
   if (!running_) {
     prerun_frames_.emplace_back(pe, std::move(frame));
@@ -302,6 +406,7 @@ void ProcMachine::dispatch(int pe, WireFrame frame) {
 void ProcMachine::post(int pe, support::MoveFunction action) {
   check_pe(pe);
   if (draining_ || first_error_) return;  // stopping: drop, don't enqueue
+  if (workers_[static_cast<std::size_t>(pe)].degraded) return;
   const std::uint64_t token = next_token_++;
   PendingAction pending;
   pending.pe = pe;
@@ -313,13 +418,14 @@ void ProcMachine::post(int pe, support::MoveFunction action) {
   frame.type = WireType::kPost;
   frame.pe = static_cast<std::uint32_t>(pe);
   frame.token = token;
-  dispatch(pe, std::move(frame));
+  send_tracked(pe, std::move(frame));
 }
 
 void ProcMachine::post_after(int pe, double delay_seconds,
                              support::MoveFunction action) {
   check_pe(pe);
   if (draining_ || first_error_) return;
+  if (workers_[static_cast<std::size_t>(pe)].degraded) return;
   if (delay_seconds < 0.0) delay_seconds = 0.0;
   const std::uint64_t token = next_token_++;
   PendingAction pending;
@@ -333,7 +439,7 @@ void ProcMachine::post_after(int pe, double delay_seconds,
   frame.pe = static_cast<std::uint32_t>(pe);
   frame.token = token;
   frame.arg = static_cast<std::uint64_t>(delay_seconds * 1e9);
-  dispatch(pe, std::move(frame));
+  send_tracked(pe, std::move(frame));
 }
 
 void ProcMachine::transmit(int src, int dst, std::size_t bytes,
@@ -341,6 +447,23 @@ void ProcMachine::transmit(int src, int dst, std::size_t bytes,
   check_pe(src);
   check_pe(dst);
   if (draining_ || first_error_) return;
+  ++lifetime_transmits_;
+  if (!kill_schedules_.empty()) {
+    for (auto it = kill_schedules_.begin(); it != kill_schedules_.end();) {
+      if (it->after_transmits != 0 &&
+          lifetime_transmits_ >= it->after_transmits) {
+        const int victim = it->pe;
+        it = kill_schedules_.erase(it);
+        kill_worker(victim);
+      } else {
+        ++it;
+      }
+    }
+  }
+  if (workers_[static_cast<std::size_t>(src)].degraded ||
+      workers_[static_cast<std::size_t>(dst)].degraded) {
+    return;  // either endpoint black-holed: the hop is dropped
+  }
   const std::uint64_t token = next_token_++;
   PendingAction pending;
   pending.pe = dst;
@@ -360,40 +483,317 @@ void ProcMachine::transmit(int src, int dst, std::size_t bytes,
   frame.src = static_cast<std::uint32_t>(src);
   frame.token = token;
   frame.arg = bytes;
-  dispatch(src, std::move(frame));
+  send_tracked(src, std::move(frame));
 }
 
 void ProcMachine::on_worker_dead(int pe) {
   Worker& w = workers_[static_cast<std::size_t>(pe)];
   if (!w.alive) return;
   w.alive = false;
-  w.conn.close();
-  bool reaped = false;
-  int status = 0;
-  // The socket closes a beat before the zombie is reapable; retry briefly.
-  for (int i = 0; i < 100; ++i) {
-    const pid_t r = ::waitpid(w.pid, &status, WNOHANG);
-    if (r == w.pid) {
-      reaped = true;
-      break;
+  w.conn.close();  // discards any torn partial frame from the dead process
+  ++worker_deaths_;
+  if (auto* c = recovery_counter("proc.recovery.worker_deaths")) c->add();
+  bool reaped = w.exited;
+  int status = w.exit_status;
+  if (!reaped) {
+    // The socket closes a beat before the zombie is reapable; retry briefly.
+    for (int i = 0; i < 100; ++i) {
+      const pid_t r = ::waitpid(w.pid, &status, WNOHANG);
+      if (r == w.pid) {
+        reaped = true;
+        break;
+      }
+      if (r < 0) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
     }
-    if (r < 0) break;
-    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  const std::string why = describe_exit(w.pid, reaped, status);
+  if (reaped) {
+    w.exited = true;
+    w.exit_status = status;
+  }
+
+  const RecoveryPolicy& rp = options_.recovery;
+  if (rp.enabled && draining_) {
+    // Death during quiesce with recovery on: the run's work is complete
+    // (or already failed); respawning would be pure churn.  Tolerate it.
+    return;
+  }
+  if (rp.enabled && running_ && !first_error_) {
+    if (w.respawns < rp.max_respawns) {
+      try {
+        respawn_worker(pe);
+      } catch (...) {
+        record_error(std::current_exception());
+      }
+      return;
+    }
+    if (rp.on_exhausted == RecoveryPolicy::OnExhausted::kDegrade) {
+      degrade_worker(pe);
+      return;
+    }
+    record_error(std::make_exception_ptr(support::ProcError(
+        "ProcMachine: worker for PE " + std::to_string(pe) +
+        " exited unexpectedly (" + why + ") and its recovery budget of " +
+        std::to_string(rp.max_respawns) +
+        " respawn(s) is exhausted; " + status_summary())));
+    return;
   }
   record_error(std::make_exception_ptr(support::ProcError(
       "ProcMachine: worker for PE " + std::to_string(pe) +
-      " exited unexpectedly (" + describe_exit(w.pid, reaped, status) +
-      "); " + status_summary())));
+      " exited unexpectedly (" + why + "); " + status_summary())));
+}
+
+void ProcMachine::respawn_worker(int pe) {
+  Worker& w = workers_[static_cast<std::size_t>(pe)];
+  const auto wall0 = std::chrono::steady_clock::now();
+  const RecoveryPolicy& rp = options_.recovery;
+  const double backoff = std::min(
+      rp.backoff_s * std::pow(rp.backoff_factor, w.respawns), 1.0);
+  if (backoff > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+  }
+  ++w.respawns;
+  ++total_respawns_;
+  if (auto* c = recovery_counter("proc.recovery.respawns")) c->add();
+
+  spawn_one(pe, resolved_worker_path_, listener_ ? listener_->port() : 0);
+
+  // Re-handshake with the fresh incarnation.
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(
+          static_cast<long>(options_.hello_timeout_s * 1e3));
+  if (options_.use_tcp) {
+    const double left =
+        std::chrono::duration<double>(deadline -
+                                      std::chrono::steady_clock::now())
+            .count();
+    const int fd = listener_->accept_one(left);
+    if (fd < 0) {
+      throw support::ProcError(
+          "ProcMachine: respawned worker for PE " + std::to_string(pe) +
+          " never connected");
+    }
+    FrameConn conn(fd);
+    WireFrame frame;
+    while (!conn.next_frame(&frame)) {
+      if (!conn.read_some()) {
+        throw support::ProcError(
+            "ProcMachine: respawned worker for PE " + std::to_string(pe) +
+            " hung up during handshake");
+      }
+    }
+    // Mid-run only our own fresh child is connecting, so any mismatch is a
+    // failed handshake, not another PE's stray hello.
+    if (frame.type != WireType::kHello ||
+        frame.arg != net::kWireProtocolVersion ||
+        frame.pe != static_cast<std::uint32_t>(pe)) {
+      ::close(fd);
+      throw support::ProcError(
+          "ProcMachine: bad handshake from respawned worker for PE " +
+          std::to_string(pe));
+    }
+    w.conn.set_fd(fd);
+    w.conn.set_nonblocking();
+  } else {
+    WireFrame frame;
+    bool greeted = false;
+    while (!greeted) {
+      if (std::chrono::steady_clock::now() >= deadline) {
+        throw support::ProcError(
+            "ProcMachine: respawned worker for PE " + std::to_string(pe) +
+            " never said hello");
+      }
+      pollfd pfd{w.conn.fd(), POLLIN, 0};
+      if (::poll(&pfd, 1, 50) < 0 && errno != EINTR) {
+        throw support::ProcError(
+            "ProcMachine: poll failed during respawn handshake");
+      }
+      if ((pfd.revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      if (!w.conn.read_some()) {
+        throw support::ProcError(
+            "ProcMachine: respawned worker for PE " + std::to_string(pe) +
+            " died before its hello");
+      }
+      while (w.conn.next_frame(&frame)) {
+        if (frame.type == WireType::kHello &&
+            frame.arg == net::kWireProtocolVersion) {
+          greeted = true;
+        }
+      }
+    }
+  }
+
+  w.exited = false;
+  w.exit_status = 0;
+  w.acked_quiesce = false;
+  w.ping_outstanding = false;
+  w.heartbeat_killed = false;
+  w.last_pong_s = clock_.seconds();
+
+  if (running_) {
+    WireFrame start;
+    start.type = WireType::kStart;
+    start.arg = run_id_;
+    send_to(pe, start);
+    // Re-seed the checkpoint from the parent's retained copy (modeled
+    // stable storage) before any replayed frame can reference it.
+    const auto ck = checkpoints_.find(pe);
+    if (ck != checkpoints_.end()) {
+      WireFrame save;
+      save.type = WireType::kCheckpointSave;
+      save.pe = static_cast<std::uint32_t>(pe);
+      save.payload = ck->second;
+      send_to(pe, save);
+    }
+    // Blind-resend the retained window in seq order.  The worker's dedup
+    // high-water mark makes this exactly-once even if a nested recovery
+    // already replayed a prefix.  Index-based: a nested failure path may
+    // shrink the vector under us.
+    std::uint64_t resent = 0;
+    for (std::size_t i = 0; i < w.retained.size(); ++i) {
+      const WireFrame copy = w.retained[i];
+      ++resent;
+      send_to(pe, copy);
+    }
+    frames_resent_ += resent;
+    if (auto* c = recovery_counter("proc.recovery.frames_resent")) {
+      c->add(resent);
+    }
+    if (w.ckpt_waiting && w.alive) {
+      // A synchronous load_checkpoint was in flight when the worker died;
+      // re-ask the fresh incarnation (it answers from its spill file or
+      // the copy re-pushed above).
+      WireFrame load;
+      load.type = WireType::kCheckpointLoad;
+      load.pe = static_cast<std::uint32_t>(pe);
+      send_to(pe, load);
+    }
+    if (recovery_handler_ && w.alive) {
+      const int revived = pe;
+      post(revived, [this, revived] { recovery_handler_(revived); });
+    }
+  }
+
+  last_recovery_s_ =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
+          .count();
+  if (metrics_ != nullptr) {
+    metrics_->gauge("proc.recovery.last_recovery_ms")
+        .set(last_recovery_s_ * 1e3);
+  }
+}
+
+void ProcMachine::degrade_worker(int pe) {
+  Worker& w = workers_[static_cast<std::size_t>(pe)];
+  w.degraded = true;
+  w.retained.clear();
+  w.ckpt_waiting = false;
+  w.ckpt_reply.reset();
+  // Cancel the black-holed PE's pending work so the run can converge on
+  // the survivors; destroying the closures releases captured coroutine
+  // frames, like a failure drain scoped to one PE.
+  for (auto it = actions_.begin(); it != actions_.end();) {
+    if (it->second.pe == pe) {
+      if (it->second.kind == ActionKind::kTimer) {
+        --outstanding_timers_;
+      } else {
+        --outstanding_actions_;
+      }
+      it = actions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  std::erase_if(deferred_grants_,
+                [pe](const std::pair<std::uint64_t, PendingAction>& p) {
+                  return p.second.pe == pe;
+                });
+  if (auto* c = recovery_counter("proc.recovery.degraded")) c->add();
+}
+
+void ProcMachine::drain_sigchld() {
+  if (g_sigchld_pipe[0] < 0) return;
+  char buf[64];
+  while (::read(g_sigchld_pipe[0], buf, sizeof(buf)) > 0) {
+  }
+  // Reap and stash the status; teardown stays with the EOF path so frames
+  // still buffered on the dead worker's socket are drained first.
+  for (Worker& w : workers_) {
+    if (w.pid <= 0 || w.exited) continue;
+    int status = 0;
+    if (::waitpid(w.pid, &status, WNOHANG) == w.pid) {
+      w.exited = true;
+      w.exit_status = status;
+    }
+  }
+}
+
+void ProcMachine::heartbeat_tick() {
+  if (options_.heartbeat_interval_s <= 0.0) return;
+  const double now = clock_.seconds();
+  for (int pe = 0; pe < pe_count_; ++pe) {
+    Worker& w = workers_[static_cast<std::size_t>(pe)];
+    if (!w.alive) continue;
+    if (!w.ping_outstanding) {
+      if (now - w.last_pong_s >= options_.heartbeat_interval_s) {
+        w.ping_outstanding = true;
+        w.ping_sent_s = now;
+        WireFrame ping;
+        ping.type = WireType::kPing;
+        ping.pe = static_cast<std::uint32_t>(pe);
+        ping.token = ++ping_token_counter_;
+        send_to(pe, ping);
+      }
+    } else if (!w.heartbeat_killed &&
+               now - w.ping_sent_s > options_.heartbeat_timeout_s) {
+      // Escalate, don't tear down: SIGKILL makes the kernel close the
+      // worker's socket end, and the EOF path then drains every complete
+      // frame it had buffered before running death handling.
+      w.heartbeat_killed = true;
+      if (auto* c = recovery_counter("proc.recovery.heartbeat_kills")) {
+        c->add();
+      }
+      if (w.pid > 0 && !w.exited) ::kill(w.pid, SIGKILL);
+    }
+  }
+}
+
+void ProcMachine::check_kill_schedules_wall() {
+  if (kill_schedules_.empty()) return;
+  const double now = clock_.seconds();
+  for (auto it = kill_schedules_.begin(); it != kill_schedules_.end();) {
+    if (it->after_transmits == 0 && now >= it->after_seconds) {
+      const int victim = it->pe;
+      it = kill_schedules_.erase(it);
+      kill_worker(victim);
+    } else {
+      ++it;
+    }
+  }
 }
 
 void ProcMachine::execute(std::uint64_t /*token*/, PendingAction action) {
   if (!m_actions_.empty()) {
     m_actions_[static_cast<std::size_t>(action.pe)]->add();
   }
+  const double t0 = clock_.seconds();
   try {
     action.fn();
   } catch (...) {
     record_error(std::current_exception());
+  }
+  const double dt = clock_.seconds() - t0;
+  if (dt > 0.0 && options_.heartbeat_interval_s > 0.0) {
+    // Long-action awareness: while the parent runs a closure it cannot
+    // pump, so no pong can land.  Credit the action's duration to every
+    // worker's heartbeat clock — a long visit must never read as a dead
+    // worker (the PR 2 false-deadlock lesson, applied to liveness).
+    for (Worker& w : workers_) {
+      w.last_pong_s += dt;
+      if (w.ping_outstanding) w.ping_sent_s += dt;
+    }
   }
 }
 
@@ -407,11 +807,24 @@ void ProcMachine::handle_frame(int pe, const WireFrame& frame) {
             std::to_string(frame.pe))));
         return;
       }
-      send_to(static_cast<int>(frame.pe), frame);
+      // The hop's arrival retires the kSend that produced it: the source
+      // worker has materialized and shipped the payload, so a respawn of
+      // the source must not regenerate it.
+      retire_retained(pe, frame.token);
+      const int dst = static_cast<int>(frame.pe);
+      if (workers_[static_cast<std::size_t>(dst)].degraded) {
+        return;  // pending action already canceled by degrade_worker
+      }
+      if (options_.recovery.enabled) {
+        send_tracked(dst, frame);
+      } else {
+        send_to(dst, frame);  // no retention copy on the hot path
+      }
       return;
     }
 
     case WireType::kGrant: {
+      retire_retained(pe, frame.token);
       auto it = actions_.find(frame.token);
       if (it == actions_.end()) return;  // canceled by a racing quiesce
       if (it->second.kind == ActionKind::kTimer) {
@@ -428,6 +841,12 @@ void ProcMachine::handle_frame(int pe, const WireFrame& frame) {
         return;  // action destroyed, not run
       }
       if (draining_ || first_error_) return;  // drain: destroy, don't run
+      if (defer_grants_ > 0) {
+        // A synchronous checkpoint fetch is pumping: keep the restore
+        // atomic by queuing the action for after the wait completes.
+        deferred_grants_.emplace_back(frame.token, std::move(action));
+        return;
+      }
       execute(frame.token, std::move(action));
       return;
     }
@@ -436,6 +855,7 @@ void ProcMachine::handle_frame(int pe, const WireFrame& frame) {
       w.acked_quiesce = true;
       w.stats = frame.stats;
       for (const std::uint64_t token : frame.tokens) {
+        retire_retained(pe, token);
         auto it = actions_.find(token);
         if (it == actions_.end()) continue;
         if (it->second.kind == ActionKind::kTimer) --outstanding_timers_;
@@ -446,6 +866,22 @@ void ProcMachine::handle_frame(int pe, const WireFrame& frame) {
 
     case WireType::kStatusReply:
       w.stats = frame.stats;
+      return;
+
+    case WireType::kPong:
+      w.ping_outstanding = false;
+      w.last_pong_s = clock_.seconds();
+      return;
+
+    case WireType::kCheckpointData:
+      if (w.ckpt_waiting) {
+        if (frame.arg != 0) {
+          w.ckpt_reply = frame.payload;
+        } else {
+          w.ckpt_reply.reset();
+        }
+        w.ckpt_waiting = false;
+      }
       return;
 
     case WireType::kHello:
@@ -461,6 +897,20 @@ void ProcMachine::handle_frame(int pe, const WireFrame& frame) {
 }
 
 void ProcMachine::pump(int timeout_ms) {
+  // Actions deferred by a synchronous checkpoint wait run first, in the
+  // order their grants arrived.
+  if (defer_grants_ == 0 && !deferred_grants_.empty()) {
+    std::vector<std::pair<std::uint64_t, PendingAction>> batch;
+    batch.swap(deferred_grants_);
+    for (auto& [token, action] : batch) {
+      if (draining_ || first_error_) break;  // rest destroyed with batch
+      execute(token, std::move(action));
+    }
+  }
+  if (running_) {
+    heartbeat_tick();
+    check_kill_schedules_wall();
+  }
   std::vector<pollfd> fds;
   std::vector<int> pes;
   for (int pe = 0; pe < pe_count_; ++pe) {
@@ -476,6 +926,10 @@ void ProcMachine::pump(int timeout_ms) {
         support::ProcError("ProcMachine: every worker is dead")));
     return;
   }
+  const std::size_t worker_fds = fds.size();
+  if (sigchld_installed_ && g_sigchld_pipe[0] >= 0) {
+    fds.push_back(pollfd{g_sigchld_pipe[0], POLLIN, 0});
+  }
   const int r = ::poll(fds.data(), fds.size(), timeout_ms);
   if (r < 0) {
     if (errno != EINTR) {
@@ -484,7 +938,10 @@ void ProcMachine::pump(int timeout_ms) {
     }
     return;
   }
-  for (std::size_t i = 0; i < fds.size(); ++i) {
+  if (fds.size() > worker_fds && (fds[worker_fds].revents & POLLIN) != 0) {
+    drain_sigchld();
+  }
+  for (std::size_t i = 0; i < worker_fds; ++i) {
     const int pe = pes[i];
     Worker& w = workers_[static_cast<std::size_t>(pe)];
     if (!w.alive) continue;
@@ -500,7 +957,11 @@ void ProcMachine::pump(int timeout_ms) {
     WireFrame frame;
     try {
       while (w.alive && w.conn.next_frame(&frame)) {
-        last_activity_s_ = clock_.seconds();
+        // Pongs are liveness, not progress: they must not defeat the
+        // stall-timeout diagnosis of a wedged run.
+        if (frame.type != WireType::kPong) {
+          last_activity_s_ = clock_.seconds();
+        }
         handle_frame(pe, frame);
       }
     } catch (...) {
@@ -546,10 +1007,17 @@ void ProcMachine::quiesce() {
   // Anything still in the table — canceled timers already left, so these
   // are in-flight posts/hops of an aborted run — is destroyed, which
   // releases any captured coroutine frames, exactly like the other
-  // backends' failure drains.
+  // backends' failure drains.  The retained windows and deferred grants
+  // reference the same run's tokens, so they go with it.
   actions_.clear();
   outstanding_actions_ = 0;
   outstanding_timers_ = 0;
+  deferred_grants_.clear();
+  for (Worker& w : workers_) {
+    w.retained.clear();
+    w.ckpt_waiting = false;
+    w.ckpt_reply.reset();
+  }
   record_worker_metrics();
   draining_ = false;
 }
@@ -564,6 +1032,12 @@ void ProcMachine::run() {
   last_activity_s_ = 0.0;
   tasks_seen_ = tasks_live_ > 0;
   ++run_id_;
+  for (Worker& w : workers_) {
+    // Heartbeat clocks are in run time (clock_ was just reset).
+    w.ping_outstanding = false;
+    w.last_pong_s = 0.0;
+    w.heartbeat_killed = false;
+  }
   for (int pe = 0; pe < pe_count_; ++pe) {
     WireFrame frame;
     frame.type = WireType::kStart;
@@ -575,7 +1049,7 @@ void ProcMachine::run() {
 
   bool deadlocked = false;
   while (!first_error_) {
-    if (outstanding_actions_ == 0) {
+    if (outstanding_actions_ == 0 && deferred_grants_.empty()) {
       if (tasks_live_ <= 0) {
         // Leftover timers after every task finished are pure bookkeeping
         // (retransmit timers for acked frames); quiesce cancels them.  A
@@ -629,10 +1103,110 @@ bool ProcMachine::worker_alive(int pe) const {
   return workers_[static_cast<std::size_t>(pe)].alive;
 }
 
-void ProcMachine::kill_worker(int pe) {
+ProcMachine::KillResult ProcMachine::kill_worker(int pe) {
   check_pe(pe);
   Worker& w = workers_[static_cast<std::size_t>(pe)];
-  if (w.alive && w.pid > 0) ::kill(w.pid, SIGKILL);
+  // Idempotent: once the worker is known dead (or reaped) the pid may have
+  // been recycled by the OS, so it must never be signaled again.
+  if (!w.alive || w.pid <= 0 || w.exited) return KillResult::kAlreadyDead;
+  ::kill(w.pid, SIGKILL);
+  return KillResult::kSignaled;
+}
+
+ProcMachine::KillResult ProcMachine::stop_worker(int pe) {
+  check_pe(pe);
+  Worker& w = workers_[static_cast<std::size_t>(pe)];
+  if (!w.alive || w.pid <= 0 || w.exited) return KillResult::kAlreadyDead;
+  ::kill(w.pid, SIGSTOP);
+  return KillResult::kSignaled;
+}
+
+void ProcMachine::schedule_kill_after_transmits(int pe,
+                                                std::uint64_t transmits) {
+  check_pe(pe);
+  NAVCPP_CHECK(transmits >= 1,
+               "schedule_kill_after_transmits needs a count of at least 1");
+  KillSchedule s;
+  s.pe = pe;
+  s.after_transmits = lifetime_transmits_ + transmits;
+  kill_schedules_.push_back(s);
+}
+
+void ProcMachine::schedule_kill_after(int pe, double seconds) {
+  check_pe(pe);
+  NAVCPP_CHECK(seconds >= 0.0, "schedule_kill_after needs seconds >= 0");
+  KillSchedule s;
+  s.pe = pe;
+  s.after_transmits = 0;
+  s.after_seconds = seconds;
+  kill_schedules_.push_back(s);
+}
+
+void ProcMachine::save_checkpoint(int pe, std::span<const std::byte> bytes) {
+  check_pe(pe);
+  checkpoints_[pe].assign(bytes.begin(), bytes.end());
+  if (workers_[static_cast<std::size_t>(pe)].degraded) return;
+  WireFrame frame;
+  frame.type = WireType::kCheckpointSave;
+  frame.pe = static_cast<std::uint32_t>(pe);
+  frame.payload.assign(bytes.begin(), bytes.end());
+  dispatch(pe, std::move(frame));
+  if (auto* c = recovery_counter("proc.recovery.checkpoints_saved")) {
+    c->add();
+  }
+}
+
+std::optional<std::vector<std::byte>> ProcMachine::load_checkpoint(
+    int pe, double timeout_s) {
+  check_pe(pe);
+  NAVCPP_CHECK(running_,
+               "ProcMachine::load_checkpoint is a wire round-trip and "
+               "requires an active run");
+  Worker& w = workers_[static_cast<std::size_t>(pe)];
+  if (w.degraded) return std::nullopt;
+  w.ckpt_waiting = true;
+  w.ckpt_reply.reset();
+  WireFrame frame;
+  frame.type = WireType::kCheckpointLoad;
+  frame.pe = static_cast<std::uint32_t>(pe);
+  send_to(pe, frame);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_s);
+  ++defer_grants_;
+  while (w.ckpt_waiting && !first_error_ && !w.degraded) {
+    if (std::chrono::steady_clock::now() >= deadline) {
+      record_error(std::make_exception_ptr(support::ProcError(
+          "ProcMachine: checkpoint fetch for PE " + std::to_string(pe) +
+          " timed out after " + std::to_string(timeout_s) + " s")));
+      break;
+    }
+    pump(20);
+  }
+  --defer_grants_;
+  w.ckpt_waiting = false;
+  std::optional<std::vector<std::byte>> reply = std::move(w.ckpt_reply);
+  w.ckpt_reply.reset();
+  if (reply.has_value()) {
+    if (auto* c = recovery_counter("proc.recovery.checkpoints_fetched")) {
+      c->add();
+    }
+  }
+  return reply;
+}
+
+int ProcMachine::respawns(int pe) const {
+  check_pe(pe);
+  return workers_[static_cast<std::size_t>(pe)].respawns;
+}
+
+bool ProcMachine::worker_degraded(int pe) const {
+  check_pe(pe);
+  return workers_[static_cast<std::size_t>(pe)].degraded;
+}
+
+obs::Counter* ProcMachine::recovery_counter(const char* name) {
+  if (metrics_ == nullptr) return nullptr;
+  return &metrics_->counter(name);
 }
 
 std::string ProcMachine::status_summary() const {
@@ -640,7 +1214,8 @@ std::string ProcMachine::status_summary() const {
   for (int pe = 0; pe < pe_count_; ++pe) {
     const Worker& w = workers_[static_cast<std::size_t>(pe)];
     out += "  pe " + std::to_string(pe) + ": " +
-           (w.alive ? "alive" : "DEAD") +
+           (w.degraded ? "DEGRADED" : (w.alive ? "alive" : "DEAD")) +
+           (w.respawns > 0 ? " respawns=" + std::to_string(w.respawns) : "") +
            " posts=" + std::to_string(w.stats.posts_granted) +
            " timers_fired=" + std::to_string(w.stats.timers_fired) +
            " hops_in=" + std::to_string(w.stats.hops_in) +
@@ -666,6 +1241,10 @@ void ProcMachine::record_worker_metrics() {
     metrics_->counter("proc.worker.hops_out", label).add(s.hops_out);
     metrics_->counter("proc.worker.hop_bytes_out", label)
         .add(s.hop_bytes_out);
+    metrics_->counter("proc.worker.pings_answered", label)
+        .add(s.pings_answered);
+    metrics_->counter("proc.worker.frames_deduped", label)
+        .add(s.frames_deduped);
   }
 }
 

@@ -37,6 +37,21 @@
 // report plus the per-worker status the quiesce collected.  A worker that
 // dies mid-run surfaces as a typed support::ProcError, never a hang.
 //
+// Crash tolerance (see docs/architecture.md, "Crash recovery on the
+// process backend"): the parent supervises its workers three ways —
+// socket EOF (a dead process closes its end), SIGCHLD (a self-pipe wakes
+// the poll loop so the zombie is reaped and its exit status captured), and
+// heartbeat ping/pong (catches the wedged-but-alive worker EOF cannot see;
+// a timed-out worker is escalated with SIGKILL so the EOF path completes
+// the teardown).  Heartbeat deadlines are long-action-aware: time the
+// parent spends inside an action closure is credited back to every
+// worker's deadline, so a long visit never masquerades as a dead worker.
+// With Options::recovery enabled, a detected death is survivable: the
+// supervisor re-forks the worker (bounded respawns with backoff),
+// re-handshakes, re-pushes the PE's checkpoint bytes, and blind-resends
+// its retained window of unacknowledged grant-bearing frames — the wire
+// seq/dedup layer makes the resend exactly-once and non-overtaking.
+//
 // Decorators compose unchanged: FaultMachine(ProcMachine) injects frame
 // faults in the ReliableChannel layer above, whose retransmit timers run
 // on the workers' wall clocks.
@@ -46,6 +61,8 @@
 #include <exception>
 #include <functional>
 #include <memory>
+#include <optional>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -58,6 +75,26 @@
 #include "support/stopwatch.h"
 
 namespace navcpp::machine {
+
+/// What the supervisor does when a worker dies mid-run.
+struct RecoveryPolicy {
+  /// Off by default: a worker death is a typed support::ProcError, exactly
+  /// the pre-recovery behavior (tests and callers that treat death as
+  /// fatal keep their contract).
+  bool enabled = false;
+  /// Respawn budget *per worker*; exceeding it triggers `on_exhausted`.
+  int max_respawns = 3;
+  /// Delay before the first respawn; doubles (factor below) per respawn of
+  /// the same worker, capped at 1 s.
+  double backoff_s = 0.01;
+  double backoff_factor = 2.0;
+  enum class OnExhausted {
+    kFail,    ///< record a ProcError (run() throws)
+    kDegrade  ///< black-hole the PE: cancel and drop its pending work,
+              ///< keep the run going with the surviving workers
+  };
+  OnExhausted on_exhausted = OnExhausted::kFail;
+};
 
 class ProcMachine final : public Engine {
  public:
@@ -72,6 +109,25 @@ class ProcMachine final : public Engine {
     bool force_fork_only = false;
     double hello_timeout_s = 10.0;    ///< worker startup handshake
     double quiesce_timeout_s = 10.0;  ///< per-quiesce ack collection
+    /// Heartbeats: ping every interval, escalate to SIGKILL when no pong
+    /// lands within the timeout.  Deadlines exclude time the parent spends
+    /// executing actions (see the header comment), so a slow *visit* never
+    /// trips them — only a genuinely unresponsive worker does.  Interval 0
+    /// disables pings entirely.
+    double heartbeat_interval_s = 0.25;
+    double heartbeat_timeout_s = 2.0;
+    /// Worker death handling; disabled (fail-fast) by default.
+    RecoveryPolicy recovery;
+    /// Directory for per-PE checkpoint spill files (pe<N>.ckpt).  Empty =
+    /// workers keep checkpoints in memory only, and a respawned worker is
+    /// re-seeded from the parent's retained copy (modeled stable storage).
+    std::string checkpoint_dir;
+  };
+
+  /// Typed report from kill_worker: what the signal actually hit.
+  enum class KillResult {
+    kSignaled,     ///< SIGKILL delivered to a live worker
+    kAlreadyDead,  ///< worker already dead/reaped: a no-op, never UB
   };
 
   explicit ProcMachine(int pe_count) : ProcMachine(pe_count, Options{}) {}
@@ -122,10 +178,59 @@ class ProcMachine final : public Engine {
 
   bool worker_alive(int pe) const;
 
-  /// Test hook: SIGKILL the worker of `pe` (a real fail-stop crash of the
-  /// PE's process).  The next run() — or the current one, from within an
-  /// action — surfaces it as a support::ProcError.
-  void kill_worker(int pe);
+  // --- crash injection (fault harness hooks) ------------------------------
+
+  /// SIGKILL the worker of `pe` (a real fail-stop crash of the PE's
+  /// process).  Without recovery the next run() — or the current one, from
+  /// within an action — surfaces it as a support::ProcError; with recovery
+  /// the supervisor respawns it.  Idempotent: killing an already-dead or
+  /// already-reaped worker is a typed no-op, never UB (the pid is only
+  /// signaled while the incarnation it names is known live, so a recycled
+  /// pid can never be hit).
+  KillResult kill_worker(int pe);
+
+  /// SIGSTOP the worker of `pe`: a wedged-but-alive process, the failure
+  /// mode socket EOF cannot detect.  Heartbeat supervision escalates it to
+  /// SIGKILL after the pong timeout.  Same idempotency contract as
+  /// kill_worker.
+  KillResult stop_worker(int pe);
+
+  /// Schedule a real SIGKILL of `pe`'s worker for the moment the machine's
+  /// cumulative transmit() count reaches `transmits` (a deterministic
+  /// mid-run anchor on a wall-clock backend), or for `seconds` after run()
+  /// starts.  Used by the fault harness and `navcpp_cli run --kill`.
+  void schedule_kill_after_transmits(int pe, std::uint64_t transmits);
+  void schedule_kill_after(int pe, double seconds);
+
+  // --- checkpoint transport (navp::Checkpointer's proc store) -------------
+
+  /// Retain `bytes` as PE `pe`'s checkpoint: kept parent-side (modeled
+  /// stable storage, re-pushed on respawn) and shipped to the worker, which
+  /// spills it to its per-PE file when Options::checkpoint_dir is set.
+  void save_checkpoint(int pe, std::span<const std::byte> bytes);
+
+  /// Fetch `pe`'s checkpoint from its worker — a real wire round-trip; a
+  /// freshly respawned worker answers from its spill file or the re-pushed
+  /// copy.  nullopt when the worker has none or died before answering (the
+  /// latter also records a ProcError).  Only valid during run().
+  std::optional<std::vector<std::byte>> load_checkpoint(
+      int pe, double timeout_s = 5.0);
+
+  // --- recovery observability ---------------------------------------------
+
+  /// Called after a successful respawn of `pe`, as a posted action on that
+  /// PE (normal engine context): the application-level half of recovery —
+  /// e.g. navp::Checkpointer::restore — goes here.
+  void set_recovery_handler(std::function<void(int)> handler) {
+    recovery_handler_ = std::move(handler);
+  }
+
+  int respawns(int pe) const;
+  std::uint64_t total_respawns() const { return total_respawns_; }
+  std::uint64_t worker_deaths() const { return worker_deaths_; }
+  bool worker_degraded(int pe) const;
+  /// Wall seconds of the most recent death-to-resend recovery cycle.
+  double last_recovery_seconds() const { return last_recovery_s_; }
 
  private:
   enum class ActionKind : std::uint8_t { kPost, kTimer, kHop };
@@ -142,6 +247,29 @@ class ProcMachine final : public Engine {
     bool alive = false;
     bool acked_quiesce = false;
     net::WireWorkerStats stats;
+    // --- supervision ---
+    bool exited = false;      ///< SIGCHLD reaped it; exit_status below valid
+    int exit_status = 0;
+    bool degraded = false;    ///< recovery exhausted, PE black-holed
+    int respawns = 0;
+    std::uint64_t next_seq = 1;   ///< next outbound sequenced frame
+    /// Unacknowledged grant-bearing frames, in seq order: resent verbatim
+    /// after a respawn (dedup at the worker makes the replay exact).
+    std::vector<net::WireFrame> retained;
+    // --- heartbeat ---
+    bool ping_outstanding = false;
+    double ping_sent_s = 0.0;   ///< parent clock, action time excluded
+    double last_pong_s = 0.0;
+    bool heartbeat_killed = false;
+    // --- synchronous checkpoint fetch ---
+    bool ckpt_waiting = false;
+    std::optional<std::vector<std::byte>> ckpt_reply;
+  };
+
+  struct KillSchedule {
+    int pe = -1;
+    std::uint64_t after_transmits = 0;  ///< 0 = wall-clock trigger
+    double after_seconds = 0.0;
   };
 
   void check_pe(int pe) const;
@@ -152,6 +280,10 @@ class ProcMachine final : public Engine {
   void shutdown_workers() noexcept;
 
   void send_to(int pe, const net::WireFrame& frame);
+  /// Stamp a per-worker seq on a grant-bearing frame, retain a copy for
+  /// post-respawn resend, and dispatch it.
+  void send_tracked(int pe, net::WireFrame frame);
+  void retire_retained(int pe, std::uint64_t token);
   /// send_to, or park in prerun_frames_ when run() has not started yet.
   void dispatch(int pe, net::WireFrame frame);
   /// One poll iteration over the worker sockets; reads, writes, and
@@ -159,17 +291,26 @@ class ProcMachine final : public Engine {
   void pump(int timeout_ms);
   void handle_frame(int pe, const net::WireFrame& frame);
   void on_worker_dead(int pe);
+  void respawn_worker(int pe);
+  void degrade_worker(int pe);
+  void drain_sigchld();
+  void heartbeat_tick();
+  void check_kill_schedules_wall();
   void execute(std::uint64_t token, PendingAction action);
   /// Cancel timers at every live worker, collect stats, destroy leftovers.
   void quiesce();
   void record_worker_metrics();
   std::string status_summary() const;
   void record_error(std::exception_ptr error) noexcept;
+  obs::Counter* recovery_counter(const char* name);
 
   int pe_count_ = 0;
   Options options_;
   std::vector<Worker> workers_;
   std::unique_ptr<net::WireListener> listener_;  // TCP transport only
+  /// Worker binary resolved at construction; respawns re-exec the same one.
+  std::string resolved_worker_path_;
+  bool sigchld_installed_ = false;
 
   std::unordered_map<std::uint64_t, PendingAction> actions_;
   /// Frames issued before run(): held back until kStart so workers see a
@@ -194,6 +335,24 @@ class ProcMachine final : public Engine {
   double finish_time_ = 0.0;
   std::uint64_t transmitted_bytes_ = 0;
   std::uint64_t transmitted_messages_ = 0;
+  /// Cumulative across runs: the anchor schedule_kill_after_transmits uses
+  /// (per-run counters reset, so schedules set before run() stay valid).
+  std::uint64_t lifetime_transmits_ = 0;
+
+  // --- recovery state ------------------------------------------------------
+  std::vector<KillSchedule> kill_schedules_;
+  /// Parent-retained checkpoint bytes per PE (modeled stable storage).
+  std::unordered_map<int, std::vector<std::byte>> checkpoints_;
+  std::function<void(int)> recovery_handler_;
+  /// >0: a synchronous load_checkpoint wait is pumping; granted actions are
+  /// deferred so the restore stays atomic with respect to other PEs' work.
+  int defer_grants_ = 0;
+  std::vector<std::pair<std::uint64_t, PendingAction>> deferred_grants_;
+  std::uint64_t worker_deaths_ = 0;
+  std::uint64_t total_respawns_ = 0;
+  std::uint64_t frames_resent_ = 0;
+  double last_recovery_s_ = 0.0;
+  std::uint64_t ping_token_counter_ = 0;
 
   // Cached metric handles (empty/null when metrics are off).
   obs::Registry* metrics_ = nullptr;

@@ -1,9 +1,12 @@
 #include "machine/proc_worker.h"
 
 #include <poll.h>
+#include <stdio.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <chrono>
+#include <utility>
 
 namespace navcpp::machine {
 
@@ -11,8 +14,54 @@ using net::GrantKind;
 using net::WireFrame;
 using net::WireType;
 
-ProcWorker::ProcWorker(int fd, int pe) : conn_(fd), pe_(pe) {
+ProcWorker::ProcWorker(int fd, int pe, std::string ckpt_path)
+    : conn_(fd), pe_(pe), ckpt_path_(std::move(ckpt_path)) {
   run_start_ns_ = 0;
+}
+
+void ProcWorker::save_checkpoint(const std::vector<std::byte>& bytes) {
+  checkpoint_ = bytes;
+  have_checkpoint_ = true;
+  stats_.checkpoint_bytes = checkpoint_.size();
+  if (ckpt_path_.empty()) return;
+  // Spill atomically (write temp, rename) so a SIGKILL mid-write leaves the
+  // previous checkpoint intact, never a torn file.
+  const std::string tmp = ckpt_path_ + ".tmp";
+  FILE* f = ::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return;  // durability is best-effort; memory copy stands
+  const bool wrote =
+      bytes.empty() ||
+      ::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  ::fclose(f);
+  if (wrote) {
+    ::rename(tmp.c_str(), ckpt_path_.c_str());
+  } else {
+    ::unlink(tmp.c_str());
+  }
+}
+
+bool ProcWorker::load_checkpoint(std::vector<std::byte>* out) {
+  if (have_checkpoint_) {
+    *out = checkpoint_;
+    return true;
+  }
+  if (ckpt_path_.empty()) return false;
+  FILE* f = ::fopen(ckpt_path_.c_str(), "rb");
+  if (f == nullptr) return false;
+  ::fseek(f, 0, SEEK_END);
+  const long size = ::ftell(f);
+  ::fseek(f, 0, SEEK_SET);
+  out->resize(size > 0 ? static_cast<std::size_t>(size) : 0);
+  const bool read_ok =
+      out->empty() ||
+      ::fread(out->data(), 1, out->size(), f) == out->size();
+  ::fclose(f);
+  if (!read_ok) return false;
+  // Cache it: the next load should not re-hit the disk.
+  checkpoint_ = *out;
+  have_checkpoint_ = true;
+  stats_.checkpoint_bytes = checkpoint_.size();
+  return true;
 }
 
 std::int64_t ProcWorker::now_ns() const {
@@ -54,14 +103,30 @@ void ProcWorker::fire_due_timers() {
 }
 
 void ProcWorker::handle(const WireFrame& frame) {
+  // Sequenced frames (parent-retained, grant-bearing) are deduplicated
+  // against a high-water mark: after a respawn the parent blind-resends its
+  // whole retained window, and any frame this incarnation already granted
+  // must be dropped unprocessed or its action would run twice.  Seqs are
+  // monotone per connection and stamped once (a resend keeps its original
+  // seq), so `<=` is exact, not heuristic.
+  if (frame.seq != 0) {
+    if (frame.seq <= last_seq_) {
+      ++stats_.frames_deduped;
+      return;
+    }
+    last_seq_ = frame.seq;
+  }
   ++stats_.frames_seen;
   switch (frame.type) {
     case WireType::kStart:
       // Stats are per-run; timers are NOT cleared — a post_after issued
       // before run() is already ticking here, and stale timers from a
-      // previous run were canceled by its quiesce.
+      // previous run were canceled by its quiesce.  The checkpoint (and its
+      // size gauge) outlives runs: recovery may restore from a snapshot
+      // taken in an earlier run.
       stats_ = net::WireWorkerStats{};
       stats_.frames_seen = 1;  // this frame
+      stats_.checkpoint_bytes = have_checkpoint_ ? checkpoint_.size() : 0;
       break;
 
     case WireType::kPost: {
@@ -156,10 +221,41 @@ void ProcWorker::handle(const WireFrame& frame) {
       shutdown_ = true;
       break;
 
+    case WireType::kPing: {
+      // Heartbeat.  Answering proves the loop is alive and draining its
+      // socket — a wedged worker (stopped, spinning, deadlocked on a write
+      // the parent will drain) is exactly what fails to pong in time.
+      ++stats_.pings_answered;
+      WireFrame pong;
+      pong.type = WireType::kPong;
+      pong.pe = static_cast<std::uint32_t>(pe_);
+      pong.token = frame.token;
+      if (!conn_.send_frame(pong)) shutdown_ = true;
+      break;
+    }
+
+    case WireType::kCheckpointSave:
+      save_checkpoint(frame.payload);
+      break;
+
+    case WireType::kCheckpointLoad: {
+      WireFrame reply;
+      reply.type = WireType::kCheckpointData;
+      reply.pe = static_cast<std::uint32_t>(pe_);
+      reply.token = frame.token;
+      std::vector<std::byte> bytes;
+      reply.arg = load_checkpoint(&bytes) ? 1 : 0;
+      reply.payload = std::move(bytes);
+      if (!conn_.send_frame(reply)) shutdown_ = true;
+      break;
+    }
+
     case WireType::kHello:
     case WireType::kGrant:
     case WireType::kQuiesceAck:
     case WireType::kStatusReply:
+    case WireType::kPong:
+    case WireType::kCheckpointData:
       // Parent-bound frames; a parent never sends them.
       break;
   }
@@ -196,6 +292,8 @@ int ProcWorker::run() {
   return 0;
 }
 
-int proc_worker_main(int fd, int pe) { return ProcWorker(fd, pe).run(); }
+int proc_worker_main(int fd, int pe, std::string ckpt_path) {
+  return ProcWorker(fd, pe, std::move(ckpt_path)).run();
+}
 
 }  // namespace navcpp::machine

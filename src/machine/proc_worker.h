@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "net/wire.h"
@@ -28,8 +29,12 @@ namespace navcpp::machine {
 
 class ProcWorker {
  public:
-  /// Takes ownership of `fd` (closed when the loop exits).
-  ProcWorker(int fd, int pe);
+  /// Takes ownership of `fd` (closed when the loop exits).  `ckpt_path`,
+  /// when non-empty, is the file this PE's checkpoint is spilled to on
+  /// kCheckpointSave and re-read from on kCheckpointLoad — it is what makes
+  /// a checkpoint survive this process being SIGKILLed: the respawned
+  /// incarnation reopens the same path.
+  ProcWorker(int fd, int pe, std::string ckpt_path = {});
 
   /// Serve the parent until kShutdown or parent EOF.  Returns the process
   /// exit code (0 on a clean shutdown or parent disappearance; nonzero on
@@ -46,21 +51,31 @@ class ProcWorker {
 
   void handle(const net::WireFrame& frame);
   void fire_due_timers();
+  void save_checkpoint(const std::vector<std::byte>& bytes);
+  /// Retained checkpoint: the in-memory copy, else the spill file (the
+  /// memory copy died with the previous incarnation).  False when neither
+  /// exists.
+  bool load_checkpoint(std::vector<std::byte>* out);
   std::int64_t now_ns() const;
   /// Milliseconds until the next timer deadline (poll timeout), or -1.
   int next_timeout_ms() const;
 
   net::FrameConn conn_;
   int pe_ = 0;
+  std::string ckpt_path_;
   bool shutdown_ = false;
   std::int64_t run_start_ns_ = 0;
   std::uint64_t timer_seq_ = 0;
+  std::uint64_t last_seq_ = 0;  ///< dedup high-water mark (frame.seq)
   std::vector<Timer> timers_;  // binary min-heap on (deadline, seq)
   net::WireWorkerStats stats_;
   std::vector<std::byte> scratch_;  // payload materialization buffer
+  std::vector<std::byte> checkpoint_;  // retained kCheckpointSave payload
+  bool have_checkpoint_ = false;
 };
 
 /// Run a worker for PE `pe` over connected socket `fd` until shutdown.
-int proc_worker_main(int fd, int pe);
+/// `ckpt_path` (optional) is the per-PE checkpoint spill file.
+int proc_worker_main(int fd, int pe, std::string ckpt_path = {});
 
 }  // namespace navcpp::machine

@@ -4,9 +4,18 @@
 #include <utility>
 #include <vector>
 
+#include "machine/proc_machine.h"
 #include "support/error.h"
 
 namespace navcpp::navp {
+
+void ProcCheckpointStore::put(int pe, std::span<const std::byte> bytes) {
+  proc_.save_checkpoint(pe, bytes);
+}
+
+std::optional<std::vector<std::byte>> ProcCheckpointStore::fetch(int pe) {
+  return proc_.load_checkpoint(pe);
+}
 
 namespace {
 
@@ -54,6 +63,7 @@ const support::ByteBuffer& Checkpointer::take(int pe) {
   }
 
   auto [it, unused] = snapshots_.insert_or_assign(pe, std::move(buf));
+  if (store_ != nullptr) store_->put(pe, it->second.bytes());
   return it->second;
 }
 
@@ -62,6 +72,15 @@ bool Checkpointer::has_checkpoint(int pe) const {
 }
 
 int Checkpointer::restore(int pe) {
+  if (store_ != nullptr) {
+    // Prefer the store: after a real crash the local map may be the only
+    // survivor, but when the store answers, the snapshot has genuinely
+    // round-tripped through serialized bytes on the store's medium.
+    std::optional<std::vector<std::byte>> bytes = store_->fetch(pe);
+    if (bytes.has_value()) {
+      return restore_from(pe, support::ByteBuffer(std::move(*bytes)));
+    }
+  }
   auto it = snapshots_.find(pe);
   NAVCPP_CHECK(it != snapshots_.end(),
                "no checkpoint taken for PE " + std::to_string(pe));

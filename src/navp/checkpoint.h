@@ -28,12 +28,52 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
+#include <span>
 #include <unordered_map>
+#include <vector>
 
 #include "navp/runtime.h"
 #include "support/bytebuffer.h"
 
+namespace navcpp::machine {
+class ProcMachine;
+}  // namespace navcpp::machine
+
 namespace navcpp::navp {
+
+/// Pluggable retention backend for serialized snapshots.
+///
+/// Without a store the Checkpointer keeps snapshots in its in-memory map —
+/// fine on the sim backend, where stable storage is modeled.  A store makes
+/// retention real: take() pushes the serialized bytes through put(), and
+/// restore() prefers fetch() over the local map, so the snapshot round-trips
+/// through bytes on whatever medium the store represents.
+class CheckpointStore {
+ public:
+  virtual ~CheckpointStore() = default;
+  virtual void put(int pe, std::span<const std::byte> bytes) = 0;
+  /// The latest snapshot for `pe`, or nullopt if the store has none (the
+  /// caller then falls back to its own retained copy, if any).
+  virtual std::optional<std::vector<std::byte>> fetch(int pe) = 0;
+};
+
+/// CheckpointStore over machine::ProcMachine's checkpoint transport: put()
+/// retains parent-side and ships the bytes to the PE's worker process
+/// (which spills them to its per-PE file when the machine has a
+/// checkpoint_dir), and fetch() is a real wire round-trip — a freshly
+/// respawned worker answers from its spill file or the re-pushed copy, so
+/// restoring after a real SIGKILL exercises the full serialize -> wire ->
+/// deserialize path.
+class ProcCheckpointStore final : public CheckpointStore {
+ public:
+  explicit ProcCheckpointStore(machine::ProcMachine& proc) : proc_(proc) {}
+  void put(int pe, std::span<const std::byte> bytes) override;
+  std::optional<std::vector<std::byte>> fetch(int pe) override;
+
+ private:
+  machine::ProcMachine& proc_;
+};
 
 class Checkpointer {
  public:
@@ -50,6 +90,11 @@ class Checkpointer {
     save_node_ = std::move(save);
     restore_node_ = std::move(restore);
   }
+
+  /// Route snapshot retention through `store` (not owned; may be null to
+  /// go back to in-memory only).  take() pushes serialized bytes into it;
+  /// restore() fetches from it first, falling back to the local map.
+  void set_store(CheckpointStore* store) { store_ = store; }
 
   /// Snapshot `pe` now and retain it as the PE's latest checkpoint.
   /// Returns the serialized snapshot (also kept internally for restore()).
@@ -71,6 +116,7 @@ class Checkpointer {
   Runtime& rt_;
   SaveNodeState save_node_;
   RestoreNodeState restore_node_;
+  CheckpointStore* store_ = nullptr;
   std::unordered_map<int, support::ByteBuffer> snapshots_;
 };
 

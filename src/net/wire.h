@@ -11,8 +11,17 @@
 //   u64  token    — parent-issued id of the action this frame is about
 //   u64  arg      — type-specific scalar (timer delay in ns, run id,
 //                   payload checksum, grant kind/ok, protocol version)
+//   u64  seq      — parent-stamped delivery sequence for grant-bearing
+//                   frames (kPost/kTimer/kSend/kHop); 0 = unsequenced.
+//                   Workers drop a nonzero seq they have already seen, so
+//                   the parent can blind-retransmit its retained frames
+//                   after a worker respawn without double delivery and
+//                   without violating non-overtaking (seqs are monotone
+//                   per connection and survive the respawn).
 //   u32  ntokens  + ntokens * u64   — kQuiesceAck: canceled timer tokens
-//   u32  npayload + npayload bytes  — kHop: the payload crossing the wire
+//   u32  npayload + npayload bytes  — kHop: the payload crossing the wire;
+//                                     kCheckpointSave/kCheckpointData: the
+//                                     serialized checkpoint
 //   [WireWorkerStats]               — kQuiesceAck / kStatusReply only
 //
 // All integers are host-endian: parent and workers run on one host (the
@@ -32,7 +41,7 @@ namespace navcpp::net {
 
 /// Protocol revision; kHello carries it in `arg` and the parent refuses a
 /// mismatched worker instead of misparsing its frames.
-constexpr std::uint64_t kWireProtocolVersion = 1;
+constexpr std::uint64_t kWireProtocolVersion = 2;
 
 enum class WireType : std::uint8_t {
   kHello = 1,       ///< worker -> parent: I am PE `pe`, protocol `arg`
@@ -47,6 +56,13 @@ enum class WireType : std::uint8_t {
   kStatus = 10,     ///< parent -> worker: status ping
   kStatusReply = 11,  ///< worker -> parent: timers pending in `arg` + stats
   kShutdown = 12,   ///< parent -> worker: exit cleanly
+  kPing = 13,       ///< parent -> worker: heartbeat, echo `token` back
+  kPong = 14,       ///< worker -> parent: heartbeat reply (echoed `token`)
+  kCheckpointSave = 15,  ///< parent -> worker: retain `payload` as your PE's
+                         ///< checkpoint (spill to file if configured)
+  kCheckpointLoad = 16,  ///< parent -> worker: send your checkpoint back
+  kCheckpointData = 17,  ///< worker -> parent: checkpoint bytes; arg=1 when
+                         ///< a checkpoint exists, 0 when there is none
 };
 
 /// What kind of action a kGrant releases; packed into the low byte of
@@ -68,6 +84,9 @@ struct WireWorkerStats {
   std::uint64_t hop_bytes_out = 0;
   std::uint64_t hop_bytes_in = 0;
   std::uint64_t frames_seen = 0;      ///< every frame the worker processed
+  std::uint64_t pings_answered = 0;   ///< kPing frames ponged
+  std::uint64_t frames_deduped = 0;   ///< replayed seqs dropped unprocessed
+  std::uint64_t checkpoint_bytes = 0; ///< size of the retained checkpoint
 };
 
 /// One decoded (or to-be-encoded) protocol frame.  Unused fields stay at
@@ -79,6 +98,7 @@ struct WireFrame {
   std::uint32_t src = 0;
   std::uint64_t token = 0;
   std::uint64_t arg = 0;
+  std::uint64_t seq = 0;  ///< 0 = unsequenced (control frame, never deduped)
   std::vector<std::uint64_t> tokens;
   std::vector<std::byte> payload;
   WireWorkerStats stats;

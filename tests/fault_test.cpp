@@ -4,7 +4,9 @@
 // workload suite that ties them together.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -12,6 +14,7 @@
 #include "harness/workloads.h"
 #include "machine/fault_machine.h"
 #include "machine/sim_machine.h"
+#include "machine/threaded_machine.h"
 #include "minimpi/world.h"
 #include "navp/checkpoint.h"
 #include "navp/event.h"
@@ -142,6 +145,83 @@ TEST(FaultMachine, RejectsInvalidPlans) {
   machine::FaultPlan bad_crash;
   bad_crash.crashes.push_back(machine::CrashSpec{7, 1.0, -1.0});
   EXPECT_THROW(machine::FaultMachine(sim, bad_crash), support::Error);
+  // A hop-count trigger without a threshold can never fire: reject it at
+  // construction rather than silently arming a dead spec.
+  machine::FaultPlan no_threshold;
+  machine::CrashSpec hop_spec;
+  hop_spec.pe = 1;
+  hop_spec.trigger = machine::CrashSpec::Trigger::kHopCount;
+  no_threshold.crashes.push_back(hop_spec);
+  EXPECT_THROW(machine::FaultMachine(sim, no_threshold), support::Error);
+}
+
+// Regression for the trigger-mode motivation: on a real-time backend,
+// "crash at t engine-seconds" lands at an arbitrary point of the program's
+// progress, so crash plans anchor to the cumulative transmit() count
+// instead.  The threshold must be exact — hop 4 of 5 must not fire it,
+// cumulative hop 5 must, including across run() boundaries.
+TEST(FaultMachine, HopCountTriggerFiresAtExactThresholdOnRealTimeBackend) {
+  machine::ThreadedMachine inner(2);
+  machine::FaultPlan plan;
+  machine::CrashSpec spec;
+  spec.pe = 1;
+  spec.restart_after = 0.005;
+  spec.trigger = machine::CrashSpec::Trigger::kHopCount;
+  spec.after_hops = 5;
+  plan.crashes.push_back(spec);
+  machine::FaultMachine fault(inner, plan);
+
+  std::atomic<int> delivered{0};
+  fault.task_started();
+  fault.post(0, [&] {
+    for (int i = 0; i < 4; ++i) {
+      fault.transmit(0, 1, 8, [&] {
+        if (delivered.fetch_add(1) + 1 == 4) fault.task_finished();
+      });
+    }
+  });
+  fault.run();
+  EXPECT_EQ(fault.crashes_fired(), 0u) << "4 hops is below the threshold";
+  EXPECT_EQ(delivered.load(), 4);
+
+  // Deliveries are unreliable once the crash fires (post-crash transmits go
+  // to limbo), so the second run is held open by a timer instead.
+  fault.task_started();
+  fault.post(0, [&] {
+    for (int i = 0; i < 3; ++i) fault.transmit(0, 1, 8, [] {});
+    fault.post_after(0, 0.05, [&] { fault.task_finished(); });
+  });
+  fault.run();
+  EXPECT_EQ(fault.crashes_fired(), 1u) << "5th cumulative hop trips it";
+}
+
+TEST(FaultMachine, WallClockTriggerFiresOncePastElapsedRunTime) {
+  machine::ThreadedMachine inner(2);
+  machine::FaultPlan plan;
+  machine::CrashSpec spec;
+  spec.pe = 1;
+  spec.at = 0.05;  // wall seconds into run(), checked at transmit granularity
+  spec.trigger = machine::CrashSpec::Trigger::kWallClock;
+  plan.crashes.push_back(spec);
+  machine::FaultMachine fault(inner, plan);
+
+  // A 10 ms transmit metronome: traffic keeps flowing well past the 50 ms
+  // mark, so exactly one crash must fire mid-stream.  `rounds` only ever
+  // moves on PE 0's worker thread.
+  int rounds = 0;
+  std::function<void()> tick = [&] {
+    fault.transmit(0, 1, 8, [] {});
+    if (++rounds < 12) {
+      fault.post_after(0, 0.01, [&] { tick(); });
+    } else {
+      fault.task_finished();
+    }
+  };
+  fault.task_started();
+  fault.post(0, [&] { tick(); });
+  fault.run();
+  EXPECT_EQ(fault.crashes_fired(), 1u);
+  EXPECT_EQ(rounds, 12);
 }
 
 // --- runtime integration ---------------------------------------------------

@@ -6,9 +6,13 @@
 // suite still passes when the binary is missing.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstddef>
+#include <functional>
+#include <optional>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "harness/fault_suite.h"
@@ -243,6 +247,221 @@ TEST(ProcMachine, MetricsRegistryGetsPerPeAndWorkerCounters) {
   EXPECT_EQ(snap.counter_or("proc.worker.hop_bytes_in{pe=1}"), 512u);
 }
 
+// --- crash tolerance: supervision, heartbeats, respawn, checkpoints --------
+
+TEST(ProcMachine, KillWorkerIsIdempotent) {
+  ProcMachine m(2);
+  m.task_started();
+  m.post(0, [&] {
+    EXPECT_EQ(m.kill_worker(1), ProcMachine::KillResult::kSignaled);
+    // Double-kill in the detection window: the incarnation is dying but not
+    // yet reaped, so signaling it again is defined (and harmless).
+    (void)m.kill_worker(1);
+    m.post(1, [&] { m.task_finished(); });
+  });
+  EXPECT_THROW(m.run(), support::ProcError);
+  m.task_finished();
+  EXPECT_FALSE(m.worker_alive(1));
+  // After death detection the pid may have been recycled by the OS: the
+  // report must flip to kAlreadyDead and the dead pid must never be
+  // signaled again, however many times callers ask.
+  EXPECT_EQ(m.kill_worker(1), ProcMachine::KillResult::kAlreadyDead);
+  EXPECT_EQ(m.kill_worker(1), ProcMachine::KillResult::kAlreadyDead);
+  EXPECT_EQ(m.stop_worker(1), ProcMachine::KillResult::kAlreadyDead);
+}
+
+TEST(ProcMachine, RespawnRedeliversPendingWorkExactlyOnce) {
+  ProcMachine::Options o;
+  o.recovery.enabled = true;
+  ProcMachine m(2, o);
+  // SIGKILL PE 1's worker at the 10th cross-PE transmit: 30 more hops are
+  // queued behind the crash, some already in the dead worker's socket.
+  m.schedule_kill_after_transmits(1, 10);
+  int delivered = 0;
+  m.post(0, [&] {
+    for (int i = 0; i < 40; ++i) m.transmit(0, 1, 256, [&] { ++delivered; });
+  });
+  m.run();
+  // Exactly once: the respawned worker's seq dedup discards any frame the
+  // dead incarnation already granted, and retained-frame replay supplies
+  // the ones it lost.
+  EXPECT_EQ(delivered, 40);
+  EXPECT_GE(m.worker_deaths(), 1u);
+  EXPECT_GE(m.respawns(1), 1);
+  EXPECT_GE(m.total_respawns(), 1u);
+  EXPECT_TRUE(m.worker_alive(1));
+  EXPECT_GT(m.last_recovery_seconds(), 0.0);
+}
+
+TEST(ProcMachine, TornFrameSurfacesTypedErrorNotPartialFrameHang) {
+  // An 8 MiB hop needs many write() chunks; the SIGKILL lands with the
+  // frame part-written somewhere in the pipeline.  Without recovery the
+  // contract is the pre-recovery one: a typed ProcError naming the PE,
+  // never a hang on a half-frame and never a short delivery.
+  ProcMachine m(2);
+  m.task_started();
+  int delivered = 0;
+  m.post(0, [&] {
+    m.transmit(0, 1, 8u << 20, [&] { ++delivered; });
+    m.kill_worker(1);
+    m.post(1, [&] { m.task_finished(); });
+  });
+  try {
+    m.run();
+    FAIL() << "run() should have thrown ProcError";
+  } catch (const support::ProcError& e) {
+    EXPECT_NE(std::string(e.what()).find("PE 1"), std::string::npos)
+        << e.what();
+  }
+  m.task_finished();
+  EXPECT_EQ(delivered, 0);
+}
+
+TEST(ProcMachine, TornFrameRedeliveredExactlyOnceWithRecovery) {
+  ProcMachine::Options o;
+  o.recovery.enabled = true;
+  ProcMachine m(2, o);
+  int delivered = 0;
+  m.post(0, [&] {
+    m.transmit(0, 1, 8u << 20, [&] { ++delivered; });
+    m.kill_worker(1);
+  });
+  m.run();
+  // The torn partial frame died with the old conn's buffers; the respawned
+  // worker got a clean replay of the whole payload, exactly once.
+  EXPECT_EQ(delivered, 1);
+  EXPECT_GE(m.worker_deaths(), 1u);
+  EXPECT_GE(m.respawns(1), 1);
+}
+
+TEST(ProcMachine, HeartbeatToleratesLongParentAction) {
+  // The PR 2 false-deadlock regression guard, crash-supervision edition: a
+  // visit that outlives the pong deadline must NOT read as a dead worker.
+  // While the parent executes an action it cannot drain pongs, so the
+  // supervisor credits action time against every worker's deadline.
+  ProcMachine::Options o;
+  o.heartbeat_interval_s = 0.05;
+  o.heartbeat_timeout_s = 0.15;
+  ProcMachine m(2, o);
+  m.post(0, [] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  });
+  m.post(1, [] {});
+  m.run();  // a false heartbeat kill would surface as ProcError here
+  EXPECT_EQ(m.worker_deaths(), 0u);
+  EXPECT_TRUE(m.worker_alive(0));
+  EXPECT_TRUE(m.worker_alive(1));
+}
+
+TEST(ProcMachine, HeartbeatEscalatesWedgedWorkerToRespawn) {
+  // SIGSTOP is the failure mode socket EOF cannot see: the process is
+  // alive, fds open, but it will never answer.  Only the missing pong
+  // betrays it; the supervisor escalates to SIGKILL and respawns.
+  ProcMachine::Options o;
+  o.heartbeat_interval_s = 0.05;
+  o.heartbeat_timeout_s = 0.25;
+  o.recovery.enabled = true;
+  ProcMachine m(2, o);
+  bool fired = false;
+  m.post(0, [&] {
+    EXPECT_EQ(m.stop_worker(1), ProcMachine::KillResult::kSignaled);
+    // The timer frame lands in the wedged worker's socket buffer and dies
+    // with it; the respawned incarnation must get it replayed.
+    m.post_after(1, 0.01, [&] { fired = true; });
+  });
+  m.run();
+  EXPECT_TRUE(fired);
+  EXPECT_GE(m.worker_deaths(), 1u);
+  EXPECT_GE(m.respawns(1), 1);
+  EXPECT_TRUE(m.worker_alive(1));
+}
+
+TEST(ProcMachine, CheckpointRoundTripsThroughWorker) {
+  ProcMachine m(2);
+  std::vector<std::byte> data;
+  for (int i = 0; i < 4096; ++i) {
+    data.push_back(static_cast<std::byte>(i * 31 & 0xff));
+  }
+  std::optional<std::vector<std::byte>> got;
+  std::optional<std::vector<std::byte>> none;
+  m.post(0, [&] {
+    m.save_checkpoint(1, data);
+    got = m.load_checkpoint(1);   // real wire round-trip to PE 1's worker
+    none = m.load_checkpoint(0);  // PE 0 never checkpointed
+  });
+  m.run();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, data);
+  EXPECT_FALSE(none.has_value());
+}
+
+TEST(ProcMachine, CheckpointSurvivesRespawnViaReseed) {
+  ProcMachine::Options o;
+  o.recovery.enabled = true;
+  ProcMachine m(2, o);
+  std::vector<std::byte> data(512, std::byte{0x5a});
+  std::optional<std::vector<std::byte>> got;
+  m.post(0, [&] {
+    m.save_checkpoint(1, data);
+    m.kill_worker(1);
+    // The worker that held the checkpoint is gone; the supervisor re-pushes
+    // the parent's retained copy during respawn, so the fetch must still be
+    // answered over the wire by the new incarnation.
+    m.post(1, [&] { got = m.load_checkpoint(1); });
+  });
+  m.run();
+  EXPECT_GE(m.respawns(1), 1);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, data);
+}
+
+TEST(ProcMachine, RecoveryBudgetExhaustionFailsWithTypedError) {
+  ProcMachine::Options o;
+  o.recovery.enabled = true;
+  o.recovery.max_respawns = 1;
+  o.recovery.backoff_s = 0.001;
+  ProcMachine m(2, o);
+  m.task_started();
+  int kills = 0;
+  std::function<void()> kill_again = [&] {
+    ++kills;
+    m.kill_worker(1);
+    if (kills < 3) {
+      // Each respawn is greeted with another SIGKILL until the budget runs
+      // out; schedule from the parent so the victim needn't be schedulable.
+      m.post_after(0, 0.05, [&] { kill_again(); });
+    }
+  };
+  m.post(0, [&] { kill_again(); });
+  try {
+    m.run();
+    FAIL() << "run() should have thrown ProcError";
+  } catch (const support::ProcError& e) {
+    EXPECT_NE(std::string(e.what()).find("budget"), std::string::npos)
+        << e.what();
+  }
+  m.task_finished();
+}
+
+TEST(ProcMachine, RecoveryBudgetExhaustionCanDegradeInstead) {
+  ProcMachine::Options o;
+  o.recovery.enabled = true;
+  o.recovery.max_respawns = 0;
+  o.recovery.on_exhausted = RecoveryPolicy::OnExhausted::kDegrade;
+  ProcMachine m(2, o);
+  bool survivor_ran = false;
+  m.post(0, [&] {
+    m.kill_worker(1);
+    m.transmit(0, 1, 64, [] {});  // black-holed, must not wedge the run
+    m.post(0, [&] { survivor_ran = true; });
+  });
+  m.run();  // completes: the degraded PE's work is dropped, not awaited
+  EXPECT_TRUE(survivor_ran);
+  EXPECT_TRUE(m.worker_degraded(1));
+  EXPECT_FALSE(m.worker_alive(1));
+  EXPECT_TRUE(m.worker_alive(0));
+}
+
 // --- the catalog on the proc backend ---------------------------------------
 
 TEST(ProcMachineWorkloads, AllProgramsBitIdenticalToSimReference) {
@@ -270,11 +489,21 @@ TEST(ProcMachineWorkloads, FaultSweepSmokeOverSocketTransport) {
       << ": " << report.first_failure.detail;
 }
 
-TEST(ProcMachineWorkloads, RecoveryRingIsSimOnly) {
-  machine::FaultPlan plan;
-  EXPECT_THROW(harness::run_fault_case("recovery/ring", plan,
-                                       harness::FaultBackend::kProc),
-               support::ConfigError);
+// The headline crash drill: the recovery ring on the process backend, with
+// hop-count-triggered crashes SIGKILLing real worker processes mid-run.
+// The supervisor respawns them, Checkpointer::restore fetches the snapshot
+// back over the wire (navp::ProcCheckpointStore), and the ring sum must
+// still match the fault-free expectation exactly.
+TEST(ProcMachineWorkloads, RecoveryRingSurvivesRealSigkills) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    machine::FaultPlan plan;
+    plan.seed = seed;
+    const harness::FaultCaseResult r = harness::run_fault_case(
+        "recovery/ring", plan, harness::FaultBackend::kProc);
+    EXPECT_TRUE(r.ok) << "seed " << seed << ": " << r.detail;
+    EXPECT_GE(r.crashes_fired, 2u) << "seed " << seed;
+    EXPECT_GE(r.agents_recovered, 1u) << "seed " << seed;
+  }
 }
 
 }  // namespace

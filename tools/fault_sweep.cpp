@@ -8,12 +8,14 @@
 // message-fault injection (machine::FaultMachine over the deterministic
 // SimMachine, masked by net::ReliableChannel) for N consecutive seeds.
 // `--backend proc` pushes the same faulted frames through the
-// process-per-PE machine's real socket transport instead (the recovery
-// ring stays sim-only: its crash schedule is calibrated in virtual time).
+// process-per-PE machine's real socket transport instead, and turns the
+// recovery ring into the full-stack crash drill: hop-count-triggered
+// crashes SIGKILL real worker processes, the recovery-enabled supervisor
+// respawns them, and restore fetches checkpoints back over the wire.
 // Program results must be BIT-IDENTICAL to a fault-free run; the recovery
-// ring must survive a mid-run PE crash + checkpoint restart with an exact
-// final sum.  On the first failure it prints the failing (case, seed) pair
-// and the one-command replay line, and exits 1.
+// ring must survive its mid-run PE crashes + checkpoint restarts with an
+// exact final sum.  On the first failure it prints the failing
+// (case, seed) pair and the one-command replay line, and exits 1.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>

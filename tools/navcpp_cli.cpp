@@ -16,7 +16,8 @@
 //                      [--dup P] [--corrupt P] [--backend sim|proc]
 //                      [--verbose]
 //   navcpp_cli run     --program NAME [--backend sim|threaded|proc]
-//                      [--strict] [--metrics]
+//                      [--strict] [--metrics] [--recover]
+//                      [--kill PE@N[,PE@N...]]
 //   navcpp_cli profile --program NAME [--out FILE.json] [--check]
 //                      [--metrics]
 //   navcpp_cli bench   [--quick] [--rev LABEL] [--out FILE.json]
@@ -115,7 +116,7 @@ int usage() {
       "  fault   [--seeds N] [--seed S] [--case SUBSTR] [--drop P] "
       "[--dup P] [--corrupt P] [--backend sim|proc] [--verbose]\n"
       "  run     --program NAME [--backend sim|threaded|proc] [--strict] "
-      "[--metrics]\n"
+      "[--metrics] [--recover] [--kill PE@N[,PE@N...]]\n"
       "  profile --program NAME [--out FILE.json] [--check] [--metrics]\n"
       "  bench   [--quick] [--rev LABEL] [--out FILE.json]\n");
   return 2;
@@ -580,6 +581,12 @@ int run_stagger(const Args& args) {
 // prints the per-PE worker counters the parent collected at quiesce.
 // --strict additionally serializes/restores all declared agent cargo
 // around every hop (navp::StrictMigrationScope).
+//
+// Crash drill (proc only): --recover enables the supervisor's respawn
+// policy and --kill PE@N[,PE@N...] SIGKILLs each listed worker after its
+// Nth cross-PE transmit.  Coroutine frames live in the parent, so a
+// respawned worker plus retained-frame replay must reproduce the exact
+// fault-free result — the verify line still demands bit-identical.
 int run_run(const Args& args) {
   const std::string program = args.get("program", "");
   if (program.empty()) {
@@ -592,8 +599,46 @@ int run_run(const Args& args) {
   const std::string backend = args.get("backend", "sim");
   const int pes = navcpp::harness::workload_pe_count(program);
 
+  // --kill PE@N[,PE@N...]: SIGKILL PE's worker after its Nth transmit.
+  struct KillAt {
+    int pe;
+    std::uint64_t transmits;
+  };
+  std::vector<KillAt> kills;
+  const std::string kill_spec = args.get("kill", "");
+  if (!kill_spec.empty()) {
+    const std::string& spec = kill_spec;
+    for (std::size_t pos = 0; pos < spec.size();) {
+      const std::size_t comma = spec.find(',', pos);
+      const std::string item =
+          spec.substr(pos, comma == std::string::npos ? comma : comma - pos);
+      const std::size_t at = item.find('@');
+      if (at == std::string::npos) {
+        std::fprintf(stderr, "run: --kill wants PE@TRANSMITS, got '%s'\n",
+                     item.c_str());
+        return 2;
+      }
+      KillAt k;
+      k.pe = std::atoi(item.substr(0, at).c_str());
+      k.transmits = std::strtoull(item.substr(at + 1).c_str(), nullptr, 10);
+      if (k.pe < 0 || k.pe >= pes || k.transmits < 1) {
+        std::fprintf(stderr, "run: bad --kill entry '%s' (PE in [0,%d), "
+                     "TRANSMITS >= 1)\n", item.c_str(), pes);
+        return 2;
+      }
+      kills.push_back(k);
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+  }
+  if ((!kills.empty() || args.has("recover")) && backend != "proc") {
+    std::fprintf(stderr, "run: --kill/--recover require --backend proc\n");
+    return 2;
+  }
+
   navcpp::obs::Registry registry;
   std::unique_ptr<navcpp::machine::Engine> engine;
+  navcpp::machine::ProcMachine* proc = nullptr;
   if (backend == "sim") {
     engine = std::make_unique<navcpp::machine::SimMachine>(
         pes, navcpp::harness::workload_link(program));
@@ -602,8 +647,17 @@ int run_run(const Args& args) {
     m->set_stall_timeout(60.0);
     engine = std::move(m);
   } else if (backend == "proc") {
-    auto m = std::make_unique<navcpp::machine::ProcMachine>(pes);
+    navcpp::machine::ProcMachine::Options opt;
+    if (args.has("recover")) {
+      opt.recovery.enabled = true;
+      opt.recovery.max_respawns = 8;
+    }
+    auto m = std::make_unique<navcpp::machine::ProcMachine>(pes, opt);
     m->set_stall_timeout(60.0);
+    for (const KillAt& k : kills) {
+      m->schedule_kill_after_transmits(k.pe, k.transmits);
+    }
+    proc = m.get();
     engine = std::move(m);
   } else {
     std::fprintf(stderr, "run: unknown --backend %s (sim|threaded|proc)\n",
@@ -628,6 +682,14 @@ int run_run(const Args& args) {
   std::printf("  verify: %s (%s); vs sim reference: %s\n",
               check.ok ? "OK" : "FAILED", check.detail.c_str(),
               identical ? "bit-identical" : "DIVERGED");
+
+  if (proc != nullptr && (proc->worker_deaths() > 0 || args.has("recover"))) {
+    std::printf("  crash drill: %llu worker death(s), %llu respawn(s), "
+                "last recovery %.1f ms\n",
+                static_cast<unsigned long long>(proc->worker_deaths()),
+                static_cast<unsigned long long>(proc->total_respawns()),
+                proc->last_recovery_seconds() * 1e3);
+  }
 
   const auto snap = registry.snapshot();
   if (backend == "proc") {

@@ -7,11 +7,15 @@
 //
 //   navcpp_worker --pe N --fd FD     # socketpair transport (fd inherited)
 //   navcpp_worker --pe N --port P    # connect to 127.0.0.1:P instead
+//   ... [--ckpt FILE]                # per-PE checkpoint spill file: a
+//                                    # respawned worker re-reads it, which
+//                                    # is how a checkpoint survives SIGKILL
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <exception>
+#include <string>
 
 #include "machine/proc_worker.h"
 #include "net/wire.h"
@@ -20,6 +24,7 @@ int main(int argc, char** argv) {
   int pe = -1;
   int fd = -1;
   long port = -1;
+  std::string ckpt;
   for (int i = 1; i + 1 < argc; i += 2) {
     if (std::strcmp(argv[i], "--pe") == 0) {
       pe = std::atoi(argv[i + 1]);
@@ -27,6 +32,8 @@ int main(int argc, char** argv) {
       fd = std::atoi(argv[i + 1]);
     } else if (std::strcmp(argv[i], "--port") == 0) {
       port = std::atol(argv[i + 1]);
+    } else if (std::strcmp(argv[i], "--ckpt") == 0) {
+      ckpt = argv[i + 1];
     } else {
       std::fprintf(stderr, "navcpp_worker: unknown option %s\n", argv[i]);
       return 2;
@@ -34,7 +41,8 @@ int main(int argc, char** argv) {
   }
   if (pe < 0 || (fd < 0 && port < 0)) {
     std::fprintf(stderr,
-                 "usage: navcpp_worker --pe N (--fd FD | --port P)\n"
+                 "usage: navcpp_worker --pe N (--fd FD | --port P) "
+                 "[--ckpt FILE]\n"
                  "(internal helper of the navcpp process-per-PE backend; "
                  "not meant to be run by hand)\n");
     return 2;
@@ -44,7 +52,7 @@ int main(int argc, char** argv) {
       fd = navcpp::net::wire_connect_loopback(
           static_cast<std::uint16_t>(port));
     }
-    return navcpp::machine::proc_worker_main(fd, pe);
+    return navcpp::machine::proc_worker_main(fd, pe, ckpt);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "navcpp_worker (pe %d): %s\n", pe, e.what());
     return 1;

@@ -145,6 +145,19 @@ BenchReport run_bench_suite(const BenchOptions& options) {
           [] { return std::make_unique<machine::ProcMachine>(2); }, laps,
           reps),
       "hops/s", true};
+  // Same hopper with distributed tracing on (trace ids stamped on every
+  // frame, workers recording + shipping spans, flight recorder active).
+  // Committed next to the untraced number so the observability overhead is
+  // itself a gated metric: bench_compare flags the A/B ratio drifting.
+  report.metrics["runtime.proc.traced_hops_per_sec"] = BenchMetric{
+      measure_hops_per_sec(
+          [] {
+            machine::ProcMachine::Options opt;
+            opt.trace = true;
+            return std::make_unique<machine::ProcMachine>(2, opt);
+          },
+          laps, reps),
+      "hops/s", true};
   // Crash recovery on the same backend: SIGKILL a worker mid-hopper-run
   // and report how long the supervisor took to detect, respawn, and
   // replay (lower is better; bench_compare gates regressions).

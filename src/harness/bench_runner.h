@@ -10,6 +10,12 @@
 //   * runtime.sim.hops_per_sec          — BM_SimHops (4 PEs)
 //   * runtime.proc.hops_per_sec         — hopper on the process backend
 //                                          (heartbeats on, per defaults)
+//   * runtime.proc.traced_hops_per_sec  — same hopper with distributed
+//                                          tracing on (span recording,
+//                                          kSpans shipping, flight
+//                                          recorder); the A/B pair vs the
+//                                          untraced metric is the measured
+//                                          observability overhead
 //   * runtime.proc.recovery_ms          — SIGKILL-to-recovered latency of
 //                                          the proc supervisor (detect +
 //                                          respawn + replay; lower better)
@@ -17,7 +23,12 @@
 //   * sweep.jacobi_wall_seconds         — jacobi/dataflow wall time (sim)
 //   * sweep.lu_wall_seconds             — lu/pipeline wall time (sim)
 //   * obs.mean_pe_utilization           — profile of mm/phase1d (sim;
-//                                          deterministic across hosts)
+//                                          deterministic across hosts).
+//                                          Busy-based: mean over PEs of
+//                                          busy_time(pe) / finish_time,
+//                                          not the compute-only ratio
+//                                          (which reads ~0.005 on loaded
+//                                          fine-grained runs)
 //
 // Wall-clock metrics are best-of-N to shed scheduler noise; the sim-derived
 // utilization metric is bit-deterministic and anchors cross-host diffs.

@@ -1,12 +1,21 @@
-// Run-wide profiling of one workload on the deterministic sim backend:
-// trace + metrics scopes wrap a run_workload() call, and the result bundles
-// a Chrome trace-event JSON (chrome://tracing / Perfetto), a per-PE
-// compute / comm / wait / idle table in the style of the paper's Tables
-// 3-4, and the full metrics snapshot.  Everything is derived from virtual
-// time on a SimMachine, so two same-configuration runs produce
-// byte-identical JSON and tables.
+// Run-wide profiling of one workload: trace + metrics scopes wrap a
+// run_workload() call, and the result bundles a Chrome trace-event JSON
+// (chrome://tracing / Perfetto), a per-PE compute / comm / wait / idle
+// table in the style of the paper's Tables 3-4, and the full metrics
+// snapshot.
 //
-// Used by `navcpp_cli profile` and the obs tests.
+// Two backends:
+//   * profile_workload() — the deterministic sim backend.  Everything is
+//     derived from virtual time on a SimMachine, so two
+//     same-configuration runs produce byte-identical JSON and tables.
+//   * profile_workload_proc() — the process-per-PE backend.  The trace is
+//     the merged cross-process view (obs/proc_trace.h: one lane per worker
+//     process, hop flow arrows, clock-corrected timestamps) and the table
+//     columns come from worker-side wall-clock measurements shipped over
+//     the wire, so numbers vary run to run.
+//
+// Used by `navcpp_cli profile` / `navcpp_cli run --trace` and the obs
+// tests.
 #pragma once
 
 #include <cstdint>
@@ -18,8 +27,9 @@ namespace navcpp::harness {
 
 struct ProfileResult {
   std::string program;
+  std::string backend = "sim";  ///< "sim" or "proc"
   int pe_count = 0;
-  double finish_time = 0.0;  ///< virtual seconds at drain
+  double finish_time = 0.0;  ///< virtual (sim) / wall (proc) seconds
   bool ok = false;           ///< result verified against the reference
   std::string detail;        ///< verification residual summary
 
@@ -27,9 +37,12 @@ struct ProfileResult {
   std::string table;       ///< per-PE compute/comm/wait/idle breakdown
   obs::Snapshot snapshot;  ///< full metrics snapshot of the run
 
-  /// Mean per-PE compute utilization (the "all" row of `table` as a
-  /// number); deterministic on the sim backend, so the bench trajectory
-  /// uses it as a cross-host anchor metric.
+  /// Mean per-PE busy-time utilization: busy_time(pe) / finish_time
+  /// averaged over PEs (the "util" column of `table`).  Busy time is all
+  /// engine-charged work — traced compute plus protocol work — so the
+  /// number reflects how loaded the PEs actually were; deterministic on
+  /// the sim backend, so the bench trajectory uses it as a cross-host
+  /// anchor metric (obs.mean_pe_utilization).
   double mean_utilization = 0.0;
 
   // NetworkModel admission counts, for cross-checking the exported
@@ -42,5 +55,12 @@ struct ProfileResult {
 /// Profile the named workload (see harness/workloads.h) on a fresh
 /// SimMachine.  Unknown names throw ConfigError.
 ProfileResult profile_workload(const std::string& name);
+
+/// Profile the named workload on a fresh ProcMachine with tracing and
+/// periodic stats deltas enabled.  compute(s) is parent-side closure time
+/// per PE; comm(s)/wait(s)/util come from the workers' own measurements
+/// (serialize+verify, poll-block, busy fraction).  Unknown names throw
+/// ConfigError; worker spawn/transport failures surface as ProcError.
+ProfileResult profile_workload_proc(const std::string& name);
 
 }  // namespace navcpp::harness

@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <thread>
 #include <utility>
 
@@ -110,6 +111,12 @@ std::string ckpt_path_for(const std::string& dir, int pe) {
   return dir + "/pe" + std::to_string(pe) + ".ckpt";
 }
 
+std::int64_t steady_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 }  // namespace
 
 ProcMachine::ProcMachine(int pe_count, Options options)
@@ -117,7 +124,27 @@ ProcMachine::ProcMachine(int pe_count, Options options)
   NAVCPP_CHECK(pe_count_ > 0, "ProcMachine needs at least one PE");
   const char* tcp_env = ::getenv("NAVCPP_PROC_TCP");
   if (tcp_env != nullptr && tcp_env[0] == '1') options_.use_tcp = true;
+  const char* trace_env = ::getenv("NAVCPP_PROC_TRACE");
+  if (trace_env != nullptr && trace_env[0] == '1') options_.trace = true;
   workers_.resize(static_cast<std::size_t>(pe_count_));
+  reset_stats();
+  if (flight_active()) {
+    if (!options_.flight_dir.empty()) {
+      flight_dir_ = options_.flight_dir;
+    } else {
+      const char* tmp = ::getenv("TMPDIR");
+      std::string templ = std::string(tmp != nullptr && tmp[0] != '\0'
+                                          ? tmp
+                                          : "/tmp") + "/navcpp-flight-XXXXXX";
+      std::vector<char> buf(templ.begin(), templ.end());
+      buf.push_back('\0');
+      if (::mkdtemp(buf.data()) != nullptr) {
+        flight_dir_ = buf.data();
+        own_flight_dir_ = true;
+      }
+      // Failure: run without a flight recorder rather than refuse to start.
+    }
+  }
   if (options_.recovery.enabled) {
     install_sigchld_watch();
     sigchld_installed_ = true;
@@ -135,6 +162,22 @@ ProcMachine::ProcMachine(int pe_count, Options options)
 ProcMachine::~ProcMachine() {
   shutdown_workers();
   if (sigchld_installed_) remove_sigchld_watch();
+  if (own_flight_dir_ && !flight_dir_.empty()) {
+    for (int pe = 0; pe < pe_count_; ++pe) {
+      ::unlink(flight_path(pe).c_str());
+    }
+    ::rmdir(flight_dir_.c_str());
+  }
+}
+
+bool ProcMachine::flight_active() const {
+  return options_.trace || options_.recovery.enabled ||
+         !options_.flight_dir.empty();
+}
+
+std::string ProcMachine::flight_path(int pe) const {
+  if (flight_dir_.empty()) return "";
+  return flight_dir_ + "/pe" + std::to_string(pe) + ".flight";
 }
 
 void ProcMachine::check_pe(int pe) const {
@@ -183,28 +226,37 @@ void ProcMachine::spawn_one(int pe, const std::string& worker_path,
       if (w.conn.valid()) ::close(w.conn.fd());
     }
     const std::string ckpt = ckpt_path_for(options_.checkpoint_dir, pe);
+    const std::string flight = flight_path(pe);
     if (!worker_path.empty()) {
-      const std::string pe_s = std::to_string(pe);
-      const char* ckpt_flag = ckpt.empty() ? nullptr : "--ckpt";
-      const char* ckpt_arg = ckpt.empty() ? nullptr : ckpt.c_str();
+      std::vector<std::string> args = {"navcpp_worker", "--pe",
+                                       std::to_string(pe)};
       if (options_.use_tcp) {
-        const std::string port_s = std::to_string(tcp_port);
-        ::execl(worker_path.c_str(), "navcpp_worker", "--pe", pe_s.c_str(),
-                "--port", port_s.c_str(), ckpt_flag, ckpt_arg,
-                static_cast<char*>(nullptr));
+        args.push_back("--port");
+        args.push_back(std::to_string(tcp_port));
       } else {
-        const std::string fd_s = std::to_string(fds[1]);
-        ::execl(worker_path.c_str(), "navcpp_worker", "--pe", pe_s.c_str(),
-                "--fd", fd_s.c_str(), ckpt_flag, ckpt_arg,
-                static_cast<char*>(nullptr));
+        args.push_back("--fd");
+        args.push_back(std::to_string(fds[1]));
       }
+      if (!ckpt.empty()) {
+        args.push_back("--ckpt");
+        args.push_back(ckpt);
+      }
+      if (!flight.empty()) {
+        args.push_back("--flight");
+        args.push_back(flight);
+      }
+      std::vector<char*> argv;
+      argv.reserve(args.size() + 1);
+      for (std::string& a : args) argv.push_back(a.data());
+      argv.push_back(nullptr);
+      ::execv(worker_path.c_str(), argv.data());
       // exec failed; fall through to the in-process worker loop.
     }
     int code = 1;
     try {
       int fd = fds[1];
       if (options_.use_tcp) fd = net::wire_connect_loopback(tcp_port);
-      code = proc_worker_main(fd, pe, ckpt);
+      code = proc_worker_main(fd, pe, ckpt, flight);
     } catch (...) {
       code = 1;
     }
@@ -418,6 +470,7 @@ void ProcMachine::post(int pe, support::MoveFunction action) {
   frame.type = WireType::kPost;
   frame.pe = static_cast<std::uint32_t>(pe);
   frame.token = token;
+  if (options_.trace) frame.trace = token;
   send_tracked(pe, std::move(frame));
 }
 
@@ -439,6 +492,7 @@ void ProcMachine::post_after(int pe, double delay_seconds,
   frame.pe = static_cast<std::uint32_t>(pe);
   frame.token = token;
   frame.arg = static_cast<std::uint64_t>(delay_seconds * 1e9);
+  if (options_.trace) frame.trace = token;
   send_tracked(pe, std::move(frame));
 }
 
@@ -483,6 +537,11 @@ void ProcMachine::transmit(int src, int dst, std::size_t bytes,
   frame.src = static_cast<std::uint32_t>(src);
   frame.token = token;
   frame.arg = bytes;
+  // The trace id follows the hop across three address spaces: the source
+  // worker copies frame.trace into the kHop it materializes, and the parent
+  // relays the kHop verbatim, so source serialize span, channel span, and
+  // destination verify span all share this id.
+  if (options_.trace) frame.trace = token;
   send_tracked(src, std::move(frame));
 }
 
@@ -514,6 +573,19 @@ void ProcMachine::on_worker_dead(int pe) {
   }
 
   const RecoveryPolicy& rp = options_.recovery;
+  if (rp.enabled && running_ && !draining_) {
+    // Open a recovery timeline for this death; the respawn path appends its
+    // milestones to it.  Harvest the flight-recorder ring NOW, before the
+    // respawned incarnation reopens the file and starts appending — the ring
+    // survives SIGKILL because record() writes through a MAP_SHARED mapping.
+    obs::RecoveryTimeline timeline;
+    timeline.pe = pe;
+    timeline.incarnation = w.respawns + 1;
+    timeline.milestones.emplace_back(clock_.seconds(),
+                                     "death detected (" + why + ")");
+    harvest_flight(&timeline, pe);
+    recovery_timelines_.push_back(std::move(timeline));
+  }
   if (rp.enabled && draining_) {
     // Death during quiesce with recovery on: the run's work is complete
     // (or already failed); respawning would be pure churn.  Tolerate it.
@@ -547,10 +619,19 @@ void ProcMachine::on_worker_dead(int pe) {
 void ProcMachine::respawn_worker(int pe) {
   Worker& w = workers_[static_cast<std::size_t>(pe)];
   const auto wall0 = std::chrono::steady_clock::now();
+  const auto milestone = [this, pe](const std::string& text) {
+    if (!recovery_timelines_.empty() && recovery_timelines_.back().pe == pe) {
+      recovery_timelines_.back().milestones.emplace_back(clock_.seconds(),
+                                                         text);
+    }
+  };
   const RecoveryPolicy& rp = options_.recovery;
   const double backoff = std::min(
       rp.backoff_s * std::pow(rp.backoff_factor, w.respawns), 1.0);
   if (backoff > 0.0) {
+    char ms[32];
+    std::snprintf(ms, sizeof(ms), "%.1f", backoff * 1e3);
+    milestone("backoff " + std::string(ms) + " ms");
     std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
   }
   ++w.respawns;
@@ -631,12 +712,19 @@ void ProcMachine::respawn_worker(int pe) {
   w.ping_outstanding = false;
   w.heartbeat_killed = false;
   w.last_pong_s = clock_.seconds();
+  // The clock-offset estimate belongs to the dead incarnation; the fresh
+  // process re-estimates from its own pongs.
+  w.clock = obs::WorkerClock{};
+  w.ping_sent_raw_ns = 0;
+  w.live_queue_depth = 0;
+  milestone("respawned (pid " + std::to_string(w.pid) + ")");
 
   if (running_) {
     WireFrame start;
     start.type = WireType::kStart;
     start.arg = run_id_;
     send_to(pe, start);
+    send_config(pe);
     // Re-seed the checkpoint from the parent's retained copy (modeled
     // stable storage) before any replayed frame can reference it.
     const auto ck = checkpoints_.find(pe);
@@ -646,6 +734,8 @@ void ProcMachine::respawn_worker(int pe) {
       save.pe = static_cast<std::uint32_t>(pe);
       save.payload = ck->second;
       send_to(pe, save);
+      milestone("checkpoint re-seeded (" +
+                std::to_string(ck->second.size()) + " bytes)");
     }
     // Blind-resend the retained window in seq order.  The worker's dedup
     // high-water mark makes this exactly-once even if a nested recovery
@@ -658,6 +748,7 @@ void ProcMachine::respawn_worker(int pe) {
       send_to(pe, copy);
     }
     frames_resent_ += resent;
+    milestone("replayed " + std::to_string(resent) + " frame(s)");
     if (auto* c = recovery_counter("proc.recovery.frames_resent")) {
       c->add(resent);
     }
@@ -687,6 +778,10 @@ void ProcMachine::respawn_worker(int pe) {
 
 void ProcMachine::degrade_worker(int pe) {
   Worker& w = workers_[static_cast<std::size_t>(pe)];
+  if (!recovery_timelines_.empty() && recovery_timelines_.back().pe == pe) {
+    recovery_timelines_.back().milestones.emplace_back(
+        clock_.seconds(), "degraded (recovery budget exhausted)");
+  }
   w.degraded = true;
   w.retained.clear();
   w.ckpt_waiting = false;
@@ -744,6 +839,11 @@ void ProcMachine::heartbeat_tick() {
         ping.type = WireType::kPing;
         ping.pe = static_cast<std::uint32_t>(pe);
         ping.token = ++ping_token_counter_;
+        // Clock-offset piggyback: raw send timestamp rides in arg, the
+        // worker answers with its own steady clock in the pong's arg, and
+        // the receive side of the exchange closes the NTP-style sample.
+        w.ping_sent_raw_ns = steady_ns();
+        ping.arg = static_cast<std::uint64_t>(w.ping_sent_raw_ns);
         send_to(pe, ping);
       }
     } else if (!w.heartbeat_killed &&
@@ -785,6 +885,7 @@ void ProcMachine::execute(std::uint64_t /*token*/, PendingAction action) {
     record_error(std::current_exception());
   }
   const double dt = clock_.seconds() - t0;
+  action_seconds_[static_cast<std::size_t>(action.pe)] += dt;
   if (dt > 0.0 && options_.heartbeat_interval_s > 0.0) {
     // Long-action awareness: while the parent runs a closure it cannot
     // pump, so no pong can land.  Credit the action's duration to every
@@ -871,7 +972,36 @@ void ProcMachine::handle_frame(int pe, const WireFrame& frame) {
     case WireType::kPong:
       w.ping_outstanding = false;
       w.last_pong_s = clock_.seconds();
+      if (frame.arg != 0 && w.ping_sent_raw_ns != 0) {
+        // Close the NTP-style exchange: the worker's steady clock rode back
+        // in arg; the send/receive pair bounds the network delay.
+        obs::ClockSample sample;
+        sample.parent_send_ns = w.ping_sent_raw_ns;
+        sample.parent_recv_ns = steady_ns();
+        sample.worker_ns = static_cast<std::int64_t>(frame.arg);
+        obs::clock_update(&w.clock, sample);
+      }
       return;
+
+    case WireType::kStatsDelta:
+      // Live telemetry: cumulative snapshot, so overwrite — the quiesce-time
+      // record_worker_metrics() pass stays the only place counters
+      // accumulate into the registry (no double counting).
+      w.stats = frame.stats;
+      w.live_queue_depth = frame.arg;
+      return;
+
+    case WireType::kSpans: {
+      std::vector<obs::ProcSpan> batch =
+          obs::unpack_spans(frame.payload.data(), frame.payload.size());
+      // Bound parent memory on pathological runs; the trace is best-effort.
+      constexpr std::size_t kMaxSpansPerWorker = 1u << 20;
+      for (const obs::ProcSpan& s : batch) {
+        if (w.spans.size() >= kMaxSpansPerWorker) break;
+        w.spans.push_back(s);
+      }
+      return;
+    }
 
     case WireType::kCheckpointData:
       if (w.ckpt_waiting) {
@@ -910,6 +1040,7 @@ void ProcMachine::pump(int timeout_ms) {
   if (running_) {
     heartbeat_tick();
     check_kill_schedules_wall();
+    telemetry_tick();
   }
   std::vector<pollfd> fds;
   std::vector<int> pes;
@@ -957,9 +1088,12 @@ void ProcMachine::pump(int timeout_ms) {
     WireFrame frame;
     try {
       while (w.alive && w.conn.next_frame(&frame)) {
-        // Pongs are liveness, not progress: they must not defeat the
+        // Pongs are liveness and periodic stats/span shipments are
+        // observability, not progress: none of them may defeat the
         // stall-timeout diagnosis of a wedged run.
-        if (frame.type != WireType::kPong) {
+        if (frame.type != WireType::kPong &&
+            frame.type != WireType::kStatsDelta &&
+            frame.type != WireType::kSpans) {
           last_activity_s_ = clock_.seconds();
         }
         handle_frame(pe, frame);
@@ -1027,9 +1161,11 @@ void ProcMachine::run() {
   running_ = true;
   draining_ = false;
   clock_.reset();
+  run_epoch_ns_ = steady_ns();  // anchors worker-span clock correction
   finish_time_ = 0.0;
   reset_stats();
   last_activity_s_ = 0.0;
+  telemetry_next_s_ = telemetry_interval_s_;
   tasks_seen_ = tasks_live_ > 0;
   ++run_id_;
   for (Worker& w : workers_) {
@@ -1043,6 +1179,7 @@ void ProcMachine::run() {
     frame.type = WireType::kStart;
     frame.arg = run_id_;
     send_to(pe, frame);
+    send_config(pe);
   }
   for (auto& [pe, frame] : prerun_frames_) send_to(pe, frame);
   prerun_frames_.clear();
@@ -1245,7 +1382,108 @@ void ProcMachine::record_worker_metrics() {
         .add(s.pings_answered);
     metrics_->counter("proc.worker.frames_deduped", label)
         .add(s.frames_deduped);
+    metrics_->counter("proc.worker.busy_ns", label).add(s.busy_ns);
+    metrics_->counter("proc.worker.idle_ns", label).add(s.idle_ns);
+    metrics_->counter("proc.worker.serialize_ns", label).add(s.serialize_ns);
+    metrics_->counter("proc.worker.verify_ns", label).add(s.verify_ns);
+    metrics_->counter("proc.worker.stats_deltas", label)
+        .add(s.stats_deltas_sent);
+    metrics_->counter("proc.worker.spans_dropped", label)
+        .add(s.spans_dropped);
   }
+}
+
+void ProcMachine::reset_stats() {
+  transmitted_bytes_ = 0;
+  transmitted_messages_ = 0;
+  action_seconds_.assign(static_cast<std::size_t>(pe_count_), 0.0);
+  recovery_timelines_.clear();
+  for (Worker& w : workers_) {
+    w.stats = net::WireWorkerStats{};
+    w.spans.clear();
+    w.clock = obs::WorkerClock{};
+    w.live_queue_depth = 0;
+    w.ping_sent_raw_ns = 0;
+  }
+}
+
+double ProcMachine::action_seconds(int pe) const {
+  check_pe(pe);
+  return action_seconds_[static_cast<std::size_t>(pe)];
+}
+
+const obs::WorkerClock& ProcMachine::worker_clock(int pe) const {
+  check_pe(pe);
+  return workers_[static_cast<std::size_t>(pe)].clock;
+}
+
+std::vector<obs::WorkerLane> ProcMachine::worker_lanes() const {
+  std::vector<obs::WorkerLane> lanes;
+  lanes.reserve(workers_.size());
+  for (int pe = 0; pe < pe_count_; ++pe) {
+    const Worker& w = workers_[static_cast<std::size_t>(pe)];
+    obs::WorkerLane lane;
+    lane.pe = pe;
+    lane.label = "worker pe " + std::to_string(pe) + " (pid " +
+                 std::to_string(w.pid) + ")";
+    lane.clock = w.clock;
+    lane.spans = w.spans;
+    lanes.push_back(std::move(lane));
+  }
+  return lanes;
+}
+
+void ProcMachine::send_config(int pe) {
+  std::uint64_t flags = 0;
+  if (options_.trace) flags |= net::kCfgTrace;
+  if (options_.stats_interval_s > 0.0) flags |= net::kCfgStatsDelta;
+  if (flags == 0) return;  // nothing to switch on; workers default to off
+  WireFrame frame;
+  frame.type = WireType::kConfig;
+  frame.pe = static_cast<std::uint32_t>(pe);
+  frame.arg = flags;
+  if ((flags & net::kCfgStatsDelta) != 0) {
+    frame.token =
+        static_cast<std::uint64_t>(options_.stats_interval_s * 1e9);
+  }
+  send_to(pe, frame);
+}
+
+void ProcMachine::harvest_flight(obs::RecoveryTimeline* timeline, int pe) {
+  const std::string path = flight_path(pe);
+  if (path.empty()) return;
+  std::string error;
+  obs::FlightLog log;
+  if (obs::flight_read(path, &log, &error)) {
+    timeline->flight = std::move(log);
+  } else {
+    // Unreadable ring (worker died before creating it): the timeline keeps
+    // its milestones, and the reason lands there for the drill output.
+    timeline->milestones.emplace_back(
+        clock_.seconds(), "flight recorder unavailable (" + error + ")");
+  }
+}
+
+void ProcMachine::telemetry_tick() {
+  if (!telemetry_cb_ || telemetry_interval_s_ <= 0.0) return;
+  const double now = clock_.seconds();
+  if (now < telemetry_next_s_) return;
+  telemetry_next_s_ = now + telemetry_interval_s_;
+  std::vector<LiveTelemetry> rows;
+  rows.reserve(static_cast<std::size_t>(pe_count_));
+  for (int pe = 0; pe < pe_count_; ++pe) {
+    const Worker& w = workers_[static_cast<std::size_t>(pe)];
+    LiveTelemetry row;
+    row.pe = pe;
+    row.alive = w.alive;
+    row.degraded = w.degraded;
+    row.respawns = w.respawns;
+    row.compute_s = action_seconds_[static_cast<std::size_t>(pe)];
+    row.queue_depth = w.live_queue_depth;
+    row.stats = w.stats;
+    rows.push_back(row);
+  }
+  telemetry_cb_(now, rows);
 }
 
 void ProcMachine::set_metrics(obs::Registry* registry) {

@@ -72,6 +72,7 @@
 #include "machine/engine.h"
 #include "net/wire.h"
 #include "obs/metrics.h"
+#include "obs/proc_trace.h"
 #include "support/stopwatch.h"
 
 namespace navcpp::machine {
@@ -122,6 +123,33 @@ class ProcMachine final : public Engine {
     /// workers keep checkpoints in memory only, and a respawned worker is
     /// re-seeded from the parent's retained copy (modeled stable storage).
     std::string checkpoint_dir;
+    /// Distributed tracing: workers record serialize/verify/wait/timer
+    /// spans (obs::ProcSpan) against their own clocks and ship them over
+    /// the wire; the parent stamps a trace id on every data frame and
+    /// estimates per-worker clock offsets from the heartbeat piggyback.
+    /// Read the merged result with worker_lanes() / obs::proc_trace_json.
+    /// Also enabled by NAVCPP_PROC_TRACE=1 in the environment.
+    bool trace = false;
+    /// Period of the workers' mid-run kStatsDelta telemetry frames (live
+    /// stats between quiesces; see worker_stats() and set_telemetry).
+    /// <= 0 disables the deltas; quiesce-time stats always arrive.
+    double stats_interval_s = 0.25;
+    /// Directory for per-PE flight-recorder ring files (pe<N>.flight).
+    /// Empty = a private temp dir, created when the recorder is active
+    /// (tracing or recovery enabled) and removed on destruction.
+    std::string flight_dir;
+  };
+
+  /// One row of live telemetry, assembled from the most recent kStatsDelta
+  /// of each worker plus the parent's own action clock.
+  struct LiveTelemetry {
+    int pe = 0;
+    bool alive = false;
+    bool degraded = false;
+    int respawns = 0;
+    double compute_s = 0.0;  ///< parent-side action seconds for this PE
+    std::uint64_t queue_depth = 0;  ///< worker timer-queue depth
+    net::WireWorkerStats stats;     ///< cumulative worker-side counters
   };
 
   /// Typed report from kill_worker: what the signal actually hit.
@@ -168,15 +196,55 @@ class ProcMachine final : public Engine {
   /// the other backends).  run() resets them.
   std::uint64_t transmitted_bytes() const { return transmitted_bytes_; }
   std::uint64_t transmitted_messages() const { return transmitted_messages_; }
-  void reset_stats() {
-    transmitted_bytes_ = 0;
-    transmitted_messages_ = 0;
-  }
+  /// Clear per-run state: transmit counters, worker stats/spans, clock
+  /// samples, recovery timelines, per-PE action clocks.  run() calls this,
+  /// so a reused engine never leaks spans or stats deltas from the previous
+  /// run into the next one.
+  void reset_stats();
 
-  /// Worker-side counters of `pe`, as of the last quiesce (end of run()).
+  /// Worker-side counters of `pe`: live (updated by kStatsDelta frames
+  /// mid-run when Options::stats_interval_s > 0) and final as of the last
+  /// quiesce.
   const net::WireWorkerStats& worker_stats(int pe) const;
 
   bool worker_alive(int pe) const;
+
+  // --- cross-process observability ----------------------------------------
+
+  /// Parent steady-clock ns at the current run's start: the epoch that
+  /// anchors every corrected worker timestamp.
+  std::int64_t run_epoch_ns() const { return run_epoch_ns_; }
+
+  /// Wall seconds the parent spent executing `pe`'s action closures this
+  /// run (the proc backend's per-PE compute column).
+  double action_seconds(int pe) const;
+
+  /// Per-worker clock-offset model, estimated from the kPing/kPong
+  /// timestamp piggyback (minimum-RTT NTP midpoint).
+  const obs::WorkerClock& worker_clock(int pe) const;
+
+  /// The worker-side halves of the merged trace: one lane per PE with its
+  /// clock model and every ProcSpan harvested this run.  Requires
+  /// Options::trace; feed to obs::proc_trace_json together with the
+  /// parent's navp::TraceRecorder snapshot.
+  std::vector<obs::WorkerLane> worker_lanes() const;
+
+  /// Supervisor-side recovery timelines of this run (one per worker death
+  /// handled), each with the milestones (death detected -> backoff ->
+  /// respawn -> replay) and the flight-recorder ring harvested from the
+  /// dead incarnation.
+  const std::vector<obs::RecoveryTimeline>& recovery_timelines() const {
+    return recovery_timelines_;
+  }
+
+  /// Live telemetry callback: invoked from inside run()'s poll loop every
+  /// `interval_s` of run time with one row per PE (`navcpp_cli top`).  Pass
+  /// nullptr to disable.
+  void set_telemetry(std::function<void(double, const std::vector<LiveTelemetry>&)> callback,
+                     double interval_s = 0.5) {
+    telemetry_cb_ = std::move(callback);
+    telemetry_interval_s_ = interval_s;
+  }
 
   // --- crash injection (fault harness hooks) ------------------------------
 
@@ -261,6 +329,11 @@ class ProcMachine final : public Engine {
     double ping_sent_s = 0.0;   ///< parent clock, action time excluded
     double last_pong_s = 0.0;
     bool heartbeat_killed = false;
+    // --- cross-process observability ---
+    std::int64_t ping_sent_raw_ns = 0;  ///< raw steady ns of the last ping
+    obs::WorkerClock clock;             ///< offset model from pong echoes
+    std::vector<obs::ProcSpan> spans;   ///< harvested kSpans payloads
+    std::uint64_t live_queue_depth = 0; ///< last kStatsDelta.arg
     // --- synchronous checkpoint fetch ---
     bool ckpt_waiting = false;
     std::optional<std::vector<std::byte>> ckpt_reply;
@@ -297,6 +370,14 @@ class ProcMachine final : public Engine {
   void heartbeat_tick();
   void check_kill_schedules_wall();
   void execute(std::uint64_t token, PendingAction action);
+  /// Push the observability switches (tracing, stats interval) to `pe`.
+  void send_config(int pe);
+  /// Per-PE flight-recorder ring path ("" when the recorder is inactive).
+  std::string flight_path(int pe) const;
+  bool flight_active() const;
+  /// Read pe's ring into the newest recovery timeline for that PE.
+  void harvest_flight(obs::RecoveryTimeline* timeline, int pe);
+  void telemetry_tick();
   /// Cancel timers at every live worker, collect stats, destroy leftovers.
   void quiesce();
   void record_worker_metrics();
@@ -335,6 +416,16 @@ class ProcMachine final : public Engine {
   double finish_time_ = 0.0;
   std::uint64_t transmitted_bytes_ = 0;
   std::uint64_t transmitted_messages_ = 0;
+  std::int64_t run_epoch_ns_ = 0;       ///< parent steady ns at run start
+  std::vector<double> action_seconds_;  ///< per-PE parent action time
+  /// Flight-recorder directory actually in use ("" = recorder inactive);
+  /// owned (created + removed) when Options::flight_dir was empty.
+  std::string flight_dir_;
+  bool own_flight_dir_ = false;
+  std::vector<obs::RecoveryTimeline> recovery_timelines_;
+  std::function<void(double, const std::vector<LiveTelemetry>&)> telemetry_cb_;
+  double telemetry_interval_s_ = 0.5;
+  double telemetry_next_s_ = 0.0;
   /// Cumulative across runs: the anchor schedule_kill_after_transmits uses
   /// (per-run counters reset, so schedules set before run() stay valid).
   std::uint64_t lifetime_transmits_ = 0;

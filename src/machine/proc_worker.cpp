@@ -14,9 +14,73 @@ using net::GrantKind;
 using net::WireFrame;
 using net::WireType;
 
-ProcWorker::ProcWorker(int fd, int pe, std::string ckpt_path)
+namespace {
+/// Poll blocks shorter than this are scheduling noise, not "queue wait":
+/// recording them as spans would swamp the trace with microscopic slivers.
+constexpr std::int64_t kWaitSpanFloorNs = 100'000;  // 0.1 ms
+}  // namespace
+
+ProcWorker::ProcWorker(int fd, int pe, std::string ckpt_path,
+                       std::string flight_path)
     : conn_(fd), pe_(pe), ckpt_path_(std::move(ckpt_path)) {
   run_start_ns_ = 0;
+  if (!flight_path.empty()) {
+    std::string error;
+    flight_ = obs::FlightRecorder::open(
+        flight_path, static_cast<std::uint32_t>(pe), 256, &error);
+    // nullptr: run un-recorded rather than die over telemetry.
+  }
+}
+
+void ProcWorker::flight(obs::FlightKind kind, std::uint8_t frame_type,
+                        std::uint64_t token, std::uint64_t a,
+                        std::uint64_t b) {
+  if (flight_ != nullptr) flight_->record(kind, frame_type, token, a, b);
+}
+
+void ProcWorker::record_span(obs::ProcSpanKind kind, std::uint64_t trace_id,
+                             std::uint64_t token, std::int64_t t0_ns,
+                             std::int64_t t1_ns) {
+  obs::ProcSpan span;
+  span.trace_id = trace_id;
+  span.t0_ns = t0_ns;
+  span.t1_ns = t1_ns;
+  span.token = token;
+  span.pe = static_cast<std::uint32_t>(pe_);
+  span.kind = static_cast<std::uint8_t>(kind);
+  spans_.push(span);
+}
+
+void ProcWorker::refresh_stats_snapshot() {
+  stats_.queue_depth = timers_.size();
+  stats_.spans_dropped = spans_.dropped();
+}
+
+void ProcWorker::flush_spans() {
+  if (spans_.empty()) return;
+  const std::vector<obs::ProcSpan> batch = spans_.drain();
+  WireFrame frame;
+  frame.type = WireType::kSpans;
+  frame.pe = static_cast<std::uint32_t>(pe_);
+  frame.arg = batch.size();
+  obs::pack_spans(batch, frame.payload);
+  if (!conn_.send_frame(frame)) shutdown_ = true;
+}
+
+void ProcWorker::maybe_stats_tick() {
+  if (!cfg_stats_ || stats_interval_ns_ <= 0 || shutdown_) return;
+  const std::int64_t now = now_ns();
+  if (now < next_stats_ns_) return;
+  next_stats_ns_ = now + stats_interval_ns_;
+  flush_spans();
+  ++stats_.stats_deltas_sent;
+  refresh_stats_snapshot();
+  WireFrame frame;
+  frame.type = WireType::kStatsDelta;
+  frame.pe = static_cast<std::uint32_t>(pe_);
+  frame.arg = timers_.size();
+  frame.stats = stats_;
+  if (!conn_.send_frame(frame)) shutdown_ = true;
 }
 
 void ProcWorker::save_checkpoint(const std::vector<std::byte>& bytes) {
@@ -78,9 +142,17 @@ bool ProcWorker::timer_later(const Timer& a, const Timer& b) {
 }
 
 int ProcWorker::next_timeout_ms() const {
-  if (timers_.empty()) return -1;
-  const std::int64_t delta = timers_.front().deadline_ns - now_ns();
-  if (delta <= 0) return 0;
+  std::int64_t delta = -1;
+  if (!timers_.empty()) {
+    delta = std::max<std::int64_t>(0, timers_.front().deadline_ns - now_ns());
+  }
+  if (cfg_stats_ && stats_interval_ns_ > 0) {
+    const std::int64_t stats_delta =
+        std::max<std::int64_t>(0, next_stats_ns_ - now_ns());
+    if (delta < 0 || stats_delta < delta) delta = stats_delta;
+  }
+  if (delta < 0) return -1;
+  if (delta == 0) return 0;
   // Round up so we never wake a hair before the deadline and spin.
   return static_cast<int>(delta / 1000000 + 1);
 }
@@ -92,6 +164,7 @@ void ProcWorker::fire_due_timers() {
     const Timer t = timers_.back();
     timers_.pop_back();
     ++stats_.timers_fired;
+    const std::int64_t t0 = now_ns();
     WireFrame grant;
     grant.type = WireType::kGrant;
     grant.pe = static_cast<std::uint32_t>(pe_);
@@ -99,6 +172,9 @@ void ProcWorker::fire_due_timers() {
     grant.arg = static_cast<std::uint64_t>(GrantKind::kTimer) |
                 net::kGrantOkBit;
     if (!conn_.send_frame(grant)) shutdown_ = true;
+    if (cfg_trace_) {
+      record_span(obs::ProcSpanKind::kTimerFire, 0, t.token, t0, now_ns());
+    }
   }
 }
 
@@ -112,11 +188,20 @@ void ProcWorker::handle(const WireFrame& frame) {
   if (frame.seq != 0) {
     if (frame.seq <= last_seq_) {
       ++stats_.frames_deduped;
+      flight(obs::FlightKind::kDedupDrop,
+             static_cast<std::uint8_t>(frame.type), frame.token, frame.seq,
+             last_seq_);
       return;
     }
     last_seq_ = frame.seq;
   }
   ++stats_.frames_seen;
+  if (frame.type != WireType::kPing) {
+    // Heartbeats are too chatty for a 256-slot ring meant to explain a
+    // death; everything else the worker saw is part of the story.
+    flight(obs::FlightKind::kFrameIn, static_cast<std::uint8_t>(frame.type),
+           frame.token, frame.seq, timers_.size());
+  }
   switch (frame.type) {
     case WireType::kStart:
       // Stats are per-run; timers are NOT cleared — a post_after issued
@@ -127,6 +212,16 @@ void ProcWorker::handle(const WireFrame& frame) {
       stats_ = net::WireWorkerStats{};
       stats_.frames_seen = 1;  // this frame
       stats_.checkpoint_bytes = have_checkpoint_ ? checkpoint_.size() : 0;
+      spans_.clear();  // spans are per-run, like the stats
+      flight(obs::FlightKind::kRunStart, 0, 0, frame.arg, last_seq_);
+      break;
+
+    case WireType::kConfig:
+      cfg_trace_ = (frame.arg & net::kCfgTrace) != 0;
+      cfg_stats_ = (frame.arg & net::kCfgStatsDelta) != 0;
+      stats_interval_ns_ = static_cast<std::int64_t>(frame.token);
+      next_stats_ns_ = now_ns() + stats_interval_ns_;
+      flight(obs::FlightKind::kConfig, 0, 0, frame.arg, frame.token);
       break;
 
     case WireType::kPost: {
@@ -157,6 +252,7 @@ void ProcWorker::handle(const WireFrame& frame) {
       // Materialize the payload in THIS address space; the bytes cross to
       // the parent and again to the destination worker, which re-derives
       // the checksum from (token, src, dst) and verifies it.
+      const std::int64_t t0 = now_ns();
       const std::uint64_t seed =
           frame.token ^ (static_cast<std::uint64_t>(pe_) << 32) ^
           (static_cast<std::uint64_t>(frame.pe) << 48);
@@ -168,15 +264,26 @@ void ProcWorker::handle(const WireFrame& frame) {
       hop.src = static_cast<std::uint32_t>(pe_);
       hop.token = frame.token;
       hop.arg = net::wire_checksum(scratch_.data(), scratch_.size(), seed);
+      hop.trace = frame.trace;  // the relayed frame keeps the trace id
       hop.payload = scratch_;
       ++stats_.hops_out;
       stats_.hop_bytes_out += scratch_.size();
+      flight(obs::FlightKind::kFrameOut,
+             static_cast<std::uint8_t>(WireType::kHop), frame.token, frame.pe,
+             scratch_.size());
       if (!conn_.send_frame(hop)) shutdown_ = true;
+      const std::int64_t t1 = now_ns();
+      stats_.serialize_ns += static_cast<std::uint64_t>(t1 - t0);
+      if (cfg_trace_) {
+        record_span(obs::ProcSpanKind::kSerialize, frame.trace, frame.token,
+                    t0, t1);
+      }
       break;
     }
 
     case WireType::kHop: {
       // Inbound payload, routed by the parent from the source worker.
+      const std::int64_t t0 = now_ns();
       const std::uint64_t seed =
           frame.token ^ (static_cast<std::uint64_t>(frame.src) << 32) ^
           (static_cast<std::uint64_t>(frame.pe) << 48);
@@ -192,16 +299,27 @@ void ProcWorker::handle(const WireFrame& frame) {
       grant.arg = static_cast<std::uint64_t>(GrantKind::kHop) |
                   (ok ? net::kGrantOkBit : 0);
       if (!conn_.send_frame(grant)) shutdown_ = true;
+      const std::int64_t t1 = now_ns();
+      stats_.verify_ns += static_cast<std::uint64_t>(t1 - t0);
+      if (cfg_trace_) {
+        record_span(obs::ProcSpanKind::kVerify, frame.trace, frame.token, t0,
+                    t1);
+      }
       break;
     }
 
     case WireType::kQuiesce: {
+      // Flush buffered spans first: frames are ordered, so the parent holds
+      // the complete span set before it sees the ack that ends the run.
+      flush_spans();
       WireFrame ack;
       ack.type = WireType::kQuiesceAck;
       ack.pe = static_cast<std::uint32_t>(pe_);
       for (const Timer& t : timers_) ack.tokens.push_back(t.token);
       stats_.timers_canceled += timers_.size();
+      flight(obs::FlightKind::kQuiesce, 0, 0, timers_.size(), 0);
       timers_.clear();
+      refresh_stats_snapshot();
       ack.stats = stats_;
       if (!conn_.send_frame(ack)) shutdown_ = true;
       break;
@@ -212,12 +330,14 @@ void ProcWorker::handle(const WireFrame& frame) {
       reply.type = WireType::kStatusReply;
       reply.pe = static_cast<std::uint32_t>(pe_);
       reply.arg = timers_.size();
+      refresh_stats_snapshot();
       reply.stats = stats_;
       if (!conn_.send_frame(reply)) shutdown_ = true;
       break;
     }
 
     case WireType::kShutdown:
+      flight(obs::FlightKind::kShutdown, 0, 0, 0, 0);
       shutdown_ = true;
       break;
 
@@ -230,12 +350,18 @@ void ProcWorker::handle(const WireFrame& frame) {
       pong.type = WireType::kPong;
       pong.pe = static_cast<std::uint32_t>(pe_);
       pong.token = frame.token;
+      // Clock-offset piggyback: our steady clock, sampled as close to the
+      // send as possible.  The parent pairs it with its own send/recv
+      // timestamps for the NTP midpoint estimate.
+      pong.arg = static_cast<std::uint64_t>(now_ns());
       if (!conn_.send_frame(pong)) shutdown_ = true;
       break;
     }
 
     case WireType::kCheckpointSave:
       save_checkpoint(frame.payload);
+      flight(obs::FlightKind::kCheckpointSave, 0, frame.token,
+             frame.payload.size(), 0);
       break;
 
     case WireType::kCheckpointLoad: {
@@ -245,6 +371,8 @@ void ProcWorker::handle(const WireFrame& frame) {
       reply.token = frame.token;
       std::vector<std::byte> bytes;
       reply.arg = load_checkpoint(&bytes) ? 1 : 0;
+      flight(obs::FlightKind::kCheckpointLoad, 0, frame.token, bytes.size(),
+             reply.arg);
       reply.payload = std::move(bytes);
       if (!conn_.send_frame(reply)) shutdown_ = true;
       break;
@@ -256,6 +384,8 @@ void ProcWorker::handle(const WireFrame& frame) {
     case WireType::kStatusReply:
     case WireType::kPong:
     case WireType::kCheckpointData:
+    case WireType::kStatsDelta:
+    case WireType::kSpans:
       // Parent-bound frames; a parent never sends them.
       break;
   }
@@ -273,11 +403,16 @@ int ProcWorker::run() {
 
   while (!shutdown_) {
     pollfd pfd{conn_.fd(), POLLIN, 0};
+    const std::int64_t wait0 = now_ns();
     const int r = ::poll(&pfd, 1, next_timeout_ms());
+    const std::int64_t wait1 = now_ns();
+    stats_.idle_ns += static_cast<std::uint64_t>(wait1 - wait0);
+    if (cfg_trace_ && wait1 - wait0 >= kWaitSpanFloorNs) {
+      record_span(obs::ProcSpanKind::kWait, 0, 0, wait0, wait1);
+    }
     if (r < 0) continue;  // EINTR
     fire_due_timers();
-    if (r == 0) continue;
-    if ((pfd.revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+    if (r > 0 && (pfd.revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
       if (!conn_.read_some()) break;  // parent gone: exit quietly
       WireFrame frame;
       try {
@@ -287,13 +422,17 @@ int ProcWorker::run() {
         return 1;  // malformed traffic from the parent
       }
     }
+    maybe_stats_tick();
+    stats_.busy_ns += static_cast<std::uint64_t>(now_ns() - wait1);
   }
   conn_.close();
   return 0;
 }
 
-int proc_worker_main(int fd, int pe, std::string ckpt_path) {
-  return ProcWorker(fd, pe, std::move(ckpt_path)).run();
+int proc_worker_main(int fd, int pe, std::string ckpt_path,
+                     std::string flight_path) {
+  return ProcWorker(fd, pe, std::move(ckpt_path), std::move(flight_path))
+      .run();
 }
 
 }  // namespace navcpp::machine

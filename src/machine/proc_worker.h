@@ -20,10 +20,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "net/wire.h"
+#include "obs/flight_recorder.h"
+#include "obs/proc_trace.h"
 
 namespace navcpp::machine {
 
@@ -33,8 +36,12 @@ class ProcWorker {
   /// when non-empty, is the file this PE's checkpoint is spilled to on
   /// kCheckpointSave and re-read from on kCheckpointLoad — it is what makes
   /// a checkpoint survive this process being SIGKILLed: the respawned
-  /// incarnation reopens the same path.
-  ProcWorker(int fd, int pe, std::string ckpt_path = {});
+  /// incarnation reopens the same path.  `flight_path`, when non-empty, is
+  /// the mmap'd flight-recorder ring (obs/flight_recorder.h): recent
+  /// scheduler events land there wait-free, survive SIGKILL, and are
+  /// harvested by the supervising parent for the recovery timeline.
+  ProcWorker(int fd, int pe, std::string ckpt_path = {},
+             std::string flight_path = {});
 
   /// Serve the parent until kShutdown or parent EOF.  Returns the process
   /// exit code (0 on a clean shutdown or parent disappearance; nonzero on
@@ -51,6 +58,17 @@ class ProcWorker {
 
   void handle(const net::WireFrame& frame);
   void fire_due_timers();
+  /// Ship buffered spans to the parent as one kSpans frame (no-op if empty).
+  void flush_spans();
+  /// Periodic observability tick: flush spans, emit kStatsDelta.
+  void maybe_stats_tick();
+  void record_span(obs::ProcSpanKind kind, std::uint64_t trace_id,
+                   std::uint64_t token, std::int64_t t0_ns,
+                   std::int64_t t1_ns);
+  void flight(obs::FlightKind kind, std::uint8_t frame_type,
+              std::uint64_t token, std::uint64_t a, std::uint64_t b);
+  /// Snapshot the point-in-time stats fields before a stats-bearing send.
+  void refresh_stats_snapshot();
   void save_checkpoint(const std::vector<std::byte>& bytes);
   /// Retained checkpoint: the in-memory copy, else the spill file (the
   /// memory copy died with the previous incarnation).  False when neither
@@ -72,10 +90,19 @@ class ProcWorker {
   std::vector<std::byte> scratch_;  // payload materialization buffer
   std::vector<std::byte> checkpoint_;  // retained kCheckpointSave payload
   bool have_checkpoint_ = false;
+  // Observability (kConfig-switched; all off by default).
+  bool cfg_trace_ = false;        ///< record + ship ProcSpans
+  bool cfg_stats_ = false;        ///< periodic kStatsDelta frames
+  std::int64_t stats_interval_ns_ = 0;
+  std::int64_t next_stats_ns_ = 0;
+  obs::SpanBuffer spans_;
+  std::unique_ptr<obs::FlightRecorder> flight_;
 };
 
 /// Run a worker for PE `pe` over connected socket `fd` until shutdown.
-/// `ckpt_path` (optional) is the per-PE checkpoint spill file.
-int proc_worker_main(int fd, int pe, std::string ckpt_path = {});
+/// `ckpt_path` (optional) is the per-PE checkpoint spill file; `flight_path`
+/// (optional) the flight-recorder ring file.
+int proc_worker_main(int fd, int pe, std::string ckpt_path = {},
+                     std::string flight_path = {});
 
 }  // namespace navcpp::machine

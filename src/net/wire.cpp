@@ -43,7 +43,8 @@ std::uint64_t splitmix64(std::uint64_t x) {
 }
 
 bool carries_stats(WireType t) {
-  return t == WireType::kQuiesceAck || t == WireType::kStatusReply;
+  return t == WireType::kQuiesceAck || t == WireType::kStatusReply ||
+         t == WireType::kStatsDelta;
 }
 
 }  // namespace
@@ -57,6 +58,7 @@ void wire_encode(const WireFrame& frame, std::vector<std::byte>& out) {
   put_raw<std::uint64_t>(out, frame.token);
   put_raw<std::uint64_t>(out, frame.arg);
   put_raw<std::uint64_t>(out, frame.seq);
+  put_raw<std::uint64_t>(out, frame.trace);
   put_raw<std::uint32_t>(out, static_cast<std::uint32_t>(frame.tokens.size()));
   for (std::uint64_t t : frame.tokens) put_raw<std::uint64_t>(out, t);
   put_raw<std::uint32_t>(out, static_cast<std::uint32_t>(frame.payload.size()));
@@ -179,11 +181,11 @@ bool FrameConn::next_frame(WireFrame* out) {
     }
   };
 
-  need(1 + 4 + 4 + 8 + 8 + 8 + 4);
+  need(1 + 4 + 4 + 8 + 8 + 8 + 8 + 4);
   const auto type_byte = get_raw<std::uint8_t>(p);
   p += 1;
   if (type_byte < static_cast<std::uint8_t>(WireType::kHello) ||
-      type_byte > static_cast<std::uint8_t>(WireType::kCheckpointData)) {
+      type_byte > static_cast<std::uint8_t>(WireType::kSpans)) {
     throw support::ProcError("wire: unknown frame type " +
                              std::to_string(type_byte));
   }
@@ -197,6 +199,8 @@ bool FrameConn::next_frame(WireFrame* out) {
   out->arg = get_raw<std::uint64_t>(p);
   p += 8;
   out->seq = get_raw<std::uint64_t>(p);
+  p += 8;
+  out->trace = get_raw<std::uint64_t>(p);
   p += 8;
   const auto ntokens = get_raw<std::uint32_t>(p);
   p += 4;

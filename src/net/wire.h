@@ -18,11 +18,21 @@
 //                   after a worker respawn without double delivery and
 //                   without violating non-overtaking (seqs are monotone
 //                   per connection and survive the respawn).
+//   u64  trace    — distributed trace id (v3).  The parent stamps it on
+//                   every data frame (kPost/kTimer/kSend, and the relayed
+//                   kHop keeps its kSend's id); workers stamp it on the
+//                   spans they record about that frame, so the merger can
+//                   draw a flow arrow from the serialize span on the source
+//                   worker to the verify span on the destination worker.
+//                   0 = untraced.
 //   u32  ntokens  + ntokens * u64   — kQuiesceAck: canceled timer tokens
 //   u32  npayload + npayload bytes  — kHop: the payload crossing the wire;
 //                                     kCheckpointSave/kCheckpointData: the
-//                                     serialized checkpoint
-//   [WireWorkerStats]               — kQuiesceAck / kStatusReply only
+//                                     serialized checkpoint; kSpans: packed
+//                                     obs::ProcSpan records (see
+//                                     obs/proc_trace.h for the layout)
+//   [WireWorkerStats]               — kQuiesceAck / kStatusReply /
+//                                     kStatsDelta only
 //
 // All integers are host-endian: parent and workers run on one host (the
 // deployment model is "one box, many address spaces", like the Princeton
@@ -40,8 +50,13 @@
 namespace navcpp::net {
 
 /// Protocol revision; kHello carries it in `arg` and the parent refuses a
-/// mismatched worker instead of misparsing its frames.
-constexpr std::uint64_t kWireProtocolVersion = 2;
+/// mismatched worker instead of misparsing its frames.  v3 added the
+/// per-frame `trace` id, the kConfig/kStatsDelta/kSpans frames, the
+/// worker-side time accounting in WireWorkerStats, and the heartbeat
+/// timestamp piggyback (kPing.arg = parent steady ns at send, kPong.arg =
+/// worker steady ns at reply; the parent turns the pair into a per-worker
+/// clock-offset estimate, NTP style).
+constexpr std::uint64_t kWireProtocolVersion = 3;
 
 enum class WireType : std::uint8_t {
   kHello = 1,       ///< worker -> parent: I am PE `pe`, protocol `arg`
@@ -63,7 +78,17 @@ enum class WireType : std::uint8_t {
   kCheckpointLoad = 16,  ///< parent -> worker: send your checkpoint back
   kCheckpointData = 17,  ///< worker -> parent: checkpoint bytes; arg=1 when
                          ///< a checkpoint exists, 0 when there is none
+  kConfig = 18,      ///< parent -> worker: observability config; `arg` is a
+                     ///< kCfg* bitmask, `token` the stats-delta interval in ns
+  kStatsDelta = 19,  ///< worker -> parent: periodic mid-run stats snapshot
+                     ///< (cumulative WireWorkerStats; arg = timer-queue depth)
+  kSpans = 20,       ///< worker -> parent: SpanBuffer flush; payload is a
+                     ///< packed obs::ProcSpan array, arg = record count
 };
+
+/// kConfig.arg bits (parent -> worker observability switches).
+constexpr std::uint64_t kCfgTrace = 1ULL << 0;       ///< record + ship spans
+constexpr std::uint64_t kCfgStatsDelta = 1ULL << 1;  ///< periodic kStatsDelta
 
 /// What kind of action a kGrant releases; packed into the low byte of
 /// `arg`.  Bit 8 is the ok flag (hop checksum verified).
@@ -87,6 +112,14 @@ struct WireWorkerStats {
   std::uint64_t pings_answered = 0;   ///< kPing frames ponged
   std::uint64_t frames_deduped = 0;   ///< replayed seqs dropped unprocessed
   std::uint64_t checkpoint_bytes = 0; ///< size of the retained checkpoint
+  // --- v3: worker-side time accounting (steady-clock ns, this process) ---
+  std::uint64_t busy_ns = 0;          ///< time spent inside handle()
+  std::uint64_t idle_ns = 0;          ///< time blocked in poll() waiting
+  std::uint64_t serialize_ns = 0;     ///< kSend: materialize+checksum+ship
+  std::uint64_t verify_ns = 0;        ///< kHop: checksum verify + grant
+  std::uint64_t queue_depth = 0;      ///< pending timers at snapshot time
+  std::uint64_t spans_dropped = 0;    ///< spans lost to a full SpanBuffer
+  std::uint64_t stats_deltas_sent = 0;  ///< kStatsDelta frames emitted
 };
 
 /// One decoded (or to-be-encoded) protocol frame.  Unused fields stay at
@@ -99,6 +132,7 @@ struct WireFrame {
   std::uint64_t token = 0;
   std::uint64_t arg = 0;
   std::uint64_t seq = 0;  ///< 0 = unsequenced (control frame, never deduped)
+  std::uint64_t trace = 0;  ///< distributed trace id; 0 = untraced
   std::vector<std::uint64_t> tokens;
   std::vector<std::byte> payload;
   WireWorkerStats stats;

@@ -15,7 +15,28 @@ namespace {
 // Serialization
 // ---------------------------------------------------------------------------
 
-std::string json_escape(const std::string& s) {
+/// Microseconds with fixed precision — deterministic across runs.
+std::string us(double seconds) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", seconds * 1e6);
+  return buf;
+}
+
+std::string gauge_value(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+struct Event {
+  double ts = 0.0;   // sort key, seconds; metadata uses -1 to sort first
+  int order = 0;     // tie-break: original emission order (stable output)
+  std::string json;
+};
+
+}  // namespace
+
+std::string trace_json_escape(const std::string& s) {
   std::string out;
   out.reserve(s.size() + 2);
   for (char c : s) {
@@ -38,25 +59,9 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
-/// Microseconds with fixed precision — deterministic across runs.
-std::string us(double seconds) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.3f", seconds * 1e6);
-  return buf;
-}
-
-std::string gauge_value(double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.9g", v);
-  return buf;
-}
-
-struct Event {
-  double ts = 0.0;   // sort key, seconds; metadata uses -1 to sort first
-  int order = 0;     // tie-break: original emission order (stable output)
-  std::string json;
-};
-
+namespace {
+// Local alias: every emission site below escapes through the public helper.
+std::string json_escape(const std::string& s) { return trace_json_escape(s); }
 }  // namespace
 
 std::string chrome_trace_json(const std::vector<navp::TraceSpan>& spans,

@@ -14,6 +14,13 @@
 
 namespace navcpp::obs {
 
+/// JSON string-body escaping applied to every string this module emits
+/// (span labels, metric keys with arbitrary label values, otherData
+/// key/values).  Exposed so sibling emitters (obs/proc_trace.h) share one
+/// definition and so tests can pin the guarantee directly: quotes,
+/// backslashes, and control characters never reach the output raw.
+std::string trace_json_escape(const std::string& s);
+
 struct ChromeTraceOptions {
   std::string process_name = "navcpp";
   /// Number of PE tracks to name in metadata; 0 derives it from the spans.

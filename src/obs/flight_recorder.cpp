@@ -1,0 +1,218 @@
+#include "obs/flight_recorder.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+namespace navcpp::obs {
+namespace {
+
+constexpr std::uint64_t kFlightMagic = 0x4e41564643524543ULL;  // "NAVFCREC"
+constexpr std::uint32_t kFlightVersion = 1;
+
+struct FlightHeader {
+  std::uint64_t magic = 0;
+  std::uint32_t version = 0;
+  std::uint32_t capacity = 0;
+  std::uint64_t next = 0;  ///< total events ever recorded
+  std::uint32_t pe = 0;
+  std::uint32_t reserved = 0;
+};
+static_assert(sizeof(FlightHeader) == 32, "header layout is part of the format");
+
+std::int64_t steady_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+const char* wire_type_name(std::uint8_t t) {
+  // Mirrors net::WireType; kept as a plain table so obs never links net.
+  switch (t) {
+    case 1: return "kHello";
+    case 2: return "kStart";
+    case 3: return "kPost";
+    case 4: return "kTimer";
+    case 5: return "kSend";
+    case 6: return "kHop";
+    case 7: return "kGrant";
+    case 8: return "kQuiesce";
+    case 9: return "kQuiesceAck";
+    case 10: return "kStatus";
+    case 11: return "kStatusReply";
+    case 12: return "kShutdown";
+    case 13: return "kPing";
+    case 14: return "kPong";
+    case 15: return "kCheckpointSave";
+    case 16: return "kCheckpointLoad";
+    case 17: return "kCheckpointData";
+    case 18: return "kConfig";
+    case 19: return "kStatsDelta";
+    case 20: return "kSpans";
+    default: return "?";
+  }
+}
+
+}  // namespace
+
+std::unique_ptr<FlightRecorder> FlightRecorder::open(const std::string& path,
+                                                     std::uint32_t pe,
+                                                     std::uint32_t capacity,
+                                                     std::string* error) {
+  if (capacity == 0) capacity = 1;
+  const std::size_t want =
+      sizeof(FlightHeader) + static_cast<std::size_t>(capacity) * sizeof(FlightEvent);
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0600);
+  if (fd < 0) {
+    if (error) *error = "open " + path + ": " + std::strerror(errno);
+    return nullptr;
+  }
+  struct stat st {};
+  const bool fresh = ::fstat(fd, &st) != 0 ||
+                     static_cast<std::size_t>(st.st_size) != want;
+  if (fresh && ::ftruncate(fd, static_cast<off_t>(want)) != 0) {
+    if (error) *error = "ftruncate " + path + ": " + std::strerror(errno);
+    ::close(fd);
+    return nullptr;
+  }
+  void* map = ::mmap(nullptr, want, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  ::close(fd);  // the mapping keeps the file alive
+  if (map == MAP_FAILED) {
+    if (error) *error = "mmap " + path + ": " + std::strerror(errno);
+    return nullptr;
+  }
+  auto* header = static_cast<FlightHeader*>(map);
+  if (header->magic != kFlightMagic || header->version != kFlightVersion ||
+      header->capacity != capacity) {
+    // First use (or a stale/foreign file): initialize the ring.  A respawned
+    // worker reopening its predecessor's ring hits the branch above instead
+    // and keeps appending.
+    std::memset(map, 0, want);
+    header->magic = kFlightMagic;
+    header->version = kFlightVersion;
+    header->capacity = capacity;
+    header->next = 0;
+  }
+  header->pe = pe;
+  auto rec = std::unique_ptr<FlightRecorder>(new FlightRecorder());
+  rec->map_ = map;
+  rec->map_len_ = want;
+  return rec;
+}
+
+FlightRecorder::~FlightRecorder() {
+  if (map_ != nullptr) ::munmap(map_, map_len_);
+}
+
+void FlightRecorder::record(FlightKind kind, std::uint8_t frame_type,
+                            std::uint64_t token, std::uint64_t a,
+                            std::uint64_t b) {
+  auto* header = static_cast<FlightHeader*>(map_);
+  auto* slots = reinterpret_cast<FlightEvent*>(
+      static_cast<std::byte*>(map_) + sizeof(FlightHeader));
+  FlightEvent& slot = slots[header->next % header->capacity];
+  slot.t_ns = steady_ns();
+  slot.token = token;
+  slot.a = a;
+  slot.b = b;
+  slot.kind = static_cast<std::uint8_t>(kind);
+  slot.frame_type = frame_type;
+  // The slot must be fully written before the count admits it: a harvester
+  // racing a live writer must never read a half-filled slot as valid.
+  ++header->next;
+}
+
+std::uint64_t FlightRecorder::recorded() const {
+  return static_cast<const FlightHeader*>(map_)->next;
+}
+
+bool flight_read(const std::string& path, FlightLog* out, std::string* error) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (error) *error = "open " + path + ": " + std::strerror(errno);
+    return false;
+  }
+  FlightHeader header{};
+  ssize_t n = ::pread(fd, &header, sizeof(header), 0);
+  if (n != static_cast<ssize_t>(sizeof(header)) ||
+      header.magic != kFlightMagic || header.version != kFlightVersion ||
+      header.capacity == 0) {
+    if (error) *error = path + ": not a flight-recorder ring";
+    ::close(fd);
+    return false;
+  }
+  std::vector<FlightEvent> slots(header.capacity);
+  n = ::pread(fd, slots.data(),
+              slots.size() * sizeof(FlightEvent), sizeof(FlightHeader));
+  ::close(fd);
+  if (n != static_cast<ssize_t>(slots.size() * sizeof(FlightEvent))) {
+    if (error) *error = path + ": truncated ring";
+    return false;
+  }
+  out->pe = header.pe;
+  out->total = header.next;
+  out->events.clear();
+  const std::uint64_t kept =
+      header.next < header.capacity ? header.next : header.capacity;
+  // Oldest first: the ring wraps at `next % capacity`.
+  const std::uint64_t first = header.next - kept;
+  for (std::uint64_t i = 0; i < kept; ++i) {
+    out->events.push_back(slots[(first + i) % header.capacity]);
+  }
+  return true;
+}
+
+std::string flight_describe(const FlightEvent& event, std::int64_t t0_ns) {
+  char when[32];
+  std::snprintf(when, sizeof(when), "%+.3fms",
+                static_cast<double>(event.t_ns - t0_ns) / 1e6);
+  std::string s = when;
+  auto num = [](std::uint64_t v) { return std::to_string(v); };
+  switch (static_cast<FlightKind>(event.kind)) {
+    case FlightKind::kRunStart:
+      s += " run-start run=" + num(event.a) + " seq-high-water=" + num(event.b);
+      break;
+    case FlightKind::kConfig:
+      s += " config flags=" + num(event.a) + " stats-interval-ns=" + num(event.b);
+      break;
+    case FlightKind::kFrameIn:
+      s += " frame-in ";
+      s += wire_type_name(event.frame_type);
+      s += " token=" + num(event.token) + " seq=" + num(event.a) +
+           " timers=" + num(event.b);
+      break;
+    case FlightKind::kFrameOut:
+      s += " frame-out ";
+      s += wire_type_name(event.frame_type);
+      s += " token=" + num(event.token) + " dst=" + num(event.a) +
+           " bytes=" + num(event.b);
+      break;
+    case FlightKind::kDedupDrop:
+      s += " dedup-drop seq=" + num(event.a) + " high-water=" + num(event.b);
+      break;
+    case FlightKind::kCheckpointSave:
+      s += " checkpoint-save bytes=" + num(event.a);
+      break;
+    case FlightKind::kCheckpointLoad:
+      s += " checkpoint-load bytes=" + num(event.a) +
+           (event.b != 0 ? " (present)" : " (none)");
+      break;
+    case FlightKind::kQuiesce:
+      s += " quiesce timers-canceled=" + num(event.a);
+      break;
+    case FlightKind::kShutdown:
+      s += " shutdown";
+      break;
+    default:
+      s += " event kind=" + num(event.kind);
+      break;
+  }
+  return s;
+}
+
+}  // namespace navcpp::obs

@@ -1,0 +1,97 @@
+// Crash flight recorder for the process-per-PE backend.
+//
+// Each worker process keeps a bounded ring of recent scheduler events —
+// frames in/out, seq high-water, checkpoints, dedup drops — in a small
+// file-backed mmap.  Because the pages are MAP_SHARED, whatever the worker
+// managed to record is durable the instant record() returns: a SIGKILL (which
+// no handler can intercept) loses nothing already written.  The supervising
+// parent harvests the file when it detects the death and embeds the decoded
+// timeline in the merged trace, so every recovery drill yields a readable
+// post-mortem: what the worker last saw -> death detected -> backoff ->
+// respawn -> replay.
+//
+// A respawned worker reopens the same file and keeps appending: the ring is
+// continuous across incarnations (the header survives), which is exactly
+// what you want when reading a multi-respawn drill.
+//
+// File layout (host-endian, one host by construction):
+//   FlightHeader            — magic/version/capacity/next/pe
+//   capacity * FlightEvent  — fixed slots, slot = seqno % capacity
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace navcpp::obs {
+
+enum class FlightKind : std::uint8_t {
+  kRunStart = 1,     ///< kStart handled; a = run id, b = last_seq high-water
+  kConfig = 2,       ///< kConfig handled; a = flag bits, b = stats interval ns
+  kFrameIn = 3,      ///< a data/control frame processed; a = seq, b = timers
+  kFrameOut = 4,     ///< hop payload shipped; a = dst pe, b = payload bytes
+  kDedupDrop = 5,    ///< replayed seq dropped; a = frame seq, b = high-water
+  kCheckpointSave = 6,  ///< a = payload bytes
+  kCheckpointLoad = 7,  ///< a = bytes returned, b = 1 if one existed
+  kQuiesce = 8,      ///< quiesce acked; a = timers canceled
+  kShutdown = 9,     ///< clean kShutdown received
+};
+
+/// One ring slot.  Fixed-size and trivially copyable: it is written straight
+/// into the mmap and read back raw by the harvester.
+struct FlightEvent {
+  std::int64_t t_ns = 0;        ///< worker steady-clock ns at record()
+  std::uint64_t token = 0;      ///< action token the event is about (0: none)
+  std::uint64_t a = 0;          ///< kind-specific (see FlightKind)
+  std::uint64_t b = 0;          ///< kind-specific
+  std::uint8_t kind = 0;        ///< FlightKind
+  std::uint8_t frame_type = 0;  ///< net::WireType byte for kFrameIn/Out, else 0
+  std::uint8_t pad[6] = {};
+};
+static_assert(sizeof(FlightEvent) == 40, "ring slot layout is part of the format");
+
+/// Writer side, lives in the worker process.  All operations are wait-free
+/// single-writer stores into the mapping; there is no flush to forget.
+class FlightRecorder {
+ public:
+  /// Open (or create, or re-open after a respawn) the ring at `path`.
+  /// Returns nullptr and fills `error` if the file cannot be mapped — the
+  /// caller should run un-recorded rather than die over telemetry.
+  static std::unique_ptr<FlightRecorder> open(const std::string& path,
+                                              std::uint32_t pe,
+                                              std::uint32_t capacity,
+                                              std::string* error);
+  ~FlightRecorder();
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  void record(FlightKind kind, std::uint8_t frame_type, std::uint64_t token,
+              std::uint64_t a, std::uint64_t b);
+
+  std::uint64_t recorded() const;  ///< total events ever recorded (not capped)
+
+ private:
+  FlightRecorder() = default;
+  void* map_ = nullptr;
+  std::size_t map_len_ = 0;
+};
+
+/// Harvested ring, oldest event first.  `total` counts everything ever
+/// recorded; events.size() is min(total, capacity).
+struct FlightLog {
+  std::uint32_t pe = 0;
+  std::uint64_t total = 0;
+  std::vector<FlightEvent> events;
+};
+
+/// Read a ring file (parent side, after the worker died or quiesced).
+/// Returns false and fills `error` on a missing/corrupt file.
+bool flight_read(const std::string& path, FlightLog* out, std::string* error);
+
+/// One-line human rendering of an event ("+12.345ms frame-in kHop seq=41
+/// timers=2"), used by the CLI timeline printer and the merged trace.
+/// `t0_ns` anchors the relative timestamp (pass the first event's t_ns).
+std::string flight_describe(const FlightEvent& event, std::int64_t t0_ns);
+
+}  // namespace navcpp::obs

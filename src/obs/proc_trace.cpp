@@ -1,0 +1,365 @@
+#include "obs/proc_trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "obs/chrome_trace.h"
+
+namespace navcpp::obs {
+namespace {
+
+template <class T>
+void put_raw(std::vector<std::byte>& out, const T& v) {
+  const auto* p = reinterpret_cast<const std::byte*>(&v);
+  out.insert(out.end(), p, p + sizeof(T));
+}
+
+template <class T>
+T get_raw(const std::byte* p) {
+  T v;
+  std::memcpy(&v, p, sizeof(T));
+  return v;
+}
+
+std::string us(double seconds) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", seconds * 1e6);
+  return buf;
+}
+
+const char* span_kind_name(std::uint8_t kind) {
+  switch (static_cast<ProcSpanKind>(kind)) {
+    case ProcSpanKind::kSerialize: return "serialize";
+    case ProcSpanKind::kVerify: return "verify";
+    case ProcSpanKind::kWait: return "wait";
+    case ProcSpanKind::kTimerFire: return "timer";
+  }
+  return "span";
+}
+
+const char* span_kind_cat(std::uint8_t kind) {
+  switch (static_cast<ProcSpanKind>(kind)) {
+    case ProcSpanKind::kSerialize: return "comm";
+    case ProcSpanKind::kVerify: return "comm";
+    case ProcSpanKind::kWait: return "wait";
+    case ProcSpanKind::kTimerFire: return "sched";
+  }
+  return "span";
+}
+
+struct Event {
+  double ts = 0.0;
+  int order = 0;
+  std::string json;
+};
+
+constexpr int kWorkerPidBase = 100;
+
+}  // namespace
+
+void pack_spans(const std::vector<ProcSpan>& spans,
+                std::vector<std::byte>& out) {
+  out.reserve(out.size() + spans.size() * kProcSpanWireBytes);
+  for (const ProcSpan& s : spans) {
+    put_raw<std::uint64_t>(out, s.trace_id);
+    put_raw<std::int64_t>(out, s.t0_ns);
+    put_raw<std::int64_t>(out, s.t1_ns);
+    put_raw<std::uint64_t>(out, s.token);
+    put_raw<std::uint32_t>(out, s.pe);
+    put_raw<std::uint8_t>(out, s.kind);
+  }
+}
+
+std::vector<ProcSpan> unpack_spans(const std::byte* data, std::size_t n) {
+  std::vector<ProcSpan> out;
+  out.reserve(n / kProcSpanWireBytes);
+  for (std::size_t off = 0; off + kProcSpanWireBytes <= n;
+       off += kProcSpanWireBytes) {
+    const std::byte* p = data + off;
+    ProcSpan s;
+    s.trace_id = get_raw<std::uint64_t>(p);
+    s.t0_ns = get_raw<std::int64_t>(p + 8);
+    s.t1_ns = get_raw<std::int64_t>(p + 16);
+    s.token = get_raw<std::uint64_t>(p + 24);
+    s.pe = get_raw<std::uint32_t>(p + 32);
+    s.kind = get_raw<std::uint8_t>(p + 36);
+    out.push_back(s);
+  }
+  return out;
+}
+
+void clock_update(WorkerClock* clock, const ClockSample& sample) {
+  const std::int64_t rtt = sample.parent_recv_ns - sample.parent_send_ns;
+  if (rtt < 0) return;  // nonsense sample (clock stepped?); ignore
+  const std::int64_t midpoint =
+      sample.parent_send_ns + (sample.parent_recv_ns - sample.parent_send_ns) / 2;
+  if (clock->samples == 0 || rtt < clock->rtt_ns) {
+    clock->offset_ns = sample.worker_ns - midpoint;
+    clock->rtt_ns = rtt;
+  }
+  ++clock->samples;
+}
+
+double corrected_seconds(const WorkerClock& clock, std::int64_t worker_ns,
+                         std::int64_t parent_epoch_ns) {
+  const std::int64_t parent_ns = worker_ns - clock.offset_ns;
+  return static_cast<double>(parent_ns - parent_epoch_ns) / 1e9;
+}
+
+std::vector<HopFlow> proc_trace_flows(const std::vector<WorkerLane>& lanes,
+                                      std::int64_t parent_epoch_ns) {
+  // trace id -> (send time on the source, receive time on the destination).
+  struct Half {
+    bool have_send = false, have_recv = false;
+    int src_pe = 0, dst_pe = 0;
+    double send_s = 0.0, recv_s = 0.0;
+  };
+  std::map<std::uint64_t, Half> by_id;
+  for (const WorkerLane& lane : lanes) {
+    for (const ProcSpan& s : lane.spans) {
+      if (s.trace_id == 0) continue;
+      if (s.kind == static_cast<std::uint8_t>(ProcSpanKind::kSerialize)) {
+        Half& h = by_id[s.trace_id];
+        h.have_send = true;
+        h.src_pe = lane.pe;
+        h.send_s = corrected_seconds(lane.clock, s.t1_ns, parent_epoch_ns);
+      } else if (s.kind == static_cast<std::uint8_t>(ProcSpanKind::kVerify)) {
+        Half& h = by_id[s.trace_id];
+        h.have_recv = true;
+        h.dst_pe = lane.pe;
+        h.recv_s = corrected_seconds(lane.clock, s.t0_ns, parent_epoch_ns);
+      }
+    }
+  }
+  std::vector<HopFlow> flows;
+  for (const auto& [id, h] : by_id) {
+    if (!h.have_send || !h.have_recv) continue;
+    HopFlow f;
+    f.trace_id = id;
+    f.src_pe = h.src_pe;
+    f.dst_pe = h.dst_pe;
+    f.send_s = std::max(0.0, h.send_s);
+    // Causal clamp: whatever the offset estimate did, a payload is never
+    // received before it was sent.
+    f.recv_s = std::max(f.send_s, std::max(0.0, h.recv_s));
+    flows.push_back(f);
+  }
+  std::sort(flows.begin(), flows.end(), [](const HopFlow& a, const HopFlow& b) {
+    if (a.send_s != b.send_s) return a.send_s < b.send_s;
+    return a.trace_id < b.trace_id;
+  });
+  return flows;
+}
+
+std::string proc_trace_json(const std::vector<navp::TraceSpan>& parent_spans,
+                            const std::vector<navp::TraceHop>& parent_hops,
+                            const std::vector<WorkerLane>& lanes,
+                            const std::vector<RecoveryTimeline>& recoveries,
+                            const Snapshot* metrics,
+                            const ProcTraceOptions& opts) {
+  std::vector<Event> events;
+  int order = 0;
+  auto push = [&](double ts, std::string json) {
+    events.push_back(Event{ts, order++, std::move(json)});
+  };
+  auto esc = [](const std::string& s) { return trace_json_escape(s); };
+
+  int pe_count = opts.pe_count;
+  double end_time = 0.0;
+  for (const auto& s : parent_spans) {
+    pe_count = std::max(pe_count, s.pe + 1);
+    end_time = std::max(end_time, s.t1);
+  }
+  for (const auto& h : parent_hops) {
+    pe_count = std::max(pe_count, std::max(h.src, h.dst) + 1);
+    end_time = std::max(end_time, h.arrive);
+  }
+  for (const auto& lane : lanes) pe_count = std::max(pe_count, lane.pe + 1);
+
+  // --- metadata lanes ---
+  push(-1.0, "{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"process_name\","
+             "\"args\":{\"name\":\"" + esc(opts.process_name) +
+             " parent (PEs)\"}}");
+  push(-1.0, "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
+             "\"args\":{\"name\":\"" + esc(opts.process_name) +
+             " network\"}}");
+  for (int pe = 0; pe < pe_count; ++pe) {
+    push(-1.0, "{\"ph\":\"M\",\"pid\":0,\"tid\":" + std::to_string(pe) +
+               ",\"name\":\"thread_name\",\"args\":{\"name\":\"PE " +
+               std::to_string(pe) + "\"}}");
+  }
+  for (const auto& lane : lanes) {
+    const int pid = kWorkerPidBase + lane.pe;
+    const std::string name =
+        lane.label.empty() ? "worker pe " + std::to_string(lane.pe)
+                           : lane.label;
+    push(-1.0, "{\"ph\":\"M\",\"pid\":" + std::to_string(pid) +
+               ",\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"" +
+               esc(name) + "\"}}");
+    push(-1.0, "{\"ph\":\"M\",\"pid\":" + std::to_string(pid) +
+               ",\"tid\":0,\"name\":\"thread_name\",\"args\":{\"name\":"
+               "\"scheduler\"}}");
+    push(-1.0, "{\"ph\":\"M\",\"pid\":" + std::to_string(pid) +
+               ",\"tid\":1,\"name\":\"thread_name\",\"args\":{\"name\":"
+               "\"recovery\"}}");
+  }
+
+  std::map<std::pair<int, int>, int> channel_track;
+  for (const auto& h : parent_hops) {
+    channel_track.emplace(std::make_pair(h.src, h.dst), 0);
+  }
+  {
+    int next = 0;
+    for (auto& [ch, track] : channel_track) track = next++;
+  }
+  for (const auto& [ch, track] : channel_track) {
+    push(-1.0, "{\"ph\":\"M\",\"pid\":1,\"tid\":" + std::to_string(track) +
+               ",\"name\":\"thread_name\",\"args\":{\"name\":\"ch " +
+               std::to_string(ch.first) + "->" + std::to_string(ch.second) +
+               "\"}}");
+  }
+
+  // --- parent spans and hops, exactly as chrome_trace_json ---
+  for (const auto& s : parent_spans) {
+    const bool compute = s.kind == navp::TraceSpan::Kind::kCompute;
+    const std::string name =
+        s.label.empty() ? (compute ? "compute" : "wait") : s.label;
+    push(s.t0,
+         "{\"ph\":\"X\",\"pid\":0,\"tid\":" + std::to_string(s.pe) +
+             ",\"ts\":" + us(s.t0) + ",\"dur\":" + us(s.t1 - s.t0) +
+             ",\"name\":\"" + esc(name) + "\",\"cat\":\"" +
+             (compute ? "compute" : "wait") + "\",\"args\":{\"agent\":" +
+             std::to_string(s.agent) + "}}");
+  }
+  for (const auto& h : parent_hops) {
+    const int track = channel_track.at({h.src, h.dst});
+    push(h.depart,
+         "{\"ph\":\"X\",\"pid\":1,\"tid\":" + std::to_string(track) +
+             ",\"ts\":" + us(h.depart) + ",\"dur\":" + us(h.arrive - h.depart) +
+             ",\"name\":\"agent " + std::to_string(h.agent) +
+             "\",\"cat\":\"hop\",\"args\":{\"src\":" + std::to_string(h.src) +
+             ",\"dst\":" + std::to_string(h.dst) + ",\"bytes\":" +
+             std::to_string(h.bytes) + ",\"agent\":" +
+             std::to_string(h.agent) + "}}");
+  }
+
+  // --- worker lanes: clock-corrected spans ---
+  for (const auto& lane : lanes) {
+    const int pid = kWorkerPidBase + lane.pe;
+    for (const ProcSpan& s : lane.spans) {
+      double t0 = corrected_seconds(lane.clock, s.t0_ns, opts.parent_epoch_ns);
+      double t1 = corrected_seconds(lane.clock, s.t1_ns, opts.parent_epoch_ns);
+      t0 = std::max(0.0, t0);
+      t1 = std::max(t0, t1);
+      end_time = std::max(end_time, t1);
+      push(t0,
+           "{\"ph\":\"X\",\"pid\":" + std::to_string(pid) +
+               ",\"tid\":0,\"ts\":" + us(t0) + ",\"dur\":" + us(t1 - t0) +
+               ",\"name\":\"" + span_kind_name(s.kind) + "\",\"cat\":\"" +
+               span_kind_cat(s.kind) + "\",\"args\":{\"trace\":" +
+               std::to_string(s.trace_id) + ",\"token\":" +
+               std::to_string(s.token) + "}}");
+    }
+  }
+
+  // --- cross-process hop flow arrows ---
+  for (const HopFlow& f : proc_trace_flows(lanes, opts.parent_epoch_ns)) {
+    end_time = std::max(end_time, f.recv_s);
+    const std::string id = std::to_string(f.trace_id);
+    push(f.send_s,
+         "{\"ph\":\"s\",\"id\":" + id + ",\"pid\":" +
+             std::to_string(kWorkerPidBase + f.src_pe) + ",\"tid\":0,\"ts\":" +
+             us(f.send_s) + ",\"name\":\"hop\",\"cat\":\"hopflow\"}");
+    push(f.recv_s,
+         "{\"ph\":\"f\",\"bp\":\"e\",\"id\":" + id + ",\"pid\":" +
+             std::to_string(kWorkerPidBase + f.dst_pe) + ",\"tid\":0,\"ts\":" +
+             us(f.recv_s) + ",\"name\":\"hop\",\"cat\":\"hopflow\"}");
+  }
+
+  // --- recovery timelines: supervisor milestones + harvested flight ring ---
+  for (const RecoveryTimeline& r : recoveries) {
+    const int pid = kWorkerPidBase + r.pe;
+    for (const auto& [when, what] : r.milestones) {
+      const double ts = std::max(0.0, when);
+      end_time = std::max(end_time, ts);
+      push(ts, "{\"ph\":\"i\",\"pid\":" + std::to_string(pid) +
+                   ",\"tid\":1,\"ts\":" + us(ts) + ",\"s\":\"t\",\"name\":\"" +
+                   esc(what) + "\",\"cat\":\"recovery\"}");
+    }
+    if (!r.flight.events.empty()) {
+      // The dead incarnation's clock model is the lane's: find it.
+      WorkerClock clock;
+      for (const auto& lane : lanes) {
+        if (lane.pe == r.pe) clock = lane.clock;
+      }
+      const std::int64_t t0_ns = r.flight.events.front().t_ns;
+      for (const FlightEvent& ev : r.flight.events) {
+        const double ts = std::max(
+            0.0, corrected_seconds(clock, ev.t_ns, opts.parent_epoch_ns));
+        end_time = std::max(end_time, ts);
+        push(ts, "{\"ph\":\"i\",\"pid\":" + std::to_string(pid) +
+                     ",\"tid\":1,\"ts\":" + us(ts) +
+                     ",\"s\":\"t\",\"name\":\"" +
+                     esc(flight_describe(ev, t0_ns)) +
+                     "\",\"cat\":\"flight\"}");
+      }
+    }
+  }
+
+  if (metrics != nullptr) {
+    for (const auto& [key, value] : metrics->counters) {
+      push(end_time,
+           "{\"ph\":\"C\",\"pid\":0,\"tid\":0,\"ts\":" + us(end_time) +
+               ",\"name\":\"" + esc(key) + "\",\"args\":{\"value\":" +
+               std::to_string(value) + "}}");
+    }
+  }
+
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Event& a, const Event& b) {
+                     if (a.ts != b.ts) return a.ts < b.ts;
+                     return a.order < b.order;
+                   });
+
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ms\",\"otherData\":{";
+  {
+    bool first = true;
+    auto kv = [&](const std::string& k, const std::string& v) {
+      if (!first) os << ",";
+      first = false;
+      os << "\"" << esc(k) << "\":\"" << esc(v) << "\"";
+    };
+    kv("exporter", "navcpp_obs");
+    kv("backend", "proc");
+    kv("worker_lanes", std::to_string(lanes.size()));
+    kv("recoveries", std::to_string(recoveries.size()));
+    for (const auto& lane : lanes) {
+      kv("clock_offset_ns{pe=" + std::to_string(lane.pe) + "}",
+         std::to_string(lane.clock.offset_ns));
+    }
+    if (metrics != nullptr) {
+      for (const auto& [key, value] : metrics->counters) {
+        kv(key, std::to_string(value));
+      }
+      for (const auto& [key, value] : metrics->gauges) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.9g", value);
+        kv(key, buf);
+      }
+    }
+  }
+  os << "},\"traceEvents\":[";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (i != 0) os << ",";
+    os << "\n" << events[i].json;
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+}  // namespace navcpp::obs

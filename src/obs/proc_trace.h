@@ -1,0 +1,195 @@
+// Cross-process trace merging for the process-per-PE backend.
+//
+// The parent's navp::TraceRecorder sees only its own half of a proc run:
+// actions executing in the parent, hops as parent-relative depart/arrive.
+// The worker processes hold the other half — serialize/verify/wait spans
+// recorded against each worker's own steady clock and shipped over the wire
+// as packed ProcSpan records (kSpans frames).  This module turns the two
+// halves into one Chrome-trace/Perfetto file:
+//
+//   pid 0         parent PE lanes (compute/wait spans, as chrome_trace.h)
+//   pid 1         parent channel lanes (hop transits)
+//   pid 100+pe    one lane per worker process (serialize/verify/wait spans,
+//                 recovery instants, flight-recorder events)
+//
+// Worker timestamps are raw steady-clock nanoseconds from another process.
+// They are mapped onto the parent's run-relative timeline with a per-worker
+// clock model estimated from the kPing/kPong heartbeat piggyback: the parent
+// records its steady ns at ping send and receive, the worker echoes its own
+// steady ns in the pong, and offset = worker_ns - (send+recv)/2 — classic
+// NTP, with the minimum-RTT sample winning because it bounds the error the
+// tightest.  Cross-process hop flow arrows ("s"/"f" events) connect the
+// serialize span on the source worker to the verify span on the destination
+// worker via the frame's trace id; after correction the merger clamps each
+// arrow causally (finish never precedes start) so clock noise can never draw
+// time running backwards.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "navp/trace.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+
+namespace navcpp::obs {
+
+// --- worker-side span records (the wire payload of kSpans frames) ----------
+
+enum class ProcSpanKind : std::uint8_t {
+  kSerialize = 1,  ///< kSend handling: materialize + checksum + ship payload
+  kVerify = 2,     ///< kHop handling: checksum verify + grant
+  kWait = 3,       ///< blocked in poll() with nothing to do
+  kTimerFire = 4,  ///< a due timer granted
+};
+
+/// One worker-side span.  Timestamps are the worker's own steady-clock ns;
+/// trace_id is the parent-stamped frame id (0 for wait spans, which belong
+/// to no frame).
+struct ProcSpan {
+  std::uint64_t trace_id = 0;
+  std::int64_t t0_ns = 0;
+  std::int64_t t1_ns = 0;
+  std::uint64_t token = 0;
+  std::uint32_t pe = 0;
+  std::uint8_t kind = 0;  ///< ProcSpanKind
+};
+
+/// Packed wire size of one ProcSpan (no struct padding crosses the wire).
+constexpr std::size_t kProcSpanWireBytes = 8 + 8 + 8 + 8 + 4 + 1;
+
+/// Append `spans` to `out` in the packed wire layout (kSpans payload).
+void pack_spans(const std::vector<ProcSpan>& spans,
+                std::vector<std::byte>& out);
+
+/// Decode a packed kSpans payload.  Trailing partial records are dropped
+/// (a torn flush is possible around a worker death).
+std::vector<ProcSpan> unpack_spans(const std::byte* data, std::size_t n);
+
+/// Bounded span store, worker side.  push() refuses (and counts) once full;
+/// the worker flushes it as a kSpans frame on the stats tick and before the
+/// quiesce ack, so a healthy run never fills it.
+class SpanBuffer {
+ public:
+  explicit SpanBuffer(std::size_t capacity = 8192) : capacity_(capacity) {}
+
+  bool push(const ProcSpan& span) {
+    if (spans_.size() >= capacity_) {
+      ++dropped_;
+      return false;
+    }
+    spans_.push_back(span);
+    return true;
+  }
+
+  bool empty() const { return spans_.empty(); }
+  std::size_t size() const { return spans_.size(); }
+  std::uint64_t dropped() const { return dropped_; }
+
+  std::vector<ProcSpan> drain() {
+    std::vector<ProcSpan> out;
+    out.swap(spans_);
+    return out;
+  }
+
+  void clear() {
+    spans_.clear();
+    dropped_ = 0;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::vector<ProcSpan> spans_;
+  std::uint64_t dropped_ = 0;
+};
+
+// --- clock-offset estimation -----------------------------------------------
+
+/// One heartbeat round-trip observation (all steady-clock ns).
+struct ClockSample {
+  std::int64_t parent_send_ns = 0;  ///< parent clock at kPing send
+  std::int64_t parent_recv_ns = 0;  ///< parent clock at kPong receive
+  std::int64_t worker_ns = 0;       ///< worker clock, echoed in kPong.arg
+};
+
+/// Per-worker clock model: worker_ns ~= parent_ns + offset_ns, with rtt_ns
+/// bounding the estimation error of the retained (minimum-RTT) sample.
+struct WorkerClock {
+  std::int64_t offset_ns = 0;
+  std::int64_t rtt_ns = 0;
+  int samples = 0;
+};
+
+/// Fold one heartbeat observation into the model.  The NTP midpoint
+/// estimate offset = worker - (send+recv)/2 is kept only when this sample's
+/// round trip beats the best seen so far (shorter RTT = tighter bound).
+void clock_update(WorkerClock* clock, const ClockSample& sample);
+
+/// Map a worker steady-clock timestamp onto the parent's run-relative
+/// timeline (seconds since `parent_epoch_ns`, the parent clock at run
+/// start).  With zero samples the offset is 0 — correct on one host, where
+/// every process shares the steady clock.
+double corrected_seconds(const WorkerClock& clock, std::int64_t worker_ns,
+                         std::int64_t parent_epoch_ns);
+
+// --- merger inputs ----------------------------------------------------------
+
+/// Everything the parent harvested from (and about) one worker process.
+struct WorkerLane {
+  int pe = 0;
+  std::string label;  ///< lane name, e.g. "worker pe 2 (pid 4711)"
+  WorkerClock clock;
+  std::vector<ProcSpan> spans;
+};
+
+/// One supervised recovery, parent side: milestones are (run-relative
+/// seconds, description) in the order the supervisor hit them — death
+/// detected, backoff, respawn, replay — plus the flight-recorder ring
+/// harvested from the dead incarnation.
+struct RecoveryTimeline {
+  int pe = 0;
+  int incarnation = 0;  ///< respawn count after this recovery
+  std::vector<std::pair<double, std::string>> milestones;
+  FlightLog flight;
+};
+
+/// One cross-process hop flow arrow, already clock-corrected and causally
+/// clamped (recv_s >= send_s).  Exposed for tests; proc_trace_json draws
+/// these as "s"/"f" flow events.
+struct HopFlow {
+  std::uint64_t trace_id = 0;
+  int src_pe = 0;
+  int dst_pe = 0;
+  double send_s = 0.0;  ///< end of the serialize span on the source worker
+  double recv_s = 0.0;  ///< start of the verify span on the destination
+};
+
+/// Pair serialize spans with verify spans by trace id across `lanes` and
+/// return the corrected, causally-ordered arrows (sorted by send time, then
+/// trace id).
+std::vector<HopFlow> proc_trace_flows(const std::vector<WorkerLane>& lanes,
+                                      std::int64_t parent_epoch_ns);
+
+struct ProcTraceOptions {
+  std::string process_name = "navcpp";
+  int pe_count = 0;  ///< 0 derives it from spans/lanes
+  /// Parent steady-clock ns at run start; anchors every corrected worker
+  /// timestamp.  Run-relative parent span times need no anchor.
+  std::int64_t parent_epoch_ns = 0;
+};
+
+/// Serialize a merged proc run to Chrome trace-event JSON.  Superset of
+/// chrome_trace_json: parent spans/hops/metrics exactly as there, plus one
+/// lane per worker process, hop flow arrows, recovery-milestone and
+/// flight-recorder instants.  Always passes validate_chrome_trace by
+/// construction (corrected timestamps are clamped non-negative and the
+/// event stream is globally sorted).
+std::string proc_trace_json(const std::vector<navp::TraceSpan>& parent_spans,
+                            const std::vector<navp::TraceHop>& parent_hops,
+                            const std::vector<WorkerLane>& lanes,
+                            const std::vector<RecoveryTimeline>& recoveries,
+                            const Snapshot* metrics = nullptr,
+                            const ProcTraceOptions& opts = {});
+
+}  // namespace navcpp::obs

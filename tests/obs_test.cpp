@@ -1,8 +1,14 @@
 // Tests for the observability layer: metrics registry (counters, gauges,
 // histograms, snapshot/delta), the Chrome trace-event exporter and its
-// validator, and the workload profiler that ties them together.
+// validator, the cross-process trace machinery (span packing, clock-offset
+// estimation, flow merging, flight recorder), and the workload profiler
+// that ties them together.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <thread>
 #include <vector>
@@ -12,7 +18,9 @@
 #include "machine/sim_machine.h"
 #include "navp/trace.h"
 #include "obs/chrome_trace.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/proc_trace.h"
 #include "support/error.h"
 
 namespace navcpp {
@@ -206,6 +214,331 @@ TEST(ChromeTraceValidator, RejectsNonMonotonicTimestamps) {
   std::string error;
   EXPECT_FALSE(obs::validate_chrome_trace(json, &error));
   EXPECT_NE(error.find("monotonic"), std::string::npos) << error;
+}
+
+TEST(ChromeTrace, EscapePinsQuotesBackslashesAndControls) {
+  EXPECT_EQ(obs::trace_json_escape("plain"), "plain");
+  EXPECT_EQ(obs::trace_json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(obs::trace_json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(obs::trace_json_escape("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+  EXPECT_EQ(obs::trace_json_escape(std::string("a\x01z")), "a\\u0001z");
+}
+
+TEST(ChromeTrace, HostileLabelsSurviveTheValidator) {
+  // Regression: a span label carrying every character class the escaper
+  // must handle flows through the exporter and still parses.  Before the
+  // escaping fix a label like `step "fwd"` produced unparseable JSON.
+  std::vector<navp::TraceSpan> spans = {
+      {1, 0, 0.0, 1e-3, navp::TraceSpan::Kind::kCompute,
+       "step \"fwd\" c:\\tmp\nline2\x01"}};
+  obs::Registry reg;
+  reg.counter("evil{label=\"quoted\"}").add(1);
+  const obs::Snapshot snap = reg.snapshot();
+  const std::string json = obs::chrome_trace_json(spans, {}, &snap);
+  std::string error;
+  EXPECT_TRUE(obs::validate_chrome_trace(json, &error)) << error;
+  EXPECT_EQ(json.find('\x01'), std::string::npos)
+      << "raw control bytes must never reach the output";
+  // The merged proc exporter shares the same escaper; pin that too.
+  obs::WorkerLane lane;
+  lane.pe = 0;
+  lane.label = "worker \"pe 0\"\n(pid 1)";
+  const std::string merged =
+      obs::proc_trace_json(spans, {}, {lane}, {}, &snap);
+  EXPECT_TRUE(obs::validate_chrome_trace(merged, &error)) << error;
+}
+
+// --- cross-process spans: packing and the bounded buffer --------------------
+
+TEST(ProcTrace, PackUnpackRoundTripsAndDropsTornTail) {
+  std::vector<obs::ProcSpan> in;
+  for (int i = 0; i < 5; ++i) {
+    obs::ProcSpan s;
+    s.trace_id = 1000u + static_cast<std::uint64_t>(i);
+    s.t0_ns = -50 + i * 1000;  // negative survives (int64 on the wire)
+    s.t1_ns = i * 1000 + 500;
+    s.token = 7u * static_cast<std::uint64_t>(i);
+    s.pe = static_cast<std::uint32_t>(i % 3);
+    s.kind = static_cast<std::uint8_t>(obs::ProcSpanKind::kSerialize);
+    in.push_back(s);
+  }
+  std::vector<std::byte> wire;
+  obs::pack_spans(in, wire);
+  ASSERT_EQ(wire.size(), in.size() * obs::kProcSpanWireBytes);
+  const std::vector<obs::ProcSpan> out =
+      obs::unpack_spans(wire.data(), wire.size());
+  ASSERT_EQ(out.size(), in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    EXPECT_EQ(out[i].trace_id, in[i].trace_id) << i;
+    EXPECT_EQ(out[i].t0_ns, in[i].t0_ns) << i;
+    EXPECT_EQ(out[i].t1_ns, in[i].t1_ns) << i;
+    EXPECT_EQ(out[i].token, in[i].token) << i;
+    EXPECT_EQ(out[i].pe, in[i].pe) << i;
+    EXPECT_EQ(out[i].kind, in[i].kind) << i;
+  }
+  // A torn flush (worker died mid-write) leaves a partial trailing record:
+  // it is dropped, the complete prefix decodes.
+  const std::vector<obs::ProcSpan> torn =
+      obs::unpack_spans(wire.data(), wire.size() - 3);
+  EXPECT_EQ(torn.size(), in.size() - 1);
+}
+
+TEST(ProcTrace, SpanBufferRefusesAndCountsWhenFull) {
+  obs::SpanBuffer buf(3);
+  obs::ProcSpan s;
+  EXPECT_TRUE(buf.push(s));
+  EXPECT_TRUE(buf.push(s));
+  EXPECT_TRUE(buf.push(s));
+  EXPECT_FALSE(buf.push(s)) << "capacity 3 must refuse the 4th span";
+  EXPECT_FALSE(buf.push(s));
+  EXPECT_EQ(buf.size(), 3u);
+  EXPECT_EQ(buf.dropped(), 2u);
+  const std::vector<obs::ProcSpan> drained = buf.drain();
+  EXPECT_EQ(drained.size(), 3u);
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.dropped(), 2u) << "drain ships spans, not the drop count";
+  buf.clear();
+  EXPECT_EQ(buf.dropped(), 0u);
+}
+
+// --- clock-offset estimation (skewed worker clocks) -------------------------
+
+TEST(ProcTrace, ClockKeepsMinimumRttSampleAndRoundTripsSkew) {
+  // Worker steady clock runs 5 ms AHEAD of the parent's.
+  constexpr std::int64_t kSkew = 5'000'000;
+  obs::WorkerClock clock;
+  // Wide round trip first: offset lands, but loosely bounded.
+  obs::clock_update(&clock,
+                    {1'000'000, 1'400'000, 1'200'000 + kSkew + 90'000});
+  EXPECT_EQ(clock.samples, 1);
+  EXPECT_EQ(clock.rtt_ns, 400'000);
+  // Tight round trip: wins, and with a symmetric path the midpoint
+  // estimate recovers the skew exactly.
+  obs::clock_update(&clock, {2'000'000, 2'020'000, 2'010'000 + kSkew});
+  EXPECT_EQ(clock.samples, 2);
+  EXPECT_EQ(clock.rtt_ns, 20'000);
+  EXPECT_EQ(clock.offset_ns, kSkew);
+  // A later, wider sample must not displace the tight one.
+  obs::clock_update(&clock,
+                    {3'000'000, 3'900'000, 3'450'000 + kSkew + 123'456});
+  EXPECT_EQ(clock.offset_ns, kSkew);
+  EXPECT_EQ(clock.rtt_ns, 20'000);
+  EXPECT_EQ(clock.samples, 3);
+  // Round trip: a worker timestamp taken 0.25 s into the run maps back
+  // onto the parent timeline despite the skew.
+  const std::int64_t epoch = 10'000'000;
+  const std::int64_t worker_ts = epoch + 250'000'000 + kSkew;
+  EXPECT_NEAR(obs::corrected_seconds(clock, worker_ts, epoch), 0.25, 1e-12);
+}
+
+TEST(ProcTrace, ClockWithZeroSamplesIsIdentity) {
+  // Single-host default: every process shares the steady clock, so with no
+  // heartbeat samples yet the correction must be a pure epoch shift.
+  obs::WorkerClock clock;
+  EXPECT_NEAR(obs::corrected_seconds(clock, 2'000'000'000, 1'000'000'000),
+              1.0, 1e-12);
+  // A nonsense sample (parent recv before send) is ignored outright.
+  obs::clock_update(&clock, {5'000, 4'000, 99'999});
+  EXPECT_EQ(clock.samples, 0);
+  EXPECT_EQ(clock.offset_ns, 0);
+}
+
+TEST(ProcTrace, FlowsPairByTraceIdAndStayCausalUnderSkew) {
+  constexpr std::int64_t kEpoch = 1'000'000;
+  // Source worker: parent-aligned clock (offset 0).  Serialize spans for
+  // two hops end at 2 ms and 4 ms run-relative.
+  obs::WorkerLane src;
+  src.pe = 0;
+  src.spans.push_back({42, kEpoch + 1'000'000, kEpoch + 2'000'000, 7, 0,
+                       static_cast<std::uint8_t>(obs::ProcSpanKind::kSerialize)});
+  src.spans.push_back({43, kEpoch + 3'000'000, kEpoch + 4'000'000, 8, 0,
+                       static_cast<std::uint8_t>(obs::ProcSpanKind::kSerialize)});
+  // Wait spans carry trace id 0 and must never produce arrows.
+  src.spans.push_back({0, kEpoch, kEpoch + 500'000, 0, 0,
+                       static_cast<std::uint8_t>(obs::ProcSpanKind::kWait)});
+  // Destination worker: clock 10 ms ahead of the parent, and the offset
+  // estimate deliberately overshoots by 2 ms — enough that hop 42's
+  // corrected arrival would precede its departure without the clamp.
+  constexpr std::int64_t kTrueSkew = 10'000'000;
+  obs::WorkerLane dst;
+  dst.pe = 1;
+  dst.clock.offset_ns = kTrueSkew + 2'000'000;
+  dst.clock.samples = 1;
+  dst.spans.push_back({42, kEpoch + kTrueSkew + 3'000'000,
+                       kEpoch + kTrueSkew + 3'200'000, 7, 1,
+                       static_cast<std::uint8_t>(obs::ProcSpanKind::kVerify)});
+  dst.spans.push_back({43, kEpoch + kTrueSkew + 9'000'000,
+                       kEpoch + kTrueSkew + 9'200'000, 8, 1,
+                       static_cast<std::uint8_t>(obs::ProcSpanKind::kVerify)});
+  // An unmatched serialize (its verify died with a worker) yields no arrow.
+  src.spans.push_back({99, kEpoch + 5'000'000, kEpoch + 5'100'000, 9, 0,
+                       static_cast<std::uint8_t>(obs::ProcSpanKind::kSerialize)});
+
+  const std::vector<obs::HopFlow> flows =
+      obs::proc_trace_flows({src, dst}, kEpoch);
+  ASSERT_EQ(flows.size(), 2u);
+  // Sorted by send time: hop 42 (2 ms) before hop 43 (4 ms).
+  EXPECT_EQ(flows[0].trace_id, 42u);
+  EXPECT_EQ(flows[1].trace_id, 43u);
+  for (const obs::HopFlow& f : flows) {
+    EXPECT_EQ(f.src_pe, 0);
+    EXPECT_EQ(f.dst_pe, 1);
+    EXPECT_GE(f.send_s, 0.0);
+    EXPECT_GE(f.recv_s, f.send_s)
+        << "trace " << f.trace_id
+        << ": a payload is never received before it was sent";
+  }
+  // Hop 42: overshot correction put the arrival at 1 ms < the 2 ms send;
+  // the causal clamp pins it to the send instant.
+  EXPECT_NEAR(flows[0].send_s, 2e-3, 1e-12);
+  EXPECT_NEAR(flows[0].recv_s, flows[0].send_s, 1e-12);
+  // Hop 43 has slack: 9 ms raw − 2 ms overshoot = 7 ms > 4 ms, kept as-is.
+  EXPECT_NEAR(flows[1].send_s, 4e-3, 1e-12);
+  EXPECT_NEAR(flows[1].recv_s, 7e-3, 1e-12);
+}
+
+TEST(ProcTrace, MergedExportValidatesWithLanesFlowsAndRecovery) {
+  obs::WorkerLane lane0;
+  lane0.pe = 0;
+  lane0.label = "worker pe 0 (pid 101)";
+  lane0.spans.push_back({5, 1'000'000, 2'000'000, 3, 0,
+                         static_cast<std::uint8_t>(obs::ProcSpanKind::kSerialize)});
+  obs::WorkerLane lane1;
+  lane1.pe = 1;
+  lane1.label = "worker pe 1 (pid 102)";
+  lane1.clock.offset_ns = -4'000'000;  // worker clock BEHIND the parent
+  lane1.clock.samples = 2;
+  lane1.spans.push_back({5, -1'500'000, -1'200'000, 3, 1,
+                         static_cast<std::uint8_t>(obs::ProcSpanKind::kVerify)});
+  obs::RecoveryTimeline recovery;
+  recovery.pe = 1;
+  recovery.incarnation = 1;
+  recovery.milestones = {{2.5e-3, "death detected (socket EOF)"},
+                         {2.6e-3, "respawned (pid 4711)"}};
+  obs::FlightEvent ev;
+  ev.t_ns = -1'400'000;  // worker clock; corrected via lane 1's model
+  ev.kind = static_cast<std::uint8_t>(obs::FlightKind::kFrameIn);
+  ev.frame_type = 6;  // kHop
+  ev.a = 12;
+  recovery.flight.pe = 1;
+  recovery.flight.total = 1;
+  recovery.flight.events.push_back(ev);
+
+  const std::string json = obs::proc_trace_json(
+      sample_spans(), sample_hops(), {lane0, lane1}, {recovery});
+  std::string error;
+  EXPECT_TRUE(obs::validate_chrome_trace(json, &error)) << error;
+  // One lane per worker process, flow arrows, clock metadata, recovery and
+  // flight instants all present.
+  EXPECT_NE(json.find("worker pe 0 (pid 101)"), std::string::npos);
+  EXPECT_NE(json.find("worker pe 1 (pid 102)"), std::string::npos);
+  EXPECT_NE(json.find("\"hopflow\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+  EXPECT_NE(json.find("clock_offset_ns{pe=1}"), std::string::npos);
+  EXPECT_NE(json.find("death detected (socket EOF)"), std::string::npos);
+  EXPECT_NE(json.find("frame-in kHop"), std::string::npos);
+  // Deterministic for identical input, like the sim exporter.
+  EXPECT_EQ(json, obs::proc_trace_json(sample_spans(), sample_hops(),
+                                       {lane0, lane1}, {recovery}));
+}
+
+// --- crash flight recorder --------------------------------------------------
+
+std::string flight_temp_path(const char* tag) {
+  const char* dir = std::getenv("TMPDIR");
+  std::string path = (dir != nullptr && *dir != '\0') ? dir : "/tmp";
+  path += std::string("/navcpp-obs-test-") + tag + "." +
+          std::to_string(::getpid()) + ".flight";
+  return path;
+}
+
+TEST(FlightRecorder, RoundTripsEventsThroughTheFile) {
+  const std::string path = flight_temp_path("roundtrip");
+  std::string error;
+  auto rec = obs::FlightRecorder::open(path, /*pe=*/3, /*capacity=*/16, &error);
+  ASSERT_NE(rec, nullptr) << error;
+  rec->record(obs::FlightKind::kRunStart, 0, 0, 7, 41);
+  rec->record(obs::FlightKind::kFrameIn, /*frame_type=*/6, /*token=*/99,
+              /*a=*/12, /*b=*/2);
+  EXPECT_EQ(rec->recorded(), 2u);
+  rec.reset();  // worker gone; the MAP_SHARED pages are already on the file
+
+  obs::FlightLog log;
+  ASSERT_TRUE(obs::flight_read(path, &log, &error)) << error;
+  EXPECT_EQ(log.pe, 3u);
+  EXPECT_EQ(log.total, 2u);
+  ASSERT_EQ(log.events.size(), 2u);
+  EXPECT_EQ(log.events[0].kind,
+            static_cast<std::uint8_t>(obs::FlightKind::kRunStart));
+  EXPECT_EQ(log.events[0].a, 7u);
+  EXPECT_EQ(log.events[0].b, 41u);
+  EXPECT_EQ(log.events[1].token, 99u);
+  EXPECT_LE(log.events[0].t_ns, log.events[1].t_ns);
+  const std::string line =
+      obs::flight_describe(log.events[1], log.events[0].t_ns);
+  EXPECT_NE(line.find("frame-in kHop"), std::string::npos) << line;
+  EXPECT_NE(line.find("seq=12"), std::string::npos) << line;
+  ::unlink(path.c_str());
+}
+
+TEST(FlightRecorder, RingWrapsKeepingTheNewestEvents) {
+  const std::string path = flight_temp_path("wrap");
+  std::string error;
+  auto rec = obs::FlightRecorder::open(path, 0, /*capacity=*/8, &error);
+  ASSERT_NE(rec, nullptr) << error;
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    rec->record(obs::FlightKind::kFrameIn, 6, 0, /*a=*/i, 0);
+  }
+  rec.reset();
+  obs::FlightLog log;
+  ASSERT_TRUE(obs::flight_read(path, &log, &error)) << error;
+  EXPECT_EQ(log.total, 20u) << "total counts everything ever recorded";
+  ASSERT_EQ(log.events.size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(log.events[i].a, 12u + i) << "oldest-first, newest 8 kept";
+  }
+  ::unlink(path.c_str());
+}
+
+TEST(FlightRecorder, RespawnReopensAndContinuesTheRing) {
+  const std::string path = flight_temp_path("respawn");
+  std::string error;
+  auto first = obs::FlightRecorder::open(path, 2, 16, &error);
+  ASSERT_NE(first, nullptr) << error;
+  first->record(obs::FlightKind::kRunStart, 0, 0, 1, 0);
+  first->record(obs::FlightKind::kFrameIn, 6, 0, 1, 0);
+  first.reset();  // incarnation 1 dies
+  // The respawned incarnation reopens the same file and keeps appending:
+  // the pre-death history stays readable in one continuous timeline.
+  auto second = obs::FlightRecorder::open(path, 2, 16, &error);
+  ASSERT_NE(second, nullptr) << error;
+  EXPECT_EQ(second->recorded(), 2u);
+  second->record(obs::FlightKind::kRunStart, 0, 0, 2, 1);
+  second.reset();
+  obs::FlightLog log;
+  ASSERT_TRUE(obs::flight_read(path, &log, &error)) << error;
+  EXPECT_EQ(log.total, 3u);
+  ASSERT_EQ(log.events.size(), 3u);
+  EXPECT_EQ(log.events[0].a, 1u);
+  EXPECT_EQ(log.events[2].a, 2u) << "second incarnation's run-start";
+  ::unlink(path.c_str());
+}
+
+TEST(FlightRecorder, ReadRejectsForeignFiles) {
+  const std::string path = flight_temp_path("foreign");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("definitely not a flight ring", f);
+    std::fclose(f);
+  }
+  obs::FlightLog log;
+  std::string error;
+  EXPECT_FALSE(obs::flight_read(path, &log, &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(obs::flight_read(path + ".missing", &log, &error));
+  ::unlink(path.c_str());
 }
 
 // --- Profiler --------------------------------------------------------------

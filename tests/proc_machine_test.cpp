@@ -20,7 +20,9 @@
 #include "machine/fault_machine.h"
 #include "machine/proc_machine.h"
 #include "net/wire.h"
+#include "obs/chrome_trace.h"
 #include "obs/metrics.h"
+#include "obs/proc_trace.h"
 #include "support/error.h"
 
 namespace navcpp::machine {
@@ -460,6 +462,185 @@ TEST(ProcMachine, RecoveryBudgetExhaustionCanDegradeInstead) {
   EXPECT_TRUE(m.worker_degraded(1));
   EXPECT_FALSE(m.worker_alive(1));
   EXPECT_TRUE(m.worker_alive(0));
+}
+
+// --- cross-process observability: tracing, telemetry, flight recorder ------
+
+int count_spans(const std::vector<obs::ProcSpan>& spans,
+                obs::ProcSpanKind kind) {
+  int n = 0;
+  for (const obs::ProcSpan& s : spans) {
+    if (s.kind == static_cast<std::uint8_t>(kind)) ++n;
+  }
+  return n;
+}
+
+TEST(ProcMachine, TracedRunRecordsWorkerSpansAndCausalFlows) {
+  ProcMachine::Options o;
+  o.trace = true;
+  ProcMachine m(2, o);
+  m.post(0, [&] {
+    for (int i = 0; i < 8; ++i) m.transmit(0, 1, 256, [] {});
+  });
+  m.run();
+
+  const std::vector<obs::WorkerLane> lanes = m.worker_lanes();
+  ASSERT_EQ(lanes.size(), 2u);
+  // Every hop leaves a serialize span on the source worker and a verify
+  // span on the destination worker, tied together by the frame's trace id.
+  EXPECT_GE(count_spans(lanes[0].spans, obs::ProcSpanKind::kSerialize), 8);
+  EXPECT_GE(count_spans(lanes[1].spans, obs::ProcSpanKind::kVerify), 8);
+  const std::vector<obs::HopFlow> flows =
+      obs::proc_trace_flows(lanes, m.run_epoch_ns());
+  EXPECT_GE(flows.size(), 8u);
+  for (const obs::HopFlow& f : flows) {
+    EXPECT_EQ(f.src_pe, 0);
+    EXPECT_EQ(f.dst_pe, 1);
+    EXPECT_GE(f.send_s, 0.0);
+    EXPECT_GE(f.recv_s, f.send_s) << "trace " << f.trace_id;
+  }
+  // The merged export over real worker data is validator-clean.
+  obs::ProcTraceOptions topts;
+  topts.pe_count = 2;
+  topts.parent_epoch_ns = m.run_epoch_ns();
+  const std::string json = obs::proc_trace_json(
+      {}, {}, lanes, m.recovery_timelines(), nullptr, topts);
+  std::string error;
+  EXPECT_TRUE(obs::validate_chrome_trace(json, &error)) << error;
+  EXPECT_NE(json.find("\"hopflow\""), std::string::npos);
+}
+
+TEST(ProcMachine, TracingOffShipsNoSpans) {
+  ProcMachine m(2);  // default: trace off
+  m.post(0, [&] { m.transmit(0, 1, 256, [] {}); });
+  m.run();
+  for (const obs::WorkerLane& lane : m.worker_lanes()) {
+    EXPECT_TRUE(lane.spans.empty()) << "pe " << lane.pe;
+  }
+}
+
+TEST(ProcMachine, ResetClearsSpansAndTimelinesBetweenRuns) {
+  // A reused engine must not leak the previous run's observability state:
+  // spans, recovery timelines, and per-PE action clocks all reset.
+  ProcMachine::Options o;
+  o.trace = true;
+  o.recovery.enabled = true;
+  ProcMachine m(2, o);
+  bool after = false;
+  m.post(0, [&] {
+    m.transmit(0, 1, 64, [&] {
+      m.kill_worker(1);
+      m.post(1, [&] { after = true; });  // keeps the run alive to respawn
+    });
+  });
+  m.run();
+  EXPECT_TRUE(after);
+  EXPECT_GE(m.recovery_timelines().size(), 1u);
+  EXPECT_FALSE(m.worker_lanes()[0].spans.empty());
+
+  // Second run: one hop, no deaths.  Exactly this run's spans remain.
+  m.post(0, [&] { m.transmit(0, 1, 64, [] {}); });
+  m.run();
+  EXPECT_TRUE(m.recovery_timelines().empty())
+      << "run 1's recovery timeline leaked into run 2";
+  const std::vector<obs::WorkerLane> lanes = m.worker_lanes();
+  EXPECT_EQ(count_spans(lanes[0].spans, obs::ProcSpanKind::kSerialize), 1);
+  EXPECT_EQ(count_spans(lanes[1].spans, obs::ProcSpanKind::kVerify), 1);
+}
+
+TEST(ProcMachine, LiveTelemetryStreamsMidRun) {
+  ProcMachine::Options o;
+  o.stats_interval_s = 0.002;  // workers push kStatsDelta every 2 ms
+  ProcMachine m(2, o);
+  int ticks = 0;
+  std::size_t rows = 0;
+  std::uint64_t live_hops_in = 0;
+  m.set_telemetry(
+      [&](double /*t*/, const std::vector<ProcMachine::LiveTelemetry>& pes) {
+        ++ticks;
+        rows = pes.size();
+        for (const auto& row : pes) {
+          EXPECT_TRUE(row.alive) << "pe " << row.pe;
+          live_hops_in = std::max(live_hops_in, row.stats.hops_in);
+        }
+      },
+      /*interval_s=*/0.005);
+  m.post(0, [&] {
+    for (int i = 0; i < 4; ++i) m.transmit(0, 1, 128, [] {});
+  });
+  m.post_after(1, 0.08, [] {});  // holds the run open across several ticks
+  m.run();
+  EXPECT_GE(ticks, 2) << "telemetry must fire mid-run, not just at quiesce";
+  EXPECT_EQ(rows, 2u);
+  EXPECT_GE(live_hops_in, 1u)
+      << "a mid-run kStatsDelta must carry real worker counters";
+}
+
+TEST(ProcMachine, RecoveryDrillYieldsTimelineAndFlightRing) {
+  ProcMachine::Options o;
+  o.recovery.enabled = true;
+  ProcMachine m(2, o);
+  int delivered = 0;
+  m.post(0, [&] {
+    m.transmit(0, 1, 128, [&] {
+      // on_delivery runs after PE 1's worker granted the hop, so its
+      // flight ring provably holds frames when the SIGKILL lands.
+      ++delivered;
+      m.kill_worker(1);
+      for (int i = 0; i < 5; ++i) m.transmit(0, 1, 64, [&] { ++delivered; });
+    });
+  });
+  m.run();
+  EXPECT_EQ(delivered, 6);
+
+  ASSERT_GE(m.recovery_timelines().size(), 1u);
+  const obs::RecoveryTimeline& t = m.recovery_timelines().front();
+  EXPECT_EQ(t.pe, 1);
+  EXPECT_EQ(t.incarnation, 1);
+  // The supervisor's milestones arrive in causal order with nondecreasing
+  // run-relative timestamps: death detected -> backoff -> respawned -> ...
+  ASSERT_GE(t.milestones.size(), 3u);
+  bool death = false, respawned = false;
+  double prev = 0.0;
+  for (const auto& [when, what] : t.milestones) {
+    EXPECT_GE(when, prev) << what;
+    prev = when;
+    death = death || what.find("death detected") != std::string::npos;
+    respawned = respawned || what.find("respawned") != std::string::npos;
+  }
+  EXPECT_TRUE(death) << "first milestone names the detected death";
+  EXPECT_TRUE(respawned);
+  EXPECT_NE(t.milestones.front().second.find("death detected"),
+            std::string::npos)
+      << t.milestones.front().second;
+  // The dead incarnation's ring was harvested BEFORE the respawn reopened
+  // the file, so the pre-death history is intact.
+  EXPECT_GT(t.flight.total, 0u);
+  EXPECT_FALSE(t.flight.events.empty());
+}
+
+TEST(ProcMachineWorkloads, TracingDoesNotPerturbResults) {
+  // Observability must be a pure observer: with tracing, telemetry, and
+  // the flight recorder all on, the catalog result is still bit-identical
+  // to the sim reference.
+  ProcMachine::Options o;
+  o.trace = true;
+  o.stats_interval_s = 0.005;
+  const std::string name = "mm/phase1d";
+  ProcMachine eng(harness::workload_pe_count(name), o);
+  const std::vector<double>& want = harness::workload_reference(name);
+  const std::vector<double> got = harness::run_workload(name, eng);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    ASSERT_EQ(got[i], want[i]) << "differs at [" << i << "]";
+  }
+  // And the run left a usable merged trace behind.
+  const std::vector<obs::WorkerLane> lanes = eng.worker_lanes();
+  bool any_spans = false;
+  for (const auto& lane : lanes) any_spans = any_spans || !lane.spans.empty();
+  EXPECT_TRUE(any_spans);
+  EXPECT_FALSE(
+      obs::proc_trace_flows(lanes, eng.run_epoch_ns()).empty());
 }
 
 // --- the catalog on the proc backend ---------------------------------------

@@ -17,15 +17,19 @@
 //                      [--verbose]
 //   navcpp_cli run     --program NAME [--backend sim|threaded|proc]
 //                      [--strict] [--metrics] [--recover]
-//                      [--kill PE@N[,PE@N...]]
-//   navcpp_cli profile --program NAME [--out FILE.json] [--check]
-//                      [--metrics]
+//                      [--kill PE@N[,PE@N...]] [--trace FILE.json]
+//   navcpp_cli profile --program NAME [--backend sim|proc]
+//                      [--out FILE.json] [--check] [--metrics]
+//   navcpp_cli top     PROGRAM [--backend proc] [--interval S]
 //   navcpp_cli bench   [--quick] [--rev LABEL] [--out FILE.json]
 //
 // Every run happens on the calibrated simulation of the paper's testbed
 // unless a --backend selects the threaded (wall-clock) or proc
 // (process-per-PE) machine; `--verify` (mm) additionally executes with real
 // data and checks the product against a dense reference.
+#include <unistd.h>
+
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -58,9 +62,12 @@
 #include "mm/summa_mm.h"
 #include "mm/summa_mm_1d.h"
 #include "navp/runtime.h"
+#include "navp/trace.h"
 #include "navtool/planner.h"
 #include "obs/chrome_trace.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/proc_trace.h"
 
 namespace {
 
@@ -68,6 +75,7 @@ using navcpp::harness::TextTable;
 
 struct Args {
   std::string command;
+  std::vector<std::string> positionals;
   std::map<std::string, std::string> options;
   std::map<std::string, bool> flags;
 
@@ -87,7 +95,10 @@ Args parse(int argc, char** argv) {
   if (argc >= 2) args.command = argv[1];
   for (int i = 2; i < argc; ++i) {
     std::string key = argv[i];
-    if (key.rfind("--", 0) != 0) continue;
+    if (key.rfind("--", 0) != 0) {
+      args.positionals.push_back(key);
+      continue;
+    }
     key = key.substr(2);
     if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
       args.options[key] = argv[++i];
@@ -116,8 +127,10 @@ int usage() {
       "  fault   [--seeds N] [--seed S] [--case SUBSTR] [--drop P] "
       "[--dup P] [--corrupt P] [--backend sim|proc] [--verbose]\n"
       "  run     --program NAME [--backend sim|threaded|proc] [--strict] "
-      "[--metrics] [--recover] [--kill PE@N[,PE@N...]]\n"
-      "  profile --program NAME [--out FILE.json] [--check] [--metrics]\n"
+      "[--metrics] [--recover] [--kill PE@N[,PE@N...]] [--trace FILE.json]\n"
+      "  profile --program NAME [--backend sim|proc] [--out FILE.json] "
+      "[--check] [--metrics]\n"
+      "  top     PROGRAM [--backend proc] [--interval S]\n"
       "  bench   [--quick] [--rev LABEL] [--out FILE.json]\n");
   return 2;
 }
@@ -259,11 +272,15 @@ int run_fault(const Args& args) {
   return 0;
 }
 
-// Profile one workload on the sim backend: per-PE compute/comm/wait table
-// on stdout, Chrome trace-event JSON to --out, full metrics snapshot with
-// --metrics.  --check validates the JSON structurally and cross-checks the
-// exported "net.bytes" counter against the NetworkModel byte-for-byte,
-// exiting nonzero on any mismatch (the profile smoke tests use this).
+// Profile one workload: per-PE compute/comm/wait table on stdout, Chrome
+// trace-event JSON to --out, full metrics snapshot with --metrics.
+// --backend sim (default) derives everything from virtual time and is
+// byte-identical run to run; --backend proc runs on the process-per-PE
+// machine and fills the table from worker-side wall-clock measurements
+// (the trace is the merged cross-process view).  --check validates the
+// JSON structurally and cross-checks the exported "net.bytes" counter
+// against the network layer byte-for-byte, exiting nonzero on any
+// mismatch (the profile smoke tests use this).
 int run_profile(const Args& args) {
   const std::string program = args.get("program", "");
   if (program.empty()) {
@@ -273,10 +290,20 @@ int run_profile(const Args& args) {
     }
     return 2;
   }
-  const auto result = navcpp::harness::profile_workload(program);
-  std::printf("%s  PEs=%d  simulated %.6f s  verify: %s (%s)\n",
-              result.program.c_str(), result.pe_count, result.finish_time,
-              result.ok ? "OK" : "FAILED", result.detail.c_str());
+  const std::string backend = args.get("backend", "sim");
+  if (backend != "sim" && backend != "proc") {
+    std::fprintf(stderr, "profile: unknown --backend %s (sim|proc)\n",
+                 backend.c_str());
+    return 2;
+  }
+  const auto result = backend == "proc"
+                          ? navcpp::harness::profile_workload_proc(program)
+                          : navcpp::harness::profile_workload(program);
+  std::printf("%s  backend=%s  PEs=%d  %s %.6f s  verify: %s (%s)\n",
+              result.program.c_str(), result.backend.c_str(),
+              result.pe_count, backend == "proc" ? "wall" : "simulated",
+              result.finish_time, result.ok ? "OK" : "FAILED",
+              result.detail.c_str());
   std::printf("%s", result.table.c_str());
   std::printf("network: %llu message(s), %llu byte(s); exported net.bytes %s\n",
               static_cast<unsigned long long>(result.network_messages),
@@ -635,6 +662,11 @@ int run_run(const Args& args) {
     std::fprintf(stderr, "run: --kill/--recover require --backend proc\n");
     return 2;
   }
+  const std::string trace_path = args.get("trace", "");
+  if (!trace_path.empty() && backend == "threaded") {
+    std::fprintf(stderr, "run: --trace supports --backend sim|proc\n");
+    return 2;
+  }
 
   navcpp::obs::Registry registry;
   std::unique_ptr<navcpp::machine::Engine> engine;
@@ -648,6 +680,7 @@ int run_run(const Args& args) {
     engine = std::move(m);
   } else if (backend == "proc") {
     navcpp::machine::ProcMachine::Options opt;
+    opt.trace = !trace_path.empty();
     if (args.has("recover")) {
       opt.recovery.enabled = true;
       opt.recovery.max_respawns = 8;
@@ -666,9 +699,12 @@ int run_run(const Args& args) {
   }
   engine->set_metrics(&registry);
 
+  navcpp::navp::TraceRecorder trace;
   std::vector<double> got;
   {
     navcpp::obs::MetricsScope metrics(&registry);
+    std::optional<navcpp::navp::TraceScope> tracing;
+    if (!trace_path.empty()) tracing.emplace(&trace);
     std::optional<navcpp::navp::StrictMigrationScope> strict;
     if (args.has("strict")) strict.emplace();
     got = navcpp::harness::run_workload(program, *engine);
@@ -689,6 +725,29 @@ int run_run(const Args& args) {
                 static_cast<unsigned long long>(proc->worker_deaths()),
                 static_cast<unsigned long long>(proc->total_respawns()),
                 proc->last_recovery_seconds() * 1e3);
+    for (const auto& tl : proc->recovery_timelines()) {
+      std::printf("  recovery timeline (pe %d, incarnation %d):\n", tl.pe,
+                  tl.incarnation);
+      for (const auto& [t, text] : tl.milestones) {
+        std::printf("    %8.3f s  %s\n", t, text.c_str());
+      }
+      if (!tl.flight.events.empty()) {
+        // The flight recorder's last few events: what the worker was doing
+        // when it died, in its own clock (offsets from its first event).
+        const std::int64_t t0 = tl.flight.events.front().t_ns;
+        const std::size_t show = std::min<std::size_t>(8,
+                                                       tl.flight.events.size());
+        std::printf("    flight recorder: %zu of %llu event(s), last %zu:\n",
+                    tl.flight.events.size(),
+                    static_cast<unsigned long long>(tl.flight.total), show);
+        for (std::size_t i = tl.flight.events.size() - show;
+             i < tl.flight.events.size(); ++i) {
+          std::printf("      %s\n",
+                      navcpp::obs::flight_describe(tl.flight.events[i], t0)
+                          .c_str());
+        }
+      }
+    }
   }
 
   const auto snap = registry.snapshot();
@@ -713,7 +772,125 @@ int run_run(const Args& args) {
   if (args.has("metrics")) {
     std::printf("metrics snapshot:\n%s", snap.to_string().c_str());
   }
+
+  if (!trace_path.empty()) {
+    const navcpp::navp::TraceSnapshot tsnap = trace.snapshot();
+    std::string json;
+    if (proc != nullptr) {
+      navcpp::obs::ProcTraceOptions topts;
+      topts.process_name = "navcpp " + program;
+      topts.pe_count = pes;
+      topts.parent_epoch_ns = proc->run_epoch_ns();
+      json = navcpp::obs::proc_trace_json(
+          tsnap.spans, tsnap.hops, proc->worker_lanes(),
+          proc->recovery_timelines(), &snap, topts);
+    } else {
+      navcpp::obs::ChromeTraceOptions copts;
+      copts.process_name = "navcpp " + program;
+      copts.pe_count = pes;
+      json = navcpp::obs::chrome_trace_json(tsnap.spans, tsnap.hops, &snap,
+                                            copts);
+    }
+    std::string error;
+    if (!navcpp::obs::validate_chrome_trace(json, &error)) {
+      std::fprintf(stderr, "run: merged trace failed validation: %s\n",
+                   error.c_str());
+      return 1;
+    }
+    std::ofstream out(trace_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "run: cannot write %s\n", trace_path.c_str());
+      return 1;
+    }
+    out << json;
+    std::printf("trace: validated, written to %s (load in chrome://tracing "
+                "or ui.perfetto.dev)\n",
+                trace_path.c_str());
+  }
   return check.ok && identical ? 0 : 1;
+}
+
+// Live per-PE telemetry of one workload on the proc backend: while the
+// program runs, the parent prints a refreshing table fed by the periodic
+// kStatsDelta frames each worker ships mid-run (compute is the parent's
+// closure time; busy/comm/wait and queue depth are the worker's own
+// measurements).  On a tty the table repaints in place; otherwise each
+// refresh appends, so the output stays greppable in pipelines and CI.
+int run_top(const Args& args) {
+  std::string program = args.get("program", "");
+  if (program.empty() && !args.positionals.empty()) {
+    program = args.positionals.front();
+  }
+  if (program.empty()) {
+    std::fprintf(stderr, "top: usage: navcpp_cli top PROGRAM "
+                 "[--backend proc] [--interval S]; names:\n");
+    for (const auto& name : navcpp::harness::workload_names()) {
+      std::fprintf(stderr, "  %s\n", name.c_str());
+    }
+    return 2;
+  }
+  const std::string backend = args.get("backend", "proc");
+  if (backend != "proc") {
+    std::fprintf(stderr,
+                 "top: only --backend proc has live telemetry (the sim "
+                 "backend finishes in virtual time; profile it instead)\n");
+    return 2;
+  }
+  double interval = std::atof(args.get("interval", "0.5").c_str());
+  if (interval <= 0.0) interval = 0.5;
+
+  const int pes = navcpp::harness::workload_pe_count(program);
+  navcpp::machine::ProcMachine::Options opt;
+  // Ship stats at least twice per refresh so a tick never shows a stale
+  // worker row.
+  opt.stats_interval_s = std::min(0.25, interval / 2.0);
+  navcpp::machine::ProcMachine machine(pes, opt);
+  machine.set_stall_timeout(60.0);
+
+  const bool tty = ::isatty(1) != 0;
+  int ticks = 0;
+  auto print_rows =
+      [&](double t,
+          const std::vector<navcpp::machine::ProcMachine::LiveTelemetry>&
+              rows) {
+        if (tty) std::printf("\x1b[H\x1b[2J");
+        std::printf("navcpp top — %s  backend=proc  t=%.1f s  (tick %d)\n",
+                    program.c_str(), t, ++ticks);
+        TextTable table({"pe", "state", "compute(s)", "busy(s)", "comm(s)",
+                         "wait(s)", "queue", "hops_in", "hops_out",
+                         "respawns"});
+        for (const auto& row : rows) {
+          const auto& ws = row.stats;
+          table.add_row(
+              {std::to_string(row.pe),
+               row.degraded ? "DEGRADED" : (row.alive ? "alive" : "DEAD"),
+               TextTable::num(row.compute_s, 3),
+               TextTable::num(static_cast<double>(ws.busy_ns) / 1e9, 3),
+               TextTable::num(
+                   static_cast<double>(ws.serialize_ns + ws.verify_ns) / 1e9,
+                   3),
+               TextTable::num(static_cast<double>(ws.idle_ns) / 1e9, 3),
+               std::to_string(row.queue_depth), std::to_string(ws.hops_in),
+               std::to_string(ws.hops_out), std::to_string(row.respawns)});
+        }
+        std::printf("%s", table.str().c_str());
+        std::fflush(stdout);
+      };
+  machine.set_telemetry(print_rows, interval);
+
+  navcpp::obs::Registry registry;
+  machine.set_metrics(&registry);
+  std::vector<double> got;
+  {
+    navcpp::obs::MetricsScope metrics(&registry);
+    got = navcpp::harness::run_workload(program, machine);
+  }
+
+  const auto check = navcpp::harness::check_workload(program, got);
+  std::printf("%s finished in %.3f s  verify: %s (%s)  telemetry ticks: %d\n",
+              program.c_str(), machine.finish_time(),
+              check.ok ? "OK" : "FAILED", check.detail.c_str(), ticks);
+  return check.ok ? 0 : 1;
 }
 
 int run_plan(const Args& args) {
@@ -746,6 +923,7 @@ int main(int argc, char** argv) {
     if (args.command == "fault") return run_fault(args);
     if (args.command == "run") return run_run(args);
     if (args.command == "profile") return run_profile(args);
+    if (args.command == "top") return run_top(args);
     if (args.command == "bench") return run_bench(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

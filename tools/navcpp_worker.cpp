@@ -10,6 +10,9 @@
 //   ... [--ckpt FILE]                # per-PE checkpoint spill file: a
 //                                    # respawned worker re-reads it, which
 //                                    # is how a checkpoint survives SIGKILL
+//   ... [--flight FILE]              # mmap'd flight-recorder ring; recent
+//                                    # scheduler events survive SIGKILL and
+//                                    # feed the parent's recovery timeline
 
 #include <cstdio>
 #include <cstdlib>
@@ -25,6 +28,7 @@ int main(int argc, char** argv) {
   int fd = -1;
   long port = -1;
   std::string ckpt;
+  std::string flight;
   for (int i = 1; i + 1 < argc; i += 2) {
     if (std::strcmp(argv[i], "--pe") == 0) {
       pe = std::atoi(argv[i + 1]);
@@ -34,6 +38,8 @@ int main(int argc, char** argv) {
       port = std::atol(argv[i + 1]);
     } else if (std::strcmp(argv[i], "--ckpt") == 0) {
       ckpt = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--flight") == 0) {
+      flight = argv[i + 1];
     } else {
       std::fprintf(stderr, "navcpp_worker: unknown option %s\n", argv[i]);
       return 2;
@@ -42,7 +48,7 @@ int main(int argc, char** argv) {
   if (pe < 0 || (fd < 0 && port < 0)) {
     std::fprintf(stderr,
                  "usage: navcpp_worker --pe N (--fd FD | --port P) "
-                 "[--ckpt FILE]\n"
+                 "[--ckpt FILE] [--flight FILE]\n"
                  "(internal helper of the navcpp process-per-PE backend; "
                  "not meant to be run by hand)\n");
     return 2;
@@ -52,7 +58,7 @@ int main(int argc, char** argv) {
       fd = navcpp::net::wire_connect_loopback(
           static_cast<std::uint16_t>(port));
     }
-    return navcpp::machine::proc_worker_main(fd, pe, ckpt);
+    return navcpp::machine::proc_worker_main(fd, pe, ckpt, flight);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "navcpp_worker (pe %d): %s\n", pe, e.what());
     return 1;

@@ -139,11 +139,34 @@ BenchReport run_bench_suite(const BenchOptions& options) {
       "hops/s", true};
   // Process-per-PE backend: every hop crosses an address-space boundary
   // through the wire protocol (worker fork + socket round trips included
-  // in the measured wall time, like thread spawn is for threaded).
+  // in the measured wall time, like thread spawn is for threaded).  Rides
+  // the default mesh data plane: payloads travel direct worker<->worker
+  // channels, only grants pass through the parent.
   report.metrics["runtime.proc.hops_per_sec"] = BenchMetric{
       measure_hops_per_sec(
           [] { return std::make_unique<machine::ProcMachine>(2); }, laps,
           reps),
+      "hops/s", true};
+  // A/B pair for the data plane: the same hopper on the mesh (explicit,
+  // even though it is the default above) and on the star relay, so the
+  // mesh's advantage is itself a committed, gated number.
+  report.metrics["runtime.proc.mesh_hops_per_sec"] = BenchMetric{
+      measure_hops_per_sec(
+          [] {
+            machine::ProcMachine::Options opt;
+            opt.mesh = true;
+            return std::make_unique<machine::ProcMachine>(2, opt);
+          },
+          laps, reps),
+      "hops/s", true};
+  report.metrics["runtime.proc.star_hops_per_sec"] = BenchMetric{
+      measure_hops_per_sec(
+          [] {
+            machine::ProcMachine::Options opt;
+            opt.mesh = false;
+            return std::make_unique<machine::ProcMachine>(2, opt);
+          },
+          laps, reps),
       "hops/s", true};
   // Same hopper with distributed tracing on (trace ids stamped on every
   // frame, workers recording + shipping spans, flight recorder active).

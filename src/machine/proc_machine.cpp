@@ -126,6 +126,12 @@ ProcMachine::ProcMachine(int pe_count, Options options)
   if (tcp_env != nullptr && tcp_env[0] == '1') options_.use_tcp = true;
   const char* trace_env = ::getenv("NAVCPP_PROC_TRACE");
   if (trace_env != nullptr && trace_env[0] == '1') options_.trace = true;
+  mesh_ = options_.mesh;
+  const char* mesh_env = ::getenv("NAVCPP_PROC_MESH");
+  if (mesh_env != nullptr && mesh_env[0] != '\0') {
+    mesh_ = mesh_env[0] != '0';
+  }
+  mesh_retain_ = mesh_ && options_.recovery.enabled;
   workers_.resize(static_cast<std::size_t>(pe_count_));
   reset_stats();
   if (flight_active()) {
@@ -194,13 +200,45 @@ void ProcMachine::spawn_workers() {
   }
   if (options_.use_tcp) listener_ = std::make_unique<net::WireListener>();
   const std::uint16_t port = listener_ ? listener_->port() : 0;
-  for (int pe = 0; pe < pe_count_; ++pe) {
-    spawn_one(pe, resolved_worker_path_, port);
+
+  // One-host mesh: every C(n,2) edge is a socketpair created BEFORE any
+  // fork, so both endpoints can be passed at fork time.  Each child keeps
+  // only its own edges and closes the rest pre-exec; the parent closes
+  // everything once the spawn burst is over — after that, each edge's two
+  // fds live in exactly the two workers it connects, and a worker death
+  // shows up at its peers as EOF.  The TCP transport gets its mesh by
+  // dial-back instead (see the kPeerInfo brokering after await_hellos).
+  std::vector<std::vector<std::pair<int, int>>> peer_fds(
+      static_cast<std::size_t>(pe_count_));
+  std::vector<int> all_mesh_fds;
+  if (mesh_ && !options_.use_tcp) {
+    for (int p = 0; p < pe_count_; ++p) {
+      for (int q = p + 1; q < pe_count_; ++q) {
+        int fds[2] = {-1, -1};
+        net::wire_peer_socketpair(fds);
+        peer_fds[static_cast<std::size_t>(p)].emplace_back(q, fds[0]);
+        peer_fds[static_cast<std::size_t>(q)].emplace_back(p, fds[1]);
+        all_mesh_fds.push_back(fds[0]);
+        all_mesh_fds.push_back(fds[1]);
+      }
+    }
   }
+  try {
+    for (int pe = 0; pe < pe_count_; ++pe) {
+      spawn_one(pe, resolved_worker_path_, port,
+                peer_fds[static_cast<std::size_t>(pe)], all_mesh_fds);
+    }
+  } catch (...) {
+    for (const int fd : all_mesh_fds) ::close(fd);
+    throw;
+  }
+  for (const int fd : all_mesh_fds) ::close(fd);
 }
 
 void ProcMachine::spawn_one(int pe, const std::string& worker_path,
-                            std::uint16_t tcp_port) {
+                            std::uint16_t tcp_port,
+                            const std::vector<std::pair<int, int>>& peer_fds,
+                            const std::vector<int>& mesh_fds_to_close) {
   int fds[2] = {-1, -1};
   if (!options_.use_tcp) net::wire_socketpair(fds);
 
@@ -225,6 +263,19 @@ void ProcMachine::spawn_one(int pe, const std::string& worker_path,
     for (const Worker& w : workers_) {
       if (w.conn.valid()) ::close(w.conn.fd());
     }
+    // Mesh fds: keep this worker's own edge endpoints, close every other
+    // edge's — a stray reference here would keep a dead sibling's channel
+    // open and mask the EOF its peers rely on.
+    for (const int fd : mesh_fds_to_close) {
+      bool mine = false;
+      for (const auto& [peer_pe, own_fd] : peer_fds) {
+        if (own_fd == fd) {
+          mine = true;
+          break;
+        }
+      }
+      if (!mine) ::close(fd);
+    }
     const std::string ckpt = ckpt_path_for(options_.checkpoint_dir, pe);
     const std::string flight = flight_path(pe);
     if (!worker_path.empty()) {
@@ -236,6 +287,15 @@ void ProcMachine::spawn_one(int pe, const std::string& worker_path,
       } else {
         args.push_back("--fd");
         args.push_back(std::to_string(fds[1]));
+      }
+      if (mesh_) {
+        args.push_back("--npes");
+        args.push_back(std::to_string(pe_count_));
+        args.push_back("--mesh");
+        for (const auto& [peer_pe, fd] : peer_fds) {
+          args.push_back("--peer");
+          args.push_back(std::to_string(peer_pe) + ":" + std::to_string(fd));
+        }
       }
       if (!ckpt.empty()) {
         args.push_back("--ckpt");
@@ -254,9 +314,16 @@ void ProcMachine::spawn_one(int pe, const std::string& worker_path,
     }
     int code = 1;
     try {
-      int fd = fds[1];
-      if (options_.use_tcp) fd = net::wire_connect_loopback(tcp_port);
-      code = proc_worker_main(fd, pe, ckpt, flight);
+      ProcWorkerConfig config;
+      config.fd = fds[1];
+      if (options_.use_tcp) config.fd = net::wire_connect_loopback(tcp_port);
+      config.pe = pe;
+      config.pe_count = pe_count_;
+      config.mesh = mesh_;
+      config.peer_fds = peer_fds;
+      config.ckpt_path = ckpt;
+      config.flight_path = flight;
+      code = proc_worker_main(config);
     } catch (...) {
       code = 1;
     }
@@ -313,6 +380,29 @@ void ProcMachine::await_hellos() {
       }
       w.conn.set_fd(fd);
       w.conn.set_nonblocking();
+      w.peer_port = static_cast<std::uint16_t>(frame.token);
+    }
+    if (mesh_) {
+      // Broker the initial mesh: one direction per edge (p dials q for
+      // p < q).  A single stream socket serves both directions of an edge;
+      // brokering only one direction means two dials can never race into a
+      // crossed pair of half-used connections.
+      for (int q = 1; q < pe_count_; ++q) {
+        const std::uint16_t port = workers_[static_cast<std::size_t>(q)]
+                                       .peer_port;
+        if (port == 0) {
+          throw support::ProcError(
+              "ProcMachine: mesh worker for PE " + std::to_string(q) +
+              " reported no dial-back port");
+        }
+        for (int p = 0; p < q; ++p) {
+          WireFrame info;
+          info.type = WireType::kPeerInfo;
+          info.pe = static_cast<std::uint32_t>(q);
+          info.arg = port;
+          send_to(p, info);
+        }
+      }
     }
     return;
   }
@@ -351,10 +441,34 @@ void ProcMachine::await_hellos() {
           throw support::ProcError("ProcMachine: bad handshake from PE " +
                                    std::to_string(pes[i]));
         }
+        // The dial-back port is only needed for post-respawn re-brokering
+        // here (the initial socketpair mesh was passed at fork), so a
+        // 0 ("could not listen") is tolerated until a recovery needs it.
+        w.peer_port = static_cast<std::uint16_t>(frame.token);
         greeted[static_cast<std::size_t>(pes[i])] = 1;
         --missing;
       }
     }
+  }
+}
+
+void ProcMachine::broker_mesh_edges(int pe) {
+  if (!mesh_) return;
+  const Worker& fresh = workers_[static_cast<std::size_t>(pe)];
+  if (!fresh.alive || fresh.peer_port == 0) return;
+  // Survivors dial the fresh incarnation (never the reverse): each dial-in
+  // replaces the survivor's stale edge and triggers its retained-hop
+  // replay.  An edge whose other endpoint is also dead gets re-brokered
+  // when THAT worker's respawn runs this same pass.
+  WireFrame info;
+  info.type = WireType::kPeerInfo;
+  info.pe = static_cast<std::uint32_t>(pe);
+  info.arg = fresh.peer_port;
+  for (int p = 0; p < pe_count_; ++p) {
+    if (p == pe) continue;
+    const Worker& w = workers_[static_cast<std::size_t>(p)];
+    if (!w.alive || w.degraded) continue;
+    send_to(p, info);
   }
 }
 
@@ -522,6 +636,7 @@ void ProcMachine::transmit(int src, int dst, std::size_t bytes,
   PendingAction pending;
   pending.pe = dst;
   pending.kind = ActionKind::kHop;
+  pending.src = src;  // mesh: where the kSend (and the hop copy) is retained
   pending.fn = std::move(on_delivery);
   actions_.emplace(token, std::move(pending));
   ++outstanding_actions_;
@@ -677,6 +792,7 @@ void ProcMachine::respawn_worker(int pe) {
     }
     w.conn.set_fd(fd);
     w.conn.set_nonblocking();
+    w.peer_port = static_cast<std::uint16_t>(frame.token);
   } else {
     WireFrame frame;
     bool greeted = false;
@@ -700,6 +816,7 @@ void ProcMachine::respawn_worker(int pe) {
       while (w.conn.next_frame(&frame)) {
         if (frame.type == WireType::kHello &&
             frame.arg == net::kWireProtocolVersion) {
+          w.peer_port = static_cast<std::uint16_t>(frame.token);
           greeted = true;
         }
       }
@@ -751,6 +868,13 @@ void ProcMachine::respawn_worker(int pe) {
     milestone("replayed " + std::to_string(resent) + " frame(s)");
     if (auto* c = recovery_counter("proc.recovery.frames_resent")) {
       c->add(resent);
+    }
+    if (mesh_) {
+      // Re-broker the fresh incarnation's mesh edges: every survivor dials
+      // its new listener and replays its retained hop window into it.
+      broker_mesh_edges(pe);
+      milestone("mesh edges re-brokered (port " +
+                std::to_string(w.peer_port) + ")");
     }
     if (w.ckpt_waiting && w.alive) {
       // A synchronous load_checkpoint was in flight when the worker died;
@@ -928,6 +1052,8 @@ void ProcMachine::handle_frame(int pe, const WireFrame& frame) {
       retire_retained(pe, frame.token);
       auto it = actions_.find(frame.token);
       if (it == actions_.end()) return;  // canceled by a racing quiesce
+                                         // (or a mesh replay's duplicate
+                                         // grant — the exactly-once backstop)
       if (it->second.kind == ActionKind::kTimer) {
         --outstanding_timers_;
       } else {
@@ -935,6 +1061,21 @@ void ProcMachine::handle_frame(int pe, const WireFrame& frame) {
       }
       PendingAction action = std::move(it->second);
       actions_.erase(it);
+      if (mesh_ && action.kind == ActionKind::kHop && action.src >= 0 &&
+          action.src != action.pe) {
+        // Mesh hop completed: the parent's retained kSend lives at the
+        // SOURCE worker's window (the grant came from the destination), and
+        // the source worker holds its own copy of the materialized hop —
+        // retire both so neither gets replayed into a future respawn.
+        retire_retained(action.src, frame.token);
+        if (mesh_retain_) {
+          WireFrame retire;
+          retire.type = WireType::kHopRetire;
+          retire.pe = static_cast<std::uint32_t>(action.pe);
+          retire.token = frame.token;
+          send_to(action.src, retire);
+        }
+      }
       if ((frame.arg & net::kGrantOkBit) == 0) {
         record_error(std::make_exception_ptr(support::ProcError(
             "ProcMachine: hop payload failed checksum verification at PE " +
@@ -1356,6 +1497,8 @@ std::string ProcMachine::status_summary() const {
            " posts=" + std::to_string(w.stats.posts_granted) +
            " timers_fired=" + std::to_string(w.stats.timers_fired) +
            " hops_in=" + std::to_string(w.stats.hops_in) +
+           (mesh_ ? " direct_in=" + std::to_string(w.stats.direct_hops_in)
+                  : std::string()) +
            " hop_bytes_in=" + std::to_string(w.stats.hop_bytes_in) + "\n";
   }
   out += "  parent: outstanding_actions=" +
@@ -1390,6 +1533,12 @@ void ProcMachine::record_worker_metrics() {
         .add(s.stats_deltas_sent);
     metrics_->counter("proc.worker.spans_dropped", label)
         .add(s.spans_dropped);
+    metrics_->counter("proc.worker.direct_hops_out", label)
+        .add(s.direct_hops_out);
+    metrics_->counter("proc.worker.direct_hops_in", label)
+        .add(s.direct_hops_in);
+    metrics_->counter("proc.worker.hops_replayed", label)
+        .add(s.hops_replayed);
   }
 }
 
@@ -1437,6 +1586,7 @@ void ProcMachine::send_config(int pe) {
   std::uint64_t flags = 0;
   if (options_.trace) flags |= net::kCfgTrace;
   if (options_.stats_interval_s > 0.0) flags |= net::kCfgStatsDelta;
+  if (mesh_retain_) flags |= net::kCfgMeshRetain;
   if (flags == 0) return;  // nothing to switch on; workers default to off
   WireFrame frame;
   frame.type = WireType::kConfig;

@@ -106,6 +106,14 @@ class ProcMachine final : public Engine {
     /// Use the loopback-TCP transport instead of a Unix socketpair (also
     /// enabled by NAVCPP_PROC_TCP=1 in the environment).
     bool use_tcp = false;
+    /// Mesh data plane: hop payloads travel direct worker<->worker channels
+    /// (socketpairs passed at fork on the one-host transport; loopback
+    /// dial-back brokered by the supervisor on TCP and after any respawn).
+    /// Control traffic — grants, heartbeats, checkpoints, stats, spans —
+    /// stays on the parent star either way.  Default on; NAVCPP_PROC_MESH=0
+    /// in the environment (or `navcpp_cli run --star`) forces the
+    /// parent-relay star data plane.
+    bool mesh = true;
     /// Never exec: fork and run the worker loop in the child directly.
     bool force_fork_only = false;
     double hello_timeout_s = 10.0;    ///< worker startup handshake
@@ -306,6 +314,7 @@ class ProcMachine final : public Engine {
   struct PendingAction {
     int pe = 0;
     ActionKind kind = ActionKind::kPost;
+    int src = -1;  ///< source PE of a kHop (mesh retire target); else -1
     support::MoveFunction fn;
   };
 
@@ -320,6 +329,7 @@ class ProcMachine final : public Engine {
     int exit_status = 0;
     bool degraded = false;    ///< recovery exhausted, PE black-holed
     int respawns = 0;
+    std::uint16_t peer_port = 0;  ///< mesh dial-back port (kHello.token)
     std::uint64_t next_seq = 1;   ///< next outbound sequenced frame
     /// Unacknowledged grant-bearing frames, in seq order: resent verbatim
     /// after a respawn (dedup at the worker makes the replay exact).
@@ -347,9 +357,18 @@ class ProcMachine final : public Engine {
 
   void check_pe(int pe) const;
   void spawn_workers();
+  /// `peer_fds` are this worker's pass-at-fork mesh edges (peer pe, fd);
+  /// `mesh_fds_to_close` is every mesh fd in flight during the spawn burst —
+  /// the child closes the ones that are not its own before exec, so no
+  /// worker holds a stray reference that would mask a sibling's EOF.
   void spawn_one(int pe, const std::string& worker_path,
-                 std::uint16_t tcp_port);
+                 std::uint16_t tcp_port,
+                 const std::vector<std::pair<int, int>>& peer_fds = {},
+                 const std::vector<int>& mesh_fds_to_close = {});
   void await_hellos();
+  /// Tell every alive worker except `pe` to dial `pe`'s listener (kPeerInfo)
+  /// — the initial TCP mesh brokering and the post-respawn re-brokering.
+  void broker_mesh_edges(int pe);
   void shutdown_workers() noexcept;
 
   void send_to(int pe, const net::WireFrame& frame);
@@ -387,6 +406,8 @@ class ProcMachine final : public Engine {
 
   int pe_count_ = 0;
   Options options_;
+  bool mesh_ = false;         ///< resolved Options::mesh + NAVCPP_PROC_MESH
+  bool mesh_retain_ = false;  ///< mesh && recovery: workers retain hops
   std::vector<Worker> workers_;
   std::unique_ptr<net::WireListener> listener_;  // TCP transport only
   /// Worker binary resolved at construction; respawns re-exec the same one.

@@ -32,6 +32,31 @@ ProcWorker::ProcWorker(int fd, int pe, std::string ckpt_path,
   }
 }
 
+ProcWorker::ProcWorker(const ProcWorkerConfig& config)
+    : ProcWorker(config.fd, config.pe, config.ckpt_path, config.flight_path) {
+  pe_count_ = config.pe_count;
+  mesh_ = config.mesh;
+  if (!mesh_) return;
+  peers_.resize(static_cast<std::size_t>(pe_count_));
+  // The dial-back listener exists on every mesh worker, both transports:
+  // it is how the supervisor re-brokers this worker's edges after a peer
+  // respawn (and how the initial TCP mesh is built at all).  Best-effort —
+  // a worker that cannot listen still works, it just cannot be re-dialed.
+  try {
+    peer_listener_ = std::make_unique<net::WireListener>();
+  } catch (...) {
+    peer_listener_.reset();
+  }
+  for (const auto& [peer_pe, fd] : config.peer_fds) {
+    if (peer_pe < 0 || peer_pe >= pe_count_ || peer_pe == pe_) continue;
+    attach_peer(peer_pe, net::FrameConn(fd), /*replay=*/false);
+  }
+}
+
+std::uint16_t ProcWorker::peer_port() const {
+  return peer_listener_ ? peer_listener_->port() : 0;
+}
+
 void ProcWorker::flight(obs::FlightKind kind, std::uint8_t frame_type,
                         std::uint64_t token, std::uint64_t a,
                         std::uint64_t b) {
@@ -178,6 +203,225 @@ void ProcWorker::fire_due_timers() {
   }
 }
 
+void ProcWorker::attach_peer(int peer_pe, net::FrameConn conn, bool replay) {
+  Peer& peer = peers_[static_cast<std::size_t>(peer_pe)];
+  if (peer.conn.valid()) {
+    // A live connection being replaced means the previous incarnation of
+    // this peer died: drop it, unparsed bytes and all.  Any hop that was in
+    // flight on it is covered by the supervisor replaying its kSend into
+    // the fresh incarnation, which regenerates the payload whole.
+    peer.conn.close();
+  }
+  peer.conn = std::move(conn);
+  peer.conn.set_nonblocking();
+  peer.last_seq_in = 0;  // dedup marks are per connection
+  if (replay) {
+    // Blind-replay the retained window in seq order.  The receiver's
+    // per-connection high-water mark drops what it already verified; the
+    // parent's token-keyed action map drops any duplicate grant.  Exactly
+    // once, without a handshake round-trip.
+    for (const WireFrame& hop : peer.retained) {
+      ++stats_.hops_replayed;
+      if (!peer.conn.send_frame(hop)) {
+        peer.conn.close();
+        return;
+      }
+    }
+  }
+  for (const WireFrame& hop : peer.queued) {
+    if (!peer.conn.send_frame(hop)) {
+      peer.conn.close();
+      return;
+    }
+  }
+  peer.queued.clear();
+  // A dial-in may arrive with hops already buffered behind its kPeerHello;
+  // they belong to this connection, so drain them now rather than waiting
+  // for the next poll wake-up.
+  WireFrame frame;
+  try {
+    while (!shutdown_ && peer.conn.valid() && peer.conn.next_frame(&frame)) {
+      if (frame.type == WireType::kHop) handle_peer_hop(peer_pe, frame);
+    }
+  } catch (...) {
+    peer.conn.close();
+  }
+}
+
+void ProcWorker::send_direct_hop(const WireFrame& send) {
+  const int dst = static_cast<int>(send.pe);
+  const std::int64_t t0 = now_ns();
+  const std::uint64_t seed =
+      send.token ^ (static_cast<std::uint64_t>(pe_) << 32) ^
+      (static_cast<std::uint64_t>(send.pe) << 48);
+  net::wire_fill_pattern(scratch_, static_cast<std::size_t>(send.arg), seed);
+  WireFrame hop;
+  hop.type = WireType::kHop;
+  hop.pe = send.pe;  // destination
+  hop.src = static_cast<std::uint32_t>(pe_);
+  hop.token = send.token;
+  hop.arg = net::wire_checksum(scratch_.data(), scratch_.size(), seed);
+  hop.run = run_id_;
+  hop.trace = send.trace;
+  hop.payload = scratch_;
+  ++stats_.hops_out;
+  stats_.hop_bytes_out += scratch_.size();
+  flight(obs::FlightKind::kFrameOut, static_cast<std::uint8_t>(WireType::kHop),
+         send.token, send.pe, scratch_.size());
+  if (dst == pe_) {
+    // Self-hop: the bytes never touch a socket.  Verify in place and grant;
+    // seq stays 0 (nothing to dedup, nothing retained).
+    const std::int64_t t1 = now_ns();
+    stats_.serialize_ns += static_cast<std::uint64_t>(t1 - t0);
+    if (cfg_trace_) {
+      record_span(obs::ProcSpanKind::kSerialize, send.trace, send.token, t0,
+                  t1);
+    }
+    handle_peer_hop(pe_, hop);
+    return;
+  }
+  Peer& peer = peers_[static_cast<std::size_t>(dst)];
+  hop.seq = peer.next_seq++;
+  ++stats_.direct_hops_out;
+  if (cfg_mesh_retain_) {
+    // Retained until the parent's kHopRetire; the window doubles as the
+    // send queue while the edge is down (attach_peer replays it in order).
+    peer.retained.push_back(hop);
+    if (peer.conn.valid() && !peer.conn.send_frame(hop)) peer.conn.close();
+  } else {
+    const bool sent = peer.conn.valid() && peer.conn.send_frame(hop);
+    if (!sent) {
+      if (peer.conn.valid()) peer.conn.close();
+      peer.queued.push_back(hop);
+    }
+  }
+  const std::int64_t t1 = now_ns();
+  stats_.serialize_ns += static_cast<std::uint64_t>(t1 - t0);
+  if (cfg_trace_) {
+    record_span(obs::ProcSpanKind::kSerialize, send.trace, send.token, t0, t1);
+  }
+}
+
+void ProcWorker::handle_peer_hop(int src_pe, const WireFrame& frame) {
+  Peer& peer = peers_[static_cast<std::size_t>(src_pe)];
+  if (frame.run != run_id_ && src_pe != pe_) {
+    if (frame.run > run_id_) {
+      // The hop outran its run's kStart (star and mesh channels have no
+      // cross-channel ordering): park it until that run opens, so its
+      // stats and spans land in the right epoch.
+      peer.deferred.push_back(frame);
+    }
+    // A hop from an already-quiesced run carries a canceled action: drop
+    // it (the parent's token map would ignore its grant anyway).
+    return;
+  }
+  if (frame.seq != 0) {
+    if (frame.seq <= peer.last_seq_in) {
+      // A replayed hop this connection already verified (the sender blind-
+      // resends its whole retained window after a re-broker).
+      ++stats_.frames_deduped;
+      flight(obs::FlightKind::kDedupDrop,
+             static_cast<std::uint8_t>(frame.type), frame.token, frame.seq,
+             peer.last_seq_in);
+      return;
+    }
+    peer.last_seq_in = frame.seq;
+  }
+  ++stats_.frames_seen;
+  flight(obs::FlightKind::kFrameIn, static_cast<std::uint8_t>(frame.type),
+         frame.token, frame.seq, static_cast<std::uint64_t>(src_pe));
+  const std::int64_t t0 = now_ns();
+  const std::uint64_t seed =
+      frame.token ^ (static_cast<std::uint64_t>(frame.src) << 32) ^
+      (static_cast<std::uint64_t>(frame.pe) << 48);
+  const std::uint64_t sum =
+      net::wire_checksum(frame.payload.data(), frame.payload.size(), seed);
+  const bool ok = sum == frame.arg;
+  ++stats_.hops_in;
+  ++stats_.direct_hops_in;
+  stats_.hop_bytes_in += frame.payload.size();
+  // The grant rides the parent star: execution order and exactly-once
+  // bookkeeping stay with the supervisor even though the payload bytes
+  // never passed through it.
+  WireFrame grant;
+  grant.type = WireType::kGrant;
+  grant.pe = static_cast<std::uint32_t>(pe_);
+  grant.token = frame.token;
+  grant.arg = static_cast<std::uint64_t>(GrantKind::kHop) |
+              (ok ? net::kGrantOkBit : 0);
+  if (!conn_.send_frame(grant)) shutdown_ = true;
+  const std::int64_t t1 = now_ns();
+  stats_.verify_ns += static_cast<std::uint64_t>(t1 - t0);
+  if (cfg_trace_) {
+    record_span(obs::ProcSpanKind::kVerifyDirect, frame.trace, frame.token,
+                t0, t1);
+  }
+}
+
+void ProcWorker::accept_peers() {
+  if (peer_listener_ == nullptr) return;
+  for (;;) {
+    const int fd = peer_listener_->accept_one(0.0);
+    if (fd < 0) break;
+    net::FrameConn conn(fd);
+    conn.set_nonblocking();
+    handshaking_.push_back(std::move(conn));
+  }
+}
+
+void ProcWorker::pump_handshake(std::size_t idx) {
+  net::FrameConn& conn = handshaking_[idx];
+  bool drop = false;
+  WireFrame frame;
+  if (!conn.read_some()) {
+    drop = true;
+  } else {
+    try {
+      if (!conn.next_frame(&frame)) return;  // hello incomplete; wait
+    } catch (...) {
+      drop = true;
+    }
+  }
+  if (!drop && (frame.type != WireType::kPeerHello ||
+                frame.pe >= static_cast<std::uint32_t>(pe_count_) ||
+                static_cast<int>(frame.pe) == pe_)) {
+    drop = true;  // not a peer of ours; hang up
+  }
+  if (drop) {
+    conn.close();
+    handshaking_.erase(handshaking_.begin() +
+                       static_cast<std::ptrdiff_t>(idx));
+    return;
+  }
+  const int peer_pe = static_cast<int>(frame.pe);
+  net::FrameConn adopted = std::move(conn);
+  handshaking_.erase(handshaking_.begin() + static_cast<std::ptrdiff_t>(idx));
+  // A dial-in means the peer is a fresh incarnation (or we are): replay our
+  // retained window into it.
+  attach_peer(peer_pe, std::move(adopted), /*replay=*/true);
+}
+
+void ProcWorker::pump_peer(int peer_pe) {
+  Peer& peer = peers_[static_cast<std::size_t>(peer_pe)];
+  if (!peer.conn.valid()) return;
+  if (!peer.conn.read_some()) {
+    // Peer death.  A partly-received (torn) frame dies with the buffer; the
+    // supervisor replays the lost hops' kSends into the respawned peer,
+    // which regenerates them whole.
+    peer.conn.close();
+    return;
+  }
+  WireFrame frame;
+  try {
+    while (!shutdown_ && peer.conn.valid() && peer.conn.next_frame(&frame)) {
+      if (frame.type == WireType::kHop) handle_peer_hop(peer_pe, frame);
+      // Anything else on a peer channel is noise; drop it.
+    }
+  } catch (...) {
+    peer.conn.close();  // malformed peer traffic: tear the edge down
+  }
+}
+
 void ProcWorker::handle(const WireFrame& frame) {
   // Sequenced frames (parent-retained, grant-bearing) are deduplicated
   // against a high-water mark: after a respawn the parent blind-resends its
@@ -213,12 +457,33 @@ void ProcWorker::handle(const WireFrame& frame) {
       stats_.frames_seen = 1;  // this frame
       stats_.checkpoint_bytes = have_checkpoint_ ? checkpoint_.size() : 0;
       spans_.clear();  // spans are per-run, like the stats
+      run_id_ = static_cast<std::uint32_t>(frame.arg);
+      // Hop retention is per-run too: the parent canceled the actions any
+      // leftover hop would grant.  Edge connections and seq counters stay —
+      // they belong to this incarnation, not to a run.
+      for (Peer& peer : peers_) {
+        peer.retained.clear();
+        peer.queued.clear();
+      }
       flight(obs::FlightKind::kRunStart, 0, 0, frame.arg, last_seq_);
+      // Direct hops that outran this kStart were parked; their run is open
+      // now, so verify them inside it (stats and spans in the right epoch).
+      for (std::size_t p = 0; p < peers_.size(); ++p) {
+        Peer& peer = peers_[p];
+        if (peer.deferred.empty()) continue;
+        std::vector<WireFrame> parked;
+        parked.swap(peer.deferred);
+        for (const WireFrame& hop : parked) {
+          if (shutdown_) break;
+          handle_peer_hop(static_cast<int>(p), hop);
+        }
+      }
       break;
 
     case WireType::kConfig:
       cfg_trace_ = (frame.arg & net::kCfgTrace) != 0;
       cfg_stats_ = (frame.arg & net::kCfgStatsDelta) != 0;
+      cfg_mesh_retain_ = (frame.arg & net::kCfgMeshRetain) != 0;
       stats_interval_ns_ = static_cast<std::int64_t>(frame.token);
       next_stats_ns_ = now_ns() + stats_interval_ns_;
       flight(obs::FlightKind::kConfig, 0, 0, frame.arg, frame.token);
@@ -249,6 +514,12 @@ void ProcWorker::handle(const WireFrame& frame) {
     }
 
     case WireType::kSend: {
+      if (mesh_) {
+        // Mesh data plane: the payload goes straight to the destination
+        // worker; only the grant comes back over the star.
+        send_direct_hop(frame);
+        break;
+      }
       // Materialize the payload in THIS address space; the bytes cross to
       // the parent and again to the destination worker, which re-derives
       // the checksum from (token, src, dst) and verifies it.
@@ -319,6 +590,12 @@ void ProcWorker::handle(const WireFrame& frame) {
       stats_.timers_canceled += timers_.size();
       flight(obs::FlightKind::kQuiesce, 0, 0, timers_.size(), 0);
       timers_.clear();
+      // The run is over: every retained hop's action was either granted or
+      // canceled by the parent, so the windows are dead weight.
+      for (Peer& peer : peers_) {
+        peer.retained.clear();
+        peer.queued.clear();
+      }
       refresh_stats_snapshot();
       ack.stats = stats_;
       if (!conn_.send_frame(ack)) shutdown_ = true;
@@ -378,6 +655,45 @@ void ProcWorker::handle(const WireFrame& frame) {
       break;
     }
 
+    case WireType::kPeerInfo: {
+      // Supervisor: "peer `pe` listens on loopback port `arg`; dial it."
+      // Sent when brokering an initial TCP mesh and after a peer respawn.
+      if (!mesh_) break;
+      const int peer_pe = static_cast<int>(frame.pe);
+      if (peer_pe < 0 || peer_pe >= pe_count_ || peer_pe == pe_) break;
+      int fd = -1;
+      try {
+        fd = net::wire_connect_loopback(static_cast<std::uint16_t>(frame.arg));
+      } catch (...) {
+        break;  // peer died again; the next kPeerInfo round retries
+      }
+      net::FrameConn conn(fd);
+      WireFrame ident;
+      ident.type = WireType::kPeerHello;
+      ident.pe = static_cast<std::uint32_t>(pe_);
+      if (!conn.send_frame(ident)) {  // still blocking: writes through
+        conn.close();
+        break;
+      }
+      attach_peer(peer_pe, std::move(conn), /*replay=*/true);
+      break;
+    }
+
+    case WireType::kHopRetire: {
+      // The hop to `pe` with this token was granted and its action ran:
+      // drop it from the retained window (it must never be replayed).
+      const int dst = static_cast<int>(frame.pe);
+      if (dst < 0 || dst >= static_cast<int>(peers_.size())) break;
+      auto& retained = peers_[static_cast<std::size_t>(dst)].retained;
+      for (auto it = retained.begin(); it != retained.end(); ++it) {
+        if (it->token == frame.token) {
+          retained.erase(it);
+          break;
+        }
+      }
+      break;
+    }
+
     case WireType::kHello:
     case WireType::kGrant:
     case WireType::kQuiesceAck:
@@ -386,6 +702,7 @@ void ProcWorker::handle(const WireFrame& frame) {
     case WireType::kCheckpointData:
     case WireType::kStatsDelta:
     case WireType::kSpans:
+    case WireType::kPeerHello:  // peer-channel frame; never on the star
       // Parent-bound frames; a parent never sends them.
       break;
   }
@@ -396,15 +713,45 @@ int ProcWorker::run() {
   hello.type = WireType::kHello;
   hello.pe = static_cast<std::uint32_t>(pe_);
   hello.arg = net::kWireProtocolVersion;
+  hello.token = peer_port();  // mesh dial-back port; 0 = no listener
   if (!conn_.send_frame(hello)) {
     conn_.close();
     return 0;  // parent already gone
   }
 
+  std::vector<pollfd> pfds;
+  std::vector<int> peer_pes;  // pe behind each peer pollfd slot
   while (!shutdown_) {
-    pollfd pfd{conn_.fd(), POLLIN, 0};
+    pfds.clear();
+    peer_pes.clear();
+    pfds.push_back(pollfd{conn_.fd(), POLLIN, 0});
+    std::size_t listener_at = 0;  // 0 = not polled
+    std::size_t handshake_at = 0;
+    std::size_t n_handshake = 0;
+    std::size_t peers_at = 0;
+    if (mesh_) {
+      if (peer_listener_ != nullptr) {
+        listener_at = pfds.size();
+        pfds.push_back(pollfd{peer_listener_->fd(), POLLIN, 0});
+      }
+      handshake_at = pfds.size();
+      n_handshake = handshaking_.size();
+      for (const net::FrameConn& conn : handshaking_) {
+        pfds.push_back(pollfd{conn.fd(), POLLIN, 0});
+      }
+      peers_at = pfds.size();
+      for (std::size_t p = 0; p < peers_.size(); ++p) {
+        const Peer& peer = peers_[p];
+        if (!peer.conn.valid()) continue;
+        short events = POLLIN;
+        if (peer.conn.has_outgoing()) events |= POLLOUT;
+        peer_pes.push_back(static_cast<int>(p));
+        pfds.push_back(pollfd{peer.conn.fd(), events, 0});
+      }
+    }
     const std::int64_t wait0 = now_ns();
-    const int r = ::poll(&pfd, 1, next_timeout_ms());
+    const int r = ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()),
+                         next_timeout_ms());
     const std::int64_t wait1 = now_ns();
     stats_.idle_ns += static_cast<std::uint64_t>(wait1 - wait0);
     if (cfg_trace_ && wait1 - wait0 >= kWaitSpanFloorNs) {
@@ -412,20 +759,53 @@ int ProcWorker::run() {
     }
     if (r < 0) continue;  // EINTR
     fire_due_timers();
-    if (r > 0 && (pfd.revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
-      if (!conn_.read_some()) break;  // parent gone: exit quietly
-      WireFrame frame;
-      try {
-        while (!shutdown_ && conn_.next_frame(&frame)) handle(frame);
-      } catch (...) {
-        conn_.close();
-        return 1;  // malformed traffic from the parent
+    if (r > 0) {
+      if ((pfds[0].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+        if (!conn_.read_some()) break;  // parent gone: exit quietly
+        WireFrame frame;
+        try {
+          while (!shutdown_ && conn_.next_frame(&frame)) handle(frame);
+        } catch (...) {
+          conn_.close();
+          return 1;  // malformed traffic from the parent
+        }
+      }
+      if (mesh_ && !shutdown_) {
+        if (listener_at != 0 && (pfds[listener_at].revents & POLLIN) != 0) {
+          accept_peers();
+        }
+        // Downward so an erase inside pump_handshake does not shift the
+        // indices still to visit (new accepts land past n_handshake).
+        for (std::size_t i = n_handshake; i-- > 0;) {
+          if ((pfds[handshake_at + i].revents &
+               (POLLIN | POLLHUP | POLLERR)) != 0) {
+            pump_handshake(i);
+          }
+        }
+        for (std::size_t i = 0; i < peer_pes.size(); ++i) {
+          const pollfd& pfd = pfds[peers_at + i];
+          Peer& peer = peers_[static_cast<std::size_t>(peer_pes[i])];
+          // Skip slots whose connection was torn down or replaced while we
+          // handled earlier events this pass.
+          if (!peer.conn.valid() || peer.conn.fd() != pfd.fd) continue;
+          if ((pfd.revents & POLLOUT) != 0 && !peer.conn.flush()) {
+            peer.conn.close();
+            continue;
+          }
+          if ((pfd.revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+            pump_peer(peer_pes[i]);
+          }
+        }
       }
     }
     maybe_stats_tick();
     stats_.busy_ns += static_cast<std::uint64_t>(now_ns() - wait1);
   }
   conn_.close();
+  for (Peer& peer : peers_) {
+    if (peer.conn.valid()) peer.conn.close();
+  }
+  for (net::FrameConn& conn : handshaking_) conn.close();
   return 0;
 }
 
@@ -433,6 +813,10 @@ int proc_worker_main(int fd, int pe, std::string ckpt_path,
                      std::string flight_path) {
   return ProcWorker(fd, pe, std::move(ckpt_path), std::move(flight_path))
       .run();
+}
+
+int proc_worker_main(const ProcWorkerConfig& config) {
+  return ProcWorker(config).run();
 }
 
 }  // namespace navcpp::machine

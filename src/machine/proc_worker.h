@@ -10,9 +10,22 @@
 // action *closures* (C++ coroutine frames cannot cross an exec boundary);
 // see docs/architecture.md, "Process-per-PE backend", for the split.
 //
-// The worker is single-threaded and uses blocking writes: the parent's end
-// is non-blocking with an outgoing queue, so the parent always drains
-// worker output and a blocking worker write can never deadlock the pair.
+// The worker is single-threaded and uses blocking writes on the parent
+// star: the parent's end is non-blocking with an outgoing queue, so the
+// parent always drains worker output and a blocking worker write can never
+// deadlock the pair.  Mesh peer channels are non-blocking on BOTH ends with
+// per-peer outgoing queues flushed on POLLOUT — two workers flooding each
+// other simultaneously must never deadlock on mutual blocking writes.
+//
+// Mesh mode (ProcWorkerConfig::mesh): hops leave on worker<->worker
+// channels instead of the parent relay.  Initial one-host channels are
+// socketpairs passed at fork (`peer_fds`); every mesh worker additionally
+// opens a loopback listener (port reported in kHello.token) so the
+// supervisor can re-broker edges after a respawn (kPeerInfo -> survivor
+// dials the fresh incarnation, identifies itself with kPeerHello, and
+// replays its retained hop window).  Grants for direct hops still travel
+// the parent star: supervision, ordering of execution, and exactly-once
+// bookkeeping stay with the supervisor.
 //
 // proc_worker_main() is the whole worker program; tools/navcpp_worker.cpp
 // is a thin exec wrapper around it, and ProcMachine falls back to calling
@@ -22,6 +35,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "net/wire.h"
@@ -29,6 +43,18 @@
 #include "obs/proc_trace.h"
 
 namespace navcpp::machine {
+
+/// Everything a worker process needs to know at startup.
+struct ProcWorkerConfig {
+  int fd = -1;        ///< connected parent-star socket (ownership passes)
+  int pe = 0;
+  int pe_count = 1;   ///< mesh workers size their peer table with this
+  bool mesh = false;  ///< direct worker<->worker hop data plane
+  /// Pre-connected mesh edges passed at fork: (peer pe, connected fd).
+  std::vector<std::pair<int, int>> peer_fds;
+  std::string ckpt_path;
+  std::string flight_path;
+};
 
 class ProcWorker {
  public:
@@ -42,11 +68,16 @@ class ProcWorker {
   /// harvested by the supervising parent for the recovery timeline.
   ProcWorker(int fd, int pe, std::string ckpt_path = {},
              std::string flight_path = {});
+  explicit ProcWorker(const ProcWorkerConfig& config);
 
   /// Serve the parent until kShutdown or parent EOF.  Returns the process
   /// exit code (0 on a clean shutdown or parent disappearance; nonzero on
   /// a protocol error, which the parent surfaces as a ProcError).
   int run();
+
+  /// The mesh dial-back listener port (0 when not in mesh mode); rides in
+  /// kHello.token so the supervisor can broker edges to this worker.
+  std::uint16_t peer_port() const;
 
  private:
   struct Timer {
@@ -56,7 +87,47 @@ class ProcWorker {
   };
   static bool timer_later(const Timer& a, const Timer& b);
 
+  /// One mesh edge to a peer worker.  The connection comes and goes (peer
+  /// death, re-brokered dial-back); the outbound seq counter does not — it
+  /// is monotone for this incarnation, so a receiver's per-connection
+  /// high-water mark dedups any replay exactly.
+  struct Peer {
+    net::FrameConn conn;    ///< invalid while the edge is down
+    std::uint64_t next_seq = 1;     ///< outbound hop seq for this edge
+    std::uint64_t last_seq_in = 0;  ///< inbound high-water, per CONNECTION
+                                    ///< (reset when a fresh conn attaches)
+    /// Hops awaiting the parent's kHopRetire (kCfgMeshRetain): replayed in
+    /// seq order into a re-brokered channel.
+    std::vector<net::WireFrame> retained;
+    /// Hops produced while the edge was down, retention off: flushed in
+    /// order once a channel exists.
+    std::vector<net::WireFrame> queued;
+    /// Inbound hops stamped with a run epoch this worker has not started
+    /// yet (the star and mesh channels have no mutual ordering, so a hop
+    /// can outrun its run's kStart).  Drained, in arrival order, by the
+    /// kStart that opens their run.
+    std::vector<net::WireFrame> deferred;
+  };
+
   void handle(const net::WireFrame& frame);
+  /// Mesh kSend path: materialize + ship (or queue) a hop on a peer edge;
+  /// `dst == pe_` short-circuits without touching a socket.
+  void send_direct_hop(const net::WireFrame& send);
+  /// Verify + grant an inbound direct hop off the edge to `src_pe`.
+  void handle_peer_hop(int src_pe, const net::WireFrame& frame);
+  /// Adopt `conn` (buffers and all — a dial-in may arrive with hops already
+  /// behind its kPeerHello) as the live connection of the edge to
+  /// `peer_pe`, closing any stale one.  Resets the per-connection dedup
+  /// mark, replays the retained window / flushes the queue in order, then
+  /// drains any frames already buffered.
+  void attach_peer(int peer_pe, net::FrameConn conn, bool replay);
+  /// Accept pending dial-backs off the mesh listener into handshaking_.
+  void accept_peers();
+  /// Read a handshaking conn; on kPeerHello, promote it to its edge.
+  void pump_handshake(std::size_t idx);
+  /// Read + dispatch frames on the edge to `peer_pe`; EOF tears the
+  /// connection down (the edge waits for a re-brokered dial-back).
+  void pump_peer(int peer_pe);
   void fire_due_timers();
   /// Ship buffered spans to the parent as one kSpans frame (no-op if empty).
   void flush_spans();
@@ -80,9 +151,17 @@ class ProcWorker {
 
   net::FrameConn conn_;
   int pe_ = 0;
+  int pe_count_ = 1;
+  bool mesh_ = false;
+  bool cfg_mesh_retain_ = false;  ///< kCfgMeshRetain: retain-until-retired
+  std::vector<Peer> peers_;       ///< indexed by peer PE; [pe_] unused
+  std::unique_ptr<net::WireListener> peer_listener_;  ///< mesh dial-back
+  std::vector<net::FrameConn> handshaking_;  ///< accepted, pre-kPeerHello
   std::string ckpt_path_;
   bool shutdown_ = false;
   std::int64_t run_start_ns_ = 0;
+  std::uint32_t run_id_ = 0;  ///< current run epoch (kStart.arg); stamps
+                              ///< outgoing direct hops, gates inbound ones
   std::uint64_t timer_seq_ = 0;
   std::uint64_t last_seq_ = 0;  ///< dedup high-water mark (frame.seq)
   std::vector<Timer> timers_;  // binary min-heap on (deadline, seq)
@@ -104,5 +183,8 @@ class ProcWorker {
 /// (optional) the flight-recorder ring file.
 int proc_worker_main(int fd, int pe, std::string ckpt_path = {},
                      std::string flight_path = {});
+
+/// Full-config entry point (mesh workers need pe_count + peer channels).
+int proc_worker_main(const ProcWorkerConfig& config);
 
 }  // namespace navcpp::machine

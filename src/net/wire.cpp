@@ -22,17 +22,24 @@ namespace {
 /// out far below it.
 constexpr std::uint32_t kMaxFrameBytes = 1u << 30;
 
-template <class T>
-void put_raw(std::vector<std::byte>& out, const T& v) {
-  const auto* p = reinterpret_cast<const std::byte*>(&v);
-  out.insert(out.end(), p, p + sizeof(T));
+/// WireWorkerStats crosses the wire as kWireWorkerStatsFields little-endian
+/// u64s in declaration order (the static_assert in wire.h pins the struct
+/// to exactly that shape).  memcpy through a u64 staging array keeps the
+/// encoding well-defined without aliasing the struct.
+void put_stats(std::vector<std::byte>& out, const WireWorkerStats& stats) {
+  std::uint64_t words[kWireWorkerStatsFields];
+  std::memcpy(words, &stats, sizeof(stats));
+  for (const std::uint64_t w : words) wire_put_u64(out, w);
 }
 
-template <class T>
-T get_raw(const std::byte* p) {
-  T v;
-  std::memcpy(&v, p, sizeof(T));
-  return v;
+WireWorkerStats get_stats(const std::byte* p) {
+  std::uint64_t words[kWireWorkerStatsFields];
+  for (std::size_t i = 0; i < kWireWorkerStatsFields; ++i) {
+    words[i] = wire_get_u64(p + i * 8);
+  }
+  WireWorkerStats stats;
+  std::memcpy(&stats, words, sizeof(stats));
+  return stats;
 }
 
 std::uint64_t splitmix64(std::uint64_t x) {
@@ -51,23 +58,28 @@ bool carries_stats(WireType t) {
 
 void wire_encode(const WireFrame& frame, std::vector<std::byte>& out) {
   const std::size_t len_pos = out.size();
-  put_raw<std::uint32_t>(out, 0);  // patched below
-  put_raw<std::uint8_t>(out, static_cast<std::uint8_t>(frame.type));
-  put_raw<std::uint32_t>(out, frame.pe);
-  put_raw<std::uint32_t>(out, frame.src);
-  put_raw<std::uint64_t>(out, frame.token);
-  put_raw<std::uint64_t>(out, frame.arg);
-  put_raw<std::uint64_t>(out, frame.seq);
-  put_raw<std::uint64_t>(out, frame.trace);
-  put_raw<std::uint32_t>(out, static_cast<std::uint32_t>(frame.tokens.size()));
-  for (std::uint64_t t : frame.tokens) put_raw<std::uint64_t>(out, t);
-  put_raw<std::uint32_t>(out, static_cast<std::uint32_t>(frame.payload.size()));
+  wire_put_u32(out, 0);  // patched below
+  wire_put_u8(out, static_cast<std::uint8_t>(frame.type));
+  wire_put_u32(out, frame.pe);
+  wire_put_u32(out, frame.src);
+  wire_put_u64(out, frame.token);
+  wire_put_u64(out, frame.arg);
+  wire_put_u64(out, frame.seq);
+  wire_put_u32(out, frame.run);
+  wire_put_u64(out, frame.trace);
+  wire_put_u32(out, static_cast<std::uint32_t>(frame.tokens.size()));
+  for (std::uint64_t t : frame.tokens) wire_put_u64(out, t);
+  wire_put_u32(out, static_cast<std::uint32_t>(frame.payload.size()));
   out.insert(out.end(), frame.payload.begin(), frame.payload.end());
-  if (carries_stats(frame.type)) put_raw<WireWorkerStats>(out, frame.stats);
+  if (carries_stats(frame.type)) put_stats(out, frame.stats);
 
   const auto body = static_cast<std::uint32_t>(out.size() - len_pos -
                                                sizeof(std::uint32_t));
-  std::memcpy(out.data() + len_pos, &body, sizeof(body));
+  std::byte len_bytes[4];
+  for (int i = 0; i < 4; ++i) {
+    len_bytes[i] = static_cast<std::byte>((body >> (8 * i)) & 0xff);
+  }
+  std::memcpy(out.data() + len_pos, len_bytes, sizeof(len_bytes));
 }
 
 std::uint64_t wire_checksum(const std::byte* data, std::size_t n,
@@ -75,11 +87,15 @@ std::uint64_t wire_checksum(const std::byte* data, std::size_t n,
   std::uint64_t h = splitmix64(seed ^ n);
   std::size_t i = 0;
   for (; i + 8 <= n; i += 8) {
-    h = splitmix64(h ^ get_raw<std::uint64_t>(data + i));
+    h = splitmix64(h ^ wire_get_u64(data + i));
   }
   std::uint64_t tail = 0;
   if (i < n) {
-    std::memcpy(&tail, data + i, n - i);
+    for (std::size_t j = 0; i + j < n; ++j) {
+      tail |= static_cast<std::uint64_t>(
+                  static_cast<std::uint8_t>(data[i + j]))
+              << (8 * j);
+    }
     h = splitmix64(h ^ tail);
   }
   return h;
@@ -90,13 +106,19 @@ void wire_fill_pattern(std::vector<std::byte>& out, std::size_t n,
   out.resize(n);
   std::uint64_t word = seed;
   std::size_t i = 0;
+  // Little-endian byte order, like everything else on the wire: the pattern
+  // a source worker materializes must verify on any host's receiver.
   for (; i + 8 <= n; i += 8) {
     word = splitmix64(word);
-    std::memcpy(out.data() + i, &word, 8);
+    for (int j = 0; j < 8; ++j) {
+      out[i + j] = static_cast<std::byte>((word >> (8 * j)) & 0xff);
+    }
   }
   if (i < n) {
     word = splitmix64(word);
-    std::memcpy(out.data() + i, &word, n - i);
+    for (std::size_t j = 0; i + j < n; ++j) {
+      out[i + j] = static_cast<std::byte>((word >> (8 * j)) & 0xff);
+    }
   }
 }
 
@@ -166,7 +188,7 @@ bool FrameConn::read_some() {
 bool FrameConn::next_frame(WireFrame* out) {
   const std::size_t avail = in_.size() - in_off_;
   if (avail < sizeof(std::uint32_t)) return false;
-  const auto body = get_raw<std::uint32_t>(in_.data() + in_off_);
+  const auto body = wire_get_u32(in_.data() + in_off_);
   if (body > kMaxFrameBytes) {
     throw support::ProcError("wire: frame length " + std::to_string(body) +
                              " exceeds the protocol maximum");
@@ -181,44 +203,46 @@ bool FrameConn::next_frame(WireFrame* out) {
     }
   };
 
-  need(1 + 4 + 4 + 8 + 8 + 8 + 8 + 4);
-  const auto type_byte = get_raw<std::uint8_t>(p);
+  need(1 + 4 + 4 + 8 + 8 + 8 + 4 + 8 + 4);
+  const auto type_byte = wire_get_u8(p);
   p += 1;
   if (type_byte < static_cast<std::uint8_t>(WireType::kHello) ||
-      type_byte > static_cast<std::uint8_t>(WireType::kSpans)) {
+      type_byte > static_cast<std::uint8_t>(WireType::kHopRetire)) {
     throw support::ProcError("wire: unknown frame type " +
                              std::to_string(type_byte));
   }
   out->type = static_cast<WireType>(type_byte);
-  out->pe = get_raw<std::uint32_t>(p);
+  out->pe = wire_get_u32(p);
   p += 4;
-  out->src = get_raw<std::uint32_t>(p);
+  out->src = wire_get_u32(p);
   p += 4;
-  out->token = get_raw<std::uint64_t>(p);
+  out->token = wire_get_u64(p);
   p += 8;
-  out->arg = get_raw<std::uint64_t>(p);
+  out->arg = wire_get_u64(p);
   p += 8;
-  out->seq = get_raw<std::uint64_t>(p);
+  out->seq = wire_get_u64(p);
   p += 8;
-  out->trace = get_raw<std::uint64_t>(p);
+  out->run = wire_get_u32(p);
+  p += 4;
+  out->trace = wire_get_u64(p);
   p += 8;
-  const auto ntokens = get_raw<std::uint32_t>(p);
+  const auto ntokens = wire_get_u32(p);
   p += 4;
   need(static_cast<std::size_t>(ntokens) * 8 + 4);
   out->tokens.clear();
   out->tokens.reserve(ntokens);
   for (std::uint32_t i = 0; i < ntokens; ++i) {
-    out->tokens.push_back(get_raw<std::uint64_t>(p));
+    out->tokens.push_back(wire_get_u64(p));
     p += 8;
   }
-  const auto npayload = get_raw<std::uint32_t>(p);
+  const auto npayload = wire_get_u32(p);
   p += 4;
   need(npayload);
   out->payload.assign(p, p + npayload);
   p += npayload;
   if (carries_stats(out->type)) {
     need(sizeof(WireWorkerStats));
-    out->stats = get_raw<WireWorkerStats>(p);
+    out->stats = get_stats(p);
     p += sizeof(WireWorkerStats);
   } else {
     out->stats = WireWorkerStats{};
@@ -257,16 +281,33 @@ void wire_socketpair(int fds[2]) {
   ::fcntl(fds[0], F_SETFD, FD_CLOEXEC);
 }
 
-WireListener::WireListener() {
+void wire_peer_socketpair(int fds[2]) {
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    throw support::ProcError("wire: peer socketpair failed: " +
+                             std::string(std::strerror(errno)));
+  }
+  // Deliberately NO CLOEXEC on either end: each end is handed to a
+  // different exec'd worker.  The fd-hygiene burden moves to the spawn
+  // path: every child closes the edges that are not its own before exec,
+  // and the supervisor closes all of them once every worker is forked.
+}
+
+WireListener::WireListener(std::uint16_t port) {
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) {
     throw support::ProcError("wire: socket failed: " +
                              std::string(std::strerror(errno)));
   }
+  // Without SO_REUSEADDR, a listener torn down with connections still in
+  // TIME_WAIT blocks the next bind to the same port — back-to-back
+  // ProcMachine constructions on TCP hit exactly that.  Safe here: the
+  // listener binds loopback and the workers authenticate via hello frames.
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = 0;  // ephemeral
+  addr.sin_port = htons(port);  // 0 = ephemeral
   if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
       ::listen(fd_, 64) != 0) {
     const std::string why = std::strerror(errno);
@@ -298,6 +339,10 @@ int WireListener::accept_one(double timeout_seconds) {
     if (fd >= 0) {
       const int one = 1;
       ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      // A worker forked after this fd exists must not inherit it: a leaked
+      // copy keeps the peer's socket open past its death and masks the EOF
+      // the supervisor's death detection relies on.
+      ::fcntl(fd, F_SETFD, FD_CLOEXEC);
     }
     return fd;
   }
@@ -321,6 +366,8 @@ int wire_connect_loopback(std::uint16_t port) {
   }
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  // Same leak as accept_one: siblings forked later must not inherit this.
+  ::fcntl(fd, F_SETFD, FD_CLOEXEC);
   return fd;
 }
 

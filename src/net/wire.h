@@ -17,7 +17,10 @@
 //                   the parent can blind-retransmit its retained frames
 //                   after a worker respawn without double delivery and
 //                   without violating non-overtaking (seqs are monotone
-//                   per connection and survive the respawn).
+//                   per connection and survive the respawn).  Mesh direct
+//                   hops reuse the field sender-stamped: monotone per
+//                   (src,dst) edge, deduplicated against a per-connection
+//                   high-water mark at the receiving worker.
 //   u64  trace    — distributed trace id (v3).  The parent stamps it on
 //                   every data frame (kPost/kTimer/kSend, and the relayed
 //                   kHop keeps its kSend's id); workers stamp it on the
@@ -34,12 +37,22 @@
 //   [WireWorkerStats]               — kQuiesceAck / kStatusReply /
 //                                     kStatsDelta only
 //
-// All integers are host-endian: parent and workers run on one host (the
-// deployment model is "one box, many address spaces", like the Princeton
-// process-pool runtimes).  FrameConn below does the buffering: workers run
-// it blocking; the parent runs it non-blocking with an outgoing queue so
-// parent and worker can never deadlock writing to each other (the parent
-// always returns to its poll loop, so it always drains worker output).
+// All integers are explicit little-endian on the wire (wire_put_u*/
+// wire_get_u* below): the byte layout is defined independently of the host,
+// which is what lets workers eventually live on other machines (the ROADMAP
+// multi-host step).  On little-endian hosts — every deployment today — the
+// helpers compile to plain loads and stores.  FrameConn below does the
+// buffering: workers run it blocking; the parent runs it non-blocking with
+// an outgoing queue so parent and worker can never deadlock writing to each
+// other (the parent always returns to its poll loop, so it always drains
+// worker output).
+//
+// v4 adds the mesh data plane: workers exchange kHop frames directly over
+// worker<->worker channels (socketpairs passed at fork, or dial-back to a
+// per-worker loopback listener whose port rides in kHello.token), with
+// kPeerHello identifying the dialing side, kPeerInfo carrying the parent's
+// brokering, and kHopRetire releasing sender-retained hop frames once the
+// destination's grant reached the parent.
 #pragma once
 
 #include <cstddef>
@@ -55,8 +68,69 @@ namespace navcpp::net {
 /// worker-side time accounting in WireWorkerStats, and the heartbeat
 /// timestamp piggyback (kPing.arg = parent steady ns at send, kPong.arg =
 /// worker steady ns at reply; the parent turns the pair into a per-worker
-/// clock-offset estimate, NTP style).
-constexpr std::uint64_t kWireProtocolVersion = 3;
+/// clock-offset estimate, NTP style).  v4 pinned the layout little-endian,
+/// added the mesh frames (kPeerHello/kPeerInfo/kHopRetire), the mesh
+/// retention config bit, and the direct-hop counters in WireWorkerStats.
+constexpr std::uint64_t kWireProtocolVersion = 5;
+
+// --- byte order -------------------------------------------------------------
+//
+// The frame layout is little-endian by definition.  These helpers spell the
+// byte order out with shifts, which any compiler folds to a single move on
+// LE hosts — a compile-time no-op where it matters, a byte swap where it
+// would otherwise be a silent corruption.
+
+static_assert(sizeof(std::uint8_t) == 1 && sizeof(std::uint16_t) == 2 &&
+                  sizeof(std::uint32_t) == 4 && sizeof(std::uint64_t) == 8,
+              "wire protocol requires exact-width integer types");
+
+inline void wire_put_u8(std::vector<std::byte>& out, std::uint8_t v) {
+  out.push_back(static_cast<std::byte>(v));
+}
+
+inline void wire_put_u16(std::vector<std::byte>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::byte>(v & 0xff));
+  out.push_back(static_cast<std::byte>((v >> 8) & 0xff));
+}
+
+inline void wire_put_u32(std::vector<std::byte>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+  }
+}
+
+inline void wire_put_u64(std::vector<std::byte>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+  }
+}
+
+inline std::uint8_t wire_get_u8(const std::byte* p) {
+  return static_cast<std::uint8_t>(*p);
+}
+
+inline std::uint16_t wire_get_u16(const std::byte* p) {
+  return static_cast<std::uint16_t>(static_cast<std::uint8_t>(p[0]) |
+                                    (static_cast<std::uint16_t>(
+                                         static_cast<std::uint8_t>(p[1]))
+                                     << 8));
+}
+
+inline std::uint32_t wire_get_u32(const std::byte* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | static_cast<std::uint8_t>(p[i]);
+  }
+  return v;
+}
+
+inline std::uint64_t wire_get_u64(const std::byte* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | static_cast<std::uint8_t>(p[i]);
+  }
+  return v;
+}
 
 enum class WireType : std::uint8_t {
   kHello = 1,       ///< worker -> parent: I am PE `pe`, protocol `arg`
@@ -84,11 +158,23 @@ enum class WireType : std::uint8_t {
                      ///< (cumulative WireWorkerStats; arg = timer-queue depth)
   kSpans = 20,       ///< worker -> parent: SpanBuffer flush; payload is a
                      ///< packed obs::ProcSpan array, arg = record count
+  // --- v4: mesh data plane -------------------------------------------------
+  kPeerHello = 21,   ///< worker -> worker: first frame on a fresh peer
+                     ///< channel; `pe` identifies the dialing worker
+  kPeerInfo = 22,    ///< parent -> worker: dial the peer worker of PE `pe`
+                     ///< at loopback port `arg` (mesh brokering/re-brokering)
+  kHopRetire = 23,   ///< parent -> source worker: the grant for hop `token`
+                     ///< (destination PE in `pe`) arrived; drop the retained
+                     ///< copy — it will never need replaying
 };
 
 /// kConfig.arg bits (parent -> worker observability switches).
 constexpr std::uint64_t kCfgTrace = 1ULL << 0;       ///< record + ship spans
 constexpr std::uint64_t kCfgStatsDelta = 1ULL << 1;  ///< periodic kStatsDelta
+/// Mesh + recovery: the *sending* worker retains every direct kHop until the
+/// parent's kHopRetire, and replays the window into a respawned peer after
+/// the supervisor re-brokers the edge.
+constexpr std::uint64_t kCfgMeshRetain = 1ULL << 2;
 
 /// What kind of action a kGrant releases; packed into the low byte of
 /// `arg`.  Bit 8 is the ok flag (hop checksum verified).
@@ -98,8 +184,8 @@ constexpr std::uint64_t kGrantOkBit = 1ULL << 8;
 
 /// Per-worker counters shipped back on kQuiesceAck: the worker-side half of
 /// the run profile (the parent owns action execution, the worker owns
-/// scheduling and transport).  Trivially copyable: crosses the wire as raw
-/// bytes.
+/// scheduling and transport).  Crosses the wire field-wise as little-endian
+/// u64s (wire.cpp), so the struct must stay all-u64 with no padding.
 struct WireWorkerStats {
   std::uint64_t posts_granted = 0;   ///< kPost actions scheduled + granted
   std::uint64_t timers_fired = 0;
@@ -120,7 +206,21 @@ struct WireWorkerStats {
   std::uint64_t queue_depth = 0;      ///< pending timers at snapshot time
   std::uint64_t spans_dropped = 0;    ///< spans lost to a full SpanBuffer
   std::uint64_t stats_deltas_sent = 0;  ///< kStatsDelta frames emitted
+  // --- v4: mesh data plane -------------------------------------------------
+  std::uint64_t direct_hops_out = 0;  ///< kHop frames sent worker->worker
+  std::uint64_t direct_hops_in = 0;   ///< kHop frames verified off a peer
+                                      ///< channel (no parent relay)
+  std::uint64_t hops_replayed = 0;    ///< retained hops resent into a
+                                      ///< re-brokered peer channel
 };
+
+/// Number of u64 fields in WireWorkerStats; the wire layout is exactly this
+/// many little-endian u64s in declaration order.
+constexpr std::size_t kWireWorkerStatsFields = 21;
+static_assert(sizeof(WireWorkerStats) ==
+                  kWireWorkerStatsFields * sizeof(std::uint64_t),
+              "WireWorkerStats must be all-u64 with no padding; update "
+              "kWireWorkerStatsFields when adding fields");
 
 /// One decoded (or to-be-encoded) protocol frame.  Unused fields stay at
 /// their defaults; encode() writes the stats block only for the two frame
@@ -132,6 +232,12 @@ struct WireFrame {
   std::uint64_t token = 0;
   std::uint64_t arg = 0;
   std::uint64_t seq = 0;  ///< 0 = unsequenced (control frame, never deduped)
+  /// Sender's run epoch, stamped on direct mesh hops (0 = control frame).
+  /// Star and mesh channels have no cross-channel ordering, so a hop can
+  /// physically arrive before the kStart that opens its run; the receiver
+  /// defers hops from a run it has not started and drops hops from runs
+  /// that already quiesced.
+  std::uint32_t run = 0;
   std::uint64_t trace = 0;  ///< distributed trace id; 0 = untraced
   std::vector<std::uint64_t> tokens;
   std::vector<std::byte> payload;
@@ -207,19 +313,32 @@ class FrameConn {
 /// support::ProcError on failure.
 void wire_socketpair(int fds[2]);
 
-/// Loopback-TCP fallback transport: listen on 127.0.0.1 with an ephemeral
-/// port.  Workers connect with wire_connect_loopback and identify
-/// themselves with kHello.  Throws support::ProcError on failure.
+/// A connected Unix-domain stream pair for a worker<->worker mesh edge.
+/// BOTH ends survive exec (each goes to a different forked worker), so the
+/// supervisor must close its copies after spawning and every child must
+/// close the edges that are not its own — see ProcMachine::spawn_one.
+/// Throws support::ProcError on failure.
+void wire_peer_socketpair(int fds[2]);
+
+/// Loopback-TCP transport: listen on 127.0.0.1.  Port 0 (the default) binds
+/// an ephemeral port; a nonzero port binds that exact port, with
+/// SO_REUSEADDR set so a back-to-back rebind is not defeated by the
+/// previous socket sitting in TIME_WAIT.  Workers connect with
+/// wire_connect_loopback and identify themselves with kHello (parent star)
+/// or kPeerHello (mesh dial-back).  Throws support::ProcError on failure.
 class WireListener {
  public:
-  WireListener();
+  explicit WireListener(std::uint16_t port = 0);
   ~WireListener();
   WireListener(const WireListener&) = delete;
   WireListener& operator=(const WireListener&) = delete;
 
   std::uint16_t port() const { return port_; }
+  /// The listening socket, for callers that poll it themselves (the mesh
+  /// worker loop); pair a readable event with accept_one(0).
+  int fd() const { return fd_; }
   /// Accept one connection, waiting up to `timeout_seconds`.  Returns the
-  /// connected fd, or -1 on timeout.
+  /// connected fd (FD_CLOEXEC set), or -1 on timeout.
   int accept_one(double timeout_seconds);
 
  private:
@@ -227,8 +346,11 @@ class WireListener {
   std::uint16_t port_ = 0;
 };
 
-/// Connect to 127.0.0.1:`port` (worker side of the TCP fallback).  Returns
-/// the fd; throws support::ProcError on failure.
+/// Connect to 127.0.0.1:`port` (worker side of the TCP fallback, and the
+/// dialing side of a mesh edge).  Returns the fd (FD_CLOEXEC set: a
+/// respawned sibling forked while this fd exists must not inherit it, or
+/// the peer's EOF-based death detection is defeated); throws
+/// support::ProcError on failure.
 int wire_connect_loopback(std::uint16_t port);
 
 }  // namespace navcpp::net

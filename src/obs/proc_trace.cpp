@@ -37,6 +37,7 @@ const char* span_kind_name(std::uint8_t kind) {
     case ProcSpanKind::kVerify: return "verify";
     case ProcSpanKind::kWait: return "wait";
     case ProcSpanKind::kTimerFire: return "timer";
+    case ProcSpanKind::kVerifyDirect: return "verify (direct)";
   }
   return "span";
 }
@@ -47,6 +48,7 @@ const char* span_kind_cat(std::uint8_t kind) {
     case ProcSpanKind::kVerify: return "comm";
     case ProcSpanKind::kWait: return "wait";
     case ProcSpanKind::kTimerFire: return "sched";
+    case ProcSpanKind::kVerifyDirect: return "comm";
   }
   return "span";
 }
@@ -115,6 +117,7 @@ std::vector<HopFlow> proc_trace_flows(const std::vector<WorkerLane>& lanes,
   // trace id -> (send time on the source, receive time on the destination).
   struct Half {
     bool have_send = false, have_recv = false;
+    bool direct = false;  ///< verify came off a mesh peer channel
     int src_pe = 0, dst_pe = 0;
     double send_s = 0.0, recv_s = 0.0;
   };
@@ -127,9 +130,13 @@ std::vector<HopFlow> proc_trace_flows(const std::vector<WorkerLane>& lanes,
         h.have_send = true;
         h.src_pe = lane.pe;
         h.send_s = corrected_seconds(lane.clock, s.t1_ns, parent_epoch_ns);
-      } else if (s.kind == static_cast<std::uint8_t>(ProcSpanKind::kVerify)) {
+      } else if (s.kind == static_cast<std::uint8_t>(ProcSpanKind::kVerify) ||
+                 s.kind ==
+                     static_cast<std::uint8_t>(ProcSpanKind::kVerifyDirect)) {
         Half& h = by_id[s.trace_id];
         h.have_recv = true;
+        h.direct =
+            s.kind == static_cast<std::uint8_t>(ProcSpanKind::kVerifyDirect);
         h.dst_pe = lane.pe;
         h.recv_s = corrected_seconds(lane.clock, s.t0_ns, parent_epoch_ns);
       }
@@ -142,6 +149,7 @@ std::vector<HopFlow> proc_trace_flows(const std::vector<WorkerLane>& lanes,
     f.trace_id = id;
     f.src_pe = h.src_pe;
     f.dst_pe = h.dst_pe;
+    f.direct = h.direct;
     f.send_s = std::max(0.0, h.send_s);
     // Causal clamp: whatever the offset estimate did, a payload is never
     // received before it was sent.
@@ -270,14 +278,15 @@ std::string proc_trace_json(const std::vector<navp::TraceSpan>& parent_spans,
   for (const HopFlow& f : proc_trace_flows(lanes, opts.parent_epoch_ns)) {
     end_time = std::max(end_time, f.recv_s);
     const std::string id = std::to_string(f.trace_id);
+    const char* name = f.direct ? "hop (direct)" : "hop";
     push(f.send_s,
          "{\"ph\":\"s\",\"id\":" + id + ",\"pid\":" +
              std::to_string(kWorkerPidBase + f.src_pe) + ",\"tid\":0,\"ts\":" +
-             us(f.send_s) + ",\"name\":\"hop\",\"cat\":\"hopflow\"}");
+             us(f.send_s) + ",\"name\":\"" + name + "\",\"cat\":\"hopflow\"}");
     push(f.recv_s,
          "{\"ph\":\"f\",\"bp\":\"e\",\"id\":" + id + ",\"pid\":" +
              std::to_string(kWorkerPidBase + f.dst_pe) + ",\"tid\":0,\"ts\":" +
-             us(f.recv_s) + ",\"name\":\"hop\",\"cat\":\"hopflow\"}");
+             us(f.recv_s) + ",\"name\":\"" + name + "\",\"cat\":\"hopflow\"}");
   }
 
   // --- recovery timelines: supervisor milestones + harvested flight ring ---

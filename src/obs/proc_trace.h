@@ -42,6 +42,8 @@ enum class ProcSpanKind : std::uint8_t {
   kVerify = 2,     ///< kHop handling: checksum verify + grant
   kWait = 3,       ///< blocked in poll() with nothing to do
   kTimerFire = 4,  ///< a due timer granted
+  kVerifyDirect = 5,  ///< kHop off a mesh peer channel: verify + grant (the
+                      ///< payload skipped the parent relay)
 };
 
 /// One worker-side span.  Timestamps are the worker's own steady-clock ns;
@@ -163,6 +165,9 @@ struct HopFlow {
   int dst_pe = 0;
   double send_s = 0.0;  ///< end of the serialize span on the source worker
   double recv_s = 0.0;  ///< start of the verify span on the destination
+  /// True when the verify span was kVerifyDirect: the payload traveled a
+  /// direct worker<->worker mesh channel, not the parent relay.
+  bool direct = false;
 };
 
 /// Pair serialize spans with verify spans by trace id across `lanes` and

@@ -6,6 +6,9 @@
 // suite still passes when the binary is missing.
 #include <gtest/gtest.h>
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <chrono>
 #include <cstddef>
 #include <functional>
@@ -80,6 +83,67 @@ TEST(Wire, ChecksumDetectsCorruption) {
       net::wire_checksum(payload.data(), payload.size(), 123);
   payload[500] ^= std::byte{1};
   EXPECT_NE(net::wire_checksum(payload.data(), payload.size(), 123), good);
+}
+
+TEST(Wire, LittleEndianHelpersHaveFixedByteLayout) {
+  // The wire layout is defined, not host-defined: 0x0123456789abcdef must
+  // serialize least-significant byte first on every machine.
+  std::vector<std::byte> out;
+  net::wire_put_u8(out, 0xabu);
+  net::wire_put_u16(out, 0x0123u);
+  net::wire_put_u32(out, 0x01234567u);
+  net::wire_put_u64(out, 0x0123456789abcdefULL);
+  ASSERT_EQ(out.size(), 1u + 2u + 4u + 8u);
+  const std::uint8_t want[] = {0xab, 0x23, 0x01, 0x67, 0x45, 0x23, 0x01,
+                               0xef, 0xcd, 0xab, 0x89, 0x67, 0x45, 0x23,
+                               0x01};
+  for (std::size_t i = 0; i < sizeof(want); ++i) {
+    EXPECT_EQ(std::to_integer<std::uint8_t>(out[i]), want[i]) << "byte " << i;
+  }
+  EXPECT_EQ(net::wire_get_u8(out.data()), 0xabu);
+  EXPECT_EQ(net::wire_get_u16(out.data() + 1), 0x0123u);
+  EXPECT_EQ(net::wire_get_u32(out.data() + 3), 0x01234567u);
+  EXPECT_EQ(net::wire_get_u64(out.data() + 7), 0x0123456789abcdefULL);
+}
+
+TEST(Wire, ListenerRebindsImmediatelyAfterClose) {
+  // Regression: without SO_REUSEADDR a listener that just closed with an
+  // accepted connection in TIME_WAIT cannot rebind its port, which made
+  // back-to-back TCP-mode machines flaky.  Server-side close first puts
+  // the accepted socket's 4-tuple into TIME_WAIT on the listener's port.
+  std::uint16_t port = 0;
+  {
+    net::WireListener first;
+    port = first.port();
+    const int client = net::wire_connect_loopback(port);
+    const int accepted = first.accept_one(5.0);
+    ASSERT_GE(accepted, 0);
+    ::close(accepted);
+    ::close(client);
+  }
+  net::WireListener second(port);
+  EXPECT_EQ(second.port(), port);
+}
+
+TEST(Wire, TcpFdsAreCloexecButMeshSocketpairsAreNot) {
+  // Accepted/dialed TCP fds must not leak into exec'd worker children;
+  // mesh edge socketpairs are the one deliberate exception — they exist
+  // to be inherited across fork/exec.
+  net::WireListener listener;
+  const int client = net::wire_connect_loopback(listener.port());
+  const int accepted = listener.accept_one(5.0);
+  ASSERT_GE(accepted, 0);
+  EXPECT_TRUE(::fcntl(client, F_GETFD) & FD_CLOEXEC);
+  EXPECT_TRUE(::fcntl(accepted, F_GETFD) & FD_CLOEXEC);
+  ::close(client);
+  ::close(accepted);
+
+  int pair[2];
+  net::wire_peer_socketpair(pair);
+  EXPECT_FALSE(::fcntl(pair[0], F_GETFD) & FD_CLOEXEC);
+  EXPECT_FALSE(::fcntl(pair[1], F_GETFD) & FD_CLOEXEC);
+  ::close(pair[0]);
+  ::close(pair[1]);
 }
 
 TEST(ProcMachine, RunsPostedActionsOnAllPes) {
@@ -475,6 +539,13 @@ int count_spans(const std::vector<obs::ProcSpan>& spans,
   return n;
 }
 
+/// Inbound-hop verify spans regardless of data plane: kVerify on the star,
+/// kVerifyDirect on the mesh.
+int count_verify_spans(const std::vector<obs::ProcSpan>& spans) {
+  return count_spans(spans, obs::ProcSpanKind::kVerify) +
+         count_spans(spans, obs::ProcSpanKind::kVerifyDirect);
+}
+
 TEST(ProcMachine, TracedRunRecordsWorkerSpansAndCausalFlows) {
   ProcMachine::Options o;
   o.trace = true;
@@ -489,7 +560,7 @@ TEST(ProcMachine, TracedRunRecordsWorkerSpansAndCausalFlows) {
   // Every hop leaves a serialize span on the source worker and a verify
   // span on the destination worker, tied together by the frame's trace id.
   EXPECT_GE(count_spans(lanes[0].spans, obs::ProcSpanKind::kSerialize), 8);
-  EXPECT_GE(count_spans(lanes[1].spans, obs::ProcSpanKind::kVerify), 8);
+  EXPECT_GE(count_verify_spans(lanes[1].spans), 8);
   const std::vector<obs::HopFlow> flows =
       obs::proc_trace_flows(lanes, m.run_epoch_ns());
   EXPECT_GE(flows.size(), 8u);
@@ -545,7 +616,7 @@ TEST(ProcMachine, ResetClearsSpansAndTimelinesBetweenRuns) {
       << "run 1's recovery timeline leaked into run 2";
   const std::vector<obs::WorkerLane> lanes = m.worker_lanes();
   EXPECT_EQ(count_spans(lanes[0].spans, obs::ProcSpanKind::kSerialize), 1);
-  EXPECT_EQ(count_spans(lanes[1].spans, obs::ProcSpanKind::kVerify), 1);
+  EXPECT_EQ(count_verify_spans(lanes[1].spans), 1);
 }
 
 TEST(ProcMachine, LiveTelemetryStreamsMidRun) {
@@ -617,6 +688,137 @@ TEST(ProcMachine, RecoveryDrillYieldsTimelineAndFlightRing) {
   // the file, so the pre-death history is intact.
   EXPECT_GT(t.flight.total, 0u);
   EXPECT_FALSE(t.flight.events.empty());
+}
+
+// --- the mesh data plane ----------------------------------------------------
+
+TEST(ProcMachine, MeshCarriesHopsDirectlyBetweenWorkers) {
+  // Default options: mesh on, socketpair edges passed at fork.  Payloads
+  // must travel the direct worker<->worker channel, not the parent relay.
+  ProcMachine m(3);
+  int delivered = 0;
+  m.post(0, [&] {
+    for (int i = 0; i < 20; ++i) {
+      m.transmit(0, 1, 512, [&] { ++delivered; });
+      m.transmit(0, 2, 512, [&] { ++delivered; });
+    }
+  });
+  m.run();
+  EXPECT_EQ(delivered, 40);
+  EXPECT_GE(m.worker_stats(0).direct_hops_out, 40u);
+  EXPECT_GE(m.worker_stats(1).direct_hops_in, 20u);
+  EXPECT_GE(m.worker_stats(2).direct_hops_in, 20u);
+}
+
+TEST(ProcMachine, MeshCarriesHopsDirectlyOverTcpDialBack) {
+  // TCP transport: no fds to inherit, so every worker opens a loopback
+  // listener and the supervisor brokers one dial per edge.  Same direct
+  // counters must move.
+  ProcMachine::Options o;
+  o.use_tcp = true;
+  ProcMachine m(2, o);
+  int delivered = 0;
+  m.post(0, [&] {
+    for (int i = 0; i < 10; ++i) m.transmit(0, 1, 256, [&] { ++delivered; });
+  });
+  m.run();
+  EXPECT_EQ(delivered, 10);
+  EXPECT_GE(m.worker_stats(0).direct_hops_out, 10u);
+  EXPECT_GE(m.worker_stats(1).direct_hops_in, 10u);
+}
+
+TEST(ProcMachine, StarEscapeHatchCarriesNoDirectHops) {
+  // Options::mesh=false pins the pre-mesh star relay: hops route through
+  // the parent and the direct counters stay at zero.
+  ProcMachine::Options o;
+  o.mesh = false;
+  ProcMachine m(2, o);
+  int delivered = 0;
+  m.post(0, [&] {
+    for (int i = 0; i < 10; ++i) m.transmit(0, 1, 256, [&] { ++delivered; });
+  });
+  m.run();
+  EXPECT_EQ(delivered, 10);
+  EXPECT_EQ(m.worker_stats(0).direct_hops_out, 0u);
+  EXPECT_EQ(m.worker_stats(1).direct_hops_in, 0u);
+  EXPECT_EQ(m.worker_stats(1).hops_in, 10u);
+}
+
+TEST(ProcMachine, MeshPreservesSendOrderOnDirectChannel) {
+  // Non-overtaking holds on the direct edge: a single SOCK_STREAM channel
+  // plus FIFO grant handling keeps delivery in send order.
+  ProcMachine m(2);
+  std::vector<int> got;
+  m.post(0, [&] {
+    for (int i = 0; i < 100; ++i) {
+      m.transmit(0, 1, 64 + (i % 7) * 32, [&got, i] { got.push_back(i); });
+    }
+  });
+  m.run();
+  ASSERT_EQ(got.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(got[i], i);
+}
+
+TEST(ProcMachine, MeshTornDirectFrameRedeliveredExactlyOnce) {
+  // SIGKILL the destination mid-transfer of an 8 MiB direct hop: the torn
+  // frame dies with the edge, the source's retained copy is replayed over
+  // the re-brokered channel, and the grant fires exactly once.
+  ProcMachine::Options o;
+  o.recovery.enabled = true;
+  ProcMachine m(2, o);
+  int delivered = 0;
+  m.post(0, [&] {
+    m.transmit(0, 1, 8u << 20, [&] { ++delivered; });
+    m.kill_worker(1);
+  });
+  m.run();
+  EXPECT_EQ(delivered, 1);
+  EXPECT_GE(m.respawns(1), 1);
+  EXPECT_GE(m.worker_stats(0).hops_replayed, 1u);
+}
+
+TEST(ProcMachine, MeshRecoveryReplaysAfterBothEdgeEndpointsDie) {
+  // The hardest re-broker case: both endpoints of a busy edge SIGKILLed at
+  // different points in a 40-hop burst.  Source-side retention plus
+  // receiver seq dedup plus the parent's token-map backstop must still
+  // yield exactly-once delivery.
+  ProcMachine::Options o;
+  o.recovery.enabled = true;
+  o.recovery.max_respawns = 8;
+  ProcMachine m(2, o);
+  m.schedule_kill_after_transmits(1, 10);
+  m.schedule_kill_after_transmits(0, 22);
+  int delivered = 0;
+  m.post(0, [&] {
+    for (int i = 0; i < 40; ++i) m.transmit(0, 1, 256, [&] { ++delivered; });
+  });
+  m.run();
+  EXPECT_EQ(delivered, 40);
+  EXPECT_GE(m.worker_deaths(), 2u);
+  EXPECT_GE(m.respawns(0), 1);
+  EXPECT_GE(m.respawns(1), 1);
+}
+
+TEST(ProcMachineWorkloads, MeshMatchesStarBitIdenticallyOnCatalog) {
+  // The data plane is an implementation detail: every catalog program must
+  // produce bit-identical results on mesh and star alike.
+  ProcMachine::Options star;
+  star.mesh = false;
+  for (const std::string& name : harness::workload_names()) {
+    const std::vector<double>& want = harness::workload_reference(name);
+    ProcMachine mesh_eng(harness::workload_pe_count(name));
+    const std::vector<double> mesh_got = harness::run_workload(name, mesh_eng);
+    ProcMachine star_eng(harness::workload_pe_count(name), star);
+    const std::vector<double> star_got = harness::run_workload(name, star_eng);
+    ASSERT_EQ(mesh_got.size(), want.size()) << name;
+    ASSERT_EQ(star_got.size(), want.size()) << name;
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      ASSERT_EQ(mesh_got[i], want[i]) << name << " (mesh) differs at [" << i
+                                      << "]";
+      ASSERT_EQ(star_got[i], want[i]) << name << " (star) differs at [" << i
+                                      << "]";
+    }
+  }
 }
 
 TEST(ProcMachineWorkloads, TracingDoesNotPerturbResults) {

@@ -16,7 +16,7 @@
 //                      [--dup P] [--corrupt P] [--backend sim|proc]
 //                      [--verbose]
 //   navcpp_cli run     --program NAME [--backend sim|threaded|proc]
-//                      [--strict] [--metrics] [--recover]
+//                      [--strict] [--metrics] [--recover] [--star]
 //                      [--kill PE@N[,PE@N...]] [--trace FILE.json]
 //   navcpp_cli profile --program NAME [--backend sim|proc]
 //                      [--out FILE.json] [--check] [--metrics]
@@ -127,7 +127,8 @@ int usage() {
       "  fault   [--seeds N] [--seed S] [--case SUBSTR] [--drop P] "
       "[--dup P] [--corrupt P] [--backend sim|proc] [--verbose]\n"
       "  run     --program NAME [--backend sim|threaded|proc] [--strict] "
-      "[--metrics] [--recover] [--kill PE@N[,PE@N...]] [--trace FILE.json]\n"
+      "[--metrics] [--recover] [--star] [--kill PE@N[,PE@N...]] "
+      "[--trace FILE.json]\n"
       "  profile --program NAME [--backend sim|proc] [--out FILE.json] "
       "[--check] [--metrics]\n"
       "  top     PROGRAM [--backend proc] [--interval S]\n"
@@ -681,6 +682,11 @@ int run_run(const Args& args) {
   } else if (backend == "proc") {
     navcpp::machine::ProcMachine::Options opt;
     opt.trace = !trace_path.empty();
+    // Hops ride the direct worker<->worker mesh by default; --star pins
+    // the parent-relay data plane (A/B runs, and an escape hatch should a
+    // platform misbehave on the mesh).  --mesh is accepted for symmetry.
+    if (args.has("star")) opt.mesh = false;
+    if (args.has("mesh")) opt.mesh = true;
     if (args.has("recover")) {
       opt.recovery.enabled = true;
       opt.recovery.max_respawns = 8;

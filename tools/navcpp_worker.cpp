@@ -7,6 +7,10 @@
 //
 //   navcpp_worker --pe N --fd FD     # socketpair transport (fd inherited)
 //   navcpp_worker --pe N --port P    # connect to 127.0.0.1:P instead
+//   ... [--npes N] [--mesh]          # mesh data plane: direct worker<->
+//                                    # worker hop channels; --peer Q:FD
+//                                    # names an inherited edge socketpair
+//   ... [--peer Q:FD]...             # (repeatable, one per pre-built edge)
 //   ... [--ckpt FILE]                # per-PE checkpoint spill file: a
 //                                    # respawned worker re-reads it, which
 //                                    # is how a checkpoint survives SIGKILL
@@ -24,43 +28,65 @@
 #include "net/wire.h"
 
 int main(int argc, char** argv) {
-  int pe = -1;
-  int fd = -1;
+  navcpp::machine::ProcWorkerConfig config;
+  config.pe = -1;
   long port = -1;
-  std::string ckpt;
-  std::string flight;
-  for (int i = 1; i + 1 < argc; i += 2) {
-    if (std::strcmp(argv[i], "--pe") == 0) {
-      pe = std::atoi(argv[i + 1]);
-    } else if (std::strcmp(argv[i], "--fd") == 0) {
-      fd = std::atoi(argv[i + 1]);
-    } else if (std::strcmp(argv[i], "--port") == 0) {
-      port = std::atol(argv[i + 1]);
-    } else if (std::strcmp(argv[i], "--ckpt") == 0) {
-      ckpt = argv[i + 1];
-    } else if (std::strcmp(argv[i], "--flight") == 0) {
-      flight = argv[i + 1];
+  bool bad = false;
+  for (int i = 1; i < argc && !bad;) {
+    const char* opt = argv[i];
+    if (std::strcmp(opt, "--mesh") == 0) {
+      config.mesh = true;
+      i += 1;
+      continue;
+    }
+    if (i + 1 >= argc) {
+      bad = true;
+      break;
+    }
+    const char* val = argv[i + 1];
+    if (std::strcmp(opt, "--pe") == 0) {
+      config.pe = std::atoi(val);
+    } else if (std::strcmp(opt, "--fd") == 0) {
+      config.fd = std::atoi(val);
+    } else if (std::strcmp(opt, "--port") == 0) {
+      port = std::atol(val);
+    } else if (std::strcmp(opt, "--npes") == 0) {
+      config.pe_count = std::atoi(val);
+    } else if (std::strcmp(opt, "--peer") == 0) {
+      const char* colon = std::strchr(val, ':');
+      if (colon == nullptr) {
+        bad = true;
+        break;
+      }
+      config.peer_fds.emplace_back(std::atoi(val), std::atoi(colon + 1));
+    } else if (std::strcmp(opt, "--ckpt") == 0) {
+      config.ckpt_path = val;
+    } else if (std::strcmp(opt, "--flight") == 0) {
+      config.flight_path = val;
     } else {
-      std::fprintf(stderr, "navcpp_worker: unknown option %s\n", argv[i]);
+      std::fprintf(stderr, "navcpp_worker: unknown option %s\n", opt);
       return 2;
     }
+    i += 2;
   }
-  if (pe < 0 || (fd < 0 && port < 0)) {
+  if (bad || config.pe < 0 || (config.fd < 0 && port < 0) ||
+      config.pe_count < 1) {
     std::fprintf(stderr,
                  "usage: navcpp_worker --pe N (--fd FD | --port P) "
+                 "[--npes N] [--mesh] [--peer Q:FD]... "
                  "[--ckpt FILE] [--flight FILE]\n"
                  "(internal helper of the navcpp process-per-PE backend; "
                  "not meant to be run by hand)\n");
     return 2;
   }
   try {
-    if (fd < 0) {
-      fd = navcpp::net::wire_connect_loopback(
+    if (config.fd < 0) {
+      config.fd = navcpp::net::wire_connect_loopback(
           static_cast<std::uint16_t>(port));
     }
-    return navcpp::machine::proc_worker_main(fd, pe, ckpt, flight);
+    return navcpp::machine::proc_worker_main(config);
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "navcpp_worker (pe %d): %s\n", pe, e.what());
+    std::fprintf(stderr, "navcpp_worker (pe %d): %s\n", config.pe, e.what());
     return 1;
   }
 }
